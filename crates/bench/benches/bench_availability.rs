@@ -1,0 +1,85 @@
+//! Availability-enumeration benchmarks (Figure 7) with the SSIM-threshold
+//! sweep ablation from DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use idnre_core::AvailabilityEnumerator;
+use idnre_datagen::BrandList;
+
+fn bench_generate_per_brand(c: &mut Criterion) {
+    let enumerator = AvailabilityEnumerator::new();
+    let mut group = c.benchmark_group("availability_generate");
+    group.sample_size(20);
+    for brand in ["go.com", "apple.com", "instagram.com"] {
+        group.bench_function(brand, |b| {
+            b.iter(|| black_box(enumerator.generate(black_box(brand))).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_survey_top10(c: &mut Criterion) {
+    let enumerator = AvailabilityEnumerator::new();
+    let brands = BrandList::alexa_top_1k();
+    let top: Vec<String> = brands.top(10).iter().map(|b| b.domain()).collect();
+    let mut group = c.benchmark_group("availability_survey");
+    group.sample_size(10);
+    group.bench_function("top10_brands", |b| {
+        b.iter(|| {
+            enumerator
+                .survey(top.iter().map(String::as_str))
+                .iter()
+                .map(|r| r.homographic)
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+/// Threshold-sweep ablation: detection counts at 0.90 / 0.95 / 0.99
+/// (the paper justifies 0.95 by manual review; the sweep shows the knee).
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("availability_threshold");
+    group.sample_size(10);
+    let mut counts = Vec::new();
+    for threshold in [0.90f64, 0.95, 0.99] {
+        let enumerator = AvailabilityEnumerator::with_threshold(threshold);
+        counts.push((threshold, enumerator.homographic("google.com").len()));
+        group.bench_function(format!("google_at_{threshold:.2}"), |b| {
+            b.iter(|| enumerator.homographic(black_box("google.com")).len())
+        });
+    }
+    // Monotone: lower thresholds admit more candidates.
+    assert!(counts[0].1 >= counts[1].1 && counts[1].1 >= counts[2].1, "{counts:?}");
+    group.finish();
+}
+
+/// Baseline comparison: ASCII squatting generators are orders of magnitude
+/// cheaper than SSIM-filtered homograph enumeration.
+fn bench_squatting_baselines(c: &mut Criterion) {
+    use idnre_core::squatting::{generate_all, pool_sizes};
+    let mut group = c.benchmark_group("squatting_baselines");
+    group.bench_function("generate_all_google", |b| {
+        b.iter(|| black_box(generate_all(black_box("google"))).len())
+    });
+    group.bench_function("pool_sizes_google", |b| {
+        b.iter(|| black_box(pool_sizes(black_box("google"))).len())
+    });
+    group.finish();
+}
+
+
+/// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
+/// uses short warmup/measurement windows to keep a whole-workspace
+/// `cargo bench` run in the minutes range.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_generate_per_brand, bench_survey_top10, bench_threshold_sweep, bench_squatting_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Browser display-policy benchmarks (Table XI) and the policy-family
+//! ablation: Chrome mixed-script vs Firefox single-script vs
+//! Punycode-always on the attack corpus.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use idnre_browser::{run_survey, PolicyKind, Rendering};
+
+const CORPUS: &[&str] = &[
+    "fаcebook.com",
+    "аррӏе.com",
+    "ѕоѕо.com",
+    "faċebook.com",
+    "日本のニュース.com",
+    "новости.com",
+    "example.com",
+    "中国",
+];
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("browser_policy");
+    for kind in [
+        PolicyKind::ChromeMixedScript,
+        PolicyKind::FirefoxSingleScript,
+        PolicyKind::PunycodeAlways,
+        PolicyKind::UnicodeAlways,
+    ] {
+        let policy = kind.policy();
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| {
+                CORPUS
+                    .iter()
+                    .filter(|d| matches!(policy.display(d), Rendering::Unicode(_)))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: how many spoofs each policy family lets through. Asserted once
+/// (Chrome < Firefox < UnicodeAlways), then timed as a batch.
+fn bench_policy_ablation(c: &mut Criterion) {
+    let spoofs = ["fаcebook.com", "аррӏе.com", "ѕоѕо.com", "faċebook.com"];
+    let passes = |kind: PolicyKind| {
+        let policy = kind.policy();
+        spoofs
+            .iter()
+            .filter(|d| matches!(policy.display(d), Rendering::Unicode(_)))
+            .count()
+    };
+    let chrome = passes(PolicyKind::ChromeMixedScript);
+    let firefox = passes(PolicyKind::FirefoxSingleScript);
+    let legacy = passes(PolicyKind::UnicodeAlways);
+    assert!(chrome < firefox, "chrome {chrome} vs firefox {firefox}");
+    assert!(firefox < legacy, "firefox {firefox} vs legacy {legacy}");
+    c.bench_function("policy_ablation_batch", |b| {
+        b.iter(|| {
+            black_box(passes(PolicyKind::ChromeMixedScript));
+            black_box(passes(PolicyKind::FirefoxSingleScript));
+            black_box(passes(PolicyKind::UnicodeAlways));
+        })
+    });
+}
+
+fn bench_survey(c: &mut Criterion) {
+    c.bench_function("table11_full_survey", |b| b.iter(|| run_survey().len()));
+}
+
+
+/// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
+/// uses short warmup/measurement windows to keep a whole-workspace
+/// `cargo bench` run in the minutes range.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_policies, bench_policy_ablation, bench_survey
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Certificate validation and sharing-analysis benchmarks (Tables VI/VII).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use idnre_certs::{Certificate, SharingAnalysis, Validator};
+use idnre_datagen::{Ecosystem, EcosystemConfig};
+
+fn fixture() -> Vec<(String, Certificate)> {
+    let eco = Ecosystem::generate(&EcosystemConfig {
+        scale: 200,
+        attack_scale: 5,
+        ..EcosystemConfig::default()
+    });
+    eco.certificates
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let certs = fixture();
+    let validator = Validator::with_default_roots(17_400);
+    let mut group = c.benchmark_group("cert_validation");
+    group.throughput(Throughput::Elements(certs.len() as u64));
+    group.bench_function("classify_corpus", |b| {
+        b.iter(|| {
+            certs
+                .iter()
+                .filter(|(domain, cert)| validator.classify(cert, domain).is_some())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_single_checks(c: &mut Criterion) {
+    let validator = Validator::with_default_roots(17_400);
+    let good = Certificate::ca_issued("shop.com", vec!["www.shop.com".into()], "Let's Encrypt R3", 17_000, 17_800);
+    let wildcard = Certificate::ca_issued("*.cafe24.com", vec![], "Sectigo RSA DV", 17_000, 17_800);
+    let mut group = c.benchmark_group("cert_single");
+    group.bench_function("clean", |b| {
+        b.iter(|| validator.classify(black_box(&good), black_box("shop.com")))
+    });
+    group.bench_function("wildcard_match", |b| {
+        b.iter(|| validator.classify(black_box(&wildcard), black_box("shop.cafe24.com")))
+    });
+    group.bench_function("cn_mismatch", |b| {
+        b.iter(|| validator.classify(black_box(&wildcard), black_box("xn--a.com")))
+    });
+    group.finish();
+}
+
+fn bench_sharing(c: &mut Criterion) {
+    let certs = fixture();
+    let mut group = c.benchmark_group("cert_sharing");
+    group.sample_size(20);
+    group.bench_function("table7_rollup", |b| {
+        b.iter(|| {
+            let mut sharing = SharingAnalysis::new();
+            for (domain, cert) in &certs {
+                sharing.observe(domain, cert);
+            }
+            sharing.top_shared(10).len()
+        })
+    });
+    group.finish();
+}
+
+
+/// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
+/// uses short warmup/measurement windows to keep a whole-workspace
+/// `cargo bench` run in the minutes range.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_classify, bench_single_checks, bench_sharing
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Homograph-scan benchmarks (Table XIII's detector) including the
+//! skeleton-prefilter vs exhaustive ablation and the parallel fan-out.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use idnre_core::HomographDetector;
+use idnre_datagen::{Ecosystem, EcosystemConfig};
+
+struct Fixture {
+    detector: HomographDetector,
+    corpus: Vec<String>,
+}
+
+fn fixture() -> Fixture {
+    let eco = Ecosystem::generate(&EcosystemConfig {
+        scale: 1000,
+        attack_scale: 10,
+        ..EcosystemConfig::default()
+    });
+    let brands: Vec<String> = eco.brands.iter().map(|b| b.domain()).collect();
+    let corpus: Vec<String> = eco
+        .idn_registrations
+        .iter()
+        .map(|r| r.domain.clone())
+        .collect();
+    Fixture {
+        detector: HomographDetector::new(&brands, 0.95),
+        corpus,
+    }
+}
+
+fn bench_detect_single(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("homograph_detect");
+    for (name, probe) in [
+        ("hit-identical", "xn--80ak6aa92e.com"),
+        ("hit-diacritic", "xn--ggle-0qaa.com"),
+        ("miss-cjk", "xn--0wwy37b.com"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(f.detector.detect(black_box(probe))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_corpus(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("homograph_scan");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(f.corpus.len() as u64));
+    for threads in [1usize, 4, 8] {
+        group.bench_function(format!("prefilter_{threads}threads"), |b| {
+            b.iter(|| {
+                f.detector
+                    .scan(f.corpus.iter().map(String::as_str), threads)
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the skeleton pre-filter vs the paper's exhaustive pairwise
+/// comparison, on a 100-domain slice (exhaustive is orders slower).
+fn bench_prefilter_ablation(c: &mut Criterion) {
+    let f = fixture();
+    let slice: Vec<&str> = f.corpus.iter().take(100).map(String::as_str).collect();
+    let mut group = c.benchmark_group("homograph_ablation_100domains");
+    group.sample_size(10);
+    group.bench_function("prefilter", |b| {
+        b.iter(|| {
+            slice
+                .iter()
+                .filter_map(|d| f.detector.detect(d))
+                .count()
+        })
+    });
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| {
+            slice
+                .iter()
+                .filter_map(|d| f.detector.detect_exhaustive(d))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+
+/// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
+/// uses short warmup/measurement windows to keep a whole-workspace
+/// `cargo bench` run in the minutes range.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_detect_single, bench_scan_corpus, bench_prefilter_ablation
+}
+criterion_main!(benches);

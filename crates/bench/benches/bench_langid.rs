@@ -1,0 +1,66 @@
+//! Language-identification benchmarks (Table II's classifier) with the
+//! script-prior ablation from DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use idnre_langid::{Classifier, Language};
+
+fn corpus() -> Vec<String> {
+    let mut out = Vec::new();
+    for lang in Language::ALL {
+        for word in idnre_langid::vocabulary(lang).iter().take(20) {
+            out.push(word.to_string());
+        }
+    }
+    out
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let clf = Classifier::global();
+    let corpus = corpus();
+    let mut group = c.benchmark_group("langid");
+    group.throughput(Throughput::Elements(corpus.len() as u64));
+    group.bench_function("classify_corpus", |b| {
+        b.iter(|| {
+            for label in &corpus {
+                black_box(clf.classify(black_box(label)));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_per_script(c: &mut Criterion) {
+    let clf = Classifier::global();
+    let mut group = c.benchmark_group("langid_per_script");
+    for (name, label) in [
+        ("han", "彩票娱乐"),
+        ("kana", "ショッピング"),
+        ("hangul", "쇼핑몰"),
+        ("latin-diacritic", "alışveriş"),
+        ("cyrillic", "новости"),
+    ] {
+        group.bench_function(name, |b| b.iter(|| clf.classify(black_box(label))));
+    }
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    c.bench_function("langid_train", |b| b.iter(Classifier::train));
+}
+
+
+/// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
+/// uses short warmup/measurement windows to keep a whole-workspace
+/// `cargo bench` run in the minutes range.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_classify, bench_per_script, bench_training
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Passive-DNS benchmarks: traffic sampling and the ECDF/segment analytics
+//! behind Figures 2, 3, 4, 5 and 8.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use idnre_pdns::{ActivityAnalytics, PdnsStore, PopulationClass, TrafficModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn populated_store(n: usize) -> PdnsStore {
+    let mut store = PdnsStore::new();
+    let mut rng = StdRng::seed_from_u64(77);
+    let model = TrafficModel::for_class(PopulationClass::BenignIdn);
+    for i in 0..n {
+        if let Some(agg) = model.sample_aggregate(
+            &mut rng,
+            &format!("xn--domain{i}.com"),
+            17_400,
+            Some(std::net::Ipv4Addr::new(91, 195, (i % 64) as u8, 7)),
+        ) {
+            store.insert_aggregate(agg);
+        }
+    }
+    store
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdns_sampling");
+    for class in [
+        PopulationClass::BenignIdn,
+        PopulationClass::NonIdn,
+        PopulationClass::MaliciousIdn,
+        PopulationClass::Homographic,
+    ] {
+        let model = TrafficModel::for_class(class);
+        group.bench_function(format!("{class:?}"), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(model.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_ops(c: &mut Criterion) {
+    let store = populated_store(10_000);
+    let mut group = c.benchmark_group("pdns_store");
+    group.bench_function("lookup_hit", |b| {
+        b.iter(|| black_box(store.lookup(black_box("xn--domain77.com"))))
+    });
+    group.bench_function("lookup_miss", |b| {
+        b.iter(|| black_box(store.lookup(black_box("absent.com"))))
+    });
+    let batch: Vec<String> = (0..1000).map(|i| format!("xn--domain{i}.com")).collect();
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("lookup_batch_1k", |b| {
+        b.iter(|| store.lookup_batch(batch.iter().map(String::as_str)).len())
+    });
+    group.finish();
+}
+
+fn bench_analytics(c: &mut Criterion) {
+    let store = populated_store(10_000);
+    let mut group = c.benchmark_group("pdns_analytics");
+    group.sample_size(20);
+    group.bench_function("fig2_ecdf_build", |b| {
+        b.iter(|| {
+            let mut analytics = ActivityAnalytics::new();
+            analytics.extend(store.iter());
+            analytics.active_time_ecdf().quantile(0.6)
+        })
+    });
+    group.bench_function("fig4_segment_report", |b| {
+        b.iter(|| {
+            let mut analytics = ActivityAnalytics::new();
+            analytics.extend(store.iter());
+            analytics.segment_report().cumulative_fraction(10)
+        })
+    });
+    group.finish();
+}
+
+
+/// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
+/// uses short warmup/measurement windows to keep a whole-workspace
+/// `cargo bench` run in the minutes range.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_sampling, bench_store_ops, bench_analytics
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Punycode codec benchmarks — the conversion every IDN zone-scan record
+//! passes through (Section III's 154M-record scan).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn inputs() -> Vec<(&'static str, String)> {
+    vec![
+        ("short-cjk", "波色".to_string()),
+        ("cyrillic-spoof", "аррӏе".to_string()),
+        ("mixed-brand", "apple激活".to_string()),
+        ("long-thai", "ท่องเที่ยวโรงแรมประกัน".to_string()),
+        ("long-cjk", "北京上海广州深圳重庆成都彩票".to_string()),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("punycode_encode");
+    for (name, text) in inputs() {
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| idnre_idna::punycode::encode(black_box(&text)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("punycode_decode");
+    for (name, text) in inputs() {
+        let encoded = idnre_idna::punycode::encode(&text).unwrap();
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| idnre_idna::punycode::decode(black_box(&encoded)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_domain_roundtrip(c: &mut Criterion) {
+    c.bench_function("idna_to_ascii_domain", |b| {
+        b.iter(|| idnre_idna::to_ascii(black_box("apple激活.com")).unwrap())
+    });
+    c.bench_function("idna_to_unicode_domain", |b| {
+        b.iter(|| idnre_idna::to_unicode(black_box("xn--80ak6aa92e.com")).unwrap())
+    });
+}
+
+
+/// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
+/// uses short warmup/measurement windows to keep a whole-workspace
+/// `cargo bench` run in the minutes range.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_encode, bench_decode, bench_domain_roundtrip
+}
+criterion_main!(benches);

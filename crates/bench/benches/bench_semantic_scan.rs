@@ -1,0 +1,69 @@
+//! Type-1 semantic scan benchmarks (Table XIV's detector).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use idnre_core::SemanticDetector;
+use idnre_datagen::{Ecosystem, EcosystemConfig};
+
+fn fixture() -> (SemanticDetector, Vec<String>) {
+    let eco = Ecosystem::generate(&EcosystemConfig {
+        scale: 1000,
+        attack_scale: 10,
+        ..EcosystemConfig::default()
+    });
+    let brands: Vec<String> = eco.brands.iter().map(|b| b.domain()).collect();
+    let corpus: Vec<String> = eco
+        .idn_registrations
+        .iter()
+        .map(|r| r.domain.clone())
+        .collect();
+    (SemanticDetector::new(&brands), corpus)
+}
+
+fn bench_detect_single(c: &mut Criterion) {
+    let (detector, _) = fixture();
+    let type1 = idnre_idna::to_ascii("apple激活.com").unwrap();
+    let mut group = c.benchmark_group("semantic_detect");
+    group.bench_function("type1-hit", |b| {
+        b.iter(|| black_box(detector.detect_type1(black_box(&type1))))
+    });
+    group.bench_function("type1-miss", |b| {
+        b.iter(|| black_box(detector.detect_type1(black_box("xn--0wwy37b.com"))))
+    });
+    group.bench_function("type2-hit", |b| {
+        let ace = idnre_idna::to_ascii("格力空调.net").unwrap();
+        b.iter(|| black_box(detector.detect_type2(black_box(&ace))))
+    });
+    group.finish();
+}
+
+fn bench_scan_corpus(c: &mut Criterion) {
+    let (detector, corpus) = fixture();
+    let mut group = c.benchmark_group("semantic_scan");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(corpus.len() as u64));
+    group.bench_function("scan_type1_corpus", |b| {
+        b.iter(|| {
+            detector
+                .scan_type1(corpus.iter().map(String::as_str))
+                .len()
+        })
+    });
+    group.finish();
+}
+
+
+/// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
+/// uses short warmup/measurement windows to keep a whole-workspace
+/// `cargo bench` run in the minutes range.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_detect_single, bench_scan_corpus
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! WHOIS parsing and registration-analytics benchmarks (the Section III
+//! crawl processed 739K records through parsers like this).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use idnre_whois::analytics::RegistrationAnalytics;
+use idnre_whois::parse_whois;
+
+const KEY_VALUE: &str = "\
+Domain Name: XN--0WWY37B.COM
+Registrar: GMO Internet Inc.
+Creation Date: 2017-03-04T09:21:00Z
+Registry Expiry Date: 2018-03-04T09:21:00Z
+Registrant Email: daidesheng88@gmail.com
+Name Server: NS1.PARKING.NET
+Name Server: NS2.PARKING.NET
+";
+
+const BRACKETED: &str = "\
+[Domain Name]                XN--WGV71A119E.COM
+[Registrant]                 Example KK
+[Name Server]                ns1.example.ne.jp
+[Created on]                 2004/11/09
+[Email]                      admin@example.ne.jp
+";
+
+const PERCENT: &str = "\
+% WHOIS server banner
+% Rights restricted by copyright.
+domain:      xn--tst-qla.net
+registrar:   1&1 Internet SE.
+created:     21-Sep-2005
+e-mail:      hostmaster@provider.de
+";
+
+fn bench_dialects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whois_parse");
+    for (name, raw) in [
+        ("key_value", KEY_VALUE),
+        ("bracketed", BRACKETED),
+        ("percent_banner", PERCENT),
+    ] {
+        group.throughput(Throughput::Bytes(raw.len() as u64));
+        group.bench_function(name, |b| b.iter(|| parse_whois(black_box(raw)).unwrap()));
+    }
+    group.bench_function("refused_banner", |b| {
+        b.iter(|| parse_whois(black_box("Query rate exceeded.")).unwrap_err())
+    });
+    group.finish();
+}
+
+fn bench_analytics(c: &mut Criterion) {
+    let records: Vec<_> = (0..2_000)
+        .map(|i| {
+            let raw = format!(
+                "Domain Name: xn--d{i}.com\nRegistrar: Registrar-{:02} LLC\n\
+                 Registrant Email: user{}@qq.com\nCreation Date: 20{:02}-06-01\n",
+                i % 40,
+                i % 300,
+                i % 18
+            );
+            parse_whois(&raw).unwrap()
+        })
+        .collect();
+    let mut group = c.benchmark_group("whois_analytics");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("fold_2k_records", |b| {
+        b.iter(|| {
+            let mut analytics = RegistrationAnalytics::new();
+            analytics.extend(records.iter());
+            (analytics.top_registrars(10).len(), analytics.top_registrants(5).len())
+        })
+    });
+    group.finish();
+}
+
+
+/// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
+/// uses short warmup/measurement windows to keep a whole-workspace
+/// `cargo bench` run in the minutes range.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_dialects, bench_analytics
+}
+criterion_main!(benches);

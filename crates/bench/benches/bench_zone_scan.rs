@@ -1,0 +1,69 @@
+//! Zone-file parse + scan benchmarks — the Table I pipeline (Section III
+//! scanned 154M records; this measures the per-record cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use idnre_datagen::{Ecosystem, EcosystemConfig};
+use idnre_zonefile::{parse_zone, write_zone, ZoneScanner};
+
+fn generated_zone_text() -> String {
+    let eco = Ecosystem::generate(&EcosystemConfig {
+        scale: 500,
+        attack_scale: 10,
+        ..EcosystemConfig::default()
+    });
+    let com = eco
+        .zones
+        .iter()
+        .find(|z| z.origin.to_string() == "com")
+        .expect("com zone generated");
+    write_zone(com)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let text = generated_zone_text();
+    let records = text.lines().count() as u64;
+    let mut group = c.benchmark_group("zone_parse");
+    group.throughput(Throughput::Elements(records));
+    group.bench_function("parse_com_zone", |b| {
+        b.iter(|| parse_zone(black_box("com"), black_box(&text)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let text = generated_zone_text();
+    let zone = parse_zone("com", &text).unwrap();
+    let scanner = ZoneScanner::new();
+    let mut group = c.benchmark_group("zone_scan");
+    group.throughput(Throughput::Elements(zone.len() as u64));
+    group.bench_function("scan_com_zone", |b| {
+        b.iter(|| {
+            let stats = scanner.scan(black_box(&zone));
+            black_box(stats.idns.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let text = generated_zone_text();
+    let zone = parse_zone("com", &text).unwrap();
+    c.bench_function("zone_write", |b| b.iter(|| write_zone(black_box(&zone))));
+}
+
+
+/// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
+/// uses short warmup/measurement windows to keep a whole-workspace
+/// `cargo bench` run in the minutes range.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_parse, bench_scan, bench_roundtrip
+}
+criterion_main!(benches);

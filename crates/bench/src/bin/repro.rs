@@ -1,0 +1,111 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro all                      # every table and figure, to stdout
+//! repro table13 fig7             # specific experiments
+//! repro --scale 50 all           # denser ecosystem (1:50)
+//! repro --write EXPERIMENTS.md all
+//! ```
+
+use idnre_bench::{reports, ReproContext};
+use idnre_datagen::EcosystemConfig;
+use std::io::Write as _;
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut config = EcosystemConfig::default();
+    let mut write_path: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                config.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a number"));
+            }
+            "--attack-scale" => {
+                config.attack_scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--attack-scale needs a number"));
+            }
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--write" => {
+                write_path = Some(args.next().unwrap_or_else(|| usage("--write needs a path")));
+            }
+            "--help" | "-h" => usage(""),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        usage("no experiment named");
+    }
+
+    eprintln!(
+        "generating ecosystem (scale 1:{}, attacks 1:{}, seed {:#x})...",
+        config.scale, config.attack_scale, config.seed
+    );
+    let start = std::time::Instant::now();
+    let ctx = ReproContext::build(&config);
+    eprintln!(
+        "ecosystem ready in {:.1?}: {} IDNs, {} non-IDNs, {} homograph findings, {} semantic findings",
+        start.elapsed(),
+        ctx.eco.idn_registrations.len(),
+        ctx.eco.non_idn_registrations.len(),
+        ctx.homographs.len(),
+        ctx.semantic.len()
+    );
+
+    let output = if wanted.iter().any(|w| w == "all") {
+        ctx.full_report()
+    } else {
+        let mut out = String::new();
+        for name in &wanted {
+            match reports::by_name(name) {
+                Some(generator) => {
+                    out.push_str(&generator(&ctx));
+                    out.push('\n');
+                }
+                None => usage(&format!("unknown experiment {name:?}")),
+            }
+        }
+        out
+    };
+
+    match write_path {
+        Some(path) => {
+            std::fs::write(&path, &output).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(output.as_bytes());
+        }
+    }
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!(
+        "usage: repro [--scale N] [--attack-scale N] [--seed N] [--write PATH] <experiment...>\n\
+         experiments: all {}",
+        reports::ALL
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for blacklist aggregation.
+
+use idnre_blacklist::{BlacklistSet, Source};
+use proptest::prelude::*;
+
+fn feed() -> impl Strategy<Value = Vec<(Source, String)>> {
+    proptest::collection::vec(
+        (0u8..3, "[a-z]{1,8}\\.(com|net|org)").prop_map(|(s, d)| {
+            let source = match s {
+                0 => Source::VirusTotal,
+                1 => Source::Qihoo360,
+                _ => Source::Baidu,
+            };
+            (source, d)
+        }),
+        0..60,
+    )
+}
+
+proptest! {
+    /// Union count is bounded by the per-source sum and at least the max.
+    #[test]
+    fn union_bounds(entries in feed()) {
+        let mut set = BlacklistSet::new();
+        set.extend(entries);
+        let per_source: Vec<usize> = Source::ALL.iter().map(|&s| set.source_count(s)).collect();
+        let sum: usize = per_source.iter().sum();
+        let max: usize = per_source.iter().copied().max().unwrap_or(0);
+        prop_assert!(set.union_count() <= sum);
+        prop_assert!(set.union_count() >= max);
+    }
+
+    /// A domain is malicious iff its verdict is non-empty, and the verdict
+    /// lists exactly the sources that flagged it.
+    #[test]
+    fn verdict_consistency(entries in feed(), probe in "[a-z]{1,8}\\.(com|net|org)") {
+        let mut set = BlacklistSet::new();
+        set.extend(entries.clone());
+        let verdict = set.verdict(&probe);
+        prop_assert_eq!(set.is_malicious(&probe), !verdict.is_empty());
+        for source in Source::ALL {
+            let fed = entries.iter().any(|(s, d)| *s == source && *d == probe);
+            prop_assert_eq!(verdict.contains(&source), fed);
+        }
+    }
+
+    /// Lookups are case-insensitive.
+    #[test]
+    fn case_insensitive(domain in "[a-z]{1,10}\\.com") {
+        let mut set = BlacklistSet::new();
+        set.insert(Source::VirusTotal, &domain.to_uppercase());
+        prop_assert!(set.is_malicious(&domain));
+        prop_assert!(set.is_malicious(&domain.to_uppercase()));
+    }
+
+    /// TLD breakdown conserves the union.
+    #[test]
+    fn tld_breakdown_conserves(entries in feed()) {
+        let mut set = BlacklistSet::new();
+        set.extend(entries);
+        let by_tld = set.counts_by_tld();
+        let summed: usize = by_tld.values().sum();
+        prop_assert_eq!(summed, set.union_count());
+    }
+}

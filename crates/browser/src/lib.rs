@@ -1,0 +1,36 @@
+//! Executable models of browser IDN display policies (Section VI-A).
+//!
+//! The paper manually surveyed ten browsers on three platforms (Table XI).
+//! Here each browser's documented policy is *code*: given an IDN, a policy
+//! decides whether the address bar shows Unicode, Punycode, the page title,
+//! or a blank page. The survey harness then derives Table XI by running the
+//! homograph attack corpus through every profile — so the table is an
+//! output of the policy models, not a transcription.
+//!
+//! # Examples
+//!
+//! ```
+//! use idnre_browser::{DisplayPolicy, PolicyKind, Rendering};
+//!
+//! let chrome = PolicyKind::ChromeMixedScript.policy();
+//! // Mixed-script spoof: Chrome falls back to Punycode.
+//! assert!(matches!(chrome.display("fаcebook.com"), Rendering::Punycode(_)));
+//!
+//! let firefox = PolicyKind::FirefoxSingleScript.policy();
+//! // Whole-script Cyrillic spoof bypasses a single-script policy.
+//! assert!(matches!(firefox.display("аррӏе.com"), Rendering::Unicode(_)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod policy;
+mod profiles;
+mod survey;
+
+pub use policy::{DisplayPolicy, PolicyKind, Rendering};
+pub use profiles::{surveyed_browsers, BrowserProfile, ItldSupport, Platform};
+pub use survey::{
+    run_survey, HomographOutcome, SurveyRow, MIXED_SCRIPT_SPOOFS, SINGLE_SCRIPT_LATIN_SPOOFS,
+    WHOLE_SCRIPT_SPOOFS,
+};

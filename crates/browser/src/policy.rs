@@ -1,0 +1,290 @@
+//! The display-policy engine.
+
+use idnre_unicode::{confusables, script_of, unique_script, Script};
+
+/// What the address bar ends up showing for an IDN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rendering {
+    /// The Unicode form is displayed (spoofable if the IDN is deceptive).
+    Unicode(String),
+    /// The ASCII/Punycode form is displayed (attack defused).
+    Punycode(String),
+    /// The page *title* is displayed instead of the URL (attacker-controlled
+    /// — the mobile-browser behaviour the paper flags as "quite
+    /// problematic").
+    Title,
+    /// Navigation lands on `about:blank` (QQ browser's quirk).
+    Blank,
+}
+
+/// The policy families observed across the surveyed browsers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PolicyKind {
+    /// Chrome's mixed-script rules: Unicode only for single-script labels or
+    /// whitelisted CJK+Latin combinations, plus a whole-script-confusable
+    /// check against protected brand skeletons.
+    ChromeMixedScript,
+    /// Firefox's single-character-set rule: Unicode iff every character of
+    /// a label belongs to one script (whole-script spoofs pass).
+    FirefoxSingleScript,
+    /// Always display Punycode (defuses everything; contravenes IETF
+    /// display guidance).
+    PunycodeAlways,
+    /// Always display Unicode (the vulnerable legacy behaviour).
+    UnicodeAlways,
+    /// The address bar shows the page title for IDNs (several mobile
+    /// browsers).
+    TitleInAddressBar,
+    /// Punycode normally, but whole-script-confusable labels navigate to
+    /// `about:blank` (QQ on Android).
+    BlankOnConfusable,
+}
+
+impl PolicyKind {
+    /// Instantiates the executable policy.
+    pub fn policy(self) -> DisplayPolicy {
+        DisplayPolicy { kind: self }
+    }
+}
+
+/// An executable display policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisplayPolicy {
+    kind: PolicyKind,
+}
+
+impl DisplayPolicy {
+    /// Decides what the address bar shows for `domain` (Unicode form).
+    ///
+    /// The UTS #46 compatibility mapping runs first, as it does in real
+    /// address bars — a fullwidth `ｇｏｏｇｌｅ.com` is just `google.com`
+    /// after mapping, not an IDN at all.
+    pub fn display(&self, domain: &str) -> Rendering {
+        let mapped = idnre_idna::map_compat(domain);
+        let domain = mapped.as_str();
+        match self.kind {
+            PolicyKind::UnicodeAlways => Rendering::Unicode(domain.to_string()),
+            PolicyKind::PunycodeAlways => Rendering::Punycode(to_punycode(domain)),
+            PolicyKind::TitleInAddressBar => Rendering::Title,
+            PolicyKind::FirefoxSingleScript => {
+                if domain.split('.').all(label_is_single_script) {
+                    Rendering::Unicode(domain.to_string())
+                } else {
+                    Rendering::Punycode(to_punycode(domain))
+                }
+            }
+            PolicyKind::ChromeMixedScript => {
+                if domain.split('.').all(chrome_label_ok) {
+                    Rendering::Unicode(domain.to_string())
+                } else {
+                    Rendering::Punycode(to_punycode(domain))
+                }
+            }
+            PolicyKind::BlankOnConfusable => {
+                if domain.split('.').any(is_whole_script_confusable) {
+                    Rendering::Blank
+                } else {
+                    Rendering::Punycode(to_punycode(domain))
+                }
+            }
+        }
+    }
+}
+
+fn to_punycode(domain: &str) -> String {
+    idnre_idna::to_ascii(domain).unwrap_or_else(|_| domain.to_string())
+}
+
+/// Firefox's test: all characters of the label in one script (Common
+/// characters are neutral).
+fn label_is_single_script(label: &str) -> bool {
+    if label.chars().all(|c| script_of(c) == Script::Common) {
+        return true;
+    }
+    unique_script(label).is_some()
+}
+
+/// Chrome's per-label test.
+fn chrome_label_ok(label: &str) -> bool {
+    let mut scripts: Vec<Script> = Vec::new();
+    for c in label.chars() {
+        let s = script_of(c);
+        if s == Script::Common {
+            continue;
+        }
+        if !scripts.contains(&s) {
+            scripts.push(s);
+        }
+    }
+    match scripts.len() {
+        0 => true,
+        1 => {
+            // Single-script labels still run Chrome's confusable-skeleton
+            // check: a label whose skeleton matches a protected brand (be it
+            // whole-script Cyrillic `аррӏе` or diacritic Latin `faċebook`)
+            // renders as Punycode.
+            let skeleton = confusables::skeleton(label);
+            if skeleton != label && PROTECTED_SKELETONS.contains(&skeleton.as_str()) {
+                return false;
+            }
+            true
+        }
+        _ => {
+            // Whitelisted CJK combinations (Japanese and Korean orthography
+            // legitimately mix scripts, optionally with Latin).
+            scripts.iter().all(|s| {
+                matches!(
+                    s,
+                    Script::Latin | Script::Han | Script::Hiragana | Script::Katakana | Script::Hangul
+                )
+            })
+        }
+    }
+}
+
+/// Whether every non-Common character of `label` is a known confusable of
+/// an ASCII character — the signature of a whole-script spoof.
+fn is_whole_script_confusable(label: &str) -> bool {
+    let mut any = false;
+    for c in label.chars() {
+        if script_of(c) == Script::Common || c.is_ascii() {
+            continue;
+        }
+        if confusables::lookup(c).is_none() {
+            return false;
+        }
+        any = true;
+    }
+    any
+}
+
+/// Brand skeletons Chrome checks whole-script confusables against.
+/// (Chrome ships the full top-domain list; the model carries the brands the
+/// attack corpus targets.)
+const PROTECTED_SKELETONS: &[&str] = &[
+    "google", "facebook", "apple", "amazon", "youtube", "twitter", "instagram", "microsoft",
+    "yahoo", "netflix", "paypal", "icloud", "soso", "baidu", "taobao", "weibo", "alipay",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(kind: PolicyKind, domain: &str) -> Rendering {
+        kind.policy().display(domain)
+    }
+
+    #[test]
+    fn punycode_always_defuses_everything() {
+        for domain in ["аррӏе.com", "fаcebook.com", "中国"] {
+            assert!(matches!(
+                render(PolicyKind::PunycodeAlways, domain),
+                Rendering::Punycode(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn unicode_always_is_vulnerable() {
+        assert_eq!(
+            render(PolicyKind::UnicodeAlways, "fаcebook.com"),
+            Rendering::Unicode("fаcebook.com".into())
+        );
+    }
+
+    #[test]
+    fn firefox_blocks_mixed_but_passes_whole_script() {
+        // Mixed Latin+Cyrillic → Punycode.
+        assert!(matches!(
+            render(PolicyKind::FirefoxSingleScript, "fаcebook.com"),
+            Rendering::Punycode(_)
+        ));
+        // Whole-script Cyrillic soso spoof → Unicode (the paper's bypass).
+        assert!(matches!(
+            render(PolicyKind::FirefoxSingleScript, "ѕоѕо.com"),
+            Rendering::Unicode(_)
+        ));
+    }
+
+    #[test]
+    fn chrome_blocks_whole_script_confusables_of_brands() {
+        // Same spoofs that bypass Firefox are defused by Chrome's
+        // whole-script-confusable check.
+        assert!(matches!(
+            render(PolicyKind::ChromeMixedScript, "ѕоѕо.com"),
+            Rendering::Punycode(_)
+        ));
+        assert!(matches!(
+            render(PolicyKind::ChromeMixedScript, "аррӏе.com"),
+            Rendering::Punycode(_)
+        ));
+    }
+
+    #[test]
+    fn chrome_allows_legitimate_idns() {
+        // Pure Han (Chinese) label.
+        assert!(matches!(
+            render(PolicyKind::ChromeMixedScript, "中国"),
+            Rendering::Unicode(_)
+        ));
+        // Japanese mixes Han + Hiragana + Katakana (+ Latin).
+        assert!(matches!(
+            render(PolicyKind::ChromeMixedScript, "日本のニュース.com"),
+            Rendering::Unicode(_)
+        ));
+        // Non-brand Cyrillic word stays Unicode.
+        assert!(matches!(
+            render(PolicyKind::ChromeMixedScript, "новости.com"),
+            Rendering::Unicode(_)
+        ));
+    }
+
+    #[test]
+    fn chrome_blocks_latin_cyrillic_mix() {
+        assert!(matches!(
+            render(PolicyKind::ChromeMixedScript, "fаcebook.com"),
+            Rendering::Punycode(_)
+        ));
+    }
+
+    #[test]
+    fn title_and_blank_quirks() {
+        assert_eq!(
+            render(PolicyKind::TitleInAddressBar, "аррӏе.com"),
+            Rendering::Title
+        );
+        assert_eq!(render(PolicyKind::BlankOnConfusable, "аррӏе.com"), Rendering::Blank);
+        assert!(matches!(
+            render(PolicyKind::BlankOnConfusable, "中国.com"),
+            Rendering::Punycode(_)
+        ));
+    }
+
+    #[test]
+    fn fullwidth_spoofs_collapse_to_ascii() {
+        // After UTS #46 mapping the fullwidth spoof IS the brand domain —
+        // every policy shows it as plain ASCII.
+        for kind in [
+            PolicyKind::ChromeMixedScript,
+            PolicyKind::FirefoxSingleScript,
+            PolicyKind::PunycodeAlways,
+        ] {
+            match render(kind, "ｇｏｏｇｌｅ.com") {
+                Rendering::Unicode(s) => assert_eq!(s, "google.com"),
+                Rendering::Punycode(s) => assert_eq!(s, "google.com"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ascii_domains_untouched_by_script_policies() {
+        for kind in [PolicyKind::ChromeMixedScript, PolicyKind::FirefoxSingleScript] {
+            match render(kind, "example.com") {
+                Rendering::Unicode(s) => assert_eq!(s, "example.com"),
+                other => panic!("ascii domain should display as-is, got {other:?}"),
+            }
+        }
+    }
+}

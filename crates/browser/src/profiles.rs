@@ -1,0 +1,183 @@
+//! The surveyed browser matrix: which policy and iTLD behaviour each
+//! browser/platform pair exhibited in the paper's manual study.
+
+use crate::policy::PolicyKind;
+use std::fmt;
+
+/// Platform of a surveyed browser build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Desktop builds.
+    Pc,
+    /// Apple iOS builds.
+    Ios,
+    /// Android builds.
+    Android,
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Platform::Pc => "PC",
+            Platform::Ios => "iOS",
+            Platform::Android => "Android",
+        })
+    }
+}
+
+/// How a browser handles IDNs under internationalized TLDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ItldSupport {
+    /// Both Unicode and Punycode TLD forms resolve.
+    Full,
+    /// Resolves only when a protocol prefix (`http://`) is typed.
+    NeedPrefix,
+    /// Only the Unicode TLD form is recognized.
+    UnicodeOnly,
+    /// Only the Punycode TLD form is recognized.
+    PunycodeOnly,
+    /// iTLDs are not recognized at all.
+    NotSupported,
+}
+
+impl fmt::Display for ItldSupport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ItldSupport::Full => "Full",
+            ItldSupport::NeedPrefix => "Need prefix",
+            ItldSupport::UnicodeOnly => "Unicode only",
+            ItldSupport::PunycodeOnly => "Punycode only",
+            ItldSupport::NotSupported => "Not supported",
+        })
+    }
+}
+
+impl ItldSupport {
+    /// Whether an iTLD IDN typed as `input` (Unicode or Punycode form,
+    /// without protocol prefix) resolves under this support level.
+    pub fn resolves(self, unicode_form: bool, has_prefix: bool) -> bool {
+        match self {
+            ItldSupport::Full => true,
+            ItldSupport::NeedPrefix => has_prefix,
+            ItldSupport::UnicodeOnly => unicode_form,
+            ItldSupport::PunycodeOnly => !unicode_form,
+            ItldSupport::NotSupported => false,
+        }
+    }
+}
+
+/// One browser build in the survey.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrowserProfile {
+    /// Browser name, e.g. `Chrome`.
+    pub name: &'static str,
+    /// Platform of this build.
+    pub platform: Platform,
+    /// Version surveyed by the paper.
+    pub version: &'static str,
+    /// The display policy the build implements.
+    pub policy: PolicyKind,
+    /// iTLD handling.
+    pub itld: ItldSupport,
+}
+
+/// The paper's survey matrix: ten browsers across PC/iOS/Android, with the
+/// policy each build was observed to implement. `/` cells of Table XI
+/// (builds that do not exist, e.g. Safari on Android) are absent.
+pub fn surveyed_browsers() -> Vec<BrowserProfile> {
+    use ItldSupport as I;
+    use Platform::*;
+    use PolicyKind as P;
+    let b = |name, platform, version, policy, itld| BrowserProfile {
+        name,
+        platform,
+        version,
+        policy,
+        itld,
+    };
+    vec![
+        // PC
+        b("Chrome", Pc, "62.0", P::ChromeMixedScript, I::Full),
+        b("Firefox", Pc, "57.0", P::FirefoxSingleScript, I::NeedPrefix),
+        b("Opera", Pc, "49.0", P::FirefoxSingleScript, I::Full),
+        b("Safari", Pc, "11.0", P::PunycodeAlways, I::Full),
+        b("IE", Pc, "11.0", P::PunycodeAlways, I::Full),
+        b("QQ", Pc, "9.7", P::PunycodeAlways, I::Full),
+        b("Baidu", Pc, "8.7", P::FirefoxSingleScript, I::Full),
+        b("Qihoo 360", Pc, "9.1", P::PunycodeAlways, I::Full),
+        b("Sogou", Pc, "7.1", P::UnicodeAlways, I::Full),
+        b("Liebao", Pc, "6.5", P::FirefoxSingleScript, I::Full),
+        // iOS
+        b("Chrome", Ios, "61.0", P::ChromeMixedScript, I::Full),
+        b("Firefox", Ios, "10.1", P::PunycodeAlways, I::Full),
+        b("Opera", Ios, "16.0", P::PunycodeAlways, I::Full),
+        b("Safari", Ios, "11.0", P::PunycodeAlways, I::Full),
+        b("QQ", Ios, "7.9", P::TitleInAddressBar, I::UnicodeOnly),
+        b("Baidu", Ios, "4.10", P::TitleInAddressBar, I::UnicodeOnly),
+        b("Qihoo 360", Ios, "4.0", P::TitleInAddressBar, I::Full),
+        b("Sogou", Ios, "5.10", P::TitleInAddressBar, I::Full),
+        b("Liebao", Ios, "4.18", P::TitleInAddressBar, I::UnicodeOnly),
+        // Android
+        b("Chrome", Android, "61.0", P::ChromeMixedScript, I::Full),
+        b("Firefox", Android, "57.0", P::FirefoxSingleScript, I::NeedPrefix),
+        b("Opera", Android, "43.0", P::ChromeMixedScript, I::Full),
+        b("QQ", Android, "8.0", P::BlankOnConfusable, I::UnicodeOnly),
+        b("Baidu", Android, "6.4", P::TitleInAddressBar, I::NotSupported),
+        b("Qihoo 360", Android, "8.2", P::PunycodeAlways, I::PunycodeOnly),
+        b("Sogou", Android, "5.9", P::TitleInAddressBar, I::UnicodeOnly),
+        b("Liebao", Android, "5.22", P::TitleInAddressBar, I::Full),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_covers_ten_browsers_three_platforms() {
+        let browsers = surveyed_browsers();
+        let names: std::collections::HashSet<_> = browsers.iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), 10);
+        // 10 PC + 9 iOS + 8 Android = 27 surviving cells of the 30-cell grid.
+        assert_eq!(browsers.len(), 27);
+        assert_eq!(
+            browsers.iter().filter(|b| b.platform == Platform::Pc).count(),
+            10
+        );
+    }
+
+    #[test]
+    fn itld_resolution_semantics() {
+        assert!(ItldSupport::Full.resolves(true, false));
+        assert!(ItldSupport::Full.resolves(false, false));
+        assert!(!ItldSupport::NeedPrefix.resolves(true, false));
+        assert!(ItldSupport::NeedPrefix.resolves(true, true));
+        assert!(ItldSupport::UnicodeOnly.resolves(true, false));
+        assert!(!ItldSupport::UnicodeOnly.resolves(false, false));
+        assert!(ItldSupport::PunycodeOnly.resolves(false, false));
+        assert!(!ItldSupport::NotSupported.resolves(true, true));
+    }
+
+    #[test]
+    fn paper_specific_cells() {
+        let browsers = surveyed_browsers();
+        let find = |name: &str, platform: Platform| {
+            browsers
+                .iter()
+                .find(|b| b.name == name && b.platform == platform)
+                .unwrap()
+        };
+        // "Firefox treats an iTLD IDN as valid only with a protocol prefix."
+        assert_eq!(find("Firefox", Platform::Pc).itld, ItldSupport::NeedPrefix);
+        // "Baidu browser on Android does not support iTLD at all."
+        assert_eq!(
+            find("Baidu", Platform::Android).itld,
+            ItldSupport::NotSupported
+        );
+        // "one Android browser only supports Punycode iTLDs" (Qihoo 360).
+        assert_eq!(
+            find("Qihoo 360", Platform::Android).itld,
+            ItldSupport::PunycodeOnly
+        );
+    }
+}

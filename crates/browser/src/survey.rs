@@ -1,0 +1,188 @@
+//! The survey harness: derives Table XI by running the homograph attack
+//! corpus through every browser profile.
+
+use crate::policy::Rendering;
+use crate::profiles::{surveyed_browsers, BrowserProfile, ItldSupport, Platform};
+
+/// Outcome categories of Table XI's "Homograph Attack" column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HomographOutcome {
+    /// All spoofs (mixed- and whole-script) display as Punycode.
+    Protected,
+    /// Whole-script spoofs display in Unicode ("Bypassed" in the paper).
+    Bypassed,
+    /// Even mixed-script spoofs display in Unicode ("Vulnerable").
+    Vulnerable,
+    /// The address bar shows the page title ("Title").
+    Title,
+    /// Spoofs navigate to `about:blank`.
+    AboutBlank,
+}
+
+impl std::fmt::Display for HomographOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HomographOutcome::Protected => "",
+            HomographOutcome::Bypassed => "Bypassed",
+            HomographOutcome::Vulnerable => "Vulnerable",
+            HomographOutcome::Title => "Title",
+            HomographOutcome::AboutBlank => "about:blank",
+        })
+    }
+}
+
+/// One derived row of Table XI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurveyRow {
+    /// Browser name.
+    pub browser: &'static str,
+    /// Platform.
+    pub platform: Platform,
+    /// Version surveyed.
+    pub version: &'static str,
+    /// iTLD support level.
+    pub itld: ItldSupport,
+    /// Derived homograph outcome.
+    pub outcome: HomographOutcome,
+}
+
+/// Cross-script homograph corpus: Latin brand names with confusable
+/// substitutions *from another script*. Every script-aware policy catches
+/// these; a browser showing any of them in Unicode is "Vulnerable".
+pub const MIXED_SCRIPT_SPOOFS: &[&str] = &[
+    "fаcebook.com",  // Cyrillic а
+    "gооgle.com",    // Cyrillic оо
+    "amаzon.com",    // Cyrillic а
+    "twіtter.com",   // Cyrillic і
+];
+
+/// Single-script spoofs that *stay* within one character set — diacritic
+/// Latin (the Table VIII Vietnamese/Yoruba attacks). Single-script policies
+/// pass these; only skeleton-checking policies stop them.
+pub const SINGLE_SCRIPT_LATIN_SPOOFS: &[&str] = &[
+    "faċebook.com", // dot-above c
+    "fácebook.com", // acute a
+    "fạcẹbook.com", // dots below (Vietnamese)
+];
+
+/// Whole-script spoofs (every letter from one foreign script) — the class
+/// that bypasses single-script policies.
+pub const WHOLE_SCRIPT_SPOOFS: &[&str] = &[
+    "аррӏе.com", // all Cyrillic (the 2017 apple.com attack)
+    "ѕоѕо.com",  // all Cyrillic (the paper's Firefox bypass, Alexa #96)
+];
+
+/// Derives the outcome category for one profile by running both corpora.
+pub fn derive_outcome(profile: &BrowserProfile) -> HomographOutcome {
+    let policy = profile.policy.policy();
+    let shows_unicode = |domain: &str| matches!(policy.display(domain), Rendering::Unicode(_));
+    let shows_title = |domain: &str| matches!(policy.display(domain), Rendering::Title);
+    let shows_blank = |domain: &str| matches!(policy.display(domain), Rendering::Blank);
+
+    if MIXED_SCRIPT_SPOOFS.iter().all(|d| shows_title(d)) {
+        return HomographOutcome::Title;
+    }
+    if WHOLE_SCRIPT_SPOOFS.iter().any(|d| shows_blank(d)) {
+        return HomographOutcome::AboutBlank;
+    }
+    if MIXED_SCRIPT_SPOOFS.iter().any(|d| shows_unicode(d)) {
+        return HomographOutcome::Vulnerable;
+    }
+    if WHOLE_SCRIPT_SPOOFS
+        .iter()
+        .chain(SINGLE_SCRIPT_LATIN_SPOOFS)
+        .any(|d| shows_unicode(d))
+    {
+        return HomographOutcome::Bypassed;
+    }
+    HomographOutcome::Protected
+}
+
+/// Runs the full survey, producing Table XI's rows.
+pub fn run_survey() -> Vec<SurveyRow> {
+    surveyed_browsers()
+        .iter()
+        .map(|profile| SurveyRow {
+            browser: profile.name,
+            platform: profile.platform,
+            version: profile.version,
+            itld: profile.itld,
+            outcome: derive_outcome(profile),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome_of(browser: &str, platform: Platform) -> HomographOutcome {
+        run_survey()
+            .into_iter()
+            .find(|row| row.browser == browser && row.platform == platform)
+            .unwrap()
+            .outcome
+    }
+
+    #[test]
+    fn table_xi_pc_row_outcomes() {
+        use HomographOutcome::*;
+        use Platform::Pc;
+        assert_eq!(outcome_of("Chrome", Pc), Protected);
+        assert_eq!(outcome_of("Firefox", Pc), Bypassed);
+        assert_eq!(outcome_of("Opera", Pc), Bypassed);
+        assert_eq!(outcome_of("Safari", Pc), Protected);
+        assert_eq!(outcome_of("IE", Pc), Protected);
+        assert_eq!(outcome_of("Baidu", Pc), Bypassed);
+        assert_eq!(outcome_of("Sogou", Pc), Vulnerable);
+        assert_eq!(outcome_of("Liebao", Pc), Bypassed);
+    }
+
+    #[test]
+    fn table_xi_mobile_quirks() {
+        use HomographOutcome::*;
+        assert_eq!(outcome_of("QQ", Platform::Ios), Title);
+        assert_eq!(outcome_of("QQ", Platform::Android), AboutBlank);
+        assert_eq!(outcome_of("Baidu", Platform::Android), Title);
+        assert_eq!(outcome_of("Sogou", Platform::Ios), Title);
+    }
+
+    #[test]
+    fn vulnerable_browser_count_matches_paper() {
+        // "five browsers on PC and one on Android are vulnerable"
+        // (vulnerable-or-bypassed displaying Unicode for some spoof).
+        let rows = run_survey();
+        let exposed = |o: HomographOutcome| {
+            matches!(o, HomographOutcome::Vulnerable | HomographOutcome::Bypassed)
+        };
+        let pc = rows
+            .iter()
+            .filter(|r| r.platform == Platform::Pc && exposed(r.outcome))
+            .count();
+        let android = rows
+            .iter()
+            .filter(|r| r.platform == Platform::Android && exposed(r.outcome))
+            .count();
+        let ios = rows
+            .iter()
+            .filter(|r| r.platform == Platform::Ios && exposed(r.outcome))
+            .count();
+        assert_eq!(pc, 5);
+        assert_eq!(android, 1);
+        assert_eq!(ios, 0);
+    }
+
+    #[test]
+    fn title_displaying_browser_counts_match_paper() {
+        // "five browsers on iOS and three on Android choose to display
+        // webpage titles".
+        let rows = run_survey();
+        let titles = |platform: Platform| {
+            rows.iter()
+                .filter(|r| r.platform == platform && r.outcome == HomographOutcome::Title)
+                .count()
+        };
+        assert_eq!(titles(Platform::Ios), 5);
+        assert_eq!(titles(Platform::Android), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the display-policy engine.
+
+use idnre_browser::{PolicyKind, Rendering};
+use proptest::prelude::*;
+
+fn domainish() -> impl Strategy<Value = String> {
+    let ch = prop_oneof![
+        proptest::char::range('a', 'z'),
+        proptest::char::range('\u{0430}', '\u{044F}'),
+        proptest::char::range('\u{4E00}', '\u{4E40}'),
+        proptest::char::range('\u{00E0}', '\u{00FF}'),
+    ];
+    proptest::collection::vec(ch, 1..12)
+        .prop_map(|v| format!("{}.com", v.into_iter().collect::<String>()))
+}
+
+const ALL_POLICIES: [PolicyKind; 6] = [
+    PolicyKind::ChromeMixedScript,
+    PolicyKind::FirefoxSingleScript,
+    PolicyKind::PunycodeAlways,
+    PolicyKind::UnicodeAlways,
+    PolicyKind::TitleInAddressBar,
+    PolicyKind::BlankOnConfusable,
+];
+
+proptest! {
+    /// Every policy is total: it renders something for any input.
+    #[test]
+    fn policies_are_total(domain in "\\PC{0,32}") {
+        for kind in ALL_POLICIES {
+            let _ = kind.policy().display(&domain);
+        }
+    }
+
+    /// PunycodeAlways output is always ASCII; UnicodeAlways echoes input.
+    #[test]
+    fn extreme_policies(domain in domainish()) {
+        match PolicyKind::PunycodeAlways.policy().display(&domain) {
+            Rendering::Punycode(s) => prop_assert!(s.is_ascii()),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+        match PolicyKind::UnicodeAlways.policy().display(&domain) {
+            Rendering::Unicode(s) => prop_assert_eq!(s, domain),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// On alphabetic (Latin/Cyrillic) domains Chrome is strictly more
+    /// restrictive than Firefox: whatever Chrome shows in Unicode, Firefox
+    /// shows in Unicode too. (The containment deliberately breaks on CJK,
+    /// where Chrome whitelists legitimate Han+kana+Latin mixes that the
+    /// single-script rule punycodes — Japanese orthography needs them.)
+    #[test]
+    fn chrome_is_stricter_than_firefox_on_alphabets(
+        chars in proptest::collection::vec(
+            prop_oneof![
+                proptest::char::range('a', 'z'),
+                proptest::char::range('\u{0430}', '\u{044F}'),
+                proptest::char::range('\u{00E0}', '\u{00FF}'),
+            ],
+            1..12,
+        )
+    ) {
+        let domain = format!("{}.com", chars.into_iter().collect::<String>());
+        let chrome = PolicyKind::ChromeMixedScript.policy().display(&domain);
+        let firefox = PolicyKind::FirefoxSingleScript.policy().display(&domain);
+        if matches!(chrome, Rendering::Unicode(_)) {
+            prop_assert!(
+                matches!(firefox, Rendering::Unicode(_)),
+                "chrome allowed {} but firefox blocked it", domain
+            );
+        }
+    }
+
+    /// The CJK exception itself: Chrome renders a Latin+Han mix in Unicode
+    /// while Firefox punycodes it.
+    #[test]
+    fn cjk_mix_is_the_firefox_chrome_divergence(
+        latin in "[a-z]{1,5}",
+        han in proptest::collection::vec(proptest::char::range('\u{4E00}', '\u{4E40}'), 1..4),
+    ) {
+        let domain = format!("{}{}.com", latin, han.into_iter().collect::<String>());
+        let chrome = PolicyKind::ChromeMixedScript.policy().display(&domain);
+        let firefox = PolicyKind::FirefoxSingleScript.policy().display(&domain);
+        prop_assert!(matches!(chrome, Rendering::Unicode(_)), "{}", domain);
+        prop_assert!(matches!(firefox, Rendering::Punycode(_)), "{}", domain);
+    }
+
+    /// Pure-ASCII domains always display verbatim under script policies.
+    #[test]
+    fn ascii_is_untouched(sld in "[a-z]{1,12}") {
+        let domain = format!("{sld}.com");
+        for kind in [PolicyKind::ChromeMixedScript, PolicyKind::FirefoxSingleScript] {
+            match kind.policy().display(&domain) {
+                Rendering::Unicode(s) => prop_assert_eq!(&s, &domain),
+                other => prop_assert!(false, "{domain} → {other:?}"),
+            }
+        }
+    }
+}

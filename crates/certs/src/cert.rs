@@ -1,0 +1,131 @@
+//! The certificate model: the facets of an X.509 leaf that the paper's
+//! analyses consume.
+
+/// A simplified X.509 leaf certificate.
+///
+/// Timestamps are day numbers (days since the Unix epoch), matching the
+/// granularity the measurement needs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Certificate {
+    /// Subject common name (CN), e.g. `example.com` or `*.cafe24.com`.
+    pub subject_cn: String,
+    /// Subject alternative names (DNS entries).
+    pub san: Vec<String>,
+    /// Issuer common name, e.g. `Let's Encrypt R3`.
+    pub issuer_cn: String,
+    /// First valid day (inclusive).
+    pub not_before: i64,
+    /// Last valid day (inclusive).
+    pub not_after: i64,
+}
+
+impl Certificate {
+    /// A CA-issued certificate for `subject_cn` (plus SANs).
+    pub fn ca_issued(
+        subject_cn: &str,
+        san: Vec<String>,
+        issuer_cn: &str,
+        not_before: i64,
+        not_after: i64,
+    ) -> Self {
+        Certificate {
+            subject_cn: subject_cn.to_ascii_lowercase(),
+            san: san.into_iter().map(|s| s.to_ascii_lowercase()).collect(),
+            issuer_cn: issuer_cn.to_string(),
+            not_before,
+            not_after,
+        }
+    }
+
+    /// A self-signed certificate (issuer equals subject).
+    pub fn self_signed(subject_cn: &str, not_before: i64, not_after: i64) -> Self {
+        Certificate {
+            subject_cn: subject_cn.to_ascii_lowercase(),
+            san: Vec::new(),
+            issuer_cn: subject_cn.to_ascii_lowercase(),
+            not_before,
+            not_after,
+        }
+    }
+
+    /// Whether the certificate is self-signed.
+    pub fn is_self_signed(&self) -> bool {
+        self.issuer_cn.eq_ignore_ascii_case(&self.subject_cn)
+    }
+
+    /// Whether the validity window covers day `day`.
+    pub fn valid_on(&self, day: i64) -> bool {
+        (self.not_before..=self.not_after).contains(&day)
+    }
+
+    /// Whether `domain` matches the CN or any SAN, with RFC 6125
+    /// leftmost-label wildcard semantics.
+    pub fn covers(&self, domain: &str) -> bool {
+        let domain = domain.to_ascii_lowercase();
+        std::iter::once(self.subject_cn.as_str())
+            .chain(self.san.iter().map(String::as_str))
+            .any(|name| name_matches(name, &domain))
+    }
+}
+
+/// RFC 6125 name matching: exact, or a `*.` wildcard covering exactly one
+/// leftmost label.
+fn name_matches(pattern: &str, domain: &str) -> bool {
+    if pattern == domain {
+        return true;
+    }
+    if let Some(suffix) = pattern.strip_prefix("*.") {
+        if let Some(rest) = domain.split_once('.').map(|(_, rest)| rest) {
+            return rest == suffix;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_signed_detection() {
+        let cert = Certificate::self_signed("Example.COM", 0, 100);
+        assert!(cert.is_self_signed());
+        assert_eq!(cert.subject_cn, "example.com");
+        let ca = Certificate::ca_issued("example.com", vec![], "Some CA", 0, 100);
+        assert!(!ca.is_self_signed());
+    }
+
+    #[test]
+    fn validity_window_inclusive() {
+        let cert = Certificate::ca_issued("a.com", vec![], "CA", 10, 20);
+        assert!(!cert.valid_on(9));
+        assert!(cert.valid_on(10));
+        assert!(cert.valid_on(20));
+        assert!(!cert.valid_on(21));
+    }
+
+    #[test]
+    fn exact_and_san_matching() {
+        let cert = Certificate::ca_issued(
+            "example.com",
+            vec!["www.example.com".into(), "api.example.com".into()],
+            "CA",
+            0,
+            100,
+        );
+        assert!(cert.covers("example.com"));
+        assert!(cert.covers("WWW.EXAMPLE.COM"));
+        assert!(cert.covers("api.example.com"));
+        assert!(!cert.covers("mail.example.com"));
+        assert!(!cert.covers("other.com"));
+    }
+
+    #[test]
+    fn wildcard_matches_one_label_only() {
+        let cert = Certificate::ca_issued("*.cafe24.com", vec![], "CA", 0, 100);
+        assert!(cert.covers("shop.cafe24.com"));
+        assert!(!cert.covers("cafe24.com")); // wildcard needs a label
+        assert!(!cert.covers("a.b.cafe24.com")); // only one label
+        assert!(!cert.covers("evilcafe24.com"));
+    }
+}

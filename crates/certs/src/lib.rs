@@ -1,0 +1,35 @@
+//! X.509-lite certificate model, validation and shared-certificate analysis.
+//!
+//! The paper fetched certificate chains from IDN hosts with OpenSSL and
+//! classified each into the security-problem buckets of Table VI (expired /
+//! invalid authority / invalid common name) plus the certificate-sharing
+//! analysis of Table VII. This crate models exactly the certificate facets
+//! those analyses consume — subject, SANs, issuer, validity window, chain
+//! self-consistency — and reimplements the validation logic.
+//!
+//! # Examples
+//!
+//! ```
+//! use idnre_certs::{Certificate, Validator, CertProblem};
+//!
+//! let validator = Validator::with_default_roots(17_400); // "today" as day number
+//! let good = Certificate::ca_issued("example.com", vec![], "Let's Encrypt R3", 17_000, 17_800);
+//! assert!(validator.problems(&good, "example.com").is_empty());
+//!
+//! let parked = Certificate::ca_issued("sedoparking.com", vec![], "DigiCert CA", 17_000, 17_800);
+//! assert_eq!(
+//!     validator.classify(&parked, "xn--0wwy37b.com"),
+//!     Some(CertProblem::InvalidCommonName)
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cert;
+mod sharing;
+mod validate;
+
+pub use cert::Certificate;
+pub use sharing::SharingAnalysis;
+pub use validate::{CertProblem, Validator};

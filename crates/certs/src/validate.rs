@@ -1,0 +1,179 @@
+//! Certificate validation — the Table VI problem buckets.
+
+use crate::cert::Certificate;
+
+/// The security-problem buckets of Table VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CertProblem {
+    /// The validity window does not cover the evaluation day.
+    Expired,
+    /// The issuer chains to no trusted root (incl. self-signed leaves).
+    InvalidAuthority,
+    /// Neither CN nor any SAN matches the domain the certificate was
+    /// served for (the "shared certificate" signature).
+    InvalidCommonName,
+}
+
+impl std::fmt::Display for CertProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CertProblem::Expired => "Expired Certificate",
+            CertProblem::InvalidAuthority => "Invalid Authority",
+            CertProblem::InvalidCommonName => "Invalid Common Name",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A certificate validator with a trust store and an evaluation date.
+#[derive(Debug, Clone)]
+pub struct Validator {
+    trusted_issuers: Vec<String>,
+    /// The day (days since epoch) on which validity is evaluated.
+    pub today: i64,
+}
+
+impl Validator {
+    /// Creates a validator trusting `issuers`, evaluating on day `today`.
+    pub fn new<I, S>(issuers: I, today: i64) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Validator {
+            trusted_issuers: issuers.into_iter().map(|s| s.into().to_lowercase()).collect(),
+            today,
+        }
+    }
+
+    /// A validator loaded with the root CAs the scan encounters.
+    pub fn with_default_roots(today: i64) -> Self {
+        Validator::new(
+            [
+                "Let's Encrypt R3",
+                "DigiCert CA",
+                "Sectigo RSA DV",
+                "GlobalSign DV",
+                "GeoTrust DV SSL CA",
+                "Amazon RSA 2048",
+                "cPanel Inc CA",
+                "TrustAsia DV",
+            ],
+            today,
+        )
+    }
+
+    /// Whether `issuer` chains to the trust store.
+    pub fn is_trusted_issuer(&self, issuer: &str) -> bool {
+        let issuer = issuer.to_lowercase();
+        self.trusted_issuers.iter().any(|t| t == &issuer)
+    }
+
+    /// All problems the certificate exhibits when served for `domain`
+    /// (possibly several at once).
+    pub fn problems(&self, cert: &Certificate, domain: &str) -> Vec<CertProblem> {
+        let mut out = Vec::new();
+        if !cert.valid_on(self.today) {
+            out.push(CertProblem::Expired);
+        }
+        if cert.is_self_signed() || !self.is_trusted_issuer(&cert.issuer_cn) {
+            out.push(CertProblem::InvalidAuthority);
+        }
+        if !cert.covers(domain) {
+            out.push(CertProblem::InvalidCommonName);
+        }
+        out
+    }
+
+    /// Classifies into Table VI's single bucket per certificate, using the
+    /// paper's precedence (expiry, then authority, then common name), or
+    /// `None` for a correctly installed certificate.
+    pub fn classify(&self, cert: &Certificate, domain: &str) -> Option<CertProblem> {
+        self.problems(cert, domain).into_iter().min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn validator() -> Validator {
+        Validator::with_default_roots(17_400)
+    }
+
+    #[test]
+    fn clean_certificate_has_no_problems() {
+        let cert = Certificate::ca_issued("shop.com", vec![], "Let's Encrypt R3", 17_000, 17_800);
+        assert!(validator().problems(&cert, "shop.com").is_empty());
+        assert_eq!(validator().classify(&cert, "shop.com"), None);
+    }
+
+    #[test]
+    fn expired_certificate() {
+        let cert = Certificate::ca_issued("shop.com", vec![], "Let's Encrypt R3", 16_000, 16_365);
+        assert_eq!(
+            validator().classify(&cert, "shop.com"),
+            Some(CertProblem::Expired)
+        );
+    }
+
+    #[test]
+    fn not_yet_valid_counts_as_expired_bucket() {
+        let cert = Certificate::ca_issued("shop.com", vec![], "DigiCert CA", 18_000, 18_700);
+        assert_eq!(
+            validator().classify(&cert, "shop.com"),
+            Some(CertProblem::Expired)
+        );
+    }
+
+    #[test]
+    fn self_signed_is_invalid_authority() {
+        let cert = Certificate::self_signed("shop.com", 17_000, 17_800);
+        assert_eq!(
+            validator().classify(&cert, "shop.com"),
+            Some(CertProblem::InvalidAuthority)
+        );
+    }
+
+    #[test]
+    fn unknown_ca_is_invalid_authority() {
+        let cert = Certificate::ca_issued("shop.com", vec![], "Shady CA Ltd", 17_000, 17_800);
+        assert_eq!(
+            validator().classify(&cert, "shop.com"),
+            Some(CertProblem::InvalidAuthority)
+        );
+    }
+
+    #[test]
+    fn shared_certificate_is_invalid_cn() {
+        // A parked IDN served sedoparking.com's certificate.
+        let cert =
+            Certificate::ca_issued("sedoparking.com", vec![], "DigiCert CA", 17_000, 17_800);
+        assert_eq!(
+            validator().classify(&cert, "xn--0wwy37b.com"),
+            Some(CertProblem::InvalidCommonName)
+        );
+    }
+
+    #[test]
+    fn precedence_expired_over_cn() {
+        // Both expired and mismatched: Table VI buckets it as expired.
+        let cert = Certificate::ca_issued("other.com", vec![], "DigiCert CA", 16_000, 16_100);
+        let problems = validator().problems(&cert, "shop.com");
+        assert_eq!(problems.len(), 2);
+        assert_eq!(
+            validator().classify(&cert, "shop.com"),
+            Some(CertProblem::Expired)
+        );
+    }
+
+    #[test]
+    fn wildcard_hosting_cert_covers_subdomain_not_apex_mismatch() {
+        let cert = Certificate::ca_issued("*.cafe24.com", vec![], "Sectigo RSA DV", 17_000, 17_800);
+        assert_eq!(validator().classify(&cert, "shop.cafe24.com"), None);
+        assert_eq!(
+            validator().classify(&cert, "xn--shop-xyz.com"),
+            Some(CertProblem::InvalidCommonName)
+        );
+    }
+}

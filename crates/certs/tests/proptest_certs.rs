@@ -1,0 +1,74 @@
+//! Property-based tests for certificate name matching and validation.
+
+use idnre_certs::{CertProblem, Certificate, Validator};
+use proptest::prelude::*;
+
+fn label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,10}"
+}
+
+proptest! {
+    /// A certificate for exactly `domain` always covers it, regardless of
+    /// case, and never covers an unrelated name.
+    #[test]
+    fn exact_coverage(sld in label(), other in label()) {
+        let domain = format!("{sld}.com");
+        let cert = Certificate::ca_issued(&domain, vec![], "CA", 0, 100);
+        prop_assert!(cert.covers(&domain));
+        prop_assert!(cert.covers(&domain.to_uppercase()));
+        if other != sld {
+            let unrelated = format!("{other}.com");
+            prop_assert!(!cert.covers(&unrelated));
+        }
+    }
+
+    /// Wildcards cover exactly one additional label — never zero, never two.
+    #[test]
+    fn wildcard_single_label(base in label(), sub in label(), subsub in label()) {
+        let cert = Certificate::ca_issued(&format!("*.{base}.com"), vec![], "CA", 0, 100);
+        let one_label = format!("{sub}.{base}.com");
+        let apex = format!("{base}.com");
+        let two_labels = format!("{subsub}.{sub}.{base}.com");
+        prop_assert!(cert.covers(&one_label));
+        prop_assert!(!cert.covers(&apex));
+        prop_assert!(!cert.covers(&two_labels));
+    }
+
+    /// Validity windows are inclusive and classification is consistent with
+    /// the window.
+    #[test]
+    fn validity_window(start in 0i64..20_000, len in 0i64..4_000, today in 0i64..24_000) {
+        let cert = Certificate::ca_issued("a.com", vec![], "Let's Encrypt R3", start, start + len);
+        let validator = Validator::with_default_roots(today);
+        let in_window = (start..=start + len).contains(&today);
+        prop_assert_eq!(cert.valid_on(today), in_window);
+        let classified_expired =
+            validator.classify(&cert, "a.com") == Some(CertProblem::Expired);
+        prop_assert_eq!(classified_expired, !in_window);
+    }
+
+    /// `problems` is a superset signal of `classify`: classify returns the
+    /// minimum problem, and returns None exactly when problems is empty.
+    #[test]
+    fn classify_is_min_of_problems(
+        subject in label(),
+        served in label(),
+        self_signed: bool,
+        expired: bool,
+    ) {
+        let today = 10_000i64;
+        let (start, end) = if expired { (1_000, 2_000) } else { (9_000, 11_000) };
+        let subject_domain = format!("{subject}.com");
+        let cert = if self_signed {
+            Certificate::self_signed(&subject_domain, start, end)
+        } else {
+            Certificate::ca_issued(&subject_domain, vec![], "Let's Encrypt R3", start, end)
+        };
+        let validator = Validator::with_default_roots(today);
+        let served_domain = format!("{served}.com");
+        let problems = validator.problems(&cert, &served_domain);
+        let classified = validator.classify(&cert, &served_domain);
+        prop_assert_eq!(classified, problems.iter().min().copied());
+        prop_assert_eq!(classified.is_none(), problems.is_empty());
+    }
+}

@@ -1,0 +1,271 @@
+//! The SSIM-based homograph detector (Section VI-B).
+
+use idnre_render::{render_text, ssim, GrayImage};
+use idnre_unicode::skeleton;
+use std::collections::HashMap;
+
+/// One pre-rendered brand target.
+#[derive(Debug, Clone)]
+struct BrandEntry {
+    /// Full brand domain, e.g. `google.com`.
+    domain: String,
+    /// Pre-rendered image of the full domain (`google.com`), matching the
+    /// paper's Table XII presentation.
+    image: GrayImage,
+}
+
+/// A detected homographic IDN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomographFinding {
+    /// The scanned domain (as given, ACE or Unicode).
+    pub domain: String,
+    /// Its Unicode display form.
+    pub unicode: String,
+    /// The impersonated brand domain.
+    pub brand: String,
+    /// The maximum SSIM index (the paper assumes one brand per IDN and
+    /// keeps only the maximum).
+    pub ssim: f64,
+}
+
+/// SSIM-based visual lookalike detector.
+///
+/// Brand images are rendered once at construction; each probe renders the
+/// candidate and compares. Scanning uses a *skeleton pre-filter*: a
+/// candidate is only rendered against brands whose SLD equals the
+/// candidate's confusable-skeleton. This is the engineering optimization
+/// that replaces the paper's 102-hour full cross-product — every
+/// homoglyph-substitution lookalike has, by construction, a skeleton equal
+/// to its target, so the pre-filter is lossless for the attack class the
+/// threshold can catch (see the `exhaustive` ablation bench for the
+/// empirical check).
+#[derive(Debug, Clone)]
+pub struct HomographDetector {
+    brands: Vec<BrandEntry>,
+    by_skeleton: HashMap<String, Vec<usize>>,
+    threshold: f64,
+}
+
+impl HomographDetector {
+    /// Builds a detector for `brands` (domains like `google.com`) with an
+    /// SSIM `threshold` (the paper uses 0.95).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside `[-1, 1]`.
+    pub fn new<I, S>(brands: I, threshold: f64) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        assert!((-1.0..=1.0).contains(&threshold), "threshold out of range");
+        let mut entries = Vec::new();
+        let mut by_skeleton: HashMap<String, Vec<usize>> = HashMap::new();
+        for brand in brands {
+            let domain = brand.as_ref().to_ascii_lowercase();
+            let image = render_text(&domain);
+            by_skeleton
+                .entry(domain.clone())
+                .or_default()
+                .push(entries.len());
+            entries.push(BrandEntry { domain, image });
+        }
+        HomographDetector {
+            brands: entries,
+            by_skeleton,
+            threshold,
+        }
+    }
+
+    /// The detection threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of brand targets.
+    pub fn brand_count(&self) -> usize {
+        self.brands.len()
+    }
+
+    /// Tests one domain (ACE or Unicode form). Returns the best match at or
+    /// above the threshold.
+    pub fn detect(&self, domain: &str) -> Option<HomographFinding> {
+        let unicode = idnre_idna::to_unicode(domain).ok()?;
+        let sld = unicode.split('.').next()?;
+        if sld.is_ascii() {
+            return None; // not an IDN label — nothing to spoof with
+        }
+        let folded = skeleton(&unicode);
+        let candidates = self.by_skeleton.get(&folded)?;
+        let image = render_text(&unicode);
+        let mut best: Option<HomographFinding> = None;
+        for &idx in candidates {
+            let brand = &self.brands[idx];
+            if brand.domain == unicode {
+                continue; // the brand itself
+            }
+            if brand.image.width() != image.width() {
+                continue;
+            }
+            let score = ssim(&brand.image, &image).expect("equal dimensions");
+            if score >= self.threshold && best.as_ref().map(|b| score > b.ssim).unwrap_or(true) {
+                best = Some(HomographFinding {
+                    domain: domain.to_string(),
+                    unicode: unicode.clone(),
+                    brand: brand.domain.clone(),
+                    ssim: score,
+                });
+            }
+        }
+        best
+    }
+
+    /// Exhaustive variant: compares against *every* brand of the same
+    /// rendered width, skipping the skeleton pre-filter (the paper's exact
+    /// procedure; used by the ablation bench).
+    pub fn detect_exhaustive(&self, domain: &str) -> Option<HomographFinding> {
+        let unicode = idnre_idna::to_unicode(domain).ok()?;
+        let sld = unicode.split('.').next()?;
+        if sld.is_ascii() {
+            return None;
+        }
+        let image = render_text(&unicode);
+        let mut best: Option<HomographFinding> = None;
+        for brand in &self.brands {
+            if brand.domain == unicode || brand.image.width() != image.width() {
+                continue;
+            }
+            let score = ssim(&brand.image, &image).expect("equal dimensions");
+            if score >= self.threshold && best.as_ref().map(|b| score > b.ssim).unwrap_or(true) {
+                best = Some(HomographFinding {
+                    domain: domain.to_string(),
+                    unicode: unicode.clone(),
+                    brand: brand.domain.clone(),
+                    ssim: score,
+                });
+            }
+        }
+        best
+    }
+
+    /// Scans a corpus in parallel across `threads` worker threads,
+    /// returning all findings (corpus order not preserved; sorted by domain
+    /// for determinism).
+    pub fn scan<'a, I>(&self, domains: I, threads: usize) -> Vec<HomographFinding>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let domains: Vec<&str> = domains.into_iter().collect();
+        let threads = threads.clamp(1, 64);
+        let results = parking_lot::Mutex::new(Vec::new());
+        let chunk_size = domains.len().div_ceil(threads).max(1);
+        crossbeam::thread::scope(|scope| {
+            for chunk in domains.chunks(chunk_size) {
+                scope.spawn(|_| {
+                    let mut local: Vec<HomographFinding> =
+                        chunk.iter().filter_map(|d| self.detect(d)).collect();
+                    results.lock().append(&mut local);
+                });
+            }
+        })
+        .expect("worker panicked");
+        let mut findings = results.into_inner();
+        findings.sort_by(|a, b| a.domain.cmp(&b.domain));
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> HomographDetector {
+        HomographDetector::new(
+            ["google.com", "apple.com", "facebook.com", "instagram.com"],
+            0.95,
+        )
+    }
+
+    #[test]
+    fn detects_paper_table_xii_ladder() {
+        let d = detector();
+        // ≥ 0.95 → detected.
+        for spoof in ["gооgle.com", "googlę.com", "goögle.com", "gõõgle.com"] {
+            let hit = d.detect(spoof).unwrap_or_else(|| panic!("{spoof} missed"));
+            assert_eq!(hit.brand, "google.com");
+            assert!(hit.ssim >= 0.95);
+        }
+        // Below 0.95 → not homographic by the paper's bar.
+        for weak in ["böögle.com", "gåøgle.com"] {
+            assert!(d.detect(weak).is_none(), "{weak} should be below 0.95");
+        }
+    }
+
+    #[test]
+    fn detects_ace_input() {
+        let d = detector();
+        // The 2017 apple.com attack, in its zone-file (ACE) form.
+        let hit = d.detect("xn--80ak6aa92e.com").unwrap();
+        assert_eq!(hit.brand, "apple.com");
+        assert_eq!(hit.ssim, 1.0);
+        assert_eq!(hit.unicode, "аррӏе.com");
+    }
+
+    #[test]
+    fn identical_spoof_scores_one() {
+        let d = detector();
+        let hit = d.detect("instаgram.com").unwrap(); // Cyrillic а
+        assert_eq!(hit.ssim, 1.0);
+    }
+
+    #[test]
+    fn ignores_ascii_and_unrelated() {
+        let d = detector();
+        assert!(d.detect("example.com").is_none());
+        assert!(d.detect("彩票.com").is_none());
+        assert!(d.detect("googles.com").is_none()); // ASCII, not an IDN
+    }
+
+    #[test]
+    fn brand_itself_is_not_a_finding() {
+        let d = detector();
+        assert!(d.detect("google.com").is_none());
+    }
+
+    #[test]
+    fn exhaustive_agrees_with_prefilter_on_attacks() {
+        let d = detector();
+        for spoof in ["gооgle.com", "fаcebook.com", "googlę.com"] {
+            let fast = d.detect(spoof);
+            let full = d.detect_exhaustive(spoof);
+            assert_eq!(
+                fast.as_ref().map(|f| (&f.brand, f.ssim >= 0.95)),
+                full.as_ref().map(|f| (&f.brand, f.ssim >= 0.95)),
+                "{spoof}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial() {
+        let d = detector();
+        let corpus = vec![
+            "gооgle.com",
+            "example.com",
+            "аррӏе.com",
+            "fаcebook.com",
+            "xn--0wwy37b.com",
+        ];
+        let parallel = d.scan(corpus.iter().copied(), 4);
+        let mut serial: Vec<_> = corpus.iter().filter_map(|s| d.detect(s)).collect();
+        serial.sort_by(|a, b| a.domain.cmp(&b.domain));
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold out of range")]
+    fn threshold_validated() {
+        let _ = HomographDetector::new(["a.com"], 2.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! The Shared-Registration-System (SRS) model: would a registrar accept
+//! this IDN registration?
+//!
+//! Section VI-D probes this live ("we sampled 10 homographic IDNs and
+//! attempted to register them through GoDaddy. All our requests were
+//! approved"); Section VIII recommends registries add resemblance checks,
+//! citing the brand-protection system deployed on three TLDs. Both policies
+//! are modelled here.
+
+use idnre_unicode::{script_of, skeleton, Script};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Why a registration request was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SrsRejection {
+    /// The label fails IDNA validation.
+    InvalidLabel(String),
+    /// The ACE form is already in the zone.
+    AlreadyRegistered,
+    /// The brand-protection resemblance check matched a protected name.
+    ResemblesProtectedBrand {
+        /// The protected brand the label resembles.
+        brand: String,
+    },
+    /// The label uses a script the zone's registration policy excludes
+    /// (e.g. Cyrillic under a Han-only iTLD).
+    DisallowedScript {
+        /// The offending script.
+        script: String,
+    },
+}
+
+impl fmt::Display for SrsRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SrsRejection::InvalidLabel(reason) => write!(f, "invalid label: {reason}"),
+            SrsRejection::AlreadyRegistered => write!(f, "domain already registered"),
+            SrsRejection::ResemblesProtectedBrand { brand } => {
+                write!(f, "label resembles protected brand {brand}")
+            }
+            SrsRejection::DisallowedScript { script } => {
+                write!(f, "script {script} not allowed in this zone")
+            }
+        }
+    }
+}
+
+impl Error for SrsRejection {}
+
+/// A registry's registration policy for one TLD.
+#[derive(Debug, Clone)]
+pub struct SrsPolicy {
+    /// The TLD this policy serves (ACE form).
+    pub tld: String,
+    /// ACE SLDs already installed in the zone.
+    registered: HashSet<String>,
+    /// Protected brand SLDs for the resemblance check (empty = the default
+    /// gTLD behaviour, which performs none — matching the GoDaddy probe).
+    protected_brands: Vec<String>,
+    /// Scripts admitted by the zone's IDN table (`None` = any registrable
+    /// script, the gTLD default).
+    allowed_scripts: Option<Vec<Script>>,
+}
+
+impl SrsPolicy {
+    /// A default gTLD policy: IDNA validity and uniqueness only.
+    pub fn gtld(tld: &str) -> Self {
+        SrsPolicy {
+            tld: tld.to_ascii_lowercase(),
+            registered: HashSet::new(),
+            protected_brands: Vec::new(),
+            allowed_scripts: None,
+        }
+    }
+
+    /// Restricts registrations to labels written purely in `scripts`
+    /// (plus script-neutral characters). This models per-zone IDN tables:
+    /// the 中国 iTLD, for instance, only admits Han labels.
+    pub fn with_script_restriction<I>(mut self, scripts: I) -> Self
+    where
+        I: IntoIterator<Item = Script>,
+    {
+        self.allowed_scripts = Some(scripts.into_iter().collect());
+        self
+    }
+
+    /// Enables the brand-protection resemblance check (the system the paper
+    /// found on three TLDs, e.g. `cn`).
+    pub fn with_brand_protection<I, S>(mut self, brands: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.protected_brands = brands
+            .into_iter()
+            .map(|b| {
+                b.as_ref()
+                    .split('.')
+                    .next()
+                    .unwrap_or("")
+                    .to_ascii_lowercase()
+            })
+            .collect();
+        self
+    }
+
+    /// Marks an SLD (ACE form) as already registered.
+    pub fn install(&mut self, ace_sld: &str) {
+        self.registered.insert(ace_sld.to_ascii_lowercase());
+    }
+
+    /// Processes a registration request for a Unicode SLD, returning the
+    /// ACE form that would be installed into the zone.
+    ///
+    /// The pipeline mirrors Verisign's documented flow: convert the request
+    /// to ACE, validate, check uniqueness — plus the optional resemblance
+    /// check.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`SrsRejection`] naming the failed check.
+    pub fn request(&mut self, unicode_sld: &str) -> Result<String, SrsRejection> {
+        let ace = idnre_idna::to_ascii(unicode_sld)
+            .map_err(|e| SrsRejection::InvalidLabel(e.to_string()))?;
+        if ace.contains('.') {
+            return Err(SrsRejection::InvalidLabel(
+                "sld must be a single label".into(),
+            ));
+        }
+        if self.registered.contains(&ace) {
+            return Err(SrsRejection::AlreadyRegistered);
+        }
+        if let Some(allowed) = &self.allowed_scripts {
+            for c in unicode_sld.chars() {
+                let script = script_of(c);
+                if script != Script::Common && !allowed.contains(&script) {
+                    return Err(SrsRejection::DisallowedScript {
+                        script: script.to_string(),
+                    });
+                }
+            }
+        }
+        if !self.protected_brands.is_empty() {
+            let folded = skeleton(unicode_sld);
+            if let Some(brand) = self
+                .protected_brands
+                .iter()
+                .find(|b| **b == folded && folded != unicode_sld)
+            {
+                return Err(SrsRejection::ResemblesProtectedBrand {
+                    brand: brand.clone(),
+                });
+            }
+        }
+        self.registered.insert(ace.clone());
+        Ok(ace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtld_accepts_homographic_registrations() {
+        // The paper's GoDaddy probe: all 10 sampled homographic IDNs were
+        // approved — a plain gTLD policy performs no resemblance check.
+        let mut srs = SrsPolicy::gtld("com");
+        for spoof in ["gооgle", "аррӏе", "fаcebook", "éay", "ѕn"] {
+            assert!(srs.request(spoof).is_ok(), "{spoof}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut srs = SrsPolicy::gtld("com");
+        let ace = srs.request("波色").unwrap();
+        assert_eq!(ace, "xn--0wwy37b");
+        assert_eq!(srs.request("波色"), Err(SrsRejection::AlreadyRegistered));
+    }
+
+    #[test]
+    fn rejects_invalid_labels() {
+        let mut srs = SrsPolicy::gtld("com");
+        assert!(matches!(
+            srs.request("-bad"),
+            Err(SrsRejection::InvalidLabel(_))
+        ));
+        assert!(matches!(
+            srs.request("a b"),
+            Err(SrsRejection::InvalidLabel(_))
+        ));
+    }
+
+    #[test]
+    fn brand_protection_blocks_lookalikes() {
+        let mut srs =
+            SrsPolicy::gtld("cn").with_brand_protection(["google.com", "apple.com"]);
+        assert_eq!(
+            srs.request("gооgle"),
+            Err(SrsRejection::ResemblesProtectedBrand {
+                brand: "google".into()
+            })
+        );
+        // The genuine brand label itself is not "resembling".
+        assert!(srs.request("google").is_ok());
+        // Unrelated labels pass.
+        assert!(srs.request("新闻").is_ok());
+    }
+
+    #[test]
+    fn script_restriction_enforced() {
+        use idnre_unicode::Script;
+        // The 中国 iTLD zone: Han labels only.
+        let mut srs = SrsPolicy::gtld("xn--fiqs8s")
+            .with_script_restriction([Script::Han, Script::Latin]);
+        assert!(srs.request("新闻").is_ok());
+        assert!(srs.request("news新闻").is_ok()); // Latin allowed here
+        assert_eq!(
+            srs.request("новости"),
+            Err(SrsRejection::DisallowedScript {
+                script: "Cyrillic".into()
+            })
+        );
+        // Digits and hyphens are script-neutral.
+        assert!(srs.request("新闻123").is_ok());
+    }
+
+    #[test]
+    fn han_only_zone_blocks_latin() {
+        use idnre_unicode::Script;
+        let mut srs = SrsPolicy::gtld("xn--fiqs8s").with_script_restriction([Script::Han]);
+        assert!(srs.request("商城").is_ok());
+        assert!(matches!(
+            srs.request("shop商城"),
+            Err(SrsRejection::DisallowedScript { .. })
+        ));
+    }
+
+    #[test]
+    fn install_preloads_zone_state() {
+        let mut srs = SrsPolicy::gtld("com");
+        srs.install("xn--0wwy37b");
+        assert_eq!(srs.request("波色"), Err(SrsRejection::AlreadyRegistered));
+    }
+}

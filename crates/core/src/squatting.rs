@@ -1,0 +1,292 @@
+//! Baseline domain-squatting candidate generators.
+//!
+//! The paper situates homograph/semantic IDN abuse within the wider
+//! domain-squatting literature: typo-squatting (Agten et al., Szurdi et
+//! al.), bitsquatting (Nikiforakis et al.) and combosquatting (Kintis et
+//! al.). These generators reimplement those baseline attack models so the
+//! availability analysis can compare candidate-pool sizes and overlap
+//! across squatting classes — the dnstwist-style enumeration, from scratch.
+
+use std::collections::BTreeSet;
+
+/// Which squatting model produced a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum SquattingClass {
+    /// Missing one character (`gogle.com`).
+    Omission,
+    /// One character doubled (`gooogle.com`).
+    Repetition,
+    /// Two adjacent characters swapped (`googel.com`).
+    Transposition,
+    /// One character replaced by a QWERTY neighbour (`foogle.com`).
+    Replacement,
+    /// One character inserted from the QWERTY neighbourhood (`gfoogle.com`).
+    Insertion,
+    /// A single bit flipped in the ASCII encoding, still a valid LDH label
+    /// (`coogle.com`, `g` 0x67 → `c` 0x63).
+    Bitsquat,
+    /// Brand compounded with an English keyword (`google-login.com`) —
+    /// the ASCII sibling of the paper's Type-1 semantic attack.
+    Combosquat,
+}
+
+impl SquattingClass {
+    /// All classes, in report order.
+    pub const ALL: [SquattingClass; 7] = [
+        SquattingClass::Omission,
+        SquattingClass::Repetition,
+        SquattingClass::Transposition,
+        SquattingClass::Replacement,
+        SquattingClass::Insertion,
+        SquattingClass::Bitsquat,
+        SquattingClass::Combosquat,
+    ];
+}
+
+impl std::fmt::Display for SquattingClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SquattingClass::Omission => "omission",
+            SquattingClass::Repetition => "repetition",
+            SquattingClass::Transposition => "transposition",
+            SquattingClass::Replacement => "replacement",
+            SquattingClass::Insertion => "insertion",
+            SquattingClass::Bitsquat => "bitsquat",
+            SquattingClass::Combosquat => "combosquat",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One squatting candidate.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SquattingCandidate {
+    /// The candidate SLD (always a valid LDH label).
+    pub sld: String,
+    /// The model that produced it.
+    pub class: SquattingClass,
+}
+
+/// QWERTY adjacency for replacement/insertion models.
+fn qwerty_neighbours(c: char) -> &'static str {
+    match c {
+        'q' => "wa", 'w' => "qes", 'e' => "wrd", 'r' => "etf", 't' => "ryg",
+        'y' => "tuh", 'u' => "yij", 'i' => "uok", 'o' => "ipl", 'p' => "o",
+        'a' => "qsz", 's' => "awdz", 'd' => "sefc", 'f' => "drgc", 'g' => "fthv",
+        'h' => "gyjb", 'j' => "hukn", 'k' => "jilm", 'l' => "ko",
+        'z' => "asx", 'x' => "zsc", 'c' => "xdv", 'v' => "cfb", 'b' => "vgn",
+        'n' => "bhm", 'm' => "nk",
+        '0' => "9", '1' => "2", '2' => "13", '3' => "24", '4' => "35",
+        '5' => "46", '6' => "57", '7' => "68", '8' => "79", '9' => "80",
+        _ => "",
+    }
+}
+
+/// Keywords for the combosquatting model (the English analogue of the
+/// Type-1 keyword list).
+const COMBO_KEYWORDS: [&str; 12] = [
+    "login", "secure", "support", "account", "verify", "online", "payment",
+    "mail", "update", "help", "shop", "store",
+];
+
+/// Generates all candidates of one class for a brand SLD.
+///
+/// Candidates equal to the brand itself or failing LDH label validation are
+/// dropped; output is sorted and deduplicated within the class.
+pub fn generate(brand_sld: &str, class: SquattingClass) -> Vec<SquattingCandidate> {
+    let sld = brand_sld.to_ascii_lowercase();
+    let chars: Vec<char> = sld.chars().collect();
+    let mut out: BTreeSet<String> = BTreeSet::new();
+    match class {
+        SquattingClass::Omission => {
+            for i in 0..chars.len() {
+                let mut v = chars.clone();
+                v.remove(i);
+                out.insert(v.into_iter().collect());
+            }
+        }
+        SquattingClass::Repetition => {
+            for i in 0..chars.len() {
+                let mut v = chars.clone();
+                v.insert(i, chars[i]);
+                out.insert(v.into_iter().collect());
+            }
+        }
+        SquattingClass::Transposition => {
+            for i in 0..chars.len().saturating_sub(1) {
+                let mut v = chars.clone();
+                v.swap(i, i + 1);
+                out.insert(v.into_iter().collect());
+            }
+        }
+        SquattingClass::Replacement => {
+            for i in 0..chars.len() {
+                for n in qwerty_neighbours(chars[i]).chars() {
+                    let mut v = chars.clone();
+                    v[i] = n;
+                    out.insert(v.into_iter().collect());
+                }
+            }
+        }
+        SquattingClass::Insertion => {
+            for i in 0..chars.len() {
+                for n in qwerty_neighbours(chars[i]).chars() {
+                    let mut v = chars.clone();
+                    v.insert(i, n);
+                    out.insert(v.into_iter().collect());
+                }
+            }
+        }
+        SquattingClass::Bitsquat => {
+            for i in 0..chars.len() {
+                let byte = chars[i] as u32;
+                if byte > 0x7F {
+                    continue;
+                }
+                for bit in 0..8u32 {
+                    let flipped = (byte ^ (1 << bit)) as u8;
+                    let c = flipped as char;
+                    if c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' {
+                        let mut v = chars.clone();
+                        v[i] = c;
+                        out.insert(v.into_iter().collect());
+                    }
+                }
+            }
+        }
+        SquattingClass::Combosquat => {
+            for keyword in COMBO_KEYWORDS {
+                out.insert(format!("{sld}-{keyword}"));
+                out.insert(format!("{sld}{keyword}"));
+                out.insert(format!("{keyword}-{sld}"));
+            }
+        }
+    }
+    out.into_iter()
+        .filter(|candidate| candidate != &sld)
+        .filter(|candidate| idnre_idna::validate_ascii_label(candidate).is_ok())
+        .map(|sld| SquattingCandidate { sld, class })
+        .collect()
+}
+
+/// Generates candidates of every class for a brand SLD.
+pub fn generate_all(brand_sld: &str) -> Vec<SquattingCandidate> {
+    SquattingClass::ALL
+        .into_iter()
+        .flat_map(|class| generate(brand_sld, class))
+        .collect()
+}
+
+/// Candidate-pool sizes per class — the baseline comparison for Figure 7's
+/// homograph pool.
+pub fn pool_sizes(brand_sld: &str) -> Vec<(SquattingClass, usize)> {
+    SquattingClass::ALL
+        .into_iter()
+        .map(|class| (class, generate(brand_sld, class).len()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slds(brand: &str, class: SquattingClass) -> Vec<String> {
+        generate(brand, class).into_iter().map(|c| c.sld).collect()
+    }
+
+    #[test]
+    fn omission_drops_each_position() {
+        let candidates = slds("google", SquattingClass::Omission);
+        assert!(candidates.contains(&"gogle".to_string()));
+        assert!(candidates.contains(&"oogle".to_string()));
+        assert!(candidates.contains(&"googl".to_string()));
+        // "google" minus either 'o' gives the same string — deduplicated.
+        assert_eq!(candidates.len(), 5);
+    }
+
+    #[test]
+    fn repetition_doubles_each_position() {
+        let candidates = slds("go", SquattingClass::Repetition);
+        assert_eq!(candidates, vec!["ggo", "goo"]);
+    }
+
+    #[test]
+    fn transposition_swaps_neighbours() {
+        let candidates = slds("google", SquattingClass::Transposition);
+        assert!(candidates.contains(&"googel".to_string()));
+        assert!(candidates.contains(&"ogogle".to_string()));
+        assert!(!candidates.contains(&"google".to_string()));
+    }
+
+    #[test]
+    fn replacement_uses_qwerty_neighbours() {
+        let candidates = slds("go", SquattingClass::Replacement);
+        // g → f,t,h,v ; o → i,p,l
+        assert!(candidates.contains(&"fo".to_string()));
+        assert!(candidates.contains(&"gp".to_string()));
+        assert_eq!(candidates.len(), 7);
+    }
+
+    #[test]
+    fn bitsquat_produces_valid_single_bit_flips() {
+        let candidates = slds("google", SquattingClass::Bitsquat);
+        // g (0x67) ^ 0x04 = c (0x63): the classic bitsquat.
+        assert!(candidates.contains(&"coogle".to_string()));
+        for candidate in &candidates {
+            // Exactly one position differs, by exactly one bit.
+            let diffs: Vec<(char, char)> = candidate
+                .chars()
+                .zip("google".chars())
+                .filter(|(a, b)| a != b)
+                .collect();
+            assert_eq!(diffs.len(), 1, "{candidate}");
+            let (a, b) = diffs[0];
+            assert_eq!(((a as u32) ^ (b as u32)).count_ones(), 1, "{candidate}");
+        }
+    }
+
+    #[test]
+    fn combosquat_compounds_keywords() {
+        let candidates = slds("google", SquattingClass::Combosquat);
+        assert!(candidates.contains(&"google-login".to_string()));
+        assert!(candidates.contains(&"googlelogin".to_string()));
+        assert!(candidates.contains(&"login-google".to_string()));
+    }
+
+    #[test]
+    fn all_candidates_are_valid_ldh_labels() {
+        for candidate in generate_all("bet365") {
+            assert!(
+                idnre_idna::validate_ascii_label(&candidate.sld).is_ok(),
+                "{:?}",
+                candidate
+            );
+            assert_ne!(candidate.sld, "bet365");
+        }
+    }
+
+    #[test]
+    fn pool_sizes_cover_every_class() {
+        let pools = pool_sizes("google");
+        assert_eq!(pools.len(), SquattingClass::ALL.len());
+        for (class, size) in pools {
+            assert!(size > 0, "{class} pool empty");
+        }
+    }
+
+    #[test]
+    fn single_char_brand_edge_cases() {
+        // Omission of a 1-char brand yields an empty (invalid) label only.
+        assert!(slds("a", SquattingClass::Omission).is_empty());
+        assert!(!slds("a", SquattingClass::Repetition).is_empty());
+        assert!(slds("a", SquattingClass::Transposition).is_empty());
+    }
+
+    #[test]
+    fn digit_brands_have_digit_neighbours() {
+        let candidates = slds("58", SquattingClass::Replacement);
+        assert!(candidates.contains(&"48".to_string()));
+        assert!(candidates.contains(&"57".to_string()));
+    }
+}

@@ -1,0 +1,176 @@
+//! Registrant-portfolio topic classification — the third column of
+//! Table III ("All are about online gambling", "All are southwest city
+//! names in China", …).
+//!
+//! The paper assigned these labels by manual inspection of each bulk
+//! registrant's domains; this module automates the same judgement with
+//! keyword dictionaries over the Unicode labels.
+
+use std::collections::HashMap;
+
+/// The portfolio topics the paper's Table III distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Topic {
+    /// Online gambling / lottery / casino terms.
+    Gambling,
+    /// Chinese city and place names.
+    CityNames,
+    /// Commerce: shopping, malls, payments.
+    Shopping,
+    /// Short generic words (label length ≤ 2 characters).
+    ShortWords,
+    /// Brand-impersonation terms (login/activate/support keywords).
+    BrandService,
+    /// Nothing dominant.
+    Mixed,
+}
+
+impl std::fmt::Display for Topic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Topic::Gambling => "online gambling",
+            Topic::CityNames => "city names",
+            Topic::Shopping => "shopping",
+            Topic::ShortWords => "short words",
+            Topic::BrandService => "brand services",
+            Topic::Mixed => "mixed",
+        };
+        f.write_str(s)
+    }
+}
+
+const GAMBLING: &[&str] = &[
+    "彩票", "博彩", "赌场", "投注", "棋牌", "六合彩", "时时彩", "百家乐", "开户",
+    "娱乐", "casino", "bet", "lottery", "หวย", "คาสิโน", "บาคาร่า", "แทงบอล",
+];
+const CITIES: &[&str] = &[
+    "北京", "上海", "广州", "深圳", "重庆", "成都", "武汉", "西安", "南京", "杭州",
+    "昆明", "贵阳", "tokyo", "osaka", "seoul", "서울", "부산", "東京", "大阪",
+];
+const SHOPPING: &[&str] = &[
+    "购物", "商城", "超市", "商店", "专卖", "优惠", "쇼핑", "ショップ", "alışveriş",
+    "shop", "store", "mall", "купить", "магазин",
+];
+const BRAND_SERVICE: &[&str] = &[
+    "登录", "登陆", "激活", "售后", "客服", "邮箱", "充值", "注册", "官网", "支付",
+    "login", "secure", "support", "verify", "account",
+];
+
+/// Classifies one label into its most likely topic (or `Mixed`).
+pub fn classify_label(unicode_sld: &str) -> Topic {
+    let hits = |keywords: &[&str]| keywords.iter().any(|k| unicode_sld.contains(k));
+    if hits(GAMBLING) {
+        Topic::Gambling
+    } else if hits(BRAND_SERVICE) {
+        Topic::BrandService
+    } else if hits(CITIES) {
+        Topic::CityNames
+    } else if hits(SHOPPING) {
+        Topic::Shopping
+    } else if unicode_sld
+        .trim_end_matches(|c: char| c.is_ascii_digit())
+        .chars()
+        .count()
+        <= 2
+    {
+        // Trailing digits are registration-collision suffixes, not meaning.
+        Topic::ShortWords
+    } else {
+        Topic::Mixed
+    }
+}
+
+/// Classifies a registrant's whole portfolio: the topic covering the
+/// majority of labels, or [`Topic::Mixed`].
+///
+/// # Examples
+///
+/// ```
+/// use idnre_core::topic::{classify_portfolio, Topic};
+/// let portfolio = ["重庆彩票", "六合彩投注", "百家乐开户"];
+/// assert_eq!(
+///     classify_portfolio(portfolio.iter().copied()),
+///     Topic::Gambling
+/// );
+/// ```
+pub fn classify_portfolio<'a, I>(labels: I) -> Topic
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut counts: HashMap<Topic, usize> = HashMap::new();
+    let mut total = 0usize;
+    for label in labels {
+        *counts.entry(classify_label(label)).or_insert(0) += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return Topic::Mixed;
+    }
+    counts
+        .into_iter()
+        .filter(|&(topic, n)| topic != Topic::Mixed && n * 2 > total)
+        .max_by_key(|&(_, n)| n)
+        .map(|(topic, _)| topic)
+        .unwrap_or(Topic::Mixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_iii_portfolios() {
+        // daidesheng88@gmail.com: "All are about online gambling."
+        assert_eq!(
+            classify_portfolio(["六合彩", "时时彩投注", "澳门赌场"]),
+            Topic::Gambling
+        );
+        // 776053229@qq.com: "All are southwest city names in China."
+        assert_eq!(
+            classify_portfolio(["重庆火锅", "成都旅游", "昆明鲜花"]),
+            Topic::CityNames
+        );
+        // tetetw@gmail.com: "All are short words in Chinese."
+        assert_eq!(classify_portfolio(["爱", "美", "福"]), Topic::ShortWords);
+    }
+
+    #[test]
+    fn brand_service_keywords() {
+        assert_eq!(classify_label("apple激活"), Topic::BrandService);
+        assert_eq!(classify_label("icloud登录"), Topic::BrandService);
+    }
+
+    #[test]
+    fn majority_rule() {
+        // 2 of 3 gambling → gambling.
+        assert_eq!(
+            classify_portfolio(["彩票网", "投注站", "花店"]),
+            Topic::Gambling
+        );
+        // No majority → mixed.
+        assert_eq!(
+            classify_portfolio(["彩票网", "重庆门户", "购物中心", "新闻网站"]),
+            Topic::Mixed
+        );
+    }
+
+    #[test]
+    fn gambling_beats_city_when_both_present() {
+        // 重庆彩票 mentions both a city and gambling; gambling keywords are
+        // checked first (they define the business).
+        assert_eq!(classify_label("重庆彩票"), Topic::Gambling);
+    }
+
+    #[test]
+    fn empty_portfolio_is_mixed() {
+        assert_eq!(classify_portfolio([]), Topic::Mixed);
+    }
+
+    #[test]
+    fn multilingual_coverage() {
+        assert_eq!(classify_label("คาสิโนออนไลน์"), Topic::Gambling);
+        assert_eq!(classify_label("магазинодежды"), Topic::Shopping);
+        assert_eq!(classify_label("서울호텔"), Topic::CityNames);
+    }
+}

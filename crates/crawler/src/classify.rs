@@ -1,0 +1,119 @@
+//! Folding a crawl outcome into the paper's Table V usage taxonomy.
+
+use crate::http::{FetchOutcome, PageKind};
+
+/// Table V's usage categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum UsageCategory {
+    /// DNS resolution failed (NXDOMAIN / REFUSED / SERVFAIL / timeout).
+    NotResolved,
+    /// Resolution succeeded but HTTP failed (connection error or 4xx/5xx).
+    Error,
+    /// A blank page.
+    Empty,
+    /// A parking lander.
+    Parked,
+    /// A for-sale lander.
+    ForSale,
+    /// Redirected elsewhere.
+    Redirected,
+    /// A real website.
+    Meaningful,
+}
+
+impl UsageCategory {
+    /// All categories in Table V row order.
+    pub const ALL: [UsageCategory; 7] = [
+        UsageCategory::NotResolved,
+        UsageCategory::Error,
+        UsageCategory::Empty,
+        UsageCategory::Parked,
+        UsageCategory::ForSale,
+        UsageCategory::Redirected,
+        UsageCategory::Meaningful,
+    ];
+
+    /// Table V row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            UsageCategory::NotResolved => "Not resolved",
+            UsageCategory::Error => "Error",
+            UsageCategory::Empty => "Empty",
+            UsageCategory::Parked => "Parked",
+            UsageCategory::ForSale => "For sale",
+            UsageCategory::Redirected => "Redirected",
+            UsageCategory::Meaningful => "Meaningful content",
+        }
+    }
+}
+
+/// Classifies one crawl outcome.
+pub fn classify(outcome: &FetchOutcome) -> UsageCategory {
+    match outcome {
+        FetchOutcome::DnsFailure(_) => UsageCategory::NotResolved,
+        FetchOutcome::ConnectionError => UsageCategory::Error,
+        FetchOutcome::Http(page) => {
+            if page.status >= 400 {
+                return UsageCategory::Error;
+            }
+            match &page.kind {
+                PageKind::Parking => UsageCategory::Parked,
+                PageKind::ForSale => UsageCategory::ForSale,
+                PageKind::Empty => UsageCategory::Empty,
+                PageKind::Redirect(_) => UsageCategory::Redirected,
+                PageKind::Content => UsageCategory::Meaningful,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dns::ResolutionOutcome;
+    use crate::http::Page;
+
+    #[test]
+    fn every_dns_failure_is_not_resolved() {
+        for failure in [
+            ResolutionOutcome::NxDomain,
+            ResolutionOutcome::Refused,
+            ResolutionOutcome::ServFail,
+            ResolutionOutcome::Timeout,
+        ] {
+            assert_eq!(
+                classify(&FetchOutcome::DnsFailure(failure)),
+                UsageCategory::NotResolved
+            );
+        }
+    }
+
+    #[test]
+    fn http_status_errors() {
+        let page = Page::new(404, "not found", PageKind::Content);
+        assert_eq!(classify(&FetchOutcome::Http(page)), UsageCategory::Error);
+        assert_eq!(
+            classify(&FetchOutcome::ConnectionError),
+            UsageCategory::Error
+        );
+    }
+
+    #[test]
+    fn page_kinds_map_to_categories() {
+        let cases = [
+            (PageKind::Parking, UsageCategory::Parked),
+            (PageKind::ForSale, UsageCategory::ForSale),
+            (PageKind::Empty, UsageCategory::Empty),
+            (
+                PageKind::Redirect("https://other.example/".into()),
+                UsageCategory::Redirected,
+            ),
+            (PageKind::Content, UsageCategory::Meaningful),
+        ];
+        for (kind, expected) in cases {
+            let page = Page::new(200, "t", kind);
+            assert_eq!(classify(&FetchOutcome::Http(page)), expected);
+        }
+    }
+}

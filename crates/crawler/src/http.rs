@@ -1,0 +1,100 @@
+//! The HTTP layer of the crawl: homepages and fetch outcomes.
+
+use crate::dns::ResolutionOutcome;
+
+/// What kind of page a host serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PageKind {
+    /// A parking lander with ads.
+    Parking,
+    /// A "this domain is for sale" lander.
+    ForSale,
+    /// A blank page (HTTP 200, no content).
+    Empty,
+    /// A redirect to another location.
+    Redirect(String),
+    /// A real website.
+    Content,
+}
+
+/// A fetched homepage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    /// HTTP status code.
+    pub status: u16,
+    /// The `<title>` — what title-displaying mobile browsers put in the
+    /// address bar (Table XI's "Title" rows).
+    pub title: String,
+    /// Page class.
+    pub kind: PageKind,
+}
+
+impl Page {
+    /// Creates a page.
+    pub fn new(status: u16, title: &str, kind: PageKind) -> Self {
+        Page {
+            status,
+            title: title.to_string(),
+            kind,
+        }
+    }
+}
+
+/// Terminal outcome of the resolve-then-fetch sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FetchOutcome {
+    /// Resolution failed; no connection was attempted.
+    DnsFailure(ResolutionOutcome),
+    /// Resolution succeeded but no web server answered (or it answered
+    /// with a transport/HTTP failure).
+    ConnectionError,
+    /// A page came back.
+    Http(Page),
+}
+
+/// Performs the fetch step given a resolution outcome and the page the
+/// host would serve (if any).
+pub fn fetch(resolution: &ResolutionOutcome, page: Option<&Page>) -> FetchOutcome {
+    match resolution {
+        ResolutionOutcome::Resolved(_) => match page {
+            Some(page) if page.status >= 500 => FetchOutcome::ConnectionError,
+            Some(page) => FetchOutcome::Http(page.clone()),
+            None => FetchOutcome::ConnectionError,
+        },
+        other => FetchOutcome::DnsFailure(*other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn dns_failures_short_circuit() {
+        let outcome = fetch(&ResolutionOutcome::Refused, None);
+        assert_eq!(outcome, FetchOutcome::DnsFailure(ResolutionOutcome::Refused));
+    }
+
+    #[test]
+    fn resolved_without_server_is_connection_error() {
+        let resolved = ResolutionOutcome::Resolved(Ipv4Addr::LOCALHOST);
+        assert_eq!(fetch(&resolved, None), FetchOutcome::ConnectionError);
+    }
+
+    #[test]
+    fn server_errors_are_connection_errors() {
+        let resolved = ResolutionOutcome::Resolved(Ipv4Addr::LOCALHOST);
+        let page = Page::new(503, "oops", PageKind::Content);
+        assert_eq!(fetch(&resolved, Some(&page)), FetchOutcome::ConnectionError);
+    }
+
+    #[test]
+    fn pages_pass_through() {
+        let resolved = ResolutionOutcome::Resolved(Ipv4Addr::LOCALHOST);
+        let page = Page::new(200, "Shop", PageKind::Content);
+        assert_eq!(fetch(&resolved, Some(&page)), FetchOutcome::Http(page));
+    }
+}

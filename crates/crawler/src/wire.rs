@@ -1,0 +1,451 @@
+//! RFC 1035 §4 wire format: DNS message encoding and decoding with name
+//! compression — the byte-level substrate under every resolver and passive
+//! DNS sensor in the measured ecosystem.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// DNS response codes (RFC 1035 §4.1.1, the subset the simulation emits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Query refused by policy — the misconfiguration Finding 8 observes.
+    Refused,
+}
+
+impl Rcode {
+    fn to_bits(self) -> u16 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+        }
+    }
+
+    fn from_bits(bits: u16) -> Option<Self> {
+        Some(match bits {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            _ => return None,
+        })
+    }
+}
+
+/// Record types carried on the wire (subset).
+pub mod qtype {
+    /// IPv4 address record.
+    pub const A: u16 = 1;
+    /// Authoritative name server.
+    pub const NS: u16 = 2;
+    /// Canonical alias.
+    pub const CNAME: u16 = 5;
+}
+
+/// One question section entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Queried name (ACE form, no trailing dot).
+    pub name: String,
+    /// Query type (see [`qtype`]).
+    pub qtype: u16,
+}
+
+/// One resource record on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRecord {
+    /// Owner name.
+    pub name: String,
+    /// Record type.
+    pub rtype: u16,
+    /// Time to live.
+    pub ttl: u32,
+    /// Raw RDATA (callers use [`WireRecord::a`] / [`WireRecord::a_addr`]
+    /// for A records).
+    pub rdata: Vec<u8>,
+}
+
+impl WireRecord {
+    /// Builds an A record.
+    pub fn a(name: &str, ttl: u32, addr: Ipv4Addr) -> Self {
+        WireRecord {
+            name: name.to_string(),
+            rtype: qtype::A,
+            ttl,
+            rdata: addr.octets().to_vec(),
+        }
+    }
+
+    /// Reads the address of an A record.
+    pub fn a_addr(&self) -> Option<Ipv4Addr> {
+        if self.rtype == qtype::A && self.rdata.len() == 4 {
+            Some(Ipv4Addr::new(
+                self.rdata[0],
+                self.rdata[1],
+                self.rdata[2],
+                self.rdata[3],
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+/// A DNS message (header + sections).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Transaction id.
+    pub id: u16,
+    /// Response flag (false = query).
+    pub is_response: bool,
+    /// Recursion desired.
+    pub recursion_desired: bool,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<WireRecord>,
+}
+
+impl Message {
+    /// Builds a standard A query.
+    pub fn query(id: u16, name: &str) -> Self {
+        Message {
+            id,
+            is_response: false,
+            recursion_desired: true,
+            rcode: Rcode::NoError,
+            questions: vec![Question {
+                name: name.to_ascii_lowercase(),
+                qtype: qtype::A,
+            }],
+            answers: Vec::new(),
+        }
+    }
+
+    /// Builds the response skeleton for a query.
+    pub fn response_to(query: &Message, rcode: Rcode) -> Self {
+        Message {
+            id: query.id,
+            is_response: true,
+            recursion_desired: query.recursion_desired,
+            rcode,
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+        }
+    }
+}
+
+/// Errors from decoding a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// Message ended before the announced content.
+    Truncated,
+    /// A compression pointer was malformed or looped.
+    BadPointer,
+    /// A label exceeded 63 octets or the name exceeded 253.
+    BadName,
+    /// Reserved header bits or unknown rcode.
+    BadHeader,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated dns message"),
+            WireError::BadPointer => write!(f, "bad compression pointer"),
+            WireError::BadName => write!(f, "malformed name"),
+            WireError::BadHeader => write!(f, "malformed header"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Encodes a message to wire bytes with name compression.
+pub fn encode(message: &Message) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&message.id.to_be_bytes());
+    let mut flags: u16 = 0;
+    if message.is_response {
+        flags |= 0x8000;
+    }
+    if message.recursion_desired {
+        flags |= 0x0100;
+    }
+    flags |= message.rcode.to_bits();
+    out.extend_from_slice(&flags.to_be_bytes());
+    out.extend_from_slice(&(message.questions.len() as u16).to_be_bytes());
+    out.extend_from_slice(&(message.answers.len() as u16).to_be_bytes());
+    out.extend_from_slice(&0u16.to_be_bytes()); // authority
+    out.extend_from_slice(&0u16.to_be_bytes()); // additional
+
+    let mut offsets: HashMap<String, u16> = HashMap::new();
+    for question in &message.questions {
+        encode_name(&mut out, &question.name, &mut offsets);
+        out.extend_from_slice(&question.qtype.to_be_bytes());
+        out.extend_from_slice(&1u16.to_be_bytes()); // class IN
+    }
+    for record in &message.answers {
+        encode_name(&mut out, &record.name, &mut offsets);
+        out.extend_from_slice(&record.rtype.to_be_bytes());
+        out.extend_from_slice(&1u16.to_be_bytes());
+        out.extend_from_slice(&record.ttl.to_be_bytes());
+        out.extend_from_slice(&(record.rdata.len() as u16).to_be_bytes());
+        out.extend_from_slice(&record.rdata);
+    }
+    out
+}
+
+/// Writes a (possibly compressed) name, registering suffix offsets.
+fn encode_name(out: &mut Vec<u8>, name: &str, offsets: &mut HashMap<String, u16>) {
+    let name = name.trim_end_matches('.').to_ascii_lowercase();
+    let mut remaining = name.as_str();
+    loop {
+        if remaining.is_empty() {
+            out.push(0);
+            return;
+        }
+        if let Some(&offset) = offsets.get(remaining) {
+            out.extend_from_slice(&(0xC000u16 | offset).to_be_bytes());
+            return;
+        }
+        if out.len() <= 0x3FFF {
+            offsets.insert(remaining.to_string(), out.len() as u16);
+        }
+        let (label, rest) = match remaining.split_once('.') {
+            Some((l, r)) => (l, r),
+            None => (remaining, ""),
+        };
+        out.push(label.len().min(63) as u8);
+        out.extend_from_slice(&label.as_bytes()[..label.len().min(63)]);
+        remaining = rest;
+    }
+}
+
+/// Decodes wire bytes into a [`Message`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] describing the malformation; decoding is total
+/// (never panics) on arbitrary input.
+pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
+    if bytes.len() < 12 {
+        return Err(WireError::Truncated);
+    }
+    let id = u16::from_be_bytes([bytes[0], bytes[1]]);
+    let flags = u16::from_be_bytes([bytes[2], bytes[3]]);
+    let rcode = Rcode::from_bits(flags & 0x000F).ok_or(WireError::BadHeader)?;
+    let qdcount = u16::from_be_bytes([bytes[4], bytes[5]]) as usize;
+    let ancount = u16::from_be_bytes([bytes[6], bytes[7]]) as usize;
+
+    let mut pos = 12usize;
+    let mut questions = Vec::with_capacity(qdcount.min(16));
+    for _ in 0..qdcount {
+        let (name, next) = decode_name(bytes, pos)?;
+        pos = next;
+        if pos + 4 > bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let qtype = u16::from_be_bytes([bytes[pos], bytes[pos + 1]]);
+        pos += 4; // skip class
+        questions.push(Question { name, qtype });
+    }
+    let mut answers = Vec::with_capacity(ancount.min(32));
+    for _ in 0..ancount {
+        let (name, next) = decode_name(bytes, pos)?;
+        pos = next;
+        if pos + 10 > bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let rtype = u16::from_be_bytes([bytes[pos], bytes[pos + 1]]);
+        let ttl = u32::from_be_bytes([bytes[pos + 4], bytes[pos + 5], bytes[pos + 6], bytes[pos + 7]]);
+        let rdlen = u16::from_be_bytes([bytes[pos + 8], bytes[pos + 9]]) as usize;
+        pos += 10;
+        if pos + rdlen > bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        answers.push(WireRecord {
+            name,
+            rtype,
+            ttl,
+            rdata: bytes[pos..pos + rdlen].to_vec(),
+        });
+        pos += rdlen;
+    }
+    Ok(Message {
+        id,
+        is_response: flags & 0x8000 != 0,
+        recursion_desired: flags & 0x0100 != 0,
+        rcode,
+        questions,
+        answers,
+    })
+}
+
+/// Decodes a name at `pos`; returns `(name, position after the name)`.
+fn decode_name(bytes: &[u8], start: usize) -> Result<(String, usize), WireError> {
+    let mut labels: Vec<String> = Vec::new();
+    let mut pos = start;
+    let mut jumped = false;
+    let mut end = start;
+    let mut hops = 0usize;
+    loop {
+        let &len = bytes.get(pos).ok_or(WireError::Truncated)?;
+        if len & 0xC0 == 0xC0 {
+            let &low = bytes.get(pos + 1).ok_or(WireError::Truncated)?;
+            let target = (((len & 0x3F) as usize) << 8) | low as usize;
+            if !jumped {
+                end = pos + 2;
+                jumped = true;
+            }
+            if target >= pos {
+                return Err(WireError::BadPointer); // forward pointers loop
+            }
+            hops += 1;
+            if hops > 32 {
+                return Err(WireError::BadPointer);
+            }
+            pos = target;
+            continue;
+        }
+        if len == 0 {
+            if !jumped {
+                end = pos + 1;
+            }
+            break;
+        }
+        if len > 63 {
+            return Err(WireError::BadName);
+        }
+        let label_end = pos + 1 + len as usize;
+        let label = bytes.get(pos + 1..label_end).ok_or(WireError::Truncated)?;
+        labels.push(String::from_utf8_lossy(label).to_ascii_lowercase());
+        pos = label_end;
+        if labels.iter().map(|l| l.len() + 1).sum::<usize>() > 254 {
+            return Err(WireError::BadName);
+        }
+    }
+    Ok((labels.join("."), end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_round_trip() {
+        let query = Message::query(0x1234, "xn--0wwy37b.com");
+        let bytes = encode(&query);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded, query);
+    }
+
+    #[test]
+    fn response_with_answers_round_trips() {
+        let query = Message::query(7, "example.com");
+        let mut response = Message::response_to(&query, Rcode::NoError);
+        response
+            .answers
+            .push(WireRecord::a("example.com", 300, Ipv4Addr::new(203, 0, 113, 7)));
+        response
+            .answers
+            .push(WireRecord::a("example.com", 300, Ipv4Addr::new(203, 0, 113, 8)));
+        let bytes = encode(&response);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded, response);
+        assert_eq!(
+            decoded.answers[0].a_addr(),
+            Some(Ipv4Addr::new(203, 0, 113, 7))
+        );
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let query = Message::query(7, "aaaa.example.com");
+        let mut response = Message::response_to(&query, Rcode::NoError);
+        for i in 0..4 {
+            response.answers.push(WireRecord::a(
+                "aaaa.example.com",
+                60,
+                Ipv4Addr::new(10, 0, 0, i),
+            ));
+        }
+        let bytes = encode(&response);
+        // With compression, each repeated owner costs 2 bytes, not 18.
+        let uncompressed_estimate = 12 + 5 * 18 + 4 * 14;
+        assert!(
+            bytes.len() < uncompressed_estimate,
+            "{} bytes",
+            bytes.len()
+        );
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded.answers.len(), 4);
+        assert!(decoded
+            .answers
+            .iter()
+            .all(|a| a.name == "aaaa.example.com"));
+    }
+
+    #[test]
+    fn rcode_round_trips() {
+        for rcode in [
+            Rcode::NoError,
+            Rcode::FormErr,
+            Rcode::ServFail,
+            Rcode::NxDomain,
+            Rcode::NotImp,
+            Rcode::Refused,
+        ] {
+            let query = Message::query(1, "a.com");
+            let response = Message::response_to(&query, rcode);
+            let decoded = decode(&encode(&response)).unwrap();
+            assert_eq!(decoded.rcode, rcode);
+            assert!(decoded.is_response);
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        let bytes = encode(&Message::query(9, "example.com"));
+        for cut in [0, 5, 11, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn pointer_loops_rejected() {
+        // Header + a name that points at itself.
+        let mut bytes = vec![0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0];
+        bytes.extend_from_slice(&[0xC0, 12]); // pointer to its own offset
+        bytes.extend_from_slice(&[0, 1, 0, 1]);
+        assert_eq!(decode(&bytes).unwrap_err(), WireError::BadPointer);
+    }
+
+    #[test]
+    fn case_is_folded_on_the_wire() {
+        let query = Message::query(3, "ExAmPlE.CoM");
+        let decoded = decode(&encode(&query)).unwrap();
+        assert_eq!(decoded.questions[0].name, "example.com");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the DNS wire codec.
+
+use idnre_crawler::wire::{decode, encode, qtype, Message, Question, Rcode, WireRecord};
+use proptest::prelude::*;
+
+fn name() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z0-9]{1,12}", 1..4).prop_map(|labels| labels.join("."))
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::collection::vec(name(), 1..3),
+        proptest::collection::vec((name(), any::<u32>(), any::<[u8; 4]>()), 0..5),
+        0u16..6,
+    )
+        .prop_map(|(id, is_response, rd, questions, answers, rcode_bits)| Message {
+            id,
+            is_response,
+            recursion_desired: rd,
+            rcode: match rcode_bits {
+                0 => Rcode::NoError,
+                1 => Rcode::FormErr,
+                2 => Rcode::ServFail,
+                3 => Rcode::NxDomain,
+                4 => Rcode::NotImp,
+                _ => Rcode::Refused,
+            },
+            questions: questions
+                .into_iter()
+                .map(|name| Question {
+                    name,
+                    qtype: qtype::A,
+                })
+                .collect(),
+            answers: answers
+                .into_iter()
+                .map(|(name, ttl, ip)| WireRecord::a(&name, ttl, ip.into()))
+                .collect(),
+        })
+}
+
+proptest! {
+    /// encode ∘ decode is the identity on arbitrary well-formed messages.
+    #[test]
+    fn round_trip(msg in message()) {
+        let bytes = encode(&msg);
+        let decoded = decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Decoding never panics on arbitrary bytes.
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Truncating a valid message never panics and never produces a bogus
+    /// longer message.
+    #[test]
+    fn truncation_is_safe(msg in message(), cut_fraction in 0.0f64..1.0) {
+        let bytes = encode(&msg);
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        let _ = decode(&bytes[..cut.min(bytes.len())]);
+    }
+
+    /// Compression never changes semantics: every answer name decodes to
+    /// its original text.
+    #[test]
+    fn compression_is_transparent(owner in name(), count in 1usize..6) {
+        let query = Message::query(1, &owner);
+        let mut response = Message::response_to(&query, Rcode::NoError);
+        for i in 0..count {
+            response.answers.push(WireRecord::a(&owner, i as u32, [10, 0, 0, i as u8].into()));
+        }
+        let decoded = decode(&encode(&response)).unwrap();
+        prop_assert_eq!(decoded.answers.len(), count);
+        for answer in decoded.answers {
+            prop_assert_eq!(&answer.name, &owner);
+        }
+    }
+}

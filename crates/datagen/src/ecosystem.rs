@@ -1,0 +1,630 @@
+//! Ecosystem assembly: one seeded pass that generates registrations, WHOIS
+//! coverage, passive-DNS aggregates, certificates, blacklist feeds, zone
+//! files and the injected attack populations.
+
+use crate::attacks::{self, AttackDomain};
+use crate::brands::BrandList;
+use crate::config::{EcosystemConfig, TABLE_I};
+use crate::content::ContentCategory;
+use crate::hosting::HostingProfile;
+use crate::labels;
+use crate::registration::{
+    sample_creation_date, sample_malicious_creation_date, sample_registrant, sample_registrar,
+    DomainRegistration, MaliciousKind, BULK_REGISTRANTS,
+};
+use idnre_blacklist::{BlacklistSet, Source};
+use idnre_certs::Certificate;
+use idnre_langid::Language;
+use idnre_pdns::{PdnsStore, PopulationClass, TrafficModel};
+use idnre_whois::{WhoisDialect, WhoisRecord};
+use idnre_zonefile::{RData, ResourceRecord, Zone};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fully generated synthetic ecosystem.
+#[derive(Debug, Clone)]
+pub struct Ecosystem {
+    /// The configuration it was generated from.
+    pub config: EcosystemConfig,
+    /// The brand target list.
+    pub brands: BrandList,
+    /// All IDN registrations, including the injected attack populations.
+    pub idn_registrations: Vec<DomainRegistration>,
+    /// The sampled non-IDN comparison population.
+    pub non_idn_registrations: Vec<DomainRegistration>,
+    /// Ground truth: injected homographic IDNs.
+    pub homograph_attacks: Vec<AttackDomain>,
+    /// Ground truth: injected Type-1 semantic IDNs.
+    pub semantic_attacks: Vec<AttackDomain>,
+    /// Ground truth: injected Type-2 (translated-brand) semantic IDNs.
+    pub semantic2_attacks: Vec<AttackDomain>,
+    /// WHOIS records (coverage-limited, like the real crawl).
+    pub whois: Vec<WhoisRecord>,
+    /// Passive-DNS aggregates.
+    pub pdns: PdnsStore,
+    /// Certificates served by HTTPS-enabled domains.
+    pub certificates: Vec<(String, Certificate)>,
+    /// The aggregated URL blacklist.
+    pub blacklist: BlacklistSet,
+    /// Per-TLD zone files.
+    pub zones: Vec<Zone>,
+}
+
+impl Ecosystem {
+    /// Generates the full ecosystem from `config`. Deterministic in
+    /// `config.seed`.
+    pub fn generate(config: &EcosystemConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let brands = BrandList::with_size(config.brand_count);
+        let snapshot_day = config.snapshot.day_number();
+
+        // --- 1. Bulk (opportunistic) registrations: Table III clusters,
+        //        each with a single portfolio theme. ---
+        let mut idn_registrations = Vec::new();
+        for (email, declared, theme) in BULK_REGISTRANTS {
+            let n = (declared as u64 / config.scale).max(1);
+            for i in 0..n {
+                let label = crate::registration::themed_label(&mut rng, theme);
+                let Some(reg) = build_idn(
+                    &mut rng,
+                    config,
+                    &format!("{label}{i}"),
+                    Language::Chinese,
+                    "com",
+                    Some(email.to_string()),
+                ) else {
+                    continue;
+                };
+                idn_registrations.push(reg);
+            }
+        }
+
+        // --- 2. Ordinary IDN registrations per TLD (Table I volumes). ---
+        // The seed vocabulary is finite, so plain sampling collides; a
+        // numeric suffix on collision keeps the volume and language mix at
+        // their Table I/II anchors (digit-bearing IDNs are common in the
+        // wild corpus anyway).
+        let mut seen: std::collections::HashSet<String> =
+            idn_registrations.iter().map(|r| r.domain.clone()).collect();
+        for spec in &TABLE_I {
+            let n = config.scaled_idns(spec);
+            for i in 0..n {
+                let language = labels::sample_language(&mut rng);
+                let mut label = labels::generate_label(&mut rng, language);
+                let (email, _) = sample_registrant(&mut rng, i);
+                for _attempt in 0..4 {
+                    if let Some(reg) =
+                        build_idn(&mut rng, config, &label, language, spec.tld, email.clone())
+                    {
+                        if seen.insert(reg.domain.clone()) {
+                            idn_registrations.push(reg);
+                            break;
+                        }
+                    }
+                    label.push_str(&rng.gen_range(2..1000u32).to_string());
+                }
+            }
+        }
+        dedup_registrations(&mut idn_registrations);
+
+        // --- 3. Blacklist assignment over the bulk+ordinary population. ---
+        let mut blacklist = BlacklistSet::new();
+        assign_blacklist(&mut rng, config, &mut idn_registrations, &mut blacklist);
+
+        // --- 4. Attack populations (full scale by default). ---
+        let homograph_attacks = attacks::generate_homographs(&mut rng, &brands, config.attack_scale);
+        let semantic_attacks =
+            attacks::generate_semantic_type1(&mut rng, &brands, config.attack_scale);
+        let semantic2_attacks = attacks::generate_semantic_type2(&mut rng, config.attack_scale);
+        inject_attacks(
+            &mut rng,
+            config,
+            &homograph_attacks,
+            MaliciousKind::Homograph,
+            66, // ‰ blacklisted: paper 100/1516 ≈ 6.6%
+            &mut idn_registrations,
+            &mut blacklist,
+        );
+        inject_attacks(
+            &mut rng,
+            config,
+            &semantic_attacks,
+            MaliciousKind::SemanticType1,
+            13, // paper: a few of 1,497 observed malicious
+            &mut idn_registrations,
+            &mut blacklist,
+        );
+        inject_attacks(
+            &mut rng,
+            config,
+            &semantic2_attacks,
+            MaliciousKind::SemanticType2,
+            100, // the Gree case was an active fraud
+            &mut idn_registrations,
+            &mut blacklist,
+        );
+
+        // --- 5. Non-IDN comparison sample. ---
+        let mut non_idn_registrations = Vec::new();
+        for spec in &TABLE_I {
+            let n = config.scaled_non_idn_sample(spec);
+            for i in 0..n {
+                non_idn_registrations.push(build_non_idn(&mut rng, config, i, spec.tld));
+            }
+        }
+
+        // --- 6. WHOIS emission with per-TLD coverage. ---
+        let whois = emit_whois(&mut rng, &idn_registrations);
+
+        // --- 7. Passive DNS. ---
+        let mut pdns = PdnsStore::new();
+        for reg in &idn_registrations {
+            let class = match reg.malicious {
+                Some(MaliciousKind::Homograph) => PopulationClass::Homographic,
+                Some(MaliciousKind::SemanticType1 | MaliciousKind::SemanticType2) => {
+                    PopulationClass::SemanticType1
+                }
+                Some(_) => PopulationClass::MaliciousIdn,
+                None => PopulationClass::BenignIdn,
+            };
+            add_traffic(&mut rng, &mut pdns, reg, class, snapshot_day);
+        }
+        for reg in &non_idn_registrations {
+            add_traffic(&mut rng, &mut pdns, reg, PopulationClass::NonIdn, snapshot_day);
+        }
+
+        // --- 8. Certificates. ---
+        let mut certificates = Vec::new();
+        for reg in idn_registrations.iter().chain(&non_idn_registrations) {
+            if !reg.https {
+                continue;
+            }
+            if let Some(hosting) = &reg.hosting {
+                certificates.push((
+                    reg.domain.clone(),
+                    hosting.issue_certificate(&mut rng, &reg.domain, snapshot_day),
+                ));
+            }
+        }
+
+        // --- 9. Zone files. ---
+        let zones = emit_zones(&idn_registrations, &non_idn_registrations);
+
+        Ecosystem {
+            config: config.clone(),
+            brands,
+            idn_registrations,
+            non_idn_registrations,
+            homograph_attacks,
+            semantic_attacks,
+            semantic2_attacks,
+            whois,
+            pdns,
+            certificates,
+            blacklist,
+            zones,
+        }
+    }
+
+    /// The malicious IDN registrations (any blacklist source).
+    pub fn malicious_idns(&self) -> impl Iterator<Item = &DomainRegistration> {
+        self.idn_registrations
+            .iter()
+            .filter(|r| r.malicious.is_some())
+    }
+
+    /// Looks up a registration by ACE domain.
+    pub fn registration(&self, domain: &str) -> Option<&DomainRegistration> {
+        self.idn_registrations
+            .iter()
+            .chain(&self.non_idn_registrations)
+            .find(|r| r.domain == domain)
+    }
+}
+
+/// Builds one IDN registration; returns `None` when the label fails IDNA
+/// validation (rare).
+fn build_idn<R: Rng + ?Sized>(
+    rng: &mut R,
+    config: &EcosystemConfig,
+    label: &str,
+    language: Language,
+    tld: &str,
+    email: Option<String>,
+) -> Option<DomainRegistration> {
+    // Labels that come out pure-ASCII (English vocabulary) get a decorative
+    // diacritic so the domain is a genuine IDN — mirroring the squatting
+    // registrations observed under Latin scripts.
+    let mut unicode_sld = label.to_string();
+    if unicode_sld.is_ascii() {
+        unicode_sld = decorate_ascii(rng, &unicode_sld)?;
+    }
+    let domain = idnre_idna::to_ascii(&format!("{unicode_sld}.{tld}")).ok()?;
+    // Display form decodes every label, including an ACE TLD (iTLDs).
+    let unicode = idnre_idna::to_unicode(&domain).ok()?;
+    let content = ContentCategory::sample_idn(rng);
+    let hosting = HostingProfile::sample(rng, content);
+    let privacy = email.is_none();
+    Some(DomainRegistration {
+        domain,
+        unicode,
+        tld: tld.to_string(),
+        language,
+        created: sample_creation_date(rng, config.snapshot),
+        registrar: sample_registrar(rng),
+        registrant_email: email,
+        privacy,
+        malicious: None,
+        content,
+        // Paper: certificates retrieved from 4.55% of IDNs.
+        https: hosting.is_some() && rng.gen_ratio(91, 1000),
+        hosting,
+    })
+}
+
+/// Replaces one character of a pure-ASCII label with a High-fidelity
+/// confusable so it becomes an IDN.
+fn decorate_ascii<R: Rng + ?Sized>(rng: &mut R, label: &str) -> Option<String> {
+    let chars: Vec<char> = label.chars().collect();
+    let candidates: Vec<usize> = (0..chars.len())
+        .filter(|&i| !idnre_unicode::homoglyphs_of(chars[i]).is_empty())
+        .collect();
+    let &pos = candidates.get(rng.gen_range(0..candidates.len().max(1)))?;
+    let glyphs = idnre_unicode::homoglyphs_of(chars[pos]);
+    let pick = glyphs[rng.gen_range(0..glyphs.len())];
+    let mut out = chars;
+    out[pos] = pick.ch;
+    Some(out.into_iter().collect())
+}
+
+fn build_non_idn<R: Rng + ?Sized>(
+    rng: &mut R,
+    config: &EcosystemConfig,
+    index: u64,
+    tld: &str,
+) -> DomainRegistration {
+    let sld = format!("{}{}", pronounceable(rng), index);
+    let (email, privacy) = sample_registrant(rng, index);
+    let content = ContentCategory::sample_non_idn(rng);
+    let hosting = HostingProfile::sample(rng, content);
+    DomainRegistration {
+        domain: format!("{sld}.{tld}"),
+        unicode: format!("{sld}.{tld}"),
+        tld: tld.to_string(),
+        language: Language::English,
+        created: sample_creation_date(rng, config.snapshot),
+        registrar: sample_registrar(rng),
+        registrant_email: email,
+        privacy,
+        malicious: None,
+        content,
+        // Paper: certificates from 2.92% of non-IDNs.
+        https: hosting.is_some() && rng.gen_ratio(58, 1000),
+        hosting,
+    }
+}
+
+fn pronounceable<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const CONSONANTS: &[u8] = b"bcdfghklmnprstvwz";
+    const VOWELS: &[u8] = b"aeiou";
+    let mut out = String::new();
+    for _ in 0..rng.gen_range(2..4) {
+        out.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char);
+        out.push(VOWELS[rng.gen_range(0..VOWELS.len())] as char);
+    }
+    out
+}
+
+fn dedup_registrations(registrations: &mut Vec<DomainRegistration>) {
+    let mut seen = std::collections::HashSet::new();
+    registrations.retain(|r| seen.insert(r.domain.clone()));
+}
+
+/// Marks the Table I blacklist proportions on the ordinary population and
+/// feeds the per-source sets.
+fn assign_blacklist<R: Rng + ?Sized>(
+    rng: &mut R,
+    config: &EcosystemConfig,
+    registrations: &mut [DomainRegistration],
+    blacklist: &mut BlacklistSet,
+) {
+    for spec in &TABLE_I {
+        let (vt, qihoo, baidu) = spec.declared_blacklisted;
+        let scaled =
+            |n: u64| -> usize { (n / config.scale.max(1)).max(u64::from(n > 0)) as usize };
+        let mut candidates: Vec<usize> = registrations
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.tld == spec.tld && r.malicious.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        // Union structure: all of VirusTotal's finds, one third of Qihoo's
+        // as unique (the rest overlap VT), and Baidu's handful mostly
+        // unique — Table I's per-source totals behave this way.
+        let n_vt = scaled(vt);
+        let n_q = scaled(qihoo);
+        let n_q_unique = n_q / 3;
+        let n_b_unique = scaled(baidu).min(1) * u64::from(baidu > 0) as usize;
+        let union = n_vt + n_q_unique + n_b_unique;
+        let mut flagged = Vec::new();
+        for _ in 0..union.min(candidates.len()) {
+            let idx = candidates.swap_remove(rng.gen_range(0..candidates.len()));
+            registrations[idx].malicious = Some(if rng.gen_ratio(7, 10) {
+                MaliciousKind::UndergroundBusiness
+            } else {
+                MaliciousKind::Other
+            });
+            registrations[idx].created = sample_malicious_creation_date(rng, config.snapshot);
+            flagged.push(idx);
+        }
+        // Per-source attribution: every flagged domain gets at least one
+        // source, with the overlap block shared between VT and Qihoo.
+        let q_overlap = n_q - n_q_unique;
+        for (k, &idx) in flagged.iter().enumerate() {
+            let domain = registrations[idx].domain.clone();
+            if k < n_vt {
+                blacklist.insert(Source::VirusTotal, &domain);
+                if k >= n_vt.saturating_sub(q_overlap) {
+                    blacklist.insert(Source::Qihoo360, &domain);
+                }
+            } else if k < n_vt + n_q_unique {
+                blacklist.insert(Source::Qihoo360, &domain);
+            } else {
+                blacklist.insert(Source::Baidu, &domain);
+            }
+        }
+    }
+}
+
+/// Converts attack domains into registrations, blacklisting `per_mille` of
+/// them.
+fn inject_attacks<R: Rng + ?Sized>(
+    rng: &mut R,
+    config: &EcosystemConfig,
+    attacks: &[AttackDomain],
+    kind: MaliciousKind,
+    per_mille: u32,
+    registrations: &mut Vec<DomainRegistration>,
+    blacklist: &mut BlacklistSet,
+) {
+    let existing: std::collections::HashSet<String> =
+        registrations.iter().map(|r| r.domain.clone()).collect();
+    for attack in attacks {
+        if existing.contains(&attack.domain) {
+            continue;
+        }
+        let tld = attack.domain.rsplit('.').next().unwrap_or("com").to_string();
+        let blacklisted = rng.gen_ratio(per_mille, 1000);
+        let (email, privacy) = if attack.protective {
+            let brand_sld = attack.target.split('.').next().unwrap_or("brand");
+            (Some(format!("legal@{brand_sld}.com")), false)
+        } else if rng.gen_ratio(1, 6) {
+            (Some(format!("attacker{}@gmail.com", rng.gen_range(0..500u32))), false)
+        } else {
+            (None, true)
+        };
+        let content = ContentCategory::sample_idn(rng);
+        let hosting = HostingProfile::sample(rng, content);
+        registrations.push(DomainRegistration {
+            domain: attack.domain.clone(),
+            unicode: attack.unicode.clone(),
+            tld,
+            language: Language::Unknown,
+            created: sample_malicious_creation_date(rng, config.snapshot),
+            registrar: sample_registrar(rng),
+            registrant_email: email,
+            privacy,
+            malicious: blacklisted.then_some(kind),
+            content,
+            https: hosting.is_some() && rng.gen_ratio(91, 1000),
+            hosting,
+        });
+        if blacklisted {
+            blacklist.insert(Source::VirusTotal, &attack.domain);
+            if rng.gen_ratio(1, 3) {
+                blacklist.insert(Source::Qihoo360, &attack.domain);
+            }
+        }
+    }
+}
+
+/// Emits WHOIS records honoring the per-TLD coverage of Table I (50.19%
+/// overall; 1.1% for iTLDs).
+fn emit_whois<R: Rng + ?Sized>(
+    rng: &mut R,
+    registrations: &[DomainRegistration],
+) -> Vec<WhoisRecord> {
+    let mut out = Vec::new();
+    for reg in registrations {
+        let coverage = TABLE_I
+            .iter()
+            .find(|spec| spec.tld == reg.tld)
+            .map(|spec| spec.declared_whois as f64 / spec.declared_idns as f64)
+            .unwrap_or(0.5);
+        if !rng.gen_bool(coverage.clamp(0.0, 1.0)) {
+            continue;
+        }
+        let mut record = WhoisRecord::new(&reg.domain, WhoisDialect::KeyValue);
+        record.registrar = Some(reg.registrar.clone());
+        record.registrant_email = reg.registrant_email.clone();
+        record.creation_date = Some(reg.created);
+        record.expiry_date = Some(reg.created.plus_days(365));
+        record.privacy_protected = reg.privacy;
+        record.name_servers = vec![format!("ns1.{}", reg.domain)];
+        out.push(record);
+    }
+    out
+}
+
+fn add_traffic<R: Rng + ?Sized>(
+    rng: &mut R,
+    pdns: &mut PdnsStore,
+    reg: &DomainRegistration,
+    class: PopulationClass,
+    snapshot_day: i64,
+) {
+    if !reg.content.resolves() {
+        return;
+    }
+    let ip = reg.hosting.as_ref().map(|h| h.assign_ip(rng));
+    let model = TrafficModel::for_class(class);
+    if let Some(aggregate) = model.sample_aggregate(rng, &reg.domain, snapshot_day, ip) {
+        pdns.insert_aggregate(aggregate);
+    }
+}
+
+/// Builds one zone per TLD containing NS (and A, when resolving) records.
+fn emit_zones(
+    idns: &[DomainRegistration],
+    non_idns: &[DomainRegistration],
+) -> Vec<Zone> {
+    let mut zones: Vec<Zone> = TABLE_I
+        .iter()
+        .map(|spec| Zone::new(spec.tld.parse().expect("static tld parses")))
+        .collect();
+    for reg in idns.iter().chain(non_idns) {
+        let Some(zone) = zones.iter_mut().find(|z| z.origin.to_string() == reg.tld) else {
+            continue;
+        };
+        let Ok(owner) = reg.domain.parse() else { continue };
+        zone.records.push(ResourceRecord {
+            owner,
+            ttl: 86_400,
+            rdata: RData::Ns(
+                format!("ns1.{}", reg.domain)
+                    .parse()
+                    .expect("ns name parses"),
+            ),
+        });
+    }
+    zones
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> EcosystemConfig {
+        EcosystemConfig {
+            scale: 500,
+            attack_scale: 10,
+            ..EcosystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = small_config();
+        let a = Ecosystem::generate(&config);
+        let b = Ecosystem::generate(&config);
+        assert_eq!(a.idn_registrations, b.idn_registrations);
+        assert_eq!(a.certificates.len(), b.certificates.len());
+        assert_eq!(a.blacklist, b.blacklist);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Ecosystem::generate(&small_config());
+        let b = Ecosystem::generate(&EcosystemConfig {
+            seed: 999,
+            ..small_config()
+        });
+        assert_ne!(a.idn_registrations, b.idn_registrations);
+    }
+
+    #[test]
+    fn idn_population_is_all_idn() {
+        let eco = Ecosystem::generate(&small_config());
+        for reg in &eco.idn_registrations {
+            assert!(idnre_idna::is_idn(&reg.domain), "{}", reg.domain);
+        }
+        for reg in &eco.non_idn_registrations {
+            assert!(!idnre_idna::is_idn(&reg.domain), "{}", reg.domain);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_domains() {
+        let eco = Ecosystem::generate(&small_config());
+        let mut seen = std::collections::HashSet::new();
+        for reg in &eco.idn_registrations {
+            assert!(seen.insert(&reg.domain), "duplicate {}", reg.domain);
+        }
+    }
+
+    #[test]
+    fn blacklist_and_malicious_flags_agree() {
+        let eco = Ecosystem::generate(&small_config());
+        for reg in &eco.idn_registrations {
+            if reg.malicious.is_some() {
+                assert!(
+                    eco.blacklist.is_malicious(&reg.domain),
+                    "{} flagged but not blacklisted",
+                    reg.domain
+                );
+            }
+        }
+        assert!(eco.blacklist.union_count() > 0);
+    }
+
+    #[test]
+    fn attack_ground_truth_is_registered() {
+        let eco = Ecosystem::generate(&small_config());
+        for attack in eco.homograph_attacks.iter().take(20) {
+            assert!(
+                eco.registration(&attack.domain).is_some(),
+                "{} not registered",
+                attack.domain
+            );
+        }
+    }
+
+    #[test]
+    fn whois_coverage_is_partial() {
+        let eco = Ecosystem::generate(&small_config());
+        let coverage = eco.whois.len() as f64 / eco.idn_registrations.len() as f64;
+        assert!(
+            (0.25..0.75).contains(&coverage),
+            "whois coverage {coverage}"
+        );
+    }
+
+    #[test]
+    fn zones_scan_back_to_the_population() {
+        let eco = Ecosystem::generate(&small_config());
+        let scanner = idnre_zonefile::ZoneScanner::new();
+        let report = scanner.scan_all(eco.zones.iter());
+        let scanned_idns = report.total_idns();
+        let expected = eco.idn_registrations.len();
+        // Zone scan recovers the registered IDN population exactly.
+        assert_eq!(scanned_idns, expected);
+    }
+
+    #[test]
+    fn https_rates_are_low() {
+        let eco = Ecosystem::generate(&small_config());
+        let https = eco.idn_registrations.iter().filter(|r| r.https).count();
+        let rate = https as f64 / eco.idn_registrations.len() as f64;
+        assert!((0.01..0.12).contains(&rate), "https rate {rate}");
+        assert_eq!(
+            eco.certificates.len(),
+            eco.idn_registrations
+                .iter()
+                .chain(&eco.non_idn_registrations)
+                .filter(|r| r.https && r.hosting.is_some())
+                .count()
+        );
+    }
+
+    #[test]
+    fn pdns_contains_traffic_for_both_populations() {
+        let eco = Ecosystem::generate(&small_config());
+        assert!(!eco.pdns.is_empty());
+        let idn_hits = eco
+            .idn_registrations
+            .iter()
+            .filter(|r| eco.pdns.lookup(&r.domain).is_some())
+            .count();
+        assert!(idn_hits > eco.idn_registrations.len() / 4);
+    }
+}

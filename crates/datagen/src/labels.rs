@@ -1,0 +1,123 @@
+//! IDN label generation per language, sourced from the shared seed
+//! vocabulary so generated labels and the language classifier agree by
+//! construction.
+
+use idnre_langid::Language;
+use rand::Rng;
+
+/// Table II's language mix, in per-myriad (‱) of all IDNs. The remainder
+/// (≈5.5%) is attributed to English-ish Latin labels.
+const LANGUAGE_MIX: [(Language, u32); 16] = [
+    (Language::Chinese, 5203),
+    (Language::Japanese, 1297),
+    (Language::Korean, 871),
+    (Language::German, 490),
+    (Language::Turkish, 293),
+    (Language::Thai, 249),
+    (Language::Swedish, 219),
+    (Language::Spanish, 172),
+    (Language::French, 168),
+    (Language::Finnish, 120),
+    (Language::Russian, 95),
+    (Language::Hungarian, 81),
+    (Language::Arabic, 84),
+    (Language::Danish, 58),
+    (Language::Persian, 54),
+    (Language::English, 546),
+];
+
+/// Samples a language according to the Table II mix.
+pub fn sample_language<R: Rng + ?Sized>(rng: &mut R) -> Language {
+    let total: u32 = LANGUAGE_MIX.iter().map(|&(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for &(lang, w) in &LANGUAGE_MIX {
+        if roll < w {
+            return lang;
+        }
+        roll -= w;
+    }
+    Language::English
+}
+
+/// Generates one Unicode label in `lang` by combining one or two vocabulary
+/// items (with an occasional numeric prefix, mirroring real registrations
+/// like 58汽车).
+pub fn generate_label<R: Rng + ?Sized>(rng: &mut R, lang: Language) -> String {
+    let vocab = idnre_langid::Language::ALL
+        .contains(&lang)
+        .then(|| vocabulary(lang))
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vocabulary(Language::English));
+    let mut label = String::new();
+    if rng.gen_ratio(1, 20) {
+        label.push_str(&rng.gen_range(2..100u32).to_string());
+    }
+    label.push_str(vocab[rng.gen_range(0..vocab.len())]);
+    if rng.gen_ratio(2, 5) {
+        label.push_str(vocab[rng.gen_range(0..vocab.len())]);
+    }
+    label
+}
+
+fn vocabulary(lang: Language) -> &'static [&'static str] {
+    idnre_langid::vocabulary(lang)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn language_mix_approximates_table_ii() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 40_000;
+        let mut chinese = 0usize;
+        let mut east_asian = 0usize;
+        for _ in 0..n {
+            let lang = sample_language(&mut rng);
+            if lang == Language::Chinese {
+                chinese += 1;
+            }
+            if lang.is_east_asian() {
+                east_asian += 1;
+            }
+        }
+        let chinese_rate = chinese as f64 / n as f64;
+        let ea_rate = east_asian as f64 / n as f64;
+        assert!((chinese_rate - 0.5203).abs() < 0.02, "chinese {chinese_rate}");
+        // Finding 1: >75% east-Asian.
+        assert!(ea_rate > 0.72, "east asian {ea_rate}");
+    }
+
+    #[test]
+    fn labels_encode_to_ace() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..500 {
+            let lang = sample_language(&mut rng);
+            let label = generate_label(&mut rng, lang);
+            let ace = idnre_idna::to_ascii(&label);
+            assert!(ace.is_ok(), "label {label:?} failed: {ace:?}");
+        }
+    }
+
+    #[test]
+    fn generated_labels_classify_back_to_their_language() {
+        // Consistency between generator and classifier — the property that
+        // makes Table II reproducible.
+        let clf = idnre_langid::Classifier::global();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut correct = 0;
+        let total = 1000;
+        for _ in 0..total {
+            let lang = sample_language(&mut rng);
+            let label = generate_label(&mut rng, lang);
+            if clf.classify(&label) == lang {
+                correct += 1;
+            }
+        }
+        let accuracy = correct as f64 / total as f64;
+        assert!(accuracy > 0.85, "round-trip accuracy {accuracy}");
+    }
+}

@@ -1,0 +1,41 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while encoding, decoding, or validating IDN labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum IdnaError {
+    /// Arithmetic overflow inside the Bootstring codec (RFC 3492 §6.4).
+    Overflow,
+    /// The Punycode input contained a non-ASCII byte, an invalid digit, or a
+    /// truncated variable-length integer.
+    InvalidPunycode,
+    /// A label violated a structural rule (empty, too long, bad hyphens, or a
+    /// disallowed code point); the payload names the rule.
+    InvalidLabel(crate::validate::LabelIssue),
+    /// The full domain name exceeded 253 octets in ACE form.
+    DomainTooLong,
+    /// An `xn--` label decoded to pure ASCII, which IDNA forbids (the label
+    /// should not have been encoded at all).
+    SpuriousAce,
+}
+
+impl fmt::Display for IdnaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdnaError::Overflow => write!(f, "punycode arithmetic overflow"),
+            IdnaError::InvalidPunycode => write!(f, "invalid punycode input"),
+            IdnaError::InvalidLabel(issue) => write!(f, "invalid label: {issue}"),
+            IdnaError::DomainTooLong => write!(f, "domain name exceeds 253 octets"),
+            IdnaError::SpuriousAce => write!(f, "ace label decodes to pure ascii"),
+        }
+    }
+}
+
+impl Error for IdnaError {}
+
+impl From<crate::validate::LabelIssue> for IdnaError {
+    fn from(issue: crate::validate::LabelIssue) -> Self {
+        IdnaError::InvalidLabel(issue)
+    }
+}

@@ -1,0 +1,209 @@
+//! Whole-domain `ToASCII` / `ToUnicode` processing (the IDNA operations that
+//! browsers and registrars run on every IDN before DNS resolution).
+
+use crate::error::IdnaError;
+use crate::punycode;
+use crate::validate::{validate_ascii_label, validate_unicode_label};
+use crate::ACE_PREFIX;
+
+/// Options controlling [`to_ascii`] / [`to_unicode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flags {
+    /// Enforce per-label structural validity (hyphen rules, repertoire).
+    /// Registries set this; permissive traffic analysis may clear it.
+    pub validate_labels: bool,
+    /// Enforce the 253-octet total length limit on the ACE form.
+    pub enforce_length: bool,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags {
+            validate_labels: true,
+            enforce_length: true,
+        }
+    }
+}
+
+/// Converts a (possibly Unicode) domain name to its ACE form, label by label.
+///
+/// ASCII labels are lowercased and passed through; labels containing
+/// non-ASCII characters are case-folded, validated, Punycode-encoded and
+/// prefixed with `xn--`.
+///
+/// # Errors
+///
+/// * [`IdnaError::InvalidLabel`] when a label fails validation.
+/// * [`IdnaError::DomainTooLong`] when the ACE form exceeds 253 octets.
+/// * [`IdnaError::Overflow`] from the Punycode codec.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), idnre_idna::IdnaError> {
+/// assert_eq!(idnre_idna::to_ascii("中国")?, "xn--fiqs8s");
+/// assert_eq!(idnre_idna::to_ascii("Example.COM")?, "example.com");
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_ascii(domain: &str) -> Result<String, IdnaError> {
+    to_ascii_with(domain, Flags::default())
+}
+
+/// [`to_ascii`] with explicit [`Flags`].
+///
+/// # Errors
+///
+/// See [`to_ascii`].
+pub fn to_ascii_with(domain: &str, flags: Flags) -> Result<String, IdnaError> {
+    let domain = domain.strip_suffix('.').unwrap_or(domain);
+    let mut out = String::with_capacity(domain.len() + 8);
+    for (i, label) in domain.split('.').enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        out.push_str(&label_to_ascii(label, flags)?);
+    }
+    if flags.enforce_length && out.len() > 253 {
+        return Err(IdnaError::DomainTooLong);
+    }
+    Ok(out)
+}
+
+/// Converts one label to ACE form.
+fn label_to_ascii(label: &str, flags: Flags) -> Result<String, IdnaError> {
+    if label.is_ascii() {
+        let lower = label.to_ascii_lowercase();
+        if flags.validate_labels {
+            validate_ascii_label(&lower)?;
+        }
+        return Ok(lower);
+    }
+    // Unicode label: case-fold (simple lowercase suffices for the repertoire
+    // used in domain names), validate, then encode.
+    let folded: String = label.chars().flat_map(char::to_lowercase).collect();
+    if flags.validate_labels {
+        validate_unicode_label(&folded)?;
+    }
+    let encoded = punycode::encode(&folded)?;
+    let ace = format!("{ACE_PREFIX}{encoded}");
+    if flags.validate_labels && ace.len() > crate::validate::MAX_LABEL_OCTETS {
+        return Err(IdnaError::InvalidLabel(
+            crate::validate::LabelIssue::TooLong,
+        ));
+    }
+    Ok(ace)
+}
+
+/// Converts an ACE domain back to its Unicode display form, label by label.
+///
+/// Non-ACE labels pass through unchanged (lowercased).
+///
+/// # Errors
+///
+/// * [`IdnaError::InvalidPunycode`] / [`IdnaError::Overflow`] when an `xn--`
+///   label does not decode.
+/// * [`IdnaError::SpuriousAce`] when an `xn--` label decodes to pure ASCII.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), idnre_idna::IdnaError> {
+/// assert_eq!(idnre_idna::to_unicode("xn--fiqs8s")?, "中国");
+/// assert_eq!(idnre_idna::to_unicode("example.com")?, "example.com");
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_unicode(domain: &str) -> Result<String, IdnaError> {
+    let domain = domain.strip_suffix('.').unwrap_or(domain);
+    let mut out = String::with_capacity(domain.len());
+    for (i, label) in domain.split('.').enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        if crate::is_ace_label(label) {
+            let decoded = punycode::decode(&label[4..].to_ascii_lowercase())?;
+            if decoded.is_ascii() {
+                return Err(IdnaError::SpuriousAce);
+            }
+            out.push_str(&decoded);
+        } else {
+            out.push_str(&label.to_ascii_lowercase());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_paper_domains() {
+        // Unicode ⇄ ACE pairs quoted in the paper.
+        let pairs = [
+            ("波色.com", "xn--0wwy37b.com"),
+            ("中国", "xn--fiqs8s"),
+            ("аррӏе.com", "xn--80ak6aa92e.com"),
+        ];
+        for (unicode, ace) in pairs {
+            assert_eq!(to_ascii(unicode).unwrap(), ace);
+            assert_eq!(to_unicode(ace).unwrap(), unicode);
+        }
+    }
+
+    #[test]
+    fn mixed_ascii_and_unicode_labels() {
+        let ace = to_ascii("apple激活.com").unwrap();
+        assert!(ace.starts_with("xn--apple-"));
+        assert!(ace.ends_with(".com"));
+        assert_eq!(to_unicode(&ace).unwrap(), "apple激活.com");
+    }
+
+    #[test]
+    fn uppercase_unicode_is_folded() {
+        // Uppercase Cyrillic А folds to lowercase а before encoding.
+        let a = to_ascii("Аррӏе.com").unwrap();
+        let b = to_ascii("аррӏе.com").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spurious_ace_is_rejected() {
+        // "xn--abc-" would decode to pure ASCII "abc".
+        let err = to_unicode("xn--abc-.com").unwrap_err();
+        assert_eq!(err, IdnaError::SpuriousAce);
+    }
+
+    #[test]
+    fn validation_can_be_disabled() {
+        let flags = Flags {
+            validate_labels: false,
+            enforce_length: true,
+        };
+        // Leading hyphen rejected by default...
+        assert!(to_ascii("-x.com").is_err());
+        // ...but accepted in permissive traffic-analysis mode.
+        assert_eq!(to_ascii_with("-x.com", flags).unwrap(), "-x.com");
+    }
+
+    #[test]
+    fn length_limits() {
+        // 60 ASCII chars plus encoded CJK pushes the ACE label past 63 octets.
+        let long = format!("{}日本.com", "a".repeat(60));
+        assert!(matches!(
+            to_ascii(&long),
+            Err(IdnaError::InvalidLabel(
+                crate::validate::LabelIssue::TooLong
+            ))
+        ));
+        let many: String = (0..45).map(|_| "abcde.").collect::<String>() + "com";
+        assert_eq!(to_ascii(&many).unwrap_err(), IdnaError::DomainTooLong);
+    }
+
+    #[test]
+    fn trailing_dot_accepted() {
+        assert_eq!(to_ascii("example.com.").unwrap(), "example.com");
+        assert_eq!(to_unicode("xn--fiqs8s.").unwrap(), "中国");
+    }
+}

@@ -1,0 +1,258 @@
+//! Label-validity rules enforced by registries before installing a name into
+//! a zone (the checks the paper's Section VI-D registration probe exercises).
+
+use std::fmt;
+
+/// Maximum length of a single label in octets (ACE form).
+pub const MAX_LABEL_OCTETS: usize = 63;
+
+/// A specific way in which a label fails validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LabelIssue {
+    /// The label is empty.
+    Empty,
+    /// The label exceeds 63 octets in ACE form.
+    TooLong,
+    /// The label begins with a hyphen.
+    LeadingHyphen,
+    /// The label ends with a hyphen.
+    TrailingHyphen,
+    /// The label has hyphens in positions 3 and 4 but is not a valid ACE
+    /// label (RFC 5891 §4.2.3.1 forbids such "fake xn--" labels).
+    HyphenRestriction,
+    /// The label contains a code point outside the letter/digit/hyphen set
+    /// (for ASCII labels) or a control/whitespace/separator character (for
+    /// Unicode labels).
+    DisallowedCodepoint(char),
+    /// The label contains an uppercase ASCII letter where the canonical
+    /// lowercase form is required by the registry pipeline.
+    NotLowercase,
+    /// The label violates the RFC 5893 Bidi rule (mixed text direction, or
+    /// an RTL label led by a European digit).
+    BidiViolation,
+}
+
+impl fmt::Display for LabelIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelIssue::Empty => write!(f, "empty label"),
+            LabelIssue::TooLong => write!(f, "label longer than 63 octets"),
+            LabelIssue::LeadingHyphen => write!(f, "label starts with a hyphen"),
+            LabelIssue::TrailingHyphen => write!(f, "label ends with a hyphen"),
+            LabelIssue::HyphenRestriction => {
+                write!(f, "hyphens in positions 3-4 of a non-ace label")
+            }
+            LabelIssue::DisallowedCodepoint(c) => {
+                write!(f, "disallowed code point {c:?}")
+            }
+            LabelIssue::NotLowercase => write!(f, "label contains uppercase ascii"),
+            LabelIssue::BidiViolation => write!(f, "label violates the bidi rule"),
+        }
+    }
+}
+
+/// Validates an ASCII (LDH or ACE) label as a registry would before zone
+/// installation.
+///
+/// # Errors
+///
+/// Returns the first [`LabelIssue`] found, checking in order: emptiness,
+/// length, hyphen placement, the position-3/4 hyphen restriction, and the
+/// letter/digit/hyphen repertoire.
+///
+/// # Examples
+///
+/// ```
+/// use idnre_idna::validate_ascii_label;
+/// assert!(validate_ascii_label("example").is_ok());
+/// assert!(validate_ascii_label("xn--fiqs8s").is_ok());
+/// assert!(validate_ascii_label("-bad").is_err());
+/// assert!(validate_ascii_label("ab--cd").is_err()); // fake xn-- position
+/// ```
+pub fn validate_ascii_label(label: &str) -> Result<(), LabelIssue> {
+    if label.is_empty() {
+        return Err(LabelIssue::Empty);
+    }
+    if label.len() > MAX_LABEL_OCTETS {
+        return Err(LabelIssue::TooLong);
+    }
+    if label.starts_with('-') {
+        return Err(LabelIssue::LeadingHyphen);
+    }
+    if label.ends_with('-') {
+        return Err(LabelIssue::TrailingHyphen);
+    }
+    let bytes = label.as_bytes();
+    if bytes.len() >= 4 && bytes[2] == b'-' && bytes[3] == b'-' && !crate::is_ace_label(label) {
+        return Err(LabelIssue::HyphenRestriction);
+    }
+    for c in label.chars() {
+        if !(c.is_ascii_lowercase() || c.is_ascii_uppercase() || c.is_ascii_digit() || c == '-') {
+            return Err(LabelIssue::DisallowedCodepoint(c));
+        }
+    }
+    Ok(())
+}
+
+/// The Bidi rule of RFC 5893, reduced to the checks that matter for domain
+/// labels: an RTL (Arabic/Hebrew) label must not mix in LTR letters, and
+/// must not begin with a digit; an LTR label must not contain RTL
+/// characters.
+///
+/// # Errors
+///
+/// Returns [`LabelIssue::BidiViolation`] when the rule is broken.
+///
+/// # Examples
+///
+/// ```
+/// use idnre_idna::check_bidi;
+/// assert!(check_bidi("أخبار").is_ok());         // pure RTL
+/// assert!(check_bidi("news").is_ok());           // pure LTR
+/// assert!(check_bidi("newsأخبار").is_err());     // direction mix
+/// assert!(check_bidi("123أخبار").is_err());      // RTL label led by digit
+/// ```
+pub fn check_bidi(label: &str) -> Result<(), LabelIssue> {
+    let is_rtl = |c: char| {
+        matches!(c,
+            '\u{0590}'..='\u{05FF}'   // Hebrew
+            | '\u{0600}'..='\u{06FF}' // Arabic
+            | '\u{0750}'..='\u{077F}' // Arabic Supplement
+            | '\u{08A0}'..='\u{08FF}' // Arabic Extended-A
+            | '\u{FB1D}'..='\u{FDFF}' // presentation forms
+            | '\u{FE70}'..='\u{FEFF}'
+        )
+    };
+    let has_rtl = label.chars().any(is_rtl);
+    if !has_rtl {
+        return Ok(());
+    }
+    // RTL label: no LTR strong letters allowed…
+    if label.chars().any(|c| c.is_ascii_alphabetic()) {
+        return Err(LabelIssue::BidiViolation);
+    }
+    // …and it must not start with a European digit (RFC 5893 §2 rule 1).
+    if label.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return Err(LabelIssue::BidiViolation);
+    }
+    Ok(())
+}
+
+/// Validates a Unicode (U-label) prior to Punycode encoding.
+///
+/// The rules mirror the subset of IDNA2008 a registry's SRS applies to a
+/// registration request: non-empty, no leading/trailing hyphen, and no
+/// control, whitespace, or separator characters. Full-script policy (which
+/// scripts a given TLD admits) is a zone-local decision modelled separately
+/// by the registry simulator in `idnre-core`.
+///
+/// # Errors
+///
+/// Returns the first [`LabelIssue`] found.
+///
+/// # Examples
+///
+/// ```
+/// use idnre_idna::validate_unicode_label;
+/// assert!(validate_unicode_label("中国").is_ok());
+/// assert!(validate_unicode_label("i cloud").is_err()); // whitespace
+/// ```
+pub fn validate_unicode_label(label: &str) -> Result<(), LabelIssue> {
+    if label.is_empty() {
+        return Err(LabelIssue::Empty);
+    }
+    if label.starts_with('-') {
+        return Err(LabelIssue::LeadingHyphen);
+    }
+    if label.ends_with('-') {
+        return Err(LabelIssue::TrailingHyphen);
+    }
+    for c in label.chars() {
+        if c.is_control() || c.is_whitespace() {
+            return Err(LabelIssue::DisallowedCodepoint(c));
+        }
+        // General separators and common format characters abused for
+        // invisible spoofing (zero-width joiners etc.).
+        if matches!(c, '\u{200B}'..='\u{200F}' | '\u{202A}'..='\u{202E}' | '\u{2060}' | '\u{FEFF}') {
+            return Err(LabelIssue::DisallowedCodepoint(c));
+        }
+    }
+    check_bidi(label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_ordinary_ldh() {
+        for l in ["a", "example", "a1-b2", "x2", "0", "com", "58"] {
+            assert!(validate_ascii_label(l).is_ok(), "{l}");
+        }
+    }
+
+    #[test]
+    fn accepts_ace_labels() {
+        for l in ["xn--fiqs8s", "xn--0wwy37b", "xn--80ak6aa92e"] {
+            assert!(validate_ascii_label(l).is_ok(), "{l}");
+        }
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        assert_eq!(validate_ascii_label(""), Err(LabelIssue::Empty));
+        assert_eq!(validate_ascii_label("-a"), Err(LabelIssue::LeadingHyphen));
+        assert_eq!(validate_ascii_label("a-"), Err(LabelIssue::TrailingHyphen));
+        assert_eq!(
+            validate_ascii_label("ab--cd"),
+            Err(LabelIssue::HyphenRestriction)
+        );
+        let long = "a".repeat(64);
+        assert_eq!(validate_ascii_label(&long), Err(LabelIssue::TooLong));
+        assert_eq!(
+            validate_ascii_label("a_b"),
+            Err(LabelIssue::DisallowedCodepoint('_'))
+        );
+    }
+
+    #[test]
+    fn boundary_length_is_accepted() {
+        let l = "a".repeat(63);
+        assert!(validate_ascii_label(&l).is_ok());
+    }
+
+    #[test]
+    fn bidi_rule() {
+        // Pure RTL is fine; so is RTL with trailing digits.
+        assert!(check_bidi("أخبار").is_ok());
+        assert!(check_bidi("חדשות").is_ok());
+        assert!(check_bidi("أخبار24").is_ok());
+        // Direction mixing is rejected.
+        assert_eq!(check_bidi("newsأخبار"), Err(LabelIssue::BidiViolation));
+        assert_eq!(check_bidi("אnews"), Err(LabelIssue::BidiViolation));
+        // RTL label led by a European digit.
+        assert_eq!(check_bidi("24أخبار"), Err(LabelIssue::BidiViolation));
+        // Enforced by the full validator too.
+        assert_eq!(
+            validate_unicode_label("appleأخبار"),
+            Err(LabelIssue::BidiViolation)
+        );
+    }
+
+    #[test]
+    fn unicode_label_rules() {
+        assert!(validate_unicode_label("中国").is_ok());
+        assert!(validate_unicode_label("apple激活").is_ok());
+        assert_eq!(validate_unicode_label(""), Err(LabelIssue::Empty));
+        assert_eq!(
+            validate_unicode_label("a b"),
+            Err(LabelIssue::DisallowedCodepoint(' '))
+        );
+        assert_eq!(
+            validate_unicode_label("a\u{200B}b"),
+            Err(LabelIssue::DisallowedCodepoint('\u{200B}'))
+        );
+        assert_eq!(validate_unicode_label("-中"), Err(LabelIssue::LeadingHyphen));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the Punycode codec and IDNA processing.
+
+use idnre_idna::{punycode, to_ascii, to_unicode};
+use proptest::prelude::*;
+
+/// Strategy over strings drawn from the character repertoire that actually
+/// appears in domain labels: ASCII LDH plus a spread of non-ASCII scripts.
+fn label_chars() -> impl Strategy<Value = String> {
+    let ch = prop_oneof![
+        // ASCII letters/digits
+        proptest::char::range('a', 'z'),
+        proptest::char::range('0', '9'),
+        // Latin-1 letters with diacritics
+        proptest::char::range('\u{00E0}', '\u{00FF}'),
+        // Cyrillic
+        proptest::char::range('\u{0430}', '\u{044F}'),
+        // Greek
+        proptest::char::range('\u{03B1}', '\u{03C9}'),
+        // CJK
+        proptest::char::range('\u{4E00}', '\u{4E80}'),
+        // Hangul syllables
+        proptest::char::range('\u{AC00}', '\u{AC80}'),
+    ];
+    proptest::collection::vec(ch, 1..16).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    /// encode ∘ decode is the identity on arbitrary label-like strings.
+    #[test]
+    fn punycode_roundtrip(s in label_chars()) {
+        let encoded = punycode::encode(&s).unwrap();
+        prop_assert!(encoded.is_ascii());
+        let decoded = punycode::decode(&encoded).unwrap();
+        prop_assert_eq!(decoded, s);
+    }
+
+    /// Decoding never panics on arbitrary ASCII input (it may error).
+    #[test]
+    fn punycode_decode_total(s in "[ -~]{0,32}") {
+        let _ = punycode::decode(&s);
+    }
+
+    /// Decoding never panics on arbitrary unicode input.
+    #[test]
+    fn punycode_decode_total_unicode(s in "\\PC{0,16}") {
+        let _ = punycode::decode(&s);
+    }
+
+    /// ToASCII output is always ASCII, and ToUnicode(ToASCII(d)) == fold(d)
+    /// for domains whose labels validate.
+    #[test]
+    fn idna_roundtrip(labels in proptest::collection::vec(label_chars(), 1..4)) {
+        let domain = labels.join(".");
+        if let Ok(ace) = to_ascii(&domain) {
+            prop_assert!(ace.is_ascii());
+            let folded: String = domain
+                .chars()
+                .flat_map(char::to_lowercase)
+                .collect();
+            let uni = to_unicode(&ace).unwrap();
+            prop_assert_eq!(uni, folded);
+        }
+    }
+
+    /// Encoded form of an all-ASCII string is input + "-".
+    #[test]
+    fn ascii_passthrough(s in "[a-z0-9]{1,20}") {
+        let encoded = punycode::encode(&s).unwrap();
+        prop_assert_eq!(encoded, format!("{s}-"));
+    }
+}

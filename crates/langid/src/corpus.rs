@@ -1,0 +1,209 @@
+//! Embedded multilingual seed corpus.
+//!
+//! Each language contributes a list of vocabulary items of the kind that
+//! appears in domain labels (place names, commerce terms, common nouns).
+//! These train the naive-Bayes model; they also seed the synthetic IDN
+//! generator in `idnre-datagen`, which keeps the generated corpus and the
+//! classifier consistent by construction.
+
+use crate::Language;
+
+/// Seed vocabulary for one language.
+pub fn vocabulary(lang: Language) -> &'static [&'static str] {
+    match lang {
+        Language::Chinese => &[
+            "中国", "北京", "上海", "广州", "深圳", "重庆", "成都", "彩票", "博彩", "购物",
+            "新闻", "游戏", "娱乐", "公司", "网站", "手机", "汽车", "旅游", "酒店", "银行",
+            "保险", "学校", "大学", "医院", "商城", "书店", "音乐", "电影", "小说", "财经",
+            "体育", "健康", "美食", "天气", "地图", "招聘", "房产", "家居", "教育", "科技",
+            "软件", "下载", "视频", "直播", "商店", "超市", "快递", "物流", "装修", "婚庆",
+            "美容", "减肥", "股票", "基金", "贷款", "信用卡", "棋牌", "六合彩", "赌场", "投注",
+            "时时彩", "百家乐", "开户", "注册", "售后", "客服", "登录", "激活", "邮箱", "空调",
+        ],
+        Language::Japanese => &[
+            "日本", "東京", "大阪", "京都", "横浜", "名古屋", "札幌", "ニュース", "ショップ",
+            "ゲーム", "会社", "ホテル", "さくら", "かわいい", "ありがとう", "おすすめ",
+            "らーめん", "すし", "てんぷら", "まつり", "はなび", "ふじさん", "おんせん",
+            "りょかん", "くるま", "でんしゃ", "ひこうき", "がっこう", "だいがく", "びょういん",
+            "ぎんこう", "ほけん", "ふどうさん", "きもの", "アニメ", "マンガ", "カラオケ",
+            "パチンコ", "サッカー", "やきゅう", "音楽", "映画", "旅行", "天気", "地図",
+            "求人", "不動産", "きょういく", "結婚", "びよう", "無料", "通販", "格安", "予約",
+        ],
+        Language::Korean => &[
+            "한국", "서울", "부산", "인천", "대구", "대전", "광주", "뉴스", "쇼핑", "게임",
+            "회사", "호텔", "무료", "사랑", "음악", "영화", "여행", "날씨", "지도", "채용",
+            "부동산", "교육", "결혼", "미용", "건강", "음식", "김치", "불고기", "비빔밥",
+            "태권도", "노래방", "찜질방", "대학교", "병원", "은행", "보험", "자동차", "휴대폰",
+            "컴퓨터", "인터넷", "카페", "블로그", "배달", "택배", "할인", "쿠폰", "이벤트",
+        ],
+        Language::German => &[
+            "münchen", "berlin", "hamburg", "köln", "frankfurt", "stuttgart", "düsseldorf",
+            "straße", "bücher", "schön", "kaufen", "haus", "geld", "über", "für",
+            "nachrichten", "zeitung", "wetter", "auto", "versicherung", "krankenkasse",
+            "möbel", "küche", "schule", "universität", "krankenhaus", "sparkasse", "reisen",
+            "urlaub", "gasthaus", "flug", "bahn", "fußball", "musikverein", "spiele", "günstig",
+            "kostenlos", "angebote", "geschäft", "handwerk", "bäckerei", "metzgerei",
+            "apotheke", "friseur", "gärtnerei", "würstchen", "brötchen", "müller", "schäfer",
+        ],
+        Language::Turkish => &[
+            "istanbul", "ankara", "izmir", "bursa", "antalya", "türkiye", "güzel", "şehir",
+            "haber", "oyun", "müzik", "alışveriş", "ücretsiz", "açık", "çiçek", "şirket",
+            "otel", "uçak", "otobüs", "araba", "sigorta", "banka", "okul", "üniversite",
+            "hastane", "sağlık", "yemek", "döner", "kebap", "baklava", "çay", "kahve",
+            "futbol", "spor", "hava", "harita", "eğitim", "düğün", "güvenlik", "yazılım",
+            "bilgisayar", "telefon", "indirim", "kupon", "kargo", "ödeme", "üyelik",
+        ],
+        Language::Thai => &[
+            "ไทย", "กรุงเทพ", "เชียงใหม่", "ภูเก็ต", "พัทยา", "ข่าว", "เกม", "ฟรี",
+            "ช้อปปิ้ง", "โรงแรม", "บริษัท", "เพลง", "หนัง", "ท่องเที่ยว", "อากาศ",
+            "แผนที่", "งาน", "อสังหา", "การศึกษา", "แต่งงาน", "ความงาม", "สุขภาพ",
+            "อาหาร", "ต้มยำ", "ส้มตำ", "มวยไทย", "ฟุตบอล", "หวย", "คาสิโน", "บาคาร่า",
+            "แทงบอล", "สมัคร", "โปรโมชั่น", "ส่วนลด", "ธนาคาร", "ประกัน", "รถยนต์",
+        ],
+        Language::Swedish => &[
+            "stockholm", "göteborg", "malmö", "uppsala", "västerås", "sverige", "köpa",
+            "billig", "nyheter", "väder", "aktiebolag", "företag", "hotell", "resor",
+            "flyg", "tåg", "bil", "försäkring", "bank", "skola", "universitet", "sjukhus",
+            "hälsa", "mat", "köttbullar", "fika", "musik", "spel", "fotboll", "gratis",
+            "erbjudande", "butik", "bageri", "apotek", "frisör", "trädgård", "möbler",
+            "kök", "bröllop", "skönhet", "jobb", "bostäder", "utbildning", "lägenhet",
+        ],
+        Language::Spanish => &[
+            "españa", "madrid", "barcelona", "sevilla", "valencia", "méxico", "compañía",
+            "niño", "años", "información", "tienda", "jardín", "noticias", "tiempo",
+            "coche", "seguro", "banco", "escuela", "universidad", "clínica", "salud",
+            "comida", "paella", "jamón", "música", "juegos", "fútbol", "regalo",
+            "ofertas", "panadería", "farmacia", "peluquería", "muebles", "cocina",
+            "boda", "belleza", "trabajo", "educación", "viajes", "hostal", "vuelos",
+            "teléfono", "ordenador", "descuento", "envío", "pequeño", "señor", "mañana",
+        ],
+        Language::French => &[
+            "français", "paris", "lyon", "marseille", "toulouse", "hôtel", "café",
+            "être", "où", "déjà", "société", "achat", "vêtements", "nouvelles", "météo",
+            "voiture", "assurance", "banque", "école", "université", "hôpital", "santé",
+            "cuisine", "fromage", "boulangerie", "pâtisserie", "musique", "jeux",
+            "pétanque", "gratuit", "offres", "pharmacie", "coiffeur", "meubles",
+            "mariage", "beauté", "travail", "éducation", "voyages", "vols", "téléphone",
+            "ordinateur", "réduction", "livraison", "château", "élève", "très", "crème",
+        ],
+        Language::Finnish => &[
+            "suomi", "helsinki", "tampere", "turku", "oulu", "espoo", "yhtiö", "myydään",
+            "halpa", "sää", "uutiset", "pelit", "hotelli", "matkat", "lennot", "juna",
+            "autot", "vakuutus", "pankki", "koulu", "yliopisto", "sairaala", "terveys",
+            "ruoka", "sauna", "järvi", "mökki", "musiikki", "jalkapallo", "jääkiekko",
+            "ilmainen", "tarjoukset", "kauppa", "leipomo", "apteekki", "kampaamo",
+            "huonekalut", "keittiö", "häät", "kauneus", "työpaikat", "asunnot", "koulutus",
+        ],
+        Language::Russian => &[
+            "россия", "москва", "петербург", "новосибирск", "екатеринбург", "новости",
+            "погода", "купить", "бесплатно", "игры", "музыка", "фильмы", "путешествия",
+            "карта", "работа", "недвижимость", "образование", "свадьба", "красота",
+            "здоровье", "еда", "борщ", "пельмени", "футбол", "хоккей", "гостиница",
+            "компания", "банк", "страхование", "школа", "университет", "больница",
+            "машина", "телефон", "компьютер", "скидка", "доставка", "магазин", "аптека",
+        ],
+        Language::Hungarian => &[
+            "magyarország", "budapest", "debrecen", "szeged", "miskolc", "hírek",
+            "időjárás", "olcsó", "játék", "zene", "vásárlás", "ingyenes", "szálloda",
+            "utazás", "repülő", "vonat", "autó", "biztosítás", "bankok", "iskola",
+            "egyetem", "kórház", "egészség", "étel", "gulyás", "lángos", "pálinka",
+            "labdarúgás", "ajánlatok", "üzlet", "pékség", "gyógyszertár", "fodrász",
+            "bútor", "konyha", "esküvő", "szépség", "munka", "ingatlan", "oktatás",
+        ],
+        Language::Arabic => &[
+            "العربية", "مصر", "السعودية", "الإمارات", "الكويت", "قطر", "أخبار", "سوق",
+            "شراء", "موقع", "مجاني", "ألعاب", "موسيقى", "أفلام", "سفر", "طقس", "خريطة",
+            "وظائف", "عقارات", "تعليم", "زواج", "جمال", "صحة", "طعام", "فندق", "شركة",
+            "بنك", "تأمين", "مدرسة", "جامعة", "مستشفى", "سيارة", "هاتف", "حاسوب",
+            "خصم", "توصيل", "متجر", "صيدلية", "مطعم", "قهوة",
+        ],
+        Language::Danish => &[
+            "danmark", "københavn", "aarhus", "odense", "aalborg", "nyheder", "vejr",
+            "køb", "billigst", "spil", "sange", "film", "rejser", "flybilletter", "tog", "biler",
+            "forsikring", "sparekasse", "skole", "universiteter", "sygehus", "sundhed", "mad",
+            "smørrebrød", "rugbrød", "hygge", "fodbold", "gratis", "tilbud", "forretning",
+            "bagerier", "apoteket", "frisør", "møbler", "køkken", "bryllup", "skønhed",
+            "arbejde", "boliger", "uddannelse", "lejlighed", "værksted", "gård",
+        ],
+        Language::Persian => &[
+            "ایران", "تهران", "مشهد", "اصفهان", "شیراز", "تبریز", "اخبار", "بازار",
+            "خرید", "رایگان", "بازی", "موسیقی", "فیلم", "گردشگری", "هوا", "نقشه", "شغل",
+            "املاک", "آموزش", "عروسی", "زیبایی", "سلامت", "غذا", "کباب", "هتل",
+            "شرکت", "بانک", "بیمه", "مدرسه", "دانشگاه", "بیمارستان", "ماشین", "گوشی",
+            "رایانه", "تخفیف", "ارسال", "فروشگاه", "داروخانه", "رستوران", "چای",
+        ],
+        Language::Vietnamese => &[
+            "việtnam", "hànội", "sàigòn", "đànẵng", "huế", "dulịch", "kháchsạn",
+            "tintức", "muasắm", "trựctuyến", "giảitrí", "âmnhạc", "phimảnh",
+            "thểthao", "sứckhỏe", "ẩmthực", "phởbò", "bánhmì", "càphê",
+            "hoatươi", "nhàđất", "việclàm", "giáodục", "đámcưới", "làmđẹp",
+            "ngânhàng", "bảohiểm", "xehơi", "điệnthoại", "máytính", "giảmgiá",
+            "giaohàng", "cửahàng", "nhàthuốc", "nhàhàng", "khuyếnmãi",
+            "miễnphí", "trườnghọc", "bệnhviện", "thờitiết", "bảnđồ",
+        ],
+        Language::Greek => &[
+            "ελλάδα", "αθήνα", "θεσσαλονίκη", "πάτρα", "κρήτη", "νέα",
+            "καιρός", "αγορά", "παιχνίδια", "μουσική", "ταινίες", "ταξίδια",
+            "ξενοδοχείο", "εταιρεία", "τράπεζα", "ασφάλεια", "σχολείο",
+            "πανεπιστήμιο", "νοσοκομείο", "υγεία", "φαγητό", "σουβλάκι",
+            "ποδόσφαιρο", "δωρεάν", "προσφορές", "κατάστημα", "φαρμακείο",
+            "κομμωτήριο", "έπιπλα", "κουζίνα", "γάμος", "ομορφιά", "εργασία",
+            "ακίνητα", "εκπαίδευση", "αυτοκίνητο", "τηλέφωνο", "υπολογιστής",
+        ],
+        Language::Hebrew => &[
+            "ישראל", "תלאביב", "ירושלים", "חיפה", "אילת", "חדשות",
+            "מזגאוויר", "קניות", "משחקים", "מוזיקה", "סרטים", "טיולים",
+            "מלון", "חברה", "בנק", "ביטוח", "ביתספר", "אוניברסיטה",
+            "ביתחולים", "בריאות", "אוכל", "פלאפל", "כדורגל", "חינם",
+            "מבצעים", "חנות", "ביתמרקחת", "מספרה", "רהיטים", "מטבח",
+            "חתונה", "יופי", "עבודה", "נדלן", "חינוך", "מכונית", "טלפון",
+        ],
+        Language::English => &[
+            "online", "news", "free", "games", "store", "world", "best", "shop", "blog",
+            "travel", "hotel", "flights", "weather", "maps", "jobs", "realestate",
+            "education", "wedding", "beauty", "health", "food", "pizza", "music",
+            "movies", "football", "deals", "bakery", "pharmacy", "salon", "furniture",
+            "kitchen", "work", "homes", "school", "university", "clinics", "insurance",
+            "banking", "cars", "phones", "computers", "discount", "delivery", "market",
+            "service", "cloud", "login", "account", "secure", "payment", "support",
+        ],
+        Language::Unknown => &[],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_language_has_vocabulary() {
+        for lang in Language::ALL {
+            assert!(
+                vocabulary(lang).len() >= 30,
+                "{lang} corpus too small ({})",
+                vocabulary(lang).len()
+            );
+        }
+        assert!(vocabulary(Language::Unknown).is_empty());
+    }
+
+    #[test]
+    fn vocabularies_are_mostly_disjoint() {
+        // A small amount of overlap is tolerable, but corpora must not be
+        // copies of each other.
+        use std::collections::HashSet;
+        for a in Language::ALL {
+            for b in Language::ALL {
+                if a >= b {
+                    continue;
+                }
+                let set_a: HashSet<_> = vocabulary(a).iter().collect();
+                let overlap = vocabulary(b).iter().filter(|w| set_a.contains(*w)).count();
+                assert!(
+                    overlap * 10 <= vocabulary(b).len(),
+                    "{a} and {b} overlap too much ({overlap} items)"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Multinomial naive-Bayes classifier over character n-grams with
+//! script priors.
+
+use crate::{corpus, Language};
+use idnre_unicode::{dominant_script, Script};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// A trained language classifier.
+///
+/// The model is cheap to train (the seed corpus is small); [`Classifier::global`]
+/// provides a process-wide instance trained once on first use.
+#[derive(Debug)]
+pub struct Classifier {
+    /// Per-language n-gram log-probabilities.
+    models: HashMap<Language, NgramModel>,
+}
+
+/// One language's n-gram statistics.
+#[derive(Debug, Default)]
+struct NgramModel {
+    log_probs: HashMap<String, f64>,
+    /// Log-probability assigned to unseen n-grams (add-one smoothing mass).
+    unseen: f64,
+}
+
+/// A scored prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The winning language.
+    pub language: Language,
+    /// Normalized posterior over the candidate set, in `(0, 1]`.
+    pub confidence: f64,
+}
+
+impl Classifier {
+    /// Trains a classifier from the embedded seed corpus.
+    pub fn train() -> Self {
+        let mut models = HashMap::new();
+        for lang in Language::ALL {
+            let mut counts: HashMap<String, u64> = HashMap::new();
+            let mut total: u64 = 0;
+            for word in corpus::vocabulary(lang) {
+                for gram in ngrams(word) {
+                    *counts.entry(gram).or_insert(0) += 1;
+                    total += 1;
+                }
+            }
+            let vocab_size = counts.len().max(1) as f64;
+            let denom = total as f64 + vocab_size + 1.0;
+            let log_probs = counts
+                .into_iter()
+                .map(|(gram, c)| (gram, ((c + 1) as f64 / denom).ln()))
+                .collect();
+            models.insert(
+                lang,
+                NgramModel {
+                    log_probs,
+                    unseen: (1.0 / denom).ln(),
+                },
+            );
+        }
+        Classifier { models }
+    }
+
+    /// The process-wide classifier, trained on first use.
+    pub fn global() -> &'static Classifier {
+        static GLOBAL: OnceLock<Classifier> = OnceLock::new();
+        GLOBAL.get_or_init(Classifier::train)
+    }
+
+    /// Classifies `text` (typically the Unicode form of an IDN label).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use idnre_langid::{Classifier, Language};
+    /// assert_eq!(Classifier::global().classify("彩票"), Language::Chinese);
+    /// ```
+    pub fn classify(&self, text: &str) -> Language {
+        self.classify_detailed(text).language
+    }
+
+    /// Classifies `text`, returning the winner and its normalized posterior.
+    pub fn classify_detailed(&self, text: &str) -> Prediction {
+        let cleaned = clean(text);
+        if cleaned.is_empty() {
+            return Prediction {
+                language: Language::Unknown,
+                confidence: 1.0,
+            };
+        }
+        let candidates = candidates_for(&cleaned);
+        if candidates.is_empty() {
+            return Prediction {
+                language: Language::Unknown,
+                confidence: 1.0,
+            };
+        }
+        if candidates.len() == 1 {
+            return Prediction {
+                language: candidates[0],
+                confidence: 1.0,
+            };
+        }
+        let grams: Vec<String> = ngrams(&cleaned).collect();
+        let mut scores: Vec<(Language, f64)> = candidates
+            .iter()
+            .map(|&lang| {
+                let model = &self.models[&lang];
+                let log_likelihood: f64 = grams
+                    .iter()
+                    .map(|g| model.log_probs.get(g).copied().unwrap_or(model.unseen))
+                    .sum();
+                (lang, log_likelihood)
+            })
+            .collect();
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite log-likelihoods"));
+        // Softmax-normalize for a comparable confidence.
+        let max = scores[0].1;
+        let z: f64 = scores.iter().map(|&(_, s)| (s - max).exp()).sum();
+        Prediction {
+            language: scores[0].0,
+            confidence: 1.0 / z * (scores[0].1 - max).exp().max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
+/// Strips digits, punctuation and whitespace; lowercases.
+fn clean(text: &str) -> String {
+    text.chars()
+        .filter(|c| !c.is_ascii_digit() && !matches!(c, '-' | '.' | '_' | ' '))
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+/// Character uni-, bi- and tri-grams with boundary markers.
+fn ngrams(word: &str) -> impl Iterator<Item = String> + '_ {
+    let chars: Vec<char> = std::iter::once('^')
+        .chain(word.chars())
+        .chain(std::iter::once('$'))
+        .collect();
+    let unigrams: Vec<String> = chars.iter().map(|c| c.to_string()).collect();
+    let bigrams: Vec<String> = chars.windows(2).map(|w| w.iter().collect()).collect();
+    let trigrams: Vec<String> = chars.windows(3).map(|w| w.iter().collect()).collect();
+    unigrams.into_iter().chain(bigrams).chain(trigrams)
+}
+
+/// Script prior: restricts the candidate languages by dominant script.
+fn candidates_for(cleaned: &str) -> Vec<Language> {
+    match dominant_script(cleaned) {
+        Script::Hiragana | Script::Katakana => vec![Language::Japanese],
+        Script::Hangul => vec![Language::Korean],
+        Script::Thai => vec![Language::Thai],
+        Script::Han => vec![Language::Chinese, Language::Japanese],
+        Script::Arabic => vec![Language::Arabic, Language::Persian],
+        Script::Cyrillic => vec![Language::Russian],
+        Script::Greek => vec![Language::Greek],
+        Script::Hebrew => vec![Language::Hebrew],
+        Script::Latin => vec![
+            Language::German,
+            Language::Turkish,
+            Language::Swedish,
+            Language::Spanish,
+            Language::French,
+            Language::Finnish,
+            Language::Hungarian,
+            Language::Danish,
+            Language::Vietnamese,
+            Language::English,
+        ],
+        _ => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clf() -> &'static Classifier {
+        Classifier::global()
+    }
+
+    #[test]
+    fn script_bound_languages() {
+        assert_eq!(clf().classify("ニュース"), Language::Japanese);
+        assert_eq!(clf().classify("ひらがな"), Language::Japanese);
+        assert_eq!(clf().classify("뉴스쇼핑"), Language::Korean);
+        assert_eq!(clf().classify("ข่าวเกม"), Language::Thai);
+        assert_eq!(clf().classify("новости"), Language::Russian);
+    }
+
+    #[test]
+    fn han_disambiguation() {
+        // Pure simplified-Chinese commerce terms → Chinese.
+        assert_eq!(clf().classify("彩票"), Language::Chinese);
+        assert_eq!(clf().classify("购物网站"), Language::Chinese);
+        // Kanji + kana mix → Japanese (kana dominates the script vote when
+        // present in equal measure; here kana wins via Han+kana mix).
+        assert_eq!(clf().classify("日本のニュース"), Language::Japanese);
+    }
+
+    #[test]
+    fn latin_languages() {
+        assert_eq!(clf().classify("münchen"), Language::German);
+        assert_eq!(clf().classify("alışveriş"), Language::Turkish);
+        assert_eq!(clf().classify("göteborg"), Language::Swedish);
+        assert_eq!(clf().classify("información"), Language::Spanish);
+        assert_eq!(clf().classify("pâtisserie"), Language::French);
+        assert_eq!(clf().classify("jääkiekko"), Language::Finnish);
+        assert_eq!(clf().classify("időjárás"), Language::Hungarian);
+        assert_eq!(clf().classify("smørrebrød"), Language::Danish);
+    }
+
+    #[test]
+    fn arabic_vs_persian() {
+        assert_eq!(clf().classify("أخبار"), Language::Arabic);
+        assert_eq!(clf().classify("اخبار ایران"), Language::Persian);
+    }
+
+    #[test]
+    fn digits_and_punctuation_ignored() {
+        assert_eq!(clf().classify("58汽车"), Language::Chinese);
+        assert_eq!(clf().classify("彩票-123"), Language::Chinese);
+    }
+
+    #[test]
+    fn empty_and_unmodelled_are_unknown() {
+        assert_eq!(clf().classify(""), Language::Unknown);
+        assert_eq!(clf().classify("123-456"), Language::Unknown);
+        // Devanagari is not in the model's language set.
+        assert_eq!(clf().classify("समाचार"), Language::Unknown);
+    }
+
+    #[test]
+    fn tail_languages() {
+        assert_eq!(clf().classify("χαλκίδα νέα"), Language::Greek);
+        assert_eq!(clf().classify("חדשות"), Language::Hebrew);
+        assert_eq!(clf().classify("dulịch"), Language::Vietnamese);
+        assert_eq!(clf().classify("kháchsạn"), Language::Vietnamese);
+    }
+
+    #[test]
+    fn confidence_is_normalized() {
+        let p = clf().classify_detailed("münchen");
+        assert!(p.confidence > 0.0 && p.confidence <= 1.0);
+        let single = clf().classify_detailed("뉴스");
+        assert_eq!(single.confidence, 1.0);
+    }
+
+    #[test]
+    fn seed_corpus_self_classification_accuracy() {
+        // The paper reports 0.904–0.992 accuracy for langid.py. On our own
+        // seed corpus (training data) accuracy should be near-perfect.
+        let mut correct = 0u32;
+        let mut total = 0u32;
+        for lang in Language::ALL {
+            for word in crate::corpus::vocabulary(lang) {
+                total += 1;
+                if clf().classify(word) == lang {
+                    correct += 1;
+                }
+            }
+        }
+        let accuracy = correct as f64 / total as f64;
+        assert!(accuracy > 0.9, "self-accuracy {accuracy} below 0.9");
+    }
+}

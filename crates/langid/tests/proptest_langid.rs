@@ -1,0 +1,56 @@
+//! Property-based tests for the language classifier.
+
+use idnre_langid::{Classifier, Language};
+use proptest::prelude::*;
+
+proptest! {
+    /// Classification is total: arbitrary Unicode never panics.
+    #[test]
+    fn classify_is_total(s in "\\PC{0,32}") {
+        let _ = Classifier::global().classify(&s);
+    }
+
+    /// Script priors are hard constraints: Hangul text is never classified
+    /// as anything but Korean, kana never as anything but Japanese.
+    #[test]
+    fn script_priors_bind(
+        hangul in proptest::collection::vec(proptest::char::range('\u{AC00}', '\u{D7A3}'), 1..8),
+        kana in proptest::collection::vec(proptest::char::range('\u{3041}', '\u{3096}'), 1..8),
+    ) {
+        let clf = Classifier::global();
+        let hangul_text: String = hangul.into_iter().collect();
+        prop_assert_eq!(clf.classify(&hangul_text), Language::Korean);
+        let kana_text: String = kana.into_iter().collect();
+        prop_assert_eq!(clf.classify(&kana_text), Language::Japanese);
+    }
+
+    /// Cyrillic-only text resolves within the Cyrillic candidate set.
+    #[test]
+    fn cyrillic_resolves_to_russian(
+        chars in proptest::collection::vec(proptest::char::range('\u{0430}', '\u{044F}'), 1..10)
+    ) {
+        let text: String = chars.into_iter().collect();
+        prop_assert_eq!(Classifier::global().classify(&text), Language::Russian);
+    }
+
+    /// Digits, dots and hyphens never change the classification.
+    #[test]
+    fn punctuation_is_transparent(
+        word_idx in 0usize..30,
+        digits in "[0-9]{0,4}",
+    ) {
+        let clf = Classifier::global();
+        let vocab = idnre_langid::vocabulary(Language::Chinese);
+        let word = vocab[word_idx % vocab.len()];
+        let plain = clf.classify(word);
+        let decorated = format!("{digits}{word}-{digits}");
+        prop_assert_eq!(clf.classify(&decorated), plain);
+    }
+
+    /// Confidence is always a valid probability.
+    #[test]
+    fn confidence_in_range(s in "\\PC{0,24}") {
+        let p = Classifier::global().classify_detailed(&s);
+        prop_assert!(p.confidence > 0.0 && p.confidence <= 1.0 + 1e-12);
+    }
+}

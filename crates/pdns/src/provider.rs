@@ -1,0 +1,237 @@
+//! Passive-DNS provider models — the two feeds of Section III with their
+//! real operational constraints.
+//!
+//! * **360 DNS Pai**: collecting since 2014-08-04 (snapshot 2017-10-13),
+//!   no query limit — the paper submitted all 1.4M IDNs to it.
+//! * **Farsight DNSDB**: coverage 2010-06-24 through 2017-12-03, but a
+//!   quota of 1,000 domains per day — the paper could only afford to query
+//!   its detected abusive sets through it.
+//!
+//! A provider clips each aggregate to its observation window (an aggregate
+//! entirely outside the window is invisible) and scales the query count to
+//! the covered fraction of the activity span.
+
+use crate::aggregate::DomainAggregate;
+use crate::store::PdnsStore;
+use std::error::Error;
+use std::fmt;
+
+/// A passive-DNS data provider with an observation window and quota.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provider {
+    /// Provider name for reports.
+    pub name: &'static str,
+    /// First day (day number) of collection.
+    pub window_start: i64,
+    /// Last day (day number) of collection.
+    pub window_end: i64,
+    /// Max domains queryable per day (`None` = unlimited).
+    pub daily_query_limit: Option<usize>,
+}
+
+/// Day number for a civil date (local copy to keep this crate's dependency
+/// surface minimal; cross-checked against `idnre-whois::Date` in the
+/// integration suite).
+const fn day_number(year: i64, month: i64, day: i64) -> i64 {
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (month + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + day - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+impl Provider {
+    /// The 360 DNS Pai feed (2014-08-04 … 2017-10-13, unlimited).
+    pub fn dns_pai() -> Self {
+        Provider {
+            name: "360 DNS Pai",
+            window_start: day_number(2014, 8, 4),
+            window_end: day_number(2017, 10, 13),
+            daily_query_limit: None,
+        }
+    }
+
+    /// The Farsight DNSDB feed (2010-06-24 … 2017-12-03, 1,000/day).
+    pub fn farsight() -> Self {
+        Provider {
+            name: "Farsight DNSDB",
+            window_start: day_number(2010, 6, 24),
+            window_end: day_number(2017, 12, 3),
+            daily_query_limit: Some(1_000),
+        }
+    }
+
+    /// Queries one domain, returning the aggregate *as this provider saw
+    /// it*: clipped to the observation window, with the query count scaled
+    /// to the covered fraction of the span. `None` when the domain was
+    /// never active inside the window (or unknown to the store).
+    pub fn query(&self, store: &PdnsStore, domain: &str) -> Option<DomainAggregate> {
+        let full = store.lookup(domain)?;
+        let first = full.first_seen.max(self.window_start);
+        let last = full.last_seen.min(self.window_end);
+        if first > last {
+            return None;
+        }
+        let covered = (last - first + 1) as f64;
+        let span = full.active_days() as f64;
+        let mut clipped = full.clone();
+        clipped.first_seen = first;
+        clipped.last_seen = last;
+        clipped.query_count = ((full.query_count as f64) * covered / span).round() as u64;
+        clipped.query_count = clipped.query_count.max(1);
+        Some(clipped)
+    }
+
+    /// Batch query under the provider's quota: `budget_days` of access
+    /// allow `daily_query_limit × budget_days` submissions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuotaExceeded`] when the batch exceeds the quota; no
+    /// partial results are returned (mirroring the all-or-plan-your-batches
+    /// reality the paper describes).
+    pub fn query_batch<'a, I>(
+        &self,
+        store: &PdnsStore,
+        domains: I,
+        budget_days: usize,
+    ) -> Result<Vec<Option<DomainAggregate>>, QuotaExceeded>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let domains: Vec<&str> = domains.into_iter().collect();
+        if let Some(limit) = self.daily_query_limit {
+            let allowed = limit.saturating_mul(budget_days);
+            if domains.len() > allowed {
+                return Err(QuotaExceeded {
+                    provider: self.name,
+                    submitted: domains.len(),
+                    allowed,
+                });
+            }
+        }
+        Ok(domains.into_iter().map(|d| self.query(store, d)).collect())
+    }
+
+    /// Days of quota needed to submit `n` domains (0 when unlimited).
+    pub fn days_needed(&self, n: usize) -> usize {
+        match self.daily_query_limit {
+            Some(limit) => n.div_ceil(limit),
+            None => 0,
+        }
+    }
+}
+
+/// A batch exceeded the provider's query quota.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuotaExceeded {
+    /// Provider name.
+    pub provider: &'static str,
+    /// Domains submitted.
+    pub submitted: usize,
+    /// Domains the budget allowed.
+    pub allowed: usize,
+}
+
+impl fmt::Display for QuotaExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} quota exceeded: {} submitted, {} allowed",
+            self.provider, self.submitted, self.allowed
+        )
+    }
+}
+
+impl Error for QuotaExceeded {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(domain: &str, first: i64, last: i64, queries: u64) -> PdnsStore {
+        let mut store = PdnsStore::new();
+        let mut agg = DomainAggregate::first_observation(domain, first);
+        agg.last_seen = last;
+        agg.query_count = queries;
+        store.insert_aggregate(agg);
+        store
+    }
+
+    #[test]
+    fn day_number_agrees_with_known_values() {
+        assert_eq!(day_number(1970, 1, 1), 0);
+        assert_eq!(day_number(2017, 9, 21), 17_430);
+    }
+
+    #[test]
+    fn window_clipping_scales_queries() {
+        let pai = Provider::dns_pai();
+        // Active 1000 days, but only the second half falls inside DNS Pai's
+        // window (which opens 2014-08-04 = day 16286).
+        let start = pai.window_start - 500;
+        let store = store_with("x.com", start, start + 999, 10_000);
+        let clipped = pai.query(&store, "x.com").unwrap();
+        assert_eq!(clipped.first_seen, pai.window_start);
+        assert_eq!(clipped.active_days(), 500);
+        assert_eq!(clipped.query_count, 5_000);
+    }
+
+    #[test]
+    fn activity_outside_window_is_invisible() {
+        let pai = Provider::dns_pai();
+        let store = store_with("old.com", 10_000, 12_000, 500);
+        assert!(pai.query(&store, "old.com").is_none());
+        // Farsight's window opens earlier and sees it.
+        let farsight = Provider::farsight();
+        assert!(farsight.query(&store, "old.com").is_none()); // 12000 < 2010 window
+        let store2 = store_with("mid.com", 15_000, 15_100, 500);
+        assert!(farsight.query(&store2, "mid.com").is_some());
+        assert!(pai.query(&store2, "mid.com").is_none());
+    }
+
+    #[test]
+    fn farsight_sees_longer_histories_than_pai() {
+        // The paper's homographic IDNs average 789 active days — visible in
+        // Farsight (2010-) but clipped by DNS Pai (2014-).
+        let farsight = Provider::farsight();
+        let pai = Provider::dns_pai();
+        let store = store_with("xn--a.com", day_number(2013, 1, 1), day_number(2017, 9, 1), 4_000);
+        let via_farsight = farsight.query(&store, "xn--a.com").unwrap();
+        let via_pai = pai.query(&store, "xn--a.com").unwrap();
+        assert!(via_farsight.active_days() > via_pai.active_days());
+        assert!(via_farsight.query_count > via_pai.query_count);
+    }
+
+    #[test]
+    fn quota_enforcement() {
+        let farsight = Provider::farsight();
+        let store = PdnsStore::new();
+        let domains: Vec<String> = (0..2_500).map(|i| format!("d{i}.com")).collect();
+        // 2 days of budget allow only 2,000.
+        let err = farsight
+            .query_batch(&store, domains.iter().map(String::as_str), 2)
+            .unwrap_err();
+        assert_eq!(err.allowed, 2_000);
+        assert_eq!(err.submitted, 2_500);
+        // 3 days suffice.
+        let ok = farsight
+            .query_batch(&store, domains.iter().map(String::as_str), 3)
+            .unwrap();
+        assert_eq!(ok.len(), 2_500);
+        assert_eq!(farsight.days_needed(2_500), 3);
+    }
+
+    #[test]
+    fn dns_pai_is_unlimited() {
+        let pai = Provider::dns_pai();
+        let store = PdnsStore::new();
+        let domains: Vec<String> = (0..5_000).map(|i| format!("d{i}.com")).collect();
+        assert!(pai
+            .query_batch(&store, domains.iter().map(String::as_str), 0)
+            .is_ok());
+        assert_eq!(pai.days_needed(1_472_836), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The passive-DNS store: the query interface both providers expose.
+
+use crate::aggregate::DomainAggregate;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// An aggregated passive-DNS database.
+///
+/// Mirrors the provider interface the paper used: submit a domain, get back
+/// its aggregate (look-up count, first/last seen) or nothing if the domain
+/// was never observed.
+#[derive(Debug, Clone, Default)]
+pub struct PdnsStore {
+    domains: HashMap<String, DomainAggregate>,
+}
+
+impl PdnsStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observed look-up of `domain` on `day`, optionally with
+    /// the IP its DNS response carried.
+    pub fn record_lookup(&mut self, domain: &str, day: i64, ip: Option<Ipv4Addr>) {
+        let key = domain.to_ascii_lowercase();
+        self.domains
+            .entry(key.clone())
+            .or_insert_with(|| DomainAggregate::first_observation(&key, day))
+            .record(day, ip);
+    }
+
+    /// Inserts a pre-built aggregate (the simulator's bulk path). Replaces
+    /// any existing aggregate for the same domain.
+    pub fn insert_aggregate(&mut self, aggregate: DomainAggregate) {
+        self.domains
+            .insert(aggregate.domain.to_ascii_lowercase(), aggregate);
+    }
+
+    /// Queries one domain.
+    pub fn lookup(&self, domain: &str) -> Option<&DomainAggregate> {
+        self.domains.get(&domain.to_ascii_lowercase())
+    }
+
+    /// Bulk query — the paper submitted all 1.4M IDNs to DNS Pai in one
+    /// batch. Unobserved domains yield `None` entries, preserving order.
+    pub fn lookup_batch<'a, I>(&self, domains: I) -> Vec<Option<&DomainAggregate>>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        domains.into_iter().map(|d| self.lookup(d)).collect()
+    }
+
+    /// Number of observed domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Iterates all aggregates (order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = &DomainAggregate> {
+        self.domains.values()
+    }
+
+    /// Merges another provider's view into this one — the union the paper
+    /// effectively works with when combining DNS Pai and Farsight. Windows
+    /// union (earliest first-seen, latest last-seen); query counts take the
+    /// maximum (the feeds overlap, so summing would double-count).
+    pub fn merge(&mut self, other: &PdnsStore) {
+        for aggregate in other.iter() {
+            match self.domains.get_mut(&aggregate.domain) {
+                Some(existing) => {
+                    existing.first_seen = existing.first_seen.min(aggregate.first_seen);
+                    existing.last_seen = existing.last_seen.max(aggregate.last_seen);
+                    existing.query_count = existing.query_count.max(aggregate.query_count);
+                    for &ip in &aggregate.ips {
+                        if !existing.ips.contains(&ip) {
+                            existing.ips.push(ip);
+                        }
+                    }
+                }
+                None => self.insert_aggregate(aggregate.clone()),
+            }
+        }
+    }
+}
+
+impl Extend<DomainAggregate> for PdnsStore {
+    fn extend<T: IntoIterator<Item = DomainAggregate>>(&mut self, iter: T) {
+        for aggregate in iter {
+            self.insert_aggregate(aggregate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_lookup() {
+        let mut store = PdnsStore::new();
+        store.record_lookup("A.COM", 10, None);
+        store.record_lookup("a.com", 20, None);
+        let agg = store.lookup("a.com").unwrap();
+        assert_eq!(agg.query_count, 2);
+        assert_eq!(agg.active_days(), 11);
+        assert!(store.lookup("missing.com").is_none());
+    }
+
+    #[test]
+    fn batch_preserves_order_and_misses() {
+        let mut store = PdnsStore::new();
+        store.record_lookup("a.com", 1, None);
+        store.record_lookup("c.com", 1, None);
+        let results = store.lookup_batch(["a.com", "b.com", "c.com"]);
+        assert!(results[0].is_some());
+        assert!(results[1].is_none());
+        assert!(results[2].is_some());
+    }
+
+    #[test]
+    fn merge_unions_windows_and_ips() {
+        let mut pai = PdnsStore::new();
+        pai.record_lookup("a.com", 100, Some(std::net::Ipv4Addr::new(10, 0, 0, 1)));
+        pai.record_lookup("a.com", 200, None);
+        let mut farsight = PdnsStore::new();
+        farsight.record_lookup("a.com", 50, Some(std::net::Ipv4Addr::new(10, 0, 0, 2)));
+        farsight.record_lookup("b.com", 70, None);
+
+        pai.merge(&farsight);
+        let merged = pai.lookup("a.com").unwrap();
+        assert_eq!(merged.first_seen, 50);
+        assert_eq!(merged.last_seen, 200);
+        assert_eq!(merged.query_count, 2); // max(2, 1), not the sum
+        assert_eq!(merged.ips.len(), 2);
+        assert!(pai.lookup("b.com").is_some());
+    }
+
+    #[test]
+    fn insert_aggregate_replaces() {
+        let mut store = PdnsStore::new();
+        store.record_lookup("a.com", 1, None);
+        let mut agg = DomainAggregate::first_observation("a.com", 5);
+        agg.query_count = 99;
+        store.insert_aggregate(agg);
+        assert_eq!(store.lookup("a.com").unwrap().query_count, 99);
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! The embedded glyph set: a 5×7 core font for ASCII, compositional marks
+//! for confusables, and deterministic block patterns for other scripts.
+
+use crate::image::GrayImage;
+use idnre_unicode::confusables::{self, Mark};
+
+/// Width of one character cell in pixels.
+pub const CELL_WIDTH: usize = 8;
+/// Height of one character cell in pixels.
+pub const CELL_HEIGHT: usize = 16;
+
+/// Horizontal offset of the 5×7 glyph core inside the cell.
+const GLYPH_X: usize = 1;
+/// Vertical offset of the 5×7 glyph core inside the cell. Rows above hold
+/// diacritics; rows below hold descender marks.
+const GLYPH_Y: usize = 5;
+
+/// 5×7 bitmap for an ASCII character, rows top-to-bottom, `#` = ink.
+fn ascii_glyph(c: char) -> Option<[&'static str; 7]> {
+    let rows = match c {
+        'a' => [".....", ".....", ".###.", "....#", ".####", "#...#", ".####"],
+        'b' => ["#....", "#....", "####.", "#...#", "#...#", "#...#", "####."],
+        'c' => [".....", ".....", ".####", "#....", "#....", "#....", ".####"],
+        'd' => ["....#", "....#", ".####", "#...#", "#...#", "#...#", ".####"],
+        'e' => [".....", ".....", ".###.", "#...#", "#####", "#....", ".###."],
+        'f' => ["..##.", ".#..#", ".#...", "###..", ".#...", ".#...", ".#..."],
+        'g' => [".....", ".###.", "#...#", "#...#", ".####", "....#", ".###."],
+        'h' => ["#....", "#....", "####.", "#...#", "#...#", "#...#", "#...#"],
+        'i' => ["..#..", ".....", ".##..", "..#..", "..#..", "..#..", ".###."],
+        'j' => ["...#.", ".....", "..##.", "...#.", "...#.", "#..#.", ".##.."],
+        'k' => ["#....", "#....", "#..#.", "#.#..", "##...", "#.#..", "#..#."],
+        'l' => [".##..", "..#..", "..#..", "..#..", "..#..", "..#..", ".###."],
+        'm' => [".....", ".....", "##.#.", "#.#.#", "#.#.#", "#.#.#", "#.#.#"],
+        'n' => [".....", ".....", "####.", "#...#", "#...#", "#...#", "#...#"],
+        'o' => [".....", ".....", ".###.", "#...#", "#...#", "#...#", ".###."],
+        'p' => [".....", ".....", "####.", "#...#", "####.", "#....", "#...."],
+        'q' => [".....", ".....", ".####", "#...#", ".####", "....#", "....#"],
+        'r' => [".....", ".....", "#.##.", "##..#", "#....", "#....", "#...."],
+        's' => [".....", ".....", ".####", "#....", ".###.", "....#", "####."],
+        't' => [".#...", ".#...", "####.", ".#...", ".#...", ".#..#", "..##."],
+        'u' => [".....", ".....", "#...#", "#...#", "#...#", "#...#", ".####"],
+        'v' => [".....", ".....", "#...#", "#...#", "#...#", ".#.#.", "..#.."],
+        'w' => [".....", ".....", "#...#", "#.#.#", "#.#.#", "#.#.#", ".#.#."],
+        'x' => [".....", ".....", "#...#", ".#.#.", "..#..", ".#.#.", "#...#"],
+        'y' => [".....", ".....", "#...#", "#...#", ".####", "....#", ".###."],
+        'z' => [".....", ".....", "#####", "...#.", "..#..", ".#...", "#####"],
+        '0' => [".###.", "#...#", "#..##", "#.#.#", "##..#", "#...#", ".###."],
+        '1' => ["..#..", ".##..", "..#..", "..#..", "..#..", "..#..", ".###."],
+        '2' => [".###.", "#...#", "....#", "...#.", "..#..", ".#...", "#####"],
+        '3' => ["#####", "...#.", "..#..", "...#.", "....#", "#...#", ".###."],
+        '4' => ["...#.", "..##.", ".#.#.", "#..#.", "#####", "...#.", "...#."],
+        '5' => ["#####", "#....", "####.", "....#", "....#", "#...#", ".###."],
+        '6' => ["..##.", ".#...", "#....", "####.", "#...#", "#...#", ".###."],
+        '7' => ["#####", "....#", "...#.", "..#..", "..#..", "..#..", "..#.."],
+        '8' => [".###.", "#...#", "#...#", ".###.", "#...#", "#...#", ".###."],
+        '9' => [".###.", "#...#", "#...#", ".####", "....#", "...#.", ".##.."],
+        '-' => [".....", ".....", ".....", "#####", ".....", ".....", "....."],
+        '.' => [".....", ".....", ".....", ".....", ".....", ".##..", ".##.."],
+        '_' => [".....", ".....", ".....", ".....", ".....", ".....", "#####"],
+        ' ' => [".....", ".....", ".....", ".....", ".....", ".....", "....."],
+        _ => return None,
+    };
+    Some(rows)
+}
+
+/// Draws the 5×7 core glyph of an ASCII character at cell origin `x0`.
+fn draw_ascii(img: &mut GrayImage, x0: usize, c: char) {
+    let Some(rows) = ascii_glyph(c) else {
+        draw_block_pattern(img, x0, c);
+        return;
+    };
+    for (dy, row) in rows.iter().enumerate() {
+        for (dx, ink) in row.chars().enumerate() {
+            if ink == '#' {
+                img.ink(x0 + GLYPH_X + dx, GLYPH_Y + dy);
+            }
+        }
+    }
+}
+
+/// Draws one diacritic mark over the glyph at cell origin `x0`. `index`
+/// shifts repeated marks (e.g. the double acute of `ő`) sideways.
+fn draw_mark(img: &mut GrayImage, x0: usize, mark: Mark, index: usize, seed: char) {
+    let off = index; // repeated marks shift right by one pixel each
+    let points: &[(usize, usize)] = match mark {
+        Mark::Acute => &[(3, 3), (4, 2)],
+        Mark::Grave => &[(2, 2), (3, 3)],
+        Mark::Circumflex => &[(2, 3), (3, 2), (4, 2), (5, 3)],
+        Mark::Tilde => &[(1, 3), (2, 2), (3, 3), (4, 2), (5, 3)],
+        Mark::Diaeresis => &[(2, 3), (5, 3)],
+        Mark::RingAbove => &[(3, 1), (2, 2), (4, 2), (3, 3)],
+        Mark::Macron => &[(1, 3), (2, 3), (3, 3), (4, 3), (5, 3)],
+        Mark::Breve => &[(1, 2), (2, 3), (3, 3), (4, 3), (5, 2)],
+        Mark::Caron => &[(2, 2), (3, 3), (4, 2)],
+        Mark::DotAbove => &[(3, 2), (3, 3)],
+        Mark::HookAbove => &[(3, 1), (4, 2), (3, 3)],
+        Mark::Horn => &[(6, 6), (7, 5)],
+        Mark::DotBelow => &[(3, 13), (4, 13)],
+        Mark::Cedilla => &[(3, 12), (4, 13), (3, 14)],
+        Mark::Ogonek => &[(4, 12), (3, 13), (4, 14)],
+        Mark::CommaBelow => &[(3, 13), (2, 14)],
+        Mark::LineBelow => &[(1, 13), (2, 13), (3, 13), (4, 13), (5, 13)],
+        Mark::Stroke => &[(1, 8), (2, 8), (3, 8), (4, 8), (5, 8), (6, 8)],
+        Mark::Slash => &[(1, 11), (2, 10), (3, 9), (4, 8), (5, 7)],
+        Mark::Tail => &[(4, 12), (5, 13), (5, 14)],
+        Mark::Dotless => {
+            // Erase the dot rows at the top of the glyph core.
+            for y in GLYPH_Y..GLYPH_Y + 2 {
+                for dx in 0..5 {
+                    img.erase(x0 + GLYPH_X + dx, y);
+                }
+            }
+            return;
+        }
+        Mark::Minified => {
+            // Shrink the glyph to a miniature: downsample the 5×7 body into
+            // a 3×4 thumbnail drawn high in the cell — the small-caps /
+            // modifier-letter look, clearly smaller at a glance.
+            let mut mini = [[false; 3]; 4];
+            for (my, row) in mini.iter_mut().enumerate() {
+                for (mx, cell) in row.iter_mut().enumerate() {
+                    for sy in 0..2 {
+                        for sx in 0..2 {
+                            let x = x0 + GLYPH_X + (mx * 2 + sx).min(4);
+                            let y = GLYPH_Y + (my * 2 + sy).min(6);
+                            if img.get(x, y) > 0.5 {
+                                *cell = true;
+                            }
+                        }
+                    }
+                }
+            }
+            for y in GLYPH_Y..GLYPH_Y + 7 {
+                for dx in 0..6 {
+                    img.erase(x0 + GLYPH_X + dx, y);
+                }
+            }
+            for (my, row) in mini.iter().enumerate() {
+                for (mx, &on) in row.iter().enumerate() {
+                    if on {
+                        img.ink(x0 + GLYPH_X + 1 + mx, GLYPH_Y + 3 + my);
+                    }
+                }
+            }
+            return;
+        }
+        Mark::ShapeVariant => {
+            // Deterministically flip several body pixels, seeded by the
+            // character, so each variant has its own distinct silhouette.
+            let mut state = seed as u32;
+            for _ in 0..6 {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                let dx = (state >> 8) as usize % 5;
+                let dy = (state >> 16) as usize % 5;
+                img.toggle(x0 + GLYPH_X + dx, GLYPH_Y + 2 + dy);
+            }
+            return;
+        }
+        // `Mark` is non_exhaustive upstream; unknown marks draw nothing.
+        _ => &[],
+    };
+    for &(dx, dy) in points {
+        img.ink(x0 + dx + off, dy);
+    }
+}
+
+/// Dense deterministic pattern for characters outside the composed set
+/// (CJK ideographs, Hangul, Arabic, …). Seeded by the code point so each
+/// character is stable and distinct; ~50% fill visually separates it from
+/// any Latin glyph.
+fn draw_block_pattern(img: &mut GrayImage, x0: usize, c: char) {
+    let mut state = c as u32 ^ 0x9E37_79B9;
+    for dy in 0..10 {
+        for dx in 0..7 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            if (state >> 16) & 1 == 1 {
+                img.ink(x0 + dx, 4 + dy);
+            }
+        }
+    }
+}
+
+/// Draws one character into its cell at horizontal offset `x0`.
+pub fn draw_char(img: &mut GrayImage, x0: usize, c: char) {
+    let lower = c.to_lowercase().next().unwrap_or(c);
+    if lower.is_ascii() {
+        draw_ascii(img, x0, lower);
+        return;
+    }
+    match confusables::lookup(lower) {
+        Some(entry) => {
+            draw_ascii(img, x0, entry.target);
+            for (i, &mark) in entry.marks.iter().enumerate() {
+                // Count how many identical marks precede this one so doubled
+                // marks (ő) render side by side.
+                let dup_index = entry.marks[..i].iter().filter(|&&m| m == mark).count();
+                draw_mark(img, x0, mark, dup_index, lower);
+            }
+        }
+        None => draw_block_pattern(img, x0, lower),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell_of(c: char) -> GrayImage {
+        let mut img = GrayImage::new(CELL_WIDTH, CELL_HEIGHT);
+        draw_char(&mut img, 0, c);
+        img
+    }
+
+    #[test]
+    fn all_core_glyphs_have_ink() {
+        for c in ('a'..='z').chain('0'..='9').chain(['-', '.']) {
+            assert!(cell_of(c).ink_mass() > 0.0, "{c} renders blank");
+        }
+    }
+
+    #[test]
+    fn core_glyphs_are_distinct() {
+        let chars: Vec<char> = ('a'..='z').chain('0'..='9').collect();
+        for (i, &a) in chars.iter().enumerate() {
+            for &b in &chars[i + 1..] {
+                assert_ne!(cell_of(a), cell_of(b), "{a} and {b} render identically");
+            }
+        }
+    }
+
+    #[test]
+    fn glyph_rows_are_five_wide() {
+        for c in ('a'..='z').chain('0'..='9').chain(['-', '.', '_', ' ']) {
+            let rows = ascii_glyph(c).unwrap();
+            for row in rows {
+                assert_eq!(row.len(), 5, "{c} row width");
+            }
+        }
+    }
+
+    #[test]
+    fn uppercase_folds_to_lowercase() {
+        assert_eq!(cell_of('A'), cell_of('a'));
+    }
+
+    #[test]
+    fn identical_confusables_render_as_target() {
+        for entry in confusables::CONFUSABLES {
+            if entry.fidelity == idnre_unicode::Fidelity::Identical {
+                assert_eq!(
+                    cell_of(entry.ch),
+                    cell_of(entry.target),
+                    "{:?} should render as {:?}",
+                    entry.ch,
+                    entry.target
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn marked_confusables_differ_from_target_but_share_most_ink() {
+        for entry in confusables::CONFUSABLES {
+            if entry.marks.is_empty() || entry.fidelity == idnre_unicode::Fidelity::Low {
+                // Low-tier glyphs are *meant* to share little ink — the
+                // separate low_tier test covers them.
+                continue;
+            }
+            let spoof = cell_of(entry.ch);
+            let base = cell_of(entry.target);
+            assert_ne!(spoof, base, "{:?} must differ from {:?}", entry.ch, entry.target);
+            // Shared ink: the marked glyph retains the base silhouette.
+            let shared: f32 = spoof
+                .pixels()
+                .iter()
+                .zip(base.pixels())
+                .map(|(&a, &b)| a.min(b))
+                .sum();
+            assert!(
+                shared / base.ink_mass() > 0.6,
+                "{:?} shares too little ink with {:?}",
+                entry.ch,
+                entry.target
+            );
+        }
+    }
+
+    #[test]
+    fn block_pattern_is_deterministic_and_distinct() {
+        assert_eq!(cell_of('中'), cell_of('中'));
+        assert_ne!(cell_of('中'), cell_of('国'));
+        assert_ne!(cell_of('中'), cell_of('a'));
+    }
+
+    #[test]
+    fn low_tier_glyphs_are_clearly_smaller() {
+        for entry in confusables::CONFUSABLES {
+            if entry.fidelity != idnre_unicode::Fidelity::Low {
+                continue;
+            }
+            let spoof = cell_of(entry.ch);
+            // The miniature sits low in the cell: the top three body rows
+            // are empty, unlike any full-height base glyph.
+            for y in GLYPH_Y..GLYPH_Y + 3 {
+                for x in 0..CELL_WIDTH {
+                    assert_eq!(
+                        spoof.get(x, y),
+                        0.0,
+                        "{:?} has ink at ({x},{y})",
+                        entry.ch
+                    );
+                }
+            }
+            assert!(spoof.ink_mass() > 0.0, "{:?} renders blank", entry.ch);
+        }
+    }
+
+    #[test]
+    fn double_acute_differs_from_single() {
+        assert_ne!(cell_of('ő'), cell_of('ó'));
+    }
+}

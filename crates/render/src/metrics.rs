@@ -1,0 +1,220 @@
+//! Image similarity metrics: windowed SSIM (Wang et al., 2004) and MSE.
+
+use crate::image::GrayImage;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when comparing images of different dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimensionMismatch {
+    /// Dimensions of the first image.
+    pub a: (usize, usize),
+    /// Dimensions of the second image.
+    pub b: (usize, usize),
+}
+
+impl fmt::Display for DimensionMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "image dimensions differ: {}x{} vs {}x{}",
+            self.a.0, self.a.1, self.b.0, self.b.1
+        )
+    }
+}
+
+impl Error for DimensionMismatch {}
+
+/// SSIM stabilization constants for dynamic range L = 1.0.
+const C1: f64 = 0.01 * 0.01;
+const C2: f64 = 0.03 * 0.03;
+/// Window geometry: 8×8 windows, stride 4 (half-overlap).
+const WINDOW: usize = 8;
+const STRIDE: usize = 4;
+
+/// Computes the mean SSIM index between two images of identical dimensions.
+///
+/// The index is the average of per-window SSIM values over 8×8 windows with
+/// stride 4, using uniform weighting. The result lies in `[-1, 1]`;
+/// 1.0 means pixel-identical.
+///
+/// # Errors
+///
+/// Returns [`DimensionMismatch`] when the images differ in size.
+///
+/// # Examples
+///
+/// ```
+/// use idnre_render::{render_text, ssim};
+/// let a = render_text("abc");
+/// assert_eq!(ssim(&a, &a).unwrap(), 1.0);
+/// ```
+pub fn ssim(a: &GrayImage, b: &GrayImage) -> Result<f64, DimensionMismatch> {
+    let windows = ssim_windows(a, b)?;
+    if windows.is_empty() {
+        return Ok(1.0);
+    }
+    Ok(windows.iter().sum::<f64>() / windows.len() as f64)
+}
+
+/// Per-window SSIM values (the intermediate the paper's Table XII threshold
+/// analysis needs; exposing it avoids recomputation — C-INTERMEDIATE).
+///
+/// # Errors
+///
+/// Returns [`DimensionMismatch`] when the images differ in size.
+pub fn ssim_windows(a: &GrayImage, b: &GrayImage) -> Result<Vec<f64>, DimensionMismatch> {
+    if a.width() != b.width() || a.height() != b.height() {
+        return Err(DimensionMismatch {
+            a: (a.width(), a.height()),
+            b: (b.width(), b.height()),
+        });
+    }
+    let (w, h) = (a.width(), a.height());
+    let mut out = Vec::new();
+    let mut y = 0;
+    loop {
+        let y0 = y.min(h.saturating_sub(WINDOW));
+        let mut x = 0;
+        loop {
+            let x0 = x.min(w.saturating_sub(WINDOW));
+            out.push(window_ssim(a, b, x0, y0));
+            if x0 + WINDOW >= w {
+                break;
+            }
+            x += STRIDE;
+        }
+        if y0 + WINDOW >= h {
+            break;
+        }
+        y += STRIDE;
+    }
+    Ok(out)
+}
+
+/// SSIM of one 8×8 window anchored at `(x0, y0)`.
+fn window_ssim(a: &GrayImage, b: &GrayImage, x0: usize, y0: usize) -> f64 {
+    let n = (WINDOW * WINDOW) as f64;
+    let (mut sum_a, mut sum_b) = (0.0f64, 0.0f64);
+    for dy in 0..WINDOW {
+        for dx in 0..WINDOW {
+            sum_a += a.get(x0 + dx, y0 + dy) as f64;
+            sum_b += b.get(x0 + dx, y0 + dy) as f64;
+        }
+    }
+    let (mu_a, mu_b) = (sum_a / n, sum_b / n);
+    let (mut var_a, mut var_b, mut cov) = (0.0f64, 0.0f64, 0.0f64);
+    for dy in 0..WINDOW {
+        for dx in 0..WINDOW {
+            let da = a.get(x0 + dx, y0 + dy) as f64 - mu_a;
+            let db = b.get(x0 + dx, y0 + dy) as f64 - mu_b;
+            var_a += da * da;
+            var_b += db * db;
+            cov += da * db;
+        }
+    }
+    var_a /= n;
+    var_b /= n;
+    cov /= n;
+    ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+        / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2))
+}
+
+/// Mean squared error between two images — the baseline metric the paper
+/// contrasts SSIM against (Wang & Bovik, 2009).
+///
+/// # Errors
+///
+/// Returns [`DimensionMismatch`] when the images differ in size.
+pub fn mse(a: &GrayImage, b: &GrayImage) -> Result<f64, DimensionMismatch> {
+    if a.width() != b.width() || a.height() != b.height() {
+        return Err(DimensionMismatch {
+            a: (a.width(), a.height()),
+            b: (b.width(), b.height()),
+        });
+    }
+    let sum: f64 = a
+        .pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(&pa, &pb)| {
+            let d = pa as f64 - pb as f64;
+            d * d
+        })
+        .sum();
+    Ok(sum / a.pixels().len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render_text;
+
+    #[test]
+    fn identical_images_score_one() {
+        let img = render_text("google.com");
+        assert_eq!(ssim(&img, &img).unwrap(), 1.0);
+        assert_eq!(mse(&img, &img).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let a = render_text("ab");
+        let b = render_text("abc");
+        assert!(ssim(&a, &b).is_err());
+        assert!(mse(&a, &b).is_err());
+        let err = ssim(&a, &b).unwrap_err();
+        assert!(err.to_string().contains("differ"));
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let a = render_text("google");
+        let b = render_text("gõõgle");
+        let ab = ssim(&a, &b).unwrap();
+        let ba = ssim(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_orders_by_visual_distance() {
+        let base = render_text("google");
+        let one_mark = render_text("goōgle");
+        let two_marks = render_text("gõõgle");
+        let other = render_text("yahoo!");
+        let s1 = ssim(&base, &one_mark).unwrap();
+        let s2 = ssim(&base, &two_marks).unwrap();
+        let s3 = ssim(&base, &other).unwrap();
+        assert!(s1 > s2, "one mark ({s1}) should beat two ({s2})");
+        assert!(s2 > s3, "homoglyphs ({s2}) should beat unrelated ({s3})");
+        assert!(s1 < 1.0);
+    }
+
+    #[test]
+    fn blank_images_score_one() {
+        let a = GrayImage::new(16, 16);
+        let b = GrayImage::new(16, 16);
+        assert_eq!(ssim(&a, &b).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn small_images_are_handled() {
+        // Smaller than the window: single clamped window.
+        let a = GrayImage::new(4, 4);
+        let mut b = GrayImage::new(4, 4);
+        b.ink(1, 1);
+        let s = ssim(&a, &b).unwrap();
+        assert!(s < 1.0);
+    }
+
+    #[test]
+    fn mse_increases_with_difference() {
+        let base = render_text("google");
+        let near = render_text("goōgle");
+        let far = render_text("zzzzzz");
+        let m1 = mse(&base, &near).unwrap();
+        let m2 = mse(&base, &far).unwrap();
+        assert!(m1 < m2);
+        assert!(m1 > 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based tests for the renderer and similarity metrics.
+
+use idnre_render::{mse, render_text, ssim, ssim_strings};
+use proptest::prelude::*;
+
+fn domainish() -> impl Strategy<Value = String> {
+    let ch = prop_oneof![
+        proptest::char::range('a', 'z'),
+        proptest::char::range('0', '9'),
+        proptest::char::range('\u{00E0}', '\u{00FF}'),
+        proptest::char::range('\u{0430}', '\u{044F}'),
+        proptest::char::range('\u{4E00}', '\u{4E40}'),
+    ];
+    proptest::collection::vec(ch, 1..14).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    /// SSIM is reflexive: every string scores exactly 1.0 against itself.
+    #[test]
+    fn ssim_reflexive(s in domainish()) {
+        prop_assert_eq!(ssim_strings(&s, &s), 1.0);
+    }
+
+    /// SSIM is symmetric.
+    #[test]
+    fn ssim_symmetric(a in domainish(), b in domainish()) {
+        let ab = ssim_strings(&a, &b);
+        let ba = ssim_strings(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((-1.0..=1.0 + 1e-12).contains(&ab));
+    }
+
+    /// MSE is zero iff the rendered images are identical.
+    #[test]
+    fn mse_zero_iff_identical(a in domainish(), b in domainish()) {
+        let ia = render_text(&a);
+        let ib = render_text(&b);
+        if ia.width() == ib.width() {
+            let m = mse(&ia, &ib).unwrap();
+            prop_assert_eq!(m == 0.0, ia == ib, "{} vs {}", a, b);
+            let s = ssim(&ia, &ib).unwrap();
+            if m == 0.0 {
+                prop_assert_eq!(s, 1.0);
+            }
+        }
+    }
+
+    /// Rendering is deterministic and sized by character count.
+    #[test]
+    fn render_geometry(s in domainish()) {
+        let img = render_text(&s);
+        prop_assert_eq!(img.width(), s.chars().count() * idnre_render::CELL_WIDTH);
+        prop_assert_eq!(img.height(), idnre_render::CELL_HEIGHT);
+        prop_assert_eq!(render_text(&s), img);
+    }
+
+    /// Rendering never panics on fully arbitrary Unicode.
+    #[test]
+    fn render_total(s in "\\PC{0,24}") {
+        let _ = render_text(&s);
+    }
+}

@@ -1,0 +1,175 @@
+//! Empirical cumulative distribution functions — the workhorse of the
+//! paper's Figures 2, 3, 4, 5, 6 and 8.
+
+/// An empirical CDF over `f64` samples.
+///
+/// Construction sorts the samples once; evaluation is `O(log n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples. NaN samples are dropped.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|x| !x.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaNs removed"));
+        Ecdf { sorted: samples }
+    }
+
+    /// Builds an ECDF from integer samples (counts, day spans, …).
+    pub fn from_counts<I: IntoIterator<Item = u64>>(counts: I) -> Self {
+        Self::from_samples(counts.into_iter().map(|c| c as f64).collect())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x`, in `[0, 1]`. Returns 0 for an empty ECDF.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point gives the count of samples <= x.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-quantile (`p` in `[0,1]`), by the nearest-rank method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ECDF is empty or `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty ecdf");
+        assert!((0.0..=1.0).contains(&p), "p must be within [0,1]");
+        if p == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (p * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.saturating_sub(1)]
+    }
+
+    /// Arithmetic mean of the samples (0 for an empty ECDF).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Median (50th percentile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ECDF is empty.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Evaluates the ECDF at each of the given x positions, yielding
+    /// `(x, F(x))` pairs — the series format the figure renderer consumes.
+    pub fn series(&self, xs: &[f64]) -> Vec<(f64, f64)> {
+        xs.iter()
+            .map(|&x| (x, self.fraction_at_or_below(x)))
+            .collect()
+    }
+
+    /// Convenience: logarithmically spaced x positions covering the sample
+    /// range, suitable for the paper's log-x ECDF plots.
+    pub fn log_positions(&self, points: usize) -> Vec<f64> {
+        let (min, max) = match (self.min(), self.max()) {
+            (Some(lo), Some(hi)) => (lo.max(1.0), hi.max(1.0)),
+            _ => return Vec::new(),
+        };
+        if points < 2 || min >= max {
+            return vec![max];
+        }
+        let (log_lo, log_hi) = (min.ln(), max.ln());
+        (0..points)
+            .map(|i| (log_lo + (log_hi - log_lo) * i as f64 / (points - 1) as f64).exp())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_are_exact_on_small_sets() {
+        let e = Ecdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(e.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(e.fraction_at_or_below(2.5), 0.5);
+        assert_eq!(e.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::from_counts(1..=100u64);
+        assert_eq!(e.quantile(0.5), 50.0);
+        assert_eq!(e.quantile(0.9), 90.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+        assert_eq!(e.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let e = Ecdf::from_samples(vec![5.0; 10]);
+        assert_eq!(e.fraction_at_or_below(4.9), 0.0);
+        assert_eq!(e.fraction_at_or_below(5.0), 1.0);
+        assert_eq!(e.median(), 5.0);
+    }
+
+    #[test]
+    fn nan_samples_dropped() {
+        let e = Ecdf::from_samples(vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let e = Ecdf::from_samples(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_at_or_below(1.0), 0.0);
+        assert_eq!(e.mean(), 0.0);
+        assert!(e.min().is_none());
+        assert!(e.log_positions(10).is_empty());
+    }
+
+    #[test]
+    fn log_positions_cover_range() {
+        let e = Ecdf::from_samples(vec![1.0, 1000.0]);
+        let xs = e.log_positions(4);
+        assert_eq!(xs.len(), 4);
+        assert!((xs[0] - 1.0).abs() < 1e-9);
+        assert!((xs[3] - 1000.0).abs() < 1e-6);
+        assert!(xs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn mean_and_extremes() {
+        let e = Ecdf::from_samples(vec![2.0, 4.0, 6.0]);
+        assert_eq!(e.mean(), 4.0);
+        assert_eq!(e.min(), Some(2.0));
+        assert_eq!(e.max(), Some(6.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Statistics and report-rendering utilities shared by the measurement
+//! pipeline: empirical CDFs, histograms, top-K counters and ASCII
+//! table/figure rendering. These are the primitives behind every table and
+//! figure regenerated in `EXPERIMENTS.md`.
+//!
+//! # Examples
+//!
+//! ```
+//! use idnre_stats::Ecdf;
+//!
+//! let ecdf = Ecdf::from_samples(vec![1.0, 2.0, 2.0, 10.0]);
+//! assert_eq!(ecdf.fraction_at_or_below(2.0), 0.75);
+//! assert_eq!(ecdf.quantile(0.5), 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ecdf;
+mod histogram;
+pub mod plot;
+pub mod table;
+mod topk;
+
+pub use ecdf::Ecdf;
+pub use histogram::{Histogram, YearHistogram};
+pub use topk::TopK;
+
+/// Formats a ratio as a percentage with two decimals, e.g. `52.03%`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(idnre_stats::percent(766135, 1472836), "52.02%");
+/// assert_eq!(idnre_stats::percent(0, 0), "0.00%");
+/// ```
+pub fn percent(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        return "0.00%".to_string();
+    }
+    format!("{:.2}%", part as f64 * 100.0 / whole as f64)
+}
+
+/// Gini coefficient of a set of non-negative masses — 0 for perfectly even
+/// distribution, approaching 1 as mass concentrates (used to quantify the
+/// hosting concentration of Finding 7).
+///
+/// Returns 0.0 for empty input or all-zero masses.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(idnre_stats::gini(&[1.0, 1.0, 1.0, 1.0]), 0.0);
+/// assert!(idnre_stats::gini(&[0.0, 0.0, 0.0, 100.0]) > 0.7);
+/// ```
+pub fn gini(masses: &[f64]) -> f64 {
+    let mut sorted: Vec<f64> = masses.iter().copied().filter(|m| *m >= 0.0).collect();
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-negative masses"));
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| (i as f64 + 1.0) * m)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+/// Formats a count with thousands separators, e.g. `1,472,836`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(idnre_stats::group_thousands(1472836), "1,472,836");
+/// assert_eq!(idnre_stats::group_thousands(42), "42");
+/// ```
+pub fn group_thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i != 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_matches_paper_rounding() {
+        assert_eq!(percent(1_007_148, 1_472_836), "68.38%");
+        assert_eq!(percent(1, 3), "33.33%");
+    }
+
+    #[test]
+    fn gini_properties() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[5.0]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+        assert!(gini(&[1.0, 9.0]) > gini(&[4.0, 6.0]));
+        // Order-invariant.
+        assert!((gini(&[3.0, 1.0, 2.0]) - gini(&[1.0, 2.0, 3.0])).abs() < 1e-12);
+        // Bounded.
+        let g = gini(&[0.0, 0.0, 0.0, 0.0, 1000.0]);
+        assert!((0.0..1.0).contains(&g));
+    }
+
+    #[test]
+    fn group_thousands_boundaries() {
+        assert_eq!(group_thousands(0), "0");
+        assert_eq!(group_thousands(999), "999");
+        assert_eq!(group_thousands(1000), "1,000");
+        assert_eq!(group_thousands(999_999), "999,999");
+        assert_eq!(group_thousands(1_000_000), "1,000,000");
+        assert_eq!(group_thousands(154_600_404), "154,600,404");
+    }
+}

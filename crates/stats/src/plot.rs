@@ -1,0 +1,147 @@
+//! ASCII figure rendering: multi-series ECDF plots and bar charts, used to
+//! regenerate the paper's figures in a terminal-friendly form.
+
+use std::fmt::Write as _;
+
+/// One named data series of `(x, y)` points, `y` typically in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points, x ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new<S: Into<String>>(name: S, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// Renders ECDF-style series on a character grid with log-scaled x.
+///
+/// Each series is drawn with its own glyph; a legend follows the grid.
+/// Returns an empty string when no series has points.
+pub fn ecdf_plot(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, _) in &s.points {
+            let x = x.max(1.0);
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return String::new();
+    }
+    if (hi - lo).abs() < f64::EPSILON {
+        hi = lo + 1.0;
+    }
+    let (log_lo, log_hi) = (lo.ln(), hi.ln());
+    let mut grid = vec![vec![' '; width]; height];
+
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let x = x.max(1.0);
+            let xf = (x.ln() - log_lo) / (log_hi - log_lo);
+            let col = ((xf * (width - 1) as f64).round() as usize).min(width - 1);
+            let yf = y.clamp(0.0, 1.0);
+            let row = height - 1 - ((yf * (height - 1) as f64).round() as usize).min(height - 1);
+            grid[row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = 1.0 - i as f64 / (height - 1) as f64;
+        let _ = writeln!(out, "{y_label:4.2} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "     +{} (log x: {:.0} .. {:.0})",
+        "-".repeat(width),
+        lo,
+        hi
+    );
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "     {} = {}", GLYPHS[si % GLYPHS.len()], s.name);
+    }
+    out
+}
+
+/// Renders a horizontal bar chart from labelled counts (e.g. Figure 1's
+/// per-year registrations or Figure 7's per-brand candidate counts).
+pub fn bar_chart(title: &str, bars: &[(String, u64)], width: usize) -> String {
+    let max = bars.iter().map(|&(_, c)| c).max().unwrap_or(0);
+    let label_w = bars.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (label, count) in bars {
+        let len = if max == 0 {
+            0
+        } else {
+            ((*count as f64 / max as f64) * width as f64).round() as usize
+        };
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} | {} {}",
+            "#".repeat(len),
+            crate::group_thousands(*count)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_contains_legend_and_glyphs() {
+        let s1 = Series::new("idn", vec![(1.0, 0.2), (100.0, 0.9)]);
+        let s2 = Series::new("non-idn", vec![(1.0, 0.1), (100.0, 0.5)]);
+        let plot = ecdf_plot("Fig test", &[s1, s2], 40, 10);
+        assert!(plot.contains("Fig test"));
+        assert!(plot.contains("* = idn"));
+        assert!(plot.contains("o = non-idn"));
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn plot_empty_series_is_empty() {
+        assert_eq!(ecdf_plot("t", &[], 10, 5), "");
+        assert_eq!(ecdf_plot("t", &[Series::new("e", vec![])], 10, 5), "");
+    }
+
+    #[test]
+    fn plot_single_point_does_not_panic() {
+        let s = Series::new("one", vec![(5.0, 0.5)]);
+        let plot = ecdf_plot("t", &[s], 20, 5);
+        assert!(plot.contains("one"));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let bars = vec![("a".to_string(), 100), ("bb".to_string(), 50)];
+        let chart = bar_chart("years", &bars, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[1].contains("##########"));
+        assert!(lines[2].contains("#####"));
+        assert!(lines[1].contains("100"));
+    }
+
+    #[test]
+    fn bar_chart_zero_counts() {
+        let bars = vec![("z".to_string(), 0)];
+        let chart = bar_chart("empty", &bars, 10);
+        assert!(chart.contains("z"));
+        assert!(!chart.contains('#'));
+    }
+}

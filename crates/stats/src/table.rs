@@ -1,0 +1,161 @@
+//! Plain-text table rendering for the experiment reports.
+//!
+//! Produces GitHub-flavoured markdown tables with column alignment so the
+//! regenerated tables drop directly into `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (text).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A markdown table under construction.
+///
+/// # Examples
+///
+/// ```
+/// use idnre_stats::table::{Table, Align};
+///
+/// let mut t = Table::new(vec!["Language", "Volume"], vec![Align::Left, Align::Right]);
+/// t.row(vec!["Chinese".into(), "766,135".into()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("| Chinese"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with headers and per-column alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` and `aligns` differ in length or are empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>, aligns: Vec<Align>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "table needs at least one column");
+        assert_eq!(headers.len(), aligns.len(), "one alignment per column");
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned markdown.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String], widths: &[usize], aligns: &[Align]| {
+            out.push('|');
+            for i in 0..cols {
+                let cell = &cells[i];
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, " {}{} |", cell, " ".repeat(pad));
+                    }
+                    Align::Right => {
+                        let _ = write!(out, " {}{} |", " ".repeat(pad), cell);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers, &widths, &self.aligns);
+        out.push('|');
+        for i in 0..cols {
+            let dashes = "-".repeat(widths[i].max(3));
+            match self.aligns[i] {
+                Align::Left => {
+                    let _ = write!(out, " {dashes} |");
+                }
+                Align::Right => {
+                    let _ = write!(out, " {dashes}: |");
+                }
+            }
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row, &widths, &self.aligns);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(vec!["K", "V"], vec![Align::Left, Align::Right]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "1000".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows render equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[3].contains("| 1000 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a", "b"], vec![Align::Left, Align::Left]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn unicode_width_uses_chars() {
+        let mut t = Table::new(vec!["D"], vec![Align::Left]);
+        t.row(vec!["中国".into()]);
+        t.row(vec!["longer-ascii".into()]);
+        let s = t.render();
+        assert!(s.contains("中国"));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(vec!["x"], vec![Align::Left]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

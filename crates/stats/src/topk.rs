@@ -1,0 +1,149 @@
+//! Top-K frequency counting for the paper's "top registrars / registrants /
+//! brands / certificate CNs" tables.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Counts occurrences of keys and extracts the most frequent ones.
+///
+/// # Examples
+///
+/// ```
+/// use idnre_stats::TopK;
+///
+/// let mut counter = TopK::new();
+/// for word in ["a", "b", "a", "c", "a", "b"] {
+///     counter.add(word.to_string());
+/// }
+/// let top = counter.top(2);
+/// assert_eq!(top[0], ("a".to_string(), 3));
+/// assert_eq!(top[1], ("b".to_string(), 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK<K: Eq + Hash> {
+    counts: HashMap<K, u64>,
+}
+
+impl<K: Eq + Hash> Default for TopK<K> {
+    fn default() -> Self {
+        TopK {
+            counts: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone + Ord> TopK<K> {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one occurrence of `key`.
+    pub fn add(&mut self, key: K) {
+        *self.counts.entry(key).or_insert(0) += 1;
+    }
+
+    /// Adds `n` occurrences of `key`.
+    pub fn add_n(&mut self, key: K, n: u64) {
+        *self.counts.entry(key).or_insert(0) += n;
+    }
+
+    /// Count for a specific key (0 if absent).
+    pub fn count(&self, key: &K) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The `k` most frequent keys with their counts, sorted by descending
+    /// count then ascending key (deterministic output for reports).
+    pub fn top(&self, k: usize) -> Vec<(K, u64)> {
+        let mut entries: Vec<(K, u64)> = self
+            .counts
+            .iter()
+            .map(|(key, &c)| (key.clone(), c))
+            .collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries.truncate(k);
+        entries
+    }
+
+    /// Fraction of the total mass covered by the top `k` keys — the "55%
+    /// of IDNs belong to 10 registrars"-style statistic.
+    pub fn top_share(&self, k: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let top_sum: u64 = self.top(k).iter().map(|&(_, c)| c).sum();
+        top_sum as f64 / total as f64
+    }
+}
+
+impl<K: Eq + Hash + Clone + Ord> FromIterator<K> for TopK<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut counter = TopK::new();
+        for key in iter {
+            counter.add(key);
+        }
+        counter
+    }
+}
+
+impl<K: Eq + Hash + Clone + Ord> Extend<K> for TopK<K> {
+    fn extend<I: IntoIterator<Item = K>>(&mut self, iter: I) {
+        for key in iter {
+            self.add(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_counting() {
+        let counter: TopK<&str> = ["x", "y", "x"].into_iter().collect();
+        assert_eq!(counter.count(&"x"), 2);
+        assert_eq!(counter.count(&"z"), 0);
+        assert_eq!(counter.distinct(), 2);
+        assert_eq!(counter.total(), 3);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let counter: TopK<&str> = ["b", "a"].into_iter().collect();
+        assert_eq!(counter.top(2), vec![("a", 1), ("b", 1)]);
+    }
+
+    #[test]
+    fn top_share() {
+        let mut counter = TopK::new();
+        counter.add_n("big", 55);
+        counter.add_n("rest", 45);
+        assert!((counter.top_share(1) - 0.55).abs() < 1e-9);
+        assert!((counter.top_share(2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_larger_than_distinct() {
+        let counter: TopK<u32> = [1u32, 2, 2].into_iter().collect();
+        assert_eq!(counter.top(10).len(), 2);
+    }
+
+    #[test]
+    fn empty_counter() {
+        let counter: TopK<String> = TopK::new();
+        assert_eq!(counter.top(3), vec![]);
+        assert_eq!(counter.top_share(3), 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the statistics primitives.
+
+use idnre_stats::{Ecdf, TopK, YearHistogram};
+use proptest::prelude::*;
+
+proptest! {
+    /// ECDF evaluation is monotone non-decreasing and bounded in [0, 1].
+    #[test]
+    fn ecdf_is_monotone(mut samples in proptest::collection::vec(0.0f64..1e6, 1..200),
+                        probes in proptest::collection::vec(0.0f64..1e6, 2..50)) {
+        let ecdf = Ecdf::from_samples(samples.clone());
+        let mut sorted_probes = probes;
+        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = 0.0;
+        for &x in &sorted_probes {
+            let f = ecdf.fraction_at_or_below(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f + 1e-12 >= last, "ecdf not monotone at {x}");
+            last = f;
+        }
+        // Every sample is ≤ max, so F(max) == 1.
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(ecdf.fraction_at_or_below(*samples.last().unwrap()), 1.0);
+    }
+
+    /// Quantiles are order-preserving and return actual samples.
+    #[test]
+    fn quantiles_are_samples(samples in proptest::collection::vec(-1e3f64..1e3, 1..100),
+                             p in 0.0f64..=1.0) {
+        let ecdf = Ecdf::from_samples(samples.clone());
+        let q = ecdf.quantile(p);
+        prop_assert!(samples.iter().any(|&s| (s - q).abs() < 1e-12));
+        prop_assert!(ecdf.quantile(0.0) <= ecdf.quantile(1.0));
+    }
+
+    /// The mean lies between the extremes.
+    #[test]
+    fn mean_is_bounded(samples in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let ecdf = Ecdf::from_samples(samples);
+        let mean = ecdf.mean();
+        prop_assert!(ecdf.min().unwrap() <= mean + 1e-9);
+        prop_assert!(mean <= ecdf.max().unwrap() + 1e-9);
+    }
+
+    /// TopK preserves total mass and orders counts non-increasingly.
+    #[test]
+    fn topk_invariants(keys in proptest::collection::vec(0u8..20, 1..300)) {
+        let counter: TopK<u8> = keys.iter().copied().collect();
+        prop_assert_eq!(counter.total(), keys.len() as u64);
+        let top = counter.top(counter.distinct());
+        let sum: u64 = top.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(sum, keys.len() as u64);
+        for window in top.windows(2) {
+            prop_assert!(window[0].1 >= window[1].1);
+        }
+        prop_assert!((counter.top_share(counter.distinct()) - 1.0).abs() < 1e-9);
+    }
+
+    /// Year histogram total equals events recorded; iteration is sorted.
+    #[test]
+    fn year_histogram_invariants(years in proptest::collection::vec(1990i32..2030, 0..200)) {
+        let mut hist = YearHistogram::new();
+        for &y in &years {
+            hist.record(y);
+        }
+        prop_assert_eq!(hist.total(), years.len() as u64);
+        let listed: Vec<i32> = hist.iter().map(|(y, _)| y).collect();
+        let mut sorted = listed.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(listed, sorted);
+    }
+}

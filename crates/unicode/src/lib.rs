@@ -1,0 +1,32 @@
+//! Unicode script classification and homoglyph (confusables) tables used by
+//! the homograph-attack detector, the availability enumerator, the browser
+//! display-policy models and the glyph renderer.
+//!
+//! The confusables table plays the role of the UC-SimList the paper uses in
+//! Section VI-D: for every ASCII letter it lists the Unicode characters that
+//! are visually identical or near-identical, together with a *composition
+//! recipe* (base glyph plus diacritic marks) the renderer uses to draw them.
+//!
+//! # Examples
+//!
+//! ```
+//! use idnre_unicode::{script_of, Script, homoglyphs_of, skeleton};
+//!
+//! assert_eq!(script_of('а'), Script::Cyrillic); // Cyrillic а
+//! assert_eq!(script_of('a'), Script::Latin);
+//!
+//! // All Unicode characters that can stand in for an ASCII 'a'.
+//! assert!(homoglyphs_of('a').iter().any(|c| c.ch == 'а'));
+//!
+//! // Skeleton folds confusables back to their ASCII target.
+//! assert_eq!(skeleton("аррӏе"), "apple");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confusables;
+pub mod script;
+
+pub use confusables::{homoglyphs_of, skeleton, skeleton_char, Confusable, Fidelity, Mark};
+pub use script::{dominant_script, script_of, script_set, unique_script, Script, ScriptSet};

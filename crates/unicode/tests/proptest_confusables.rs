@@ -1,0 +1,91 @@
+//! Property-based tests for the confusables table and script classifier.
+
+use idnre_unicode::{
+    confusables, dominant_script, homoglyphs_of, script_of, script_set, skeleton, unique_script,
+    Script,
+};
+use proptest::prelude::*;
+
+fn any_char() -> impl Strategy<Value = char> {
+    prop_oneof![
+        proptest::char::range('a', 'z'),
+        proptest::char::range('\u{00C0}', '\u{024F}'),
+        proptest::char::range('\u{0370}', '\u{03FF}'),
+        proptest::char::range('\u{0400}', '\u{04FF}'),
+        proptest::char::range('\u{4E00}', '\u{9FFF}'),
+        proptest::char::any(),
+    ]
+}
+
+proptest! {
+    /// Skeleton folding is idempotent.
+    #[test]
+    fn skeleton_is_idempotent(s in proptest::collection::vec(any_char(), 0..24)) {
+        let text: String = s.into_iter().collect();
+        let once = skeleton(&text);
+        prop_assert_eq!(skeleton(&once), once);
+    }
+
+    /// Every confusable's skeleton character is its declared target, and the
+    /// reverse index agrees with the forward one.
+    #[test]
+    fn lookup_reverse_consistency(c in any_char()) {
+        if let Some(entry) = confusables::lookup(c) {
+            prop_assert_eq!(confusables::skeleton_char(c), entry.target);
+            prop_assert!(homoglyphs_of(entry.target).iter().any(|g| g.ch == c));
+        } else {
+            prop_assert_eq!(confusables::skeleton_char(c), c);
+        }
+    }
+
+    /// Script classification is total and stable.
+    #[test]
+    fn script_classification_total(c in proptest::char::any()) {
+        let s = script_of(c);
+        prop_assert_eq!(s, script_of(c));
+        // ASCII never classifies as a foreign script.
+        if c.is_ascii() {
+            prop_assert!(matches!(s, Script::Latin | Script::Common));
+        }
+    }
+
+    /// unique_script returns Some only when every non-Common character
+    /// agrees with it.
+    #[test]
+    fn unique_script_soundness(s in proptest::collection::vec(any_char(), 0..16)) {
+        let text: String = s.iter().collect();
+        if let Some(script) = unique_script(&text) {
+            for &c in &s {
+                let sc = script_of(c);
+                prop_assert!(
+                    sc == script || sc == Script::Common,
+                    "{c:?} is {sc:?}, not {script:?}"
+                );
+            }
+            // And the dominant script matches it.
+            prop_assert_eq!(dominant_script(&text), script);
+        }
+    }
+
+    /// The script set contains exactly the scripts of the characters.
+    #[test]
+    fn script_set_completeness(s in proptest::collection::vec(any_char(), 0..16)) {
+        let text: String = s.iter().collect();
+        let set = script_set(&text);
+        for &c in &s {
+            prop_assert!(set.contains(script_of(c)), "{c:?} missing from set");
+        }
+    }
+
+    /// Homoglyph sets never contain the target itself and stay sorted by
+    /// fidelity.
+    #[test]
+    fn homoglyph_sets_are_well_formed(c in proptest::char::range('a', 'z')) {
+        let glyphs = homoglyphs_of(c);
+        for pair in glyphs.windows(2) {
+            prop_assert!(pair[0].fidelity <= pair[1].fidelity);
+        }
+        prop_assert!(glyphs.iter().all(|g| g.ch != c));
+        prop_assert!(glyphs.iter().all(|g| g.target == c));
+    }
+}

@@ -1,0 +1,225 @@
+//! Registration analytics over WHOIS corpora: the registrar market table
+//! (Table IV), registrant clustering (Table III, Finding 3) and the
+//! creation-date timeline (Figure 1, Finding 2).
+
+use crate::date::Date;
+use crate::record::WhoisRecord;
+use std::collections::HashMap;
+
+/// Aggregated view over a WHOIS corpus.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrationAnalytics {
+    registrars: HashMap<String, u64>,
+    registrants: HashMap<String, Vec<String>>,
+    creation_years: HashMap<i32, u64>,
+    total: u64,
+    with_creation_date: u64,
+    personal_email: u64,
+    privacy_protected: u64,
+}
+
+impl RegistrationAnalytics {
+    /// Creates an empty analytics accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one record into the aggregate.
+    pub fn add(&mut self, record: &WhoisRecord) {
+        self.total += 1;
+        if let Some(registrar) = &record.registrar {
+            *self.registrars.entry(registrar.clone()).or_insert(0) += 1;
+        }
+        if let Some(email) = &record.registrant_email {
+            self.registrants
+                .entry(email.clone())
+                .or_default()
+                .push(record.domain.clone());
+        }
+        if let Some(date) = record.creation_date {
+            self.with_creation_date += 1;
+            *self.creation_years.entry(date.year).or_insert(0) += 1;
+        }
+        if record.uses_personal_email() {
+            self.personal_email += 1;
+        }
+        if record.privacy_protected {
+            self.privacy_protected += 1;
+        }
+    }
+
+    /// Records folded so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct registrars — the paper found "over 700".
+    pub fn distinct_registrars(&self) -> usize {
+        self.registrars.len()
+    }
+
+    /// Top `k` registrars by domain count, descending (Table IV).
+    pub fn top_registrars(&self, k: usize) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .registrars
+            .iter()
+            .map(|(r, &c)| (r.clone(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Share of the corpus held by the top `k` registrars — the "55% of
+    /// IDNs were registered by top 10 registrars" statistic (Finding 4).
+    pub fn top_registrar_share(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let top: u64 = self.top_registrars(k).iter().map(|&(_, c)| c).sum();
+        top as f64 / self.total as f64
+    }
+
+    /// Top `k` registrant emails by domain count (Table III).
+    pub fn top_registrants(&self, k: usize) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .registrants
+            .iter()
+            .map(|(e, domains)| (e.clone(), domains.len() as u64))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// The domains registered under one email (for opportunistic-cluster
+    /// inspection).
+    pub fn domains_of(&self, email: &str) -> &[String] {
+        self.registrants
+            .get(email)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of domains held by registrants owning at least `threshold`
+    /// domains each — the "opportunistic registration" mass of Finding 3.
+    pub fn opportunistic_mass(&self, threshold: usize) -> u64 {
+        self.registrants
+            .values()
+            .filter(|d| d.len() >= threshold)
+            .map(|d| d.len() as u64)
+            .sum()
+    }
+
+    /// `(year, registrations)` in ascending year order (Figure 1).
+    pub fn creation_timeline(&self) -> Vec<(i32, u64)> {
+        let mut v: Vec<(i32, u64)> = self.creation_years.iter().map(|(&y, &c)| (y, c)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Count of domains created strictly before `cutoff` — Finding 2's
+    /// "registered for at least ten years" when `cutoff` is snapshot−10y.
+    pub fn created_before(&self, cutoff: Date) -> u64 {
+        self.creation_years
+            .iter()
+            .filter(|(&year, _)| year < cutoff.year)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Fraction of records using personal (free-mail) registrant addresses.
+    pub fn personal_email_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.personal_email as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of records behind WHOIS privacy.
+    pub fn privacy_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.privacy_protected as f64 / self.total as f64
+        }
+    }
+}
+
+impl<'a> Extend<&'a WhoisRecord> for RegistrationAnalytics {
+    fn extend<T: IntoIterator<Item = &'a WhoisRecord>>(&mut self, iter: T) {
+        for record in iter {
+            self.add(record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::WhoisDialect;
+
+    fn record(domain: &str, registrar: &str, email: Option<&str>, year: i32) -> WhoisRecord {
+        let mut r = WhoisRecord::new(domain, WhoisDialect::KeyValue);
+        r.registrar = Some(registrar.to_string());
+        r.registrant_email = email.map(str::to_string);
+        r.creation_date = Some(Date::new(year, 6, 1).unwrap());
+        r
+    }
+
+    fn sample() -> RegistrationAnalytics {
+        let mut a = RegistrationAnalytics::new();
+        let records = vec![
+            record("a1.com", "GMO Internet Inc.", Some("bulk@qq.com"), 2017),
+            record("a2.com", "GMO Internet Inc.", Some("bulk@qq.com"), 2017),
+            record("a3.com", "GMO Internet Inc.", Some("bulk@qq.com"), 2017),
+            record("b1.com", "GoDaddy.com, LLC.", Some("one@gmail.com"), 2004),
+            record("c1.com", "Name.com, Inc.", None, 2000),
+        ];
+        a.extend(records.iter());
+        a
+    }
+
+    #[test]
+    fn registrar_table() {
+        let a = sample();
+        assert_eq!(a.distinct_registrars(), 3);
+        let top = a.top_registrars(2);
+        assert_eq!(top[0], ("GMO Internet Inc.".to_string(), 3));
+        assert!((a.top_registrar_share(1) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registrant_clustering() {
+        let a = sample();
+        let top = a.top_registrants(1);
+        assert_eq!(top[0], ("bulk@qq.com".to_string(), 3));
+        assert_eq!(a.domains_of("bulk@qq.com").len(), 3);
+        assert_eq!(a.opportunistic_mass(3), 3);
+        assert_eq!(a.opportunistic_mass(4), 0);
+    }
+
+    #[test]
+    fn timeline_and_age() {
+        let a = sample();
+        assert_eq!(a.creation_timeline(), vec![(2000, 1), (2004, 1), (2017, 3)]);
+        let cutoff = Date::new(2007, 10, 1).unwrap();
+        assert_eq!(a.created_before(cutoff), 2);
+    }
+
+    #[test]
+    fn email_rates() {
+        let a = sample();
+        assert!((a.personal_email_rate() - 0.8).abs() < 1e-9);
+        assert_eq!(a.privacy_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_analytics() {
+        let a = RegistrationAnalytics::new();
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.top_registrars(5), vec![]);
+        assert_eq!(a.top_registrar_share(5), 0.0);
+    }
+}

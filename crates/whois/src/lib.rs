@@ -1,0 +1,37 @@
+//! WHOIS record modelling, parsing and registration analytics.
+//!
+//! The paper correlates 739K WHOIS records with its IDN corpus to study
+//! registrars (Table IV), registrants (Table III) and registration timelines
+//! (Figure 1). Registrar WHOIS output is notoriously non-uniform, so this
+//! crate ships a parser for the four response dialects that cover the large
+//! registrars, plus the aggregation analytics the paper's findings rest on.
+//!
+//! # Examples
+//!
+//! ```
+//! use idnre_whois::{parse_whois, WhoisDialect};
+//!
+//! let raw = "Domain Name: XN--0WWY37B.COM\n\
+//!            Registrar: GMO Internet Inc.\n\
+//!            Registrant Email: someone@example.net\n\
+//!            Creation Date: 2017-03-04T00:00:00Z\n";
+//! let rec = parse_whois(raw).unwrap();
+//! assert_eq!(rec.domain, "xn--0wwy37b.com");
+//! assert_eq!(rec.registrar.as_deref(), Some("GMO Internet Inc."));
+//! assert_eq!(rec.creation_date.unwrap().year, 2017);
+//! assert_eq!(rec.dialect, WhoisDialect::KeyValue);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod crawler;
+mod date;
+mod parser;
+mod record;
+
+pub use crawler::{CrawlFailure, CrawlStats, ServerPolicy, WhoisCrawler};
+pub use date::{Date, ParseDateError};
+pub use parser::{parse_whois, ParseWhoisError};
+pub use record::{WhoisDialect, WhoisRecord};

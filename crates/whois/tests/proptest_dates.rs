@@ -1,0 +1,53 @@
+//! Property-based tests for the calendar-date arithmetic the activity
+//! analytics depend on.
+
+use idnre_whois::Date;
+use proptest::prelude::*;
+
+fn valid_date() -> impl Strategy<Value = Date> {
+    (1900i32..2100, 1u8..=12, 1u8..=28).prop_map(|(y, m, d)| Date::new(y, m, d).unwrap())
+}
+
+proptest! {
+    /// day_number ∘ from_day_number is the identity.
+    #[test]
+    fn day_number_roundtrip(date in valid_date()) {
+        prop_assert_eq!(Date::from_day_number(date.day_number()), date);
+    }
+
+    /// Day numbers order exactly like dates.
+    #[test]
+    fn day_number_is_order_isomorphic(a in valid_date(), b in valid_date()) {
+        prop_assert_eq!(a.cmp(&b), a.day_number().cmp(&b.day_number()));
+    }
+
+    /// plus_days is the inverse of days_until.
+    #[test]
+    fn plus_days_inverts_days_until(a in valid_date(), b in valid_date()) {
+        let span = a.days_until(b);
+        prop_assert_eq!(a.plus_days(span), b);
+        prop_assert_eq!(b.days_until(a), -span);
+    }
+
+    /// Display output re-parses to the same date.
+    #[test]
+    fn display_roundtrip(date in valid_date()) {
+        let text = date.to_string();
+        let reparsed: Date = text.parse().unwrap();
+        prop_assert_eq!(reparsed, date);
+    }
+
+    /// Consecutive day numbers differ by exactly one calendar day.
+    #[test]
+    fn consecutive_days(date in valid_date()) {
+        let next = date.plus_days(1);
+        prop_assert_eq!(date.days_until(next), 1);
+        prop_assert!(next > date);
+    }
+
+    /// The parser never panics on arbitrary short strings.
+    #[test]
+    fn parser_is_total(s in ".{0,40}") {
+        let _ = s.parse::<Date>();
+    }
+}

@@ -1,0 +1,38 @@
+//! RFC 1035 master-file (zone file) parsing, writing and scanning.
+//!
+//! The paper's corpus comes from scanning the `com`, `net`, `org` and 53 iTLD
+//! zone files for `xn--` labels. This crate provides that substrate: a
+//! faithful master-file parser (comments, parentheses continuation,
+//! `$ORIGIN`/`$TTL` directives, relative owners, `@`, inherited owner names),
+//! a writer that round-trips zones, and [`ZoneScanner`] which extracts
+//! second-level domains and IDNs exactly the way Section III describes.
+//!
+//! # Examples
+//!
+//! ```
+//! use idnre_zonefile::{parse_zone, ZoneScanner};
+//!
+//! let zone = parse_zone("com", "
+//! $ORIGIN com.
+//! $TTL 86400
+//! example    IN NS ns1.example.com.
+//! xn--fiqs8s IN NS ns1.registry.net.
+//! ").unwrap();
+//!
+//! let stats = ZoneScanner::new().scan(&zone);
+//! assert_eq!(stats.total_slds, 2);
+//! assert_eq!(stats.idns.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parser;
+mod record;
+mod scan;
+mod writer;
+
+pub use parser::{parse_zone, ParseZoneError};
+pub use record::{RData, RecordType, ResourceRecord, SoaData, Zone};
+pub use scan::{ScanReport, ZoneScanner, ZoneStats};
+pub use writer::write_zone;

@@ -1,0 +1,424 @@
+//! RFC 1035 §5 master-file parser.
+//!
+//! Handles the full textual grammar a registry zone dump uses: `;` comments,
+//! parenthesized record continuation, `$ORIGIN` and `$TTL` directives,
+//! relative owner names, `@` for the origin, and owner inheritance when a
+//! line begins with whitespace.
+
+use crate::record::{RData, ResourceRecord, SoaData, Zone};
+use idnre_idna::DomainName;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing a zone file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseZoneError {
+    /// A record line could not be interpreted; payload is (line, reason).
+    BadRecord(usize, String),
+    /// A directive (`$ORIGIN`, `$TTL`) was malformed.
+    BadDirective(usize, String),
+    /// Parentheses were left open at end of input.
+    UnbalancedParens,
+    /// The first record used a relative name with no `$ORIGIN` in effect.
+    MissingOrigin(usize),
+}
+
+impl fmt::Display for ParseZoneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseZoneError::BadRecord(line, reason) => {
+                write!(f, "bad record on line {line}: {reason}")
+            }
+            ParseZoneError::BadDirective(line, reason) => {
+                write!(f, "bad directive on line {line}: {reason}")
+            }
+            ParseZoneError::UnbalancedParens => write!(f, "unbalanced parentheses"),
+            ParseZoneError::MissingOrigin(line) => {
+                write!(f, "relative name with no origin on line {line}")
+            }
+        }
+    }
+}
+
+impl Error for ParseZoneError {}
+
+/// Parses a zone file's text into a [`Zone`].
+///
+/// `default_origin` seeds `$ORIGIN` (pass the TLD, e.g. `"com"`); a
+/// `$ORIGIN` directive inside the file overrides it.
+///
+/// # Errors
+///
+/// Returns a [`ParseZoneError`] naming the offending line on malformed
+/// input.
+pub fn parse_zone(default_origin: &str, text: &str) -> Result<Zone, ParseZoneError> {
+    let origin: DomainName = default_origin
+        .parse()
+        .map_err(|e| ParseZoneError::BadDirective(0, format!("bad default origin: {e}")))?;
+    let mut state = ParserState {
+        origin: origin.clone(),
+        default_ttl: 3600,
+        last_owner: None,
+    };
+    let mut zone = Zone::new(origin);
+
+    for (line_no, logical) in logical_lines(text)? {
+        let tokens = tokenize(&logical);
+        if tokens.is_empty() {
+            continue;
+        }
+        if tokens[0].starts_with('$') {
+            state.apply_directive(line_no, &tokens)?;
+            continue;
+        }
+        let starts_with_space = logical.starts_with(' ') || logical.starts_with('\t');
+        let record = state.parse_record(line_no, &tokens, starts_with_space)?;
+        zone.records.push(record);
+    }
+    Ok(zone)
+}
+
+struct ParserState {
+    origin: DomainName,
+    default_ttl: u32,
+    last_owner: Option<DomainName>,
+}
+
+impl ParserState {
+    fn apply_directive(&mut self, line: usize, tokens: &[String]) -> Result<(), ParseZoneError> {
+        match tokens[0].to_ascii_uppercase().as_str() {
+            "$ORIGIN" => {
+                let arg = tokens
+                    .get(1)
+                    .ok_or_else(|| ParseZoneError::BadDirective(line, "$ORIGIN needs a name".into()))?;
+                self.origin = arg
+                    .parse()
+                    .map_err(|e| ParseZoneError::BadDirective(line, format!("{e}")))?;
+                Ok(())
+            }
+            "$TTL" => {
+                let arg = tokens
+                    .get(1)
+                    .ok_or_else(|| ParseZoneError::BadDirective(line, "$TTL needs a value".into()))?;
+                self.default_ttl = arg
+                    .parse()
+                    .map_err(|_| ParseZoneError::BadDirective(line, "bad $TTL value".into()))?;
+                Ok(())
+            }
+            other => Err(ParseZoneError::BadDirective(
+                line,
+                format!("unknown directive {other}"),
+            )),
+        }
+    }
+
+    /// Resolves a possibly-relative name against the current origin.
+    fn resolve_name(&self, line: usize, token: &str) -> Result<DomainName, ParseZoneError> {
+        let bad = |e: &dyn fmt::Display| ParseZoneError::BadRecord(line, format!("{e}"));
+        if token == "@" {
+            return Ok(self.origin.clone());
+        }
+        if let Some(absolute) = token.strip_suffix('.') {
+            return absolute.parse().map_err(|e| bad(&e));
+        }
+        // Relative: append origin.
+        format!("{token}.{}", self.origin).parse().map_err(|e| bad(&e))
+    }
+
+    fn parse_record(
+        &mut self,
+        line: usize,
+        tokens: &[String],
+        inherited_owner: bool,
+    ) -> Result<ResourceRecord, ParseZoneError> {
+        let mut idx = 0;
+        let owner = if inherited_owner {
+            self.last_owner
+                .clone()
+                .ok_or(ParseZoneError::MissingOrigin(line))?
+        } else {
+            let owner = self.resolve_name(line, &tokens[0])?;
+            idx = 1;
+            owner
+        };
+        self.last_owner = Some(owner.clone());
+
+        // Optional TTL and class, in either order, before the type.
+        let mut ttl = self.default_ttl;
+        loop {
+            let token = tokens
+                .get(idx)
+                .ok_or_else(|| ParseZoneError::BadRecord(line, "missing record type".into()))?;
+            if token.eq_ignore_ascii_case("IN") || token.eq_ignore_ascii_case("CH") {
+                idx += 1;
+            } else if let Ok(parsed) = token.parse::<u32>() {
+                ttl = parsed;
+                idx += 1;
+            } else {
+                break;
+            }
+        }
+
+        let rtype_token = tokens
+            .get(idx)
+            .ok_or_else(|| ParseZoneError::BadRecord(line, "missing record type".into()))?
+            .to_ascii_uppercase();
+        idx += 1;
+        let rest = &tokens[idx..];
+        let need = |n: usize| -> Result<(), ParseZoneError> {
+            if rest.len() < n {
+                Err(ParseZoneError::BadRecord(
+                    line,
+                    format!("{rtype_token} needs {n} field(s), got {}", rest.len()),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+
+        let rdata = match rtype_token.as_str() {
+            "NS" => {
+                need(1)?;
+                RData::Ns(self.resolve_name(line, &rest[0])?)
+            }
+            "CNAME" => {
+                need(1)?;
+                RData::Cname(self.resolve_name(line, &rest[0])?)
+            }
+            "A" => {
+                need(1)?;
+                RData::A(rest[0].parse().map_err(|_| {
+                    ParseZoneError::BadRecord(line, format!("bad ipv4 {}", rest[0]))
+                })?)
+            }
+            "AAAA" => {
+                need(1)?;
+                RData::Aaaa(rest[0].parse().map_err(|_| {
+                    ParseZoneError::BadRecord(line, format!("bad ipv6 {}", rest[0]))
+                })?)
+            }
+            "MX" => {
+                need(2)?;
+                let preference = rest[0].parse().map_err(|_| {
+                    ParseZoneError::BadRecord(line, format!("bad mx preference {}", rest[0]))
+                })?;
+                RData::Mx {
+                    preference,
+                    exchange: self.resolve_name(line, &rest[1])?,
+                }
+            }
+            "TXT" => {
+                need(1)?;
+                RData::Txt(rest.join(" ").trim_matches('"').to_string())
+            }
+            "SOA" => {
+                need(7)?;
+                let num = |i: usize| -> Result<u32, ParseZoneError> {
+                    rest[i].parse().map_err(|_| {
+                        ParseZoneError::BadRecord(line, format!("bad soa field {}", rest[i]))
+                    })
+                };
+                RData::Soa(Box::new(SoaData {
+                    mname: self.resolve_name(line, &rest[0])?,
+                    rname: self.resolve_name(line, &rest[1])?,
+                    serial: num(2)?,
+                    refresh: num(3)?,
+                    retry: num(4)?,
+                    expire: num(5)?,
+                    minimum: num(6)?,
+                }))
+            }
+            other => {
+                return Err(ParseZoneError::BadRecord(
+                    line,
+                    format!("unsupported record type {other}"),
+                ))
+            }
+        };
+
+        Ok(ResourceRecord { owner, ttl, rdata })
+    }
+}
+
+/// Splits text into logical lines: strips comments, joins parenthesized
+/// continuations, and skips blanks. Returns `(first_physical_line, text)`.
+fn logical_lines(text: &str) -> Result<Vec<(usize, String)>, ParseZoneError> {
+    let mut out = Vec::new();
+    let mut buffer = String::new();
+    let mut depth = 0usize;
+    let mut start_line = 0usize;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let stripped = strip_comment(raw);
+        if depth == 0 {
+            buffer.clear();
+            start_line = line_no;
+        } else {
+            buffer.push(' ');
+        }
+        for c in stripped.chars() {
+            match c {
+                '(' => {
+                    depth += 1;
+                }
+                ')' => {
+                    depth = depth.checked_sub(1).ok_or(ParseZoneError::UnbalancedParens)?;
+                }
+                _ => buffer.push(c),
+            }
+        }
+        if depth == 0 && !buffer.trim().is_empty() {
+            out.push((start_line, buffer.clone()));
+        }
+    }
+    if depth != 0 {
+        return Err(ParseZoneError::UnbalancedParens);
+    }
+    Ok(out)
+}
+
+/// Removes a `;` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                out.push(c);
+            }
+            ';' if !in_quotes => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn tokenize(line: &str) -> Vec<String> {
+    line.split_whitespace().map(str::to_string).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordType;
+
+    const SAMPLE: &str = "
+$ORIGIN com.
+$TTL 86400
+; delegation records
+example       IN NS ns1.example.com.
+              IN NS ns2.example.com.
+xn--fiqs8s 3600 IN NS ns1.registry.net.
+mail.example  IN A 192.0.2.5
+@             IN SOA ns1.example.com. admin.example.com. (
+                 2017092101 ; serial
+                 7200 3600 1209600 86400 )
+";
+
+    #[test]
+    fn parses_sample_zone() {
+        let zone = parse_zone("com", SAMPLE).unwrap();
+        assert_eq!(zone.len(), 5);
+        assert_eq!(zone.records_of(RecordType::Ns).count(), 3);
+        assert_eq!(zone.records_of(RecordType::Soa).count(), 1);
+    }
+
+    #[test]
+    fn relative_names_gain_origin() {
+        let zone = parse_zone("com", "example IN NS ns1.example.com.\n").unwrap();
+        assert_eq!(zone.records[0].owner.to_string(), "example.com");
+    }
+
+    #[test]
+    fn owner_inheritance() {
+        let zone = parse_zone("com", SAMPLE).unwrap();
+        assert_eq!(zone.records[0].owner.to_string(), "example.com");
+        assert_eq!(zone.records[1].owner.to_string(), "example.com");
+    }
+
+    #[test]
+    fn explicit_ttl_overrides_default() {
+        let zone = parse_zone("com", SAMPLE).unwrap();
+        assert_eq!(zone.records[0].ttl, 86400);
+        assert_eq!(zone.records[2].ttl, 3600);
+    }
+
+    #[test]
+    fn at_sign_is_origin() {
+        let zone = parse_zone("com", SAMPLE).unwrap();
+        let soa = zone.records_of(RecordType::Soa).next().unwrap();
+        assert_eq!(soa.owner.to_string(), "com");
+    }
+
+    #[test]
+    fn soa_spanning_parens() {
+        let zone = parse_zone("com", SAMPLE).unwrap();
+        let soa = zone.records_of(RecordType::Soa).next().unwrap();
+        match &soa.rdata {
+            RData::Soa(soa) => {
+                assert_eq!(soa.serial, 2017092101);
+                assert_eq!(soa.minimum, 86400);
+            }
+            other => panic!("expected SOA, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_respect_quotes() {
+        let zone = parse_zone("com", "a IN TXT \"x;y\"\n").unwrap();
+        match &zone.records[0].rdata {
+            RData::Txt(s) => assert_eq!(s, "x;y"),
+            other => panic!("expected TXT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn origin_directive_switches() {
+        let text = "$ORIGIN net.\nfoo IN NS ns1.foo.net.\n$ORIGIN org.\nbar IN NS ns1.bar.org.\n";
+        let zone = parse_zone("com", text).unwrap();
+        assert_eq!(zone.records[0].owner.to_string(), "foo.net");
+        assert_eq!(zone.records[1].owner.to_string(), "bar.org");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_zone("com", "\n\nbad IN A not-an-ip\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseZoneError::BadRecord(3, "bad ipv4 not-an-ip".into())
+        );
+    }
+
+    #[test]
+    fn unbalanced_parens_detected() {
+        assert_eq!(
+            parse_zone("com", "a IN SOA x. y. (1 2 3 4\n"),
+            Err(ParseZoneError::UnbalancedParens)
+        );
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        assert!(matches!(
+            parse_zone("com", "a IN WKS whatever\n"),
+            Err(ParseZoneError::BadRecord(1, _))
+        ));
+    }
+
+    #[test]
+    fn mx_and_aaaa() {
+        let text = "a IN MX 10 mail.a.com.\nb IN AAAA 2001:db8::1\n";
+        let zone = parse_zone("com", text).unwrap();
+        match &zone.records[0].rdata {
+            RData::Mx { preference, exchange } => {
+                assert_eq!(*preference, 10);
+                assert_eq!(exchange.to_string(), "mail.a.com");
+            }
+            other => panic!("expected MX, got {other:?}"),
+        }
+        assert_eq!(zone.records[1].record_type(), RecordType::Aaaa);
+    }
+}

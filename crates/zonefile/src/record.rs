@@ -1,0 +1,193 @@
+//! Resource-record model for zone files.
+
+use idnre_idna::DomainName;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// DNS record types supported by the zone substrate (the types that occur in
+/// TLD zone files plus the ones the hosting simulator emits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RecordType {
+    /// Start of authority.
+    Soa,
+    /// Delegation name server.
+    Ns,
+    /// IPv4 address.
+    A,
+    /// IPv6 address.
+    Aaaa,
+    /// Canonical name alias.
+    Cname,
+    /// Mail exchanger.
+    Mx,
+    /// Free-form text.
+    Txt,
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecordType::Soa => "SOA",
+            RecordType::Ns => "NS",
+            RecordType::A => "A",
+            RecordType::Aaaa => "AAAA",
+            RecordType::Cname => "CNAME",
+            RecordType::Mx => "MX",
+            RecordType::Txt => "TXT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// SOA record payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoaData {
+    /// Primary name server.
+    pub mname: DomainName,
+    /// Responsible party mailbox (encoded as a domain name).
+    pub rname: DomainName,
+    /// Zone serial number.
+    pub serial: u32,
+    /// Refresh interval (seconds).
+    pub refresh: u32,
+    /// Retry interval (seconds).
+    pub retry: u32,
+    /// Expiry (seconds).
+    pub expire: u32,
+    /// Negative-caching minimum TTL (seconds).
+    pub minimum: u32,
+}
+
+/// Typed record data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RData {
+    /// SOA payload.
+    Soa(Box<SoaData>),
+    /// NS target.
+    Ns(DomainName),
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// CNAME target.
+    Cname(DomainName),
+    /// MX preference and exchanger.
+    Mx {
+        /// Preference value (lower wins).
+        preference: u16,
+        /// Exchange host.
+        exchange: DomainName,
+    },
+    /// TXT payload (unescaped).
+    Txt(String),
+}
+
+impl RData {
+    /// The record type this payload belongs to.
+    pub fn record_type(&self) -> RecordType {
+        match self {
+            RData::Soa(_) => RecordType::Soa,
+            RData::Ns(_) => RecordType::Ns,
+            RData::A(_) => RecordType::A,
+            RData::Aaaa(_) => RecordType::Aaaa,
+            RData::Cname(_) => RecordType::Cname,
+            RData::Mx { .. } => RecordType::Mx,
+            RData::Txt(_) => RecordType::Txt,
+        }
+    }
+}
+
+/// One resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceRecord {
+    /// Owner name (fully qualified).
+    pub owner: DomainName,
+    /// Time to live in seconds.
+    pub ttl: u32,
+    /// Typed payload.
+    pub rdata: RData,
+}
+
+impl ResourceRecord {
+    /// The record's type.
+    pub fn record_type(&self) -> RecordType {
+        self.rdata.record_type()
+    }
+}
+
+/// A parsed zone: the TLD (or deeper origin) it serves and its records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Zone {
+    /// The zone origin, e.g. `com`.
+    pub origin: DomainName,
+    /// All records in file order.
+    pub records: Vec<ResourceRecord>,
+}
+
+impl Zone {
+    /// Creates an empty zone for `origin`.
+    pub fn new(origin: DomainName) -> Self {
+        Zone {
+            origin,
+            records: Vec::new(),
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the zone holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates records of a given type.
+    pub fn records_of(&self, rtype: RecordType) -> impl Iterator<Item = &ResourceRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.record_type() == rtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdata_type_mapping() {
+        let ns = RData::Ns("ns1.example.com".parse().unwrap());
+        assert_eq!(ns.record_type(), RecordType::Ns);
+        let a = RData::A(Ipv4Addr::new(192, 0, 2, 1));
+        assert_eq!(a.record_type(), RecordType::A);
+        let txt = RData::Txt("hello".into());
+        assert_eq!(txt.record_type(), RecordType::Txt);
+    }
+
+    #[test]
+    fn zone_filters_by_type() {
+        let mut zone = Zone::new("com".parse().unwrap());
+        zone.records.push(ResourceRecord {
+            owner: "a.com".parse().unwrap(),
+            ttl: 300,
+            rdata: RData::Ns("ns.a.com".parse().unwrap()),
+        });
+        zone.records.push(ResourceRecord {
+            owner: "a.com".parse().unwrap(),
+            ttl: 300,
+            rdata: RData::A(Ipv4Addr::LOCALHOST),
+        });
+        assert_eq!(zone.records_of(RecordType::Ns).count(), 1);
+        assert_eq!(zone.records_of(RecordType::A).count(), 1);
+        assert_eq!(zone.len(), 2);
+    }
+
+    #[test]
+    fn record_type_display() {
+        assert_eq!(RecordType::Aaaa.to_string(), "AAAA");
+        assert_eq!(RecordType::Soa.to_string(), "SOA");
+    }
+}

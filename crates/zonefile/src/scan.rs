@@ -1,0 +1,218 @@
+//! The zone scanner of Section III: walks TLD zones, collects the set of
+//! second-level domains and extracts IDNs by the `xn--` prefix.
+
+use crate::record::Zone;
+use idnre_idna::DomainName;
+use std::collections::BTreeSet;
+
+/// Scanner configuration.
+#[derive(Debug, Clone)]
+pub struct ZoneScanner {
+    /// Also count IDN-ness at the top level (iTLD zones: every SLD under an
+    /// `xn--` TLD is an IDN, per the paper's methodology).
+    pub count_itld_slds_as_idn: bool,
+}
+
+impl Default for ZoneScanner {
+    fn default() -> Self {
+        ZoneScanner {
+            count_itld_slds_as_idn: true,
+        }
+    }
+}
+
+/// Scan result for one zone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneStats {
+    /// The zone origin (TLD).
+    pub tld: String,
+    /// Whether the TLD itself is an IDN (iTLD).
+    pub is_itld: bool,
+    /// Distinct second-level domains seen.
+    pub total_slds: usize,
+    /// The IDN subset, sorted (registered domain form, `sld.tld`).
+    pub idns: Vec<DomainName>,
+}
+
+impl ZoneStats {
+    /// IDN fraction of all SLDs (0 when the zone is empty).
+    pub fn idn_rate(&self) -> f64 {
+        if self.total_slds == 0 {
+            0.0
+        } else {
+            self.idns.len() as f64 / self.total_slds as f64
+        }
+    }
+}
+
+/// Aggregated scan across many zones — the totals row of Table I.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Per-zone statistics, in scan order.
+    pub zones: Vec<ZoneStats>,
+}
+
+impl ScanReport {
+    /// Total SLDs across all zones.
+    pub fn total_slds(&self) -> usize {
+        self.zones.iter().map(|z| z.total_slds).sum()
+    }
+
+    /// Total IDNs across all zones.
+    pub fn total_idns(&self) -> usize {
+        self.zones.iter().map(|z| z.idns.len()).sum()
+    }
+
+    /// All IDNs across all zones, in scan order.
+    pub fn all_idns(&self) -> impl Iterator<Item = &DomainName> {
+        self.zones.iter().flat_map(|z| z.idns.iter())
+    }
+}
+
+impl ZoneScanner {
+    /// Creates a scanner with the paper's defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scans one zone, deduplicating owners to registered domains.
+    ///
+    /// Every record owner is reduced to its `sld.tld` form (e.g. both
+    /// `example.com` and `www.example.com` count the single SLD
+    /// `example.com`); owners equal to the origin itself (the zone apex) are
+    /// skipped.
+    pub fn scan(&self, zone: &Zone) -> ZoneStats {
+        let origin = zone.origin.to_string();
+        let is_itld = idnre_idna::is_ace_label(&origin);
+        let mut slds: BTreeSet<String> = BTreeSet::new();
+        for record in &zone.records {
+            let owner = &record.owner;
+            if owner.to_string() == origin {
+                continue; // apex records (SOA/NS of the TLD itself)
+            }
+            // Reduce to sld.tld relative to this zone's origin.
+            if let Some(sld) = sld_under(&owner.to_string(), &origin) {
+                slds.insert(sld);
+            }
+        }
+        let mut idns = Vec::new();
+        for sld in &slds {
+            let name: DomainName = match sld.parse() {
+                Ok(d) => d,
+                Err(_) => continue,
+            };
+            let sld_is_ace = name.sld().map(idnre_idna::is_ace_label).unwrap_or(false);
+            if sld_is_ace || (self.count_itld_slds_as_idn && is_itld) {
+                idns.push(name);
+            }
+        }
+        ZoneStats {
+            tld: origin,
+            is_itld,
+            total_slds: slds.len(),
+            idns,
+        }
+    }
+
+    /// Scans many zones into an aggregate [`ScanReport`].
+    pub fn scan_all<'a, I: IntoIterator<Item = &'a Zone>>(&self, zones: I) -> ScanReport {
+        ScanReport {
+            zones: zones.into_iter().map(|z| self.scan(z)).collect(),
+        }
+    }
+}
+
+/// Extracts `sld.origin` from `owner` when owner is under `origin`.
+fn sld_under(owner: &str, origin: &str) -> Option<String> {
+    let suffix = format!(".{origin}");
+    let prefix = owner.strip_suffix(&suffix)?;
+    let sld = prefix.rsplit('.').next()?;
+    if sld.is_empty() {
+        return None;
+    }
+    Some(format!("{sld}{suffix}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_zone;
+
+    const COM: &str = "
+$ORIGIN com.
+@ IN SOA ns1.com. admin.com. 1 2 3 4 5
+@ IN NS ns1.gtld-servers.net.
+example IN NS ns1.example.com.
+www.example IN NS ns1.example.com.
+xn--0wwy37b IN NS ns.parking.net.
+xn--80ak6aa92e IN NS ns.evil.org.
+plain IN NS ns2.example.com.
+";
+
+    #[test]
+    fn counts_unique_slds() {
+        let zone = parse_zone("com", COM).unwrap();
+        let stats = ZoneScanner::new().scan(&zone);
+        // example (deduped with www.example), two xn--, plain.
+        assert_eq!(stats.total_slds, 4);
+        assert_eq!(stats.idns.len(), 2);
+        assert!(!stats.is_itld);
+        assert!((stats.idn_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apex_records_skipped() {
+        let zone = parse_zone("com", "@ IN NS ns1.gtld-servers.net.\n").unwrap();
+        let stats = ZoneScanner::new().scan(&zone);
+        assert_eq!(stats.total_slds, 0);
+    }
+
+    #[test]
+    fn itld_slds_all_count_as_idn() {
+        let text = "
+$ORIGIN xn--fiqs8s.
+foo IN NS ns1.registry.cn.
+xn--55qx5d IN NS ns2.registry.cn.
+";
+        let zone = parse_zone("xn--fiqs8s", text).unwrap();
+        let stats = ZoneScanner::new().scan(&zone);
+        assert!(stats.is_itld);
+        assert_eq!(stats.total_slds, 2);
+        assert_eq!(stats.idns.len(), 2);
+    }
+
+    #[test]
+    fn itld_policy_can_be_disabled() {
+        let text = "foo IN NS ns1.registry.cn.\n";
+        let zone = parse_zone("xn--fiqs8s", text).unwrap();
+        let scanner = ZoneScanner {
+            count_itld_slds_as_idn: false,
+        };
+        let stats = scanner.scan(&zone);
+        assert_eq!(stats.idns.len(), 0);
+    }
+
+    #[test]
+    fn aggregate_report() {
+        let com = parse_zone("com", COM).unwrap();
+        let net = parse_zone(
+            "net",
+            "a IN NS ns.a.net.\nxn--tst-qla IN NS ns.b.net.\n",
+        )
+        .unwrap();
+        let report = ZoneScanner::new().scan_all([&com, &net]);
+        assert_eq!(report.total_slds(), 6);
+        assert_eq!(report.total_idns(), 3);
+        assert_eq!(report.all_idns().count(), 3);
+    }
+
+    #[test]
+    fn sld_under_extracts_correctly() {
+        assert_eq!(
+            sld_under("www.example.com", "com"),
+            Some("example.com".into())
+        );
+        assert_eq!(sld_under("example.com", "com"), Some("example.com".into()));
+        assert_eq!(sld_under("example.net", "com"), None);
+    }
+}

@@ -1,0 +1,83 @@
+//! Master-file serialization — used by the synthetic ecosystem generator to
+//! emit zone snapshots that round-trip through the parser.
+
+use crate::record::{RData, Zone};
+use std::fmt::Write as _;
+
+/// Serializes a zone to master-file text with an explicit `$ORIGIN` header.
+///
+/// Owner names are written fully qualified (with trailing dot), so the
+/// output parses identically under any default origin.
+pub fn write_zone(zone: &Zone) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "$ORIGIN {}.", zone.origin);
+    for record in &zone.records {
+        let _ = write!(out, "{}. {} IN ", record.owner, record.ttl);
+        match &record.rdata {
+            RData::Soa(soa) => {
+                let _ = writeln!(
+                    out,
+                    "SOA {}. {}. {} {} {} {} {}",
+                    soa.mname, soa.rname, soa.serial, soa.refresh, soa.retry, soa.expire, soa.minimum
+                );
+            }
+            RData::Ns(target) => {
+                let _ = writeln!(out, "NS {target}.");
+            }
+            RData::Cname(target) => {
+                let _ = writeln!(out, "CNAME {target}.");
+            }
+            RData::A(addr) => {
+                let _ = writeln!(out, "A {addr}");
+            }
+            RData::Aaaa(addr) => {
+                let _ = writeln!(out, "AAAA {addr}");
+            }
+            RData::Mx { preference, exchange } => {
+                let _ = writeln!(out, "MX {preference} {exchange}.");
+            }
+            RData::Txt(text) => {
+                let _ = writeln!(out, "TXT \"{text}\"");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_zone;
+    use crate::record::RecordType;
+
+    const SAMPLE: &str = "
+$ORIGIN com.
+example IN NS ns1.example.com.
+example 7200 IN A 192.0.2.1
+example IN MX 5 mail.example.com.
+example IN TXT \"v=spf1 -all\"
+xn--0wwy37b IN NS ns.parking.net.
+@ IN SOA ns1.com. admin.com. 1 2 3 4 5
+";
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let zone = parse_zone("com", SAMPLE).unwrap();
+        let text = super::write_zone(&zone);
+        let reparsed = parse_zone("com", &text).unwrap();
+        assert_eq!(zone.records, reparsed.records);
+        assert_eq!(zone.origin, reparsed.origin);
+    }
+
+    #[test]
+    fn output_is_fully_qualified() {
+        let zone = parse_zone("com", "example IN NS ns1.example.com.\n").unwrap();
+        let text = super::write_zone(&zone);
+        assert!(text.contains("example.com. 3600 IN NS ns1.example.com."));
+        // Parses the same under a *different* default origin.
+        let reparsed = parse_zone("net", &text).unwrap();
+        assert_eq!(
+            reparsed.records_of(RecordType::Ns).next().unwrap().owner,
+            "example.com".parse().unwrap()
+        );
+    }
+}

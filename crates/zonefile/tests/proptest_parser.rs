@@ -1,0 +1,66 @@
+//! Property-based tests for the zone-file parser: totality on arbitrary
+//! input and round-trip stability on generated zones.
+
+use idnre_zonefile::{parse_zone, write_zone, RData, ResourceRecord, Zone};
+use proptest::prelude::*;
+
+fn label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,14}"
+}
+
+fn record() -> impl Strategy<Value = ResourceRecord> {
+    (label(), 60u32..86_400, 0u8..5, label(), any::<[u8; 4]>()).prop_map(
+        |(owner, ttl, kind, target, ip)| {
+            let owner = format!("{owner}.com").parse().unwrap();
+            let rdata = match kind {
+                0 => RData::Ns(format!("ns1.{target}.net").parse().unwrap()),
+                1 => RData::Cname(format!("{target}.org").parse().unwrap()),
+                2 => RData::A(std::net::Ipv4Addr::from(ip)),
+                3 => RData::Mx {
+                    preference: u16::from(ip[0]),
+                    exchange: format!("mail.{target}.com").parse().unwrap(),
+                },
+                _ => RData::Txt(target),
+            };
+            ResourceRecord { owner, ttl, rdata }
+        },
+    )
+}
+
+proptest! {
+    /// The parser never panics, whatever bytes arrive.
+    #[test]
+    fn parser_is_total(text in "(.|\\n){0,400}") {
+        let _ = parse_zone("com", &text);
+    }
+
+    /// The parser never panics on line-structured input that resembles
+    /// records more closely.
+    #[test]
+    fn parser_is_total_on_recordish_lines(
+        lines in proptest::collection::vec("[ -~]{0,60}", 0..20)
+    ) {
+        let text = lines.join("\n");
+        let _ = parse_zone("com", &text);
+    }
+
+    /// write ∘ parse is the identity on arbitrary generated zones.
+    #[test]
+    fn round_trip(records in proptest::collection::vec(record(), 0..40)) {
+        let mut zone = Zone::new("com".parse().unwrap());
+        zone.records = records;
+        let text = write_zone(&zone);
+        let reparsed = parse_zone("com", &text).unwrap();
+        prop_assert_eq!(zone.records, reparsed.records);
+    }
+
+    /// Parsing is idempotent: write(parse(write(z))) == write(z).
+    #[test]
+    fn write_is_stable(records in proptest::collection::vec(record(), 0..20)) {
+        let mut zone = Zone::new("com".parse().unwrap());
+        zone.records = records;
+        let once = write_zone(&zone);
+        let twice = write_zone(&parse_zone("com", &once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,93 @@
+//! Passive-DNS provider probe: the same domain set seen through 360 DNS Pai
+//! and Farsight DNSDB — different observation windows, different query
+//! quotas, different answers (Section III's data-collection constraints).
+//!
+//! ```text
+//! cargo run --release --example passive_dns_probe
+//! ```
+
+use idn_reexamination::pdns::Provider;
+use idnre_datagen::{Ecosystem, EcosystemConfig};
+
+fn main() {
+    let eco = Ecosystem::generate(&EcosystemConfig {
+        scale: 500,
+        attack_scale: 5,
+        ..EcosystemConfig::default()
+    });
+
+    let pai = Provider::dns_pai();
+    let farsight = Provider::farsight();
+    println!(
+        "providers: {} (window {}..{}, unlimited) vs {} (window {}..{}, {}/day)",
+        pai.name,
+        pai.window_start,
+        pai.window_end,
+        farsight.name,
+        farsight.window_start,
+        farsight.window_end,
+        farsight.daily_query_limit.unwrap()
+    );
+
+    // The paper submitted all IDNs to DNS Pai (no limit)…
+    let all: Vec<&str> = eco
+        .idn_registrations
+        .iter()
+        .map(|r| r.domain.as_str())
+        .collect();
+    let pai_results = pai
+        .query_batch(&eco.pdns, all.iter().copied(), 0)
+        .expect("dns pai has no quota");
+    let pai_hits = pai_results.iter().flatten().count();
+    println!(
+        "\n{}: submitted {} IDNs, {} observed",
+        pai.name,
+        all.len(),
+        pai_hits
+    );
+
+    // …but could only afford its abusive sets through Farsight.
+    let abusive: Vec<&str> = eco
+        .idn_registrations
+        .iter()
+        .filter(|r| r.malicious.is_some())
+        .map(|r| r.domain.as_str())
+        .collect();
+    let days = farsight.days_needed(abusive.len());
+    println!(
+        "{}: {} abusive IDNs need {} day(s) of quota",
+        farsight.name,
+        abusive.len(),
+        days
+    );
+    match farsight.query_batch(&eco.pdns, all.iter().copied(), 1) {
+        Err(quota) => println!("  full corpus in one day: {quota}"),
+        Ok(_) => println!("  full corpus fit in one day (unexpectedly small run)"),
+    }
+    let results = farsight
+        .query_batch(&eco.pdns, abusive.iter().copied(), days.max(1))
+        .expect("budgeted batch fits");
+
+    // Window differences: Farsight's 2010 start sees longer histories.
+    let mut longer = 0usize;
+    let mut compared = 0usize;
+    for domain in &abusive {
+        if let (Some(via_pai), Some(via_farsight)) =
+            (pai.query(&eco.pdns, domain), farsight.query(&eco.pdns, domain))
+        {
+            compared += 1;
+            if via_farsight.active_days() > via_pai.active_days() {
+                longer += 1;
+            }
+        }
+    }
+    println!(
+        "\nof {} abusive domains visible in both feeds, {} show longer history in {}",
+        compared, longer, farsight.name
+    );
+    println!(
+        "farsight batch returned {} aggregates ({} observed)",
+        results.len(),
+        results.iter().flatten().count()
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: the library's core operations in one minute.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use idn_reexamination::browser::{PolicyKind, Rendering};
+use idn_reexamination::core::{HomographDetector, SemanticDetector};
+use idn_reexamination::idna::{to_ascii, to_unicode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Punycode / IDNA: the codec every IDN passes through.
+    let spoof = "аррӏе.com"; // Cyrillic lookalike of apple.com
+    let ace = to_ascii(spoof)?;
+    println!("{spoof} encodes to {ace}");
+    println!("{ace} decodes back to {}", to_unicode(&ace)?);
+
+    // 2. Homograph detection: render both names, compare with SSIM.
+    let detector = HomographDetector::new(["apple.com", "google.com", "facebook.com"], 0.95);
+    match detector.detect(&ace) {
+        Some(finding) => println!(
+            "homograph: {} impersonates {} (SSIM {:.2})",
+            finding.unicode, finding.brand, finding.ssim
+        ),
+        None => println!("no homograph found"),
+    }
+
+    // 3. Semantic (Type-1) detection: brand + foreign keyword.
+    let semantic = SemanticDetector::new(["icloud.com", "58.com"]);
+    let finding = semantic
+        .detect("icloud登录.com")
+        .expect("icloud登录.com is a Type-1 attack");
+    println!(
+        "semantic: {} impersonates {} ({:?})",
+        finding.unicode, finding.brand, finding.kind
+    );
+
+    // 4. Browser display policies: what would the address bar show?
+    for (name, kind) in [
+        ("Chrome", PolicyKind::ChromeMixedScript),
+        ("Firefox", PolicyKind::FirefoxSingleScript),
+    ] {
+        let rendering = kind.policy().display(spoof);
+        let shown = match &rendering {
+            Rendering::Unicode(s) => format!("Unicode {s:?}"),
+            Rendering::Punycode(s) => format!("Punycode {s:?}"),
+            other => format!("{other:?}"),
+        };
+        println!("{name} displays {spoof} as {shown}");
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Registrar probe: replay the paper's Section VI-D registration experiment
+//! against the SRS model — first with a plain gTLD policy (GoDaddy approved
+//! all 10 sampled homographic IDNs), then with the brand-protection
+//! resemblance checks the paper recommends (Section VIII).
+//!
+//! ```text
+//! cargo run --example registrar_probe
+//! ```
+
+use idn_reexamination::core::{AvailabilityEnumerator, SrsPolicy};
+
+fn main() {
+    // Build ten homographic candidates of well-known brands, like the
+    // paper's sampled probe set.
+    let enumerator = AvailabilityEnumerator::new();
+    let mut probes: Vec<String> = Vec::new();
+    for brand in ["google.com", "apple.com", "ea.com", "go.com"] {
+        for candidate in enumerator.homographic(brand).into_iter().take(3) {
+            probes.push(candidate.unicode_sld);
+            if probes.len() == 10 {
+                break;
+            }
+        }
+    }
+
+    println!("probing a plain gTLD policy (no resemblance checks):");
+    let mut plain = SrsPolicy::gtld("com");
+    let mut approved = 0;
+    for label in &probes {
+        match plain.request(label) {
+            Ok(ace) => {
+                approved += 1;
+                println!("  {label:<12} APPROVED as {ace}");
+            }
+            Err(rejection) => println!("  {label:<12} rejected: {rejection}"),
+        }
+    }
+    println!("  {approved}/{} approved (paper: 10/10 at GoDaddy)\n", probes.len());
+
+    println!("probing the same labels with brand protection enabled:");
+    let mut protected = SrsPolicy::gtld("cn").with_brand_protection([
+        "google.com",
+        "apple.com",
+        "ea.com",
+        "go.com",
+    ]);
+    let mut blocked = 0;
+    for label in &probes {
+        match protected.request(label) {
+            Ok(ace) => println!("  {label:<12} approved as {ace}"),
+            Err(rejection) => {
+                blocked += 1;
+                println!("  {label:<12} REJECTED: {rejection}");
+            }
+        }
+    }
+    println!(
+        "  {blocked}/{} blocked — the resemblance check the paper found on three TLDs",
+        probes.len()
+    );
+}

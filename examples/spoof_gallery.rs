@@ -1,0 +1,51 @@
+//! Spoof gallery: renders brand domains and their best homograph spoofs to
+//! PGM images (plus terminal ASCII art), so the visual near-identity behind
+//! the paper's Table XII can literally be looked at.
+//!
+//! ```text
+//! cargo run --example spoof_gallery [output-dir]
+//! ```
+
+use idn_reexamination::core::AvailabilityEnumerator;
+use idn_reexamination::render::{render_text, ssim_strings};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/spoof_gallery".to_string());
+    std::fs::create_dir_all(&out_dir)?;
+
+    let enumerator = AvailabilityEnumerator::new();
+    let mut written = 0usize;
+    for brand in ["google.com", "apple.com", "facebook.com"] {
+        let brand_image = render_text(brand);
+        let brand_file = format!("{out_dir}/{}.pgm", brand.replace('.', "_"));
+        std::fs::write(&brand_file, brand_image.to_pgm())?;
+        written += 1;
+
+        println!("{brand}:");
+        println!("{}", brand_image.to_ascii_art());
+
+        let mut candidates = enumerator.homographic(brand);
+        candidates.sort_by(|a, b| b.ssim.partial_cmp(&a.ssim).expect("finite"));
+        for candidate in candidates.iter().take(2) {
+            let spoof = format!("{}.{}", candidate.unicode_sld, brand.rsplit('.').next().unwrap());
+            let image = render_text(&spoof);
+            let file = format!(
+                "{out_dir}/{}_spoof_{}.pgm",
+                brand.replace('.', "_"),
+                candidate.ace.replace(['.', '-'], "_")
+            );
+            std::fs::write(&file, image.to_pgm())?;
+            written += 1;
+            println!(
+                "  spoof {spoof} (punycode {}, SSIM {:.3}):",
+                candidate.ace,
+                ssim_strings(&spoof, brand)
+            );
+            println!("{}", image.to_ascii_art());
+        }
+    }
+    println!("wrote {written} PGM images to {out_dir}/");
+    Ok(())
+}

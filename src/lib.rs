@@ -1,0 +1,20 @@
+//! Umbrella crate for the IDN reexamination workspace.
+//!
+//! Re-exports every subsystem crate under a short module name so examples and
+//! integration tests can use one import root. See the README for the overall
+//! architecture and `DESIGN.md` for the per-experiment index.
+
+pub use idnre_blacklist as blacklist;
+pub use idnre_browser as browser;
+pub use idnre_certs as certs;
+pub use idnre_core as core;
+pub use idnre_crawler as crawler;
+pub use idnre_datagen as datagen;
+pub use idnre_idna as idna;
+pub use idnre_langid as langid;
+pub use idnre_pdns as pdns;
+pub use idnre_render as render;
+pub use idnre_stats as stats;
+pub use idnre_unicode as unicode;
+pub use idnre_whois as whois;
+pub use idnre_zonefile as zonefile;

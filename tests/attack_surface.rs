@@ -1,0 +1,94 @@
+//! Attack-surface integration: availability enumeration, SRS registration
+//! policy, and browser display policies evaluated against the same
+//! candidate lookalikes — Sections VI-A, VI-D and VIII working together.
+
+use idn_reexamination::browser::{PolicyKind, Rendering};
+use idn_reexamination::core::{AvailabilityEnumerator, SrsPolicy, SrsRejection};
+use idn_reexamination::render::ssim_strings;
+use idn_reexamination::unicode::skeleton;
+
+#[test]
+fn enumerated_candidates_are_registrable_on_plain_gtlds() {
+    // Paper: all 10 sampled homographic IDNs were approved by GoDaddy.
+    let enumerator = AvailabilityEnumerator::new();
+    let mut srs = SrsPolicy::gtld("com");
+    let mut approved = 0;
+    let mut probed = 0;
+    for brand in ["google.com", "apple.com", "ea.com"] {
+        for candidate in enumerator.homographic(brand).into_iter().take(5) {
+            probed += 1;
+            if srs.request(&candidate.unicode_sld).is_ok() {
+                approved += 1;
+            }
+        }
+    }
+    assert_eq!(approved, probed, "gtld policy must approve all candidates");
+}
+
+#[test]
+fn brand_protection_blocks_what_enumeration_finds() {
+    let enumerator = AvailabilityEnumerator::new();
+    let brands = ["google.com", "apple.com", "facebook.com"];
+    let mut srs = SrsPolicy::gtld("cn").with_brand_protection(brands);
+    for brand in brands {
+        for candidate in enumerator.homographic(brand).into_iter().take(10) {
+            let result = srs.request(&candidate.unicode_sld);
+            assert!(
+                matches!(result, Err(SrsRejection::ResemblesProtectedBrand { .. })),
+                "{} slipped through: {result:?}",
+                candidate.unicode_sld
+            );
+        }
+    }
+}
+
+#[test]
+fn candidate_skeletons_fold_to_their_brand() {
+    let enumerator = AvailabilityEnumerator::new();
+    for candidate in enumerator.homographic("google.com") {
+        assert_eq!(skeleton(&candidate.unicode_sld), "google");
+        // And the SSIM the enumerator recorded is reproducible.
+        let recomputed = ssim_strings(&candidate.unicode_sld, "google");
+        assert!((recomputed - candidate.ssim).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn chrome_policy_defuses_enumerated_candidates_of_protected_brands() {
+    // The candidates that clear the SSIM bar for protected brands must be
+    // rendered as Punycode by the Chrome policy model.
+    let enumerator = AvailabilityEnumerator::new();
+    let chrome = PolicyKind::ChromeMixedScript.policy();
+    for brand in ["google.com", "apple.com"] {
+        for candidate in enumerator.homographic(brand).into_iter().take(10) {
+            let domain = format!("{}.com", candidate.unicode_sld);
+            let rendering = chrome.display(&domain);
+            assert!(
+                matches!(rendering, Rendering::Punycode(_)),
+                "{domain} rendered as {rendering:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unicode_always_policy_passes_every_candidate() {
+    // The Sogou-PC behaviour: everything displays in Unicode.
+    let enumerator = AvailabilityEnumerator::new();
+    let vulnerable = PolicyKind::UnicodeAlways.policy();
+    for candidate in enumerator.homographic("google.com").into_iter().take(10) {
+        let domain = format!("{}.com", candidate.unicode_sld);
+        assert!(matches!(vulnerable.display(&domain), Rendering::Unicode(_)));
+    }
+}
+
+#[test]
+fn availability_exceeds_registered_population() {
+    // Figure 7's point: the candidate pool dwarfs what is registered.
+    let enumerator = AvailabilityEnumerator::new();
+    let reports = enumerator.survey(["google.com", "facebook.com", "apple.com", "amazon.com"]);
+    let total: usize = reports.iter().map(|r| r.homographic).sum();
+    // Paper: google alone has 121 registered lookalikes but hundreds of
+    // available candidates across the glyph table.
+    assert!(total > 100, "candidate pool {total}");
+}

@@ -1,0 +1,105 @@
+//! Cross-checks the browser policy models against the visual metric: a
+//! policy "defuses" a homograph attack exactly when the text it puts in the
+//! address bar no longer looks like the brand. This connects Table XI
+//! (policies) with Table XII (SSIM) — the two halves of Section VI.
+
+use idn_reexamination::browser::{PolicyKind, Rendering, WHOLE_SCRIPT_SPOOFS};
+use idn_reexamination::core::AvailabilityEnumerator;
+use idn_reexamination::render::ssim_strings;
+use idn_reexamination::unicode::skeleton;
+
+/// What the user's eye compares: the rendered address-bar text vs the brand.
+fn displayed_similarity(kind: PolicyKind, spoof: &str, brand: &str) -> f64 {
+    match kind.policy().display(spoof) {
+        Rendering::Unicode(shown) => ssim_strings(&shown, brand),
+        Rendering::Punycode(shown) => ssim_strings(&shown, brand),
+        // Title/blank outcomes put attacker-controlled or empty text in the
+        // bar; visual similarity to the brand is unbounded (title) or nil
+        // (blank). Treat as worst case for titles.
+        Rendering::Title => 1.0,
+        Rendering::Blank => 0.0,
+    }
+}
+
+#[test]
+fn punycode_display_destroys_visual_similarity() {
+    let enumerator = AvailabilityEnumerator::new();
+    for brand in ["google.com", "apple.com"] {
+        for candidate in enumerator.homographic(brand).into_iter().take(8) {
+            let spoof = format!("{}.com", candidate.unicode_sld);
+            // In Unicode the spoof is visually convincing…
+            let raw = ssim_strings(&spoof, brand);
+            assert!(raw >= 0.95, "{spoof} vs {brand}: {raw}");
+            // …but its Punycode form is visually unrelated to the brand.
+            let defused = displayed_similarity(PolicyKind::PunycodeAlways, &spoof, brand);
+            assert!(defused < 0.8, "{spoof} still looks like {brand}: {defused}");
+        }
+    }
+}
+
+#[test]
+fn vulnerable_policy_keeps_similarity_at_one_for_identical_spoofs() {
+    for spoof in WHOLE_SCRIPT_SPOOFS {
+        let brand = format!("{}.com", skeleton(spoof.split('.').next().unwrap()));
+        let shown = displayed_similarity(PolicyKind::UnicodeAlways, spoof, &brand);
+        assert!(
+            shown >= 0.99,
+            "{spoof} should look identical to {brand}, got {shown}"
+        );
+    }
+}
+
+#[test]
+fn chrome_reduces_exposure_relative_to_firefox() {
+    // Measured as mean displayed similarity over the whole-script corpus:
+    // Chrome (punycode for protected skeletons) must sit strictly below
+    // Firefox (unicode for single-script spoofs).
+    let mean = |kind: PolicyKind| {
+        let mut total = 0.0;
+        for spoof in WHOLE_SCRIPT_SPOOFS {
+            let brand = format!("{}.com", skeleton(spoof.split('.').next().unwrap()));
+            total += displayed_similarity(kind, spoof, &brand);
+        }
+        total / WHOLE_SCRIPT_SPOOFS.len() as f64
+    };
+    let chrome = mean(PolicyKind::ChromeMixedScript);
+    let firefox = mean(PolicyKind::FirefoxSingleScript);
+    assert!(
+        chrome < firefox - 0.2,
+        "chrome exposure {chrome} vs firefox {firefox}"
+    );
+}
+
+#[test]
+fn survey_outcomes_agree_with_measured_exposure() {
+    // Every browser the survey calls Protected must show < 0.9 similarity
+    // on the whole-script corpus; every Bypassed/Vulnerable browser ≥ 0.99.
+    use idn_reexamination::browser::{run_survey, surveyed_browsers, HomographOutcome};
+    let profiles = surveyed_browsers();
+    for row in run_survey() {
+        let profile = profiles
+            .iter()
+            .find(|p| p.name == row.browser && p.platform == row.platform)
+            .expect("profile exists");
+        let spoof = "аррӏе.com";
+        let similarity = displayed_similarity(profile.policy, spoof, "apple.com");
+        match row.outcome {
+            HomographOutcome::Protected => assert!(
+                similarity < 0.9,
+                "{} {} protected but exposure {similarity}",
+                row.browser,
+                row.platform
+            ),
+            HomographOutcome::Bypassed | HomographOutcome::Vulnerable => assert!(
+                similarity >= 0.99,
+                "{} {} exposed but similarity {similarity}",
+                row.browser,
+                row.platform
+            ),
+            // Title rows pin similarity to the worst case by construction;
+            // Blank rows to zero.
+            HomographOutcome::Title => assert_eq!(similarity, 1.0),
+            HomographOutcome::AboutBlank => assert_eq!(similarity, 0.0),
+        }
+    }
+}
