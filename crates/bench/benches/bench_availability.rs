@@ -44,12 +44,15 @@ fn bench_threshold_sweep(c: &mut Criterion) {
     for threshold in [0.90f64, 0.95, 0.99] {
         let enumerator = AvailabilityEnumerator::with_threshold(threshold);
         counts.push((threshold, enumerator.homographic("google.com").len()));
-        group.bench_function(format!("google_at_{threshold:.2}"), |b| {
+        group.bench_function(&format!("google_at_{threshold:.2}"), |b| {
             b.iter(|| enumerator.homographic(black_box("google.com")).len())
         });
     }
     // Monotone: lower thresholds admit more candidates.
-    assert!(counts[0].1 >= counts[1].1 && counts[1].1 >= counts[2].1, "{counts:?}");
+    assert!(
+        counts[0].1 >= counts[1].1 && counts[1].1 >= counts[2].1,
+        "{counts:?}"
+    );
     group.finish();
 }
 
@@ -67,7 +70,6 @@ fn bench_squatting_baselines(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
 /// uses short warmup/measurement windows to keep a whole-workspace
 /// `cargo bench` run in the minutes range.
@@ -77,7 +79,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10)
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_generate_per_brand, bench_survey_top10, bench_threshold_sweep, bench_squatting_baselines

@@ -25,7 +25,7 @@ fn bench_policies(c: &mut Criterion) {
         PolicyKind::UnicodeAlways,
     ] {
         let policy = kind.policy();
-        group.bench_function(format!("{kind:?}"), |b| {
+        group.bench_function(&format!("{kind:?}"), |b| {
             b.iter(|| {
                 CORPUS
                     .iter()
@@ -66,7 +66,6 @@ fn bench_survey(c: &mut Criterion) {
     c.bench_function("table11_full_survey", |b| b.iter(|| run_survey().len()));
 }
 
-
 /// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
 /// uses short warmup/measurement windows to keep a whole-workspace
 /// `cargo bench` run in the minutes range.
@@ -76,7 +75,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10)
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_policies, bench_policy_ablation, bench_survey

@@ -31,7 +31,13 @@ fn bench_classify(c: &mut Criterion) {
 
 fn bench_single_checks(c: &mut Criterion) {
     let validator = Validator::with_default_roots(17_400);
-    let good = Certificate::ca_issued("shop.com", vec!["www.shop.com".into()], "Let's Encrypt R3", 17_000, 17_800);
+    let good = Certificate::ca_issued(
+        "shop.com",
+        vec!["www.shop.com".into()],
+        "Let's Encrypt R3",
+        17_000,
+        17_800,
+    );
     let wildcard = Certificate::ca_issued("*.cafe24.com", vec![], "Sectigo RSA DV", 17_000, 17_800);
     let mut group = c.benchmark_group("cert_single");
     group.bench_function("clean", |b| {
@@ -62,7 +68,6 @@ fn bench_sharing(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
 /// uses short warmup/measurement windows to keep a whole-workspace
 /// `cargo bench` run in the minutes range.
@@ -72,7 +77,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10)
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_classify, bench_single_checks, bench_sharing

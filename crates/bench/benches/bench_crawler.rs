@@ -68,7 +68,6 @@ fn bench_crawl_corpus(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
 /// uses short warmup/measurement windows to keep a whole-workspace
 /// `cargo bench` run in the minutes range.
@@ -78,7 +77,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10)
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_resolution, bench_crawl_corpus

@@ -49,7 +49,7 @@ fn bench_scan_corpus(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(f.corpus.len() as u64));
     for threads in [1usize, 4, 8] {
-        group.bench_function(format!("prefilter_{threads}threads"), |b| {
+        group.bench_function(&format!("prefilter_{threads}threads"), |b| {
             b.iter(|| {
                 f.detector
                     .scan(f.corpus.iter().map(String::as_str), threads)
@@ -68,12 +68,7 @@ fn bench_prefilter_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("homograph_ablation_100domains");
     group.sample_size(10);
     group.bench_function("prefilter", |b| {
-        b.iter(|| {
-            slice
-                .iter()
-                .filter_map(|d| f.detector.detect(d))
-                .count()
-        })
+        b.iter(|| slice.iter().filter_map(|d| f.detector.detect(d)).count())
     });
     group.bench_function("exhaustive", |b| {
         b.iter(|| {
@@ -86,7 +81,6 @@ fn bench_prefilter_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
 /// uses short warmup/measurement windows to keep a whole-workspace
 /// `cargo bench` run in the minutes range.
@@ -96,7 +90,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10)
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_detect_single, bench_scan_corpus, bench_prefilter_ablation

@@ -48,7 +48,6 @@ fn bench_training(c: &mut Criterion) {
     c.bench_function("langid_train", |b| b.iter(Classifier::train));
 }
 
-
 /// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
 /// uses short warmup/measurement windows to keep a whole-workspace
 /// `cargo bench` run in the minutes range.
@@ -58,7 +57,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10)
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_classify, bench_per_script, bench_training

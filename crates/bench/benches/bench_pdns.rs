@@ -32,7 +32,7 @@ fn bench_sampling(c: &mut Criterion) {
         PopulationClass::Homographic,
     ] {
         let model = TrafficModel::for_class(class);
-        group.bench_function(format!("{class:?}"), |b| {
+        group.bench_function(&format!("{class:?}"), |b| {
             let mut rng = StdRng::seed_from_u64(1);
             b.iter(|| black_box(model.sample(&mut rng)))
         });
@@ -78,7 +78,6 @@ fn bench_analytics(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
 /// uses short warmup/measurement windows to keep a whole-workspace
 /// `cargo bench` run in the minutes range.
@@ -88,7 +87,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10)
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_sampling, bench_store_ops, bench_analytics

@@ -42,15 +42,10 @@ fn bench_scan_corpus(c: &mut Criterion) {
     group.sample_size(20);
     group.throughput(Throughput::Elements(corpus.len() as u64));
     group.bench_function("scan_type1_corpus", |b| {
-        b.iter(|| {
-            detector
-                .scan_type1(corpus.iter().map(String::as_str))
-                .len()
-        })
+        b.iter(|| detector.scan_type1(corpus.iter().map(String::as_str)).len())
     });
     group.finish();
 }
-
 
 /// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
 /// uses short warmup/measurement windows to keep a whole-workspace
@@ -61,7 +56,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10)
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_detect_single, bench_scan_corpus

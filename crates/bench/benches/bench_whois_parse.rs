@@ -67,12 +67,14 @@ fn bench_analytics(c: &mut Criterion) {
         b.iter(|| {
             let mut analytics = RegistrationAnalytics::new();
             analytics.extend(records.iter());
-            (analytics.top_registrars(10).len(), analytics.top_registrants(5).len())
+            (
+                analytics.top_registrars(10).len(),
+                analytics.top_registrants(5).len(),
+            )
         })
     });
     group.finish();
 }
-
 
 /// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
 /// uses short warmup/measurement windows to keep a whole-workspace
@@ -83,7 +85,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10)
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_dialects, bench_analytics

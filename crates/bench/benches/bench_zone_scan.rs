@@ -51,7 +51,6 @@ fn bench_roundtrip(c: &mut Criterion) {
     c.bench_function("zone_write", |b| b.iter(|| write_zone(black_box(&zone))));
 }
 
-
 /// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
 /// uses short warmup/measurement windows to keep a whole-workspace
 /// `cargo bench` run in the minutes range.
@@ -61,7 +60,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(10)
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_parse, bench_scan, bench_roundtrip

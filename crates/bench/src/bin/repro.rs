@@ -5,16 +5,33 @@
 //! repro table13 fig7             # specific experiments
 //! repro --scale 50 all           # denser ecosystem (1:50)
 //! repro --write EXPERIMENTS.md all
+//! repro --metrics text all       # stage-timing table on stderr
+//! repro --metrics json all       # idnre-metrics/1 JSON on stderr
 //! ```
+//!
+//! With `--metrics`, every pipeline stage (generation, detector scans, the
+//! crawl survey, each report generator) is timed through
+//! [`idnre_telemetry::Registry`] and the snapshot is rendered to stderr, so
+//! stdout stays a clean report stream. `--write PATH` combined with
+//! `--metrics json` also writes the snapshot to `PATH.metrics.json`.
 
 use idnre_bench::{reports, ReproContext};
 use idnre_datagen::EcosystemConfig;
+use idnre_telemetry::Registry;
 use std::io::Write as _;
+use std::sync::Arc;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Text,
+    Json,
+}
 
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut config = EcosystemConfig::default();
     let mut write_path: Option<String> = None;
+    let mut metrics: Option<MetricsFormat> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     while let Some(arg) = args.next() {
@@ -40,6 +57,13 @@ fn main() {
             "--write" => {
                 write_path = Some(args.next().unwrap_or_else(|| usage("--write needs a path")));
             }
+            "--metrics" => {
+                metrics = Some(match args.next().as_deref() {
+                    Some("text") => MetricsFormat::Text,
+                    Some("json") => MetricsFormat::Json,
+                    _ => usage("--metrics needs `text` or `json`"),
+                });
+            }
             "--help" | "-h" => usage(""),
             other => wanted.push(other.to_string()),
         }
@@ -48,15 +72,18 @@ fn main() {
         usage("no experiment named");
     }
 
+    let registry = metrics.map(|_| Arc::new(Registry::new()));
+
     eprintln!(
         "generating ecosystem (scale 1:{}, attacks 1:{}, seed {:#x})...",
         config.scale, config.attack_scale, config.seed
     );
-    let start = std::time::Instant::now();
-    let ctx = ReproContext::build(&config);
+    let ctx = match &registry {
+        Some(registry) => ReproContext::build_recorded(&config, registry.clone()),
+        None => ReproContext::build(&config),
+    };
     eprintln!(
-        "ecosystem ready in {:.1?}: {} IDNs, {} non-IDNs, {} homograph findings, {} semantic findings",
-        start.elapsed(),
+        "ecosystem ready: {} IDNs, {} non-IDNs, {} homograph findings, {} semantic findings",
         ctx.eco.idn_registrations.len(),
         ctx.eco.non_idn_registrations.len(),
         ctx.homographs.len(),
@@ -79,9 +106,9 @@ fn main() {
         out
     };
 
-    match write_path {
+    match &write_path {
         Some(path) => {
-            std::fs::write(&path, &output).unwrap_or_else(|e| {
+            std::fs::write(path, &output).unwrap_or_else(|e| {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(1);
             });
@@ -92,6 +119,23 @@ fn main() {
             let _ = stdout.write_all(output.as_bytes());
         }
     }
+
+    if let (Some(format), Some(registry)) = (metrics, &registry) {
+        let snapshot = registry.snapshot();
+        let rendered = match format {
+            MetricsFormat::Text => snapshot.render_text(),
+            MetricsFormat::Json => snapshot.render_json(),
+        };
+        eprintln!("{rendered}");
+        if let (MetricsFormat::Json, Some(path)) = (format, &write_path) {
+            let metrics_path = format!("{path}.metrics.json");
+            std::fs::write(&metrics_path, snapshot.render_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {metrics_path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {metrics_path}");
+        }
+    }
 }
 
 fn usage(error: &str) -> ! {
@@ -99,7 +143,8 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: repro [--scale N] [--attack-scale N] [--seed N] [--write PATH] <experiment...>\n\
+        "usage: repro [--scale N] [--attack-scale N] [--seed N] [--write PATH] \
+         [--metrics text|json] <experiment...>\n\
          experiments: all {}",
         reports::ALL
             .iter()

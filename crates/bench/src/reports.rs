@@ -12,8 +12,11 @@ use idnre_stats::table::{Align, Table};
 use idnre_stats::{group_thousands, percent};
 use idnre_whois::analytics::RegistrationAnalytics;
 
+/// A table/figure generator.
+pub type Generator = fn(&ReproContext) -> String;
+
 /// All generators in paper order: `(experiment id, generator)`.
-pub const ALL: &[(&str, fn(&ReproContext) -> String)] = &[
+pub const ALL: &[(&str, Generator)] = &[
     ("table1", table1),
     ("table2", table2),
     ("fig1", fig1),
@@ -42,7 +45,7 @@ pub const ALL: &[(&str, fn(&ReproContext) -> String)] = &[
 ];
 
 /// Looks up one generator by experiment id.
-pub fn by_name(name: &str) -> Option<fn(&ReproContext) -> String> {
+pub fn by_name(name: &str) -> Option<Generator> {
     ALL.iter()
         .find(|(n, _)| *n == name)
         .map(|&(_, generator)| generator)
@@ -56,7 +59,16 @@ fn section(title: &str, anchor: &str, body: String) -> String {
 pub fn table1(ctx: &ReproContext) -> String {
     let eco = &ctx.eco;
     let mut table = Table::new(
-        vec!["TLD", "# SLD (declared/scale)", "# IDN", "WHOIS", "VT", "360", "Baidu", "BL total"],
+        vec![
+            "TLD",
+            "# SLD (declared/scale)",
+            "# IDN",
+            "WHOIS",
+            "VT",
+            "360",
+            "Baidu",
+            "BL total",
+        ],
         vec![
             Align::Left,
             Align::Right,
@@ -76,8 +88,11 @@ pub fn table1(ctx: &ReproContext) -> String {
             .iter()
             .filter(|r| r.tld == tld)
             .count() as u64;
-        let whois = eco.whois.iter().filter(|w| w.domain.ends_with(&format!(".{tld}"))).count()
-            as u64;
+        let whois = eco
+            .whois
+            .iter()
+            .filter(|w| w.domain.ends_with(&format!(".{tld}")))
+            .count() as u64;
         let by_source = |s: Source| {
             eco.idn_registrations
                 .iter()
@@ -105,7 +120,10 @@ pub fn table1(ctx: &ReproContext) -> String {
             group_thousands(b),
             group_thousands(union),
         ]);
-        for (i, v) in [declared, idns, whois, vt, q, b, union].into_iter().enumerate() {
+        for (i, v) in [declared, idns, whois, vt, q, b, union]
+            .into_iter()
+            .enumerate()
+        {
             totals[i] += v;
         }
     }
@@ -136,11 +154,12 @@ pub fn table2(ctx: &ReproContext) -> String {
     let clf = Classifier::global();
     let mut all: Vec<(Language, u64)> = Vec::new();
     let mut bad: Vec<(Language, u64)> = Vec::new();
-    let count = |tallies: &mut Vec<(Language, u64)>, lang: Language| {
-        match tallies.iter_mut().find(|(l, _)| *l == lang) {
-            Some((_, n)) => *n += 1,
-            None => tallies.push((lang, 1)),
-        }
+    let count = |tallies: &mut Vec<(Language, u64)>, lang: Language| match tallies
+        .iter_mut()
+        .find(|(l, _)| *l == lang)
+    {
+        Some((_, n)) => *n += 1,
+        None => tallies.push((lang, 1)),
     };
     let (mut total, mut total_bad) = (0u64, 0u64);
     for reg in &ctx.eco.idn_registrations {
@@ -153,10 +172,16 @@ pub fn table2(ctx: &ReproContext) -> String {
             total_bad += 1;
         }
     }
-    all.sort_by(|a, b| b.1.cmp(&a.1));
+    all.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     let mut table = Table::new(
         vec!["Language", "Volume", "Rate", "Blacklisted", "Rate"],
-        vec![Align::Left, Align::Right, Align::Right, Align::Right, Align::Right],
+        vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
     );
     for &(lang, volume) in all.iter().take(15) {
         let bad_volume = bad
@@ -222,10 +247,13 @@ pub fn fig1(ctx: &ReproContext) -> String {
         }
     }
     let bars_all: Vec<(String, u64)> = all.iter().map(|(y, c)| (y.to_string(), c)).collect();
-    let bars_bad: Vec<(String, u64)> =
-        malicious.iter().map(|(y, c)| (y.to_string(), c)).collect();
+    let bars_bad: Vec<(String, u64)> = malicious.iter().map(|(y, c)| (y.to_string(), c)).collect();
     let ten_years_ago = ctx.eco.config.snapshot.year - 10;
-    let old: u64 = all.iter().filter(|&(y, _)| y < ten_years_ago + 1).map(|(_, c)| c).sum();
+    let old: u64 = all
+        .iter()
+        .filter(|&(y, _)| y < ten_years_ago + 1)
+        .map(|(_, c)| c)
+        .sum();
     section(
         "Figure 1 — IDN creation dates",
         "Registrations rise over time with spikes in 2000 (Verisign testbed) and 2004; malicious spikes in 2015/2017; 6.16% created before 2008 (Finding 2).",
@@ -293,7 +321,11 @@ pub fn table4(ctx: &ReproContext) -> String {
     );
     let total = analytics.total();
     for (registrar, count) in analytics.top_registrars(10) {
-        table.row(vec![registrar, group_thousands(count), percent(count, total)]);
+        table.row(vec![
+            registrar,
+            group_thousands(count),
+            percent(count, total),
+        ]);
     }
     section(
         "Table IV — Top 10 most active registrars offering IDNs",
@@ -307,12 +339,16 @@ pub fn table4(ctx: &ReproContext) -> String {
     )
 }
 
-fn population_analytics(ctx: &ReproContext) -> (ActivityAnalytics, ActivityAnalytics, ActivityAnalytics) {
+fn population_analytics(
+    ctx: &ReproContext,
+) -> (ActivityAnalytics, ActivityAnalytics, ActivityAnalytics) {
+    let recorder = &*ctx.recorder;
+    let mut span = recorder.span("pdns.aggregate");
     let mut benign = ActivityAnalytics::new();
     let mut malicious = ActivityAnalytics::new();
     let mut non_idn = ActivityAnalytics::new();
     for reg in &ctx.eco.idn_registrations {
-        if let Some(aggregate) = ctx.eco.pdns.lookup(&reg.domain) {
+        if let Some(aggregate) = ctx.eco.pdns.lookup_recorded(&reg.domain, recorder) {
             if reg.malicious.is_some() {
                 malicious.add(aggregate);
             } else {
@@ -321,10 +357,11 @@ fn population_analytics(ctx: &ReproContext) -> (ActivityAnalytics, ActivityAnaly
         }
     }
     for reg in &ctx.eco.non_idn_registrations {
-        if let Some(aggregate) = ctx.eco.pdns.lookup(&reg.domain) {
+        if let Some(aggregate) = ctx.eco.pdns.lookup_recorded(&reg.domain, recorder) {
             non_idn.add(aggregate);
         }
     }
+    span.add_records((benign.len() + malicious.len() + non_idn.len()) as u64);
     (benign, malicious, non_idn)
 }
 
@@ -350,7 +387,11 @@ fn ecdf_figure(
             ecdf.mean()
         ));
     }
-    section(title, anchor, format!("{}\n{probes}", ecdf_plot(title, &plotted, 60, 12)))
+    section(
+        title,
+        anchor,
+        format!("{}\n{probes}", ecdf_plot(title, &plotted, 60, 12)),
+    )
 }
 
 /// Figure 2 — ECDF of active time (IDN vs non-IDN vs malicious).
@@ -387,12 +428,15 @@ pub fn fig3(ctx: &ReproContext) -> String {
 
 /// Figure 4 — IDNs over /24 segments.
 pub fn fig4(ctx: &ReproContext) -> String {
+    let recorder = &*ctx.recorder;
+    let aggregates: Vec<_> = ctx
+        .eco
+        .idn_registrations
+        .iter()
+        .filter_map(|reg| ctx.eco.pdns.lookup_recorded(&reg.domain, recorder))
+        .collect();
     let mut analytics = ActivityAnalytics::new();
-    for reg in &ctx.eco.idn_registrations {
-        if let Some(aggregate) = ctx.eco.pdns.lookup(&reg.domain) {
-            analytics.add(aggregate);
-        }
-    }
+    analytics.extend_recorded(aggregates, recorder);
     let report = analytics.segment_report();
     let series = Series::new("idns", report.ecdf_series(40));
     let scaled_k = (1000 / ctx.eco.config.scale.max(1)).max(1) as usize;
@@ -493,22 +537,42 @@ pub fn table6(ctx: &ReproContext) -> String {
         vec!["Security Problem", "IDN", "non-IDN"],
         vec![Align::Left, Align::Right, Align::Right],
     );
-    for (i, label) in ["Expired Certificate", "Invalid Authority", "Invalid Common Name"]
-        .iter()
-        .enumerate()
+    for (i, label) in [
+        "Expired Certificate",
+        "Invalid Authority",
+        "Invalid Common Name",
+    ]
+    .iter()
+    .enumerate()
     {
         table.row(vec![
             label.to_string(),
-            format!("{} ({})", group_thousands(idn[i]), percent(idn[i], idn_total)),
-            format!("{} ({})", group_thousands(non[i]), percent(non[i], non_total)),
+            format!(
+                "{} ({})",
+                group_thousands(idn[i]),
+                percent(idn[i], idn_total)
+            ),
+            format!(
+                "{} ({})",
+                group_thousands(non[i]),
+                percent(non[i], non_total)
+            ),
         ]);
     }
     let idn_bad = idn_total - idn[3];
     let non_bad = non_total - non[3];
     table.row(vec![
         "Total".into(),
-        format!("{} ({})", group_thousands(idn_bad), percent(idn_bad, idn_total)),
-        format!("{} ({})", group_thousands(non_bad), percent(non_bad, non_total)),
+        format!(
+            "{} ({})",
+            group_thousands(idn_bad),
+            percent(idn_bad, idn_total)
+        ),
+        format!(
+            "{} ({})",
+            group_thousands(non_bad),
+            percent(non_bad, non_total)
+        ),
     ]);
     section(
         "Table VI — SSL certificate problems",
@@ -601,8 +665,7 @@ pub fn table9(ctx: &ReproContext) -> String {
 /// over the registered corpus.
 pub fn table10(ctx: &ReproContext) -> String {
     let detector = idnre_core::SemanticDetector::new(Vec::<String>::new());
-    let findings =
-        detector.scan_type2(ctx.eco.idn_registrations.iter().map(|r| r.domain.as_str()));
+    let findings = detector.scan_type2(ctx.eco.idn_registrations.iter().map(|r| r.domain.as_str()));
     let mut table = Table::new(
         vec!["Punycode", "Unicode", "Brand"],
         vec![Align::Left, Align::Left, Align::Left],
@@ -630,8 +693,20 @@ pub fn table10(ctx: &ReproContext) -> String {
 pub fn table11(_ctx: &ReproContext) -> String {
     let rows = idnre_browser::run_survey();
     let mut table = Table::new(
-        vec!["Browser", "Platform", "Ver.", "iTLD IDN", "Homograph Attack"],
-        vec![Align::Left, Align::Left, Align::Right, Align::Left, Align::Left],
+        vec![
+            "Browser",
+            "Platform",
+            "Ver.",
+            "iTLD IDN",
+            "Homograph Attack",
+        ],
+        vec![
+            Align::Left,
+            Align::Left,
+            Align::Right,
+            Align::Left,
+            Align::Left,
+        ],
     );
     for row in &rows {
         table.row(vec![
@@ -689,7 +764,8 @@ pub fn table12(_ctx: &ReproContext) -> String {
 
 /// Table XIII — top brands by registered homographic IDNs.
 pub fn table13(ctx: &ReproContext) -> String {
-    let analysis = AbuseAnalysis::from_homographs(&ctx.homographs, &ctx.eco.whois, &ctx.eco.blacklist);
+    let analysis =
+        AbuseAnalysis::from_homographs(&ctx.homographs, &ctx.eco.whois, &ctx.eco.blacklist);
     let mut table = Table::new(
         vec!["Domain", "# IDN", "Rate", "Protective"],
         vec![Align::Left, Align::Right, Align::Right, Align::Right],
@@ -718,13 +794,19 @@ pub fn table13(ctx: &ReproContext) -> String {
     )
 }
 
-fn attack_traffic_figure(ctx: &ReproContext, domains: Vec<&str>, title: &str, anchor: &str) -> String {
+fn attack_traffic_figure(
+    ctx: &ReproContext,
+    domains: Vec<&str>,
+    title: &str,
+    anchor: &str,
+) -> String {
+    let recorder = &*ctx.recorder;
+    let aggregates: Vec<_> = domains
+        .into_iter()
+        .filter_map(|domain| ctx.eco.pdns.lookup_recorded(domain, recorder))
+        .collect();
     let mut analytics = ActivityAnalytics::new();
-    for domain in domains {
-        if let Some(aggregate) = ctx.eco.pdns.lookup(domain) {
-            analytics.add(aggregate);
-        }
-    }
+    analytics.extend_recorded(aggregates, recorder);
     let active = analytics.active_time_ecdf();
     let queries = analytics.query_volume_ecdf();
     let plot_active = Series::new("active-days", active.series(&active.log_positions(40)));
@@ -779,7 +861,8 @@ pub fn fig6(ctx: &ReproContext) -> String {
     let mut observed = 0u64;
     let mut total_queries = 0u64;
     let model = TrafficModel::for_class(PopulationClass::UnregisteredHomographic);
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(ctx.eco.config.seed ^ 0xF16);
+    let mut rng =
+        <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(ctx.eco.config.seed ^ 0xF16);
     for brand in &top {
         for candidate in enumerator.homographic(brand) {
             if registered.contains(candidate.ace.as_str()) {
@@ -883,8 +966,15 @@ pub fn ext_squatting(ctx: &ReproContext) -> String {
     let brands: Vec<&idnre_datagen::Brand> = ctx.eco.brands.top(10).iter().collect();
     let mut table = Table::new(
         vec![
-            "Brand", "homograph", "omission", "repetition", "transposition", "replacement",
-            "insertion", "bitsquat", "combosquat",
+            "Brand",
+            "homograph",
+            "omission",
+            "repetition",
+            "transposition",
+            "replacement",
+            "insertion",
+            "bitsquat",
+            "combosquat",
         ],
         vec![
             Align::Left,
@@ -980,8 +1070,20 @@ pub fn ext_bypass(ctx: &ReproContext) -> String {
 pub fn ext_multichar(ctx: &ReproContext) -> String {
     let enumerator = AvailabilityEnumerator::new();
     let mut table = Table::new(
-        vec!["Brand", "1-char pool", "1-char ≥0.95", "2-char pool (cap 3k)", "2-char ≥0.95"],
-        vec![Align::Left, Align::Right, Align::Right, Align::Right, Align::Right],
+        vec![
+            "Brand",
+            "1-char pool",
+            "1-char ≥0.95",
+            "2-char pool (cap 3k)",
+            "2-char ≥0.95",
+        ],
+        vec![
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
     );
     for brand in ctx.eco.brands.top(5) {
         let domain = brand.domain();

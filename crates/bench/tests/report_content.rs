@@ -68,7 +68,10 @@ fn figures_report_the_traffic_gaps() {
 #[test]
 fn fig4_attributes_top_segments() {
     let report = reports::fig4(ctx());
-    assert!(report.contains("parking") || report.contains("shared hosting"), "{report}");
+    assert!(
+        report.contains("parking") || report.contains("shared hosting"),
+        "{report}"
+    );
     assert!(report.contains("Gini"));
 }
 
@@ -91,7 +94,11 @@ fn table5_has_all_seven_categories() {
 #[test]
 fn table6_and_7_cover_certificate_findings() {
     let t6 = reports::table6(ctx());
-    for row in ["Expired Certificate", "Invalid Authority", "Invalid Common Name"] {
+    for row in [
+        "Expired Certificate",
+        "Invalid Authority",
+        "Invalid Common Name",
+    ] {
         assert!(t6.contains(row), "missing {row}");
     }
     let t7 = reports::table7(ctx());
@@ -102,7 +109,15 @@ fn table6_and_7_cover_certificate_findings() {
 fn table11_contains_all_surveyed_browsers() {
     let report = reports::table11(ctx());
     for browser in [
-        "Chrome", "Firefox", "Opera", "Safari", "IE", "QQ", "Baidu", "Qihoo 360", "Sogou",
+        "Chrome",
+        "Firefox",
+        "Opera",
+        "Safari",
+        "IE",
+        "QQ",
+        "Baidu",
+        "Qihoo 360",
+        "Sogou",
         "Liebao",
     ] {
         assert!(report.contains(browser), "missing {browser}");
@@ -140,7 +155,10 @@ fn extensions_carry_their_signals() {
     assert!(squatting.contains("bitsquat"));
     let bypass = reports::by_name("ext_bypass").unwrap()(ctx());
     assert!(bypass.contains("Punycode-always"));
-    assert!(bypass.contains("0.00%"), "punycode-always must expose nothing");
+    assert!(
+        bypass.contains("0.00%"),
+        "punycode-always must expose nothing"
+    );
     let multichar = reports::by_name("ext_multichar").unwrap()(ctx());
     assert!(multichar.contains("2-char"));
 }

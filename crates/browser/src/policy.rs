@@ -136,7 +136,11 @@ fn chrome_label_ok(label: &str) -> bool {
             scripts.iter().all(|s| {
                 matches!(
                     s,
-                    Script::Latin | Script::Han | Script::Hiragana | Script::Katakana | Script::Hangul
+                    Script::Latin
+                        | Script::Han
+                        | Script::Hiragana
+                        | Script::Katakana
+                        | Script::Hangul
                 )
             })
         }
@@ -163,8 +167,23 @@ fn is_whole_script_confusable(label: &str) -> bool {
 /// (Chrome ships the full top-domain list; the model carries the brands the
 /// attack corpus targets.)
 const PROTECTED_SKELETONS: &[&str] = &[
-    "google", "facebook", "apple", "amazon", "youtube", "twitter", "instagram", "microsoft",
-    "yahoo", "netflix", "paypal", "icloud", "soso", "baidu", "taobao", "weibo", "alipay",
+    "google",
+    "facebook",
+    "apple",
+    "amazon",
+    "youtube",
+    "twitter",
+    "instagram",
+    "microsoft",
+    "yahoo",
+    "netflix",
+    "paypal",
+    "icloud",
+    "soso",
+    "baidu",
+    "taobao",
+    "weibo",
+    "alipay",
 ];
 
 #[cfg(test)]
@@ -254,7 +273,10 @@ mod tests {
             render(PolicyKind::TitleInAddressBar, "аррӏе.com"),
             Rendering::Title
         );
-        assert_eq!(render(PolicyKind::BlankOnConfusable, "аррӏе.com"), Rendering::Blank);
+        assert_eq!(
+            render(PolicyKind::BlankOnConfusable, "аррӏе.com"),
+            Rendering::Blank
+        );
         assert!(matches!(
             render(PolicyKind::BlankOnConfusable, "中国.com"),
             Rendering::Punycode(_)
@@ -280,7 +302,10 @@ mod tests {
 
     #[test]
     fn ascii_domains_untouched_by_script_policies() {
-        for kind in [PolicyKind::ChromeMixedScript, PolicyKind::FirefoxSingleScript] {
+        for kind in [
+            PolicyKind::ChromeMixedScript,
+            PolicyKind::FirefoxSingleScript,
+        ] {
             match render(kind, "example.com") {
                 Rendering::Unicode(s) => assert_eq!(s, "example.com"),
                 other => panic!("ascii domain should display as-is, got {other:?}"),

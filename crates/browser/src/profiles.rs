@@ -119,12 +119,36 @@ pub fn surveyed_browsers() -> Vec<BrowserProfile> {
         b("Liebao", Ios, "4.18", P::TitleInAddressBar, I::UnicodeOnly),
         // Android
         b("Chrome", Android, "61.0", P::ChromeMixedScript, I::Full),
-        b("Firefox", Android, "57.0", P::FirefoxSingleScript, I::NeedPrefix),
+        b(
+            "Firefox",
+            Android,
+            "57.0",
+            P::FirefoxSingleScript,
+            I::NeedPrefix,
+        ),
         b("Opera", Android, "43.0", P::ChromeMixedScript, I::Full),
         b("QQ", Android, "8.0", P::BlankOnConfusable, I::UnicodeOnly),
-        b("Baidu", Android, "6.4", P::TitleInAddressBar, I::NotSupported),
-        b("Qihoo 360", Android, "8.2", P::PunycodeAlways, I::PunycodeOnly),
-        b("Sogou", Android, "5.9", P::TitleInAddressBar, I::UnicodeOnly),
+        b(
+            "Baidu",
+            Android,
+            "6.4",
+            P::TitleInAddressBar,
+            I::NotSupported,
+        ),
+        b(
+            "Qihoo 360",
+            Android,
+            "8.2",
+            P::PunycodeAlways,
+            I::PunycodeOnly,
+        ),
+        b(
+            "Sogou",
+            Android,
+            "5.9",
+            P::TitleInAddressBar,
+            I::UnicodeOnly,
+        ),
         b("Liebao", Android, "5.22", P::TitleInAddressBar, I::Full),
     ]
 }
@@ -141,7 +165,10 @@ mod tests {
         // 10 PC + 9 iOS + 8 Android = 27 surviving cells of the 30-cell grid.
         assert_eq!(browsers.len(), 27);
         assert_eq!(
-            browsers.iter().filter(|b| b.platform == Platform::Pc).count(),
+            browsers
+                .iter()
+                .filter(|b| b.platform == Platform::Pc)
+                .count(),
             10
         );
     }

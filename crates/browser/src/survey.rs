@@ -50,10 +50,10 @@ pub struct SurveyRow {
 /// substitutions *from another script*. Every script-aware policy catches
 /// these; a browser showing any of them in Unicode is "Vulnerable".
 pub const MIXED_SCRIPT_SPOOFS: &[&str] = &[
-    "fаcebook.com",  // Cyrillic а
-    "gооgle.com",    // Cyrillic оо
-    "amаzon.com",    // Cyrillic а
-    "twіtter.com",   // Cyrillic і
+    "fаcebook.com", // Cyrillic а
+    "gооgle.com",   // Cyrillic оо
+    "amаzon.com",   // Cyrillic а
+    "twіtter.com",  // Cyrillic і
 ];
 
 /// Single-script spoofs that *stay* within one character set — diacritic

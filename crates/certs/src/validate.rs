@@ -41,7 +41,10 @@ impl Validator {
         S: Into<String>,
     {
         Validator {
-            trusted_issuers: issuers.into_iter().map(|s| s.into().to_lowercase()).collect(),
+            trusted_issuers: issuers
+                .into_iter()
+                .map(|s| s.into().to_lowercase())
+                .collect(),
             today,
         }
     }
@@ -147,8 +150,7 @@ mod tests {
     #[test]
     fn shared_certificate_is_invalid_cn() {
         // A parked IDN served sedoparking.com's certificate.
-        let cert =
-            Certificate::ca_issued("sedoparking.com", vec![], "DigiCert CA", 17_000, 17_800);
+        let cert = Certificate::ca_issued("sedoparking.com", vec![], "DigiCert CA", 17_000, 17_800);
         assert_eq!(
             validator().classify(&cert, "xn--0wwy37b.com"),
             Some(CertProblem::InvalidCommonName)

@@ -76,7 +76,12 @@ impl AvailabilityEnumerator {
                     continue;
                 };
                 let image = render_text(&unicode_sld);
-                let score = ssim(&brand_image, &image).expect("equal dimensions");
+                // A substitution that changes the rendered width (e.g. a
+                // full-width homoglyph) cannot be a visual match; skip it
+                // rather than panic on the dimension mismatch.
+                let Ok(score) = ssim(&brand_image, &image) else {
+                    continue;
+                };
                 out.push(Candidate {
                     unicode_sld,
                     ace,
@@ -115,7 +120,9 @@ impl AvailabilityEnumerator {
                             continue;
                         };
                         let image = render_text(&unicode_sld);
-                        let score = ssim(&brand_image, &image).expect("equal dimensions");
+                        let Ok(score) = ssim(&brand_image, &image) else {
+                            continue;
+                        };
                         out.push(Candidate {
                             unicode_sld,
                             ace,

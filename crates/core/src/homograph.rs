@@ -1,6 +1,7 @@
 //! The SSIM-based homograph detector (Section VI-B).
 
 use idnre_render::{render_text, ssim, GrayImage};
+use idnre_telemetry::{NoopRecorder, Recorder};
 use idnre_unicode::skeleton;
 use std::collections::HashMap;
 
@@ -90,13 +91,32 @@ impl HomographDetector {
     /// Tests one domain (ACE or Unicode form). Returns the best match at or
     /// above the threshold.
     pub fn detect(&self, domain: &str) -> Option<HomographFinding> {
-        let unicode = idnre_idna::to_unicode(domain).ok()?;
+        self.detect_recorded(domain, &NoopRecorder)
+    }
+
+    /// [`HomographDetector::detect`] with skip-reason and finding counters
+    /// reported to `recorder` (`homograph.candidates`, `homograph.skip.*`,
+    /// `homograph.findings`).
+    pub fn detect_recorded(
+        &self,
+        domain: &str,
+        recorder: &dyn Recorder,
+    ) -> Option<HomographFinding> {
+        recorder.incr("homograph.candidates");
+        let Ok(unicode) = idnre_idna::to_unicode(domain) else {
+            recorder.incr("homograph.skip.invalid_idna");
+            return None;
+        };
         let sld = unicode.split('.').next()?;
         if sld.is_ascii() {
+            recorder.incr("homograph.skip.ascii_sld");
             return None; // not an IDN label — nothing to spoof with
         }
         let folded = skeleton(&unicode);
-        let candidates = self.by_skeleton.get(&folded)?;
+        let Some(candidates) = self.by_skeleton.get(&folded) else {
+            recorder.incr("homograph.skip.no_skeleton_match");
+            return None;
+        };
         let image = render_text(&unicode);
         let mut best: Option<HomographFinding> = None;
         for &idx in candidates {
@@ -107,7 +127,11 @@ impl HomographDetector {
             if brand.image.width() != image.width() {
                 continue;
             }
-            let score = ssim(&brand.image, &image).expect("equal dimensions");
+            // Widths are pre-checked and all renders share one height, but
+            // degrade to a skip (not a panic) if that invariant ever moves.
+            let Ok(score) = ssim(&brand.image, &image) else {
+                continue;
+            };
             if score >= self.threshold && best.as_ref().map(|b| score > b.ssim).unwrap_or(true) {
                 best = Some(HomographFinding {
                     domain: domain.to_string(),
@@ -116,6 +140,11 @@ impl HomographDetector {
                     ssim: score,
                 });
             }
+        }
+        if best.is_some() {
+            recorder.incr("homograph.findings");
+        } else {
+            recorder.incr("homograph.skip.below_threshold");
         }
         best
     }
@@ -135,7 +164,9 @@ impl HomographDetector {
             if brand.domain == unicode || brand.image.width() != image.width() {
                 continue;
             }
-            let score = ssim(&brand.image, &image).expect("equal dimensions");
+            let Ok(score) = ssim(&brand.image, &image) else {
+                continue;
+            };
             if score >= self.threshold && best.as_ref().map(|b| score > b.ssim).unwrap_or(true) {
                 best = Some(HomographFinding {
                     domain: domain.to_string(),
@@ -155,6 +186,22 @@ impl HomographDetector {
     where
         I: IntoIterator<Item = &'a str>,
     {
+        self.scan_recorded(domains, threads, &NoopRecorder)
+    }
+
+    /// [`HomographDetector::scan`] with per-probe counters and a
+    /// `homograph.scan` span reported to `recorder`. Counters accumulate
+    /// from all worker threads.
+    pub fn scan_recorded<'a, I>(
+        &self,
+        domains: I,
+        threads: usize,
+        recorder: &dyn Recorder,
+    ) -> Vec<HomographFinding>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut span = recorder.span("homograph.scan");
         let domains: Vec<&str> = domains.into_iter().collect();
         let threads = threads.clamp(1, 64);
         let results = parking_lot::Mutex::new(Vec::new());
@@ -162,8 +209,10 @@ impl HomographDetector {
         crossbeam::thread::scope(|scope| {
             for chunk in domains.chunks(chunk_size) {
                 scope.spawn(|_| {
-                    let mut local: Vec<HomographFinding> =
-                        chunk.iter().filter_map(|d| self.detect(d)).collect();
+                    let mut local: Vec<HomographFinding> = chunk
+                        .iter()
+                        .filter_map(|d| self.detect_recorded(d, recorder))
+                        .collect();
                     results.lock().append(&mut local);
                 });
             }
@@ -171,6 +220,7 @@ impl HomographDetector {
         .expect("worker panicked");
         let mut findings = results.into_inner();
         findings.sort_by(|a, b| a.domain.cmp(&b.domain));
+        span.add_records(findings.len() as u64);
         findings
     }
 }
@@ -249,7 +299,7 @@ mod tests {
     #[test]
     fn parallel_scan_matches_serial() {
         let d = detector();
-        let corpus = vec![
+        let corpus = [
             "gооgle.com",
             "example.com",
             "аррӏе.com",

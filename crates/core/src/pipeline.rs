@@ -37,7 +37,9 @@ impl AbuseAnalysis {
         blacklist: &BlacklistSet,
     ) -> Self {
         Self::build(
-            findings.iter().map(|f| (f.domain.as_str(), f.brand.as_str())),
+            findings
+                .iter()
+                .map(|f| (f.domain.as_str(), f.brand.as_str())),
             whois,
             blacklist,
         )
@@ -50,7 +52,9 @@ impl AbuseAnalysis {
         blacklist: &BlacklistSet,
     ) -> Self {
         Self::build(
-            findings.iter().map(|f| (f.domain.as_str(), f.brand.as_str())),
+            findings
+                .iter()
+                .map(|f| (f.domain.as_str(), f.brand.as_str())),
             whois,
             blacklist,
         )

@@ -197,8 +197,7 @@ mod tests {
 
     #[test]
     fn brand_protection_blocks_lookalikes() {
-        let mut srs =
-            SrsPolicy::gtld("cn").with_brand_protection(["google.com", "apple.com"]);
+        let mut srs = SrsPolicy::gtld("cn").with_brand_protection(["google.com", "apple.com"]);
         assert_eq!(
             srs.request("gооgle"),
             Err(SrsRejection::ResemblesProtectedBrand {
@@ -215,8 +214,8 @@ mod tests {
     fn script_restriction_enforced() {
         use idnre_unicode::Script;
         // The 中国 iTLD zone: Han labels only.
-        let mut srs = SrsPolicy::gtld("xn--fiqs8s")
-            .with_script_restriction([Script::Han, Script::Latin]);
+        let mut srs =
+            SrsPolicy::gtld("xn--fiqs8s").with_script_restriction([Script::Han, Script::Latin]);
         assert!(srs.request("新闻").is_ok());
         assert!(srs.request("news新闻").is_ok()); // Latin allowed here
         assert_eq!(

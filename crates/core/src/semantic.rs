@@ -1,6 +1,7 @@
 //! Semantic-attack detection (Section VII): Type-1 (brand + foreign
 //! keyword) and Type-2 (translated brand).
 
+use idnre_telemetry::{NoopRecorder, Recorder};
 use std::collections::HashMap;
 
 /// Which semantic attack class a finding belongs to.
@@ -124,7 +125,8 @@ impl SemanticDetector {
 
     /// Tests both classes; Type-1 takes precedence.
     pub fn detect(&self, domain: &str) -> Option<SemanticFinding> {
-        self.detect_type1(domain).or_else(|| self.detect_type2(domain))
+        self.detect_type1(domain)
+            .or_else(|| self.detect_type2(domain))
     }
 
     /// Scans a corpus for Type-1 findings.
@@ -132,7 +134,34 @@ impl SemanticDetector {
     where
         I: IntoIterator<Item = &'a str>,
     {
-        domains.into_iter().filter_map(|d| self.detect_type1(d)).collect()
+        self.scan_type1_recorded(domains, &NoopRecorder)
+    }
+
+    /// [`SemanticDetector::scan_type1`] with candidate/finding counters and
+    /// a `semantic.scan_type1` span reported to `recorder`.
+    pub fn scan_type1_recorded<'a, I>(
+        &self,
+        domains: I,
+        recorder: &dyn Recorder,
+    ) -> Vec<SemanticFinding>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut span = recorder.span("semantic.scan_type1");
+        let findings: Vec<SemanticFinding> = domains
+            .into_iter()
+            .filter_map(|d| {
+                recorder.incr("semantic.candidates");
+                let finding = self.detect_type1(d);
+                recorder.incr(match &finding {
+                    Some(_) => "semantic.findings",
+                    None => "semantic.skip.no_brand_match",
+                });
+                finding
+            })
+            .collect();
+        span.add_records(findings.len() as u64);
+        findings
     }
 
     /// Scans a corpus for Type-2 (translated-brand) findings.
@@ -140,7 +169,10 @@ impl SemanticDetector {
     where
         I: IntoIterator<Item = &'a str>,
     {
-        domains.into_iter().filter_map(|d| self.detect_type2(d)).collect()
+        domains
+            .into_iter()
+            .filter_map(|d| self.detect_type2(d))
+            .collect()
     }
 }
 

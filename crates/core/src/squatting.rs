@@ -71,14 +71,42 @@ pub struct SquattingCandidate {
 /// QWERTY adjacency for replacement/insertion models.
 fn qwerty_neighbours(c: char) -> &'static str {
     match c {
-        'q' => "wa", 'w' => "qes", 'e' => "wrd", 'r' => "etf", 't' => "ryg",
-        'y' => "tuh", 'u' => "yij", 'i' => "uok", 'o' => "ipl", 'p' => "o",
-        'a' => "qsz", 's' => "awdz", 'd' => "sefc", 'f' => "drgc", 'g' => "fthv",
-        'h' => "gyjb", 'j' => "hukn", 'k' => "jilm", 'l' => "ko",
-        'z' => "asx", 'x' => "zsc", 'c' => "xdv", 'v' => "cfb", 'b' => "vgn",
-        'n' => "bhm", 'm' => "nk",
-        '0' => "9", '1' => "2", '2' => "13", '3' => "24", '4' => "35",
-        '5' => "46", '6' => "57", '7' => "68", '8' => "79", '9' => "80",
+        'q' => "wa",
+        'w' => "qes",
+        'e' => "wrd",
+        'r' => "etf",
+        't' => "ryg",
+        'y' => "tuh",
+        'u' => "yij",
+        'i' => "uok",
+        'o' => "ipl",
+        'p' => "o",
+        'a' => "qsz",
+        's' => "awdz",
+        'd' => "sefc",
+        'f' => "drgc",
+        'g' => "fthv",
+        'h' => "gyjb",
+        'j' => "hukn",
+        'k' => "jilm",
+        'l' => "ko",
+        'z' => "asx",
+        'x' => "zsc",
+        'c' => "xdv",
+        'v' => "cfb",
+        'b' => "vgn",
+        'n' => "bhm",
+        'm' => "nk",
+        '0' => "9",
+        '1' => "2",
+        '2' => "13",
+        '3' => "24",
+        '4' => "35",
+        '5' => "46",
+        '6' => "57",
+        '7' => "68",
+        '8' => "79",
+        '9' => "80",
         _ => "",
     }
 }
@@ -86,8 +114,8 @@ fn qwerty_neighbours(c: char) -> &'static str {
 /// Keywords for the combosquatting model (the English analogue of the
 /// Type-1 keyword list).
 const COMBO_KEYWORDS: [&str; 12] = [
-    "login", "secure", "support", "account", "verify", "online", "payment",
-    "mail", "update", "help", "shop", "store",
+    "login", "secure", "support", "account", "verify", "online", "payment", "mail", "update",
+    "help", "shop", "store",
 ];
 
 /// Generates all candidates of one class for a brand SLD.

@@ -41,20 +41,47 @@ impl std::fmt::Display for Topic {
 }
 
 const GAMBLING: &[&str] = &[
-    "彩票", "博彩", "赌场", "投注", "棋牌", "六合彩", "时时彩", "百家乐", "开户",
-    "娱乐", "casino", "bet", "lottery", "หวย", "คาสิโน", "บาคาร่า", "แทงบอล",
+    "彩票",
+    "博彩",
+    "赌场",
+    "投注",
+    "棋牌",
+    "六合彩",
+    "时时彩",
+    "百家乐",
+    "开户",
+    "娱乐",
+    "casino",
+    "bet",
+    "lottery",
+    "หวย",
+    "คาสิโน",
+    "บาคาร่า",
+    "แทงบอล",
 ];
 const CITIES: &[&str] = &[
-    "北京", "上海", "广州", "深圳", "重庆", "成都", "武汉", "西安", "南京", "杭州",
-    "昆明", "贵阳", "tokyo", "osaka", "seoul", "서울", "부산", "東京", "大阪",
+    "北京", "上海", "广州", "深圳", "重庆", "成都", "武汉", "西安", "南京", "杭州", "昆明", "贵阳",
+    "tokyo", "osaka", "seoul", "서울", "부산", "東京", "大阪",
 ];
 const SHOPPING: &[&str] = &[
-    "购物", "商城", "超市", "商店", "专卖", "优惠", "쇼핑", "ショップ", "alışveriş",
-    "shop", "store", "mall", "купить", "магазин",
+    "购物",
+    "商城",
+    "超市",
+    "商店",
+    "专卖",
+    "优惠",
+    "쇼핑",
+    "ショップ",
+    "alışveriş",
+    "shop",
+    "store",
+    "mall",
+    "купить",
+    "магазин",
 ];
 const BRAND_SERVICE: &[&str] = &[
-    "登录", "登陆", "激活", "售后", "客服", "邮箱", "充值", "注册", "官网", "支付",
-    "login", "secure", "support", "verify", "account",
+    "登录", "登陆", "激活", "售后", "客服", "邮箱", "充值", "注册", "官网", "支付", "login",
+    "secure", "support", "verify", "account",
 ];
 
 /// Classifies one label into its most likely topic (or `Mixed`).

@@ -97,7 +97,10 @@ impl Resolver {
         let query = match wire::decode(query_bytes) {
             Ok(message) if !message.questions.is_empty() => message,
             Ok(message) => {
-                return Some(wire::encode(&Message::response_to(&message, Rcode::FormErr)))
+                return Some(wire::encode(&Message::response_to(
+                    &message,
+                    Rcode::FormErr,
+                )))
             }
             Err(_) => return None,
         };
@@ -150,7 +153,10 @@ mod tests {
 
     #[test]
     fn undelegated_names_are_nxdomain() {
-        assert_eq!(resolver().resolve("missing.com"), ResolutionOutcome::NxDomain);
+        assert_eq!(
+            resolver().resolve("missing.com"),
+            ResolutionOutcome::NxDomain
+        );
     }
 
     #[test]

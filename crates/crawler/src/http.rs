@@ -75,7 +75,10 @@ mod tests {
     #[test]
     fn dns_failures_short_circuit() {
         let outcome = fetch(&ResolutionOutcome::Refused, None);
-        assert_eq!(outcome, FetchOutcome::DnsFailure(ResolutionOutcome::Refused));
+        assert_eq!(
+            outcome,
+            FetchOutcome::DnsFailure(ResolutionOutcome::Refused)
+        );
     }
 
     #[test]

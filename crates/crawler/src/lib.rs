@@ -44,8 +44,42 @@ pub use classify::{classify, UsageCategory};
 pub use dns::{AuthBehavior, ResolutionOutcome, Resolver};
 pub use http::{fetch, FetchOutcome, Page, PageKind};
 
+use idnre_telemetry::Recorder;
 use idnre_zonefile::Zone;
 use std::collections::HashMap;
+
+/// Counter names for each [`ResolutionOutcome`], used by
+/// [`Crawler::resolve_recorded`]. Exposed so harnesses can pre-register
+/// the full set (a counter that never fires still shows up at zero).
+pub const OUTCOME_COUNTERS: [&str; 5] = [
+    "crawler.outcome.resolved",
+    "crawler.outcome.nxdomain",
+    "crawler.outcome.refused",
+    "crawler.outcome.servfail",
+    "crawler.outcome.timeout",
+];
+
+fn outcome_counter(outcome: ResolutionOutcome) -> &'static str {
+    match outcome {
+        ResolutionOutcome::Resolved(_) => OUTCOME_COUNTERS[0],
+        ResolutionOutcome::NxDomain => OUTCOME_COUNTERS[1],
+        ResolutionOutcome::Refused => OUTCOME_COUNTERS[2],
+        ResolutionOutcome::ServFail => OUTCOME_COUNTERS[3],
+        ResolutionOutcome::Timeout => OUTCOME_COUNTERS[4],
+    }
+}
+
+fn usage_counter(category: UsageCategory) -> &'static str {
+    match category {
+        UsageCategory::NotResolved => "crawler.usage.not_resolved",
+        UsageCategory::Error => "crawler.usage.error",
+        UsageCategory::Empty => "crawler.usage.empty",
+        UsageCategory::Parked => "crawler.usage.parked",
+        UsageCategory::ForSale => "crawler.usage.for_sale",
+        UsageCategory::Redirected => "crawler.usage.redirected",
+        UsageCategory::Meaningful => "crawler.usage.meaningful",
+    }
+}
 
 /// The whole crawl pipeline: resolver plus the web content behind each
 /// resolvable host.
@@ -83,11 +117,33 @@ impl Crawler {
     /// Crawls one domain end-to-end: resolve, fetch, classify.
     pub fn crawl(&self, domain: &str) -> UsageCategory {
         let resolution = self.resolver.resolve(domain);
-        let outcome = fetch(
-            &resolution,
-            self.pages.get(&domain.to_ascii_lowercase()),
-        );
+        let outcome = fetch(&resolution, self.pages.get(&domain.to_ascii_lowercase()));
         classify(&outcome)
+    }
+
+    /// [`Crawler::resolve`] with a `crawler.resolve` latency span and a
+    /// per-outcome counter (`crawler.outcome.*`) reported to `recorder`.
+    pub fn resolve_recorded(&self, domain: &str, recorder: &dyn Recorder) -> ResolutionOutcome {
+        let mut span = recorder.span("crawler.resolve");
+        let outcome = self.resolver.resolve(domain);
+        span.add_records(1);
+        drop(span);
+        recorder.incr(outcome_counter(outcome));
+        outcome
+    }
+
+    /// [`Crawler::crawl`] with `crawler.crawl` latency, per-outcome DNS
+    /// counters and per-category usage counters (`crawler.usage.*`)
+    /// reported to `recorder`.
+    pub fn crawl_recorded(&self, domain: &str, recorder: &dyn Recorder) -> UsageCategory {
+        let mut span = recorder.span("crawler.crawl");
+        let resolution = self.resolve_recorded(domain, recorder);
+        let outcome = fetch(&resolution, self.pages.get(&domain.to_ascii_lowercase()));
+        let category = classify(&outcome);
+        span.add_records(1);
+        drop(span);
+        recorder.incr(usage_counter(category));
+        category
     }
 }
 
@@ -122,11 +178,49 @@ mod tests {
     }
 
     #[test]
+    fn recorded_crawl_matches_plain_and_counts_outcomes() {
+        let zone = parse_zone("com", "a IN NS ns1.a.com.\nb IN NS ns1.b.com.\n").unwrap();
+        let mut crawler = Crawler::new();
+        crawler.add_zone(&zone);
+        crawler.set_host(
+            "a.com",
+            AuthBehavior::Answer("203.0.113.9".parse().unwrap()),
+            Some(Page::new(200, "Site", PageKind::Content)),
+        );
+        crawler.set_host("b.com", AuthBehavior::Refuse, None);
+
+        let registry = idnre_telemetry::Registry::new();
+        for name in OUTCOME_COUNTERS {
+            registry.add(name, 0);
+        }
+        for domain in ["a.com", "b.com", "nx.com"] {
+            assert_eq!(
+                crawler.crawl_recorded(domain, &registry),
+                crawler.crawl(domain),
+                "{domain}"
+            );
+        }
+        assert_eq!(registry.counter_value("crawler.outcome.resolved"), 1);
+        assert_eq!(registry.counter_value("crawler.outcome.refused"), 1);
+        assert_eq!(registry.counter_value("crawler.outcome.nxdomain"), 1);
+        assert_eq!(registry.counter_value("crawler.outcome.servfail"), 0);
+        assert_eq!(registry.counter_value("crawler.usage.meaningful"), 1);
+        assert_eq!(registry.counter_value("crawler.usage.not_resolved"), 2);
+        let resolve = registry.stage("crawler.resolve");
+        assert_eq!(resolve.calls(), 3);
+        assert_eq!(resolve.histogram().count(), 3);
+    }
+
+    #[test]
     fn resolvable_but_no_content_is_error() {
         let zone = parse_zone("com", "d IN NS ns1.d.com.\n").unwrap();
         let mut crawler = Crawler::new();
         crawler.add_zone(&zone);
-        crawler.set_host("d.com", AuthBehavior::Answer("203.0.113.1".parse().unwrap()), None);
+        crawler.set_host(
+            "d.com",
+            AuthBehavior::Answer("203.0.113.1".parse().unwrap()),
+            None,
+        );
         // Resolves, but the web server answers nothing: HTTP-level error.
         assert_eq!(crawler.crawl("d.com"), UsageCategory::Error);
     }

@@ -279,7 +279,12 @@ pub fn decode(bytes: &[u8]) -> Result<Message, WireError> {
             return Err(WireError::Truncated);
         }
         let rtype = u16::from_be_bytes([bytes[pos], bytes[pos + 1]]);
-        let ttl = u32::from_be_bytes([bytes[pos + 4], bytes[pos + 5], bytes[pos + 6], bytes[pos + 7]]);
+        let ttl = u32::from_be_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]);
         let rdlen = u16::from_be_bytes([bytes[pos + 8], bytes[pos + 9]]) as usize;
         pos += 10;
         if pos + rdlen > bytes.len() {
@@ -365,12 +370,16 @@ mod tests {
     fn response_with_answers_round_trips() {
         let query = Message::query(7, "example.com");
         let mut response = Message::response_to(&query, Rcode::NoError);
-        response
-            .answers
-            .push(WireRecord::a("example.com", 300, Ipv4Addr::new(203, 0, 113, 7)));
-        response
-            .answers
-            .push(WireRecord::a("example.com", 300, Ipv4Addr::new(203, 0, 113, 8)));
+        response.answers.push(WireRecord::a(
+            "example.com",
+            300,
+            Ipv4Addr::new(203, 0, 113, 7),
+        ));
+        response.answers.push(WireRecord::a(
+            "example.com",
+            300,
+            Ipv4Addr::new(203, 0, 113, 8),
+        ));
         let bytes = encode(&response);
         let decoded = decode(&bytes).unwrap();
         assert_eq!(decoded, response);
@@ -394,17 +403,10 @@ mod tests {
         let bytes = encode(&response);
         // With compression, each repeated owner costs 2 bytes, not 18.
         let uncompressed_estimate = 12 + 5 * 18 + 4 * 14;
-        assert!(
-            bytes.len() < uncompressed_estimate,
-            "{} bytes",
-            bytes.len()
-        );
+        assert!(bytes.len() < uncompressed_estimate, "{} bytes", bytes.len());
         let decoded = decode(&bytes).unwrap();
         assert_eq!(decoded.answers.len(), 4);
-        assert!(decoded
-            .answers
-            .iter()
-            .all(|a| a.name == "aaaa.example.com"));
+        assert!(decoded.answers.iter().all(|a| a.name == "aaaa.example.com"));
     }
 
     #[test]

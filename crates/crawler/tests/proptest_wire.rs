@@ -16,30 +16,32 @@ fn message() -> impl Strategy<Value = Message> {
         proptest::collection::vec((name(), any::<u32>(), any::<[u8; 4]>()), 0..5),
         0u16..6,
     )
-        .prop_map(|(id, is_response, rd, questions, answers, rcode_bits)| Message {
-            id,
-            is_response,
-            recursion_desired: rd,
-            rcode: match rcode_bits {
-                0 => Rcode::NoError,
-                1 => Rcode::FormErr,
-                2 => Rcode::ServFail,
-                3 => Rcode::NxDomain,
-                4 => Rcode::NotImp,
-                _ => Rcode::Refused,
+        .prop_map(
+            |(id, is_response, rd, questions, answers, rcode_bits)| Message {
+                id,
+                is_response,
+                recursion_desired: rd,
+                rcode: match rcode_bits {
+                    0 => Rcode::NoError,
+                    1 => Rcode::FormErr,
+                    2 => Rcode::ServFail,
+                    3 => Rcode::NxDomain,
+                    4 => Rcode::NotImp,
+                    _ => Rcode::Refused,
+                },
+                questions: questions
+                    .into_iter()
+                    .map(|name| Question {
+                        name,
+                        qtype: qtype::A,
+                    })
+                    .collect(),
+                answers: answers
+                    .into_iter()
+                    .map(|(name, ttl, ip)| WireRecord::a(&name, ttl, ip.into()))
+                    .collect(),
             },
-            questions: questions
-                .into_iter()
-                .map(|name| Question {
-                    name,
-                    qtype: qtype::A,
-                })
-                .collect(),
-            answers: answers
-                .into_iter()
-                .map(|(name, ttl, ip)| WireRecord::a(&name, ttl, ip.into()))
-                .collect(),
-        })
+        )
 }
 
 proptest! {

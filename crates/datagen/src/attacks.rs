@@ -53,10 +53,42 @@ const SEMANTIC_ANCHORS: [(&str, u32, u32); 10] = [
 /// Keywords appended in Type-1 attacks: service terms in the scripts the
 /// paper observed (Chinese dominates; see Table IX's icloud 登录 etc.).
 const TYPE1_KEYWORDS: &[&str] = &[
-    "登录", "登陆", "邮箱", "激活", "售后", "客服", "汽车", "商城", "充值", "开户",
-    "注册", "娱乐", "彩票", "官网", "下载", "支付", "代理", "游戏", "招聘", "房产",
-    "商店", "优惠", "会员", "信息", "网址", "导航", "直播", "视频", "论坛", "专卖",
-    "쇼핑", "게임", "ログイン", "ショップ", "ニュース", "공식",
+    "登录",
+    "登陆",
+    "邮箱",
+    "激活",
+    "售后",
+    "客服",
+    "汽车",
+    "商城",
+    "充值",
+    "开户",
+    "注册",
+    "娱乐",
+    "彩票",
+    "官网",
+    "下载",
+    "支付",
+    "代理",
+    "游戏",
+    "招聘",
+    "房产",
+    "商店",
+    "优惠",
+    "会员",
+    "信息",
+    "网址",
+    "导航",
+    "直播",
+    "视频",
+    "论坛",
+    "专卖",
+    "쇼핑",
+    "게임",
+    "ログイン",
+    "ショップ",
+    "ニュース",
+    "공식",
 ];
 
 /// Generates the registered homographic IDN population.
@@ -73,7 +105,9 @@ pub fn generate_homographs<R: Rng + ?Sized>(
     let mut out = Vec::new();
     let target_total = (1_516 / scale.max(1)) as usize;
     for &(sld, count, protective) in &HOMOGRAPH_ANCHORS {
-        let Some(brand) = brands.by_sld(sld) else { continue };
+        let Some(brand) = brands.by_sld(sld) else {
+            continue;
+        };
         let n = (count as u64 / scale.max(1)).max(1) as usize;
         let protective_n = (protective as u64 / scale.max(1)) as usize;
         for i in 0..n {
@@ -106,7 +140,11 @@ pub fn generate_homographs<R: Rng + ?Sized>(
 
 /// Builds one homographic spoof of `brand`, or `None` when the brand SLD
 /// has no substitutable characters (e.g. all digits).
-fn spoof_brand<R: Rng + ?Sized>(rng: &mut R, brand: &Brand, protective: bool) -> Option<AttackDomain> {
+fn spoof_brand<R: Rng + ?Sized>(
+    rng: &mut R,
+    brand: &Brand,
+    protective: bool,
+) -> Option<AttackDomain> {
     // Attackers pick convincing glyphs: the Low (small-caps/modifier) tier
     // exists in the enumeration space but not in registered attacks.
     let convincing = |c: char| -> Vec<&'static idnre_unicode::Confusable> {
@@ -167,7 +205,7 @@ fn spoof_brand<R: Rng + ?Sized>(rng: &mut R, brand: &Brand, protective: bool) ->
                         Fidelity::High => 3,
                         _ => 1,
                     };
-                    std::iter::repeat(g).take(copies)
+                    std::iter::repeat_n(g, copies)
                 })
                 .collect();
             let pick = weighted[rng.gen_range(0..weighted.len())];
@@ -201,7 +239,9 @@ pub fn generate_semantic_type1<R: Rng + ?Sized>(
     let mut out = Vec::new();
     let target_total = (1_497 / scale.max(1)) as usize;
     for &(sld, count, protective) in &SEMANTIC_ANCHORS {
-        let Some(brand) = brands.by_sld(sld) else { continue };
+        let Some(brand) = brands.by_sld(sld) else {
+            continue;
+        };
         let n = (count as u64 / scale.max(1)).max(1) as usize;
         let protective_n = (protective as u64 / scale.max(1)) as usize;
         for i in 0..n {
@@ -224,7 +264,11 @@ pub fn generate_semantic_type1<R: Rng + ?Sized>(
     dedup(out)
 }
 
-fn combine_brand<R: Rng + ?Sized>(rng: &mut R, brand: &Brand, protective: bool) -> Option<AttackDomain> {
+fn combine_brand<R: Rng + ?Sized>(
+    rng: &mut R,
+    brand: &Brand,
+    protective: bool,
+) -> Option<AttackDomain> {
     // Single or double keyword, appended or prepended — 58汽车.com,
     // 售后qq.com, icloud登录充值.com all occur in the wild corpus.
     let first = TYPE1_KEYWORDS[rng.gen_range(0..TYPE1_KEYWORDS.len())];
@@ -271,10 +315,7 @@ const TYPE2_TRANSLATIONS: &[(&str, &str)] = &[
 /// Generates the Type-2 semantic population: translated brand names
 /// registered under gTLDs (Table X). The space is dictionary-bounded, so
 /// `scale` only trims the list.
-pub fn generate_semantic_type2<R: Rng + ?Sized>(
-    rng: &mut R,
-    scale: u64,
-) -> Vec<AttackDomain> {
+pub fn generate_semantic_type2<R: Rng + ?Sized>(rng: &mut R, scale: u64) -> Vec<AttackDomain> {
     let mut out = Vec::new();
     for &(native, brand) in TYPE2_TRANSLATIONS {
         for tld in ["com", "net"] {
@@ -325,7 +366,10 @@ mod tests {
             attacks.len()
         );
         let google = attacks.iter().filter(|a| a.target == "google.com").count();
-        let facebook = attacks.iter().filter(|a| a.target == "facebook.com").count();
+        let facebook = attacks
+            .iter()
+            .filter(|a| a.target == "facebook.com")
+            .count();
         assert!(google > facebook, "google {google} vs facebook {facebook}");
         // Some pixel-identical spoofs exist (paper: 91 of 1,516).
         let identical = attacks.iter().filter(|a| a.pixel_identical).count();
@@ -356,7 +400,12 @@ mod tests {
         for attack in attacks.iter().take(100) {
             let sld = attack.unicode.split('.').next().unwrap();
             let target_sld = attack.target.split('.').next().unwrap();
-            assert_eq!(idnre_unicode::skeleton(sld), target_sld, "{}", attack.unicode);
+            assert_eq!(
+                idnre_unicode::skeleton(sld),
+                target_sld,
+                "{}",
+                attack.unicode
+            );
         }
     }
 

@@ -79,8 +79,14 @@ impl BrandList {
                 brands.push(Brand {
                     rank,
                     sld: filler_name(rank),
-                    tld: if rank % 7 == 0 { "org" } else if rank % 5 == 0 { "net" } else { "com" }
-                        .to_string(),
+                    tld: if rank % 7 == 0 {
+                        "org"
+                    } else if rank % 5 == 0 {
+                        "net"
+                    } else {
+                        "com"
+                    }
+                    .to_string(),
                 });
             }
         }
@@ -124,7 +130,9 @@ fn filler_name(rank: usize) -> String {
     const VOWELS: &[u8] = b"aeiou";
     let mut state = rank as u64 ^ 0xA5A5_5A5A;
     let mut next = |m: usize| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) % m as u64) as usize
     };
     let syllables = 2 + next(2);
@@ -169,7 +177,11 @@ mod tests {
     fn filler_names_are_plausible_slds() {
         let list = BrandList::with_size(100);
         for brand in list.iter() {
-            assert!(idnre_idna::validate_ascii_label(&brand.sld).is_ok(), "{}", brand.sld);
+            assert!(
+                idnre_idna::validate_ascii_label(&brand.sld).is_ok(),
+                "{}",
+                brand.sld
+            );
         }
     }
 

@@ -99,14 +99,14 @@ mod tests {
 
     #[test]
     fn idn_distribution_matches_table_v() {
-        let freq = frequencies(|r| ContentCategory::sample_idn(r), 50_000);
+        let freq = frequencies(ContentCategory::sample_idn, 50_000);
         assert!((freq[0] - 0.456).abs() < 0.01, "not-resolved {}", freq[0]);
         assert!((freq[6] - 0.198).abs() < 0.01, "meaningful {}", freq[6]);
     }
 
     #[test]
     fn non_idn_distribution_matches_table_v() {
-        let freq = frequencies(|r| ContentCategory::sample_non_idn(r), 50_000);
+        let freq = frequencies(ContentCategory::sample_non_idn, 50_000);
         assert!((freq[0] - 0.152).abs() < 0.01, "not-resolved {}", freq[0]);
         assert!((freq[6] - 0.336).abs() < 0.01, "meaningful {}", freq[6]);
     }
@@ -114,8 +114,8 @@ mod tests {
     #[test]
     fn idn_less_meaningful_than_non_idn() {
         // Finding 8's contrast must hold in expectation.
-        let idn = frequencies(|r| ContentCategory::sample_idn(r), 20_000);
-        let non = frequencies(|r| ContentCategory::sample_non_idn(r), 20_000);
+        let idn = frequencies(ContentCategory::sample_idn, 20_000);
+        let non = frequencies(ContentCategory::sample_non_idn, 20_000);
         assert!(idn[0] > non[0] * 2.0); // unresolved gap
         assert!(idn[6] < non[6]); // meaningful gap
     }

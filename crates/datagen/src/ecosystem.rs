@@ -16,6 +16,7 @@ use idnre_blacklist::{BlacklistSet, Source};
 use idnre_certs::Certificate;
 use idnre_langid::Language;
 use idnre_pdns::{PdnsStore, PopulationClass, TrafficModel};
+use idnre_telemetry::{NoopRecorder, Recorder};
 use idnre_whois::{WhoisDialect, WhoisRecord};
 use idnre_zonefile::{RData, ResourceRecord, Zone};
 use rand::rngs::StdRng;
@@ -54,12 +55,20 @@ impl Ecosystem {
     /// Generates the full ecosystem from `config`. Deterministic in
     /// `config.seed`.
     pub fn generate(config: &EcosystemConfig) -> Self {
+        Self::generate_recorded(config, &NoopRecorder)
+    }
+
+    /// Like [`Ecosystem::generate`], reporting per-stage timing and record
+    /// counts to `recorder`. The generated ecosystem is identical for any
+    /// recorder — telemetry never touches the RNG stream.
+    pub fn generate_recorded(config: &EcosystemConfig, recorder: &dyn Recorder) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let brands = BrandList::with_size(config.brand_count);
         let snapshot_day = config.snapshot.day_number();
 
         // --- 1. Bulk (opportunistic) registrations: Table III clusters,
         //        each with a single portfolio theme. ---
+        let mut span = recorder.span("datagen.bulk_registrations");
         let mut idn_registrations = Vec::new();
         for (email, declared, theme) in BULK_REGISTRANTS {
             let n = (declared as u64 / config.scale).max(1);
@@ -78,12 +87,16 @@ impl Ecosystem {
                 idn_registrations.push(reg);
             }
         }
+        span.add_records(idn_registrations.len() as u64);
+        drop(span);
 
         // --- 2. Ordinary IDN registrations per TLD (Table I volumes). ---
         // The seed vocabulary is finite, so plain sampling collides; a
         // numeric suffix on collision keeps the volume and language mix at
         // their Table I/II anchors (digit-bearing IDNs are common in the
         // wild corpus anyway).
+        let mut span = recorder.span("datagen.ordinary_registrations");
+        let bulk_count = idn_registrations.len();
         let mut seen: std::collections::HashSet<String> =
             idn_registrations.iter().map(|r| r.domain.clone()).collect();
         for spec in &TABLE_I {
@@ -106,13 +119,20 @@ impl Ecosystem {
             }
         }
         dedup_registrations(&mut idn_registrations);
+        span.add_records((idn_registrations.len() - bulk_count) as u64);
+        drop(span);
 
         // --- 3. Blacklist assignment over the bulk+ordinary population. ---
+        let mut span = recorder.span("datagen.blacklist");
         let mut blacklist = BlacklistSet::new();
         assign_blacklist(&mut rng, config, &mut idn_registrations, &mut blacklist);
+        span.add_records(blacklist.union_count() as u64);
+        drop(span);
 
         // --- 4. Attack populations (full scale by default). ---
-        let homograph_attacks = attacks::generate_homographs(&mut rng, &brands, config.attack_scale);
+        let mut span = recorder.span("datagen.attack_injection");
+        let homograph_attacks =
+            attacks::generate_homographs(&mut rng, &brands, config.attack_scale);
         let semantic_attacks =
             attacks::generate_semantic_type1(&mut rng, &brands, config.attack_scale);
         let semantic2_attacks = attacks::generate_semantic_type2(&mut rng, config.attack_scale);
@@ -143,8 +163,13 @@ impl Ecosystem {
             &mut idn_registrations,
             &mut blacklist,
         );
+        span.add_records(
+            (homograph_attacks.len() + semantic_attacks.len() + semantic2_attacks.len()) as u64,
+        );
+        drop(span);
 
         // --- 5. Non-IDN comparison sample. ---
+        let mut span = recorder.span("datagen.non_idn_sample");
         let mut non_idn_registrations = Vec::new();
         for spec in &TABLE_I {
             let n = config.scaled_non_idn_sample(spec);
@@ -152,11 +177,17 @@ impl Ecosystem {
                 non_idn_registrations.push(build_non_idn(&mut rng, config, i, spec.tld));
             }
         }
+        span.add_records(non_idn_registrations.len() as u64);
+        drop(span);
 
         // --- 6. WHOIS emission with per-TLD coverage. ---
+        let mut span = recorder.span("datagen.whois");
         let whois = emit_whois(&mut rng, &idn_registrations);
+        span.add_records(whois.len() as u64);
+        drop(span);
 
         // --- 7. Passive DNS. ---
+        let mut span = recorder.span("datagen.pdns_traffic");
         let mut pdns = PdnsStore::new();
         for reg in &idn_registrations {
             let class = match reg.malicious {
@@ -170,10 +201,19 @@ impl Ecosystem {
             add_traffic(&mut rng, &mut pdns, reg, class, snapshot_day);
         }
         for reg in &non_idn_registrations {
-            add_traffic(&mut rng, &mut pdns, reg, PopulationClass::NonIdn, snapshot_day);
+            add_traffic(
+                &mut rng,
+                &mut pdns,
+                reg,
+                PopulationClass::NonIdn,
+                snapshot_day,
+            );
         }
+        span.add_records(pdns.len() as u64);
+        drop(span);
 
         // --- 8. Certificates. ---
+        let mut span = recorder.span("datagen.certificates");
         let mut certificates = Vec::new();
         for reg in idn_registrations.iter().chain(&non_idn_registrations) {
             if !reg.https {
@@ -186,9 +226,14 @@ impl Ecosystem {
                 ));
             }
         }
+        span.add_records(certificates.len() as u64);
+        drop(span);
 
         // --- 9. Zone files. ---
+        let mut span = recorder.span("datagen.zones");
         let zones = emit_zones(&idn_registrations, &non_idn_registrations);
+        span.add_records(zones.iter().map(|z| z.records.len() as u64).sum());
+        drop(span);
 
         Ecosystem {
             config: config.clone(),
@@ -330,8 +375,7 @@ fn assign_blacklist<R: Rng + ?Sized>(
 ) {
     for spec in &TABLE_I {
         let (vt, qihoo, baidu) = spec.declared_blacklisted;
-        let scaled =
-            |n: u64| -> usize { (n / config.scale.max(1)).max(u64::from(n > 0)) as usize };
+        let scaled = |n: u64| -> usize { (n / config.scale.max(1)).max(u64::from(n > 0)) as usize };
         let mut candidates: Vec<usize> = registrations
             .iter()
             .enumerate()
@@ -393,13 +437,21 @@ fn inject_attacks<R: Rng + ?Sized>(
         if existing.contains(&attack.domain) {
             continue;
         }
-        let tld = attack.domain.rsplit('.').next().unwrap_or("com").to_string();
+        let tld = attack
+            .domain
+            .rsplit('.')
+            .next()
+            .unwrap_or("com")
+            .to_string();
         let blacklisted = rng.gen_ratio(per_mille, 1000);
         let (email, privacy) = if attack.protective {
             let brand_sld = attack.target.split('.').next().unwrap_or("brand");
             (Some(format!("legal@{brand_sld}.com")), false)
         } else if rng.gen_ratio(1, 6) {
-            (Some(format!("attacker{}@gmail.com", rng.gen_range(0..500u32))), false)
+            (
+                Some(format!("attacker{}@gmail.com", rng.gen_range(0..500u32))),
+                false,
+            )
         } else {
             (None, true)
         };
@@ -474,10 +526,7 @@ fn add_traffic<R: Rng + ?Sized>(
 }
 
 /// Builds one zone per TLD containing NS (and A, when resolving) records.
-fn emit_zones(
-    idns: &[DomainRegistration],
-    non_idns: &[DomainRegistration],
-) -> Vec<Zone> {
+fn emit_zones(idns: &[DomainRegistration], non_idns: &[DomainRegistration]) -> Vec<Zone> {
     let mut zones: Vec<Zone> = TABLE_I
         .iter()
         .map(|spec| Zone::new(spec.tld.parse().expect("static tld parses")))
@@ -486,7 +535,9 @@ fn emit_zones(
         let Some(zone) = zones.iter_mut().find(|z| z.origin.to_string() == reg.tld) else {
             continue;
         };
-        let Ok(owner) = reg.domain.parse() else { continue };
+        let Ok(owner) = reg.domain.parse() else {
+            continue;
+        };
         zone.records.push(ResourceRecord {
             owner,
             ttl: 86_400,
@@ -520,6 +571,25 @@ mod tests {
         assert_eq!(a.idn_registrations, b.idn_registrations);
         assert_eq!(a.certificates.len(), b.certificates.len());
         assert_eq!(a.blacklist, b.blacklist);
+    }
+
+    #[test]
+    fn recorded_generation_is_identical_and_observable() {
+        let config = small_config();
+        let registry = idnre_telemetry::Registry::new();
+        let plain = Ecosystem::generate(&config);
+        let recorded = Ecosystem::generate_recorded(&config, &registry);
+        // Telemetry must not perturb the RNG stream.
+        assert_eq!(plain.idn_registrations, recorded.idn_registrations);
+        assert_eq!(plain.non_idn_registrations, recorded.non_idn_registrations);
+        assert_eq!(plain.blacklist, recorded.blacklist);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.stages.len(), 9, "one span per pipeline stage");
+        for stage in &snapshot.stages {
+            assert!(stage.name.starts_with("datagen."), "{}", stage.name);
+            assert_eq!(stage.calls, 1, "{}", stage.name);
+            assert!(stage.records > 0, "{} recorded nothing", stage.name);
+        }
     }
 
     #[test]

@@ -89,7 +89,12 @@ impl HostingProfile {
             }
             HostingProfile::SharedHosting { provider } => {
                 let base = provider_octet(provider);
-                Ipv4Addr::new(104, 27, base.wrapping_add(rng.gen_range(0..3)), rng.gen_range(1..=254))
+                Ipv4Addr::new(
+                    104,
+                    27,
+                    base.wrapping_add(rng.gen_range(0..3)),
+                    rng.gen_range(1..=254),
+                )
             }
             HostingProfile::Cdn => {
                 Ipv4Addr::new(23, 56, rng.gen_range(0..8), rng.gen_range(1..=254))
@@ -169,7 +174,9 @@ fn pick<R: Rng + ?Sized>(rng: &mut R, table: &[(&'static str, u32)]) -> &'static
 }
 
 fn provider_octet(provider: &str) -> u8 {
-    provider.bytes().fold(7u8, |acc, b| acc.wrapping_mul(31).wrapping_add(b))
+    provider
+        .bytes()
+        .fold(7u8, |acc, b| acc.wrapping_mul(31).wrapping_add(b))
 }
 
 #[cfg(test)]

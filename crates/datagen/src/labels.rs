@@ -86,7 +86,10 @@ mod tests {
         }
         let chinese_rate = chinese as f64 / n as f64;
         let ea_rate = east_asian as f64 / n as f64;
-        assert!((chinese_rate - 0.5203).abs() < 0.02, "chinese {chinese_rate}");
+        assert!(
+            (chinese_rate - 0.5203).abs() < 0.02,
+            "chinese {chinese_rate}"
+        );
         // Finding 1: >75% east-Asian.
         assert!(ea_rate > 0.72, "east asian {ea_rate}");
     }

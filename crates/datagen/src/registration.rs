@@ -112,7 +112,16 @@ pub const BULK_REGISTRANTS: [(&str, u32, BulkTheme); 5] = [
 /// Generates one label consistent with a bulk registrant's theme.
 pub fn themed_label<R: Rng + ?Sized>(rng: &mut R, theme: BulkTheme) -> String {
     const GAMBLING: [&str; 10] = [
-        "彩票", "博彩", "投注", "棋牌", "六合彩", "时时彩", "百家乐", "赌场", "开户", "娱乐",
+        "彩票",
+        "博彩",
+        "投注",
+        "棋牌",
+        "六合彩",
+        "时时彩",
+        "百家乐",
+        "赌场",
+        "开户",
+        "娱乐",
     ];
     const CITIES: [&str; 10] = [
         "重庆", "成都", "昆明", "贵阳", "北京", "上海", "广州", "深圳", "武汉", "西安",
@@ -148,11 +157,13 @@ pub fn themed_label<R: Rng + ?Sized>(rng: &mut R, theme: BulkTheme) -> String {
 pub fn sample_registrant<R: Rng + ?Sized>(rng: &mut R, index: u64) -> (Option<String>, bool) {
     match rng.gen_range(0..10) {
         0..=3 => {
-            let provider = ["qq.com", "gmail.com", "163.com", "hotmail.com"]
-                [rng.gen_range(0..4)];
+            let provider = ["qq.com", "gmail.com", "163.com", "hotmail.com"][rng.gen_range(0..4)];
             (Some(format!("user{index}@{provider}")), false)
         }
-        4..=6 => (Some(format!("admin@company{}.example", index % 5000)), false),
+        4..=6 => (
+            Some(format!("admin@company{}.example", index % 5000)),
+            false,
+        ),
         _ => (None, true),
     }
 }
@@ -237,7 +248,10 @@ mod tests {
         let godaddy_rate = godaddy as f64 / n as f64;
         // Table IV: GMO ≈ 23%, GoDaddy ≈ 1.88% ("only takes a small share").
         assert!((gmo_rate - 0.23).abs() < 0.02, "gmo {gmo_rate}");
-        assert!((godaddy_rate - 0.019).abs() < 0.01, "godaddy {godaddy_rate}");
+        assert!(
+            (godaddy_rate - 0.019).abs() < 0.01,
+            "godaddy {godaddy_rate}"
+        );
         // "over 700 registrars" — the tail is broad.
         assert!(distinct.len() > 300, "distinct {}", distinct.len());
     }

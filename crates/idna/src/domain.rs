@@ -100,7 +100,10 @@ impl DomainName {
         if s.len() > 253 {
             return Err(ParseDomainError::TooLong);
         }
-        let labels = s.split('.').map(Label::new).collect::<Result<Vec<_>, _>>()?;
+        let labels = s
+            .split('.')
+            .map(Label::new)
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(DomainName { labels })
     }
 
@@ -128,7 +131,10 @@ impl DomainName {
 
     /// The top-level domain label (rightmost), in ACE form.
     pub fn tld(&self) -> &str {
-        self.labels.last().expect("non-empty by construction").as_str()
+        self.labels
+            .last()
+            .expect("non-empty by construction")
+            .as_str()
     }
 
     /// The second-level label, if the name has at least two labels.
@@ -248,7 +254,10 @@ mod tests {
             Err(ParseDomainError::LabelTooLong)
         );
         let long_name = ["ab"; 90].join(".");
-        assert_eq!(DomainName::parse(&long_name), Err(ParseDomainError::TooLong));
+        assert_eq!(
+            DomainName::parse(&long_name),
+            Err(ParseDomainError::TooLong)
+        );
     }
 
     #[test]

@@ -219,9 +219,7 @@ pub fn decode(input: &str) -> Result<String, IdnaError> {
         }
         let out_len = output.len() as u32 + 1;
         bias = adapt(i - old_i, out_len, old_i == 0);
-        n = n
-            .checked_add(i / out_len)
-            .ok_or(IdnaError::Overflow)?;
+        n = n.checked_add(i / out_len).ok_or(IdnaError::Overflow)?;
         i %= out_len;
         if n > MAX_CODEPOINT || (0xD800..=0xDFFF).contains(&n) {
             return Err(IdnaError::Overflow);
@@ -305,16 +303,34 @@ mod tests {
 
     #[test]
     fn rfc3492_sample_mixed_japanese_ascii() {
-        check("3\u{5E74}B\u{7D44}\u{91D1}\u{516B}\u{5148}\u{751F}", "3B-ww4c5e180e575a65lsy2b");
+        check(
+            "3\u{5E74}B\u{7D44}\u{91D1}\u{516B}\u{5148}\u{751F}",
+            "3B-ww4c5e180e575a65lsy2b",
+        );
         check(
             "\u{5B89}\u{5BA4}\u{5948}\u{7F8E}\u{6075}-with-SUPER-MONKEYS",
             "-with-SUPER-MONKEYS-pc58ag80a8qai00g7n9n",
         );
-        check("Hello-Another-Way-\u{305D}\u{308C}\u{305E}\u{308C}\u{306E}\u{5834}\u{6240}", "Hello-Another-Way--fc4qua05auwb3674vfr0b");
-        check("\u{3072}\u{3068}\u{3064}\u{5C4B}\u{6839}\u{306E}\u{4E0B}2", "2-u9tlzr9756bt3uc0v");
-        check("Maji\u{3067}Koi\u{3059}\u{308B}5\u{79D2}\u{524D}", "MajiKoi5-783gue6qz075azm5e");
-        check("\u{30D1}\u{30D5}\u{30A3}\u{30FC}de\u{30EB}\u{30F3}\u{30D0}", "de-jg4avhby1noc0d");
-        check("\u{305D}\u{306E}\u{30B9}\u{30D4}\u{30FC}\u{30C9}\u{3067}", "d9juau41awczczp");
+        check(
+            "Hello-Another-Way-\u{305D}\u{308C}\u{305E}\u{308C}\u{306E}\u{5834}\u{6240}",
+            "Hello-Another-Way--fc4qua05auwb3674vfr0b",
+        );
+        check(
+            "\u{3072}\u{3068}\u{3064}\u{5C4B}\u{6839}\u{306E}\u{4E0B}2",
+            "2-u9tlzr9756bt3uc0v",
+        );
+        check(
+            "Maji\u{3067}Koi\u{3059}\u{308B}5\u{79D2}\u{524D}",
+            "MajiKoi5-783gue6qz075azm5e",
+        );
+        check(
+            "\u{30D1}\u{30D5}\u{30A3}\u{30FC}de\u{30EB}\u{30F3}\u{30D0}",
+            "de-jg4avhby1noc0d",
+        );
+        check(
+            "\u{305D}\u{306E}\u{30B9}\u{30D4}\u{30FC}\u{30C9}\u{3067}",
+            "d9juau41awczczp",
+        );
     }
 
     #[test]

@@ -174,7 +174,8 @@ pub fn validate_unicode_label(label: &str) -> Result<(), LabelIssue> {
         }
         // General separators and common format characters abused for
         // invisible spoofing (zero-width joiners etc.).
-        if matches!(c, '\u{200B}'..='\u{200F}' | '\u{202A}'..='\u{202E}' | '\u{2060}' | '\u{FEFF}') {
+        if matches!(c, '\u{200B}'..='\u{200F}' | '\u{202A}'..='\u{202E}' | '\u{2060}' | '\u{FEFF}')
+        {
             return Err(LabelIssue::DisallowedCodepoint(c));
         }
     }
@@ -253,6 +254,9 @@ mod tests {
             validate_unicode_label("a\u{200B}b"),
             Err(LabelIssue::DisallowedCodepoint('\u{200B}'))
         );
-        assert_eq!(validate_unicode_label("-中"), Err(LabelIssue::LeadingHyphen));
+        assert_eq!(
+            validate_unicode_label("-中"),
+            Err(LabelIssue::LeadingHyphen)
+        );
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::aggregate::DomainAggregate;
 use idnre_stats::Ecdf;
+use idnre_telemetry::Recorder;
 use std::collections::HashMap;
 
 /// ECDF-producing view over a set of domain aggregates.
@@ -84,6 +85,20 @@ impl<'a> Extend<&'a DomainAggregate> for ActivityAnalytics {
     }
 }
 
+impl ActivityAnalytics {
+    /// Folds a batch of aggregates in under a `pdns.aggregate` span (one
+    /// record per aggregate) reported to `recorder`.
+    pub fn extend_recorded<'a, I>(&mut self, aggregates: I, recorder: &dyn Recorder)
+    where
+        I: IntoIterator<Item = &'a DomainAggregate>,
+    {
+        let mut span = recorder.span("pdns.aggregate");
+        let before = self.len();
+        self.extend(aggregates);
+        span.add_records((self.len() - before) as u64);
+    }
+}
+
 /// The /24-segment concentration report (Figure 4).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentReport {
@@ -140,7 +155,7 @@ mod tests {
 
     fn sample() -> ActivityAnalytics {
         let mut analytics = ActivityAnalytics::new();
-        let aggregates = vec![
+        let aggregates = [
             aggregate("a.com", 10, 5, [10, 0, 0, 1]),
             aggregate("b.com", 100, 50, [10, 0, 0, 2]),
             aggregate("c.com", 1000, 500, [10, 0, 1, 1]),

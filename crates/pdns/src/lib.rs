@@ -32,7 +32,7 @@ mod simulate;
 mod store;
 
 pub use aggregate::DomainAggregate;
-pub use provider::{Provider, QuotaExceeded};
 pub use analytics::{ActivityAnalytics, SegmentReport};
+pub use provider::{Provider, QuotaExceeded};
 pub use simulate::{PopulationClass, TrafficModel, TrafficSample};
 pub use store::PdnsStore;

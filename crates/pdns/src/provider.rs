@@ -198,7 +198,12 @@ mod tests {
         // Farsight (2010-) but clipped by DNS Pai (2014-).
         let farsight = Provider::farsight();
         let pai = Provider::dns_pai();
-        let store = store_with("xn--a.com", day_number(2013, 1, 1), day_number(2017, 9, 1), 4_000);
+        let store = store_with(
+            "xn--a.com",
+            day_number(2013, 1, 1),
+            day_number(2017, 9, 1),
+            4_000,
+        );
         let via_farsight = farsight.query(&store, "xn--a.com").unwrap();
         let via_pai = pai.query(&store, "xn--a.com").unwrap();
         assert!(via_farsight.active_days() > via_pai.active_days());

@@ -203,7 +203,10 @@ mod tests {
         let (active, queries) = draw(PopulationClass::BenignIdn, 20_000, 1);
         // "60% of com IDNs stayed active for less than 100 days".
         let p_active = quantile_below(&active, 100.0);
-        assert!((0.52..=0.68).contains(&p_active), "P(active<100)={p_active}");
+        assert!(
+            (0.52..=0.68).contains(&p_active),
+            "P(active<100)={p_active}"
+        );
         // "88% com IDNs were queried less than 100 times".
         let p_query = quantile_below(&queries, 100.0);
         assert!((0.80..=0.93).contains(&p_query), "P(q<100)={p_query}");
@@ -213,7 +216,10 @@ mod tests {
     fn non_idn_matches_paper_anchors() {
         let (active, queries) = draw(PopulationClass::NonIdn, 20_000, 2);
         let p_active = quantile_below(&active, 100.0);
-        assert!((0.32..=0.48).contains(&p_active), "P(active<100)={p_active}");
+        assert!(
+            (0.32..=0.48).contains(&p_active),
+            "P(active<100)={p_active}"
+        );
         let p_query = quantile_below(&queries, 100.0);
         assert!((0.66..=0.82).contains(&p_query), "P(q<100)={p_query}");
     }
@@ -241,7 +247,10 @@ mod tests {
         let (active, queries) = draw(PopulationClass::Homographic, 20_000, 7);
         let mean_active = active.iter().sum::<f64>() / active.len() as f64;
         // Paper: 789 days in average, 40% above 600 days.
-        assert!((550.0..=1000.0).contains(&mean_active), "mean={mean_active}");
+        assert!(
+            (550.0..=1000.0).contains(&mean_active),
+            "mean={mean_active}"
+        );
         let p600 = 1.0 - quantile_below(&active, 600.0);
         assert!((0.30..=0.55).contains(&p600), "P(active>600)={p600}");
         // 80% receive over 100 queries; ~10% over 1000.
@@ -270,7 +279,12 @@ mod tests {
         let model = TrafficModel::for_class(PopulationClass::Homographic);
         let mut rng = StdRng::seed_from_u64(8);
         let agg = model
-            .sample_aggregate(&mut rng, "xn--ggle-55da.com", 17_400, Some(Ipv4Addr::new(203, 0, 113, 1)))
+            .sample_aggregate(
+                &mut rng,
+                "xn--ggle-55da.com",
+                17_400,
+                Some(Ipv4Addr::new(203, 0, 113, 1)),
+            )
             .unwrap();
         assert!(agg.first_seen >= 0);
         assert!(agg.last_seen <= 17_400);

@@ -1,6 +1,7 @@
 //! The passive-DNS store: the query interface both providers expose.
 
 use crate::aggregate::DomainAggregate;
+use idnre_telemetry::Recorder;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -49,6 +50,21 @@ impl PdnsStore {
         I: IntoIterator<Item = &'a str>,
     {
         domains.into_iter().map(|d| self.lookup(d)).collect()
+    }
+
+    /// [`PdnsStore::lookup`] with hit/miss counters (`pdns.lookup.hit`,
+    /// `pdns.lookup.miss`) reported to `recorder`.
+    pub fn lookup_recorded(
+        &self,
+        domain: &str,
+        recorder: &dyn Recorder,
+    ) -> Option<&DomainAggregate> {
+        let result = self.lookup(domain);
+        recorder.incr(match result {
+            Some(_) => "pdns.lookup.hit",
+            None => "pdns.lookup.miss",
+        });
+        result
     }
 
     /// Number of observed domains.

@@ -4,15 +4,20 @@ use idnre_pdns::{ActivityAnalytics, DomainAggregate, PdnsStore, Provider};
 use proptest::prelude::*;
 
 fn aggregate() -> impl Strategy<Value = DomainAggregate> {
-    ("[a-z]{2,10}", 0i64..20_000, 0i64..2_000, 1u64..100_000, any::<[u8; 4]>()).prop_map(
-        |(sld, first, span, queries, ip)| {
+    (
+        "[a-z]{2,10}",
+        0i64..20_000,
+        0i64..2_000,
+        1u64..100_000,
+        any::<[u8; 4]>(),
+    )
+        .prop_map(|(sld, first, span, queries, ip)| {
             let mut agg = DomainAggregate::first_observation(&format!("{sld}.com"), first);
             agg.last_seen = first + span;
             agg.query_count = queries;
             agg.ips.push(ip.into());
             agg
-        },
-    )
+        })
 }
 
 proptest! {

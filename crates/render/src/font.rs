@@ -18,46 +18,126 @@ const GLYPH_Y: usize = 5;
 /// 5×7 bitmap for an ASCII character, rows top-to-bottom, `#` = ink.
 fn ascii_glyph(c: char) -> Option<[&'static str; 7]> {
     let rows = match c {
-        'a' => [".....", ".....", ".###.", "....#", ".####", "#...#", ".####"],
-        'b' => ["#....", "#....", "####.", "#...#", "#...#", "#...#", "####."],
-        'c' => [".....", ".....", ".####", "#....", "#....", "#....", ".####"],
-        'd' => ["....#", "....#", ".####", "#...#", "#...#", "#...#", ".####"],
-        'e' => [".....", ".....", ".###.", "#...#", "#####", "#....", ".###."],
-        'f' => ["..##.", ".#..#", ".#...", "###..", ".#...", ".#...", ".#..."],
-        'g' => [".....", ".###.", "#...#", "#...#", ".####", "....#", ".###."],
-        'h' => ["#....", "#....", "####.", "#...#", "#...#", "#...#", "#...#"],
-        'i' => ["..#..", ".....", ".##..", "..#..", "..#..", "..#..", ".###."],
-        'j' => ["...#.", ".....", "..##.", "...#.", "...#.", "#..#.", ".##.."],
-        'k' => ["#....", "#....", "#..#.", "#.#..", "##...", "#.#..", "#..#."],
-        'l' => [".##..", "..#..", "..#..", "..#..", "..#..", "..#..", ".###."],
-        'm' => [".....", ".....", "##.#.", "#.#.#", "#.#.#", "#.#.#", "#.#.#"],
-        'n' => [".....", ".....", "####.", "#...#", "#...#", "#...#", "#...#"],
-        'o' => [".....", ".....", ".###.", "#...#", "#...#", "#...#", ".###."],
-        'p' => [".....", ".....", "####.", "#...#", "####.", "#....", "#...."],
-        'q' => [".....", ".....", ".####", "#...#", ".####", "....#", "....#"],
-        'r' => [".....", ".....", "#.##.", "##..#", "#....", "#....", "#...."],
-        's' => [".....", ".....", ".####", "#....", ".###.", "....#", "####."],
-        't' => [".#...", ".#...", "####.", ".#...", ".#...", ".#..#", "..##."],
-        'u' => [".....", ".....", "#...#", "#...#", "#...#", "#...#", ".####"],
-        'v' => [".....", ".....", "#...#", "#...#", "#...#", ".#.#.", "..#.."],
-        'w' => [".....", ".....", "#...#", "#.#.#", "#.#.#", "#.#.#", ".#.#."],
-        'x' => [".....", ".....", "#...#", ".#.#.", "..#..", ".#.#.", "#...#"],
-        'y' => [".....", ".....", "#...#", "#...#", ".####", "....#", ".###."],
-        'z' => [".....", ".....", "#####", "...#.", "..#..", ".#...", "#####"],
-        '0' => [".###.", "#...#", "#..##", "#.#.#", "##..#", "#...#", ".###."],
-        '1' => ["..#..", ".##..", "..#..", "..#..", "..#..", "..#..", ".###."],
-        '2' => [".###.", "#...#", "....#", "...#.", "..#..", ".#...", "#####"],
-        '3' => ["#####", "...#.", "..#..", "...#.", "....#", "#...#", ".###."],
-        '4' => ["...#.", "..##.", ".#.#.", "#..#.", "#####", "...#.", "...#."],
-        '5' => ["#####", "#....", "####.", "....#", "....#", "#...#", ".###."],
-        '6' => ["..##.", ".#...", "#....", "####.", "#...#", "#...#", ".###."],
-        '7' => ["#####", "....#", "...#.", "..#..", "..#..", "..#..", "..#.."],
-        '8' => [".###.", "#...#", "#...#", ".###.", "#...#", "#...#", ".###."],
-        '9' => [".###.", "#...#", "#...#", ".####", "....#", "...#.", ".##.."],
-        '-' => [".....", ".....", ".....", "#####", ".....", ".....", "....."],
-        '.' => [".....", ".....", ".....", ".....", ".....", ".##..", ".##.."],
-        '_' => [".....", ".....", ".....", ".....", ".....", ".....", "#####"],
-        ' ' => [".....", ".....", ".....", ".....", ".....", ".....", "....."],
+        'a' => [
+            ".....", ".....", ".###.", "....#", ".####", "#...#", ".####",
+        ],
+        'b' => [
+            "#....", "#....", "####.", "#...#", "#...#", "#...#", "####.",
+        ],
+        'c' => [
+            ".....", ".....", ".####", "#....", "#....", "#....", ".####",
+        ],
+        'd' => [
+            "....#", "....#", ".####", "#...#", "#...#", "#...#", ".####",
+        ],
+        'e' => [
+            ".....", ".....", ".###.", "#...#", "#####", "#....", ".###.",
+        ],
+        'f' => [
+            "..##.", ".#..#", ".#...", "###..", ".#...", ".#...", ".#...",
+        ],
+        'g' => [
+            ".....", ".###.", "#...#", "#...#", ".####", "....#", ".###.",
+        ],
+        'h' => [
+            "#....", "#....", "####.", "#...#", "#...#", "#...#", "#...#",
+        ],
+        'i' => [
+            "..#..", ".....", ".##..", "..#..", "..#..", "..#..", ".###.",
+        ],
+        'j' => [
+            "...#.", ".....", "..##.", "...#.", "...#.", "#..#.", ".##..",
+        ],
+        'k' => [
+            "#....", "#....", "#..#.", "#.#..", "##...", "#.#..", "#..#.",
+        ],
+        'l' => [
+            ".##..", "..#..", "..#..", "..#..", "..#..", "..#..", ".###.",
+        ],
+        'm' => [
+            ".....", ".....", "##.#.", "#.#.#", "#.#.#", "#.#.#", "#.#.#",
+        ],
+        'n' => [
+            ".....", ".....", "####.", "#...#", "#...#", "#...#", "#...#",
+        ],
+        'o' => [
+            ".....", ".....", ".###.", "#...#", "#...#", "#...#", ".###.",
+        ],
+        'p' => [
+            ".....", ".....", "####.", "#...#", "####.", "#....", "#....",
+        ],
+        'q' => [
+            ".....", ".....", ".####", "#...#", ".####", "....#", "....#",
+        ],
+        'r' => [
+            ".....", ".....", "#.##.", "##..#", "#....", "#....", "#....",
+        ],
+        's' => [
+            ".....", ".....", ".####", "#....", ".###.", "....#", "####.",
+        ],
+        't' => [
+            ".#...", ".#...", "####.", ".#...", ".#...", ".#..#", "..##.",
+        ],
+        'u' => [
+            ".....", ".....", "#...#", "#...#", "#...#", "#...#", ".####",
+        ],
+        'v' => [
+            ".....", ".....", "#...#", "#...#", "#...#", ".#.#.", "..#..",
+        ],
+        'w' => [
+            ".....", ".....", "#...#", "#.#.#", "#.#.#", "#.#.#", ".#.#.",
+        ],
+        'x' => [
+            ".....", ".....", "#...#", ".#.#.", "..#..", ".#.#.", "#...#",
+        ],
+        'y' => [
+            ".....", ".....", "#...#", "#...#", ".####", "....#", ".###.",
+        ],
+        'z' => [
+            ".....", ".....", "#####", "...#.", "..#..", ".#...", "#####",
+        ],
+        '0' => [
+            ".###.", "#...#", "#..##", "#.#.#", "##..#", "#...#", ".###.",
+        ],
+        '1' => [
+            "..#..", ".##..", "..#..", "..#..", "..#..", "..#..", ".###.",
+        ],
+        '2' => [
+            ".###.", "#...#", "....#", "...#.", "..#..", ".#...", "#####",
+        ],
+        '3' => [
+            "#####", "...#.", "..#..", "...#.", "....#", "#...#", ".###.",
+        ],
+        '4' => [
+            "...#.", "..##.", ".#.#.", "#..#.", "#####", "...#.", "...#.",
+        ],
+        '5' => [
+            "#####", "#....", "####.", "....#", "....#", "#...#", ".###.",
+        ],
+        '6' => [
+            "..##.", ".#...", "#....", "####.", "#...#", "#...#", ".###.",
+        ],
+        '7' => [
+            "#####", "....#", "...#.", "..#..", "..#..", "..#..", "..#..",
+        ],
+        '8' => [
+            ".###.", "#...#", "#...#", ".###.", "#...#", "#...#", ".###.",
+        ],
+        '9' => [
+            ".###.", "#...#", "#...#", ".####", "....#", "...#.", ".##..",
+        ],
+        '-' => [
+            ".....", ".....", ".....", "#####", ".....", ".....", ".....",
+        ],
+        '.' => [
+            ".....", ".....", ".....", ".....", ".....", ".##..", ".##..",
+        ],
+        '_' => [
+            ".....", ".....", ".....", ".....", ".....", ".....", "#####",
+        ],
+        ' ' => [
+            ".....", ".....", ".....", ".....", ".....", ".....", ".....",
+        ],
         _ => return None,
     };
     Some(rows)
@@ -268,7 +348,11 @@ mod tests {
             }
             let spoof = cell_of(entry.ch);
             let base = cell_of(entry.target);
-            assert_ne!(spoof, base, "{:?} must differ from {:?}", entry.ch, entry.target);
+            assert_ne!(
+                spoof, base,
+                "{:?} must differ from {:?}",
+                entry.ch, entry.target
+            );
             // Shared ink: the marked glyph retains the base silhouette.
             let shared: f32 = spoof
                 .pixels()
@@ -303,12 +387,7 @@ mod tests {
             // are empty, unlike any full-height base glyph.
             for y in GLYPH_Y..GLYPH_Y + 3 {
                 for x in 0..CELL_WIDTH {
-                    assert_eq!(
-                        spoof.get(x, y),
-                        0.0,
-                        "{:?} has ink at ({x},{y})",
-                        entry.ch
-                    );
+                    assert_eq!(spoof.get(x, y), 0.0, "{:?} has ink at ({x},{y})", entry.ch);
                 }
             }
             assert!(spoof.ink_mass() > 0.0, "{:?} renders blank", entry.ch);

@@ -80,7 +80,11 @@ pub fn ecdf_plot(title: &str, series: &[Series], width: usize, height: usize) ->
 /// per-year registrations or Figure 7's per-brand candidate counts).
 pub fn bar_chart(title: &str, bars: &[(String, u64)], width: usize) -> String {
     let max = bars.iter().map(|&(_, c)| c).max().unwrap_or(0);
-    let label_w = bars.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_w = bars
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     for (label, count) in bars {

@@ -99,9 +99,9 @@ impl Table {
         };
         write_row(&mut out, &self.headers, &widths, &self.aligns);
         out.push('|');
-        for i in 0..cols {
-            let dashes = "-".repeat(widths[i].max(3));
-            match self.aligns[i] {
+        for (width, align) in widths.iter().zip(&self.aligns) {
+            let dashes = "-".repeat((*width).max(3));
+            match align {
                 Align::Left => {
                     let _ = write!(out, " {dashes} |");
                 }

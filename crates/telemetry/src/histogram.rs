@@ -1,0 +1,240 @@
+//! A lock-free log-linear latency histogram.
+//!
+//! Values (nanoseconds) land in one of 256 buckets: values below 4 get
+//! their own bucket, and every power-of-two octave above that is split
+//! into 4 linear sub-buckets. That keeps the relative quantile error
+//! under 12.5% across the full `u64` range with a fixed 2 KiB footprint
+//! and a single atomic increment per observation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets. Index 251 is the last reachable one
+/// (`bucket_index(u64::MAX)`); the array is padded to a round 256.
+pub const BUCKETS: usize = 256;
+
+/// Maps a value to its bucket index.
+pub fn bucket_index(nanos: u64) -> usize {
+    if nanos < 4 {
+        nanos as usize
+    } else {
+        let octave = 63 - u64::from(nanos.leading_zeros());
+        let sub = (nanos >> (octave - 2)) & 3;
+        (4 + (octave - 2) * 4 + sub) as usize
+    }
+}
+
+/// The inclusive `(low, high)` value range of a bucket.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < 4 {
+        (index as u64, index as u64)
+    } else {
+        let octave = (index as u64 - 4) / 4 + 2;
+        let sub = (index as u64 - 4) % 4;
+        let width = 1u64 << (octave - 2);
+        let lo = (1u64 << octave) + sub * width;
+        (lo, lo + (width - 1))
+    }
+}
+
+/// Concurrent histogram of nanosecond observations.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wraps only after ~585 years of latency).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The exact largest observation (not bucket-quantized).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, as the midpoint of the bucket
+    /// holding the rank-`ceil(q·n)` observation, capped at the exact
+    /// maximum. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for index in 0..BUCKETS {
+            seen += self.buckets[index].load(Ordering::Relaxed);
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(index);
+                return (lo + (hi - lo) / 2).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_range_without_gaps() {
+        // Walking bucket bounds from 0 must cover u64 contiguously.
+        let mut expected_lo = 0u64;
+        for index in 0..=bucket_index(u64::MAX) {
+            let (lo, hi) = bucket_bounds(index);
+            assert_eq!(lo, expected_lo, "gap before bucket {index}");
+            assert!(hi >= lo);
+            if hi == u64::MAX {
+                assert_eq!(index, bucket_index(u64::MAX));
+                return;
+            }
+            expected_lo = hi + 1;
+        }
+        panic!("never reached u64::MAX");
+    }
+
+    #[test]
+    fn index_and_bounds_are_consistent() {
+        for &v in &[
+            0u64,
+            1,
+            3,
+            4,
+            5,
+            7,
+            8,
+            100,
+            1_000,
+            4_095,
+            4_096,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let index = bucket_index(v);
+            let (lo, hi) = bucket_bounds(index);
+            assert!(lo <= v && v <= hi, "{v} outside bucket {index} [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // One octave / 4 sub-buckets → bucket width ≤ 25% of its low edge,
+        // so the midpoint is within 12.5% of any member value.
+        for &v in &[10u64, 100, 1_000, 55_555, 9_999_999] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            let mid = lo + (hi - lo) / 2;
+            let err = mid.abs_diff(v) as f64 / v as f64;
+            assert!(err <= 0.125, "{v}: midpoint {mid}, err {err}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = LatencyHistogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v > 0 && v <= 12_345, "q={q} → {v}");
+        }
+        assert_eq!(h.max(), 12_345);
+        assert_eq!(h.sum(), 12_345);
+    }
+
+    #[test]
+    fn saturating_values_survive() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        // Quantiles land inside the top bucket, capped at the exact max.
+        let (top_lo, _) = bucket_bounds(bucket_index(u64::MAX));
+        for q in [0.5, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= top_lo, "q={q} → {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_order_correctly() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v * 1_000); // 1µs … 1ms
+        }
+        let p50 = h.quantile(0.50);
+        let p90 = h.quantile(0.90);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max());
+        // Midpoint error bound: within 12.5% of the true rank value.
+        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 <= 0.125, "{p50}");
+        assert!((p90 as f64 - 900_000.0).abs() / 900_000.0 <= 0.125, "{p90}");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -1,0 +1,292 @@
+//! The stage/counter registry behind an enabled [`Recorder`].
+
+use crate::histogram::LatencyHistogram;
+use crate::render::{CounterSnapshot, MetricsSnapshot, StageSnapshot};
+use crate::{Recorder, Span};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Accumulated statistics for one named stage.
+#[derive(Debug)]
+pub struct StageStats {
+    name: String,
+    calls: AtomicU64,
+    records: AtomicU64,
+    wall_nanos: AtomicU64,
+    hist: LatencyHistogram,
+}
+
+impl StageStats {
+    fn new(name: &str) -> Self {
+        StageStats {
+            name: name.to_string(),
+            calls: AtomicU64::new(0),
+            records: AtomicU64::new(0),
+            wall_nanos: AtomicU64::new(0),
+            hist: LatencyHistogram::new(),
+        }
+    }
+
+    /// Folds one timed call into the stats.
+    pub fn record_call(&self, nanos: u64, records: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.records.fetch_add(records, Ordering::Relaxed);
+        self.wall_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.hist.record(nanos);
+    }
+
+    /// Attributes records to the stage without a timed call.
+    pub fn add_records(&self, n: u64) {
+        self.records.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Stage name (dotted, e.g. `datagen.whois`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of timed calls.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Records attributed to the stage.
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Total wall time across calls, in nanoseconds.
+    pub fn wall_nanos(&self) -> u64 {
+        self.wall_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Per-call latency histogram.
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.hist
+    }
+
+    fn snapshot(&self) -> StageSnapshot {
+        StageSnapshot {
+            name: self.name.clone(),
+            calls: self.calls(),
+            records: self.records(),
+            wall_nanos: self.wall_nanos(),
+            p50_nanos: self.hist.quantile(0.50),
+            p90_nanos: self.hist.quantile(0.90),
+            p99_nanos: self.hist.quantile(0.99),
+            max_nanos: self.hist.max(),
+        }
+    }
+}
+
+/// Insertion-ordered name → value map (render order follows first use).
+#[derive(Debug)]
+struct OrderedMap<T> {
+    index: HashMap<String, usize>,
+    entries: Vec<T>,
+}
+
+impl<T> Default for OrderedMap<T> {
+    fn default() -> Self {
+        OrderedMap {
+            index: HashMap::new(),
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<T> OrderedMap<T> {
+    fn get_or_insert_with(&mut self, name: &str, create: impl FnOnce() -> T) -> &T {
+        let next = self.entries.len();
+        let index = *self.index.entry(name.to_string()).or_insert(next);
+        if index == next {
+            self.entries.push(create());
+        }
+        &self.entries[index]
+    }
+
+    fn get(&self, name: &str) -> Option<&T> {
+        self.index.get(name).map(|&i| &self.entries[i])
+    }
+}
+
+/// A thread-safe registry of stages and counters; the enabled [`Recorder`].
+#[derive(Debug)]
+pub struct Registry {
+    stages: RwLock<OrderedMap<Arc<StageStats>>>,
+    counters: RwLock<OrderedMap<(String, Arc<AtomicU64>)>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry {
+            stages: RwLock::new(OrderedMap::default()),
+            counters: RwLock::new(OrderedMap::default()),
+        }
+    }
+
+    /// The stats cell for `name`, creating it on first use.
+    pub fn stage(&self, name: &str) -> Arc<StageStats> {
+        if let Some(stats) = self.stages.read().get(name) {
+            return Arc::clone(stats);
+        }
+        Arc::clone(
+            self.stages
+                .write()
+                .get_or_insert_with(name, || Arc::new(StageStats::new(name))),
+        )
+    }
+
+    /// The counter cell for `name`, creating it (at zero) on first use.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some((_, cell)) = self.counters.read().get(name) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(
+            &self
+                .counters
+                .write()
+                .get_or_insert_with(name, || (name.to_string(), Arc::new(AtomicU64::new(0))))
+                .1,
+        )
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .get(name)
+            .map(|(_, cell)| cell.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// A point-in-time copy of every stage and counter, in first-use order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let stages = self
+            .stages
+            .read()
+            .entries
+            .iter()
+            .map(|s| s.snapshot())
+            .collect();
+        let counters = self
+            .counters
+            .read()
+            .entries
+            .iter()
+            .map(|(name, cell)| CounterSnapshot {
+                name: name.clone(),
+                value: cell.load(Ordering::Relaxed),
+            })
+            .collect();
+        MetricsSnapshot { stages, counters }
+    }
+}
+
+impl Recorder for Registry {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span(&self, name: &str) -> Span {
+        Span::active(self.stage(name))
+    }
+
+    fn record_nanos(&self, name: &str, nanos: u64) {
+        self.stage(name).record_call(nanos, 0);
+    }
+
+    fn add_records(&self, name: &str, n: u64) {
+        self.stage(name).add_records(n);
+    }
+
+    fn add(&self, name: &str, n: u64) {
+        self.counter(name).fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoopRecorder;
+
+    #[test]
+    fn spans_accumulate_calls_and_records() {
+        let registry = Registry::new();
+        for i in 0..3u64 {
+            let mut span = registry.span("stage.a");
+            span.add_records(i);
+        }
+        let stats = registry.stage("stage.a");
+        assert_eq!(stats.calls(), 3);
+        assert_eq!(stats.records(), 3);
+        assert_eq!(stats.histogram().count(), 3);
+    }
+
+    #[test]
+    fn counters_register_at_zero_and_accumulate() {
+        let registry = Registry::new();
+        registry.add("c.zero", 0);
+        registry.incr("c.hits");
+        registry.add("c.hits", 4);
+        assert_eq!(registry.counter_value("c.zero"), 0);
+        assert_eq!(registry.counter_value("c.hits"), 5);
+        assert_eq!(registry.counter_value("c.never"), 0);
+        // Zero-valued registered counters still appear in snapshots.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.len(), 2);
+        assert_eq!(snap.counters[0].name, "c.zero");
+    }
+
+    #[test]
+    fn snapshot_preserves_first_use_order() {
+        let registry = Registry::new();
+        registry.record_nanos("z.last", 10);
+        registry.record_nanos("a.first", 10);
+        registry.record_nanos("z.last", 10);
+        let names: Vec<_> = registry
+            .snapshot()
+            .stages
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        assert_eq!(names, ["z.last", "a.first"]);
+    }
+
+    #[test]
+    fn noop_recorder_is_inert() {
+        let noop = NoopRecorder;
+        assert!(!noop.enabled());
+        let mut span = noop.span("anything");
+        span.add_records(5);
+        noop.incr("anything");
+        drop(span);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let registry = Arc::new(Registry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        registry.incr("shared");
+                        registry.record_nanos("stage.shared", 7);
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.counter_value("shared"), 4_000);
+        assert_eq!(registry.stage("stage.shared").calls(), 4_000);
+    }
+}

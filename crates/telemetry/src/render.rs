@@ -1,0 +1,233 @@
+//! Rendering a metrics snapshot: an aligned text table for humans and a
+//! schema-stable JSON document (`idnre-metrics/1`) for tooling.
+
+/// Schema identifier embedded in every JSON rendering.
+pub const SCHEMA: &str = "idnre-metrics/1";
+
+/// Point-in-time copy of one stage's statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Dotted stage name.
+    pub name: String,
+    /// Timed calls.
+    pub calls: u64,
+    /// Records attributed to the stage.
+    pub records: u64,
+    /// Total wall time (ns).
+    pub wall_nanos: u64,
+    /// Median per-call latency (ns).
+    pub p50_nanos: u64,
+    /// 90th-percentile per-call latency (ns).
+    pub p90_nanos: u64,
+    /// 99th-percentile per-call latency (ns).
+    pub p99_nanos: u64,
+    /// Exact maximum per-call latency (ns).
+    pub max_nanos: u64,
+}
+
+/// Point-in-time copy of one counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Dotted counter name.
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// Everything a registry held at snapshot time, in first-use order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Stage statistics.
+    pub stages: Vec<StageSnapshot>,
+    /// Counters.
+    pub counters: Vec<CounterSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the aligned stage-timing table (and counter list) meant for
+    /// stderr.
+    pub fn render_text(&self) -> String {
+        let name_width = self
+            .stages
+            .iter()
+            .map(|s| s.name.len())
+            .chain([5])
+            .max()
+            .unwrap_or(5);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+            "stage", "calls", "records", "wall", "p50", "p90", "p99", "max"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<name_width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+                s.name,
+                s.calls,
+                s.records,
+                format_nanos(s.wall_nanos),
+                format_nanos(s.p50_nanos),
+                format_nanos(s.p90_nanos),
+                format_nanos(s.p99_nanos),
+                format_nanos(s.max_nanos),
+            ));
+        }
+        if !self.counters.is_empty() {
+            let counter_width = self
+                .counters
+                .iter()
+                .map(|c| c.name.len())
+                .chain([7])
+                .max()
+                .unwrap_or(7);
+            out.push_str(&format!(
+                "\n{:<counter_width$}  {:>12}\n",
+                "counter", "value"
+            ));
+            for c in &self.counters {
+                out.push_str(&format!("{:<counter_width$}  {:>12}\n", c.name, c.value));
+            }
+        }
+        out
+    }
+
+    /// Renders the machine-readable JSON document.
+    ///
+    /// Layout (stable within `idnre-metrics/1`):
+    ///
+    /// ```json
+    /// {"schema":"idnre-metrics/1",
+    ///  "stages":[{"name":"...","calls":N,"records":N,"wall_ns":N,
+    ///             "p50_ns":N,"p90_ns":N,"p99_ns":N,"max_ns":N}],
+    ///  "counters":[{"name":"...","value":N}]}
+    /// ```
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":");
+        push_json_string(&mut out, SCHEMA);
+        out.push_str(",\"stages\":[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &s.name);
+            out.push_str(&format!(
+                ",\"calls\":{},\"records\":{},\"wall_ns\":{},\"p50_ns\":{},\
+                 \"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                s.calls,
+                s.records,
+                s.wall_nanos,
+                s.p50_nanos,
+                s.p90_nanos,
+                s.p99_nanos,
+                s.max_nanos
+            ));
+        }
+        out.push_str("],\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &c.name);
+            out.push_str(&format!(",\"value\":{}}}", c.value));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn format_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            stages: vec![StageSnapshot {
+                name: "datagen.whois".into(),
+                calls: 1,
+                records: 42,
+                wall_nanos: 1_500_000,
+                p50_nanos: 1_500_000,
+                p90_nanos: 1_500_000,
+                p99_nanos: 1_500_000,
+                max_nanos: 1_500_000,
+            }],
+            counters: vec![CounterSnapshot {
+                name: "crawler.outcome.resolved".into(),
+                value: 7,
+            }],
+        }
+    }
+
+    #[test]
+    fn text_table_lines_up() {
+        let text = sample().render_text();
+        assert!(text.contains("datagen.whois"));
+        assert!(text.contains("1.5ms"));
+        assert!(text.contains("crawler.outcome.resolved"));
+    }
+
+    #[test]
+    fn json_is_schema_stable() {
+        let json = sample().render_json();
+        assert!(json.starts_with("{\"schema\":\"idnre-metrics/1\""));
+        assert!(json.contains("\"name\":\"datagen.whois\""));
+        assert!(json.contains("\"wall_ns\":1500000"));
+        assert!(json.contains("\"p99_ns\":1500000"));
+        assert!(json.contains("{\"name\":\"crawler.outcome.resolved\",\"value\":7}"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let snap = MetricsSnapshot {
+            stages: vec![],
+            counters: vec![CounterSnapshot {
+                name: "weird\"name\\with\nbreaks".into(),
+                value: 1,
+            }],
+        };
+        let json = snap.render_json();
+        assert!(json.contains("weird\\\"name\\\\with\\nbreaks"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(
+            snap.render_json(),
+            "{\"schema\":\"idnre-metrics/1\",\"stages\":[],\"counters\":[]}"
+        );
+        assert!(snap.render_text().contains("stage"));
+    }
+}

@@ -123,8 +123,8 @@ macro_rules! confusable {
 /// Greek lookalikes.
 pub static CONFUSABLES: &[Confusable] = &[
     // --- a ---
-    confusable!('а' => 'a', Identical),                    // U+0430 CYRILLIC A
-    confusable!('ɑ' => 'a', Identical),                    // U+0251 LATIN ALPHA
+    confusable!('а' => 'a', Identical), // U+0430 CYRILLIC A
+    confusable!('ɑ' => 'a', Identical), // U+0251 LATIN ALPHA
     confusable!('à' => 'a', High, [Grave]),
     confusable!('á' => 'a', High, [Acute]),
     confusable!('â' => 'a', High, [Circumflex]),
@@ -137,29 +137,29 @@ pub static CONFUSABLES: &[Confusable] = &[
     confusable!('ǎ' => 'a', High, [Caron]),
     confusable!('ạ' => 'a', High, [DotBelow]),
     confusable!('ả' => 'a', High, [HookAbove]),
-    confusable!('α' => 'a', Medium, [ShapeVariant]),                   // Greek alpha
+    confusable!('α' => 'a', Medium, [ShapeVariant]), // Greek alpha
     // --- b ---
     confusable!('ḃ' => 'b', High, [DotAbove]),
     confusable!('ḅ' => 'b', High, [DotBelow]),
     confusable!('ƀ' => 'b', Medium, [Stroke]),
     confusable!('ɓ' => 'b', Medium, [Tail]),
     // --- c ---
-    confusable!('с' => 'c', Identical),                    // U+0441 CYRILLIC ES
-    confusable!('ϲ' => 'c', Identical),                    // Greek lunate sigma
+    confusable!('с' => 'c', Identical), // U+0441 CYRILLIC ES
+    confusable!('ϲ' => 'c', Identical), // Greek lunate sigma
     confusable!('ç' => 'c', High, [Cedilla]),
     confusable!('ć' => 'c', High, [Acute]),
     confusable!('ĉ' => 'c', High, [Circumflex]),
     confusable!('ċ' => 'c', High, [DotAbove]),
     confusable!('č' => 'c', High, [Caron]),
     // --- d ---
-    confusable!('ԁ' => 'd', Identical),                    // U+0501 CYRILLIC KOMI DE
+    confusable!('ԁ' => 'd', Identical), // U+0501 CYRILLIC KOMI DE
     confusable!('ḋ' => 'd', High, [DotAbove]),
     confusable!('ḍ' => 'd', High, [DotBelow]),
     confusable!('ḏ' => 'd', High, [LineBelow]),
     confusable!('ď' => 'd', Medium, [Caron]),
     confusable!('đ' => 'd', Medium, [Stroke]),
     // --- e ---
-    confusable!('е' => 'e', Identical),                    // U+0435 CYRILLIC IE
+    confusable!('е' => 'e', Identical), // U+0435 CYRILLIC IE
     confusable!('è' => 'e', High, [Grave]),
     confusable!('é' => 'e', High, [Acute]),
     confusable!('ê' => 'e', High, [Circumflex]),
@@ -171,7 +171,7 @@ pub static CONFUSABLES: &[Confusable] = &[
     confusable!('ě' => 'e', High, [Caron]),
     confusable!('ẹ' => 'e', High, [DotBelow]),
     confusable!('ẻ' => 'e', High, [HookAbove]),
-    confusable!('ё' => 'e', High, [Diaeresis]),            // Cyrillic io
+    confusable!('ё' => 'e', High, [Diaeresis]), // Cyrillic io
     // --- f ---
     confusable!('ḟ' => 'f', High, [DotAbove]),
     confusable!('ƒ' => 'f', Medium, [Tail]),
@@ -182,15 +182,15 @@ pub static CONFUSABLES: &[Confusable] = &[
     confusable!('ģ' => 'g', High, [Cedilla]),
     confusable!('ǧ' => 'g', High, [Caron]),
     confusable!('ǵ' => 'g', High, [Acute]),
-    confusable!('ɡ' => 'g', Identical),                    // U+0261 LATIN SCRIPT G
+    confusable!('ɡ' => 'g', Identical), // U+0261 LATIN SCRIPT G
     // --- h ---
-    confusable!('һ' => 'h', Identical),                    // U+04BB CYRILLIC SHHA
+    confusable!('һ' => 'h', Identical), // U+04BB CYRILLIC SHHA
     confusable!('ĥ' => 'h', High, [Circumflex]),
     confusable!('ḣ' => 'h', High, [DotAbove]),
     confusable!('ḥ' => 'h', High, [DotBelow]),
     confusable!('ħ' => 'h', Medium, [Stroke]),
     // --- i ---
-    confusable!('і' => 'i', Identical),                    // U+0456 CYRILLIC-UKRAINIAN I
+    confusable!('і' => 'i', Identical), // U+0456 CYRILLIC-UKRAINIAN I
     confusable!('ì' => 'i', High, [Grave]),
     confusable!('í' => 'i', High, [Acute]),
     confusable!('î' => 'i', High, [Circumflex]),
@@ -203,14 +203,14 @@ pub static CONFUSABLES: &[Confusable] = &[
     confusable!('ı' => 'i', High, [Dotless]),
     confusable!('ɩ' => 'i', Medium, [Dotless]),
     // --- j ---
-    confusable!('ј' => 'j', Identical),                    // U+0458 CYRILLIC JE
+    confusable!('ј' => 'j', Identical), // U+0458 CYRILLIC JE
     confusable!('ĵ' => 'j', High, [Circumflex]),
     // --- k ---
     confusable!('ķ' => 'k', High, [Cedilla]),
     confusable!('ḳ' => 'k', High, [DotBelow]),
     confusable!('ƙ' => 'k', Medium, [Tail]),
     // --- l ---
-    confusable!('ӏ' => 'l', Identical),                    // U+04CF CYRILLIC PALOCHKA
+    confusable!('ӏ' => 'l', Identical), // U+04CF CYRILLIC PALOCHKA
     confusable!('ĺ' => 'l', High, [Acute]),
     confusable!('ļ' => 'l', High, [Cedilla]),
     confusable!('ḷ' => 'l', High, [DotBelow]),
@@ -229,8 +229,8 @@ pub static CONFUSABLES: &[Confusable] = &[
     confusable!('ṇ' => 'n', High, [DotBelow]),
     confusable!('ƞ' => 'n', Medium, [Tail]),
     // --- o ---
-    confusable!('о' => 'o', Identical),                    // U+043E CYRILLIC O
-    confusable!('ο' => 'o', Identical),                    // U+03BF GREEK OMICRON
+    confusable!('о' => 'o', Identical), // U+043E CYRILLIC O
+    confusable!('ο' => 'o', Identical), // U+03BF GREEK OMICRON
     confusable!('ò' => 'o', High, [Grave]),
     confusable!('ó' => 'o', High, [Acute]),
     confusable!('ô' => 'o', High, [Circumflex]),
@@ -244,15 +244,15 @@ pub static CONFUSABLES: &[Confusable] = &[
     confusable!('ơ' => 'o', High, [Horn]),
     confusable!('ǒ' => 'o', High, [Caron]),
     confusable!('ø' => 'o', Medium, [Slash]),
-    confusable!('ð' => 'o', Medium, [Stroke, Tail]),       // Icelandic eth
-    confusable!('σ' => 'o', Medium, [Horn]),               // Greek sigma
+    confusable!('ð' => 'o', Medium, [Stroke, Tail]), // Icelandic eth
+    confusable!('σ' => 'o', Medium, [Horn]),         // Greek sigma
     // --- p ---
-    confusable!('р' => 'p', Identical),                    // U+0440 CYRILLIC ER
+    confusable!('р' => 'p', Identical), // U+0440 CYRILLIC ER
     confusable!('ṕ' => 'p', High, [Acute]),
     confusable!('ṗ' => 'p', High, [DotAbove]),
-    confusable!('ρ' => 'p', Medium, [ShapeVariant]),                   // Greek rho
+    confusable!('ρ' => 'p', Medium, [ShapeVariant]), // Greek rho
     // --- q ---
-    confusable!('ԛ' => 'q', Identical),                    // U+051B CYRILLIC QA
+    confusable!('ԛ' => 'q', Identical), // U+051B CYRILLIC QA
     confusable!('ɋ' => 'q', Medium, [Tail]),
     // --- r ---
     confusable!('ŕ' => 'r', High, [Acute]),
@@ -260,9 +260,9 @@ pub static CONFUSABLES: &[Confusable] = &[
     confusable!('ř' => 'r', High, [Caron]),
     confusable!('ṙ' => 'r', High, [DotAbove]),
     confusable!('ṛ' => 'r', High, [DotBelow]),
-    confusable!('г' => 'r', Medium, [ShapeVariant]),                   // Cyrillic ghe
+    confusable!('г' => 'r', Medium, [ShapeVariant]), // Cyrillic ghe
     // --- s ---
-    confusable!('ѕ' => 's', Identical),                    // U+0455 CYRILLIC DZE
+    confusable!('ѕ' => 's', Identical), // U+0455 CYRILLIC DZE
     confusable!('ś' => 's', High, [Acute]),
     confusable!('ŝ' => 's', High, [Circumflex]),
     confusable!('ş' => 's', High, [Cedilla]),
@@ -291,36 +291,36 @@ pub static CONFUSABLES: &[Confusable] = &[
     confusable!('ụ' => 'u', High, [DotBelow]),
     confusable!('ủ' => 'u', High, [HookAbove]),
     confusable!('ư' => 'u', High, [Horn]),
-    confusable!('υ' => 'u', Medium, [ShapeVariant]),                   // Greek upsilon
-    confusable!('ц' => 'u', Medium, [Tail]),               // Cyrillic tse
+    confusable!('υ' => 'u', Medium, [ShapeVariant]), // Greek upsilon
+    confusable!('ц' => 'u', Medium, [Tail]),         // Cyrillic tse
     // --- v ---
-    confusable!('ѵ' => 'v', Identical),                    // U+0475 CYRILLIC IZHITSA
+    confusable!('ѵ' => 'v', Identical), // U+0475 CYRILLIC IZHITSA
     confusable!('ṽ' => 'v', High, [Tilde]),
     confusable!('ṿ' => 'v', High, [DotBelow]),
-    confusable!('ν' => 'v', Identical),                    // Greek nu
+    confusable!('ν' => 'v', Identical), // Greek nu
     // --- w ---
-    confusable!('ԝ' => 'w', Identical),                    // U+051D CYRILLIC WE
+    confusable!('ԝ' => 'w', Identical), // U+051D CYRILLIC WE
     confusable!('ŵ' => 'w', High, [Circumflex]),
     confusable!('ẁ' => 'w', High, [Grave]),
     confusable!('ẃ' => 'w', High, [Acute]),
     confusable!('ẅ' => 'w', High, [Diaeresis]),
     confusable!('ẇ' => 'w', High, [DotAbove]),
     confusable!('ẉ' => 'w', High, [DotBelow]),
-    confusable!('ѡ' => 'w', Medium, [ShapeVariant]),                   // Cyrillic omega
-    confusable!('ω' => 'w', Medium, [ShapeVariant]),                   // Greek omega
+    confusable!('ѡ' => 'w', Medium, [ShapeVariant]), // Cyrillic omega
+    confusable!('ω' => 'w', Medium, [ShapeVariant]), // Greek omega
     // --- x ---
-    confusable!('х' => 'x', Identical),                    // U+0445 CYRILLIC HA
+    confusable!('х' => 'x', Identical), // U+0445 CYRILLIC HA
     confusable!('ẋ' => 'x', High, [DotAbove]),
     confusable!('ẍ' => 'x', High, [Diaeresis]),
-    confusable!('χ' => 'x', Medium, [Tail]),               // Greek chi
+    confusable!('χ' => 'x', Medium, [Tail]), // Greek chi
     // --- y ---
-    confusable!('у' => 'y', Identical),                    // U+0443 CYRILLIC U
+    confusable!('у' => 'y', Identical), // U+0443 CYRILLIC U
     confusable!('ý' => 'y', High, [Acute]),
     confusable!('ÿ' => 'y', High, [Diaeresis]),
     confusable!('ŷ' => 'y', High, [Circumflex]),
     confusable!('ỳ' => 'y', High, [Grave]),
     confusable!('ỵ' => 'y', High, [DotBelow]),
-    confusable!('γ' => 'y', Medium, [ShapeVariant]),                   // Greek gamma
+    confusable!('γ' => 'y', Medium, [ShapeVariant]), // Greek gamma
     // --- z ---
     confusable!('ź' => 'z', High, [Acute]),
     confusable!('ż' => 'z', High, [DotAbove]),
@@ -525,7 +525,14 @@ mod tests {
 
     #[test]
     fn paper_facebook_variants_skeleton() {
-        for spoof in ["faċebook", "fácebook", "fâcêbook", "facebóók", "fạcẹbook", "fącebook"] {
+        for spoof in [
+            "faċebook",
+            "fácebook",
+            "fâcêbook",
+            "facebóók",
+            "fạcẹbook",
+            "fącebook",
+        ] {
             assert_eq!(skeleton(spoof), "facebook", "{spoof}");
         }
     }

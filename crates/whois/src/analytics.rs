@@ -170,7 +170,7 @@ mod tests {
 
     fn sample() -> RegistrationAnalytics {
         let mut a = RegistrationAnalytics::new();
-        let records = vec![
+        let records = [
             record("a1.com", "GMO Internet Inc.", Some("bulk@qq.com"), 2017),
             record("a2.com", "GMO Internet Inc.", Some("bulk@qq.com"), 2017),
             record("a3.com", "GMO Internet Inc.", Some("bulk@qq.com"), 2017),

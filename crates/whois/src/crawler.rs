@@ -129,10 +129,7 @@ impl WhoisCrawler {
         registrar: &str,
         raw_response: &str,
     ) -> Result<WhoisRecord, CrawlFailure> {
-        let policy = *self
-            .servers
-            .get(registrar)
-            .ok_or(CrawlFailure::NoServer)?;
+        let policy = *self.servers.get(registrar).ok_or(CrawlFailure::NoServer)?;
         if policy.blocks_crawlers {
             return Err(CrawlFailure::Blocked);
         }
@@ -172,7 +169,6 @@ impl WhoisCrawler {
                 Err(CrawlFailure::Blocked) => stats.blocked += 1,
                 Err(CrawlFailure::ParseFailure) => stats.parse_failures += 1,
                 Err(CrawlFailure::NoServer) => stats.no_server += 1,
-                Err(_) => stats.no_server += 1,
             }
         }
         (records, stats)
@@ -232,7 +228,9 @@ mod tests {
         // collapses to ≈1%.
         let mut crawler = WhoisCrawler::new();
         crawler.add_server("iTLD Registry", ServerPolicy::exotic_dialect());
-        let batch: Vec<String> = (0..1000).map(|i| raw(&format!("xn--d{i}.xn--fiqs8s"))).collect();
+        let batch: Vec<String> = (0..1000)
+            .map(|i| raw(&format!("xn--d{i}.xn--fiqs8s")))
+            .collect();
         let (records, stats) =
             crawler.crawl_batch(batch.iter().map(|r| ("iTLD Registry", r.as_str())));
         assert_eq!(records.len(), stats.parsed);
@@ -257,7 +255,11 @@ mod tests {
             .enumerate()
             .map(|(i, r)| {
                 (
-                    if i % 2 == 0 { "Open Inc." } else { "Fortress LLC" },
+                    if i % 2 == 0 {
+                        "Open Inc."
+                    } else {
+                        "Fortress LLC"
+                    },
                     r.as_str(),
                 )
             })

@@ -75,7 +75,12 @@ fn detect_dialect(raw: &str) -> WhoisDialect {
     if raw.lines().any(|l| l.contains("....")) {
         return WhoisDialect::DottedPadding;
     }
-    if raw.lines().filter(|l| l.trim_start().starts_with('%')).count() >= 2 {
+    if raw
+        .lines()
+        .filter(|l| l.trim_start().starts_with('%'))
+        .count()
+        >= 2
+    {
         return WhoisDialect::PercentBanner;
     }
     WhoisDialect::KeyValue
@@ -177,7 +182,12 @@ fn build_record(dialect: WhoisDialect, fields: &Fields) -> Result<WhoisRecord, P
     .map(|e| e.to_ascii_lowercase());
     record.registrant_org = first(
         fields,
-        &["registrant organization", "registrant", "organization", "org"],
+        &[
+            "registrant organization",
+            "registrant",
+            "organization",
+            "org",
+        ],
     )
     .map(str::to_string);
     record.creation_date = first(

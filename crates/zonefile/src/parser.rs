@@ -89,18 +89,18 @@ impl ParserState {
     fn apply_directive(&mut self, line: usize, tokens: &[String]) -> Result<(), ParseZoneError> {
         match tokens[0].to_ascii_uppercase().as_str() {
             "$ORIGIN" => {
-                let arg = tokens
-                    .get(1)
-                    .ok_or_else(|| ParseZoneError::BadDirective(line, "$ORIGIN needs a name".into()))?;
+                let arg = tokens.get(1).ok_or_else(|| {
+                    ParseZoneError::BadDirective(line, "$ORIGIN needs a name".into())
+                })?;
                 self.origin = arg
                     .parse()
                     .map_err(|e| ParseZoneError::BadDirective(line, format!("{e}")))?;
                 Ok(())
             }
             "$TTL" => {
-                let arg = tokens
-                    .get(1)
-                    .ok_or_else(|| ParseZoneError::BadDirective(line, "$TTL needs a value".into()))?;
+                let arg = tokens.get(1).ok_or_else(|| {
+                    ParseZoneError::BadDirective(line, "$TTL needs a value".into())
+                })?;
                 self.default_ttl = arg
                     .parse()
                     .map_err(|_| ParseZoneError::BadDirective(line, "bad $TTL value".into()))?;
@@ -123,7 +123,9 @@ impl ParserState {
             return absolute.parse().map_err(|e| bad(&e));
         }
         // Relative: append origin.
-        format!("{token}.{}", self.origin).parse().map_err(|e| bad(&e))
+        format!("{token}.{}", self.origin)
+            .parse()
+            .map_err(|e| bad(&e))
     }
 
     fn parse_record(
@@ -264,7 +266,9 @@ fn logical_lines(text: &str) -> Result<Vec<(usize, String)>, ParseZoneError> {
                     depth += 1;
                 }
                 ')' => {
-                    depth = depth.checked_sub(1).ok_or(ParseZoneError::UnbalancedParens)?;
+                    depth = depth
+                        .checked_sub(1)
+                        .ok_or(ParseZoneError::UnbalancedParens)?;
                 }
                 _ => buffer.push(c),
             }
@@ -413,7 +417,10 @@ mail.example  IN A 192.0.2.5
         let text = "a IN MX 10 mail.a.com.\nb IN AAAA 2001:db8::1\n";
         let zone = parse_zone("com", text).unwrap();
         match &zone.records[0].rdata {
-            RData::Mx { preference, exchange } => {
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
                 assert_eq!(*preference, 10);
                 assert_eq!(exchange.to_string(), "mail.a.com");
             }

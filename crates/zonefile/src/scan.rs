@@ -195,11 +195,7 @@ xn--55qx5d IN NS ns2.registry.cn.
     #[test]
     fn aggregate_report() {
         let com = parse_zone("com", COM).unwrap();
-        let net = parse_zone(
-            "net",
-            "a IN NS ns.a.net.\nxn--tst-qla IN NS ns.b.net.\n",
-        )
-        .unwrap();
+        let net = parse_zone("net", "a IN NS ns.a.net.\nxn--tst-qla IN NS ns.b.net.\n").unwrap();
         let report = ZoneScanner::new().scan_all([&com, &net]);
         assert_eq!(report.total_slds(), 6);
         assert_eq!(report.total_idns(), 3);

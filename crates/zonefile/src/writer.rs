@@ -18,7 +18,13 @@ pub fn write_zone(zone: &Zone) -> String {
                 let _ = writeln!(
                     out,
                     "SOA {}. {}. {} {} {} {} {}",
-                    soa.mname, soa.rname, soa.serial, soa.refresh, soa.retry, soa.expire, soa.minimum
+                    soa.mname,
+                    soa.rname,
+                    soa.serial,
+                    soa.refresh,
+                    soa.retry,
+                    soa.expire,
+                    soa.minimum
                 );
             }
             RData::Ns(target) => {
@@ -33,7 +39,10 @@ pub fn write_zone(zone: &Zone) -> String {
             RData::Aaaa(addr) => {
                 let _ = writeln!(out, "AAAA {addr}");
             }
-            RData::Mx { preference, exchange } => {
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
                 let _ = writeln!(out, "MX {preference} {exchange}.");
             }
             RData::Txt(text) => {

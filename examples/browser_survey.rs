@@ -12,8 +12,8 @@ use idn_reexamination::browser::{
 fn main() {
     println!("Table XI (derived from policy models):\n");
     println!(
-        "{:<10} {:<8} {:>6}  {:<14} {}",
-        "Browser", "Platform", "Ver.", "iTLD IDN", "Homograph Attack"
+        "{:<10} {:<8} {:>6}  {:<14} Homograph Attack",
+        "Browser", "Platform", "Ver.", "iTLD IDN"
     );
     for row in run_survey() {
         println!(
@@ -36,7 +36,11 @@ fn main() {
     for (name, kind) in policies {
         let policy = kind.policy();
         println!("\n  {name}:");
-        for spoof in MIXED_SCRIPT_SPOOFS.iter().chain(WHOLE_SCRIPT_SPOOFS).take(4) {
+        for spoof in MIXED_SCRIPT_SPOOFS
+            .iter()
+            .chain(WHOLE_SCRIPT_SPOOFS)
+            .take(4)
+        {
             let verdict = match policy.display(spoof) {
                 Rendering::Unicode(_) => "DISPLAYED IN UNICODE (spoofable)",
                 Rendering::Punycode(_) => "punycode (defused)",

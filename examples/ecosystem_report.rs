@@ -23,7 +23,11 @@ fn main() {
 
     // Zone scan (Table I).
     let report = ZoneScanner::new().scan_all(eco.zones.iter());
-    println!("zone scan: {} SLDs, {} IDNs", report.total_slds(), report.total_idns());
+    println!(
+        "zone scan: {} SLDs, {} IDNs",
+        report.total_slds(),
+        report.total_idns()
+    );
     for zone in &report.zones {
         println!(
             "  {:<12} {:>6} SLDs, {:>6} IDNs ({})",

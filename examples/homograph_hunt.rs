@@ -32,7 +32,10 @@ fn main() {
         .map(|r| r.domain.as_str())
         .collect();
     let findings = detector.scan(corpus.iter().copied(), 8);
-    println!("  {} homographic IDNs detected at SSIM ≥ 0.95", findings.len());
+    println!(
+        "  {} homographic IDNs detected at SSIM ≥ 0.95",
+        findings.len()
+    );
 
     for finding in findings.iter().take(8) {
         println!(

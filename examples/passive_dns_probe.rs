@@ -72,9 +72,10 @@ fn main() {
     let mut longer = 0usize;
     let mut compared = 0usize;
     for domain in &abusive {
-        if let (Some(via_pai), Some(via_farsight)) =
-            (pai.query(&eco.pdns, domain), farsight.query(&eco.pdns, domain))
-        {
+        if let (Some(via_pai), Some(via_farsight)) = (
+            pai.query(&eco.pdns, domain),
+            farsight.query(&eco.pdns, domain),
+        ) {
             compared += 1;
             if via_farsight.active_days() > via_pai.active_days() {
                 longer += 1;

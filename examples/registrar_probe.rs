@@ -35,7 +35,10 @@ fn main() {
             Err(rejection) => println!("  {label:<12} rejected: {rejection}"),
         }
     }
-    println!("  {approved}/{} approved (paper: 10/10 at GoDaddy)\n", probes.len());
+    println!(
+        "  {approved}/{} approved (paper: 10/10 at GoDaddy)\n",
+        probes.len()
+    );
 
     println!("probing the same labels with brand protection enabled:");
     let mut protected = SrsPolicy::gtld("cn").with_brand_protection([

@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut candidates = enumerator.homographic(brand);
         candidates.sort_by(|a, b| b.ssim.partial_cmp(&a.ssim).expect("finite"));
         for candidate in candidates.iter().take(2) {
-            let spoof = format!("{}.{}", candidate.unicode_sld, brand.rsplit('.').next().unwrap());
+            let spoof = format!(
+                "{}.{}",
+                candidate.unicode_sld,
+                brand.rsplit('.').next().unwrap()
+            );
             let image = render_text(&spoof);
             let file = format!(
                 "{out_dir}/{}_spoof_{}.pgm",

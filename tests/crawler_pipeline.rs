@@ -12,7 +12,7 @@ fn host_setup(reg: &DomainRegistration) -> (AuthBehavior, Option<Page>) {
         // The zone has NS records, so failures come from the name servers
         // themselves — REFUSED or a lame delegation (paper, Finding 8).
         ContentCategory::NotResolved => {
-            if reg.domain.len() % 2 == 0 {
+            if reg.domain.len().is_multiple_of(2) {
                 (AuthBehavior::Refuse, None)
             } else {
                 (AuthBehavior::Timeout, None)

@@ -25,9 +25,8 @@ fn identical_configs_reproduce_identical_findings() {
 
     let brands: Vec<String> = eco_a.brands.iter().map(|b| b.domain()).collect();
     let detector = HomographDetector::new(&brands, 0.95);
-    let scan = |eco: &Ecosystem| {
-        detector.scan(eco.idn_registrations.iter().map(|r| r.domain.as_str()), 4)
-    };
+    let scan =
+        |eco: &Ecosystem| detector.scan(eco.idn_registrations.iter().map(|r| r.domain.as_str()), 4);
     assert_eq!(scan(&eco_a), scan(&eco_b));
 }
 

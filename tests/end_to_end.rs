@@ -104,7 +104,11 @@ fn finding_9_certificates_are_broken() {
         .iter()
         .filter(|(d, _)| idn_reexamination::idna::is_idn(d))
         .collect();
-    assert!(idn_certs.len() > 50, "too few HTTPS IDNs: {}", idn_certs.len());
+    assert!(
+        idn_certs.len() > 50,
+        "too few HTTPS IDNs: {}",
+        idn_certs.len()
+    );
     let broken = idn_certs
         .iter()
         .filter(|(d, cert)| validator.classify(cert, d).is_some())
@@ -182,8 +186,7 @@ fn detectors_recover_injected_attacks_with_high_precision() {
 fn type2_injections_are_fully_recovered() {
     let eco = ecosystem();
     let detector = SemanticDetector::new(Vec::<String>::new());
-    let findings =
-        detector.scan_type2(eco.idn_registrations.iter().map(|r| r.domain.as_str()));
+    let findings = detector.scan_type2(eco.idn_registrations.iter().map(|r| r.domain.as_str()));
     // Every injected Type-2 attack must be found (the datagen dictionary is
     // a subset of the detector dictionary; this test catches drift).
     for attack in &eco.semantic2_attacks {

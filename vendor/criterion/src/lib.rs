@@ -1,0 +1,258 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Provides the benchmark-harness surface the workspace's `benches/` use:
+//! [`Criterion`] with builder-style configuration, benchmark groups with
+//! [`Throughput`], [`Bencher::iter`], `black_box`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: after a warm-up window, each
+//! benchmark runs timed batches until the measurement window closes, then
+//! reports the per-iteration mean, min and max of the batch means (and
+//! derived throughput) on stdout. There is no statistical regression
+//! analysis, HTML report, or CLI filtering — `cargo bench` prints one line
+//! per benchmark, which is exactly what the `BENCH_*.json` trajectory
+//! scripts scrape.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let config = self.clone();
+        run_benchmark(name, &config, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sizing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut config = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            config.sample_size = n;
+        }
+        let name = format!("{}/{}", self.name, id);
+        run_benchmark(&name, &config, self.throughput, f);
+        self
+    }
+
+    /// Finishes the group (provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Hands the measured closure to a benchmark body.
+pub struct Bencher {
+    iters_per_batch: u64,
+    batch_means_ns: Vec<f64>,
+    config: Criterion,
+}
+
+impl Bencher {
+    /// Measures `f`, running it repeatedly inside timed batches.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: also calibrates how many iterations fit in one batch.
+        let warm_until = Instant::now() + self.config.warm_up;
+        let mut warm_iters: u64 = 0;
+        let warm_started = Instant::now();
+        while Instant::now() < warm_until {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_started.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch_window = self.config.measurement.as_secs_f64() / self.config.sample_size as f64;
+        self.iters_per_batch = ((batch_window / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.batch_means_ns
+                .push(elapsed / self.iters_per_batch as f64);
+        }
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    config: &Criterion,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        iters_per_batch: 0,
+        batch_means_ns: Vec::new(),
+        config: config.clone(),
+    };
+    f(&mut bencher);
+    if bencher.batch_means_ns.is_empty() {
+        println!("{name:<40} no measurements (b.iter never called)");
+        return;
+    }
+    let n = bencher.batch_means_ns.len() as f64;
+    let mean = bencher.batch_means_ns.iter().sum::<f64>() / n;
+    let min = bencher
+        .batch_means_ns
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = bencher
+        .batch_means_ns
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let rate = match throughput {
+        Some(Throughput::Elements(e)) => {
+            format!("  {:>12.0} elem/s", e as f64 / (mean * 1e-9))
+        }
+        Some(Throughput::Bytes(b)) => {
+            format!("  {:>12.0} B/s", b as f64 / (mean * 1e-9))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<40} time: [{} {} {}]{rate}",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_measurements() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline, API-compatible subset of `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` backed by `std::thread::scope`
+//! (stable since Rust 1.63). One behavioural difference from the real
+//! crate: a panicking worker propagates its panic when the scope exits
+//! instead of surfacing as `Err` — every call site in this workspace
+//! `expect`s the result, so the observable behaviour (a panic) is the
+//! same.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Result alias matching `crossbeam::thread::scope`'s return type.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope in which non-`'static` borrows can cross thread spawns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the scope again so
+        /// workers can spawn sub-workers, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std_thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned workers join before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let data = [1, 2, 3, 4];
+        let sum = std::sync::atomic::AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                scope.spawn(|_| {
+                    sum.fetch_add(
+                        chunk.iter().sum::<usize>(),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                });
+            }
+        })
+        .expect("workers joined");
+        assert_eq!(sum.into_inner(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert!(flag.into_inner());
+    }
+}

@@ -1,0 +1,110 @@
+//! Character strategies (`proptest::char::range` / `proptest::char::any`).
+
+use crate::{Strategy, TestRng};
+
+/// Inclusive character range strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    lo: u32,
+    hi: u32,
+}
+
+/// A strategy over the inclusive range `[lo, hi]`, skipping surrogates.
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "empty char range");
+    CharRange {
+        lo: lo as u32,
+        hi: hi as u32,
+    }
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+    fn new_value(&self, rng: &mut TestRng) -> char {
+        let span = u64::from(self.hi - self.lo) + 1;
+        loop {
+            let v = self.lo + rng.below(span) as u32;
+            if let Some(c) = char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+}
+
+/// Strategy over every Unicode scalar value.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyChar;
+
+/// A strategy producing any valid `char`, biased toward "interesting"
+/// script pools half the time (ASCII, Latin, Greek, Cyrillic, CJK, ...)
+/// and uniform over all scalar values the other half.
+pub fn any() -> AnyChar {
+    AnyChar
+}
+
+/// Pools that stress the IDN-specific code paths.
+const POOLS: &[(u32, u32)] = &[
+    (0x0020, 0x007E), // printable ASCII
+    (0x00A1, 0x00FF), // Latin-1 supplement
+    (0x0100, 0x017F), // Latin Extended-A
+    (0x0391, 0x03C9), // Greek
+    (0x0400, 0x045F), // Cyrillic
+    (0x05D0, 0x05EA), // Hebrew
+    (0x0621, 0x063A), // Arabic
+    (0x3041, 0x3096), // Hiragana
+    (0x30A1, 0x30FA), // Katakana
+    (0x4E00, 0x9FCC), // CJK Unified
+    (0xAC00, 0xD7A3), // Hangul
+];
+
+impl Strategy for AnyChar {
+    type Value = char;
+    fn new_value(&self, rng: &mut TestRng) -> char {
+        if rng.next_u64() & 1 == 0 {
+            let (lo, hi) = POOLS[rng.below(POOLS.len() as u64) as usize];
+            range(
+                char::from_u32(lo).expect("pool start"),
+                char::from_u32(hi).expect("pool end"),
+            )
+            .new_value(rng)
+        } else {
+            loop {
+                let v = rng.below(0x11_0000) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_respects_bounds() {
+        let strat = range('a', 'f');
+        let mut rng = TestRng::for_case("char_range", 0);
+        for _ in 0..500 {
+            let c = strat.new_value(&mut rng);
+            assert!(('a'..='f').contains(&c));
+        }
+    }
+
+    #[test]
+    fn any_covers_ascii_and_beyond() {
+        let mut rng = TestRng::for_case("char_any", 0);
+        let mut ascii = 0;
+        let mut beyond = 0;
+        for _ in 0..500 {
+            let c = AnyChar.new_value(&mut rng);
+            if c.is_ascii() {
+                ascii += 1;
+            } else {
+                beyond += 1;
+            }
+        }
+        assert!(ascii > 0 && beyond > 0);
+    }
+}

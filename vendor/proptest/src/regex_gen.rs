@@ -1,0 +1,219 @@
+//! String generation from a small regex subset.
+//!
+//! Supported syntax — exactly what the workspace's test patterns use:
+//!
+//! * literal characters, `\\`-escaped literals (`\.`)
+//! * `[...]` character classes of ranges and single characters (`[a-z0-9]`,
+//!   `[ -~]`); no negation
+//! * `(lit|lit|...)` alternation over literal strings
+//! * `.` — any non-control scalar value
+//! * `\PC` — any non-control scalar value (proptest's "not category C")
+//! * `{n}` / `{m,n}` quantifiers on the preceding atom
+//!
+//! Anything else panics with the offending pattern, which turns an
+//! unsupported pattern into an immediate, readable test failure rather
+//! than silently wrong data.
+
+use crate::{char::AnyChar, Strategy, TestRng};
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    Class(Vec<(char, char)>),
+    AnyNonControl,
+    Alt(Vec<String>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = (piece.max - piece.min) as u64 + 1;
+        let count = piece.min + rng.below(span) as usize;
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(ranges) => out.push(sample_class(ranges, rng)),
+                Atom::AnyNonControl => loop {
+                    let c = AnyChar.new_value(rng);
+                    if !c.is_control() {
+                        out.push(c);
+                        break;
+                    }
+                },
+                Atom::Alt(alts) => {
+                    out.push_str(&alts[rng.below(alts.len() as u64) as usize]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+    crate::char::range(lo, hi).new_value(rng)
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') | Some('p') => {
+                        // \PC / \pX — a Unicode category; only the
+                        // "anything printable" reading is supported.
+                        i += 1;
+                        Atom::AnyNonControl
+                    }
+                    Some(&c) => Atom::Lit(c),
+                    None => panic!("trailing backslash in pattern {pattern:?}"),
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
+                assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '(' => {
+                i += 1;
+                let mut alts = vec![String::new()];
+                while i < chars.len() && chars[i] != ')' {
+                    match chars[i] {
+                        '|' => alts.push(String::new()),
+                        '\\' => {
+                            i += 1;
+                            let c = *chars
+                                .get(i)
+                                .unwrap_or_else(|| panic!("trailing backslash in {pattern:?}"));
+                            alts.last_mut().expect("non-empty alts").push(c);
+                        }
+                        c => alts.last_mut().expect("non-empty alts").push(c),
+                    }
+                    i += 1;
+                }
+                assert!(i < chars.len(), "unterminated group in {pattern:?}");
+                Atom::Alt(alts)
+            }
+            '.' => Atom::AnyNonControl,
+            ')' | ']' | '{' | '}' | '|' | '*' | '+' | '?' | '^' | '$' => {
+                panic!("unsupported regex syntax {:?} in {pattern:?}", chars[i])
+            }
+            c => Atom::Lit(c),
+        };
+        i += 1;
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            i += 1;
+            let start = i;
+            while i < chars.len() && chars[i] != '}' {
+                i += 1;
+            }
+            assert!(i < chars.len(), "unterminated quantifier in {pattern:?}");
+            let body: String = chars[start..i].iter().collect();
+            i += 1;
+            match body.split_once(',') {
+                Some((m, n)) => {
+                    let m: usize = m
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in {pattern:?}"));
+                    let n: usize = n
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in {pattern:?}"));
+                    assert!(m <= n, "inverted quantifier {{{body}}} in {pattern:?}");
+                    (m, n)
+                }
+                None => {
+                    let n: usize = body
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in {pattern:?}"));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_workspace_pattern() {
+        // The exact patterns used across the repo's property tests.
+        for pattern in [
+            "[ -~]{0,32}",
+            "[ -~]{0,60}",
+            "[0-9]{0,4}",
+            "[a-z0-9]{1,12}",
+            "[a-z0-9]{1,20}",
+            "[a-z][a-z0-9]{0,10}",
+            "[a-z][a-z0-9]{0,14}",
+            "[a-z]{1,10}\\.com",
+            "[a-z]{1,12}",
+            "[a-z]{1,5}",
+            "[a-z]{1,8}\\.(com|net|org)",
+            "[a-z]{2,10}",
+            "[a-z]{3,10}",
+            "\\PC{0,16}",
+            "\\PC{0,24}",
+            "\\PC{0,32}",
+            ".{0,40}",
+        ] {
+            let mut rng = TestRng::for_case(pattern, 0);
+            for _ in 0..50 {
+                let _ = generate(pattern, &mut rng);
+            }
+        }
+    }
+
+    #[test]
+    fn literal_suffix_is_preserved() {
+        let mut rng = TestRng::for_case("lit", 0);
+        for _ in 0..100 {
+            let s = generate("[a-z]{1,10}\\.com", &mut rng);
+            assert!(s.ends_with(".com"), "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn unsupported_syntax_is_loud() {
+        let mut rng = TestRng::for_case("bad", 0);
+        let _ = generate("[a-z]+", &mut rng);
+    }
+}

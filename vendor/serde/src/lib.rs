@@ -1,0 +1,19 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The workspace annotates a few plain data types with
+//! `#[derive(Serialize, Deserialize)]` but never drives an actual
+//! serializer (no format crate is in the tree), so this stub provides
+//! marker traits plus no-op derives. If a future PR needs real
+//! serialization, replace this stub with a vendored copy of upstream serde
+//! or a hand-rolled JSON layer (see `idnre-telemetry`'s JSON rendering for
+//! the pattern).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace derives these traits on a handful of plain data types but
+//! never serializes anything (there is no `serde_json` or other format
+//! crate in the dependency tree), so the derives only need to *exist* for
+//! the annotations to compile. They expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
