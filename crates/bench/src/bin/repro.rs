@@ -7,6 +7,8 @@
 //! repro --write EXPERIMENTS.md all
 //! repro --metrics text all       # stage-timing table on stderr
 //! repro --metrics json all       # idnre-metrics/1 JSON on stderr
+//! repro --faults smoke all       # inject the `smoke` fault schedule
+//! repro --faults storm:7 all     # `storm` profile, replay seed 7
 //! ```
 //!
 //! With `--metrics`, every pipeline stage (generation, detector scans, the
@@ -14,9 +16,16 @@
 //! [`idnre_telemetry::Registry`] and the snapshot is rendered to stderr, so
 //! stdout stays a clean report stream. `--write PATH` combined with
 //! `--metrics json` also writes the snapshot to `PATH.metrics.json`.
+//!
+//! With `--faults`, ingest and the crawl survey run under a seeded fault
+//! schedule with retry/backoff, the report gains a "Run health" section,
+//! and the exit code follows the error-budget contract: 0 clean, 3
+//! degraded (errors within budget), 4 budget exceeded. A fixed spec
+//! replays the same schedule byte-for-byte.
 
-use idnre_bench::{reports, ReproContext};
+use idnre_bench::{reports, FaultSetup, ReproContext};
 use idnre_datagen::EcosystemConfig;
+use idnre_fault::FaultPlan;
 use idnre_telemetry::Registry;
 use std::io::Write as _;
 use std::sync::Arc;
@@ -32,6 +41,7 @@ fn main() {
     let mut config = EcosystemConfig::default();
     let mut write_path: Option<String> = None;
     let mut metrics: Option<MetricsFormat> = None;
+    let mut faults: Option<FaultSetup> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     while let Some(arg) = args.next() {
@@ -64,6 +74,13 @@ fn main() {
                     _ => usage("--metrics needs `text` or `json`"),
                 });
             }
+            "--faults" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| usage("--faults needs a spec"));
+                let plan = FaultPlan::from_spec(&spec).unwrap_or_else(|e| usage(&e.to_string()));
+                faults = Some(FaultSetup::from_plan(plan));
+            }
             "--help" | "-h" => usage(""),
             other => wanted.push(other.to_string()),
         }
@@ -78,9 +95,20 @@ fn main() {
         "generating ecosystem (scale 1:{}, attacks 1:{}, seed {:#x})...",
         config.scale, config.attack_scale, config.seed
     );
-    let ctx = match &registry {
-        Some(registry) => ReproContext::build_recorded(&config, registry.clone()),
-        None => ReproContext::build(&config),
+    let recorder: Arc<dyn idnre_telemetry::Recorder> = match &registry {
+        Some(registry) => registry.clone(),
+        None => Arc::new(idnre_telemetry::NoopRecorder),
+    };
+    let ctx = match &faults {
+        Some(setup) => {
+            eprintln!(
+                "fault schedule: profile `{}`, seed {:#x}",
+                setup.plan.profile().name,
+                setup.plan.seed()
+            );
+            ReproContext::build_faulted(&config, setup, recorder)
+        }
+        None => ReproContext::build_recorded(&config, recorder),
     };
     eprintln!(
         "ecosystem ready: {} IDNs, {} non-IDNs, {} homograph findings, {} semantic findings",
@@ -136,6 +164,18 @@ fn main() {
             eprintln!("wrote {metrics_path}");
         }
     }
+
+    if let Some(health) = &ctx.health {
+        eprintln!(
+            "run health: {} — {} ok / {} errors ({}‰ observed, {}‰ allowed)",
+            health.status.label(),
+            health.ok,
+            health.errors,
+            health.error_per_mille,
+            health.allowed_per_mille,
+        );
+        std::process::exit(health.status.exit_code());
+    }
 }
 
 fn usage(error: &str) -> ! {
@@ -144,7 +184,9 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--scale N] [--attack-scale N] [--seed N] [--write PATH] \
-         [--metrics text|json] <experiment...>\n\
+         [--metrics text|json] [--faults none|smoke|flaky|storm|SEED|PROFILE:SEED] \
+         <experiment...>\n\
+         exit codes with --faults: 0 clean, 3 degraded, 4 error budget exceeded\n\
          experiments: all {}",
         reports::ALL
             .iter()

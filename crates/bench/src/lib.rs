@@ -24,10 +24,14 @@
 #![warn(missing_docs)]
 
 pub mod reports;
+pub mod robust;
+
+pub use robust::{FaultSetup, IngestStats, RunHealth, SurveyStats};
 
 use idnre_core::{HomographDetector, HomographFinding, SemanticDetector, SemanticFinding};
 use idnre_crawler::{AuthBehavior, Crawler, Page, PageKind, OUTCOME_COUNTERS};
 use idnre_datagen::{ContentCategory, DomainRegistration, Ecosystem, EcosystemConfig};
+use idnre_fault::ErrorBudget;
 use idnre_telemetry::{NoopRecorder, Recorder};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -45,6 +49,10 @@ pub struct ReproContext {
     /// into ([`NoopRecorder`] unless built with
     /// [`ReproContext::build_recorded`]).
     pub recorder: Arc<dyn Recorder>,
+    /// Fault accounting of the run, present only when built with
+    /// [`ReproContext::build_faulted`]. Its verdict becomes the process
+    /// exit code, and [`ReproContext::full_report`] appends its section.
+    pub health: Option<RunHealth>,
 }
 
 impl std::fmt::Debug for ReproContext {
@@ -85,11 +93,61 @@ impl ReproContext {
         let semantic_detector = SemanticDetector::new(&brand_domains);
         let semantic = semantic_detector.scan_type1_recorded(domains.iter().copied(), &*recorder);
         crawl_survey(&eco, &*recorder);
+        robust::whois_survey(&eco, None, None, &*recorder);
         ReproContext {
             eco,
             homographs,
             semantic,
             recorder,
+            health: None,
+        }
+    }
+
+    /// [`ReproContext::build_recorded`] under a fault schedule: generation
+    /// and the detector scans run as usual, but the zone corpus is
+    /// round-tripped through lenient ingest with seeded corruption, the
+    /// WHOIS crawl sees corrupted transfers, and the crawl survey runs the
+    /// full retry/backoff schedule against injected faults. The damage is
+    /// tallied in an [`ErrorBudget`] and the context carries a
+    /// [`RunHealth`] whose status is the run's exit-code verdict.
+    pub fn build_faulted(
+        config: &EcosystemConfig,
+        setup: &FaultSetup,
+        recorder: Arc<dyn Recorder>,
+    ) -> Self {
+        let mut span = recorder.span("build.ecosystem");
+        let eco = Ecosystem::generate_recorded(config, &*recorder);
+        span.add_records((eco.idn_registrations.len() + eco.non_idn_registrations.len()) as u64);
+        drop(span);
+
+        let brand_domains: Vec<String> = eco.brands.iter().map(|b| b.domain()).collect();
+        let detector = HomographDetector::new(&brand_domains, 0.95);
+        let domains: Vec<&str> = eco
+            .idn_registrations
+            .iter()
+            .map(|r| r.domain.as_str())
+            .collect();
+        let homographs = detector.scan_recorded(domains.iter().copied(), 8, &*recorder);
+        let semantic_detector = SemanticDetector::new(&brand_domains);
+        let semantic = semantic_detector.scan_type1_recorded(domains.iter().copied(), &*recorder);
+
+        let budget = ErrorBudget::new(setup.plan.profile().budget_per_mille);
+        let (zones, zone_stats) =
+            robust::ingest_zones_faulted(&eco.zones, &setup.plan, &budget, &*recorder);
+        let whois_stats = robust::whois_survey(&eco, Some(&setup.plan), Some(&budget), &*recorder);
+        let ctx = idnre_crawler::FaultContext {
+            plan: setup.plan,
+            policy: setup.policy,
+        };
+        let survey =
+            robust::crawl_survey_faulted(&eco, &zones, &ctx, setup.threads, &budget, &*recorder);
+        let health = RunHealth::new(setup, zone_stats, whois_stats, survey, &budget);
+        ReproContext {
+            eco,
+            homographs,
+            semantic,
+            recorder,
+            health: Some(health),
         }
     }
 
@@ -118,6 +176,10 @@ impl ReproContext {
             span.add_records(fragment.len() as u64);
             drop(span);
             out.push_str(&fragment);
+            out.push('\n');
+        }
+        if let Some(health) = &self.health {
+            out.push_str(&health.render());
             out.push('\n');
         }
         out
@@ -161,8 +223,8 @@ fn crawl_survey(eco: &Ecosystem, recorder: &dyn Recorder) {
 }
 
 /// Derives a deterministic authoritative-server model from a registration's
-/// ground-truth content category. `None` behaviour leaves the domain as a
-/// lame delegation (or NXDOMAIN when its TLD emitted no zone).
+/// ground-truth content category. The unresolved population spreads over
+/// REFUSED, SERVFAIL, timeouts and explicit lame delegations.
 fn host_model(reg: &DomainRegistration) -> (Option<AuthBehavior>, Option<Page>) {
     let hash = fnv1a(reg.domain.as_bytes());
     let ip = Ipv4Addr::new(203, 0, 113, (hash % 254 + 1) as u8);
@@ -174,7 +236,7 @@ fn host_model(reg: &DomainRegistration) -> (Option<AuthBehavior>, Option<Page>) 
                 0 => Some(AuthBehavior::Refuse),
                 1 => Some(AuthBehavior::ServFail),
                 2 => Some(AuthBehavior::Timeout),
-                _ => None, // lame delegation / missing zone
+                _ => Some(AuthBehavior::Lame),
             };
             (behavior, None)
         }

@@ -747,7 +747,7 @@ pub fn table12(_ctx: &ReproContext) -> String {
             (spoof.to_string(), ace, score)
         })
         .collect();
-    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite ssim"));
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
     let mut table = Table::new(
         vec!["SSIM", "Punycode", "Unicode"],
         vec![Align::Right, Align::Left, Align::Left],

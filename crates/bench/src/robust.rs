@@ -1,0 +1,475 @@
+//! Degrade-and-continue: fault-injected ingest and survey harnesses, the
+//! error budget that grades the run, and the "Run health" report section.
+//!
+//! The strict pipeline treats every input as pristine and every query as
+//! answered; this module is the other half of the reproduction story. A
+//! seeded [`FaultPlan`] corrupts a slice of the zone and WHOIS corpora and
+//! makes a slice of crawl attempts fail; the lenient parsers and the retry
+//! executor absorb what they can; whatever is genuinely lost lands in an
+//! [`ErrorBudget`] whose verdict — clean, degraded, budget-exceeded —
+//! becomes the process exit code. Everything here is driven by virtual
+//! time and stateless hashes, so a fixed fault spec replays byte-for-byte
+//! across runs *and* across worker-thread counts.
+
+use idnre_crawler::{
+    Crawler, FaultContext, ResolutionOutcome, UsageCategory, ATTEMPTS_HISTOGRAM, FAULT_COUNTERS,
+    OUTCOME_COUNTERS, RETRY_COUNTERS, USAGE_COUNTERS,
+};
+use idnre_datagen::Ecosystem;
+use idnre_fault::{ErrorBudget, FaultPlan, RetryPolicy, RunStatus, SimClock};
+use idnre_telemetry::Recorder;
+use idnre_whois::{CrawlStats, ServerPolicy, WhoisCrawler, CRAWL_COUNTERS};
+use idnre_zonefile::{parse_zone_lenient, write_zone, Zone};
+
+/// How a faulted run is configured: the fault schedule, the retry
+/// discipline, and how many survey worker threads to use (the results are
+/// identical for any thread count; threads only change wall time).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSetup {
+    /// Which attempts and records fail, and how often.
+    pub plan: FaultPlan,
+    /// Attempts, backoff and deadline per crawl target.
+    pub policy: RetryPolicy,
+    /// Survey worker threads (clamped to 1..=64).
+    pub threads: usize,
+}
+
+impl FaultSetup {
+    /// A setup with the default retry policy and thread count.
+    pub fn from_plan(plan: FaultPlan) -> Self {
+        FaultSetup {
+            plan,
+            policy: RetryPolicy::default(),
+            threads: 4,
+        }
+    }
+}
+
+/// What a lenient ingest stage attempted and lost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Records (zone lines) attempted.
+    pub attempted: u64,
+    /// Records skipped as unparseable.
+    pub skipped: u64,
+}
+
+impl IngestStats {
+    /// Fraction that survived, per mille (1000 when nothing was attempted).
+    pub fn coverage_per_mille(&self) -> u64 {
+        ((self.attempted - self.skipped.min(self.attempted)) * 1000)
+            .checked_div(self.attempted)
+            .unwrap_or(1000)
+    }
+}
+
+/// Deterministic aggregate of a fault-injected crawl survey. Every field
+/// is derived from seeded hashes and virtual clocks, so two runs with the
+/// same [`FaultSetup`] produce `==` values regardless of thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SurveyStats {
+    /// Domains crawled.
+    pub domains: u64,
+    /// DNS attempts performed across all schedules.
+    pub attempts: u64,
+    /// Retries performed (DNS + HTTP).
+    pub retries: u64,
+    /// Schedules that ended exhausted (no terminal success).
+    pub exhausted: u64,
+    /// Schedules cut short by the per-target deadline.
+    pub deadline_hit: u64,
+    /// Faults injected across all attempts.
+    pub faults_injected: u64,
+    /// Domains whose terminal verdict was manufactured by a fault.
+    pub terminal_faulted: u64,
+    /// Virtual backoff slept, in nanoseconds.
+    pub backoff_nanos: u64,
+    /// Virtual time consumed, in nanoseconds.
+    pub elapsed_nanos: u64,
+    /// Resolution outcomes in [`OUTCOME_COUNTERS`] order.
+    pub outcomes: [u64; 5],
+    /// Usage categories in [`UsageCategory::ALL`] order.
+    pub usage: [u64; 7],
+}
+
+impl SurveyStats {
+    fn merge(&mut self, other: &SurveyStats) {
+        self.domains += other.domains;
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.exhausted += other.exhausted;
+        self.deadline_hit += other.deadline_hit;
+        self.faults_injected += other.faults_injected;
+        self.terminal_faulted += other.terminal_faulted;
+        self.backoff_nanos += other.backoff_nanos;
+        self.elapsed_nanos += other.elapsed_nanos;
+        for i in 0..self.outcomes.len() {
+            self.outcomes[i] += other.outcomes[i];
+        }
+        for i in 0..self.usage.len() {
+            self.usage[i] += other.usage[i];
+        }
+    }
+}
+
+fn outcome_index(outcome: ResolutionOutcome) -> usize {
+    match outcome {
+        ResolutionOutcome::Resolved(_) => 0,
+        ResolutionOutcome::NxDomain => 1,
+        ResolutionOutcome::Refused => 2,
+        ResolutionOutcome::ServFail => 3,
+        _ => 4, // Timeout (and any future outcome folds into the slowest bin)
+    }
+}
+
+fn usage_index(category: UsageCategory) -> usize {
+    UsageCategory::ALL
+        .iter()
+        .position(|&c| c == category)
+        .unwrap_or(0)
+}
+
+/// The terminal health of one faulted run: what each stage attempted and
+/// lost, the error budget's accounting, and the exit-code verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunHealth {
+    /// Fault profile name.
+    pub profile: &'static str,
+    /// Replay seed.
+    pub seed: u64,
+    /// Retry policy the survey ran under.
+    pub policy: RetryPolicy,
+    /// Zone-file ingest accounting.
+    pub zones: IngestStats,
+    /// WHOIS crawl accounting.
+    pub whois: CrawlStats,
+    /// Crawl survey accounting.
+    pub survey: SurveyStats,
+    /// Records the budget saw succeed.
+    pub ok: u64,
+    /// Records the budget saw fail (fault-layer damage only).
+    pub errors: u64,
+    /// The budget's allowance, per mille.
+    pub allowed_per_mille: u32,
+    /// Observed error rate, per mille.
+    pub error_per_mille: u64,
+    /// The verdict that becomes the process exit code.
+    pub status: RunStatus,
+}
+
+impl RunHealth {
+    /// Folds the per-stage accounting and the budget's verdict into the
+    /// run's terminal health.
+    pub fn new(
+        setup: &FaultSetup,
+        zones: IngestStats,
+        whois: CrawlStats,
+        survey: SurveyStats,
+        budget: &ErrorBudget,
+    ) -> Self {
+        RunHealth {
+            profile: setup.plan.profile().name,
+            seed: setup.plan.seed(),
+            policy: setup.policy,
+            zones,
+            whois,
+            survey,
+            ok: budget.ok(),
+            errors: budget.errors(),
+            allowed_per_mille: budget.allowed_per_mille(),
+            error_per_mille: budget.error_per_mille(),
+            status: budget.status(),
+        }
+    }
+
+    /// Renders the "Run health" markdown section appended to faulted
+    /// reports. Deterministic for a fixed fault spec: every number comes
+    /// from seeded hashes and virtual clocks.
+    pub fn render(&self) -> String {
+        let whois_attempted = self.whois.parsed
+            + self.whois.blocked
+            + self.whois.parse_failures
+            + self.whois.no_server;
+        let whois_per_mille = (self.whois.parsed as u64 * 1000)
+            .checked_div(whois_attempted as u64)
+            .unwrap_or(1000);
+        let mut out = String::new();
+        out.push_str("## Run health\n\n");
+        out.push_str(&format!(
+            "Fault profile `{}`, seed {:#x}; retry policy: {} attempts, \
+             {} ms base backoff ×{}, {} s per-target deadline. Partial results \
+             below are annotated with coverage instead of being discarded.\n\n",
+            self.profile,
+            self.seed,
+            self.policy.max_attempts,
+            self.policy.base_backoff_nanos / 1_000_000,
+            self.policy.backoff_multiplier,
+            self.policy.deadline_nanos / 1_000_000_000,
+        ));
+        out.push_str("| Stage | Attempted | Lost | Coverage |\n");
+        out.push_str("|---|---:|---:|---:|\n");
+        out.push_str(&format!(
+            "| Zone ingest (lenient) | {} lines | {} skipped | {} |\n",
+            self.zones.attempted,
+            self.zones.skipped,
+            per_mille_pct(self.zones.coverage_per_mille()),
+        ));
+        out.push_str(&format!(
+            "| WHOIS crawl | {} domains | {} blocked, {} unparsed, {} no server | {} |\n",
+            whois_attempted,
+            self.whois.blocked,
+            self.whois.parse_failures,
+            self.whois.no_server,
+            per_mille_pct(whois_per_mille),
+        ));
+        let survey_ok_per_mille = ((self.survey.domains - self.survey.terminal_faulted) * 1000)
+            .checked_div(self.survey.domains)
+            .unwrap_or(1000);
+        out.push_str(&format!(
+            "| Crawl survey | {} domains | {} fault-terminal | {} |\n\n",
+            self.survey.domains,
+            self.survey.terminal_faulted,
+            per_mille_pct(survey_ok_per_mille),
+        ));
+        out.push_str(&format!(
+            "Retry schedule: {} DNS attempts over {} domains, {} retries, \
+             {} schedules exhausted, {} deadline-cut, {} faults injected, \
+             {} ms virtual backoff.\n\n",
+            self.survey.attempts,
+            self.survey.domains,
+            self.survey.retries,
+            self.survey.exhausted,
+            self.survey.deadline_hit,
+            self.survey.faults_injected,
+            self.survey.backoff_nanos / 1_000_000,
+        ));
+        out.push_str(&format!(
+            "Error budget: {} ok / {} errors — {}‰ observed against {}‰ \
+             allowed → **{}** (exit code {}).\n",
+            self.ok,
+            self.errors,
+            self.error_per_mille,
+            self.allowed_per_mille,
+            self.status.label(),
+            self.status.exit_code(),
+        ));
+        out
+    }
+}
+
+fn per_mille_pct(per_mille: u64) -> String {
+    format!("{}.{}%", per_mille / 10, per_mille % 10)
+}
+
+/// Round-trips the generated zones through master-file text with seeded
+/// line corruption, then re-ingests them leniently: corrupted lines are
+/// skipped and accounted (`zone.lenient.skipped`, the error budget), and
+/// the salvaged zones feed the crawl survey. Strict parsing would abort
+/// on the first corrupt line; this is the degrade-and-continue path.
+pub fn ingest_zones_faulted(
+    zones: &[Zone],
+    plan: &FaultPlan,
+    budget: &ErrorBudget,
+    recorder: &dyn Recorder,
+) -> (Vec<Zone>, IngestStats) {
+    let mut span = recorder.span("zone.ingest.lenient");
+    let mut stats = IngestStats::default();
+    let mut salvaged = Vec::with_capacity(zones.len());
+    for zone in zones {
+        let origin = zone.origin.to_string();
+        let text: String = write_zone(zone)
+            .lines()
+            .enumerate()
+            .map(|(i, line)| {
+                // Directives stay intact: losing `$ORIGIN` would poison
+                // every following line, which is not the failure mode a
+                // per-record corruption models.
+                if !line.starts_with('$') && plan.corrupts("zone", &format!("{origin}:{i}")) {
+                    "xn--damaged IN GARBLED ???\n".to_string()
+                } else {
+                    format!("{line}\n")
+                }
+            })
+            .collect();
+        let lenient = parse_zone_lenient(&origin, &text);
+        stats.attempted += lenient.attempted as u64;
+        stats.skipped += lenient.errors.len() as u64;
+        budget.record_ok(lenient.parsed() as u64);
+        budget.record_error(lenient.errors.len() as u64);
+        salvaged.push(lenient.zone);
+    }
+    recorder.add("zone.lenient.attempted", stats.attempted);
+    recorder.add("zone.lenient.skipped", stats.skipped);
+    span.add_records(stats.attempted);
+    (salvaged, stats)
+}
+
+/// Replays the paper's WHOIS collection over the registered IDN corpus so
+/// the ≈50% coverage story is *observable*: registrations the generator
+/// covered serve well-formed responses; uncovered ones split between
+/// registrar blocks and unparseable dialects (the paper's two loss
+/// reasons). With a fault plan, a slice of the covered responses arrives
+/// corrupted — those parse failures are the fault layer's damage and feed
+/// the error budget. Telemetry lands in [`CRAWL_COUNTERS`]
+/// (`whois.parse.failed` among them) plus `whois.coverage.per_mille`.
+pub fn whois_survey(
+    eco: &Ecosystem,
+    plan: Option<&FaultPlan>,
+    budget: Option<&ErrorBudget>,
+    recorder: &dyn Recorder,
+) -> CrawlStats {
+    let mut span = recorder.span("whois.survey");
+    for name in CRAWL_COUNTERS {
+        recorder.add(name, 0);
+    }
+    let mut crawler = WhoisCrawler::new();
+    crawler.add_server(
+        "open-registrar",
+        ServerPolicy {
+            rate_limit: u32::MAX,
+            blocks_crawlers: false,
+            // Parse success is decided by response content here, not a
+            // second lottery.
+            unparseable_per_mille: 0,
+        },
+    );
+    crawler.add_server("blocking-registrar", ServerPolicy::blocking());
+
+    let covered: std::collections::HashSet<&str> =
+        eco.whois.iter().map(|r| r.domain.as_str()).collect();
+    let batch: Vec<(&str, String)> = eco
+        .idn_registrations
+        .iter()
+        .map(|reg| {
+            let domain = reg.domain.as_str();
+            if covered.contains(domain) {
+                let corrupted = plan.is_some_and(|p| p.corrupts("whois", domain));
+                if let Some(budget) = budget {
+                    if corrupted {
+                        budget.record_error(1);
+                    } else {
+                        budget.record_ok(1);
+                    }
+                }
+                if corrupted {
+                    // A mangled transfer: no parseable field survives.
+                    (
+                        "open-registrar",
+                        "@@ %% corrupted transfer %% @@\n".to_string(),
+                    )
+                } else {
+                    (
+                        "open-registrar",
+                        format!(
+                            "Domain Name: {domain}\nRegistrar: {}\nName Server: ns1.{domain}\n",
+                            reg.registrar
+                        ),
+                    )
+                }
+            } else {
+                // The generator withheld WHOIS here; attribute the gap to
+                // the paper's two reasons (blocks dominate).
+                let roll = crate::fnv1a(domain.as_bytes()) % 5;
+                if roll < 3 {
+                    ("blocking-registrar", format!("Domain Name: {domain}\n"))
+                } else {
+                    ("open-registrar", "≡≡ unsupported dialect ≡≡\n".to_string())
+                }
+            }
+        })
+        .collect();
+
+    let (_, stats) =
+        crawler.crawl_batch_recorded(batch.iter().map(|(s, r)| (*s, r.as_str())), recorder);
+    let attempted = stats.parsed + stats.blocked + stats.parse_failures + stats.no_server;
+    if attempted > 0 {
+        recorder.add(
+            "whois.coverage.per_mille",
+            stats.parsed as u64 * 1000 / attempted as u64,
+        );
+    }
+    span.add_records(attempted as u64);
+    stats
+}
+
+/// The fault-injected counterpart of the plain crawl survey: builds the
+/// crawler from the (salvaged) zones, then crawls every registered domain
+/// under the retry schedule on `threads` workers. Each domain gets its
+/// own virtual clock and a stateless slice of the fault plan, so the
+/// aggregate — and every counter — is identical for any thread count.
+/// Domains whose terminal verdict was fault-made count against `budget`.
+pub fn crawl_survey_faulted(
+    eco: &Ecosystem,
+    zones: &[Zone],
+    ctx: &FaultContext,
+    threads: usize,
+    budget: &ErrorBudget,
+    recorder: &dyn Recorder,
+) -> SurveyStats {
+    let mut span = recorder.span("crawl.survey.faulted");
+    let mut crawler = Crawler::new();
+    for zone in zones {
+        crawler.add_zone(zone);
+    }
+    let population: Vec<&idnre_datagen::DomainRegistration> = eco
+        .idn_registrations
+        .iter()
+        .chain(&eco.non_idn_registrations)
+        .collect();
+    for reg in &population {
+        let (behavior, page) = crate::host_model(reg);
+        if let Some(behavior) = behavior {
+            crawler.set_host(&reg.domain, behavior, page);
+        }
+    }
+    // Pre-register every counter and the attempts histogram so snapshot
+    // ordering cannot depend on which worker thread touches a name first.
+    for name in OUTCOME_COUNTERS
+        .iter()
+        .chain(&RETRY_COUNTERS)
+        .chain(&FAULT_COUNTERS)
+        .chain(&USAGE_COUNTERS)
+    {
+        recorder.add(name, 0);
+    }
+    recorder.add_records(ATTEMPTS_HISTOGRAM, 0);
+
+    let threads = threads.clamp(1, 64);
+    let chunk_size = population.len().div_ceil(threads).max(1);
+    let totals = parking_lot::Mutex::new(SurveyStats::default());
+    let crawler = &crawler;
+    let totals_ref = &totals;
+    crossbeam::thread::scope(|scope| {
+        for chunk in population.chunks(chunk_size) {
+            scope.spawn(move |_| {
+                let mut local = SurveyStats::default();
+                for reg in chunk {
+                    let mut clock = SimClock::new();
+                    let crawl = crawler.crawl_faulted(&reg.domain, ctx, &mut clock, recorder);
+                    local.domains += 1;
+                    local.attempts += u64::from(crawl.resolution.attempts);
+                    local.retries += u64::from(crawl.resolution.retries)
+                        + u64::from(crawl.http_attempts.saturating_sub(1));
+                    local.exhausted += u64::from(crawl.resolution.exhausted);
+                    local.deadline_hit += u64::from(crawl.resolution.deadline_hit);
+                    local.faults_injected += u64::from(crawl.faults_injected);
+                    local.terminal_faulted += u64::from(crawl.terminal_faulted);
+                    local.backoff_nanos += crawl.resolution.backoff_nanos;
+                    local.elapsed_nanos += crawl.elapsed_nanos;
+                    local.outcomes[outcome_index(crawl.resolution.outcome)] += 1;
+                    local.usage[usage_index(crawl.category)] += 1;
+                    if crawl.terminal_faulted {
+                        budget.record_error(1);
+                    } else {
+                        budget.record_ok(1);
+                    }
+                }
+                totals_ref.lock().merge(&local);
+            });
+        }
+    })
+    .expect("worker panicked");
+    let stats = totals.into_inner();
+    span.add_records(stats.domains);
+    stats
+}

@@ -16,8 +16,15 @@ pub enum AuthBehavior {
     Refuse,
     /// Answers `SERVFAIL`.
     ServFail,
-    /// Never answers.
+    /// Never answers (the server exists but drops queries).
     Timeout,
+    /// A lame delegation: the zone delegates to this server, but it is not
+    /// actually authoritative for the domain and never produces an answer.
+    /// Observationally identical to [`AuthBehavior::Timeout`] — the paper's
+    /// crawler cannot tell the two apart either — but modelled explicitly
+    /// so populations can declare *why* a name goes dark. A delegated
+    /// domain with no configured behaviour defaults to this.
+    Lame,
 }
 
 /// Terminal outcome of resolving one name.
@@ -48,7 +55,8 @@ impl ResolutionOutcome {
 /// Delegations come from zone files (every registered domain in a TLD zone
 /// carries NS records); what happens *below* the delegation is configured
 /// per domain with [`AuthBehavior`]. A delegated domain with no configured
-/// behaviour times out (a lame delegation).
+/// behaviour is a lame delegation ([`AuthBehavior::Lame`]): the query goes
+/// unanswered, so it resolves to [`ResolutionOutcome::Timeout`].
 #[derive(Debug, Clone, Default)]
 pub struct Resolver {
     delegated: HashSet<String>,
@@ -130,7 +138,9 @@ impl Resolver {
             Some(AuthBehavior::Answer(ip)) => ResolutionOutcome::Resolved(*ip),
             Some(AuthBehavior::Refuse) => ResolutionOutcome::Refused,
             Some(AuthBehavior::ServFail) => ResolutionOutcome::ServFail,
-            Some(AuthBehavior::Timeout) | None => ResolutionOutcome::Timeout,
+            Some(AuthBehavior::Timeout) | Some(AuthBehavior::Lame) | None => {
+                ResolutionOutcome::Timeout
+            }
         }
     }
 }
@@ -166,8 +176,16 @@ mod tests {
 
     #[test]
     fn lame_delegations_time_out() {
-        // In the zone (NS present) but the child server never answers.
+        // In the zone (NS present) but the child server never answers:
+        // the implicit default for an unconfigured delegation...
         assert_eq!(resolver().resolve("lame.com"), ResolutionOutcome::Timeout);
+        // ...and the explicit behaviour pin the same terminal outcome.
+        let mut r = resolver();
+        r.set_behavior("lame.com", AuthBehavior::Lame);
+        assert_eq!(r.resolve("lame.com"), ResolutionOutcome::Timeout);
+        // A lame server emits no packet at all on the wire.
+        let query = crate::wire::encode(&crate::wire::Message::query(9, "lame.com"));
+        assert!(r.serve_wire(&query).is_none());
     }
 
     #[test]

@@ -37,11 +37,16 @@
 
 mod classify;
 mod dns;
+mod faulted;
 mod http;
 pub mod wire;
 
 pub use classify::{classify, UsageCategory};
 pub use dns::{AuthBehavior, ResolutionOutcome, Resolver};
+pub use faulted::{
+    FaultContext, FaultedCrawl, FaultedResolution, ATTEMPTS_HISTOGRAM, FAULT_COUNTERS,
+    RETRY_COUNTERS,
+};
 pub use http::{fetch, FetchOutcome, Page, PageKind};
 
 use idnre_telemetry::Recorder;
@@ -59,7 +64,7 @@ pub const OUTCOME_COUNTERS: [&str; 5] = [
     "crawler.outcome.timeout",
 ];
 
-fn outcome_counter(outcome: ResolutionOutcome) -> &'static str {
+pub(crate) fn outcome_counter(outcome: ResolutionOutcome) -> &'static str {
     match outcome {
         ResolutionOutcome::Resolved(_) => OUTCOME_COUNTERS[0],
         ResolutionOutcome::NxDomain => OUTCOME_COUNTERS[1],
@@ -69,15 +74,29 @@ fn outcome_counter(outcome: ResolutionOutcome) -> &'static str {
     }
 }
 
-fn usage_counter(category: UsageCategory) -> &'static str {
+/// Counter names for each [`UsageCategory`], in [`UsageCategory::ALL`]
+/// order, used by [`Crawler::crawl_recorded`]. Exposed so multi-threaded
+/// harnesses can pre-register the full set — snapshot ordering is
+/// insertion order, so counters must exist before workers race to them.
+pub const USAGE_COUNTERS: [&str; 7] = [
+    "crawler.usage.not_resolved",
+    "crawler.usage.error",
+    "crawler.usage.empty",
+    "crawler.usage.parked",
+    "crawler.usage.for_sale",
+    "crawler.usage.redirected",
+    "crawler.usage.meaningful",
+];
+
+pub(crate) fn usage_counter(category: UsageCategory) -> &'static str {
     match category {
-        UsageCategory::NotResolved => "crawler.usage.not_resolved",
-        UsageCategory::Error => "crawler.usage.error",
-        UsageCategory::Empty => "crawler.usage.empty",
-        UsageCategory::Parked => "crawler.usage.parked",
-        UsageCategory::ForSale => "crawler.usage.for_sale",
-        UsageCategory::Redirected => "crawler.usage.redirected",
-        UsageCategory::Meaningful => "crawler.usage.meaningful",
+        UsageCategory::NotResolved => USAGE_COUNTERS[0],
+        UsageCategory::Error => USAGE_COUNTERS[1],
+        UsageCategory::Empty => USAGE_COUNTERS[2],
+        UsageCategory::Parked => USAGE_COUNTERS[3],
+        UsageCategory::ForSale => USAGE_COUNTERS[4],
+        UsageCategory::Redirected => USAGE_COUNTERS[5],
+        UsageCategory::Meaningful => USAGE_COUNTERS[6],
     }
 }
 

@@ -231,9 +231,10 @@ impl Ecosystem {
 
         // --- 9. Zone files. ---
         let mut span = recorder.span("datagen.zones");
-        let zones = emit_zones(&idn_registrations, &non_idn_registrations);
+        let (zones, zones_skipped) = emit_zones(&idn_registrations, &non_idn_registrations);
         span.add_records(zones.iter().map(|z| z.records.len() as u64).sum());
         drop(span);
+        recorder.add("datagen.zones.skipped", zones_skipped);
 
         Ecosystem {
             config: config.clone(),
@@ -526,29 +527,34 @@ fn add_traffic<R: Rng + ?Sized>(
 }
 
 /// Builds one zone per TLD containing NS (and A, when resolving) records.
-fn emit_zones(idns: &[DomainRegistration], non_idns: &[DomainRegistration]) -> Vec<Zone> {
+///
+/// Registrations whose names do not survive the zone's name grammar (e.g.
+/// an NS owner pushing past the 253-octet limit) are skipped, not
+/// panicked over; the second return value counts them so the caller can
+/// surface the loss (`datagen.zones.skipped`).
+fn emit_zones(idns: &[DomainRegistration], non_idns: &[DomainRegistration]) -> (Vec<Zone>, u64) {
     let mut zones: Vec<Zone> = TABLE_I
         .iter()
-        .map(|spec| Zone::new(spec.tld.parse().expect("static tld parses")))
+        .filter_map(|spec| spec.tld.parse().ok().map(Zone::new))
         .collect();
+    let mut skipped = 0u64;
     for reg in idns.iter().chain(non_idns) {
         let Some(zone) = zones.iter_mut().find(|z| z.origin.to_string() == reg.tld) else {
+            skipped += 1;
             continue;
         };
-        let Ok(owner) = reg.domain.parse() else {
+        let (Ok(owner), Ok(ns)) = (reg.domain.parse(), format!("ns1.{}", reg.domain).parse())
+        else {
+            skipped += 1;
             continue;
         };
         zone.records.push(ResourceRecord {
             owner,
             ttl: 86_400,
-            rdata: RData::Ns(
-                format!("ns1.{}", reg.domain)
-                    .parse()
-                    .expect("ns name parses"),
-            ),
+            rdata: RData::Ns(ns),
         });
     }
-    zones
+    (zones, skipped)
 }
 
 #[cfg(test)]

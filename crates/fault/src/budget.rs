@@ -1,0 +1,175 @@
+//! Error budgets and the clean/degraded/budget-exceeded run contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Terminal health of a pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// No errors at all.
+    Clean,
+    /// Errors occurred but stayed within the budget; results are partial
+    /// and annotated with coverage, not aborted.
+    Degraded,
+    /// Errors exceeded the budget; results are not trustworthy.
+    BudgetExceeded,
+}
+
+impl RunStatus {
+    /// The process exit-code contract: `0` clean, `3` degraded, `4`
+    /// budget exceeded (1 and 2 stay reserved for usage/IO errors).
+    pub fn exit_code(self) -> i32 {
+        match self {
+            RunStatus::Clean => 0,
+            RunStatus::Degraded => 3,
+            RunStatus::BudgetExceeded => 4,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunStatus::Clean => "clean",
+            RunStatus::Degraded => "degraded",
+            RunStatus::BudgetExceeded => "budget-exceeded",
+        }
+    }
+}
+
+/// Thread-safe ok/error accounting with a per-mille allowance.
+///
+/// Stages record successes and failures as they go; at the end of the run
+/// the aggregate folds into a [`RunStatus`]. Counting is atomic and
+/// order-independent, so worker threads can share one budget.
+#[derive(Debug, Default)]
+pub struct ErrorBudget {
+    ok: AtomicU64,
+    errors: AtomicU64,
+    allowed_per_mille: u32,
+}
+
+impl ErrorBudget {
+    /// A budget allowing up to `allowed_per_mille` errors per 1000 records
+    /// before the run counts as budget-exceeded.
+    pub fn new(allowed_per_mille: u32) -> Self {
+        ErrorBudget {
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            allowed_per_mille,
+        }
+    }
+
+    /// Records `n` successful records.
+    pub fn record_ok(&self, n: u64) {
+        self.ok.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` failed records.
+    pub fn record_error(&self, n: u64) {
+        self.errors.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Successful records so far.
+    pub fn ok(&self) -> u64 {
+        self.ok.load(Ordering::Relaxed)
+    }
+
+    /// Failed records so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The allowance, per mille.
+    pub fn allowed_per_mille(&self) -> u32 {
+        self.allowed_per_mille
+    }
+
+    /// Observed error rate, per mille (0 when nothing was recorded).
+    pub fn error_per_mille(&self) -> u64 {
+        let errors = self.errors();
+        (errors * 1000).checked_div(self.ok() + errors).unwrap_or(0)
+    }
+
+    /// Folds the accounting into the run verdict.
+    pub fn status(&self) -> RunStatus {
+        let errors = self.errors();
+        if errors == 0 {
+            RunStatus::Clean
+        } else if errors * 1000 <= (self.ok() + errors) * u64::from(self.allowed_per_mille) {
+            RunStatus::Degraded
+        } else {
+            RunStatus::BudgetExceeded
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_errors_is_clean() {
+        let budget = ErrorBudget::new(100);
+        budget.record_ok(1000);
+        assert_eq!(budget.status(), RunStatus::Clean);
+        assert_eq!(budget.error_per_mille(), 0);
+    }
+
+    #[test]
+    fn errors_within_budget_degrade() {
+        let budget = ErrorBudget::new(100);
+        budget.record_ok(990);
+        budget.record_error(10); // 10‰ ≤ 100‰
+        assert_eq!(budget.status(), RunStatus::Degraded);
+        assert_eq!(budget.error_per_mille(), 10);
+    }
+
+    #[test]
+    fn errors_past_budget_exceed() {
+        let budget = ErrorBudget::new(100);
+        budget.record_ok(800);
+        budget.record_error(200); // 200‰ > 100‰
+        assert_eq!(budget.status(), RunStatus::BudgetExceeded);
+    }
+
+    #[test]
+    fn empty_budget_is_clean() {
+        assert_eq!(ErrorBudget::new(0).status(), RunStatus::Clean);
+    }
+
+    #[test]
+    fn zero_allowance_makes_any_error_exceed() {
+        let budget = ErrorBudget::new(0);
+        budget.record_ok(999_999);
+        budget.record_error(1);
+        assert_eq!(budget.status(), RunStatus::BudgetExceeded);
+    }
+
+    #[test]
+    fn exit_codes_follow_the_contract() {
+        assert_eq!(RunStatus::Clean.exit_code(), 0);
+        assert_eq!(RunStatus::Degraded.exit_code(), 3);
+        assert_eq!(RunStatus::BudgetExceeded.exit_code(), 4);
+        assert_eq!(RunStatus::Degraded.label(), "degraded");
+    }
+
+    #[test]
+    fn budget_is_shareable_across_threads() {
+        let budget = ErrorBudget::new(500);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..1000u64 {
+                        if i % 10 == 0 {
+                            budget.record_error(1);
+                        } else {
+                            budget.record_ok(1);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(budget.ok() + budget.errors(), 4000);
+        assert_eq!(budget.errors(), 400);
+        assert_eq!(budget.status(), RunStatus::Degraded);
+    }
+}

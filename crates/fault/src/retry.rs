@@ -1,0 +1,279 @@
+//! The retry executor: attempts, exponential backoff with deterministic
+//! jitter, and a per-target deadline budget over a simulated clock.
+
+use crate::{mix64, SimClock};
+
+/// What one attempt produced: a terminal value or a transient failure
+/// worth retrying (carrying the would-be terminal value in case the
+/// schedule runs out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attempt<T> {
+    /// Terminal — stop retrying.
+    Done(T),
+    /// Transient — retry if attempts and deadline allow; `T` becomes the
+    /// terminal value if they don't.
+    Retry(T),
+}
+
+/// The terminal verdict of a retry schedule, with the whole schedule
+/// observable: attempt count, retries, virtual backoff and elapsed time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryReport<T> {
+    /// The terminal value (from `Done`, or the last `Retry` when the
+    /// schedule was exhausted).
+    pub value: T,
+    /// Attempts performed (≥ 1).
+    pub attempts: u32,
+    /// Retries performed (`attempts - 1` unless the deadline cut in).
+    pub retries: u32,
+    /// Total virtual backoff slept between attempts, in nanoseconds.
+    pub backoff_nanos: u64,
+    /// Virtual time consumed by the whole schedule, in nanoseconds.
+    pub elapsed_nanos: u64,
+    /// Whether the per-target deadline budget ended the schedule early.
+    pub deadline_hit: bool,
+    /// Whether the schedule ended on a transient failure (attempts or
+    /// deadline exhausted without a terminal success).
+    pub exhausted: bool,
+}
+
+/// The retry discipline a pipeline stage executes under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per target (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in virtual nanoseconds.
+    pub base_backoff_nanos: u64,
+    /// Exponential backoff multiplier between retries.
+    pub backoff_multiplier: u32,
+    /// Jitter amplitude, per mille of the nominal backoff (deterministic:
+    /// derived from the jitter seed, not an RNG).
+    pub jitter_per_mille: u32,
+    /// Virtual cost of an attempt that times out.
+    pub attempt_timeout_nanos: u64,
+    /// Virtual cost of an attempt that gets an answer.
+    pub attempt_cost_nanos: u64,
+    /// Per-target deadline: once virtual elapsed time would pass this, the
+    /// schedule stops (the paper's crawler gave every domain a bounded
+    /// slice of the measurement window).
+    pub deadline_nanos: u64,
+}
+
+impl Default for RetryPolicy {
+    /// ZDNS-flavoured defaults: 3 attempts, 100 ms base backoff doubling
+    /// per retry with ±25 % jitter, 2 s attempt timeout, 50 ms answered
+    /// attempt, 10 s per-target deadline.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_nanos: 100_000_000,
+            backoff_multiplier: 2,
+            jitter_per_mille: 250,
+            attempt_timeout_nanos: 2_000_000_000,
+            attempt_cost_nanos: 50_000_000,
+            deadline_nanos: 10_000_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single-attempt policy: no retries, no backoff — the pre-fault
+    /// pipeline's behaviour expressed in the new vocabulary.
+    pub fn single_attempt() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_nanos: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Nominal backoff before retry number `retry` (0-based), jittered
+    /// deterministically by `jitter_seed`.
+    pub fn backoff_nanos(&self, jitter_seed: u64, retry: u32) -> u64 {
+        let nominal = self
+            .base_backoff_nanos
+            .saturating_mul(u64::from(self.backoff_multiplier).saturating_pow(retry));
+        if self.jitter_per_mille == 0 || nominal == 0 {
+            return nominal;
+        }
+        // factor ∈ [1000 - j, 1000 + j] per mille, from the hash stream.
+        let j = u64::from(self.jitter_per_mille.min(1000));
+        let roll = mix64(jitter_seed ^ u64::from(retry).wrapping_mul(0x9FB2_1C65_1E98_DF25));
+        let factor = 1000 - j + (roll % (2 * j + 1));
+        nominal / 1000 * factor
+    }
+
+    /// Runs `attempt_fn` under this policy against `clock`.
+    ///
+    /// `attempt_fn` receives the 0-based attempt index and returns the
+    /// attempt's verdict plus its virtual cost in nanoseconds (e.g.
+    /// [`RetryPolicy::attempt_timeout_nanos`] for a timeout,
+    /// [`RetryPolicy::attempt_cost_nanos`] for an answer). The executor
+    /// advances the clock by each attempt's cost and each backoff, stopping
+    /// when a verdict is terminal, attempts run out, or the next step would
+    /// pass the deadline.
+    pub fn execute<T>(
+        &self,
+        jitter_seed: u64,
+        clock: &mut SimClock,
+        mut attempt_fn: impl FnMut(u32) -> (Attempt<T>, u64),
+    ) -> RetryReport<T> {
+        let started = clock.now();
+        let max_attempts = self.max_attempts.max(1);
+        let mut backoff_total = 0u64;
+        let mut attempts = 0u32;
+        let mut deadline_hit = false;
+        let deadline = started.saturating_add(self.deadline_nanos);
+
+        let mut last;
+        loop {
+            let (verdict, cost) = attempt_fn(attempts);
+            attempts += 1;
+            clock.advance(cost);
+            match verdict {
+                Attempt::Done(value) => {
+                    return RetryReport {
+                        value,
+                        attempts,
+                        retries: attempts - 1,
+                        backoff_nanos: backoff_total,
+                        elapsed_nanos: clock.now() - started,
+                        deadline_hit: false,
+                        exhausted: false,
+                    };
+                }
+                Attempt::Retry(value) => last = value,
+            }
+            if attempts >= max_attempts {
+                break;
+            }
+            let backoff = self.backoff_nanos(jitter_seed, attempts - 1);
+            if clock.now().saturating_add(backoff) > deadline {
+                deadline_hit = true;
+                break;
+            }
+            clock.advance(backoff);
+            backoff_total += backoff;
+        }
+        RetryReport {
+            value: last,
+            attempts,
+            retries: attempts - 1,
+            backoff_nanos: backoff_total,
+            elapsed_nanos: clock.now() - started,
+            deadline_hit,
+            exhausted: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_success_needs_no_retry() {
+        let policy = RetryPolicy::default();
+        let mut clock = SimClock::new();
+        let report = policy.execute(1, &mut clock, |_| {
+            (Attempt::Done("ok"), policy.attempt_cost_nanos)
+        });
+        assert_eq!(report.value, "ok");
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.backoff_nanos, 0);
+        assert!(!report.exhausted);
+        assert_eq!(clock.now(), policy.attempt_cost_nanos);
+    }
+
+    #[test]
+    fn exhaustion_returns_last_transient_value() {
+        let policy = RetryPolicy::default();
+        let mut clock = SimClock::new();
+        let report = policy.execute(2, &mut clock, |i| {
+            (Attempt::Retry(i), policy.attempt_timeout_nanos)
+        });
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.value, 2, "carries the last attempt's value");
+        assert!(report.exhausted);
+        assert!(!report.deadline_hit);
+        assert!(report.backoff_nanos > 0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter() {
+        let policy = RetryPolicy {
+            jitter_per_mille: 250,
+            ..RetryPolicy::default()
+        };
+        for seed in [0u64, 1, 99, u64::MAX] {
+            let b0 = policy.backoff_nanos(seed, 0);
+            let b1 = policy.backoff_nanos(seed, 1);
+            let b2 = policy.backoff_nanos(seed, 2);
+            let base = policy.base_backoff_nanos as f64;
+            assert!((0.75..=1.2501).contains(&(b0 as f64 / base)), "{b0}");
+            assert!(
+                (0.75..=1.2501).contains(&(b1 as f64 / (2.0 * base))),
+                "{b1}"
+            );
+            assert!(
+                (0.75..=1.2501).contains(&(b2 as f64 / (4.0 * base))),
+                "{b2}"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff_nanos(5, 1), policy.backoff_nanos(5, 1));
+        let differs = (0..64).any(|s| policy.backoff_nanos(s, 0) != policy.backoff_nanos(s + 1, 0));
+        assert!(differs, "jitter ignores the seed");
+    }
+
+    #[test]
+    fn deadline_cuts_the_schedule_short() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            deadline_nanos: 5_000_000_000, // two 2s timeouts + backoff fit; not ten
+            ..RetryPolicy::default()
+        };
+        let mut clock = SimClock::new();
+        let report = policy.execute(3, &mut clock, |_| {
+            (Attempt::Retry(()), policy.attempt_timeout_nanos)
+        });
+        assert!(report.deadline_hit);
+        assert!(report.exhausted);
+        assert!(report.attempts < 10, "attempts {}", report.attempts);
+        assert!(report.elapsed_nanos <= policy.deadline_nanos + policy.attempt_timeout_nanos);
+    }
+
+    #[test]
+    fn single_attempt_policy_never_retries() {
+        let policy = RetryPolicy::single_attempt();
+        let mut clock = SimClock::new();
+        let report = policy.execute(0, &mut clock, |_| {
+            (Attempt::Retry("failed"), policy.attempt_timeout_nanos)
+        });
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.retries, 0);
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn schedules_are_replayable() {
+        let policy = RetryPolicy::default();
+        let run = || {
+            let mut clock = SimClock::new();
+            let report = policy.execute(77, &mut clock, |i| {
+                if i < 2 {
+                    (Attempt::Retry(i), policy.attempt_timeout_nanos)
+                } else {
+                    (Attempt::Done(i), policy.attempt_cost_nanos)
+                }
+            });
+            (report, clock.now())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -91,6 +91,40 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Renders only the *deterministic* subset of the snapshot: counters,
+    /// and each stage's `calls`/`records` (everything wall-clock-derived —
+    /// latencies, percentiles — is omitted). Two runs of a seeded pipeline
+    /// must produce byte-identical output here even though their timings
+    /// differ; replay/determinism tests compare this rendering.
+    pub fn render_deterministic_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":");
+        push_json_string(&mut out, SCHEMA);
+        out.push_str(",\"stages\":[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &s.name);
+            out.push_str(&format!(
+                ",\"calls\":{},\"records\":{}}}",
+                s.calls, s.records
+            ));
+        }
+        out.push_str("],\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &c.name);
+            out.push_str(&format!(",\"value\":{}}}", c.value));
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Renders the machine-readable JSON document.
     ///
     /// Layout (stable within `idnre-metrics/1`):

@@ -10,7 +10,20 @@
 
 use crate::parser::{parse_whois, ParseWhoisError};
 use crate::record::WhoisRecord;
+use idnre_telemetry::Recorder;
 use std::collections::HashMap;
+
+/// Counter names [`WhoisCrawler::crawl_batch_recorded`] maintains, for
+/// pre-registration (a counter that never fires still shows up at zero).
+/// `whois.parse.failed` sits alongside coverage so the paper's ≈50%
+/// missing-WHOIS story is observable, not just an aggregate.
+pub const CRAWL_COUNTERS: [&str; 5] = [
+    "whois.crawl.attempted",
+    "whois.crawl.parsed",
+    "whois.crawl.blocked",
+    "whois.parse.failed",
+    "whois.crawl.no_server",
+];
 
 /// How a registrar's WHOIS endpoint behaves.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -173,6 +186,46 @@ impl WhoisCrawler {
         }
         (records, stats)
     }
+
+    /// [`WhoisCrawler::crawl_batch`] with per-outcome telemetry: one
+    /// `whois.crawl.attempted` increment per domain and one of
+    /// `whois.crawl.parsed` / `whois.crawl.blocked` / `whois.parse.failed`
+    /// / `whois.crawl.no_server` for its outcome (see [`CRAWL_COUNTERS`]).
+    /// Recording never influences the crawl.
+    pub fn crawl_batch_recorded<'a, I>(
+        &mut self,
+        batch: I,
+        recorder: &dyn Recorder,
+    ) -> (Vec<WhoisRecord>, CrawlStats)
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut records = Vec::new();
+        let mut stats = CrawlStats::default();
+        for (registrar, raw) in batch {
+            recorder.incr(CRAWL_COUNTERS[0]);
+            match self.crawl(registrar, raw) {
+                Ok(record) => {
+                    stats.parsed += 1;
+                    recorder.incr(CRAWL_COUNTERS[1]);
+                    records.push(record);
+                }
+                Err(CrawlFailure::Blocked) => {
+                    stats.blocked += 1;
+                    recorder.incr(CRAWL_COUNTERS[2]);
+                }
+                Err(CrawlFailure::ParseFailure) => {
+                    stats.parse_failures += 1;
+                    recorder.incr(CRAWL_COUNTERS[3]);
+                }
+                Err(CrawlFailure::NoServer) => {
+                    stats.no_server += 1;
+                    recorder.incr(CRAWL_COUNTERS[4]);
+                }
+            }
+        }
+        (records, stats)
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +293,58 @@ mod tests {
             stats.coverage()
         );
         assert!(stats.parse_failures > 900);
+    }
+
+    #[test]
+    fn recorded_batch_matches_plain_and_counts_outcomes() {
+        let registry = idnre_telemetry::Registry::new();
+        for name in CRAWL_COUNTERS {
+            registry.add(name, 0);
+        }
+        let batch = |crawler: &mut WhoisCrawler| {
+            crawler.add_server("Open Inc.", ServerPolicy::open());
+            crawler.add_server("Fortress LLC", ServerPolicy::blocking());
+        };
+        let raws: Vec<String> = (0..40).map(|i| raw(&format!("d{i}.com"))).collect();
+        let assignments: Vec<(&str, &str)> = raws
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let registrar = match i % 4 {
+                    0 | 1 => "Open Inc.",
+                    2 => "Fortress LLC",
+                    _ => "Ghost",
+                };
+                (registrar, r.as_str())
+            })
+            .collect();
+
+        let mut plain = WhoisCrawler::new();
+        batch(&mut plain);
+        let (plain_records, plain_stats) = plain.crawl_batch(assignments.clone());
+
+        let mut recorded = WhoisCrawler::new();
+        batch(&mut recorded);
+        let (records, stats) = recorded.crawl_batch_recorded(assignments, &registry);
+        assert_eq!(records, plain_records);
+        assert_eq!(stats, plain_stats);
+        assert_eq!(registry.counter_value("whois.crawl.attempted"), 40);
+        assert_eq!(
+            registry.counter_value("whois.crawl.parsed"),
+            stats.parsed as u64
+        );
+        assert_eq!(
+            registry.counter_value("whois.crawl.blocked"),
+            stats.blocked as u64
+        );
+        assert_eq!(
+            registry.counter_value("whois.parse.failed"),
+            stats.parse_failures as u64
+        );
+        assert_eq!(
+            registry.counter_value("whois.crawl.no_server"),
+            stats.no_server as u64
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ mod date;
 mod parser;
 mod record;
 
-pub use crawler::{CrawlFailure, CrawlStats, ServerPolicy, WhoisCrawler};
+pub use crawler::{CrawlFailure, CrawlStats, ServerPolicy, WhoisCrawler, CRAWL_COUNTERS};
 pub use date::{Date, ParseDateError};
-pub use parser::{parse_whois, ParseWhoisError};
+pub use parser::{parse_whois, parse_whois_corpus, ParseWhoisError, WhoisCorpus};
 pub use record::{WhoisDialect, WhoisRecord};

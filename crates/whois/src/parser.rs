@@ -64,6 +64,80 @@ pub fn parse_whois(raw: &str) -> Result<WhoisRecord, ParseWhoisError> {
     build_record(dialect, &fields)
 }
 
+/// What lenient corpus parsing salvaged: every record that parsed, plus
+/// an account of every response that didn't.
+#[derive(Debug, Clone)]
+pub struct WhoisCorpus {
+    /// The responses that parsed cleanly, in corpus order.
+    pub records: Vec<WhoisRecord>,
+    /// `(response_index, error)` for every response that had to be
+    /// skipped.
+    pub errors: Vec<(usize, ParseWhoisError)>,
+    /// Responses attempted, including the skipped ones.
+    pub attempted: usize,
+}
+
+impl WhoisCorpus {
+    /// Fraction of attempted responses that parsed, per mille (1000 for
+    /// an empty corpus: nothing was lost).
+    pub fn coverage_per_mille(&self) -> u64 {
+        if self.attempted == 0 {
+            1000
+        } else {
+            self.records.len() as u64 * 1000 / self.attempted as u64
+        }
+    }
+
+    /// Whether nothing had to be skipped.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Parses a bulk-crawl dump of concatenated WHOIS responses, separated by
+/// lines starting with `=====` (the conventional bulk-whois delimiter),
+/// skipping (and accounting for) responses that do not parse instead of
+/// aborting.
+///
+/// Degrade-and-continue semantics: a refused or unparseable response
+/// costs that response only; the rest of the corpus still comes through.
+/// Blank responses between delimiters are ignored entirely.
+pub fn parse_whois_corpus(dump: &str) -> WhoisCorpus {
+    let mut records = Vec::new();
+    let mut errors = Vec::new();
+    let mut attempted = 0usize;
+    let mut chunk = String::new();
+
+    let mut flush = |chunk: &mut String, records: &mut Vec<WhoisRecord>, errors: &mut Vec<_>| {
+        if chunk.trim().is_empty() {
+            chunk.clear();
+            return;
+        }
+        match parse_whois(chunk) {
+            Ok(record) => records.push(record),
+            Err(error) => errors.push((attempted, error)),
+        }
+        attempted += 1;
+        chunk.clear();
+    };
+
+    for line in dump.lines() {
+        if line.starts_with("=====") {
+            flush(&mut chunk, &mut records, &mut errors);
+        } else {
+            chunk.push_str(line);
+            chunk.push('\n');
+        }
+    }
+    flush(&mut chunk, &mut records, &mut errors);
+
+    WhoisCorpus {
+        records,
+        errors,
+        attempted,
+    }
+}
+
 fn detect_dialect(raw: &str) -> WhoisDialect {
     let has_bracket = raw.lines().any(|l| {
         let t = l.trim_start();
@@ -238,6 +312,37 @@ fn build_record(dialect: WhoisDialect, fields: &Fields) -> Result<WhoisRecord, P
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn corpus_parsing_is_lenient() {
+        let dump = "\
+Domain Name: a.com\nRegistrar: R\n\
+===== next =====\n\
+complete garbage with no fields at all\n\
+===== next =====\n\
+Query rate exceeded\n\
+===== next =====\n\
+Domain Name: b.com\nRegistrar: R\n\
+=====\n";
+        let corpus = parse_whois_corpus(dump);
+        assert_eq!(corpus.attempted, 4);
+        assert_eq!(corpus.records.len(), 2);
+        assert_eq!(corpus.records[0].domain, "a.com");
+        assert_eq!(corpus.records[1].domain, "b.com");
+        assert_eq!(corpus.errors.len(), 2);
+        assert_eq!(corpus.errors[0], (1, ParseWhoisError::Unrecognized));
+        assert_eq!(corpus.errors[1], (2, ParseWhoisError::Refused));
+        assert_eq!(corpus.coverage_per_mille(), 500);
+        assert!(!corpus.is_clean());
+    }
+
+    #[test]
+    fn empty_corpus_has_full_coverage() {
+        let corpus = parse_whois_corpus("=====\n\n=====\n");
+        assert_eq!(corpus.attempted, 0);
+        assert!(corpus.is_clean());
+        assert_eq!(corpus.coverage_per_mille(), 1000);
+    }
 
     const KEY_VALUE: &str = "\
 Domain Name: XN--0WWY37B.COM

@@ -32,7 +32,7 @@ mod record;
 mod scan;
 mod writer;
 
-pub use parser::{parse_zone, ParseZoneError};
+pub use parser::{parse_zone, parse_zone_lenient, LenientZone, ParseZoneError};
 pub use record::{RData, RecordType, ResourceRecord, SoaData, Zone};
 pub use scan::{ScanReport, ZoneScanner, ZoneStats};
 pub use writer::write_zone;

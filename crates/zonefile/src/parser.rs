@@ -48,6 +48,10 @@ impl Error for ParseZoneError {}
 /// `default_origin` seeds `$ORIGIN` (pass the TLD, e.g. `"com"`); a
 /// `$ORIGIN` directive inside the file overrides it.
 ///
+/// This is *strict* mode: the first malformed line aborts the parse. Real
+/// registry dumps are not always pristine; [`parse_zone_lenient`] keeps
+/// going and accounts for what it had to skip.
+///
 /// # Errors
 ///
 /// Returns a [`ParseZoneError`] naming the offending line on malformed
@@ -77,6 +81,100 @@ pub fn parse_zone(default_origin: &str, text: &str) -> Result<Zone, ParseZoneErr
         zone.records.push(record);
     }
     Ok(zone)
+}
+
+/// What lenient parsing salvaged from a (possibly corrupt) zone file:
+/// every record that parsed, plus an account of every line that didn't.
+#[derive(Debug, Clone)]
+pub struct LenientZone {
+    /// The records that parsed cleanly.
+    pub zone: Zone,
+    /// One error per logical line (or paren group) that had to be skipped.
+    pub errors: Vec<ParseZoneError>,
+    /// Logical lines attempted (records + directives), including the
+    /// skipped ones.
+    pub attempted: usize,
+}
+
+impl LenientZone {
+    /// Logical lines that parsed cleanly.
+    pub fn parsed(&self) -> usize {
+        self.attempted - self.errors.len().min(self.attempted)
+    }
+
+    /// Fraction of attempted lines that parsed, per mille (1000 for an
+    /// empty file: nothing was lost).
+    pub fn coverage_per_mille(&self) -> u64 {
+        if self.attempted == 0 {
+            1000
+        } else {
+            self.parsed() as u64 * 1000 / self.attempted as u64
+        }
+    }
+
+    /// Whether nothing had to be skipped.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Parses a zone file's text, skipping (and accounting for) malformed
+/// lines instead of aborting.
+///
+/// Degrade-and-continue semantics: a bad record or directive costs that
+/// logical line only; parsing resumes on the next one. A stray `)` voids
+/// its own line, and a paren group left open at end-of-input voids the
+/// group — each recorded as [`ParseZoneError::UnbalancedParens`]. The
+/// result always contains every record that *did* parse, with
+/// [`LenientZone::coverage_per_mille`] saying how much of the file that
+/// was.
+pub fn parse_zone_lenient(default_origin: &str, text: &str) -> LenientZone {
+    let mut errors = Vec::new();
+    let origin: DomainName = match default_origin.parse() {
+        Ok(origin) => origin,
+        Err(e) => {
+            errors.push(ParseZoneError::BadDirective(
+                0,
+                format!("bad default origin: {e}"),
+            ));
+            // Static RFC 2606 fallback; cannot fail the label grammar.
+            DomainName::parse("invalid").expect("static name parses")
+        }
+    };
+    let mut state = ParserState {
+        origin: origin.clone(),
+        default_ttl: 3600,
+        last_owner: None,
+    };
+    let mut zone = Zone::new(origin);
+
+    let (lines, line_errors) = logical_lines_lenient(text);
+    errors.extend(line_errors);
+    let mut attempted = errors.len();
+
+    for (line_no, logical) in lines {
+        let tokens = tokenize(&logical);
+        if tokens.is_empty() {
+            continue;
+        }
+        attempted += 1;
+        let result = if tokens[0].starts_with('$') {
+            state.apply_directive(line_no, &tokens)
+        } else {
+            let starts_with_space = logical.starts_with(' ') || logical.starts_with('\t');
+            state
+                .parse_record(line_no, &tokens, starts_with_space)
+                .map(|record| zone.records.push(record))
+        };
+        if let Err(error) = result {
+            errors.push(error);
+        }
+    }
+    LenientZone {
+        zone,
+        errors,
+        attempted,
+    }
 }
 
 struct ParserState {
@@ -283,6 +381,53 @@ fn logical_lines(text: &str) -> Result<Vec<(usize, String)>, ParseZoneError> {
     Ok(out)
 }
 
+/// [`logical_lines`] that records paren errors and keeps going: a stray
+/// `)` voids its own logical line, an unclosed group at end-of-input
+/// voids the group. Everything else still comes out.
+fn logical_lines_lenient(text: &str) -> (Vec<(usize, String)>, Vec<ParseZoneError>) {
+    let mut out = Vec::new();
+    let mut errors = Vec::new();
+    let mut buffer = String::new();
+    let mut depth = 0usize;
+    let mut start_line = 0usize;
+    let mut poisoned = false;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let stripped = strip_comment(raw);
+        if depth == 0 {
+            buffer.clear();
+            start_line = line_no;
+            poisoned = false;
+        } else {
+            buffer.push(' ');
+        }
+        for c in stripped.chars() {
+            match c {
+                '(' => depth += 1,
+                ')' => match depth.checked_sub(1) {
+                    Some(d) => depth = d,
+                    None => {
+                        if !poisoned {
+                            errors.push(ParseZoneError::UnbalancedParens);
+                            poisoned = true;
+                        }
+                    }
+                },
+                _ => buffer.push(c),
+            }
+        }
+        if depth == 0 && !poisoned && !buffer.trim().is_empty() {
+            out.push((start_line, buffer.clone()));
+        }
+    }
+    if depth != 0 {
+        // The trailing group never closed; drop it and account for it.
+        errors.push(ParseZoneError::UnbalancedParens);
+    }
+    (out, errors)
+}
+
 /// Removes a `;` comment, respecting double-quoted strings.
 fn strip_comment(line: &str) -> String {
     let mut out = String::with_capacity(line.len());
@@ -410,6 +555,64 @@ mail.example  IN A 192.0.2.5
             parse_zone("com", "a IN WKS whatever\n"),
             Err(ParseZoneError::BadRecord(1, _))
         ));
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_input() {
+        let strict = parse_zone("com", SAMPLE).unwrap();
+        let lenient = parse_zone_lenient("com", SAMPLE);
+        assert!(lenient.is_clean());
+        assert_eq!(lenient.zone.len(), strict.len());
+        assert_eq!(lenient.coverage_per_mille(), 1000);
+        assert_eq!(lenient.parsed(), lenient.attempted);
+    }
+
+    #[test]
+    fn lenient_skips_and_accounts_for_bad_lines() {
+        let text = "good IN NS ns1.good.com.\n\
+                    bad IN A not-an-ip\n\
+                    $BOGUS 1\n\
+                    also IN NS ns1.also.com.\n";
+        // Strict aborts on the first bad line...
+        assert!(parse_zone("com", text).is_err());
+        // ...lenient completes with per-line error accounting.
+        let lenient = parse_zone_lenient("com", text);
+        assert_eq!(lenient.zone.len(), 2);
+        assert_eq!(lenient.errors.len(), 2);
+        assert_eq!(lenient.attempted, 4);
+        assert_eq!(lenient.coverage_per_mille(), 500);
+        assert!(matches!(lenient.errors[0], ParseZoneError::BadRecord(2, _)));
+        assert!(matches!(
+            lenient.errors[1],
+            ParseZoneError::BadDirective(3, _)
+        ));
+    }
+
+    #[test]
+    fn lenient_survives_unbalanced_parens() {
+        // A stray close, then a good line, then a group left open at EOF.
+        let text = "a IN NS ) ns1.a.com.\n\
+                    b IN NS ns1.b.com.\n\
+                    c IN SOA x. y. (1 2 3 4\n";
+        let lenient = parse_zone_lenient("com", text);
+        assert_eq!(lenient.zone.len(), 1);
+        assert_eq!(lenient.zone.records[0].owner.to_string(), "b.com");
+        assert_eq!(
+            lenient
+                .errors
+                .iter()
+                .filter(|e| matches!(e, ParseZoneError::UnbalancedParens))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lenient_empty_input_is_full_coverage() {
+        let lenient = parse_zone_lenient("com", "; only a comment\n\n");
+        assert!(lenient.is_clean());
+        assert_eq!(lenient.attempted, 0);
+        assert_eq!(lenient.coverage_per_mille(), 1000);
     }
 
     #[test]

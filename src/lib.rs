@@ -10,6 +10,7 @@ pub use idnre_certs as certs;
 pub use idnre_core as core;
 pub use idnre_crawler as crawler;
 pub use idnre_datagen as datagen;
+pub use idnre_fault as fault;
 pub use idnre_idna as idna;
 pub use idnre_langid as langid;
 pub use idnre_pdns as pdns;
