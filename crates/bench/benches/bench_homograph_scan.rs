@@ -81,6 +81,34 @@ fn bench_prefilter_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Indexed vs exhaustive scan across the corpus-size ladder (1k/10k/100k
+/// domains, synthesized by cycling the generated corpus). The exhaustive
+/// oracle is O(brands) per domain, so its large-size points use a minimal
+/// sample count — expect the 100k pair to dominate a `cargo bench` run.
+fn bench_index_scaling(c: &mut Criterion) {
+    let f = fixture();
+    for size in [1_000usize, 10_000, 100_000] {
+        let corpus: Vec<&str> = f
+            .corpus
+            .iter()
+            .cycle()
+            .take(size)
+            .map(String::as_str)
+            .collect();
+        let mut group = c.benchmark_group(format!("homograph_index_scaling_{size}"));
+        group.throughput(Throughput::Elements(size as u64));
+        group.sample_size(10);
+        group.bench_function("indexed", |b| {
+            b.iter(|| f.detector.scan(corpus.iter().copied(), 8).len())
+        });
+        group.sample_size(2);
+        group.bench_function("exhaustive", |b| {
+            b.iter(|| f.detector.scan_exhaustive(corpus.iter().copied(), 8).len())
+        });
+        group.finish();
+    }
+}
+
 /// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
 /// uses short warmup/measurement windows to keep a whole-workspace
 /// `cargo bench` run in the minutes range.
@@ -93,6 +121,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_detect_single, bench_scan_corpus, bench_prefilter_ablation
+    targets = bench_detect_single, bench_scan_corpus, bench_prefilter_ablation, bench_index_scaling
 }
 criterion_main!(benches);

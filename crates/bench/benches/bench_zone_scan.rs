@@ -45,6 +45,41 @@ fn bench_scan(c: &mut Criterion) {
     group.finish();
 }
 
+/// Lenient (skip-and-count) parse throughput, on the clean corpus and on
+/// one with a corrupted line every 50 — the degraded-ingest path `--faults`
+/// exercises.
+fn bench_parse_lenient(c: &mut Criterion) {
+    let text = generated_zone_text();
+    let records = text.lines().count() as u64;
+    let corrupted: String = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            if i % 50 == 0 {
+                format!("{line} \u{fffd}garbage\n")
+            } else {
+                format!("{line}\n")
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("zone_parse_lenient");
+    group.throughput(Throughput::Elements(records));
+    group.bench_function("clean", |b| {
+        b.iter(|| {
+            let lenient = idnre_zonefile::parse_zone_lenient(black_box("com"), black_box(&text));
+            black_box(lenient.attempted)
+        })
+    });
+    group.bench_function("corrupted_2pct", |b| {
+        b.iter(|| {
+            let lenient =
+                idnre_zonefile::parse_zone_lenient(black_box("com"), black_box(&corrupted));
+            black_box(lenient.attempted)
+        })
+    });
+    group.finish();
+}
+
 fn bench_roundtrip(c: &mut Criterion) {
     let text = generated_zone_text();
     let zone = parse_zone("com", &text).unwrap();
@@ -63,6 +98,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_parse, bench_scan, bench_roundtrip
+    targets = bench_parse, bench_scan, bench_parse_lenient, bench_roundtrip
 }
 criterion_main!(benches);

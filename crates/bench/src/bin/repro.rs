@@ -4,11 +4,13 @@
 //! repro all                      # every table and figure, to stdout
 //! repro table13 fig7             # specific experiments
 //! repro --scale 50 all           # denser ecosystem (1:50)
+//! repro --threads 4 all          # worker threads (default: all cores)
 //! repro --write EXPERIMENTS.md all
 //! repro --metrics text all       # stage-timing table on stderr
 //! repro --metrics json all       # idnre-metrics/1 JSON on stderr
 //! repro --faults smoke all       # inject the `smoke` fault schedule
 //! repro --faults storm:7 all     # `storm` profile, replay seed 7
+//! repro --bench all              # timed run, writes BENCH_pipeline.json
 //! ```
 //!
 //! With `--metrics`, every pipeline stage (generation, detector scans, the
@@ -22,6 +24,14 @@
 //! and the exit code follows the error-budget contract: 0 clean, 3
 //! degraded (errors within budget), 4 budget exceeded. A fixed spec
 //! replays the same schedule byte-for-byte.
+//!
+//! `--threads N` pins the worker count of every parallel stage; the report
+//! bytes are identical at every setting, only wall time changes.
+//!
+//! `--bench` runs the whole pipeline once under timing, prints the stage
+//! table to stderr, and writes `BENCH_pipeline.json`
+//! (`idnre-bench-pipeline/1`) next to the report. It cannot be combined
+//! with `--faults` or `--metrics`.
 
 use idnre_bench::{reports, FaultSetup, ReproContext};
 use idnre_datagen::EcosystemConfig;
@@ -42,6 +52,8 @@ fn main() {
     let mut write_path: Option<String> = None;
     let mut metrics: Option<MetricsFormat> = None;
     let mut faults: Option<FaultSetup> = None;
+    let mut threads: Option<usize> = None;
+    let mut bench = false;
     let mut wanted: Vec<String> = Vec::new();
 
     while let Some(arg) = args.next() {
@@ -58,6 +70,15 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--attack-scale needs a number"));
             }
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| usage("--threads needs a number >= 1"));
+                threads = Some(n.min(idnre_par::MAX_THREADS));
+            }
+            "--bench" => bench = true,
             "--seed" => {
                 config.seed = args
                     .next()
@@ -87,6 +108,20 @@ fn main() {
     }
     if wanted.is_empty() {
         usage("no experiment named");
+    }
+    if let Some(n) = threads {
+        config.threads = n;
+        if let Some(setup) = &mut faults {
+            setup.threads = n;
+        }
+    }
+
+    if bench {
+        if faults.is_some() || metrics.is_some() {
+            usage("--bench cannot be combined with --faults or --metrics");
+        }
+        run_bench(&config, write_path.as_deref());
+        return;
     }
 
     let registry = metrics.map(|_| Arc::new(Registry::new()));
@@ -178,13 +213,48 @@ fn main() {
     }
 }
 
+/// The `--bench` path: one timed end-to-end run, stage table on stderr,
+/// `BENCH_pipeline.json` on disk, and the report where a plain run would
+/// have put it.
+fn run_bench(config: &EcosystemConfig, write_path: Option<&str>) {
+    eprintln!(
+        "benchmarking pipeline (scale 1:{}, attacks 1:{}, seed {:#x}, {} threads)...",
+        config.scale, config.attack_scale, config.seed, config.threads
+    );
+    let bench = idnre_bench::run_pipeline_bench(config);
+    eprint!("{}", idnre_bench::render_bench_text(&bench));
+
+    let bench_path = "BENCH_pipeline.json";
+    let mut json = idnre_bench::render_bench_json(&bench);
+    json.push('\n');
+    std::fs::write(bench_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {bench_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {bench_path}");
+
+    match write_path {
+        Some(path) => {
+            std::fs::write(path, &bench.report).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(bench.report.as_bytes());
+        }
+    }
+}
+
 fn usage(error: &str) -> ! {
     if !error.is_empty() {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: repro [--scale N] [--attack-scale N] [--seed N] [--write PATH] \
-         [--metrics text|json] [--faults none|smoke|flaky|storm|SEED|PROFILE:SEED] \
+        "usage: repro [--scale N] [--attack-scale N] [--seed N] [--threads N] [--write PATH] \
+         [--metrics text|json] [--faults none|smoke|flaky|storm|SEED|PROFILE:SEED] [--bench] \
          <experiment...>\n\
          exit codes with --faults: 0 clean, 3 degraded, 4 error budget exceeded\n\
          experiments: all {}",

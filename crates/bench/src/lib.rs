@@ -23,9 +23,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pipeline_bench;
 pub mod reports;
 pub mod robust;
 
+pub use pipeline_bench::{render_bench_json, render_bench_text, run_pipeline_bench, PipelineBench};
 pub use robust::{FaultSetup, IngestStats, RunHealth, SurveyStats};
 
 use idnre_core::{HomographDetector, HomographFinding, SemanticDetector, SemanticFinding};
@@ -82,6 +84,7 @@ impl ReproContext {
         span.add_records((eco.idn_registrations.len() + eco.non_idn_registrations.len()) as u64);
         drop(span);
 
+        let threads = config.threads;
         let brand_domains: Vec<String> = eco.brands.iter().map(|b| b.domain()).collect();
         let detector = HomographDetector::new(&brand_domains, 0.95);
         let domains: Vec<&str> = eco
@@ -89,9 +92,10 @@ impl ReproContext {
             .iter()
             .map(|r| r.domain.as_str())
             .collect();
-        let homographs = detector.scan_recorded(domains.iter().copied(), 8, &*recorder);
+        let homographs = detector.scan_recorded(domains.iter().copied(), threads, &*recorder);
         let semantic_detector = SemanticDetector::new(&brand_domains);
-        let semantic = semantic_detector.scan_type1_recorded(domains.iter().copied(), &*recorder);
+        let semantic =
+            semantic_detector.scan_type1_parallel(domains.iter().copied(), threads, &*recorder);
         crawl_survey(&eco, &*recorder);
         robust::whois_survey(&eco, None, None, &*recorder);
         ReproContext {
@@ -120,6 +124,7 @@ impl ReproContext {
         span.add_records((eco.idn_registrations.len() + eco.non_idn_registrations.len()) as u64);
         drop(span);
 
+        let threads = config.threads;
         let brand_domains: Vec<String> = eco.brands.iter().map(|b| b.domain()).collect();
         let detector = HomographDetector::new(&brand_domains, 0.95);
         let domains: Vec<&str> = eco
@@ -127,13 +132,14 @@ impl ReproContext {
             .iter()
             .map(|r| r.domain.as_str())
             .collect();
-        let homographs = detector.scan_recorded(domains.iter().copied(), 8, &*recorder);
+        let homographs = detector.scan_recorded(domains.iter().copied(), threads, &*recorder);
         let semantic_detector = SemanticDetector::new(&brand_domains);
-        let semantic = semantic_detector.scan_type1_recorded(domains.iter().copied(), &*recorder);
+        let semantic =
+            semantic_detector.scan_type1_parallel(domains.iter().copied(), threads, &*recorder);
 
         let budget = ErrorBudget::new(setup.plan.profile().budget_per_mille);
         let (zones, zone_stats) =
-            robust::ingest_zones_faulted(&eco.zones, &setup.plan, &budget, &*recorder);
+            robust::ingest_zones_faulted(&eco.zones, &setup.plan, &budget, threads, &*recorder);
         let whois_stats = robust::whois_survey(&eco, Some(&setup.plan), Some(&budget), &*recorder);
         let ctx = idnre_crawler::FaultContext {
             plan: setup.plan,
@@ -152,6 +158,13 @@ impl ReproContext {
     }
 
     /// The full `EXPERIMENTS.md` document.
+    ///
+    /// The report generators are independent pure functions of the built
+    /// context, so they run on the work-queue executor and are stitched
+    /// together in [`reports::ALL`] order — the document is byte-identical
+    /// to a serial run for every thread count. Stage and counter names
+    /// the generators record are pre-registered up front so the metrics
+    /// snapshot order is scheduling-independent.
     pub fn full_report(&self) -> String {
         let scale = self.eco.config.scale;
         let attack_scale = self.eco.config.attack_scale;
@@ -166,15 +179,30 @@ impl ReproContext {
              reproduction target.\n\n",
             self.eco.config.seed
         ));
-        for (name, generator) in reports::ALL {
-            let mut span = if self.recorder.enabled() {
-                self.recorder.span(&format!("report.{name}"))
-            } else {
-                idnre_telemetry::Span::disabled()
-            };
-            let fragment = generator(self);
-            span.add_records(fragment.len() as u64);
-            drop(span);
+        let enabled = self.recorder.enabled();
+        if enabled {
+            for (name, _) in reports::ALL {
+                self.recorder.add_records(&format!("report.{name}"), 0);
+            }
+            self.recorder.add_records("pdns.aggregate", 0);
+            self.recorder
+                .preregister(&["pdns.lookup.hit", "pdns.lookup.miss"]);
+        }
+        let fragments = idnre_par::par_map(
+            reports::ALL,
+            self.eco.config.threads,
+            |(name, generator)| {
+                let mut span = if enabled {
+                    self.recorder.span(&format!("report.{name}"))
+                } else {
+                    idnre_telemetry::Span::disabled()
+                };
+                let fragment = generator(self);
+                span.add_records(fragment.len() as u64);
+                fragment
+            },
+        );
+        for fragment in fragments {
             out.push_str(&fragment);
             out.push('\n');
         }
@@ -211,9 +239,7 @@ fn crawl_survey(eco: &Ecosystem, recorder: &dyn Recorder) {
     }
     // Pin the full outcome-counter set so a snapshot always carries all
     // five, even for outcomes this population never produced.
-    for name in OUTCOME_COUNTERS {
-        recorder.add(name, 0);
-    }
+    recorder.preregister(&OUTCOME_COUNTERS);
     let mut crawled = 0u64;
     for reg in population() {
         let _ = crawler.crawl_recorded(&reg.domain, recorder);

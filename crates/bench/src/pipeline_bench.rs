@@ -1,0 +1,325 @@
+//! The `repro --bench` harness: one timed pass over the end-to-end
+//! pipeline, written as `BENCH_pipeline.json` so every PR leaves a
+//! perf-trajectory point behind.
+//!
+//! Two sources feed the entries:
+//!
+//! 1. **Telemetry spans.** The pipeline runs once under a
+//!    [`Registry`]; every stage span it records (generation sub-stages,
+//!    the detector scans, the surveys, each report generator) becomes one
+//!    entry with its measured wall time and record count.
+//! 2. **Explicit probes.** Stages whose cost the spans do not isolate are
+//!    re-measured directly: punycode decode over the IDN corpus, lenient
+//!    zone ingest over the emitted zones, and the homograph scan in both
+//!    its indexed and exhaustive forms over several corpus sizes — the
+//!    indexed-vs-exhaustive pair is the regression gate CI holds every
+//!    future change to.
+//!
+//! # Schema (`idnre-bench-pipeline/1`)
+//!
+//! ```json
+//! {
+//!   "schema": "idnre-bench-pipeline/1",
+//!   "scale": 50, "attack_scale": 1, "threads": 8, "seed": 497885208,
+//!   "entries": [
+//!     {"stage": "build.ecosystem", "scale": 50, "threads": 8,
+//!      "wall_ns": 1234, "records": 29000, "ns_per_record": 42}
+//!   ]
+//! }
+//! ```
+//!
+//! `records` is the number of domains (or zone lines, report bytes) the
+//! stage processed; `ns_per_record` is the per-domain throughput the
+//! ISSUE's trajectory tracks. Wall times are measurements, not part of
+//! the byte-identical report contract.
+
+use crate::ReproContext;
+use idnre_datagen::EcosystemConfig;
+use idnre_telemetry::Registry;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Schema tag of the JSON this module writes.
+pub const BENCH_SCHEMA: &str = "idnre-bench-pipeline/1";
+
+/// Corpus sizes the homograph indexed-vs-exhaustive comparison runs at
+/// (intersected with the generated corpus).
+pub const HOMOGRAPH_BENCH_SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// The exhaustive oracle is O(brands) per domain, so its probe corpus is
+/// capped to keep a bench run in seconds; the indexed path is measured at
+/// the same capped size so the pair stays comparable.
+pub const EXHAUSTIVE_CAP: usize = 10_000;
+
+/// One timed pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchEntry {
+    /// Dotted stage name (`homograph.scan.indexed`, `report.table1`, …).
+    pub stage: String,
+    /// Wall time of the stage, in nanoseconds.
+    pub wall_ns: u64,
+    /// Records the stage processed (domains, zone lines, report bytes).
+    pub records: u64,
+}
+
+impl BenchEntry {
+    /// Per-record wall time (0 when the stage processed nothing).
+    pub fn ns_per_record(&self) -> u64 {
+        self.wall_ns.checked_div(self.records).unwrap_or(0)
+    }
+}
+
+/// A full `repro --bench` result.
+#[derive(Debug, Clone)]
+pub struct PipelineBench {
+    /// Ecosystem scale denominator the run used.
+    pub scale: u64,
+    /// Attack-population scale denominator.
+    pub attack_scale: u64,
+    /// Worker threads every parallel stage ran on.
+    pub threads: usize,
+    /// RNG seed (the run is reproducible from `scale` + `seed`).
+    pub seed: u64,
+    /// Timed stages, in pipeline order.
+    pub entries: Vec<BenchEntry>,
+    /// The regenerated report (so `--bench` still honours `--write`).
+    pub report: String,
+}
+
+impl PipelineBench {
+    /// The entry for `stage` with the largest record count, if any.
+    pub fn entry(&self, stage: &str) -> Option<&BenchEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.stage == stage)
+            .max_by_key(|e| e.records)
+    }
+
+    /// Indexed-over-exhaustive speedup on the capped comparison corpus
+    /// (>1 means the index wins). `None` before both probes ran.
+    pub fn homograph_speedup(&self) -> Option<f64> {
+        let indexed = self.entry("homograph.scan.indexed")?;
+        let exhaustive = self.entry("homograph.scan.exhaustive")?;
+        if indexed.wall_ns == 0 {
+            return None;
+        }
+        Some(exhaustive.wall_ns as f64 / indexed.wall_ns as f64)
+    }
+}
+
+/// Runs the full pipeline once under telemetry and the explicit probes on
+/// top, returning every timed stage. Wall times vary run to run; the
+/// report inside is byte-identical to a plain `repro all` at the same
+/// config.
+pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
+    let registry = Arc::new(Registry::new());
+    let ctx = ReproContext::build_recorded(config, registry.clone());
+    let report = ctx.full_report();
+
+    let mut entries: Vec<BenchEntry> = registry
+        .snapshot()
+        .stages
+        .iter()
+        .map(|s| BenchEntry {
+            stage: s.name.clone(),
+            wall_ns: s.wall_nanos,
+            records: s.records.max(s.calls),
+        })
+        .collect();
+
+    let threads = config.threads;
+    let domains: Vec<&str> = ctx
+        .eco
+        .idn_registrations
+        .iter()
+        .map(|r| r.domain.as_str())
+        .collect();
+
+    // Punycode decode throughput over the registered IDN corpus.
+    let started = Instant::now();
+    let decoded = idnre_par::par_map(&domains, threads, |d| idnre_idna::to_unicode(d).is_ok());
+    entries.push(BenchEntry {
+        stage: "idna.decode".to_string(),
+        wall_ns: elapsed_ns(started),
+        records: decoded.iter().filter(|ok| **ok).count() as u64,
+    });
+
+    // Lenient ingest throughput: the emitted zones round-tripped through
+    // master-file text and re-parsed with the skip-and-count parser.
+    let started = Instant::now();
+    let attempted: u64 = idnre_par::par_map(&ctx.eco.zones, threads, |zone| {
+        let text = idnre_zonefile::write_zone(zone);
+        idnre_zonefile::parse_zone_lenient(&zone.origin.to_string(), &text).attempted as u64
+    })
+    .into_iter()
+    .sum();
+    entries.push(BenchEntry {
+        stage: "zone.ingest.lenient".to_string(),
+        wall_ns: elapsed_ns(started),
+        records: attempted,
+    });
+
+    // The indexed scan across the size ladder, then the indexed-vs-
+    // exhaustive pair at the capped size — the entries CI gates on.
+    let brand_domains: Vec<String> = ctx.eco.brands.iter().map(|b| b.domain()).collect();
+    let detector = idnre_core::HomographDetector::new(&brand_domains, 0.95);
+    for size in HOMOGRAPH_BENCH_SIZES {
+        if size > domains.len() {
+            break;
+        }
+        let slice = &domains[..size];
+        let started = Instant::now();
+        let found = detector.scan(slice.iter().copied(), threads).len();
+        entries.push(BenchEntry {
+            stage: "homograph.scan.indexed".to_string(),
+            wall_ns: elapsed_ns(started),
+            records: size as u64,
+        });
+        let _ = found;
+    }
+    let cap = domains.len().min(EXHAUSTIVE_CAP);
+    let slice = &domains[..cap];
+    let started = Instant::now();
+    let indexed = detector.scan(slice.iter().copied(), threads);
+    let indexed_ns = elapsed_ns(started);
+    let started = Instant::now();
+    let exhaustive = detector.scan_exhaustive(slice.iter().copied(), threads);
+    let exhaustive_ns = elapsed_ns(started);
+    assert_eq!(
+        indexed, exhaustive,
+        "indexed scan diverged from the exhaustive oracle"
+    );
+    entries.push(BenchEntry {
+        stage: "homograph.scan.indexed".to_string(),
+        wall_ns: indexed_ns,
+        records: cap as u64,
+    });
+    entries.push(BenchEntry {
+        stage: "homograph.scan.exhaustive".to_string(),
+        wall_ns: exhaustive_ns,
+        records: cap as u64,
+    });
+
+    PipelineBench {
+        scale: config.scale,
+        attack_scale: config.attack_scale,
+        threads,
+        seed: config.seed,
+        entries,
+        report,
+    }
+}
+
+/// Renders a bench result as schema-stable JSON (`idnre-bench-pipeline/1`).
+pub fn render_bench_json(bench: &PipelineBench) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\":\"{BENCH_SCHEMA}\",\"scale\":{},\"attack_scale\":{},\
+         \"threads\":{},\"seed\":{},\"entries\":[",
+        bench.scale, bench.attack_scale, bench.threads, bench.seed
+    ));
+    for (i, entry) in bench.entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"stage\":\"{}\",\"scale\":{},\"threads\":{},\"wall_ns\":{},\
+             \"records\":{},\"ns_per_record\":{}}}",
+            entry.stage,
+            bench.scale,
+            bench.threads,
+            entry.wall_ns,
+            entry.records,
+            entry.ns_per_record(),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the human summary `--bench` prints on stderr.
+pub fn render_bench_text(bench: &PipelineBench) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "pipeline bench — scale 1:{}, {} threads\n",
+        bench.scale, bench.threads
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>12} {:>12} {:>10}\n",
+        "stage", "wall_ms", "records", "ns/rec"
+    ));
+    for entry in &bench.entries {
+        out.push_str(&format!(
+            "{:<28} {:>12.3} {:>12} {:>10}\n",
+            entry.stage,
+            entry.wall_ns as f64 / 1e6,
+            entry.records,
+            entry.ns_per_record(),
+        ));
+    }
+    if let Some(speedup) = bench.homograph_speedup() {
+        out.push_str(&format!(
+            "homograph index speedup over exhaustive oracle: {speedup:.1}x\n"
+        ));
+    }
+    out
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_is_well_formed_and_gated() {
+        let bench = run_pipeline_bench(&EcosystemConfig {
+            scale: 2000,
+            attack_scale: 25,
+            brand_count: 200,
+            ..EcosystemConfig::default()
+        });
+        // Stage coverage: generation, decode, ingest, both scan paths,
+        // reports.
+        for stage in [
+            "build.ecosystem",
+            "idna.decode",
+            "zone.ingest.lenient",
+            "homograph.scan.indexed",
+            "homograph.scan.exhaustive",
+            "semantic.scan_type1",
+        ] {
+            assert!(bench.entry(stage).is_some(), "missing stage {stage}");
+        }
+        assert!(bench.entries.iter().any(|e| e.stage.starts_with("report.")));
+        assert!(bench.homograph_speedup().is_some());
+
+        let json = render_bench_json(&bench);
+        assert!(json.starts_with("{\"schema\":\"idnre-bench-pipeline/1\""));
+        assert!(json.contains("\"stage\":\"homograph.scan.exhaustive\""));
+        assert!(json.ends_with("]}"));
+        // Balanced braces — the render is hand-built.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+
+        let text = render_bench_text(&bench);
+        assert!(text.contains("pipeline bench"));
+        assert!(text.contains("homograph index speedup"));
+    }
+
+    #[test]
+    fn bench_report_matches_plain_run() {
+        let config = EcosystemConfig {
+            scale: 2000,
+            attack_scale: 25,
+            brand_count: 200,
+            ..EcosystemConfig::default()
+        };
+        let bench = run_pipeline_bench(&config);
+        let plain = crate::ReproContext::build(&config).full_report();
+        assert_eq!(bench.report, plain, "--bench must not perturb the report");
+    }
+}

@@ -35,12 +35,13 @@ pub struct FaultSetup {
 }
 
 impl FaultSetup {
-    /// A setup with the default retry policy and thread count.
+    /// A setup with the default retry policy, on the machine's available
+    /// parallelism.
     pub fn from_plan(plan: FaultPlan) -> Self {
         FaultSetup {
             plan,
             policy: RetryPolicy::default(),
-            threads: 4,
+            threads: idnre_par::default_threads(),
         }
     }
 }
@@ -266,16 +267,19 @@ fn per_mille_pct(per_mille: u64) -> String {
 /// skipped and accounted (`zone.lenient.skipped`, the error budget), and
 /// the salvaged zones feed the crawl survey. Strict parsing would abort
 /// on the first corrupt line; this is the degrade-and-continue path.
+///
+/// Each zone is one shard on the work-queue executor: corruption is a
+/// stateless hash of `(origin, line)` and the salvaged zones come back in
+/// input order, so the result is byte-identical for every `threads`.
 pub fn ingest_zones_faulted(
     zones: &[Zone],
     plan: &FaultPlan,
     budget: &ErrorBudget,
+    threads: usize,
     recorder: &dyn Recorder,
 ) -> (Vec<Zone>, IngestStats) {
     let mut span = recorder.span("zone.ingest.lenient");
-    let mut stats = IngestStats::default();
-    let mut salvaged = Vec::with_capacity(zones.len());
-    for zone in zones {
+    let per_zone = idnre_par::par_map(zones, threads, |zone| {
         let origin = zone.origin.to_string();
         let text: String = write_zone(zone)
             .lines()
@@ -292,11 +296,20 @@ pub fn ingest_zones_faulted(
             })
             .collect();
         let lenient = parse_zone_lenient(&origin, &text);
-        stats.attempted += lenient.attempted as u64;
-        stats.skipped += lenient.errors.len() as u64;
         budget.record_ok(lenient.parsed() as u64);
         budget.record_error(lenient.errors.len() as u64);
-        salvaged.push(lenient.zone);
+        let shard_stats = IngestStats {
+            attempted: lenient.attempted as u64,
+            skipped: lenient.errors.len() as u64,
+        };
+        (lenient.zone, shard_stats)
+    });
+    let mut stats = IngestStats::default();
+    let mut salvaged = Vec::with_capacity(zones.len());
+    for (zone, shard_stats) in per_zone {
+        stats.attempted += shard_stats.attempted;
+        stats.skipped += shard_stats.skipped;
+        salvaged.push(zone);
     }
     recorder.add("zone.lenient.attempted", stats.attempted);
     recorder.add("zone.lenient.skipped", stats.skipped);
@@ -319,9 +332,7 @@ pub fn whois_survey(
     recorder: &dyn Recorder,
 ) -> CrawlStats {
     let mut span = recorder.span("whois.survey");
-    for name in CRAWL_COUNTERS {
-        recorder.add(name, 0);
-    }
+    recorder.preregister(&CRAWL_COUNTERS);
     let mut crawler = WhoisCrawler::new();
     crawler.add_server(
         "open-registrar",
@@ -424,52 +435,51 @@ pub fn crawl_survey_faulted(
     }
     // Pre-register every counter and the attempts histogram so snapshot
     // ordering cannot depend on which worker thread touches a name first.
-    for name in OUTCOME_COUNTERS
+    let counter_names: Vec<&str> = OUTCOME_COUNTERS
         .iter()
         .chain(&RETRY_COUNTERS)
         .chain(&FAULT_COUNTERS)
         .chain(&USAGE_COUNTERS)
-    {
-        recorder.add(name, 0);
-    }
+        .copied()
+        .collect();
+    recorder.preregister(&counter_names);
     recorder.add_records(ATTEMPTS_HISTOGRAM, 0);
 
-    let threads = threads.clamp(1, 64);
-    let chunk_size = population.len().div_ceil(threads).max(1);
-    let totals = parking_lot::Mutex::new(SurveyStats::default());
     let crawler = &crawler;
-    let totals_ref = &totals;
-    crossbeam::thread::scope(|scope| {
-        for chunk in population.chunks(chunk_size) {
-            scope.spawn(move |_| {
-                let mut local = SurveyStats::default();
-                for reg in chunk {
-                    let mut clock = SimClock::new();
-                    let crawl = crawler.crawl_faulted(&reg.domain, ctx, &mut clock, recorder);
-                    local.domains += 1;
-                    local.attempts += u64::from(crawl.resolution.attempts);
-                    local.retries += u64::from(crawl.resolution.retries)
-                        + u64::from(crawl.http_attempts.saturating_sub(1));
-                    local.exhausted += u64::from(crawl.resolution.exhausted);
-                    local.deadline_hit += u64::from(crawl.resolution.deadline_hit);
-                    local.faults_injected += u64::from(crawl.faults_injected);
-                    local.terminal_faulted += u64::from(crawl.terminal_faulted);
-                    local.backoff_nanos += crawl.resolution.backoff_nanos;
-                    local.elapsed_nanos += crawl.elapsed_nanos;
-                    local.outcomes[outcome_index(crawl.resolution.outcome)] += 1;
-                    local.usage[usage_index(crawl.category)] += 1;
-                    if crawl.terminal_faulted {
-                        budget.record_error(1);
-                    } else {
-                        budget.record_ok(1);
-                    }
+    let per_chunk = idnre_par::par_chunks(
+        &population,
+        threads,
+        idnre_par::chunk_size(population.len(), threads),
+        |_, chunk| {
+            let mut local = SurveyStats::default();
+            for reg in chunk {
+                let mut clock = SimClock::new();
+                let crawl = crawler.crawl_faulted(&reg.domain, ctx, &mut clock, recorder);
+                local.domains += 1;
+                local.attempts += u64::from(crawl.resolution.attempts);
+                local.retries += u64::from(crawl.resolution.retries)
+                    + u64::from(crawl.http_attempts.saturating_sub(1));
+                local.exhausted += u64::from(crawl.resolution.exhausted);
+                local.deadline_hit += u64::from(crawl.resolution.deadline_hit);
+                local.faults_injected += u64::from(crawl.faults_injected);
+                local.terminal_faulted += u64::from(crawl.terminal_faulted);
+                local.backoff_nanos += crawl.resolution.backoff_nanos;
+                local.elapsed_nanos += crawl.elapsed_nanos;
+                local.outcomes[outcome_index(crawl.resolution.outcome)] += 1;
+                local.usage[usage_index(crawl.category)] += 1;
+                if crawl.terminal_faulted {
+                    budget.record_error(1);
+                } else {
+                    budget.record_ok(1);
                 }
-                totals_ref.lock().merge(&local);
-            });
-        }
-    })
-    .expect("worker panicked");
-    let stats = totals.into_inner();
+            }
+            local
+        },
+    );
+    let mut stats = SurveyStats::default();
+    for local in &per_chunk {
+        stats.merge(local);
+    }
     span.add_records(stats.domains);
     stats
 }

@@ -48,7 +48,7 @@ fn faulted_run(seed: u64, profile_index: u8, threads: usize) -> (RunHealth, Stri
     let registry = Registry::new();
     let budget = ErrorBudget::new(setup.plan.profile().budget_per_mille);
     let (zones, zone_stats) =
-        robust::ingest_zones_faulted(&eco.zones, &setup.plan, &budget, &registry);
+        robust::ingest_zones_faulted(&eco.zones, &setup.plan, &budget, threads, &registry);
     let whois_stats = robust::whois_survey(eco, Some(&setup.plan), Some(&budget), &registry);
     let ctx = FaultContext {
         plan: setup.plan,

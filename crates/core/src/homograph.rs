@@ -29,17 +29,23 @@ pub struct HomographFinding {
     pub ssim: f64,
 }
 
-/// SSIM-based visual lookalike detector.
+/// SSIM-based visual lookalike detector with a precomputed confusable
+/// index.
 ///
-/// Brand images are rendered once at construction; each probe renders the
-/// candidate and compares. Scanning uses a *skeleton pre-filter*: a
-/// candidate is only rendered against brands whose SLD equals the
-/// candidate's confusable-skeleton. This is the engineering optimization
-/// that replaces the paper's 102-hour full cross-product — every
-/// homoglyph-substitution lookalike has, by construction, a skeleton equal
-/// to its target, so the pre-filter is lossless for the attack class the
-/// threshold can catch (see the `exhaustive` ablation bench for the
-/// empirical check).
+/// Brand images are rendered once at construction, and every brand is
+/// filed under its *confusable skeleton* — the string with every
+/// confusable folded back to the ASCII character it imitates
+/// (ShamFinder-style canonical form). [`HomographDetector::detect`] then
+/// folds the candidate the same way and does one O(1) hash probe: only
+/// the brands in the matching bucket are rendered and SSIM-scored,
+/// replacing the paper's 102-hour full cross-product with an index probe
+/// plus a handful of scored verifications. Every homoglyph-substitution
+/// lookalike has, by construction, the same skeleton as its target, so
+/// the index is lossless for the attack class the threshold can catch;
+/// [`HomographDetector::detect_exhaustive`] keeps the paper's exact
+/// pairwise procedure as the oracle, and the equivalence proptest in
+/// `tests/proptest_homograph.rs` holds the two paths to the same verdict
+/// on generated attack corpora.
 #[derive(Debug, Clone)]
 pub struct HomographDetector {
     brands: Vec<BrandEntry>,
@@ -47,9 +53,22 @@ pub struct HomographDetector {
     threshold: f64,
 }
 
+/// The counters [`HomographDetector::detect_recorded`] reports, in
+/// snapshot order. Parallel scans pre-register these before spawning
+/// workers so snapshot order never depends on scheduling.
+pub const HOMOGRAPH_COUNTERS: [&str; 6] = [
+    "homograph.candidates",
+    "homograph.skip.invalid_idna",
+    "homograph.skip.ascii_sld",
+    "homograph.skip.no_skeleton_match",
+    "homograph.skip.below_threshold",
+    "homograph.findings",
+];
+
 impl HomographDetector {
     /// Builds a detector for `brands` (domains like `google.com`) with an
-    /// SSIM `threshold` (the paper uses 0.95).
+    /// SSIM `threshold` (the paper uses 0.95), indexing each brand under
+    /// its confusable-folded skeleton.
     ///
     /// # Panics
     ///
@@ -66,7 +85,7 @@ impl HomographDetector {
             let domain = brand.as_ref().to_ascii_lowercase();
             let image = render_text(&domain);
             by_skeleton
-                .entry(domain.clone())
+                .entry(skeleton(&domain))
                 .or_default()
                 .push(entries.len());
             entries.push(BrandEntry { domain, image });
@@ -86,6 +105,13 @@ impl HomographDetector {
     /// Number of brand targets.
     pub fn brand_count(&self) -> usize {
         self.brands.len()
+    }
+
+    /// Number of distinct skeleton buckets in the index. Brands whose
+    /// skeletons collide (e.g. an IDN brand folding onto an ASCII one)
+    /// share a bucket and are all verified on a probe hit.
+    pub fn index_buckets(&self) -> usize {
+        self.by_skeleton.len()
     }
 
     /// Tests one domain (ACE or Unicode form). Returns the best match at or
@@ -179,9 +205,9 @@ impl HomographDetector {
         best
     }
 
-    /// Scans a corpus in parallel across `threads` worker threads,
-    /// returning all findings (corpus order not preserved; sorted by domain
-    /// for determinism).
+    /// Scans a corpus on `threads` workers pulling chunks from a shared
+    /// work queue, returning all findings (corpus order not preserved;
+    /// sorted by domain for determinism).
     pub fn scan<'a, I>(&self, domains: I, threads: usize) -> Vec<HomographFinding>
     where
         I: IntoIterator<Item = &'a str>,
@@ -191,7 +217,8 @@ impl HomographDetector {
 
     /// [`HomographDetector::scan`] with per-probe counters and a
     /// `homograph.scan` span reported to `recorder`. Counters accumulate
-    /// from all worker threads.
+    /// from all worker threads; [`HOMOGRAPH_COUNTERS`] are pre-registered
+    /// so their snapshot order is scheduling-independent.
     pub fn scan_recorded<'a, I>(
         &self,
         domains: I,
@@ -203,24 +230,32 @@ impl HomographDetector {
     {
         let mut span = recorder.span("homograph.scan");
         let domains: Vec<&str> = domains.into_iter().collect();
-        let threads = threads.clamp(1, 64);
-        let results = parking_lot::Mutex::new(Vec::new());
-        let chunk_size = domains.len().div_ceil(threads).max(1);
-        crossbeam::thread::scope(|scope| {
-            for chunk in domains.chunks(chunk_size) {
-                scope.spawn(|_| {
-                    let mut local: Vec<HomographFinding> = chunk
-                        .iter()
-                        .filter_map(|d| self.detect_recorded(d, recorder))
-                        .collect();
-                    results.lock().append(&mut local);
-                });
-            }
-        })
-        .expect("worker panicked");
-        let mut findings = results.into_inner();
+        recorder.preregister(&HOMOGRAPH_COUNTERS);
+        let mut findings: Vec<HomographFinding> =
+            idnre_par::par_map(&domains, threads, |d| self.detect_recorded(d, recorder))
+                .into_iter()
+                .flatten()
+                .collect();
         findings.sort_by(|a, b| a.domain.cmp(&b.domain));
         span.add_records(findings.len() as u64);
+        findings
+    }
+
+    /// The oracle scan: [`HomographDetector::detect_exhaustive`] over the
+    /// corpus on the same work-queue executor, sorted like
+    /// [`HomographDetector::scan`]. Exists for the ablation bench and the
+    /// index-equivalence proptests; O(brands) per domain.
+    pub fn scan_exhaustive<'a, I>(&self, domains: I, threads: usize) -> Vec<HomographFinding>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let domains: Vec<&str> = domains.into_iter().collect();
+        let mut findings: Vec<HomographFinding> =
+            idnre_par::par_map(&domains, threads, |d| self.detect_exhaustive(d))
+                .into_iter()
+                .flatten()
+                .collect();
+        findings.sort_by(|a, b| a.domain.cmp(&b.domain));
         findings
     }
 }

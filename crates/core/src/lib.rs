@@ -39,8 +39,8 @@ pub mod squatting;
 pub mod topic;
 
 pub use availability::{AvailabilityEnumerator, AvailabilityReport, Candidate};
-pub use homograph::{HomographDetector, HomographFinding};
+pub use homograph::{HomographDetector, HomographFinding, HOMOGRAPH_COUNTERS};
 pub use pipeline::{AbuseAnalysis, BrandAbuseRow};
 pub use registry::{SrsPolicy, SrsRejection};
-pub use semantic::{SemanticDetector, SemanticFinding, SemanticKind};
+pub use semantic::{SemanticDetector, SemanticFinding, SemanticKind, SEMANTIC_COUNTERS};
 pub use squatting::{SquattingCandidate, SquattingClass};

@@ -46,6 +46,15 @@ pub struct SemanticDetector {
     translations: HashMap<String, String>,
 }
 
+/// The counters [`SemanticDetector::scan_type1_recorded`] reports, in
+/// snapshot order. Parallel scans pre-register these before spawning
+/// workers so snapshot order never depends on scheduling.
+pub const SEMANTIC_COUNTERS: [&str; 3] = [
+    "semantic.candidates",
+    "semantic.findings",
+    "semantic.skip.no_brand_match",
+];
+
 /// Table X's translations plus well-known brand translations.
 const TRANSLATIONS: &[(&str, &str)] = &[
     ("格力空调", "gree.com.cn"),
@@ -138,7 +147,7 @@ impl SemanticDetector {
     }
 
     /// [`SemanticDetector::scan_type1`] with candidate/finding counters and
-    /// a `semantic.scan_type1` span reported to `recorder`.
+    /// a `semantic.scan_type1` span reported to `recorder`, on one thread.
     pub fn scan_type1_recorded<'a, I>(
         &self,
         domains: I,
@@ -147,19 +156,38 @@ impl SemanticDetector {
     where
         I: IntoIterator<Item = &'a str>,
     {
+        self.scan_type1_parallel(domains, 1, recorder)
+    }
+
+    /// [`SemanticDetector::scan_type1_recorded`] on `threads` workers
+    /// pulling chunks from a shared work queue. Findings keep corpus
+    /// order and counter totals are scheduling-independent, so the result
+    /// is byte-identical for every thread count; [`SEMANTIC_COUNTERS`]
+    /// are pre-registered to pin snapshot order.
+    pub fn scan_type1_parallel<'a, I>(
+        &self,
+        domains: I,
+        threads: usize,
+        recorder: &dyn Recorder,
+    ) -> Vec<SemanticFinding>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
         let mut span = recorder.span("semantic.scan_type1");
-        let findings: Vec<SemanticFinding> = domains
-            .into_iter()
-            .filter_map(|d| {
-                recorder.incr("semantic.candidates");
-                let finding = self.detect_type1(d);
-                recorder.incr(match &finding {
-                    Some(_) => "semantic.findings",
-                    None => "semantic.skip.no_brand_match",
-                });
-                finding
-            })
-            .collect();
+        recorder.preregister(&SEMANTIC_COUNTERS);
+        let domains: Vec<&str> = domains.into_iter().collect();
+        let findings: Vec<SemanticFinding> = idnre_par::par_map(&domains, threads, |d| {
+            recorder.incr("semantic.candidates");
+            let finding = self.detect_type1(d);
+            recorder.incr(match &finding {
+                Some(_) => "semantic.findings",
+                None => "semantic.skip.no_brand_match",
+            });
+            finding
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         span.add_records(findings.len() as u64);
         findings
     }

@@ -1,0 +1,135 @@
+//! Property-based equivalence and determinism tests for the indexed
+//! homograph detector.
+//!
+//! The skeleton index is an optimisation, not a behaviour change: on
+//! generated attack corpora (confusable substitutions of brand labels,
+//! mixed scripts, many attacks folding to one skeleton) the indexed
+//! [`HomographDetector::detect`] must return exactly what the exhaustive
+//! oracle returns, and the chunked parallel scan must be byte-identical
+//! at every thread count.
+
+use idnre_core::{HomographDetector, SemanticDetector};
+use idnre_unicode::homoglyphs_of;
+use proptest::prelude::*;
+
+/// A pool of brand second-level labels; duplicates collapse, so the
+/// detector sees 2–10 distinct brands per case.
+fn brand_pool() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-z]{4,10}", 2..10).prop_map(|mut v| {
+        v.sort();
+        v.dedup();
+        v
+    })
+}
+
+/// Substitution recipe for one attack: which brand to imitate, and for
+/// each label position a (do-substitute, homoglyph-choice) pair.
+fn attack_recipe() -> impl Strategy<Value = (usize, Vec<(bool, usize)>)> {
+    (
+        0usize..1024,
+        proptest::collection::vec((any::<bool>(), 0usize..1024), 10),
+    )
+}
+
+/// Applies a recipe to a brand label: substitutes the selected positions
+/// with confusable homoglyphs (possibly from several scripts at once) and
+/// returns the registrable A-label domain. `None` when the mutation left
+/// the label ASCII or it does not survive IDNA.
+fn forge(brand_sld: &str, recipe: &(usize, Vec<(bool, usize)>)) -> Option<String> {
+    let unicode: String = brand_sld
+        .chars()
+        .enumerate()
+        .map(|(i, ch)| {
+            let (substitute, pick) = recipe.1[i % recipe.1.len()];
+            if !substitute {
+                return ch;
+            }
+            let glyphs = homoglyphs_of(ch);
+            if glyphs.is_empty() {
+                ch
+            } else {
+                glyphs[pick % glyphs.len()].ch
+            }
+        })
+        .collect();
+    if unicode.is_ascii() {
+        return None;
+    }
+    idnre_idna::to_ascii(&format!("{unicode}.com")).ok()
+}
+
+/// Builds the attack corpus for one case: every recipe applied to a
+/// brand chosen from the pool, so several attacks usually fold to the
+/// same skeleton (the index-collision case), plus the brands themselves
+/// and a non-target domain as negatives.
+fn corpus(brands: &[String], recipes: &[(usize, Vec<(bool, usize)>)]) -> Vec<String> {
+    let mut corpus: Vec<String> = recipes
+        .iter()
+        .filter_map(|recipe| forge(&brands[recipe.0 % brands.len()], recipe))
+        .collect();
+    corpus.extend(brands.iter().map(|b| format!("{b}.com")));
+    corpus.push("xn--mnchen-3ya.de".to_string()); // münchen: IDN, not a brand
+    corpus.sort();
+    corpus.dedup();
+    corpus
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Indexed detect agrees with the exhaustive oracle on every forged
+    /// attack, every brand, and the non-target control.
+    #[test]
+    fn indexed_detect_matches_exhaustive_oracle(
+        brands in brand_pool(),
+        recipes in proptest::collection::vec(attack_recipe(), 1..24),
+    ) {
+        let brand_domains: Vec<String> = brands.iter().map(|b| format!("{b}.com")).collect();
+        let detector = HomographDetector::new(&brand_domains, 0.95);
+        for domain in corpus(&brands, &recipes) {
+            let indexed = detector.detect(&domain);
+            let exhaustive = detector.detect_exhaustive(&domain);
+            prop_assert_eq!(indexed, exhaustive, "divergence on {}", domain);
+        }
+    }
+
+    /// The chunked parallel scan returns identical findings at 1, 2 and 8
+    /// threads, and matches the parallel exhaustive scan.
+    #[test]
+    fn parallel_scan_is_thread_count_invariant(
+        brands in brand_pool(),
+        recipes in proptest::collection::vec(attack_recipe(), 1..24),
+    ) {
+        let brand_domains: Vec<String> = brands.iter().map(|b| format!("{b}.com")).collect();
+        let detector = HomographDetector::new(&brand_domains, 0.95);
+        let corpus = corpus(&brands, &recipes);
+        let one = detector.scan(corpus.iter().map(String::as_str), 1);
+        for threads in [2, 8] {
+            let many = detector.scan(corpus.iter().map(String::as_str), threads);
+            prop_assert_eq!(&one, &many, "homograph scan diverged at {} threads", threads);
+        }
+        let oracle = detector.scan_exhaustive(corpus.iter().map(String::as_str), 8);
+        prop_assert_eq!(one, oracle, "indexed scan diverged from exhaustive scan");
+    }
+
+    /// The parallel type-1 semantic scan is thread-count invariant on the
+    /// same corpora.
+    #[test]
+    fn semantic_scan_is_thread_count_invariant(
+        brands in brand_pool(),
+        recipes in proptest::collection::vec(attack_recipe(), 1..24),
+    ) {
+        let brand_domains: Vec<String> = brands.iter().map(|b| format!("{b}.com")).collect();
+        let detector = SemanticDetector::new(&brand_domains);
+        let corpus = corpus(&brands, &recipes);
+        let one = detector.scan_type1(corpus.iter().map(String::as_str));
+        for threads in [2, 8] {
+            let many = detector.scan_type1_parallel(
+                corpus.iter().map(String::as_str),
+                threads,
+                &idnre_telemetry::NoopRecorder,
+            );
+            prop_assert_eq!(&one, &many, "semantic scan diverged at {} threads", threads);
+        }
+    }
+}

@@ -70,6 +70,11 @@ pub struct EcosystemConfig {
     pub non_idn_sample: u64,
     /// Number of brands in the target list (Alexa Top 1K).
     pub brand_count: usize,
+    /// Worker threads for the pipeline's parallel stages (zone emission,
+    /// detector scans, surveys). Affects wall time only — every stage is
+    /// byte-identical across thread counts. Defaults to the machine's
+    /// available parallelism.
+    pub threads: usize,
 }
 
 impl Default for EcosystemConfig {
@@ -81,6 +86,7 @@ impl Default for EcosystemConfig {
             snapshot: Date::new(2017, 9, 21).expect("valid snapshot date"),
             non_idn_sample: 1_200_000,
             brand_count: 1000,
+            threads: idnre_par::default_threads(),
         }
     }
 }

@@ -231,7 +231,8 @@ impl Ecosystem {
 
         // --- 9. Zone files. ---
         let mut span = recorder.span("datagen.zones");
-        let (zones, zones_skipped) = emit_zones(&idn_registrations, &non_idn_registrations);
+        let (zones, zones_skipped) =
+            emit_zones(&idn_registrations, &non_idn_registrations, config.threads);
         span.add_records(zones.iter().map(|z| z.records.len() as u64).sum());
         drop(span);
         recorder.add("datagen.zones.skipped", zones_skipped);
@@ -528,33 +529,51 @@ fn add_traffic<R: Rng + ?Sized>(
 
 /// Builds one zone per TLD containing NS (and A, when resolving) records.
 ///
+/// The zones are RNG-free, so this is the generation stage that fans out:
+/// each TLD is one shard on the work-queue executor, filtering the
+/// registration stream independently. Records land in registration order
+/// within each zone — exactly the order the old single-pass emission
+/// produced — so the emitted zones are byte-identical for any `threads`.
+///
 /// Registrations whose names do not survive the zone's name grammar (e.g.
 /// an NS owner pushing past the 253-octet limit) are skipped, not
-/// panicked over; the second return value counts them so the caller can
-/// surface the loss (`datagen.zones.skipped`).
-fn emit_zones(idns: &[DomainRegistration], non_idns: &[DomainRegistration]) -> (Vec<Zone>, u64) {
-    let mut zones: Vec<Zone> = TABLE_I
+/// panicked over; the second return value counts them (together with
+/// registrations matching no zone) so the caller can surface the loss
+/// (`datagen.zones.skipped`).
+fn emit_zones(
+    idns: &[DomainRegistration],
+    non_idns: &[DomainRegistration],
+    threads: usize,
+) -> (Vec<Zone>, u64) {
+    let origins: Vec<_> = TABLE_I
         .iter()
-        .filter_map(|spec| spec.tld.parse().ok().map(Zone::new))
+        .filter_map(|spec| spec.tld.parse::<idnre_idna::DomainName>().ok())
         .collect();
-    let mut skipped = 0u64;
-    for reg in idns.iter().chain(non_idns) {
-        let Some(zone) = zones.iter_mut().find(|z| z.origin.to_string() == reg.tld) else {
-            skipped += 1;
-            continue;
-        };
-        let (Ok(owner), Ok(ns)) = (reg.domain.parse(), format!("ns1.{}", reg.domain).parse())
-        else {
-            skipped += 1;
-            continue;
-        };
-        zone.records.push(ResourceRecord {
-            owner,
-            ttl: 86_400,
-            rdata: RData::Ns(ns),
-        });
-    }
-    (zones, skipped)
+    let sharded = idnre_par::par_map(&origins, threads, |origin| {
+        let tld = origin.to_string();
+        let mut zone = Zone::new(origin.clone());
+        let mut parse_skipped = 0u64;
+        let mut matched = 0u64;
+        for reg in idns.iter().chain(non_idns).filter(|r| r.tld == tld) {
+            matched += 1;
+            if let (Ok(owner), Ok(ns)) = (reg.domain.parse(), format!("ns1.{}", reg.domain).parse())
+            {
+                zone.records.push(ResourceRecord {
+                    owner,
+                    ttl: 86_400,
+                    rdata: RData::Ns(ns),
+                });
+            } else {
+                parse_skipped += 1;
+            }
+        }
+        (zone, parse_skipped, matched)
+    });
+    let total = (idns.len() + non_idns.len()) as u64;
+    let matched: u64 = sharded.iter().map(|(_, _, m)| m).sum();
+    let parse_skipped: u64 = sharded.iter().map(|(_, s, _)| s).sum();
+    let zones = sharded.into_iter().map(|(zone, _, _)| zone).collect();
+    (zones, parse_skipped + (total - matched))
 }
 
 #[cfg(test)]
@@ -595,6 +614,33 @@ mod tests {
             assert!(stage.name.starts_with("datagen."), "{}", stage.name);
             assert_eq!(stage.calls, 1, "{}", stage.name);
             assert!(stage.records > 0, "{} recorded nothing", stage.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_thread_count_invariant() {
+        let one = Ecosystem::generate(&EcosystemConfig {
+            threads: 1,
+            ..small_config()
+        });
+        for threads in [2, 8] {
+            let many = Ecosystem::generate(&EcosystemConfig {
+                threads,
+                ..small_config()
+            });
+            assert_eq!(one.zones, many.zones, "zones diverged at {threads} threads");
+            assert_eq!(one.idn_registrations, many.idn_registrations);
+            assert_eq!(
+                one.zones
+                    .iter()
+                    .map(idnre_zonefile::write_zone)
+                    .collect::<String>(),
+                many.zones
+                    .iter()
+                    .map(idnre_zonefile::write_zone)
+                    .collect::<String>(),
+                "rendered zone bytes diverged at {threads} threads"
+            );
         }
     }
 

@@ -76,6 +76,19 @@ pub trait Recorder: Send + Sync {
     fn incr(&self, name: &str) {
         self.add(name, 1);
     }
+
+    /// Pins `names` into the counter snapshot, in order, at zero.
+    ///
+    /// The registry renders counters in first-use order, so a
+    /// multi-threaded stage whose workers race to touch counters first
+    /// would make snapshot order depend on scheduling. Calling
+    /// `preregister` before spawning workers fixes the order in one
+    /// place; later `add`s merely accumulate.
+    fn preregister(&self, names: &[&str]) {
+        for name in names {
+            self.add(name, 0);
+        }
+    }
 }
 
 /// The do-nothing recorder: telemetry off.

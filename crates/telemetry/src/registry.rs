@@ -263,6 +263,20 @@ mod tests {
     }
 
     #[test]
+    fn preregister_pins_snapshot_order() {
+        let registry = Registry::new();
+        registry.preregister(&["scan.b", "scan.a", "scan.c"]);
+        // Worker threads touching counters in any order cannot move them.
+        registry.add("scan.c", 7);
+        registry.incr("scan.a");
+        let snap = registry.snapshot();
+        let names: Vec<_> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["scan.b", "scan.a", "scan.c"]);
+        assert_eq!(registry.counter_value("scan.c"), 7);
+        assert_eq!(registry.counter_value("scan.b"), 0);
+    }
+
+    #[test]
     fn noop_recorder_is_inert() {
         let noop = NoopRecorder;
         assert!(!noop.enabled());
