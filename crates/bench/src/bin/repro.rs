@@ -11,6 +11,8 @@
 //! repro --faults smoke all       # inject the `smoke` fault schedule
 //! repro --faults storm:7 all     # `storm` profile, replay seed 7
 //! repro --bench all              # timed run, writes BENCH_pipeline.json
+//! repro --bench --thread-sweep 1,2,8 all   # one timed run per count
+//! repro --bench --dump-dataset D.txt all   # write the idnre-dataset/2 bytes
 //! ```
 //!
 //! With `--metrics`, every pipeline stage (generation, detector scans, the
@@ -31,7 +33,11 @@
 //! `--bench` runs the whole pipeline once under timing, prints the stage
 //! table to stderr, and writes `BENCH_pipeline.json`
 //! (`idnre-bench-pipeline/1`) next to the report. It cannot be combined
-//! with `--faults` or `--metrics`.
+//! with `--faults` or `--metrics`. `--thread-sweep 1,2,8` repeats the
+//! timed run at each worker count, asserts the report and the
+//! `idnre-dataset/2` bytes are identical across counts, and concatenates
+//! the entries. `--dump-dataset PATH` writes the canonical dataset bytes
+//! so CI can `cmp` runs at different thread counts.
 
 use idnre_bench::{reports, FaultSetup, ReproContext};
 use idnre_datagen::EcosystemConfig;
@@ -54,6 +60,8 @@ fn main() {
     let mut faults: Option<FaultSetup> = None;
     let mut threads: Option<usize> = None;
     let mut bench = false;
+    let mut thread_sweep: Option<Vec<usize>> = None;
+    let mut dump_dataset: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     while let Some(arg) = args.next() {
@@ -79,6 +87,31 @@ fn main() {
                 threads = Some(n.min(idnre_par::MAX_THREADS));
             }
             "--bench" => bench = true,
+            "--thread-sweep" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| usage("--thread-sweep needs a comma-separated list"));
+                let counts: Vec<usize> = spec
+                    .split(',')
+                    .map(|part| {
+                        part.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|n| *n >= 1)
+                            .map(|n| n.min(idnre_par::MAX_THREADS))
+                            .unwrap_or_else(|| {
+                                usage("--thread-sweep needs numbers >= 1, e.g. 1,2,8")
+                            })
+                    })
+                    .collect();
+                thread_sweep = Some(counts);
+            }
+            "--dump-dataset" => {
+                dump_dataset = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--dump-dataset needs a path")),
+                );
+            }
             "--seed" => {
                 config.seed = args
                     .next()
@@ -116,11 +149,19 @@ fn main() {
         }
     }
 
+    if thread_sweep.is_some() && !bench {
+        usage("--thread-sweep requires --bench");
+    }
     if bench {
         if faults.is_some() || metrics.is_some() {
             usage("--bench cannot be combined with --faults or --metrics");
         }
-        run_bench(&config, write_path.as_deref());
+        run_bench(
+            &config,
+            write_path.as_deref(),
+            thread_sweep.as_deref(),
+            dump_dataset.as_deref(),
+        );
         return;
     }
 
@@ -152,6 +193,10 @@ fn main() {
         ctx.homographs.len(),
         ctx.semantic.len()
     );
+
+    if let Some(path) = &dump_dataset {
+        write_dataset(path, &idnre_datagen::render_dataset(&ctx.eco));
+    }
 
     let output = if wanted.iter().any(|w| w == "all") {
         ctx.full_report()
@@ -213,16 +258,36 @@ fn main() {
     }
 }
 
-/// The `--bench` path: one timed end-to-end run, stage table on stderr,
-/// `BENCH_pipeline.json` on disk, and the report where a plain run would
-/// have put it.
-fn run_bench(config: &EcosystemConfig, write_path: Option<&str>) {
-    eprintln!(
-        "benchmarking pipeline (scale 1:{}, attacks 1:{}, seed {:#x}, {} threads)...",
-        config.scale, config.attack_scale, config.seed, config.threads
-    );
-    let bench = idnre_bench::run_pipeline_bench(config);
+/// The `--bench` path: one timed end-to-end run (or one per `--thread-sweep`
+/// count), stage table on stderr, `BENCH_pipeline.json` on disk, and the
+/// report where a plain run would have put it.
+fn run_bench(
+    config: &EcosystemConfig,
+    write_path: Option<&str>,
+    thread_sweep: Option<&[usize]>,
+    dump_dataset: Option<&str>,
+) {
+    let bench = match thread_sweep {
+        Some(counts) => {
+            eprintln!(
+                "benchmarking pipeline (scale 1:{}, attacks 1:{}, seed {:#x}, thread sweep {:?})...",
+                config.scale, config.attack_scale, config.seed, counts
+            );
+            idnre_bench::run_pipeline_sweep(config, counts)
+        }
+        None => {
+            eprintln!(
+                "benchmarking pipeline (scale 1:{}, attacks 1:{}, seed {:#x}, {} threads)...",
+                config.scale, config.attack_scale, config.seed, config.threads
+            );
+            idnre_bench::run_pipeline_bench(config)
+        }
+    };
     eprint!("{}", idnre_bench::render_bench_text(&bench));
+
+    if let Some(path) = dump_dataset {
+        write_dataset(path, &bench.dataset);
+    }
 
     let bench_path = "BENCH_pipeline.json";
     let mut json = idnre_bench::render_bench_json(&bench);
@@ -248,6 +313,20 @@ fn run_bench(config: &EcosystemConfig, write_path: Option<&str>) {
     }
 }
 
+/// Writes the canonical `idnre-dataset/2` bytes with the fingerprint noted
+/// on stderr (CI compares both across thread counts).
+fn write_dataset(path: &str, dataset: &str) {
+    std::fs::write(path, dataset).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "wrote {path} ({} bytes, fingerprint {:#018x})",
+        dataset.len(),
+        idnre_datagen::dataset_fingerprint(dataset)
+    );
+}
+
 fn usage(error: &str) -> ! {
     if !error.is_empty() {
         eprintln!("error: {error}\n");
@@ -255,7 +334,7 @@ fn usage(error: &str) -> ! {
     eprintln!(
         "usage: repro [--scale N] [--attack-scale N] [--seed N] [--threads N] [--write PATH] \
          [--metrics text|json] [--faults none|smoke|flaky|storm|SEED|PROFILE:SEED] [--bench] \
-         <experiment...>\n\
+         [--thread-sweep N,N,...] [--dump-dataset PATH] <experiment...>\n\
          exit codes with --faults: 0 clean, 3 degraded, 4 error budget exceeded\n\
          experiments: all {}",
         reports::ALL

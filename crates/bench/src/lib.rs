@@ -27,7 +27,9 @@ pub mod pipeline_bench;
 pub mod reports;
 pub mod robust;
 
-pub use pipeline_bench::{render_bench_json, render_bench_text, run_pipeline_bench, PipelineBench};
+pub use pipeline_bench::{
+    render_bench_json, render_bench_text, run_pipeline_bench, run_pipeline_sweep, PipelineBench,
+};
 pub use robust::{FaultSetup, IngestStats, RunHealth, SurveyStats};
 
 use idnre_core::{HomographDetector, HomographFinding, SemanticDetector, SemanticFinding};

@@ -21,6 +21,7 @@
 //! {
 //!   "schema": "idnre-bench-pipeline/1",
 //!   "scale": 50, "attack_scale": 1, "threads": 8, "seed": 497885208,
+//!   "dataset_fingerprint": "0xffbab908278775d0",
 //!   "entries": [
 //!     {"stage": "build.ecosystem", "scale": 50, "threads": 8,
 //!      "wall_ns": 1234, "records": 29000, "ns_per_record": 42}
@@ -31,7 +32,11 @@
 //! `records` is the number of domains (or zone lines, report bytes) the
 //! stage processed; `ns_per_record` is the per-domain throughput the
 //! ISSUE's trajectory tracks. Wall times are measurements, not part of
-//! the byte-identical report contract.
+//! the byte-identical report contract. A thread sweep
+//! ([`run_pipeline_sweep`]) concatenates the per-thread-count entries into
+//! one result — each entry carries the worker count it ran at — after
+//! asserting the report bytes and the `idnre-dataset/2` fingerprint are
+//! identical across every count.
 
 use crate::ReproContext;
 use idnre_datagen::EcosystemConfig;
@@ -56,6 +61,8 @@ pub const EXHAUSTIVE_CAP: usize = 10_000;
 pub struct BenchEntry {
     /// Dotted stage name (`homograph.scan.indexed`, `report.table1`, …).
     pub stage: String,
+    /// Worker threads the stage's parallel sections ran on.
+    pub threads: usize,
     /// Wall time of the stage, in nanoseconds.
     pub wall_ns: u64,
     /// Records the stage processed (domains, zone lines, report bytes).
@@ -76,14 +83,20 @@ pub struct PipelineBench {
     pub scale: u64,
     /// Attack-population scale denominator.
     pub attack_scale: u64,
-    /// Worker threads every parallel stage ran on.
+    /// Worker threads the run was configured with (a sweep reports the
+    /// per-entry counts instead).
     pub threads: usize,
     /// RNG seed (the run is reproducible from `scale` + `seed`).
     pub seed: u64,
+    /// FNV-1a fingerprint of the rendered `idnre-dataset/2` artifact — the
+    /// schedule-independence oracle a sweep asserts across thread counts.
+    pub dataset_fingerprint: u64,
     /// Timed stages, in pipeline order.
     pub entries: Vec<BenchEntry>,
     /// The regenerated report (so `--bench` still honours `--write`).
     pub report: String,
+    /// The rendered `idnre-dataset/2` artifact (for `--dump-dataset`).
+    pub dataset: String,
 }
 
 impl PipelineBench {
@@ -92,6 +105,15 @@ impl PipelineBench {
         self.entries
             .iter()
             .filter(|e| e.stage == stage)
+            .max_by_key(|e| e.records)
+    }
+
+    /// The entry for `stage` at a specific worker count — the lookup the
+    /// CI scaling gate uses on sweep results.
+    pub fn entry_at(&self, stage: &str, threads: usize) -> Option<&BenchEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.stage == stage && e.threads == threads)
             .max_by_key(|e| e.records)
     }
 
@@ -116,18 +138,18 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
     let ctx = ReproContext::build_recorded(config, registry.clone());
     let report = ctx.full_report();
 
+    let threads = config.threads;
     let mut entries: Vec<BenchEntry> = registry
         .snapshot()
         .stages
         .iter()
         .map(|s| BenchEntry {
             stage: s.name.clone(),
+            threads,
             wall_ns: s.wall_nanos,
             records: s.records.max(s.calls),
         })
         .collect();
-
-    let threads = config.threads;
     let domains: Vec<&str> = ctx
         .eco
         .idn_registrations
@@ -140,6 +162,7 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
     let decoded = idnre_par::par_map(&domains, threads, |d| idnre_idna::to_unicode(d).is_ok());
     entries.push(BenchEntry {
         stage: "idna.decode".to_string(),
+        threads,
         wall_ns: elapsed_ns(started),
         records: decoded.iter().filter(|ok| **ok).count() as u64,
     });
@@ -155,6 +178,7 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
     .sum();
     entries.push(BenchEntry {
         stage: "zone.ingest.lenient".to_string(),
+        threads,
         wall_ns: elapsed_ns(started),
         records: attempted,
     });
@@ -172,6 +196,7 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
         let found = detector.scan(slice.iter().copied(), threads).len();
         entries.push(BenchEntry {
             stage: "homograph.scan.indexed".to_string(),
+            threads,
             wall_ns: elapsed_ns(started),
             records: size as u64,
         });
@@ -191,13 +216,26 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
     );
     entries.push(BenchEntry {
         stage: "homograph.scan.indexed".to_string(),
+        threads,
         wall_ns: indexed_ns,
         records: cap as u64,
     });
     entries.push(BenchEntry {
         stage: "homograph.scan.exhaustive".to_string(),
+        threads,
         wall_ns: exhaustive_ns,
         records: cap as u64,
+    });
+
+    // Render the canonical dataset — the byte artifact `--dump-dataset`
+    // writes and the sweep diffs across thread counts.
+    let started = Instant::now();
+    let dataset = idnre_datagen::render_dataset(&ctx.eco);
+    entries.push(BenchEntry {
+        stage: "dataset.render".to_string(),
+        threads,
+        wall_ns: elapsed_ns(started),
+        records: dataset.len() as u64,
     });
 
     PipelineBench {
@@ -205,9 +243,42 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
         attack_scale: config.attack_scale,
         threads,
         seed: config.seed,
+        dataset_fingerprint: idnre_datagen::dataset_fingerprint(&dataset),
         entries,
         report,
+        dataset,
     }
+}
+
+/// Runs [`run_pipeline_bench`] once per worker count in `thread_counts`
+/// and concatenates the timed entries into one result (each entry carries
+/// its own `threads`). Panics unless the report bytes and the dataset
+/// fingerprint are identical across every count — the sweep is the
+/// schedule-independence oracle, not just a timing table.
+pub fn run_pipeline_sweep(config: &EcosystemConfig, thread_counts: &[usize]) -> PipelineBench {
+    assert!(!thread_counts.is_empty(), "sweep needs at least one count");
+    let mut sweep: Option<PipelineBench> = None;
+    for &threads in thread_counts {
+        let run = run_pipeline_bench(&EcosystemConfig {
+            threads,
+            ..config.clone()
+        });
+        match &mut sweep {
+            None => sweep = Some(run),
+            Some(first) => {
+                assert_eq!(
+                    first.dataset_fingerprint, run.dataset_fingerprint,
+                    "dataset bytes diverged at {threads} threads"
+                );
+                assert_eq!(
+                    first.report, run.report,
+                    "report bytes diverged at {threads} threads"
+                );
+                first.entries.extend(run.entries);
+            }
+        }
+    }
+    sweep.expect("at least one sweep run")
 }
 
 /// Renders a bench result as schema-stable JSON (`idnre-bench-pipeline/1`).
@@ -215,8 +286,8 @@ pub fn render_bench_json(bench: &PipelineBench) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{{\"schema\":\"{BENCH_SCHEMA}\",\"scale\":{},\"attack_scale\":{},\
-         \"threads\":{},\"seed\":{},\"entries\":[",
-        bench.scale, bench.attack_scale, bench.threads, bench.seed
+         \"threads\":{},\"seed\":{},\"dataset_fingerprint\":\"{:#018x}\",\"entries\":[",
+        bench.scale, bench.attack_scale, bench.threads, bench.seed, bench.dataset_fingerprint
     ));
     for (i, entry) in bench.entries.iter().enumerate() {
         if i > 0 {
@@ -227,7 +298,7 @@ pub fn render_bench_json(bench: &PipelineBench) -> String {
              \"records\":{},\"ns_per_record\":{}}}",
             entry.stage,
             bench.scale,
-            bench.threads,
+            entry.threads,
             entry.wall_ns,
             entry.records,
             entry.ns_per_record(),
@@ -241,17 +312,18 @@ pub fn render_bench_json(bench: &PipelineBench) -> String {
 pub fn render_bench_text(bench: &PipelineBench) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "pipeline bench — scale 1:{}, {} threads\n",
-        bench.scale, bench.threads
+        "pipeline bench — scale 1:{}, dataset {:#018x}\n",
+        bench.scale, bench.dataset_fingerprint
     ));
     out.push_str(&format!(
-        "{:<28} {:>12} {:>12} {:>10}\n",
-        "stage", "wall_ms", "records", "ns/rec"
+        "{:<28} {:>7} {:>12} {:>12} {:>10}\n",
+        "stage", "threads", "wall_ms", "records", "ns/rec"
     ));
     for entry in &bench.entries {
         out.push_str(&format!(
-            "{:<28} {:>12.3} {:>12} {:>10}\n",
+            "{:<28} {:>7} {:>12.3} {:>12} {:>10}\n",
             entry.stage,
+            entry.threads,
             entry.wall_ns as f64 / 1e6,
             entry.records,
             entry.ns_per_record(),
@@ -290,15 +362,18 @@ mod tests {
             "homograph.scan.indexed",
             "homograph.scan.exhaustive",
             "semantic.scan_type1",
+            "dataset.render",
         ] {
             assert!(bench.entry(stage).is_some(), "missing stage {stage}");
         }
         assert!(bench.entries.iter().any(|e| e.stage.starts_with("report.")));
         assert!(bench.homograph_speedup().is_some());
+        assert!(bench.dataset.starts_with(idnre_datagen::DATASET_SCHEMA));
 
         let json = render_bench_json(&bench);
         assert!(json.starts_with("{\"schema\":\"idnre-bench-pipeline/1\""));
         assert!(json.contains("\"stage\":\"homograph.scan.exhaustive\""));
+        assert!(json.contains("\"dataset_fingerprint\":\"0x"));
         assert!(json.ends_with("]}"));
         // Balanced braces — the render is hand-built.
         let opens = json.matches('{').count();
@@ -321,5 +396,27 @@ mod tests {
         let bench = run_pipeline_bench(&config);
         let plain = crate::ReproContext::build(&config).full_report();
         assert_eq!(bench.report, plain, "--bench must not perturb the report");
+    }
+
+    #[test]
+    fn sweep_concatenates_and_holds_the_identity_oracle() {
+        let config = EcosystemConfig {
+            scale: 5000,
+            attack_scale: 60,
+            brand_count: 100,
+            ..EcosystemConfig::default()
+        };
+        // The sweep itself asserts report + dataset identity per count.
+        let sweep = run_pipeline_sweep(&config, &[1, 2]);
+        for threads in [1usize, 2] {
+            let entry = sweep
+                .entry_at("build.ecosystem", threads)
+                .unwrap_or_else(|| panic!("no build.ecosystem entry at {threads} threads"));
+            assert!(entry.wall_ns > 0);
+        }
+        // Per-entry thread counts survive the JSON render.
+        let json = render_bench_json(&sweep);
+        assert!(json.contains("\"threads\":1"));
+        assert!(json.contains("\"threads\":2"));
     }
 }

@@ -1,7 +1,15 @@
 //! Attack-population injection: registered homographic IDNs (Table XIII)
 //! and Type-1 semantic IDNs (Table XIV), targeting the brand list.
+//!
+//! Every generator here is keyed: each candidate spoof derives its
+//! randomness from a pure function of `(key, anchor-or-rank, index)`, so
+//! the candidate pool fans out on the work-queue executor and the output
+//! is byte-identical for every thread count and chunk size. Only the cheap
+//! take-until-target selection over the precomputed candidates runs
+//! sequentially.
 
 use crate::brands::{Brand, BrandList};
+use idnre_rng::Key;
 use idnre_unicode::{homoglyphs_of, Fidelity};
 use rand::Rng;
 
@@ -50,6 +58,15 @@ const SEMANTIC_ANCHORS: [(&str, u32, u32); 10] = [
     ("as", 33, 0),
 ];
 
+/// Key-subspace words: anchored brands vs. the long-tail ranks. Part of
+/// the `idnre-dataset/2` derivation table (DESIGN.md §8).
+const SUBSPACE_ANCHORED: u64 = 0;
+const SUBSPACE_TAIL: u64 = 1;
+
+/// Long-tail ranks are generated in blocks so a small target (large
+/// `scale`) stops early instead of spoofing the whole brand list.
+const TAIL_BLOCK: usize = 256;
+
 /// Keywords appended in Type-1 attacks: service terms in the scripts the
 /// paper observed (Chinese dominates; see Table IX's icloud 登录 etc.).
 const TYPE1_KEYWORDS: &[&str] = &[
@@ -97,43 +114,61 @@ const TYPE1_KEYWORDS: &[&str] = &[
 /// a long tail of further brands receives 1–3 spoofs each until the
 /// population reaches ≈ 1,516 / `scale` total, of which ≈ 6% are
 /// pixel-identical whole-script spoofs (the paper found 91 of 1,516).
-pub fn generate_homographs<R: Rng + ?Sized>(
-    rng: &mut R,
+pub fn generate_homographs(
+    key: Key,
     brands: &BrandList,
     scale: u64,
+    threads: usize,
 ) -> Vec<AttackDomain> {
-    let mut out = Vec::new();
     let target_total = (1_516 / scale.max(1)) as usize;
-    for &(sld, count, protective) in &HOMOGRAPH_ANCHORS {
+    let anchored_key = key.derive(SUBSPACE_ANCHORED);
+    let mut jobs: Vec<(u64, &Brand, u64, bool)> = Vec::new();
+    for (anchor_idx, &(sld, count, protective)) in HOMOGRAPH_ANCHORS.iter().enumerate() {
         let Some(brand) = brands.by_sld(sld) else {
             continue;
         };
-        let n = (count as u64 / scale.max(1)).max(1) as usize;
-        let protective_n = (protective as u64 / scale.max(1)) as usize;
+        let n = (count as u64 / scale.max(1)).max(1);
+        let protective_n = protective as u64 / scale.max(1);
         for i in 0..n {
-            if let Some(attack) = spoof_brand(rng, brand, i < protective_n) {
-                out.push(attack);
-            }
+            jobs.push((anchor_idx as u64, brand, i, i < protective_n));
         }
     }
+    let mut out: Vec<AttackDomain> =
+        idnre_par::par_map(&jobs, threads, |&(anchor_idx, brand, i, protective)| {
+            let mut rng = anchored_key.derive(anchor_idx).record(i).rng();
+            spoof_brand(&mut rng, brand, protective)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     // Long tail: spread over further brands ("255 SLDs within Alexa Top 1k
-    // are targeted").
-    let mut rank = 12;
+    // are targeted"), block by block so large scales stop early.
+    let tail_key = key.derive(SUBSPACE_TAIL);
+    let mut rank = 12usize;
     while out.len() < target_total && rank <= brands.len() {
-        if let Some(brand) = brands.by_rank(rank) {
-            if !HOMOGRAPH_ANCHORS.iter().any(|&(s, _, _)| s == brand.sld) {
-                let n = rng.gen_range(1..=3usize);
-                for _ in 0..n {
-                    if out.len() >= target_total {
-                        break;
-                    }
-                    if let Some(attack) = spoof_brand(rng, brand, false) {
-                        out.push(attack);
-                    }
+        let block: Vec<usize> = (rank..(rank + TAIL_BLOCK).min(brands.len() + 1)).collect();
+        let candidates = idnre_par::par_map(&block, threads, |&r| {
+            let Some(brand) = brands.by_rank(r) else {
+                return Vec::new();
+            };
+            if HOMOGRAPH_ANCHORS.iter().any(|&(s, _, _)| s == brand.sld) {
+                return Vec::new();
+            }
+            let mut rng = tail_key.record(r as u64).rng();
+            let n = rng.gen_range(1..=3usize);
+            (0..n)
+                .filter_map(|_| spoof_brand(&mut rng, brand, false))
+                .collect()
+        });
+        for spoofs in candidates {
+            for spoof in spoofs {
+                if out.len() >= target_total {
+                    break;
                 }
+                out.push(spoof);
             }
         }
-        rank += 1;
+        rank += TAIL_BLOCK;
     }
     dedup(out)
 }
@@ -231,35 +266,52 @@ fn spoof_brand<R: Rng + ?Sized>(
 }
 
 /// Generates the Type-1 semantic population (brand + foreign keyword).
-pub fn generate_semantic_type1<R: Rng + ?Sized>(
-    rng: &mut R,
+pub fn generate_semantic_type1(
+    key: Key,
     brands: &BrandList,
     scale: u64,
+    threads: usize,
 ) -> Vec<AttackDomain> {
-    let mut out = Vec::new();
     let target_total = (1_497 / scale.max(1)) as usize;
-    for &(sld, count, protective) in &SEMANTIC_ANCHORS {
+    let anchored_key = key.derive(SUBSPACE_ANCHORED);
+    let mut jobs: Vec<(u64, &Brand, u64, bool)> = Vec::new();
+    for (anchor_idx, &(sld, count, protective)) in SEMANTIC_ANCHORS.iter().enumerate() {
         let Some(brand) = brands.by_sld(sld) else {
             continue;
         };
-        let n = (count as u64 / scale.max(1)).max(1) as usize;
-        let protective_n = (protective as u64 / scale.max(1)) as usize;
+        let n = (count as u64 / scale.max(1)).max(1);
+        let protective_n = protective as u64 / scale.max(1);
         for i in 0..n {
-            if let Some(attack) = combine_brand(rng, brand, i < protective_n) {
-                out.push(attack);
-            }
+            jobs.push((anchor_idx as u64, brand, i, i < protective_n));
         }
     }
-    let mut rank = 12;
+    let mut out: Vec<AttackDomain> =
+        idnre_par::par_map(&jobs, threads, |&(anchor_idx, brand, i, protective)| {
+            let mut rng = anchored_key.derive(anchor_idx).record(i).rng();
+            combine_brand(&mut rng, brand, protective)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    let tail_key = key.derive(SUBSPACE_TAIL);
+    let mut rank = 12usize;
     while out.len() < target_total && rank <= brands.len() {
-        if let Some(brand) = brands.by_rank(rank) {
-            if !SEMANTIC_ANCHORS.iter().any(|&(s, _, _)| s == brand.sld) {
-                if let Some(attack) = combine_brand(rng, brand, false) {
-                    out.push(attack);
-                }
+        let block: Vec<usize> = (rank..(rank + TAIL_BLOCK).min(brands.len() + 1)).collect();
+        let candidates = idnre_par::par_map(&block, threads, |&r| {
+            let brand = brands.by_rank(r)?;
+            if SEMANTIC_ANCHORS.iter().any(|&(s, _, _)| s == brand.sld) {
+                return None;
             }
+            let mut rng = tail_key.record(r as u64).rng();
+            combine_brand(&mut rng, brand, false)
+        });
+        for attack in candidates.into_iter().flatten() {
+            if out.len() >= target_total {
+                break;
+            }
+            out.push(attack);
         }
-        rank += 1;
+        rank += TAIL_BLOCK;
     }
     dedup(out)
 }
@@ -314,11 +366,13 @@ const TYPE2_TRANSLATIONS: &[(&str, &str)] = &[
 
 /// Generates the Type-2 semantic population: translated brand names
 /// registered under gTLDs (Table X). The space is dictionary-bounded, so
-/// `scale` only trims the list.
-pub fn generate_semantic_type2<R: Rng + ?Sized>(rng: &mut R, scale: u64) -> Vec<AttackDomain> {
+/// `scale` only trims the list; each translation × TLD pair draws from its
+/// own keyed stream.
+pub fn generate_semantic_type2(key: Key, scale: u64) -> Vec<AttackDomain> {
     let mut out = Vec::new();
-    for &(native, brand) in TYPE2_TRANSLATIONS {
-        for tld in ["com", "net"] {
+    for (idx, &(native, brand)) in TYPE2_TRANSLATIONS.iter().enumerate() {
+        for (tld_idx, tld) in ["com", "net"].into_iter().enumerate() {
+            let mut rng = key.derive(idx as u64).record(tld_idx as u64).rng();
             if !rng.gen_ratio(3, 4) {
                 continue; // not every translation × TLD pair is taken
             }
@@ -349,17 +403,19 @@ fn dedup(mut attacks: Vec<AttackDomain>) -> Vec<AttackDomain> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use idnre_rng::StageId;
 
     fn brands() -> BrandList {
         BrandList::alexa_top_1k()
     }
 
+    fn key(seed: u64) -> Key {
+        Key::root(seed).stage(StageId::HomographAttacks)
+    }
+
     #[test]
     fn homograph_population_shape() {
-        let mut rng = StdRng::seed_from_u64(41);
-        let attacks = generate_homographs(&mut rng, &brands(), 1);
+        let attacks = generate_homographs(key(41), &brands(), 1, 2);
         assert!(
             (1_200..=1_600).contains(&attacks.len()),
             "count {}",
@@ -381,8 +437,7 @@ mod tests {
 
     #[test]
     fn homographs_are_valid_idns() {
-        let mut rng = StdRng::seed_from_u64(42);
-        let attacks = generate_homographs(&mut rng, &brands(), 10);
+        let attacks = generate_homographs(key(42), &brands(), 10, 2);
         for attack in &attacks {
             assert!(idnre_idna::is_idn(&attack.domain), "{}", attack.domain);
             assert_eq!(
@@ -395,8 +450,7 @@ mod tests {
 
     #[test]
     fn homograph_skeletons_match_targets() {
-        let mut rng = StdRng::seed_from_u64(43);
-        let attacks = generate_homographs(&mut rng, &brands(), 10);
+        let attacks = generate_homographs(key(43), &brands(), 10, 2);
         for attack in attacks.iter().take(100) {
             let sld = attack.unicode.split('.').next().unwrap();
             let target_sld = attack.target.split('.').next().unwrap();
@@ -411,8 +465,8 @@ mod tests {
 
     #[test]
     fn semantic_population_shape() {
-        let mut rng = StdRng::seed_from_u64(44);
-        let attacks = generate_semantic_type1(&mut rng, &brands(), 1);
+        let sem_key = Key::root(44).stage(StageId::SemanticType1Attacks);
+        let attacks = generate_semantic_type1(sem_key, &brands(), 1, 2);
         assert!(
             (1_000..=1_600).contains(&attacks.len()),
             "count {}",
@@ -425,8 +479,8 @@ mod tests {
 
     #[test]
     fn semantic_ascii_part_is_the_brand() {
-        let mut rng = StdRng::seed_from_u64(45);
-        let attacks = generate_semantic_type1(&mut rng, &brands(), 10);
+        let sem_key = Key::root(45).stage(StageId::SemanticType1Attacks);
+        let attacks = generate_semantic_type1(sem_key, &brands(), 10, 2);
         for attack in &attacks {
             let sld = attack.unicode.split('.').next().unwrap();
             let ascii_only: String = sld.chars().filter(char::is_ascii).collect();
@@ -437,8 +491,8 @@ mod tests {
 
     #[test]
     fn type2_population_is_dictionary_bounded() {
-        let mut rng = StdRng::seed_from_u64(46);
-        let attacks = generate_semantic_type2(&mut rng, 1);
+        let t2_key = Key::root(46).stage(StageId::SemanticType2Attacks);
+        let attacks = generate_semantic_type2(t2_key, 1);
         assert!(!attacks.is_empty());
         assert!(attacks.len() <= TYPE2_TRANSLATIONS.len() * 2);
         for attack in &attacks {
@@ -451,8 +505,26 @@ mod tests {
 
     #[test]
     fn deterministic_generation() {
-        let a = generate_homographs(&mut StdRng::seed_from_u64(7), &brands(), 5);
-        let b = generate_homographs(&mut StdRng::seed_from_u64(7), &brands(), 5);
+        let a = generate_homographs(key(7), &brands(), 5, 1);
+        let b = generate_homographs(key(7), &brands(), 5, 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generation_is_schedule_independent() {
+        // The keyed candidate pools must make the populations identical
+        // for every worker count.
+        let one = generate_homographs(key(8), &brands(), 20, 1);
+        for threads in [2, 8] {
+            assert_eq!(one, generate_homographs(key(8), &brands(), 20, threads));
+        }
+        let sem_key = Key::root(8).stage(StageId::SemanticType1Attacks);
+        let sem_one = generate_semantic_type1(sem_key, &brands(), 20, 1);
+        for threads in [2, 8] {
+            assert_eq!(
+                sem_one,
+                generate_semantic_type1(sem_key, &brands(), 20, threads)
+            );
+        }
     }
 }

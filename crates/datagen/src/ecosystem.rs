@@ -1,6 +1,18 @@
-//! Ecosystem assembly: one seeded pass that generates registrations, WHOIS
-//! coverage, passive-DNS aggregates, certificates, blacklist feeds, zone
-//! files and the injected attack populations.
+//! Ecosystem assembly: generates registrations, WHOIS coverage,
+//! passive-DNS aggregates, certificates, blacklist feeds, zone files and
+//! the injected attack populations.
+//!
+//! # Keyed generation
+//!
+//! Every record's randomness is a pure function of
+//! `(config.seed, stage, record index)` via the counter-based streams of
+//! [`idnre_rng`]: no stage shares a sequential RNG with any other, so
+//! every RNG-bearing stage fans out on the work-queue executor and the
+//! output is byte-identical for every thread count (the
+//! `idnre-dataset/2` schedule-independence contract, DESIGN.md §8).
+//! Stages with cross-record state — deduplication, blacklist feeds, the
+//! pDNS store — split into a parallel *plan* phase (all randomness, keyed
+//! per record) and a cheap sequential *apply* phase (pure data movement).
 
 use crate::attacks::{self, AttackDomain};
 use crate::brands::BrandList;
@@ -10,17 +22,21 @@ use crate::hosting::HostingProfile;
 use crate::labels;
 use crate::registration::{
     sample_creation_date, sample_malicious_creation_date, sample_registrant, sample_registrar,
-    DomainRegistration, MaliciousKind, BULK_REGISTRANTS,
+    themed_label, BulkTheme, DomainRegistration, MaliciousKind, BULK_REGISTRANTS,
 };
 use idnre_blacklist::{BlacklistSet, Source};
 use idnre_certs::Certificate;
 use idnre_langid::Language;
-use idnre_pdns::{PdnsStore, PopulationClass, TrafficModel};
+use idnre_pdns::{DomainAggregate, PdnsStore, PopulationClass, TrafficModel};
+use idnre_rng::{Key, StageId};
 use idnre_telemetry::{NoopRecorder, Recorder};
-use idnre_whois::{WhoisDialect, WhoisRecord};
+use idnre_whois::{Date, WhoisDialect, WhoisRecord};
 use idnre_zonefile::{RData, ResourceRecord, Zone};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// How many label-grow retries a colliding ordinary registration gets.
+const ORDINARY_ATTEMPTS: u64 = 4;
 
 /// A fully generated synthetic ecosystem.
 #[derive(Debug, Clone)]
@@ -53,116 +69,125 @@ pub struct Ecosystem {
 
 impl Ecosystem {
     /// Generates the full ecosystem from `config`. Deterministic in
-    /// `config.seed`.
+    /// `config.seed`; byte-identical for every `config.threads`.
     pub fn generate(config: &EcosystemConfig) -> Self {
         Self::generate_recorded(config, &NoopRecorder)
     }
 
     /// Like [`Ecosystem::generate`], reporting per-stage timing and record
     /// counts to `recorder`. The generated ecosystem is identical for any
-    /// recorder — telemetry never touches the RNG stream.
+    /// recorder — telemetry never touches the RNG streams.
     pub fn generate_recorded(config: &EcosystemConfig, recorder: &dyn Recorder) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let root = Key::root(config.seed);
+        let threads = config.threads;
         let brands = BrandList::with_size(config.brand_count);
         let snapshot_day = config.snapshot.day_number();
 
         // --- 1. Bulk (opportunistic) registrations: Table III clusters,
         //        each with a single portfolio theme. ---
         let mut span = recorder.span("datagen.bulk_registrations");
-        let mut idn_registrations = Vec::new();
-        for (email, declared, theme) in BULK_REGISTRANTS {
-            let n = (declared as u64 / config.scale).max(1);
+        let bulk_key = root.stage(StageId::BulkRegistrations);
+        let mut bulk_jobs: Vec<(u64, &str, BulkTheme, u64)> = Vec::new();
+        for (registrant, &(email, declared, theme)) in BULK_REGISTRANTS.iter().enumerate() {
+            let n = (u64::from(declared) / config.scale).max(1);
             for i in 0..n {
-                let label = crate::registration::themed_label(&mut rng, theme);
-                let Some(reg) = build_idn(
+                bulk_jobs.push((registrant as u64, email, theme, i));
+            }
+        }
+        let mut idn_registrations: Vec<DomainRegistration> =
+            idnre_par::par_map(&bulk_jobs, threads, |&(registrant, email, theme, i)| {
+                let mut rng = bulk_key.derive(registrant).record(i).rng();
+                let label = themed_label(&mut rng, theme);
+                build_idn(
                     &mut rng,
                     config,
                     &format!("{label}{i}"),
                     Language::Chinese,
                     "com",
                     Some(email.to_string()),
-                ) else {
-                    continue;
-                };
-                idn_registrations.push(reg);
-            }
-        }
+                )
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         span.add_records(idn_registrations.len() as u64);
         drop(span);
 
         // --- 2. Ordinary IDN registrations per TLD (Table I volumes). ---
-        // The seed vocabulary is finite, so plain sampling collides; a
-        // numeric suffix on collision keeps the volume and language mix at
-        // their Table I/II anchors (digit-bearing IDNs are common in the
-        // wild corpus anyway).
+        // The seed vocabulary is finite, so plain sampling collides; each
+        // record precomputes its full keyed retry ladder (label grown with
+        // a numeric suffix per rung) in parallel, and a sequential pass
+        // takes the first rung that clears the cross-record dedup set.
         let mut span = recorder.span("datagen.ordinary_registrations");
         let bulk_count = idn_registrations.len();
-        let mut seen: std::collections::HashSet<String> =
+        let mut seen: HashSet<String> =
             idn_registrations.iter().map(|r| r.domain.clone()).collect();
-        for spec in &TABLE_I {
+        for (spec_idx, spec) in TABLE_I.iter().enumerate() {
             let n = config.scaled_idns(spec);
-            for i in 0..n {
-                let language = labels::sample_language(&mut rng);
-                let mut label = labels::generate_label(&mut rng, language);
-                let (email, _) = sample_registrant(&mut rng, i);
-                for _attempt in 0..4 {
-                    if let Some(reg) =
-                        build_idn(&mut rng, config, &label, language, spec.tld, email.clone())
-                    {
-                        if seen.insert(reg.domain.clone()) {
-                            idn_registrations.push(reg);
-                            break;
-                        }
+            let ladders = ordinary_candidates(root, config, spec_idx as u64, spec.tld, n, threads);
+            for ladder in ladders {
+                for reg in ladder.into_iter().flatten() {
+                    if seen.insert(reg.domain.clone()) {
+                        idn_registrations.push(reg);
+                        break;
                     }
-                    label.push_str(&rng.gen_range(2..1000u32).to_string());
                 }
             }
         }
-        dedup_registrations(&mut idn_registrations);
         span.add_records((idn_registrations.len() - bulk_count) as u64);
         drop(span);
 
         // --- 3. Blacklist assignment over the bulk+ordinary population. ---
         let mut span = recorder.span("datagen.blacklist");
         let mut blacklist = BlacklistSet::new();
-        assign_blacklist(&mut rng, config, &mut idn_registrations, &mut blacklist);
+        assign_blacklist(
+            root.stage(StageId::Blacklist),
+            config,
+            threads,
+            &mut idn_registrations,
+            &mut blacklist,
+        );
         span.add_records(blacklist.union_count() as u64);
         drop(span);
 
         // --- 4. Attack populations (full scale by default). ---
         let mut span = recorder.span("datagen.attack_injection");
-        let homograph_attacks =
-            attacks::generate_homographs(&mut rng, &brands, config.attack_scale);
-        let semantic_attacks =
-            attacks::generate_semantic_type1(&mut rng, &brands, config.attack_scale);
-        let semantic2_attacks = attacks::generate_semantic_type2(&mut rng, config.attack_scale);
-        inject_attacks(
-            &mut rng,
-            config,
-            &homograph_attacks,
-            MaliciousKind::Homograph,
-            66, // ‰ blacklisted: paper 100/1516 ≈ 6.6%
-            &mut idn_registrations,
-            &mut blacklist,
+        let homograph_attacks = attacks::generate_homographs(
+            root.stage(StageId::HomographAttacks),
+            &brands,
+            config.attack_scale,
+            threads,
         );
-        inject_attacks(
-            &mut rng,
-            config,
-            &semantic_attacks,
-            MaliciousKind::SemanticType1,
-            13, // paper: a few of 1,497 observed malicious
-            &mut idn_registrations,
-            &mut blacklist,
+        let semantic_attacks = attacks::generate_semantic_type1(
+            root.stage(StageId::SemanticType1Attacks),
+            &brands,
+            config.attack_scale,
+            threads,
         );
-        inject_attacks(
-            &mut rng,
-            config,
-            &semantic2_attacks,
-            MaliciousKind::SemanticType2,
-            100, // the Gree case was an active fraud
-            &mut idn_registrations,
-            &mut blacklist,
+        let semantic2_attacks = attacks::generate_semantic_type2(
+            root.stage(StageId::SemanticType2Attacks),
+            config.attack_scale,
         );
+        let inject_key = root.stage(StageId::AttackInjection);
+        let mut existing: HashSet<String> =
+            idn_registrations.iter().map(|r| r.domain.clone()).collect();
+        for (kind_word, attacks_list, kind, per_mille) in [
+            (0u64, &homograph_attacks, MaliciousKind::Homograph, 66), // ‰ blacklisted: paper 100/1516 ≈ 6.6%
+            (1, &semantic_attacks, MaliciousKind::SemanticType1, 13), // paper: a few of 1,497 observed malicious
+            (2, &semantic2_attacks, MaliciousKind::SemanticType2, 100), // the Gree case was an active fraud
+        ] {
+            inject_attacks(
+                inject_key.derive(kind_word),
+                config,
+                threads,
+                attacks_list,
+                kind,
+                per_mille,
+                &mut existing,
+                &mut idn_registrations,
+                &mut blacklist,
+            );
+        }
         span.add_records(
             (homograph_attacks.len() + semantic_attacks.len() + semantic2_attacks.len()) as u64,
         );
@@ -170,69 +195,96 @@ impl Ecosystem {
 
         // --- 5. Non-IDN comparison sample. ---
         let mut span = recorder.span("datagen.non_idn_sample");
-        let mut non_idn_registrations = Vec::new();
-        for spec in &TABLE_I {
-            let n = config.scaled_non_idn_sample(spec);
-            for i in 0..n {
-                non_idn_registrations.push(build_non_idn(&mut rng, config, i, spec.tld));
+        let non_idn_key = root.stage(StageId::NonIdnSample);
+        let mut non_idn_jobs: Vec<(u64, &str, u64)> = Vec::new();
+        for (spec_idx, spec) in TABLE_I.iter().enumerate() {
+            for i in 0..config.scaled_non_idn_sample(spec) {
+                non_idn_jobs.push((spec_idx as u64, spec.tld, i));
             }
         }
+        let non_idn_registrations: Vec<DomainRegistration> =
+            idnre_par::par_map(&non_idn_jobs, threads, |&(spec_idx, tld, i)| {
+                let mut rng = non_idn_key.derive(spec_idx).record(i).rng();
+                build_non_idn(&mut rng, config, i, tld)
+            });
         span.add_records(non_idn_registrations.len() as u64);
         drop(span);
 
         // --- 6. WHOIS emission with per-TLD coverage. ---
         let mut span = recorder.span("datagen.whois");
-        let whois = emit_whois(&mut rng, &idn_registrations);
+        let whois = emit_whois(root.stage(StageId::Whois), threads, &idn_registrations);
         span.add_records(whois.len() as u64);
         drop(span);
 
-        // --- 7. Passive DNS. ---
+        // --- 7. Passive DNS: sample aggregates in parallel, insert in
+        //        registration order. ---
         let mut span = recorder.span("datagen.pdns_traffic");
+        let pdns_key = root.stage(StageId::PdnsTraffic);
+        let traffic_jobs: Vec<(u64, &DomainRegistration, PopulationClass)> = idn_registrations
+            .iter()
+            .map(|reg| {
+                let class = match reg.malicious {
+                    Some(MaliciousKind::Homograph) => PopulationClass::Homographic,
+                    Some(MaliciousKind::SemanticType1 | MaliciousKind::SemanticType2) => {
+                        PopulationClass::SemanticType1
+                    }
+                    Some(_) => PopulationClass::MaliciousIdn,
+                    None => PopulationClass::BenignIdn,
+                };
+                (reg, class)
+            })
+            .chain(
+                non_idn_registrations
+                    .iter()
+                    .map(|reg| (reg, PopulationClass::NonIdn)),
+            )
+            .enumerate()
+            .map(|(i, (reg, class))| (i as u64, reg, class))
+            .collect();
+        let aggregates = idnre_par::par_map(&traffic_jobs, threads, |&(i, reg, class)| {
+            let mut rng = pdns_key.record(i).rng();
+            sample_traffic(&mut rng, reg, class, snapshot_day)
+        });
         let mut pdns = PdnsStore::new();
-        for reg in &idn_registrations {
-            let class = match reg.malicious {
-                Some(MaliciousKind::Homograph) => PopulationClass::Homographic,
-                Some(MaliciousKind::SemanticType1 | MaliciousKind::SemanticType2) => {
-                    PopulationClass::SemanticType1
-                }
-                Some(_) => PopulationClass::MaliciousIdn,
-                None => PopulationClass::BenignIdn,
-            };
-            add_traffic(&mut rng, &mut pdns, reg, class, snapshot_day);
-        }
-        for reg in &non_idn_registrations {
-            add_traffic(
-                &mut rng,
-                &mut pdns,
-                reg,
-                PopulationClass::NonIdn,
-                snapshot_day,
-            );
+        for aggregate in aggregates.into_iter().flatten() {
+            pdns.insert_aggregate(aggregate);
         }
         span.add_records(pdns.len() as u64);
         drop(span);
 
-        // --- 8. Certificates. ---
+        // --- 8. Certificates: each HTTPS host draws from its own stream
+        //        keyed by chain position, so issuance is independent of
+        //        every other record's HTTPS flag. ---
         let mut span = recorder.span("datagen.certificates");
-        let mut certificates = Vec::new();
-        for reg in idn_registrations.iter().chain(&non_idn_registrations) {
-            if !reg.https {
-                continue;
-            }
-            if let Some(hosting) = &reg.hosting {
-                certificates.push((
+        let cert_key = root.stage(StageId::Certificates);
+        let cert_jobs: Vec<(u64, &DomainRegistration)> = idn_registrations
+            .iter()
+            .chain(&non_idn_registrations)
+            .enumerate()
+            .map(|(i, reg)| (i as u64, reg))
+            .collect();
+        let certificates: Vec<(String, Certificate)> =
+            idnre_par::par_map(&cert_jobs, threads, |&(i, reg)| {
+                if !reg.https {
+                    return None;
+                }
+                let hosting = reg.hosting.as_ref()?;
+                let mut rng = cert_key.record(i).rng();
+                Some((
                     reg.domain.clone(),
                     hosting.issue_certificate(&mut rng, &reg.domain, snapshot_day),
-                ));
-            }
-        }
+                ))
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         span.add_records(certificates.len() as u64);
         drop(span);
 
-        // --- 9. Zone files. ---
+        // --- 9. Zone files (RNG-free). ---
         let mut span = recorder.span("datagen.zones");
         let (zones, zones_skipped) =
-            emit_zones(&idn_registrations, &non_idn_registrations, config.threads);
+            emit_zones(&idn_registrations, &non_idn_registrations, threads);
         span.add_records(zones.iter().map(|z| z.records.len() as u64).sum());
         drop(span);
         recorder.add("datagen.zones.skipped", zones_skipped);
@@ -267,6 +319,81 @@ impl Ecosystem {
             .chain(&self.non_idn_registrations)
             .find(|r| r.domain == domain)
     }
+
+    /// The keyed candidate stream behind the ordinary-registration stage:
+    /// one retry ladder per record index, before cross-record dedup.
+    ///
+    /// Exposed for the prefix-stability oracle: because every ladder is a
+    /// pure function of `(seed, spec_index, record index)`, the first `m`
+    /// ladders of a `count = n` stream equal the full `count = m` stream
+    /// for any `m <= n`.
+    pub fn ordinary_candidate_stream(
+        config: &EcosystemConfig,
+        spec_index: usize,
+        count: u64,
+    ) -> Vec<Vec<Option<DomainRegistration>>> {
+        let spec = &TABLE_I[spec_index];
+        ordinary_candidates(
+            Key::root(config.seed),
+            config,
+            spec_index as u64,
+            spec.tld,
+            count,
+            config.threads,
+        )
+    }
+
+    /// The keyed non-IDN sample stream for one TLD spec (same prefix
+    /// stability as [`Ecosystem::ordinary_candidate_stream`]).
+    pub fn non_idn_stream(
+        config: &EcosystemConfig,
+        spec_index: usize,
+        count: u64,
+    ) -> Vec<DomainRegistration> {
+        let spec = &TABLE_I[spec_index];
+        let key = Key::root(config.seed)
+            .stage(StageId::NonIdnSample)
+            .derive(spec_index as u64);
+        let indices: Vec<u64> = (0..count).collect();
+        idnre_par::par_map(&indices, config.threads, |&i| {
+            let mut rng = key.record(i).rng();
+            build_non_idn(&mut rng, config, i, spec.tld)
+        })
+    }
+}
+
+/// Precomputes the keyed retry ladders for one TLD's ordinary
+/// registrations. Ladder rung `k` draws from the record key's child
+/// `derive(k + 1)` (word 0 is the record's own meta stream), so a rung's
+/// bytes never depend on which earlier rungs collided.
+fn ordinary_candidates(
+    root: Key,
+    config: &EcosystemConfig,
+    spec_idx: u64,
+    tld: &str,
+    count: u64,
+    threads: usize,
+) -> Vec<Vec<Option<DomainRegistration>>> {
+    let spec_key = root.stage(StageId::OrdinaryRegistrations).derive(spec_idx);
+    let indices: Vec<u64> = (0..count).collect();
+    idnre_par::par_map(&indices, threads, |&i| {
+        let record_key = spec_key.record(i);
+        let mut meta = record_key.rng();
+        let language = labels::sample_language(&mut meta);
+        let mut label = labels::generate_label(&mut meta, language);
+        let (email, _) = sample_registrant(&mut meta, i);
+        (0..ORDINARY_ATTEMPTS)
+            .map(|attempt| {
+                let mut rng = record_key.derive(attempt + 1).rng();
+                if attempt > 0 {
+                    // Digit-bearing IDNs are common in the wild corpus, so
+                    // collision retries grow the label rather than resample.
+                    label.push_str(&rng.gen_range(2..1000u32).to_string());
+                }
+                build_idn(&mut rng, config, &label, language, tld, email.clone())
+            })
+            .collect()
+    })
 }
 
 /// Builds one IDN registration; returns `None` when the label fails IDNA
@@ -316,7 +443,12 @@ fn decorate_ascii<R: Rng + ?Sized>(rng: &mut R, label: &str) -> Option<String> {
     let candidates: Vec<usize> = (0..chars.len())
         .filter(|&i| !idnre_unicode::homoglyphs_of(chars[i]).is_empty())
         .collect();
-    let &pos = candidates.get(rng.gen_range(0..candidates.len().max(1)))?;
+    // Fail before drawing: an undecoratable label must not consume stream
+    // positions that a decoratable one would spend on the pick itself.
+    if candidates.is_empty() {
+        return None;
+    }
+    let pos = candidates[rng.gen_range(0..candidates.len())];
     let glyphs = idnre_unicode::homoglyphs_of(chars[pos]);
     let pick = glyphs[rng.gen_range(0..glyphs.len())];
     let mut out = chars;
@@ -362,23 +494,32 @@ fn pronounceable<R: Rng + ?Sized>(rng: &mut R) -> String {
     out
 }
 
-fn dedup_registrations(registrations: &mut Vec<DomainRegistration>) {
-    let mut seen = std::collections::HashSet::new();
-    registrations.retain(|r| seen.insert(r.domain.clone()));
+/// One TLD's planned blacklist marks: flag mutations plus per-source feed
+/// inserts, computed in parallel and applied in spec order.
+struct BlacklistPlan {
+    flags: Vec<(usize, MaliciousKind, Date)>,
+    inserts: Vec<(Source, usize)>,
 }
 
 /// Marks the Table I blacklist proportions on the ordinary population and
-/// feeds the per-source sets.
-fn assign_blacklist<R: Rng + ?Sized>(
-    rng: &mut R,
+/// feeds the per-source sets. Each TLD spec plans against the same
+/// immutable population snapshot (their candidate sets are disjoint by
+/// TLD), then the plans apply sequentially.
+fn assign_blacklist(
+    key: Key,
     config: &EcosystemConfig,
+    threads: usize,
     registrations: &mut [DomainRegistration],
     blacklist: &mut BlacklistSet,
 ) {
-    for spec in &TABLE_I {
+    let spec_indices: Vec<u64> = (0..TABLE_I.len() as u64).collect();
+    let population: &[DomainRegistration] = registrations;
+    let plans = idnre_par::par_map(&spec_indices, threads, |&spec_idx| {
+        let spec = &TABLE_I[spec_idx as usize];
+        let mut rng = key.record(spec_idx).rng();
         let (vt, qihoo, baidu) = spec.declared_blacklisted;
         let scaled = |n: u64| -> usize { (n / config.scale.max(1)).max(u64::from(n > 0)) as usize };
-        let mut candidates: Vec<usize> = registrations
+        let mut candidates: Vec<usize> = population
             .iter()
             .enumerate()
             .filter(|(_, r)| r.tld == spec.tld && r.malicious.is_none())
@@ -392,53 +533,66 @@ fn assign_blacklist<R: Rng + ?Sized>(
         let n_q_unique = n_q / 3;
         let n_b_unique = scaled(baidu).min(1) * u64::from(baidu > 0) as usize;
         let union = n_vt + n_q_unique + n_b_unique;
-        let mut flagged = Vec::new();
+        let mut flags = Vec::new();
         for _ in 0..union.min(candidates.len()) {
             let idx = candidates.swap_remove(rng.gen_range(0..candidates.len()));
-            registrations[idx].malicious = Some(if rng.gen_ratio(7, 10) {
+            let kind = if rng.gen_ratio(7, 10) {
                 MaliciousKind::UndergroundBusiness
             } else {
                 MaliciousKind::Other
-            });
-            registrations[idx].created = sample_malicious_creation_date(rng, config.snapshot);
-            flagged.push(idx);
+            };
+            let created = sample_malicious_creation_date(&mut rng, config.snapshot);
+            flags.push((idx, kind, created));
         }
         // Per-source attribution: every flagged domain gets at least one
         // source, with the overlap block shared between VT and Qihoo.
         let q_overlap = n_q - n_q_unique;
-        for (k, &idx) in flagged.iter().enumerate() {
-            let domain = registrations[idx].domain.clone();
+        let mut inserts = Vec::new();
+        for (k, &(idx, _, _)) in flags.iter().enumerate() {
             if k < n_vt {
-                blacklist.insert(Source::VirusTotal, &domain);
+                inserts.push((Source::VirusTotal, idx));
                 if k >= n_vt.saturating_sub(q_overlap) {
-                    blacklist.insert(Source::Qihoo360, &domain);
+                    inserts.push((Source::Qihoo360, idx));
                 }
             } else if k < n_vt + n_q_unique {
-                blacklist.insert(Source::Qihoo360, &domain);
+                inserts.push((Source::Qihoo360, idx));
             } else {
-                blacklist.insert(Source::Baidu, &domain);
+                inserts.push((Source::Baidu, idx));
             }
+        }
+        BlacklistPlan { flags, inserts }
+    });
+    for plan in plans {
+        for (idx, kind, created) in plan.flags {
+            registrations[idx].malicious = Some(kind);
+            registrations[idx].created = created;
+        }
+        for (source, idx) in plan.inserts {
+            blacklist.insert(source, &registrations[idx].domain);
         }
     }
 }
 
 /// Converts attack domains into registrations, blacklisting `per_mille` of
-/// them.
-fn inject_attacks<R: Rng + ?Sized>(
-    rng: &mut R,
+/// them. The per-attack randomness (including the Qihoo-overlap draw) is
+/// keyed by attack index and sampled unconditionally, so the prepared
+/// record is independent of which attacks the dedup pass skips.
+#[allow(clippy::too_many_arguments)]
+fn inject_attacks(
+    key: Key,
     config: &EcosystemConfig,
+    threads: usize,
     attacks: &[AttackDomain],
     kind: MaliciousKind,
     per_mille: u32,
+    existing: &mut HashSet<String>,
     registrations: &mut Vec<DomainRegistration>,
     blacklist: &mut BlacklistSet,
 ) {
-    let existing: std::collections::HashSet<String> =
-        registrations.iter().map(|r| r.domain.clone()).collect();
-    for attack in attacks {
-        if existing.contains(&attack.domain) {
-            continue;
-        }
+    let indices: Vec<u64> = (0..attacks.len() as u64).collect();
+    let prepared = idnre_par::par_map(&indices, threads, |&i| {
+        let attack = &attacks[i as usize];
+        let mut rng = key.record(i).rng();
         let tld = attack
             .domain
             .rsplit('.')
@@ -446,6 +600,7 @@ fn inject_attacks<R: Rng + ?Sized>(
             .unwrap_or("com")
             .to_string();
         let blacklisted = rng.gen_ratio(per_mille, 1000);
+        let qihoo_too = rng.gen_ratio(1, 3);
         let (email, privacy) = if attack.protective {
             let brand_sld = attack.target.split('.').next().unwrap_or("brand");
             (Some(format!("legal@{brand_sld}.com")), false)
@@ -457,46 +612,53 @@ fn inject_attacks<R: Rng + ?Sized>(
         } else {
             (None, true)
         };
-        let content = ContentCategory::sample_idn(rng);
-        let hosting = HostingProfile::sample(rng, content);
-        registrations.push(DomainRegistration {
+        let content = ContentCategory::sample_idn(&mut rng);
+        let hosting = HostingProfile::sample(&mut rng, content);
+        let reg = DomainRegistration {
             domain: attack.domain.clone(),
             unicode: attack.unicode.clone(),
             tld,
             language: Language::Unknown,
-            created: sample_malicious_creation_date(rng, config.snapshot),
-            registrar: sample_registrar(rng),
+            created: sample_malicious_creation_date(&mut rng, config.snapshot),
+            registrar: sample_registrar(&mut rng),
             registrant_email: email,
             privacy,
             malicious: blacklisted.then_some(kind),
             content,
             https: hosting.is_some() && rng.gen_ratio(91, 1000),
             hosting,
-        });
+        };
+        (reg, blacklisted, qihoo_too)
+    });
+    for (reg, blacklisted, qihoo_too) in prepared {
+        if !existing.insert(reg.domain.clone()) {
+            continue;
+        }
         if blacklisted {
-            blacklist.insert(Source::VirusTotal, &attack.domain);
-            if rng.gen_ratio(1, 3) {
-                blacklist.insert(Source::Qihoo360, &attack.domain);
+            blacklist.insert(Source::VirusTotal, &reg.domain);
+            if qihoo_too {
+                blacklist.insert(Source::Qihoo360, &reg.domain);
             }
         }
+        registrations.push(reg);
     }
 }
 
 /// Emits WHOIS records honoring the per-TLD coverage of Table I (50.19%
-/// overall; 1.1% for iTLDs).
-fn emit_whois<R: Rng + ?Sized>(
-    rng: &mut R,
-    registrations: &[DomainRegistration],
-) -> Vec<WhoisRecord> {
-    let mut out = Vec::new();
-    for reg in registrations {
+/// overall; 1.1% for iTLDs). Each registration's coverage roll and record
+/// body draw from a stream keyed by its position.
+fn emit_whois(key: Key, threads: usize, registrations: &[DomainRegistration]) -> Vec<WhoisRecord> {
+    let indices: Vec<u64> = (0..registrations.len() as u64).collect();
+    idnre_par::par_map(&indices, threads, |&i| {
+        let reg = &registrations[i as usize];
         let coverage = TABLE_I
             .iter()
             .find(|spec| spec.tld == reg.tld)
             .map(|spec| spec.declared_whois as f64 / spec.declared_idns as f64)
             .unwrap_or(0.5);
+        let mut rng = key.record(i).rng();
         if !rng.gen_bool(coverage.clamp(0.0, 1.0)) {
-            continue;
+            return None;
         }
         let mut record = WhoisRecord::new(&reg.domain, WhoisDialect::KeyValue);
         record.registrar = Some(reg.registrar.clone());
@@ -505,35 +667,33 @@ fn emit_whois<R: Rng + ?Sized>(
         record.expiry_date = Some(reg.created.plus_days(365));
         record.privacy_protected = reg.privacy;
         record.name_servers = vec![format!("ns1.{}", reg.domain)];
-        out.push(record);
-    }
-    out
+        Some(record)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
-fn add_traffic<R: Rng + ?Sized>(
+fn sample_traffic<R: Rng + ?Sized>(
     rng: &mut R,
-    pdns: &mut PdnsStore,
     reg: &DomainRegistration,
     class: PopulationClass,
     snapshot_day: i64,
-) {
+) -> Option<DomainAggregate> {
     if !reg.content.resolves() {
-        return;
+        return None;
     }
     let ip = reg.hosting.as_ref().map(|h| h.assign_ip(rng));
     let model = TrafficModel::for_class(class);
-    if let Some(aggregate) = model.sample_aggregate(rng, &reg.domain, snapshot_day, ip) {
-        pdns.insert_aggregate(aggregate);
-    }
+    model.sample_aggregate(rng, &reg.domain, snapshot_day, ip)
 }
 
 /// Builds one zone per TLD containing NS (and A, when resolving) records.
 ///
-/// The zones are RNG-free, so this is the generation stage that fans out:
-/// each TLD is one shard on the work-queue executor, filtering the
-/// registration stream independently. Records land in registration order
-/// within each zone — exactly the order the old single-pass emission
-/// produced — so the emitted zones are byte-identical for any `threads`.
+/// The zones are RNG-free: each TLD is one shard on the work-queue
+/// executor, filtering the registration stream independently. Records land
+/// in registration order within each zone, so the emitted zones are
+/// byte-identical for any `threads`.
 ///
 /// Registrations whose names do not survive the zone's name grammar (e.g.
 /// an NS owner pushing past the 253-octet limit) are skipped, not
@@ -628,8 +788,12 @@ mod tests {
                 threads,
                 ..small_config()
             });
-            assert_eq!(one.zones, many.zones, "zones diverged at {threads} threads");
             assert_eq!(one.idn_registrations, many.idn_registrations);
+            assert_eq!(one.non_idn_registrations, many.non_idn_registrations);
+            assert_eq!(one.whois, many.whois);
+            assert_eq!(one.blacklist, many.blacklist);
+            assert_eq!(one.certificates, many.certificates);
+            assert_eq!(one.zones, many.zones, "zones diverged at {threads} threads");
             assert_eq!(
                 one.zones
                     .iter()
@@ -748,5 +912,13 @@ mod tests {
             .filter(|r| eco.pdns.lookup(&r.domain).is_some())
             .count();
         assert!(idn_hits > eco.idn_registrations.len() / 4);
+    }
+
+    #[test]
+    fn ordinary_stream_is_prefix_stable() {
+        let config = small_config();
+        let full = Ecosystem::ordinary_candidate_stream(&config, 0, 50);
+        let prefix = Ecosystem::ordinary_candidate_stream(&config, 0, 20);
+        assert_eq!(&full[..20], &prefix[..]);
     }
 }

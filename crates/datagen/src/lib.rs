@@ -41,6 +41,7 @@ pub mod attacks;
 pub mod brands;
 mod config;
 mod content;
+pub mod dataset;
 mod ecosystem;
 mod hosting;
 mod labels;
@@ -49,6 +50,7 @@ mod registration;
 pub use brands::{Brand, BrandList};
 pub use config::{EcosystemConfig, TldSpec, TABLE_I};
 pub use content::ContentCategory;
+pub use dataset::{dataset_fingerprint, render_dataset, DATASET_SCHEMA};
 pub use ecosystem::Ecosystem;
 pub use hosting::HostingProfile;
 pub use registration::{DomainRegistration, MaliciousKind};

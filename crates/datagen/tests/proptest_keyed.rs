@@ -1,0 +1,78 @@
+//! Property tests for the keyed counter-based generation pipeline
+//! (`idnre-dataset/2`): schedule independence and prefix stability.
+//!
+//! The oracle in both cases is the sequential keyed path (`threads == 1`
+//! runs inline, with no worker threads at all), so these tests pin the
+//! parallel fan-out to the exact bytes a single-threaded pass produces —
+//! not merely to "some deterministic output".
+
+use idnre_datagen::{render_dataset, Ecosystem, EcosystemConfig};
+use proptest::prelude::*;
+
+/// A configuration small enough to generate dozens of times per test run
+/// while still exercising every stage (bulk, ordinary, attacks, WHOIS,
+/// pDNS, certificates, zones).
+fn config(seed: u64, threads: usize) -> EcosystemConfig {
+    EcosystemConfig {
+        seed,
+        scale: 3000,
+        attack_scale: 60,
+        threads,
+        ..EcosystemConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// (a) Parallel generation is byte-identical to the sequential keyed
+    /// path for any worker count: the rendered dataset — every
+    /// registration, attack, WHOIS record, aggregate, certificate and
+    /// zone byte — survives `cmp` across thread counts.
+    #[test]
+    fn dataset_bytes_are_thread_count_invariant(seed in 0u64..1_000_000, threads in 2usize..9) {
+        let sequential = render_dataset(&Ecosystem::generate(&config(seed, 1)));
+        let parallel = render_dataset(&Ecosystem::generate(&config(seed, threads)));
+        prop_assert_eq!(sequential, parallel);
+    }
+
+    /// (a, continued) Chunk size is scheduling too: the executor derives
+    /// its steal-unit size from the thread count, so sweeping widely
+    /// different worker counts over the *candidate streams* (the
+    /// finest-grained keyed surface) varies chunk boundaries across every
+    /// record. The streams must not notice.
+    #[test]
+    fn candidate_streams_are_chunk_size_invariant(
+        seed in 0u64..1_000_000,
+        spec_index in 0usize..4,
+        threads in 2usize..33,
+    ) {
+        let n = 40;
+        let one = Ecosystem::ordinary_candidate_stream(&config(seed, 1), spec_index, n);
+        let many = Ecosystem::ordinary_candidate_stream(&config(seed, threads), spec_index, n);
+        prop_assert_eq!(one, many);
+        let one = Ecosystem::non_idn_stream(&config(seed, 1), 0, n);
+        let many = Ecosystem::non_idn_stream(&config(seed, threads), 0, n);
+        prop_assert_eq!(one, many);
+    }
+
+    /// (b) Prefix stability: generating records `0..n` and then `0..m`
+    /// (`m < n`) yields the same first `m` records. Each record's
+    /// randomness is keyed by `(seed, stage, index)`, never by how many
+    /// records precede it or how many draws they consumed.
+    #[test]
+    fn keyed_streams_are_prefix_stable(
+        seed in 0u64..1_000_000,
+        spec_index in 0usize..4,
+        n in 10u64..60,
+        m in 1u64..10,
+    ) {
+        let cfg = config(seed, 4);
+        let full = Ecosystem::ordinary_candidate_stream(&cfg, spec_index, n);
+        let prefix = Ecosystem::ordinary_candidate_stream(&cfg, spec_index, m);
+        prop_assert_eq!(&full[..m as usize], &prefix[..]);
+        let full = Ecosystem::non_idn_stream(&cfg, 0, n);
+        let prefix = Ecosystem::non_idn_stream(&cfg, 0, m);
+        prop_assert_eq!(&full[..m as usize], &prefix[..]);
+    }
+}

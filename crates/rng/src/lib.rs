@@ -1,0 +1,299 @@
+//! Counter-based, splittable PRNG for embarrassingly parallel generation.
+//!
+//! The sequential generator this crate replaces (`rand::rngs::StdRng`
+//! threaded through every datagen stage) forces a total order on the
+//! records it feeds: record *n*'s randomness depends on how many draws
+//! records `0..n` consumed, so no record can be generated out of turn.
+//! Here every stream is instead a **pure function of its key**:
+//!
+//! ```text
+//! rng(record) = KeyedRng::from( Key::root(master_seed)
+//!                                   .stage(stage_id)
+//!                                   .record(record_index) )
+//! ```
+//!
+//! Any worker can therefore generate any record in any order — or retry
+//! it, or skip it — and the output bytes are identical to a sequential
+//! pass, which is the schedule-independence oracle the datagen proptests
+//! hold the pipeline to. This is the SplitMix/Philox construction:
+//! a strongly mixed key selects a stream, and the stream itself is a
+//! counter sequence pushed through an avalanching output function.
+//!
+//! # Construction
+//!
+//! [`Key`] is a 64-bit state absorbed one word at a time through the
+//! SplitMix64 finalizer (two multiply–xorshift rounds per word, full
+//! avalanche). [`KeyedRng`] runs SplitMix64 proper from the keyed state:
+//! output `i` is `mix(state + (i+1)·φ)` where φ is the golden-ratio
+//! increment — so the generator is *counter-based*: [`KeyedRng::at`]
+//! addresses any position in O(1) without generating the prefix, and
+//! failure paths that return early simply never consume shared state
+//! (there is none).
+//!
+//! # Examples
+//!
+//! ```
+//! use idnre_rng::{Key, StageId};
+//! use rand::Rng;
+//!
+//! let key = Key::root(0x1DAE_2018).stage(StageId::OrdinaryRegistrations);
+//! let mut a = key.record(7).rng();
+//! let mut b = key.record(7).rng();
+//! assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+//! // Neighbouring records are independent streams.
+//! let mut c = key.record(8).rng();
+//! let _ = c.gen_range(0..1000u32); // no relation to record 7's draws
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::RngCore;
+
+/// The golden-ratio Weyl increment SplitMix64 steps its counter by.
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: two multiply–xorshift rounds, full avalanche.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Identifier of one RNG-bearing datagen stage.
+///
+/// Every stage of the ecosystem generator owns a disjoint key subspace so
+/// streams never collide across stages. The discriminants are part of the
+/// `idnre-dataset/2` determinism contract (see DESIGN.md §8) — reordering
+/// or renumbering them is a dataset-schema break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u64)]
+pub enum StageId {
+    /// Table III bulk (opportunistic) registrations.
+    BulkRegistrations = 1,
+    /// Ordinary per-TLD IDN registrations (Table I volumes).
+    OrdinaryRegistrations = 2,
+    /// Blacklist assignment over the organic population.
+    Blacklist = 3,
+    /// Registered homographic IDN population (Table XIII).
+    HomographAttacks = 4,
+    /// Type-1 semantic population (Table XIV).
+    SemanticType1Attacks = 5,
+    /// Type-2 (translated-brand) semantic population (Table X).
+    SemanticType2Attacks = 6,
+    /// Conversion of attack domains into registrations.
+    AttackInjection = 7,
+    /// The non-IDN comparison sample.
+    NonIdnSample = 8,
+    /// WHOIS emission with per-TLD coverage.
+    Whois = 9,
+    /// Passive-DNS traffic aggregates.
+    PdnsTraffic = 10,
+    /// Certificate issuance for HTTPS hosts.
+    Certificates = 11,
+}
+
+/// A derivation key: 64 bits of absorbed context selecting one stream.
+///
+/// Keys are value types — deriving never mutates the parent, so a stage
+/// key can be captured once and fanned out across workers:
+///
+/// ```
+/// use idnre_rng::{Key, StageId};
+/// let stage = Key::root(42).stage(StageId::Whois);
+/// let streams: Vec<_> = (0..4u64).map(|i| stage.record(i).rng()).collect();
+/// assert_eq!(streams.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key(u64);
+
+impl Key {
+    /// The root key of a generation run, derived from the master seed.
+    pub fn root(master_seed: u64) -> Self {
+        // Domain-separate the root from a raw SplitMix64 stream seeded
+        // with the same integer (the vendored StdRng seeding path).
+        Key(mix(master_seed ^ 0xA076_1D64_78BD_642F))
+    }
+
+    /// Absorbs one context word, returning the child key.
+    ///
+    /// Absorption is a keyed permutation followed by the finalizer, so
+    /// `derive(a).derive(b)` and `derive(b).derive(a)` are unrelated
+    /// streams — order is significant, as a derivation path should be.
+    #[must_use]
+    pub fn derive(self, word: u64) -> Self {
+        Key(mix(self
+            .0
+            .wrapping_mul(0xD120_3C85_57B3_F2D9)
+            .wrapping_add(PHI)
+            ^ mix(word)))
+    }
+
+    /// Child key for a pipeline stage.
+    #[must_use]
+    pub fn stage(self, stage: StageId) -> Self {
+        self.derive(stage as u64)
+    }
+
+    /// Child key for one record within a stage.
+    #[must_use]
+    pub fn record(self, index: u64) -> Self {
+        self.derive(index)
+    }
+
+    /// The generator for this key's stream.
+    pub fn rng(self) -> KeyedRng {
+        KeyedRng {
+            base: self.0,
+            counter: 0,
+        }
+    }
+}
+
+/// A counter-based generator over one key's stream (SplitMix64 from the
+/// keyed state). Implements [`rand::RngCore`], so every existing sampler
+/// (`gen_range`, `gen_ratio`, `gen_bool`, …) works unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyedRng {
+    base: u64,
+    counter: u64,
+}
+
+impl KeyedRng {
+    /// Output at counter position `i` (0-based), without advancing: the
+    /// random-access form of the stream. `rng.at(i)` equals the `i`-th
+    /// value a fresh generator's [`RngCore::next_u64`] would return.
+    pub fn at(&self, i: u64) -> u64 {
+        mix(self.base.wrapping_add(i.wrapping_add(1).wrapping_mul(PHI)))
+    }
+
+    /// How many 64-bit outputs have been drawn so far.
+    pub fn position(&self) -> u64 {
+        self.counter
+    }
+}
+
+impl RngCore for KeyedRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let v = self.at(self.counter);
+        self.counter += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn streams_are_pure_functions_of_their_key() {
+        let key = Key::root(7).stage(StageId::Whois).record(123);
+        let a: Vec<u64> = {
+            let mut rng = key.rng();
+            (0..64).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = key.rng();
+            (0..64).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counter_addressing_matches_sequential_draws() {
+        let key = Key::root(99).stage(StageId::PdnsTraffic).record(5);
+        let sequential: Vec<u64> = {
+            let mut rng = key.rng();
+            (0..100).map(|_| rng.next_u64()).collect()
+        };
+        let addressed: Vec<u64> = (0..100).map(|i| key.rng().at(i)).collect();
+        assert_eq!(sequential, addressed);
+    }
+
+    #[test]
+    fn neighbouring_records_are_decorrelated() {
+        // Adjacent record indices (the worst case for a weak mixer) must
+        // not share outputs: over 1000 neighbours × 8 draws, collisions
+        // in 64-bit space should be absent.
+        let stage = Key::root(0x1DAE_2018).stage(StageId::OrdinaryRegistrations);
+        let mut seen = std::collections::HashSet::new();
+        for record in 0..1000u64 {
+            let mut rng = stage.record(record).rng();
+            for _ in 0..8 {
+                assert!(seen.insert(rng.next_u64()), "stream collision");
+            }
+        }
+    }
+
+    #[test]
+    fn stages_partition_the_key_space() {
+        let root = Key::root(1);
+        let a = root.stage(StageId::BulkRegistrations).record(0);
+        let b = root.stage(StageId::OrdinaryRegistrations).record(0);
+        assert_ne!(a, b);
+        assert_ne!(a.rng().at(0), b.rng().at(0));
+        // Derivation order matters: (stage, record) != (record, stage).
+        assert_ne!(
+            root.derive(2).derive(3),
+            root.derive(3).derive(2),
+            "absorption must not commute"
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Key::root(1).stage(StageId::Whois).record(0).rng().at(0);
+        let b = Key::root(2).stage(StageId::Whois).record(0).rng().at(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniformity_over_small_range() {
+        let mut rng = Key::root(3).stage(StageId::Certificates).record(0).rng();
+        let mut buckets = [0usize; 10];
+        for _ in 0..50_000 {
+            buckets[rng.gen_range(0..10usize)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((4_300..5_700).contains(&b), "bucket {i} count {b}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_and_ratio_track_probability() {
+        let mut rng = Key::root(4).stage(StageId::Blacklist).record(0).rng();
+        let n = 40_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.23..0.27).contains(&rate), "gen_bool rate {rate}");
+        let hits = (0..n).filter(|_| rng.gen_ratio(1, 5)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.18..0.22).contains(&rate), "gen_ratio rate {rate}");
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic() {
+        let key = Key::root(5).stage(StageId::NonIdnSample).record(9);
+        let mut a = [0u8; 37];
+        let mut b = [0u8; 37];
+        key.rng().fill_bytes(&mut a);
+        key.rng().fill_bytes(&mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn position_tracks_draws() {
+        let mut rng = Key::root(6).stage(StageId::Whois).record(0).rng();
+        assert_eq!(rng.position(), 0);
+        let _ = rng.next_u64();
+        let _ = rng.next_u32();
+        assert_eq!(rng.position(), 2);
+    }
+}

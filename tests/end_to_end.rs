@@ -51,7 +51,14 @@ fn finding_1_east_asian_languages_dominate() {
 
 #[test]
 fn findings_5_and_6_traffic_gaps() {
-    let eco = ecosystem();
+    // The traffic models are heavy-tailed lognormals (σ ≈ 2.4 for the
+    // malicious classes), so comparing *means* needs a malicious sample in
+    // the high tens — generate denser than the shared fixture.
+    let eco = Ecosystem::generate(&EcosystemConfig {
+        scale: 100,
+        attack_scale: 1,
+        ..EcosystemConfig::default()
+    });
     let mut idn = ActivityAnalytics::new();
     let mut non = ActivityAnalytics::new();
     let mut malicious = ActivityAnalytics::new();
