@@ -8,6 +8,8 @@
 //! repro --write EXPERIMENTS.md all
 //! repro --metrics text all       # stage-timing table on stderr
 //! repro --metrics json all       # idnre-metrics/1 JSON on stderr
+//! repro --stream all             # bounded-memory streaming build
+//! repro --stream --shard-size 64 all       # smaller resident shards
 //! repro --faults smoke all       # inject the `smoke` fault schedule
 //! repro --faults storm:7 all     # `storm` profile, replay seed 7
 //! repro --bench all              # timed run, writes BENCH_pipeline.json
@@ -30,9 +32,18 @@
 //! `--threads N` pins the worker count of every parallel stage; the report
 //! bytes are identical at every setting, only wall time changes.
 //!
+//! With `--stream`, the registration corpus is never materialized whole:
+//! the streaming generator regenerates `--shard-size N` records at a time
+//! (default 1024) and the fused analysis scan and surveys walk the shards,
+//! so peak resident records stay ≈ `shard_size × threads` at any scale
+//! (reported as the `datagen.peak_resident_records` counter under
+//! `--metrics`). The report bytes are identical to the batch build.
+//! `--stream` cannot be combined with `--faults`, `--bench` or
+//! `--dump-dataset`.
+//!
 //! `--bench` runs the whole pipeline once under timing, prints the stage
 //! table to stderr, and writes `BENCH_pipeline.json`
-//! (`idnre-bench-pipeline/1`) next to the report. It cannot be combined
+//! (`idnre-bench-pipeline/2`) next to the report. It cannot be combined
 //! with `--faults` or `--metrics`. `--thread-sweep 1,2,8` repeats the
 //! timed run at each worker count, asserts the report and the
 //! `idnre-dataset/2` bytes are identical across counts, and concatenates
@@ -60,6 +71,8 @@ fn main() {
     let mut faults: Option<FaultSetup> = None;
     let mut threads: Option<usize> = None;
     let mut bench = false;
+    let mut stream = false;
+    let mut shard_size = idnre_bench::DEFAULT_SHARD_SIZE;
     let mut thread_sweep: Option<Vec<usize>> = None;
     let mut dump_dataset: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
@@ -87,6 +100,14 @@ fn main() {
                 threads = Some(n.min(idnre_par::MAX_THREADS));
             }
             "--bench" => bench = true,
+            "--stream" => stream = true,
+            "--shard-size" => {
+                shard_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| usage("--shard-size needs a number >= 1"));
+            }
             "--thread-sweep" => {
                 let spec = args
                     .next()
@@ -152,6 +173,9 @@ fn main() {
     if thread_sweep.is_some() && !bench {
         usage("--thread-sweep requires --bench");
     }
+    if stream && (faults.is_some() || bench || dump_dataset.is_some()) {
+        usage("--stream cannot be combined with --faults, --bench or --dump-dataset");
+    }
     if bench {
         if faults.is_some() || metrics.is_some() {
             usage("--bench cannot be combined with --faults or --metrics");
@@ -165,7 +189,11 @@ fn main() {
         return;
     }
 
-    let registry = metrics.map(|_| Arc::new(Registry::new()));
+    let registry = metrics.map(|_| {
+        Arc::new(Registry::with_preregistered(
+            &idnre_crawler::OUTCOME_COUNTERS,
+        ))
+    });
 
     eprintln!(
         "generating ecosystem (scale 1:{}, attacks 1:{}, seed {:#x})...",
@@ -184,12 +212,13 @@ fn main() {
             );
             ReproContext::build_faulted(&config, setup, recorder)
         }
+        None if stream => ReproContext::build_streamed(&config, shard_size, recorder),
         None => ReproContext::build_recorded(&config, recorder),
     };
     eprintln!(
         "ecosystem ready: {} IDNs, {} non-IDNs, {} homograph findings, {} semantic findings",
-        ctx.eco.idn_registrations.len(),
-        ctx.eco.non_idn_registrations.len(),
+        ctx.outputs.idn_len,
+        ctx.outputs.non_idn_len,
         ctx.homographs.len(),
         ctx.semantic.len()
     );
@@ -333,7 +362,8 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--scale N] [--attack-scale N] [--seed N] [--threads N] [--write PATH] \
-         [--metrics text|json] [--faults none|smoke|flaky|storm|SEED|PROFILE:SEED] [--bench] \
+         [--metrics text|json] [--stream] [--shard-size N] \
+         [--faults none|smoke|flaky|storm|SEED|PROFILE:SEED] [--bench] \
          [--thread-sweep N,N,...] [--dump-dataset PATH] <experiment...>\n\
          exit codes with --faults: 0 clean, 3 degraded, 4 error budget exceeded\n\
          experiments: all {}",

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod passes;
 pub mod pipeline_bench;
 pub mod reports;
 pub mod robust;
@@ -32,23 +33,32 @@ pub use pipeline_bench::{
 };
 pub use robust::{FaultSetup, IngestStats, RunHealth, SurveyStats};
 
+use idnre_analyze::{RecordSource, SliceSource, StreamSource};
 use idnre_core::{HomographDetector, HomographFinding, SemanticDetector, SemanticFinding};
 use idnre_crawler::{AuthBehavior, Crawler, Page, PageKind, OUTCOME_COUNTERS};
-use idnre_datagen::{ContentCategory, DomainRegistration, Ecosystem, EcosystemConfig};
+use idnre_datagen::{ContentCategory, DomainRegistration, Ecosystem, EcosystemConfig, KeyedCorpus};
 use idnre_fault::ErrorBudget;
 use idnre_telemetry::{NoopRecorder, Recorder};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
+/// Default shard size of the fused corpus traversal (and of `--stream`).
+pub const DEFAULT_SHARD_SIZE: usize = 1024;
+
 /// Shared state for all report generators: the generated ecosystem plus the
-/// one-time detector scans over it.
+/// one fused analysis scan over it.
 pub struct ReproContext {
-    /// The synthetic ecosystem.
+    /// The synthetic ecosystem (registration vectors are empty when built
+    /// with [`ReproContext::build_streamed`]; the artifacts are complete
+    /// either way).
     pub eco: Ecosystem,
     /// Homograph-detector findings over the registered IDN corpus.
     pub homographs: Vec<HomographFinding>,
     /// Type-1 semantic findings over the registered IDN corpus.
     pub semantic: Vec<SemanticFinding>,
+    /// Every corpus-derived aggregate the report generators read, folded by
+    /// the one fused [`idnre_analyze::ShardedScan`] traversal.
+    pub outputs: passes::ScanOutputs,
     /// Telemetry sink every pipeline stage and report generator records
     /// into ([`NoopRecorder`] unless built with
     /// [`ReproContext::build_recorded`]).
@@ -76,8 +86,8 @@ impl ReproContext {
         Self::build_recorded(config, Arc::new(NoopRecorder))
     }
 
-    /// [`ReproContext::build`] with every pipeline stage (generation,
-    /// detector scans, the crawl survey) reported to `recorder`. The built
+    /// [`ReproContext::build`] with every pipeline stage (generation, the
+    /// fused analysis scan, the surveys) reported to `recorder`. The built
     /// context — and therefore every report — is byte-identical regardless
     /// of the recorder.
     pub fn build_recorded(config: &EcosystemConfig, recorder: Arc<dyn Recorder>) -> Self {
@@ -86,24 +96,60 @@ impl ReproContext {
         span.add_records((eco.idn_registrations.len() + eco.non_idn_registrations.len()) as u64);
         drop(span);
 
-        let threads = config.threads;
-        let brand_domains: Vec<String> = eco.brands.iter().map(|b| b.domain()).collect();
-        let detector = HomographDetector::new(&brand_domains, 0.95);
-        let domains: Vec<&str> = eco
-            .idn_registrations
-            .iter()
-            .map(|r| r.domain.as_str())
-            .collect();
-        let homographs = detector.scan_recorded(domains.iter().copied(), threads, &*recorder);
-        let semantic_detector = SemanticDetector::new(&brand_domains);
-        let semantic =
-            semantic_detector.scan_type1_parallel(domains.iter().copied(), threads, &*recorder);
-        crawl_survey(&eco, &*recorder);
-        robust::whois_survey(&eco, None, None, &*recorder);
+        let source = SliceSource::new(&eco.idn_registrations, &eco.non_idn_registrations);
+        let (homographs, semantic, outputs) = run_scan(
+            &eco,
+            &source,
+            DEFAULT_SHARD_SIZE,
+            config.threads,
+            &*recorder,
+        );
+        let view = CorpusView::Batch(&eco);
+        crawl_survey(&view, &eco, &*recorder);
+        robust::whois_survey_view(&view, &eco, None, None, &*recorder);
         ReproContext {
             eco,
             homographs,
             semantic,
+            outputs,
+            recorder,
+            health: None,
+        }
+    }
+
+    /// [`ReproContext::build_recorded`] without ever materializing the full
+    /// registration corpus: the streaming [`KeyedCorpus`] regenerates each
+    /// shard on demand, the fused scan and both surveys walk it
+    /// `shard_size` records at a time, and the corpus's residency gauge
+    /// lands in the `datagen.peak_resident_records` counter. The report is
+    /// byte-identical to the batch build at the same config, for every
+    /// `shard_size` and thread count.
+    pub fn build_streamed(
+        config: &EcosystemConfig,
+        shard_size: usize,
+        recorder: Arc<dyn Recorder>,
+    ) -> Self {
+        let mut span = recorder.span("build.ecosystem");
+        let (eco, corpus) = idnre_datagen::generate_streamed(config, shard_size, &*recorder);
+        span.add_records(corpus.idn_len() + corpus.non_idn_len());
+        drop(span);
+
+        let source = StreamSource::new(&corpus);
+        let (homographs, semantic, outputs) =
+            run_scan(&eco, &source, shard_size, config.threads, &*recorder);
+        let view = CorpusView::Streamed {
+            corpus: &corpus,
+            shard_size,
+        };
+        crawl_survey(&view, &eco, &*recorder);
+        robust::whois_survey_view(&view, &eco, None, None, &*recorder);
+        // Recorded last so the gauge covers the surveys' shard walks too.
+        recorder.add(idnre_datagen::PEAK_RESIDENT_RECORDS, corpus.gauge().peak());
+        ReproContext {
+            eco,
+            homographs,
+            semantic,
+            outputs,
             recorder,
             health: None,
         }
@@ -127,22 +173,20 @@ impl ReproContext {
         drop(span);
 
         let threads = config.threads;
-        let brand_domains: Vec<String> = eco.brands.iter().map(|b| b.domain()).collect();
-        let detector = HomographDetector::new(&brand_domains, 0.95);
-        let domains: Vec<&str> = eco
-            .idn_registrations
-            .iter()
-            .map(|r| r.domain.as_str())
-            .collect();
-        let homographs = detector.scan_recorded(domains.iter().copied(), threads, &*recorder);
-        let semantic_detector = SemanticDetector::new(&brand_domains);
-        let semantic =
-            semantic_detector.scan_type1_parallel(domains.iter().copied(), threads, &*recorder);
+        let source = SliceSource::new(&eco.idn_registrations, &eco.non_idn_registrations);
+        let (homographs, semantic, outputs) =
+            run_scan(&eco, &source, DEFAULT_SHARD_SIZE, threads, &*recorder);
 
         let budget = ErrorBudget::new(setup.plan.profile().budget_per_mille);
         let (zones, zone_stats) =
             robust::ingest_zones_faulted(&eco.zones, &setup.plan, &budget, threads, &*recorder);
-        let whois_stats = robust::whois_survey(&eco, Some(&setup.plan), Some(&budget), &*recorder);
+        let whois_stats = robust::whois_survey_view(
+            &CorpusView::Batch(&eco),
+            &eco,
+            Some(&setup.plan),
+            Some(&budget),
+            &*recorder,
+        );
         let ctx = idnre_crawler::FaultContext {
             plan: setup.plan,
             policy: setup.policy,
@@ -154,6 +198,7 @@ impl ReproContext {
             eco,
             homographs,
             semantic,
+            outputs,
             recorder,
             health: Some(health),
         }
@@ -186,9 +231,6 @@ impl ReproContext {
             for (name, _) in reports::ALL {
                 self.recorder.add_records(&format!("report.{name}"), 0);
             }
-            self.recorder.add_records("pdns.aggregate", 0);
-            self.recorder
-                .preregister(&["pdns.lookup.hit", "pdns.lookup.miss"]);
         }
         let fragments = idnre_par::par_map(
             reports::ALL,
@@ -216,37 +258,127 @@ impl ReproContext {
     }
 }
 
+/// How the builders walk the registration corpus: borrow the batch vectors
+/// whole, or regenerate bounded shards from a streaming [`KeyedCorpus`].
+/// Both walk the populations in the same order (IDN first), so everything
+/// fed from a view is byte-identical across the two modes.
+pub(crate) enum CorpusView<'a> {
+    /// The fully materialized batch corpus.
+    Batch(&'a Ecosystem),
+    /// A shard-regenerating corpus plan.
+    Streamed {
+        /// The streaming corpus.
+        corpus: &'a KeyedCorpus,
+        /// Records materialized per shard.
+        shard_size: usize,
+    },
+}
+
+impl CorpusView<'_> {
+    /// Calls `f` with consecutive slices covering the IDN population, in
+    /// corpus order (one slice for the batch view).
+    pub(crate) fn for_each_idn_shard(&self, f: &mut dyn FnMut(&[DomainRegistration])) {
+        match self {
+            CorpusView::Batch(eco) => f(&eco.idn_registrations),
+            CorpusView::Streamed { corpus, shard_size } => {
+                let shard_size = (*shard_size).max(1);
+                let total = corpus.idn_len();
+                let mut start = 0u64;
+                while start < total {
+                    let len = (total - start).min(shard_size as u64) as usize;
+                    corpus.with_idn_shard(start, len, f);
+                    start += len as u64;
+                }
+            }
+        }
+    }
+
+    /// [`CorpusView::for_each_idn_shard`] for the non-IDN population.
+    pub(crate) fn for_each_non_idn_shard(&self, f: &mut dyn FnMut(&[DomainRegistration])) {
+        match self {
+            CorpusView::Batch(eco) => f(&eco.non_idn_registrations),
+            CorpusView::Streamed { corpus, shard_size } => {
+                let shard_size = (*shard_size).max(1);
+                let total = corpus.non_idn_len();
+                let mut start = 0u64;
+                while start < total {
+                    let len = (total - start).min(shard_size as u64) as usize;
+                    corpus.with_non_idn_shard(start, len, f);
+                    start += len as u64;
+                }
+            }
+        }
+    }
+
+    /// Calls `f` once per record, IDN population first — the order the
+    /// batch pipeline's chained iteration used.
+    pub(crate) fn for_each(&self, f: &mut dyn FnMut(&DomainRegistration)) {
+        self.for_each_idn_shard(&mut |records| {
+            for reg in records {
+                f(reg);
+            }
+        });
+        self.for_each_non_idn_shard(&mut |records| {
+            for reg in records {
+                f(reg);
+            }
+        });
+    }
+}
+
+/// Builds both detectors and the full report-aggregator roster, then runs
+/// the one fused traversal every corpus-derived number comes from.
+fn run_scan(
+    eco: &Ecosystem,
+    source: &dyn RecordSource,
+    shard_size: usize,
+    threads: usize,
+    recorder: &dyn Recorder,
+) -> (
+    Vec<HomographFinding>,
+    Vec<SemanticFinding>,
+    passes::ScanOutputs,
+) {
+    let brand_domains: Vec<String> = eco.brands.iter().map(|b| b.domain()).collect();
+    let detector = HomographDetector::new(&brand_domains, 0.95);
+    let semantic_detector = SemanticDetector::new(&brand_domains);
+    let plan = passes::ScanPlan::new(
+        &detector,
+        &semantic_detector,
+        &eco.blacklist,
+        &eco.pdns,
+        passes::table3_wanted(&eco.whois),
+        passes::fig6_candidates(eco.brands.top(30)),
+    );
+    plan.run(source, shard_size, threads, recorder)
+}
+
 /// Replays the paper's Section IV-D measurement front-end over the whole
 /// registered population: builds a [`Crawler`] from the generated TLD zones
 /// and each registration's content category, then resolves and crawls every
 /// domain, reporting per-outcome DNS counters, usage-category counters and
 /// resolve/crawl latency histograms to `recorder`. Purely observational —
 /// nothing feeds back into report data.
-fn crawl_survey(eco: &Ecosystem, recorder: &dyn Recorder) {
+fn crawl_survey(view: &CorpusView<'_>, eco: &Ecosystem, recorder: &dyn Recorder) {
     let mut span = recorder.span("crawl.survey");
     let mut crawler = Crawler::new();
     for zone in &eco.zones {
         crawler.add_zone(zone);
     }
-    let population = || {
-        eco.idn_registrations
-            .iter()
-            .chain(&eco.non_idn_registrations)
-    };
-    for reg in population() {
+    view.for_each(&mut |reg| {
         let (behavior, page) = host_model(reg);
         if let Some(behavior) = behavior {
             crawler.set_host(&reg.domain, behavior, page);
         }
-    }
+    });
     // Pin the full outcome-counter set so a snapshot always carries all
     // five, even for outcomes this population never produced.
     recorder.preregister(&OUTCOME_COUNTERS);
     let mut crawled = 0u64;
-    for reg in population() {
+    view.for_each(&mut |reg| {
         let _ = crawler.crawl_recorded(&reg.domain, recorder);
         crawled += 1;
-    }
+    });
     span.add_records(crawled);
 }
 

@@ -1,0 +1,582 @@
+//! Report-side [`AnalysisPass`] implementations and the [`ScanPlan`] that
+//! fuses them (plus the detector passes from `idnre-core`) into the one
+//! corpus traversal behind [`crate::ReproContext`].
+//!
+//! Every aggregate a report table used to rescan the corpus for is folded
+//! here instead: per-TLD blacklist tallies (Table I), the language mix
+//! (Table II), content-category samples (Table V), the three passive-DNS
+//! activity populations (Figures 2–4), Type-2 semantic findings (Table X),
+//! the top-registrant unicode portfolio (Table III) and the
+//! registered-lookalike set (Figure 6). The partials are [`Merge`]-able and
+//! merged in shard order, so the outputs are byte-identical across thread
+//! counts and shard sizes.
+
+use idnre_analyze::{
+    AnalysisPass, KeyedTally, Merge, Observed, PassHandle, Population, RecordSource, ScanResult,
+    ShardedScan,
+};
+use idnre_blacklist::{BlacklistSet, Source};
+use idnre_core::{
+    AvailabilityEnumerator, HomographDetector, HomographFinding, HomographPass, Semantic1Pass,
+    Semantic2Pass, SemanticDetector, SemanticFinding,
+};
+use idnre_datagen::{Brand, ContentCategory};
+use idnre_langid::{Classifier, Language};
+use idnre_pdns::{ActivityAnalytics, PdnsStore};
+use idnre_telemetry::Recorder;
+use idnre_whois::analytics::RegistrationAnalytics;
+use idnre_whois::WhoisRecord;
+use std::collections::{HashMap, HashSet};
+
+/// The passive-DNS lookup counters the activity pass touches from worker
+/// threads (pre-registered before the fan-out).
+pub const PDNS_LOOKUP_COUNTERS: [&str; 2] = ["pdns.lookup.hit", "pdns.lookup.miss"];
+
+/// Table V samples this many records from the head of each population.
+pub const CONTENT_SAMPLE: u64 = 500;
+
+/// Everything the report generators read that used to require rescanning
+/// the corpus, produced by one fused traversal.
+#[derive(Debug, Clone)]
+pub struct ScanOutputs {
+    /// Per-TLD IDN and blacklist tallies (Table I).
+    pub tld: TldBreakdown,
+    /// Language mix of all/malicious/organic IDNs (Table II).
+    pub language: LanguageMix,
+    /// Content-category sample counts per population (Table V).
+    pub content: ContentCounts,
+    /// Passive-DNS activity split into the three report populations
+    /// (Figures 2–4).
+    pub activity: PopulationActivity,
+    /// Type-2 semantic findings in corpus order (Table X).
+    pub semantic2: Vec<SemanticFinding>,
+    /// `punycode → unicode` for the top-registrant portfolios (Table III).
+    pub table3_unicode: HashMap<String, String>,
+    /// Enumerated lookalike candidates that are actually registered
+    /// (Figure 6).
+    pub fig6_registered: HashSet<String>,
+    /// Records scanned in the IDN population.
+    pub idn_len: u64,
+    /// Records scanned in the non-IDN population.
+    pub non_idn_len: u64,
+}
+
+/// Table I's per-TLD aggregates: IDN volume and per-source blacklist hits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TldBreakdown {
+    /// IDN registrations per TLD, in corpus first-occurrence order.
+    pub idns: KeyedTally<String>,
+    /// VirusTotal-blacklisted IDNs per TLD.
+    pub vt: KeyedTally<String>,
+    /// Qihoo-360-blacklisted IDNs per TLD.
+    pub q: KeyedTally<String>,
+    /// Baidu-blacklisted IDNs per TLD.
+    pub b: KeyedTally<String>,
+    /// IDNs blacklisted by any source, per TLD.
+    pub union: KeyedTally<String>,
+}
+
+impl TldBreakdown {
+    fn empty() -> Self {
+        TldBreakdown {
+            idns: KeyedTally::new(),
+            vt: KeyedTally::new(),
+            q: KeyedTally::new(),
+            b: KeyedTally::new(),
+            union: KeyedTally::new(),
+        }
+    }
+}
+
+impl Merge for TldBreakdown {
+    fn merge(self, later: Self) -> Self {
+        TldBreakdown {
+            idns: self.idns.merge(later.idns),
+            vt: self.vt.merge(later.vt),
+            q: self.q.merge(later.q),
+            b: self.b.merge(later.b),
+            union: self.union.merge(later.union),
+        }
+    }
+}
+
+/// Folds the Table I aggregates: one blacklist verdict per IDN
+/// registration, tallied by TLD.
+#[derive(Debug, Clone, Copy)]
+pub struct TldPass<'a> {
+    blacklist: &'a BlacklistSet,
+}
+
+impl<'a> TldPass<'a> {
+    /// Tallies against `blacklist`.
+    pub fn new(blacklist: &'a BlacklistSet) -> Self {
+        TldPass { blacklist }
+    }
+}
+
+impl AnalysisPass for TldPass<'_> {
+    type Partial = TldBreakdown;
+    type Output = TldBreakdown;
+
+    fn name(&self) -> &'static str {
+        "analyze.tld"
+    }
+
+    fn empty(&self) -> Self::Partial {
+        TldBreakdown::empty()
+    }
+
+    fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, _: &dyn Recorder) {
+        if rec.population != Population::Idn {
+            return;
+        }
+        let tld = rec.reg.tld.as_str();
+        partial.idns.incr(tld.to_string());
+        let verdict = self.blacklist.verdict(&rec.reg.domain);
+        if verdict.contains(&Source::VirusTotal) {
+            partial.vt.incr(tld.to_string());
+        }
+        if verdict.contains(&Source::Qihoo360) {
+            partial.q.incr(tld.to_string());
+        }
+        if verdict.contains(&Source::Baidu) {
+            partial.b.incr(tld.to_string());
+        }
+        if !verdict.is_empty() {
+            partial.union.incr(tld.to_string());
+        }
+    }
+
+    fn finish(&self, partial: Self::Partial) -> Self::Output {
+        partial
+    }
+}
+
+/// Table II's aggregates: classifier language per IDN label, split into
+/// all / blacklisted / organic (non-injected) populations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LanguageMix {
+    /// Language per IDN, all registrations, first-occurrence order.
+    pub all: KeyedTally<Language>,
+    /// Language per blacklisted IDN.
+    pub bad: KeyedTally<Language>,
+    /// Organic (non-injected) registrations classified.
+    pub organic_total: u64,
+    /// Organic registrations classified east-Asian.
+    pub organic_ea: u64,
+    /// Organic registrations classified Chinese.
+    pub organic_zh: u64,
+}
+
+impl LanguageMix {
+    fn empty() -> Self {
+        LanguageMix {
+            all: KeyedTally::new(),
+            bad: KeyedTally::new(),
+            organic_total: 0,
+            organic_ea: 0,
+            organic_zh: 0,
+        }
+    }
+}
+
+impl Merge for LanguageMix {
+    fn merge(self, later: Self) -> Self {
+        LanguageMix {
+            all: self.all.merge(later.all),
+            bad: self.bad.merge(later.bad),
+            organic_total: self.organic_total + later.organic_total,
+            organic_ea: self.organic_ea + later.organic_ea,
+            organic_zh: self.organic_zh + later.organic_zh,
+        }
+    }
+}
+
+/// Classifies each IDN label once and tallies the Table II populations.
+#[derive(Debug, Clone, Copy)]
+pub struct LanguagePass {
+    clf: &'static Classifier,
+}
+
+impl LanguagePass {
+    /// Uses the process-wide classifier.
+    pub fn new() -> Self {
+        LanguagePass {
+            clf: Classifier::global(),
+        }
+    }
+}
+
+impl Default for LanguagePass {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnalysisPass for LanguagePass {
+    type Partial = LanguageMix;
+    type Output = LanguageMix;
+
+    fn name(&self) -> &'static str {
+        "analyze.language"
+    }
+
+    fn empty(&self) -> Self::Partial {
+        LanguageMix::empty()
+    }
+
+    fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, _: &dyn Recorder) {
+        if rec.population != Population::Idn {
+            return;
+        }
+        let sld = rec.reg.unicode.split('.').next().unwrap_or("");
+        let lang = self.clf.classify(sld);
+        partial.all.incr(lang);
+        if rec.reg.malicious.is_some() {
+            partial.bad.incr(lang);
+        }
+        // The injected attack populations carry no ground-truth language;
+        // the organic mix excludes them (Table II's second paragraph).
+        if rec.reg.language != Language::Unknown {
+            partial.organic_total += 1;
+            if lang.is_east_asian() {
+                partial.organic_ea += 1;
+            }
+            if lang == Language::Chinese {
+                partial.organic_zh += 1;
+            }
+        }
+    }
+
+    fn finish(&self, partial: Self::Partial) -> Self::Output {
+        partial
+    }
+}
+
+/// Table V's sampled content-category counts, one bucket per
+/// [`ContentCategory::ALL`] entry and population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentCounts {
+    /// IDN sample counts in [`ContentCategory::ALL`] order.
+    pub idn: [u64; ContentCategory::ALL.len()],
+    /// Non-IDN sample counts in [`ContentCategory::ALL`] order.
+    pub non_idn: [u64; ContentCategory::ALL.len()],
+}
+
+impl Merge for ContentCounts {
+    fn merge(mut self, later: Self) -> Self {
+        for (a, b) in self.idn.iter_mut().zip(later.idn) {
+            *a += b;
+        }
+        for (a, b) in self.non_idn.iter_mut().zip(later.non_idn) {
+            *a += b;
+        }
+        self
+    }
+}
+
+/// Counts content categories over the first [`CONTENT_SAMPLE`] records of
+/// each population (the paper samples 500 domains per population).
+#[derive(Debug, Clone, Copy)]
+pub struct ContentPass;
+
+impl AnalysisPass for ContentPass {
+    type Partial = ContentCounts;
+    type Output = ContentCounts;
+
+    fn name(&self) -> &'static str {
+        "analyze.content"
+    }
+
+    fn empty(&self) -> Self::Partial {
+        ContentCounts {
+            idn: [0; ContentCategory::ALL.len()],
+            non_idn: [0; ContentCategory::ALL.len()],
+        }
+    }
+
+    fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, _: &dyn Recorder) {
+        if rec.index >= CONTENT_SAMPLE {
+            return;
+        }
+        let Some(bucket) = ContentCategory::ALL
+            .iter()
+            .position(|&c| c == rec.reg.content)
+        else {
+            return;
+        };
+        match rec.population {
+            Population::Idn => partial.idn[bucket] += 1,
+            Population::NonIdn => partial.non_idn[bucket] += 1,
+        }
+    }
+
+    fn finish(&self, partial: Self::Partial) -> Self::Output {
+        partial
+    }
+}
+
+/// The three passive-DNS activity populations Figures 2–4 compare.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PopulationActivity {
+    /// Benign (non-blacklisted) IDN registrations.
+    pub benign: ActivityAnalytics,
+    /// Blacklisted IDN registrations.
+    pub malicious: ActivityAnalytics,
+    /// The non-IDN comparison population.
+    pub non_idn: ActivityAnalytics,
+}
+
+impl Merge for PopulationActivity {
+    fn merge(mut self, later: Self) -> Self {
+        self.benign.merge(later.benign);
+        self.malicious.merge(later.malicious);
+        self.non_idn.merge(later.non_idn);
+        self
+    }
+}
+
+/// One passive-DNS lookup per record, folded into the population split the
+/// activity figures read (the batch pipeline repeated this traversal once
+/// per figure).
+#[derive(Debug, Clone, Copy)]
+pub struct ActivityPass<'a> {
+    pdns: &'a PdnsStore,
+}
+
+impl<'a> ActivityPass<'a> {
+    /// Looks up against `pdns`.
+    pub fn new(pdns: &'a PdnsStore) -> Self {
+        ActivityPass { pdns }
+    }
+}
+
+impl AnalysisPass for ActivityPass<'_> {
+    type Partial = PopulationActivity;
+    type Output = PopulationActivity;
+
+    fn name(&self) -> &'static str {
+        "pdns.aggregate"
+    }
+
+    fn counters(&self) -> &'static [&'static str] {
+        &PDNS_LOOKUP_COUNTERS
+    }
+
+    fn empty(&self) -> Self::Partial {
+        PopulationActivity::default()
+    }
+
+    fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, recorder: &dyn Recorder) {
+        if let Some(aggregate) = self.pdns.lookup_recorded(&rec.reg.domain, recorder) {
+            match rec.population {
+                Population::NonIdn => partial.non_idn.add(aggregate),
+                Population::Idn if rec.reg.malicious.is_some() => {
+                    partial.malicious.add(aggregate);
+                }
+                Population::Idn => partial.benign.add(aggregate),
+            }
+        }
+    }
+
+    fn finish(&self, partial: Self::Partial) -> Self::Output {
+        partial
+    }
+}
+
+/// Collects `punycode → unicode` for the domains Table III needs: the
+/// portfolios of the top WHOIS registrants (the batch pipeline built this
+/// map over the whole corpus).
+#[derive(Debug, Clone)]
+pub struct Table3UnicodePass {
+    wanted: HashSet<String>,
+}
+
+impl Table3UnicodePass {
+    /// Collects only domains in `wanted` (see [`table3_wanted`]).
+    pub fn new(wanted: HashSet<String>) -> Self {
+        Table3UnicodePass { wanted }
+    }
+}
+
+impl AnalysisPass for Table3UnicodePass {
+    type Partial = Vec<(String, String)>;
+    type Output = HashMap<String, String>;
+
+    fn name(&self) -> &'static str {
+        "analyze.table3.portfolio"
+    }
+
+    fn empty(&self) -> Self::Partial {
+        Vec::new()
+    }
+
+    fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, _: &dyn Recorder) {
+        if rec.population == Population::Idn && self.wanted.contains(rec.reg.domain.as_str()) {
+            partial.push((rec.reg.domain.clone(), rec.reg.unicode.clone()));
+        }
+    }
+
+    fn finish(&self, partial: Self::Partial) -> Self::Output {
+        partial.into_iter().collect()
+    }
+}
+
+/// Marks which enumerated homographic candidates are actually registered
+/// (Figure 6's registered/unregistered split over the whole IDN corpus).
+#[derive(Debug, Clone)]
+pub struct Fig6Pass {
+    candidates: HashSet<String>,
+}
+
+impl Fig6Pass {
+    /// Checks membership against `candidates` (see [`fig6_candidates`]).
+    pub fn new(candidates: HashSet<String>) -> Self {
+        Fig6Pass { candidates }
+    }
+}
+
+impl AnalysisPass for Fig6Pass {
+    type Partial = Vec<String>;
+    type Output = HashSet<String>;
+
+    fn name(&self) -> &'static str {
+        "analyze.fig6.registered"
+    }
+
+    fn empty(&self) -> Self::Partial {
+        Vec::new()
+    }
+
+    fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, _: &dyn Recorder) {
+        if rec.population == Population::Idn && self.candidates.contains(rec.reg.domain.as_str()) {
+            partial.push(rec.reg.domain.clone());
+        }
+    }
+
+    fn finish(&self, partial: Self::Partial) -> Self::Output {
+        partial.into_iter().collect()
+    }
+}
+
+/// The domains whose unicode form Table III renders: every domain held by
+/// one of the top-5 registrant emails in the WHOIS corpus.
+pub fn table3_wanted(whois: &[WhoisRecord]) -> HashSet<String> {
+    let mut analytics = RegistrationAnalytics::new();
+    analytics.extend(whois.iter());
+    let mut wanted = HashSet::new();
+    for (email, _) in analytics.top_registrants(5) {
+        wanted.extend(analytics.domains_of(&email).iter().cloned());
+    }
+    wanted
+}
+
+/// Figure 6's candidate pool: every one-character homographic lookalike of
+/// the top-30 brand domains.
+pub fn fig6_candidates(brands: &[Brand]) -> HashSet<String> {
+    let enumerator = AvailabilityEnumerator::new();
+    brands
+        .iter()
+        .flat_map(|b| enumerator.homographic(&b.domain()))
+        .map(|c| c.ace)
+        .collect()
+}
+
+/// The full pass roster for one [`crate::ReproContext`] build: both
+/// detectors plus every report aggregator, registered on one
+/// [`ShardedScan`].
+pub struct ScanPlan<'p> {
+    scan: ShardedScan<'p>,
+    homograph: PassHandle<Vec<HomographFinding>>,
+    semantic1: PassHandle<Vec<SemanticFinding>>,
+    semantic2: PassHandle<Vec<SemanticFinding>>,
+    tld: PassHandle<TldBreakdown>,
+    language: PassHandle<LanguageMix>,
+    content: PassHandle<ContentCounts>,
+    activity: PassHandle<PopulationActivity>,
+    table3: PassHandle<HashMap<String, String>>,
+    fig6: PassHandle<HashSet<String>>,
+}
+
+impl<'p> ScanPlan<'p> {
+    /// Registers every pass in a fixed order (the order telemetry spans and
+    /// counters are pinned in).
+    pub fn new(
+        homograph: &'p HomographDetector,
+        semantic: &'p SemanticDetector,
+        blacklist: &'p BlacklistSet,
+        pdns: &'p PdnsStore,
+        table3_wanted: HashSet<String>,
+        fig6_candidates: HashSet<String>,
+    ) -> Self {
+        let mut scan = ShardedScan::new();
+        let homograph = scan.register(HomographPass::new(homograph));
+        let semantic1 = scan.register(Semantic1Pass::new(semantic));
+        let semantic2 = scan.register(Semantic2Pass::new(semantic));
+        let tld = scan.register(TldPass::new(blacklist));
+        let language = scan.register(LanguagePass::new());
+        let content = scan.register(ContentPass);
+        let activity = scan.register(ActivityPass::new(pdns));
+        let table3 = scan.register(Table3UnicodePass::new(table3_wanted));
+        let fig6 = scan.register(Fig6Pass::new(fig6_candidates));
+        ScanPlan {
+            scan,
+            homograph,
+            semantic1,
+            semantic2,
+            tld,
+            language,
+            content,
+            activity,
+            table3,
+            fig6,
+        }
+    }
+
+    /// Number of registered passes.
+    pub fn pass_count(&self) -> usize {
+        self.scan.pass_count()
+    }
+
+    /// Probes every registered pass's merge for associativity on this
+    /// corpus split (see [`ShardedScan::merge_is_associative`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(pass_name)` for the first non-associative pass.
+    pub fn check_associative(
+        &self,
+        source: &dyn RecordSource,
+        chunk_size: usize,
+        recorder: &dyn Recorder,
+    ) -> Result<(), &'static str> {
+        self.scan.merge_is_associative(source, chunk_size, recorder)
+    }
+
+    /// Runs the fused traversal and redeems every handle.
+    pub fn run(
+        self,
+        source: &dyn RecordSource,
+        shard_size: usize,
+        threads: usize,
+        recorder: &dyn Recorder,
+    ) -> (Vec<HomographFinding>, Vec<SemanticFinding>, ScanOutputs) {
+        let mut result: ScanResult = self.scan.run(source, shard_size, threads, recorder);
+        let outputs = ScanOutputs {
+            tld: result.take(&self.tld),
+            language: result.take(&self.language),
+            content: result.take(&self.content),
+            activity: result.take(&self.activity),
+            semantic2: result.take(&self.semantic2),
+            table3_unicode: result.take(&self.table3),
+            fig6_registered: result.take(&self.fig6),
+            idn_len: result.idn_len(),
+            non_idn_len: result.non_idn_len(),
+        };
+        (
+            result.take(&self.homograph),
+            result.take(&self.semantic1),
+            outputs,
+        )
+    }
+}

@@ -15,19 +15,24 @@
 //!    indexed-vs-exhaustive pair is the regression gate CI holds every
 //!    future change to.
 //!
-//! # Schema (`idnre-bench-pipeline/1`)
+//! # Schema (`idnre-bench-pipeline/2`)
 //!
 //! ```json
 //! {
-//!   "schema": "idnre-bench-pipeline/1",
+//!   "schema": "idnre-bench-pipeline/2",
 //!   "scale": 50, "attack_scale": 1, "threads": 8, "seed": 497885208,
 //!   "dataset_fingerprint": "0xffbab908278775d0",
 //!   "entries": [
-//!     {"stage": "build.ecosystem", "scale": 50, "threads": 8,
-//!      "wall_ns": 1234, "records": 29000, "ns_per_record": 42}
+//!     {"stage": "build.ecosystem", "mode": "batch", "scale": 50,
+//!      "threads": 8, "wall_ns": 1234, "records": 29000, "ns_per_record": 42}
 //!   ]
 //! }
 //! ```
+//!
+//! `mode` says which build produced the entry: `batch` (fully materialized
+//! corpus) or `streamed` (the bounded-memory shard-regenerating build; its
+//! stage spans come from a second timed run whose report the harness
+//! asserts byte-identical to the batch one).
 //!
 //! `records` is the number of domains (or zone lines, report bytes) the
 //! stage processed; `ns_per_record` is the per-domain throughput the
@@ -45,7 +50,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema tag of the JSON this module writes.
-pub const BENCH_SCHEMA: &str = "idnre-bench-pipeline/1";
+pub const BENCH_SCHEMA: &str = "idnre-bench-pipeline/2";
 
 /// Corpus sizes the homograph indexed-vs-exhaustive comparison runs at
 /// (intersected with the generated corpus).
@@ -61,6 +66,8 @@ pub const EXHAUSTIVE_CAP: usize = 10_000;
 pub struct BenchEntry {
     /// Dotted stage name (`homograph.scan.indexed`, `report.table1`, …).
     pub stage: String,
+    /// Which build produced the entry: `batch` or `streamed`.
+    pub mode: &'static str,
     /// Worker threads the stage's parallel sections ran on.
     pub threads: usize,
     /// Wall time of the stage, in nanoseconds.
@@ -145,6 +152,7 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
         .iter()
         .map(|s| BenchEntry {
             stage: s.name.clone(),
+            mode: "batch",
             threads,
             wall_ns: s.wall_nanos,
             records: s.records.max(s.calls),
@@ -162,6 +170,7 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
     let decoded = idnre_par::par_map(&domains, threads, |d| idnre_idna::to_unicode(d).is_ok());
     entries.push(BenchEntry {
         stage: "idna.decode".to_string(),
+        mode: "batch",
         threads,
         wall_ns: elapsed_ns(started),
         records: decoded.iter().filter(|ok| **ok).count() as u64,
@@ -178,6 +187,7 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
     .sum();
     entries.push(BenchEntry {
         stage: "zone.ingest.lenient".to_string(),
+        mode: "batch",
         threads,
         wall_ns: elapsed_ns(started),
         records: attempted,
@@ -196,6 +206,7 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
         let found = detector.scan(slice.iter().copied(), threads).len();
         entries.push(BenchEntry {
             stage: "homograph.scan.indexed".to_string(),
+            mode: "batch",
             threads,
             wall_ns: elapsed_ns(started),
             records: size as u64,
@@ -216,12 +227,14 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
     );
     entries.push(BenchEntry {
         stage: "homograph.scan.indexed".to_string(),
+        mode: "batch",
         threads,
         wall_ns: indexed_ns,
         records: cap as u64,
     });
     entries.push(BenchEntry {
         stage: "homograph.scan.exhaustive".to_string(),
+        mode: "batch",
         threads,
         wall_ns: exhaustive_ns,
         records: cap as u64,
@@ -233,10 +246,38 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
     let dataset = idnre_datagen::render_dataset(&ctx.eco);
     entries.push(BenchEntry {
         stage: "dataset.render".to_string(),
+        mode: "batch",
         threads,
         wall_ns: elapsed_ns(started),
         records: dataset.len() as u64,
     });
+
+    // The streamed counterpart: the bounded-memory build timed under its
+    // own registry. Its report is the cross-mode oracle — byte-identical
+    // to the batch run or the bench aborts — and its stage spans land as
+    // `streamed` entries (including `datagen.peak_resident_records`-backed
+    // shard regeneration inside `build.ecosystem`).
+    let streamed_registry = Arc::new(Registry::new());
+    let streamed_ctx =
+        ReproContext::build_streamed(config, crate::DEFAULT_SHARD_SIZE, streamed_registry.clone());
+    let streamed_report = streamed_ctx.full_report();
+    assert_eq!(
+        report, streamed_report,
+        "streamed report diverged from batch"
+    );
+    entries.extend(
+        streamed_registry
+            .snapshot()
+            .stages
+            .iter()
+            .map(|s| BenchEntry {
+                stage: s.name.clone(),
+                mode: "streamed",
+                threads,
+                wall_ns: s.wall_nanos,
+                records: s.records.max(s.calls),
+            }),
+    );
 
     PipelineBench {
         scale: config.scale,
@@ -281,7 +322,7 @@ pub fn run_pipeline_sweep(config: &EcosystemConfig, thread_counts: &[usize]) -> 
     sweep.expect("at least one sweep run")
 }
 
-/// Renders a bench result as schema-stable JSON (`idnre-bench-pipeline/1`).
+/// Renders a bench result as schema-stable JSON (`idnre-bench-pipeline/2`).
 pub fn render_bench_json(bench: &PipelineBench) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -294,9 +335,10 @@ pub fn render_bench_json(bench: &PipelineBench) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"stage\":\"{}\",\"scale\":{},\"threads\":{},\"wall_ns\":{},\
+            "{{\"stage\":\"{}\",\"mode\":\"{}\",\"scale\":{},\"threads\":{},\"wall_ns\":{},\
              \"records\":{},\"ns_per_record\":{}}}",
             entry.stage,
+            entry.mode,
             bench.scale,
             entry.threads,
             entry.wall_ns,
@@ -371,8 +413,10 @@ mod tests {
         assert!(bench.dataset.starts_with(idnre_datagen::DATASET_SCHEMA));
 
         let json = render_bench_json(&bench);
-        assert!(json.starts_with("{\"schema\":\"idnre-bench-pipeline/1\""));
+        assert!(json.starts_with("{\"schema\":\"idnre-bench-pipeline/2\""));
         assert!(json.contains("\"stage\":\"homograph.scan.exhaustive\""));
+        assert!(json.contains("\"mode\":\"batch\""));
+        assert!(json.contains("\"mode\":\"streamed\""));
         assert!(json.contains("\"dataset_fingerprint\":\"0x"));
         assert!(json.ends_with("]}"));
         // Balanced braces — the render is hand-built.

@@ -1,11 +1,10 @@
 //! One generator per table/figure of the paper's evaluation.
 
 use crate::ReproContext;
-use idnre_blacklist::Source;
 use idnre_certs::{CertProblem, Validator};
 use idnre_core::{AbuseAnalysis, AvailabilityEnumerator};
 use idnre_datagen::ContentCategory;
-use idnre_langid::{Classifier, Language};
+use idnre_langid::Language;
 use idnre_pdns::{ActivityAnalytics, PopulationClass, TrafficModel};
 use idnre_stats::plot::{bar_chart, ecdf_plot, Series};
 use idnre_stats::table::{Align, Table};
@@ -80,44 +79,33 @@ pub fn table1(ctx: &ReproContext) -> String {
             Align::Right,
         ],
     );
-    // One pre-pass builds every per-TLD aggregate — one blacklist verdict
-    // per registration and one TLD split per WHOIS record — instead of
-    // rescanning the full population five times per row (the old shape
-    // cost ≈42µs per rendered record; this is linear in the corpus).
-    #[derive(Default)]
-    struct TldAggregate {
-        idns: u64,
-        whois: u64,
-        vt: u64,
-        q: u64,
-        b: u64,
-        union: u64,
-    }
-    let mut by_tld: std::collections::HashMap<&str, TldAggregate> =
-        std::collections::HashMap::new();
-    for reg in &eco.idn_registrations {
-        let agg = by_tld.entry(reg.tld.as_str()).or_default();
-        agg.idns += 1;
-        let verdict = eco.blacklist.verdict(&reg.domain);
-        agg.vt += u64::from(verdict.contains(&Source::VirusTotal));
-        agg.q += u64::from(verdict.contains(&Source::Qihoo360));
-        agg.b += u64::from(verdict.contains(&Source::Baidu));
-        agg.union += u64::from(!verdict.is_empty());
-    }
+    // The per-TLD IDN and blacklist tallies come pre-folded from the fused
+    // corpus scan ([`crate::passes::TldPass`]); only the WHOIS split — an
+    // artifact table, not the registration corpus — is tallied here. A
+    // WHOIS record counts only when its TLD appears in the IDN corpus,
+    // matching the batch pre-pass's keying.
+    let folded = &ctx.outputs.tld;
+    let mut whois_by_tld: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
     for record in &eco.whois {
         if let Some(tld) = record.domain.rsplit('.').next() {
-            if let Some(agg) = by_tld.get_mut(tld) {
-                agg.whois += 1;
-            }
+            *whois_by_tld.entry(tld).or_default() += 1;
         }
     }
     let mut totals = [0u64; 7];
     for spec in &idnre_datagen::TABLE_I {
         let tld = spec.tld;
-        let empty = TldAggregate::default();
-        let agg = by_tld.get(tld).unwrap_or(&empty);
-        let (idns, whois) = (agg.idns, agg.whois);
-        let (vt, q, b, union) = (agg.vt, agg.q, agg.b, agg.union);
+        let idns = folded.idns.get(tld);
+        let whois = if idns > 0 {
+            whois_by_tld.get(tld).copied().unwrap_or(0)
+        } else {
+            0
+        };
+        let (vt, q, b, union) = (
+            folded.vt.get(tld),
+            folded.q.get(tld),
+            folded.b.get(tld),
+            folded.union.get(tld),
+        );
         let declared = spec.declared_slds / eco.config.scale;
         table.row(vec![
             tld.to_string(),
@@ -160,27 +148,14 @@ pub fn table1(ctx: &ReproContext) -> String {
 
 /// Table II — language mix of all vs blacklisted IDNs (via the classifier).
 pub fn table2(ctx: &ReproContext) -> String {
-    let clf = Classifier::global();
-    let mut all: Vec<(Language, u64)> = Vec::new();
-    let mut bad: Vec<(Language, u64)> = Vec::new();
-    let count = |tallies: &mut Vec<(Language, u64)>, lang: Language| match tallies
-        .iter_mut()
-        .find(|(l, _)| *l == lang)
-    {
-        Some((_, n)) => *n += 1,
-        None => tallies.push((lang, 1)),
-    };
-    let (mut total, mut total_bad) = (0u64, 0u64);
-    for reg in &ctx.eco.idn_registrations {
-        let sld = reg.unicode.split('.').next().unwrap_or("");
-        let lang = clf.classify(sld);
-        count(&mut all, lang);
-        total += 1;
-        if reg.malicious.is_some() {
-            count(&mut bad, lang);
-            total_bad += 1;
-        }
-    }
+    // The classifier ran once per record inside the fused scan
+    // ([`crate::passes::LanguagePass`]); the tallies keep corpus
+    // first-occurrence order, so the stable sort ties break exactly as the
+    // batch fold's did.
+    let mix = &ctx.outputs.language;
+    let mut all: Vec<(Language, u64)> = mix.all.iter().map(|(&lang, n)| (lang, n)).collect();
+    let total = mix.all.total();
+    let total_bad = mix.bad.total();
     all.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     let mut table = Table::new(
         vec!["Language", "Volume", "Rate", "Blacklisted", "Rate"],
@@ -193,11 +168,7 @@ pub fn table2(ctx: &ReproContext) -> String {
         ],
     );
     for &(lang, volume) in all.iter().take(15) {
-        let bad_volume = bad
-            .iter()
-            .find(|(l, _)| *l == lang)
-            .map(|&(_, n)| n)
-            .unwrap_or(0);
+        let bad_volume = mix.bad.get(&lang);
         table.row(vec![
             lang.to_string(),
             group_thousands(volume),
@@ -214,20 +185,8 @@ pub fn table2(ctx: &ReproContext) -> String {
     // The attack populations are generated at 1:attack_scale while the bulk
     // ecosystem is 1:scale, so Latin-brand attack labels are overweighted
     // relative to the paper's 1.4M corpus. Report the organic mix too.
-    let (mut organic_total, mut organic_ea, mut organic_zh) = (0u64, 0u64, 0u64);
-    for reg in &ctx.eco.idn_registrations {
-        if reg.language == Language::Unknown {
-            continue; // injected attack registration
-        }
-        let lang = clf.classify(reg.unicode.split('.').next().unwrap_or(""));
-        organic_total += 1;
-        if lang.is_east_asian() {
-            organic_ea += 1;
-        }
-        if lang == Language::Chinese {
-            organic_zh += 1;
-        }
-    }
+    let (organic_total, organic_ea, organic_zh) =
+        (mix.organic_total, mix.organic_ea, mix.organic_zh);
     section(
         "Table II — Languages of all and malicious IDNs (top 15)",
         "Chinese 52.03% of all / 56.02% of malicious; >75% east-Asian (Finding 1).",
@@ -289,12 +248,9 @@ fn registration_analytics(ctx: &ReproContext) -> RegistrationAnalytics {
 /// classifier.
 pub fn table3(ctx: &ReproContext) -> String {
     let analytics = registration_analytics(ctx);
-    let unicode_of: std::collections::HashMap<&str, &str> = ctx
-        .eco
-        .idn_registrations
-        .iter()
-        .map(|r| (r.domain.as_str(), r.unicode.as_str()))
-        .collect();
+    // The fused scan collected punycode→unicode for exactly the top
+    // registrants' portfolios ([`crate::passes::Table3UnicodePass`]).
+    let unicode_of = &ctx.outputs.table3_unicode;
     let mut table = Table::new(
         vec!["Email Account", "# IDN", "IDN Characteristics"],
         vec![Align::Left, Align::Right, Align::Left],
@@ -348,32 +304,6 @@ pub fn table4(ctx: &ReproContext) -> String {
     )
 }
 
-fn population_analytics(
-    ctx: &ReproContext,
-) -> (ActivityAnalytics, ActivityAnalytics, ActivityAnalytics) {
-    let recorder = &*ctx.recorder;
-    let mut span = recorder.span("pdns.aggregate");
-    let mut benign = ActivityAnalytics::new();
-    let mut malicious = ActivityAnalytics::new();
-    let mut non_idn = ActivityAnalytics::new();
-    for reg in &ctx.eco.idn_registrations {
-        if let Some(aggregate) = ctx.eco.pdns.lookup_recorded(&reg.domain, recorder) {
-            if reg.malicious.is_some() {
-                malicious.add(aggregate);
-            } else {
-                benign.add(aggregate);
-            }
-        }
-    }
-    for reg in &ctx.eco.non_idn_registrations {
-        if let Some(aggregate) = ctx.eco.pdns.lookup_recorded(&reg.domain, recorder) {
-            non_idn.add(aggregate);
-        }
-    }
-    span.add_records((benign.len() + malicious.len() + non_idn.len()) as u64);
-    (benign, malicious, non_idn)
-}
-
 fn ecdf_figure(
     title: &str,
     anchor: &str,
@@ -405,14 +335,14 @@ fn ecdf_figure(
 
 /// Figure 2 — ECDF of active time (IDN vs non-IDN vs malicious).
 pub fn fig2(ctx: &ReproContext) -> String {
-    let (benign, malicious, non_idn) = population_analytics(ctx);
+    let act = &ctx.outputs.activity;
     ecdf_figure(
         "Figure 2 — ECDF of active time",
         "60% of com IDNs active <100 days vs 40% of non-IDNs; malicious IDNs live longest (Finding 5).",
         vec![
-            ("idn", benign.active_time_ecdf()),
-            ("non-idn", non_idn.active_time_ecdf()),
-            ("malicious-idn", malicious.active_time_ecdf()),
+            ("idn", act.benign.active_time_ecdf()),
+            ("non-idn", act.non_idn.active_time_ecdf()),
+            ("malicious-idn", act.malicious.active_time_ecdf()),
         ],
         100.0,
         "days",
@@ -421,14 +351,14 @@ pub fn fig2(ctx: &ReproContext) -> String {
 
 /// Figure 3 — ECDF of query volume.
 pub fn fig3(ctx: &ReproContext) -> String {
-    let (benign, malicious, non_idn) = population_analytics(ctx);
+    let act = &ctx.outputs.activity;
     ecdf_figure(
         "Figure 3 — ECDF of query volume",
         "88% of com IDNs queried <100 times vs 74% of non-IDNs; malicious IDNs draw the most traffic (Finding 6).",
         vec![
-            ("idn", benign.query_volume_ecdf()),
-            ("non-idn", non_idn.query_volume_ecdf()),
-            ("malicious-idn", malicious.query_volume_ecdf()),
+            ("idn", act.benign.query_volume_ecdf()),
+            ("non-idn", act.non_idn.query_volume_ecdf()),
+            ("malicious-idn", act.malicious.query_volume_ecdf()),
         ],
         100.0,
         "queries",
@@ -437,15 +367,11 @@ pub fn fig3(ctx: &ReproContext) -> String {
 
 /// Figure 4 — IDNs over /24 segments.
 pub fn fig4(ctx: &ReproContext) -> String {
-    let recorder = &*ctx.recorder;
-    let aggregates: Vec<_> = ctx
-        .eco
-        .idn_registrations
-        .iter()
-        .filter_map(|reg| ctx.eco.pdns.lookup_recorded(&reg.domain, recorder))
-        .collect();
-    let mut analytics = ActivityAnalytics::new();
-    analytics.extend_recorded(aggregates, recorder);
+    // The /24 segment report is order-insensitive, so the whole-IDN view
+    // is just the benign and malicious scan partials merged back together.
+    let act = &ctx.outputs.activity;
+    let mut analytics = act.benign.clone();
+    analytics.merge(act.malicious.clone());
     let report = analytics.segment_report();
     let series = Series::new("idns", report.ecdf_series(40));
     let scaled_k = (1000 / ctx.eco.config.scale.max(1)).max(1) as usize;
@@ -493,26 +419,21 @@ pub fn fig4(ctx: &ReproContext) -> String {
 
 /// Table V — usage of domain names (content categories, 500 samples each).
 pub fn table5(ctx: &ReproContext) -> String {
-    let sample = 500usize;
+    let sample = crate::passes::CONTENT_SAMPLE;
     let mut table = Table::new(
         vec!["Type", "IDN", "Non-IDN"],
         vec![Align::Left, Align::Right, Align::Right],
     );
-    let count = |regs: &[idnre_datagen::DomainRegistration], category: ContentCategory| {
-        regs.iter()
-            .take(sample)
-            .filter(|r| r.content == category)
-            .count()
-    };
-    let idns = &ctx.eco.idn_registrations;
-    let nons = &ctx.eco.non_idn_registrations;
-    for category in ContentCategory::ALL {
-        let a = count(idns, category);
-        let b = count(nons, category);
+    let counts = &ctx.outputs.content;
+    let idn_total = sample.min(ctx.outputs.idn_len);
+    let non_total = sample.min(ctx.outputs.non_idn_len);
+    for (i, category) in ContentCategory::ALL.iter().enumerate() {
+        let a = counts.idn[i];
+        let b = counts.non_idn[i];
         table.row(vec![
             category.label().to_string(),
-            format!("{a} ({})", percent(a as u64, sample.min(idns.len()) as u64)),
-            format!("{b} ({})", percent(b as u64, sample.min(nons.len()) as u64)),
+            format!("{a} ({})", percent(a, idn_total)),
+            format!("{b} ({})", percent(b, non_total)),
         ]);
     }
     section(
@@ -673,8 +594,9 @@ pub fn table9(ctx: &ReproContext) -> String {
 /// Table X — Type-2 semantic findings (translation dictionary) scanned
 /// over the registered corpus.
 pub fn table10(ctx: &ReproContext) -> String {
-    let detector = idnre_core::SemanticDetector::new(Vec::<String>::new());
-    let findings = detector.scan_type2(ctx.eco.idn_registrations.iter().map(|r| r.domain.as_str()));
+    // Type-2 detection is brand-independent, so the fused scan's
+    // `Semantic2Pass` findings are exactly the dedicated rescan's.
+    let findings = &ctx.outputs.semantic2;
     let mut table = Table::new(
         vec!["Punycode", "Unicode", "Brand"],
         vec![Align::Left, Align::Left, Align::Left],
@@ -859,12 +781,10 @@ pub fn fig6(ctx: &ReproContext) -> String {
     // Unregistered candidates: enumerate for the top brands, drop the ones
     // that are actually registered, and sample their residual traffic.
     let enumerator = AvailabilityEnumerator::new();
-    let registered: std::collections::HashSet<&str> = ctx
-        .eco
-        .idn_registrations
-        .iter()
-        .map(|r| r.domain.as_str())
-        .collect();
+    // The fused scan intersected the candidate pool with the registered
+    // corpus ([`crate::passes::Fig6Pass`]); only candidates are ever
+    // membership-tested, so the intersection decides identically.
+    let registered = &ctx.outputs.fig6_registered;
     let top: Vec<String> = ctx.eco.brands.top(30).iter().map(|b| b.domain()).collect();
     let mut unregistered = 0u64;
     let mut observed = 0u64;

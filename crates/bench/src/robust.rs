@@ -331,6 +331,21 @@ pub fn whois_survey(
     budget: Option<&ErrorBudget>,
     recorder: &dyn Recorder,
 ) -> CrawlStats {
+    whois_survey_view(&crate::CorpusView::Batch(eco), eco, plan, budget, recorder)
+}
+
+/// [`whois_survey`] over an arbitrary corpus view: the batch view crawls
+/// the whole IDN population as one batch; the streamed view crawls one
+/// regenerated shard at a time against the same (stateful) crawler, which
+/// is exactly additive — the stats, counters and budget are identical to
+/// the batch run.
+pub(crate) fn whois_survey_view(
+    view: &crate::CorpusView<'_>,
+    eco: &Ecosystem,
+    plan: Option<&FaultPlan>,
+    budget: Option<&ErrorBudget>,
+    recorder: &dyn Recorder,
+) -> CrawlStats {
     let mut span = recorder.span("whois.survey");
     recorder.preregister(&CRAWL_COUNTERS);
     let mut crawler = WhoisCrawler::new();
@@ -348,50 +363,55 @@ pub fn whois_survey(
 
     let covered: std::collections::HashSet<&str> =
         eco.whois.iter().map(|r| r.domain.as_str()).collect();
-    let batch: Vec<(&str, String)> = eco
-        .idn_registrations
-        .iter()
-        .map(|reg| {
-            let domain = reg.domain.as_str();
-            if covered.contains(domain) {
-                let corrupted = plan.is_some_and(|p| p.corrupts("whois", domain));
-                if let Some(budget) = budget {
+    let mut stats = CrawlStats::default();
+    view.for_each_idn_shard(&mut |records| {
+        let batch: Vec<(&str, String)> = records
+            .iter()
+            .map(|reg| {
+                let domain = reg.domain.as_str();
+                if covered.contains(domain) {
+                    let corrupted = plan.is_some_and(|p| p.corrupts("whois", domain));
+                    if let Some(budget) = budget {
+                        if corrupted {
+                            budget.record_error(1);
+                        } else {
+                            budget.record_ok(1);
+                        }
+                    }
                     if corrupted {
-                        budget.record_error(1);
+                        // A mangled transfer: no parseable field survives.
+                        (
+                            "open-registrar",
+                            "@@ %% corrupted transfer %% @@\n".to_string(),
+                        )
                     } else {
-                        budget.record_ok(1);
+                        (
+                            "open-registrar",
+                            format!(
+                                "Domain Name: {domain}\nRegistrar: {}\nName Server: ns1.{domain}\n",
+                                reg.registrar
+                            ),
+                        )
+                    }
+                } else {
+                    // The generator withheld WHOIS here; attribute the gap to
+                    // the paper's two reasons (blocks dominate).
+                    let roll = crate::fnv1a(domain.as_bytes()) % 5;
+                    if roll < 3 {
+                        ("blocking-registrar", format!("Domain Name: {domain}\n"))
+                    } else {
+                        ("open-registrar", "≡≡ unsupported dialect ≡≡\n".to_string())
                     }
                 }
-                if corrupted {
-                    // A mangled transfer: no parseable field survives.
-                    (
-                        "open-registrar",
-                        "@@ %% corrupted transfer %% @@\n".to_string(),
-                    )
-                } else {
-                    (
-                        "open-registrar",
-                        format!(
-                            "Domain Name: {domain}\nRegistrar: {}\nName Server: ns1.{domain}\n",
-                            reg.registrar
-                        ),
-                    )
-                }
-            } else {
-                // The generator withheld WHOIS here; attribute the gap to
-                // the paper's two reasons (blocks dominate).
-                let roll = crate::fnv1a(domain.as_bytes()) % 5;
-                if roll < 3 {
-                    ("blocking-registrar", format!("Domain Name: {domain}\n"))
-                } else {
-                    ("open-registrar", "≡≡ unsupported dialect ≡≡\n".to_string())
-                }
-            }
-        })
-        .collect();
-
-    let (_, stats) =
-        crawler.crawl_batch_recorded(batch.iter().map(|(s, r)| (*s, r.as_str())), recorder);
+            })
+            .collect();
+        let (_, shard_stats) =
+            crawler.crawl_batch_recorded(batch.iter().map(|(s, r)| (*s, r.as_str())), recorder);
+        stats.parsed += shard_stats.parsed;
+        stats.blocked += shard_stats.blocked;
+        stats.parse_failures += shard_stats.parse_failures;
+        stats.no_server += shard_stats.no_server;
+    });
     let attempted = stats.parsed + stats.blocked + stats.parse_failures + stats.no_server;
     if attempted > 0 {
         recorder.add(
@@ -435,15 +455,13 @@ pub fn crawl_survey_faulted(
     }
     // Pre-register every counter and the attempts histogram so snapshot
     // ordering cannot depend on which worker thread touches a name first.
-    let counter_names: Vec<&str> = OUTCOME_COUNTERS
-        .iter()
-        .chain(&RETRY_COUNTERS)
-        .chain(&FAULT_COUNTERS)
-        .chain(&USAGE_COUNTERS)
-        .copied()
-        .collect();
-    recorder.preregister(&counter_names);
-    recorder.add_records(ATTEMPTS_HISTOGRAM, 0);
+    recorder.preregister_groups(&[
+        &OUTCOME_COUNTERS[..],
+        &RETRY_COUNTERS[..],
+        &FAULT_COUNTERS[..],
+        &USAGE_COUNTERS[..],
+    ]);
+    recorder.preregister_stages(&[ATTEMPTS_HISTOGRAM]);
 
     let crawler = &crawler;
     let per_chunk = idnre_par::par_chunks(

@@ -32,6 +32,7 @@
 
 mod availability;
 mod homograph;
+mod passes;
 mod pipeline;
 mod registry;
 mod semantic;
@@ -40,6 +41,7 @@ pub mod topic;
 
 pub use availability::{AvailabilityEnumerator, AvailabilityReport, Candidate};
 pub use homograph::{HomographDetector, HomographFinding, HOMOGRAPH_COUNTERS};
+pub use passes::{HomographPass, Semantic1Pass, Semantic2Pass};
 pub use pipeline::{AbuseAnalysis, BrandAbuseRow};
 pub use registry::{SrsPolicy, SrsRejection};
 pub use semantic::{SemanticDetector, SemanticFinding, SemanticKind, SEMANTIC_COUNTERS};

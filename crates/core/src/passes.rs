@@ -1,0 +1,250 @@
+//! Detector-backed [`AnalysisPass`] implementations for the sharded
+//! streaming scan.
+//!
+//! Each pass folds the detector's per-domain probe into a concatenated
+//! finding list; because the scan merges shard partials in shard order,
+//! the merged list is exactly the sequential corpus-order probe result.
+//! The legacy batch scanners ([`HomographDetector::scan_recorded`],
+//! [`SemanticDetector::scan_type1_parallel`]) remain the reference
+//! implementations — the equivalence tests below hold each pass to the
+//! same findings and the same counters.
+
+use crate::homograph::{HomographDetector, HomographFinding, HOMOGRAPH_COUNTERS};
+use crate::semantic::{SemanticDetector, SemanticFinding, SEMANTIC_COUNTERS};
+use idnre_analyze::{AnalysisPass, Observed, Population};
+use idnre_telemetry::Recorder;
+
+/// SSIM homograph detection as a streaming pass (IDN population only).
+///
+/// Observation probes [`HomographDetector::detect_recorded`] per record;
+/// `finish` sorts findings by domain, matching the batch scan's output
+/// contract.
+#[derive(Debug, Clone, Copy)]
+pub struct HomographPass<'d> {
+    detector: &'d HomographDetector,
+}
+
+impl<'d> HomographPass<'d> {
+    /// Wraps a configured detector.
+    pub fn new(detector: &'d HomographDetector) -> Self {
+        HomographPass { detector }
+    }
+}
+
+impl AnalysisPass for HomographPass<'_> {
+    type Partial = Vec<HomographFinding>;
+    type Output = Vec<HomographFinding>;
+
+    fn name(&self) -> &'static str {
+        "homograph.scan"
+    }
+
+    fn counters(&self) -> &'static [&'static str] {
+        &HOMOGRAPH_COUNTERS
+    }
+
+    fn empty(&self) -> Self::Partial {
+        Vec::new()
+    }
+
+    fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, recorder: &dyn Recorder) {
+        if rec.population != Population::Idn {
+            return;
+        }
+        if let Some(finding) = self.detector.detect_recorded(&rec.reg.domain, recorder) {
+            partial.push(finding);
+        }
+    }
+
+    fn finish(&self, mut partial: Self::Partial) -> Self::Output {
+        partial.sort_by(|a, b| a.domain.cmp(&b.domain));
+        partial
+    }
+}
+
+/// Type-1 semantic detection as a streaming pass (IDN population only).
+///
+/// Findings stay in corpus order — the shard-order merge concatenates
+/// per-shard lists, which is the same order
+/// [`SemanticDetector::scan_type1_parallel`] produces.
+#[derive(Debug, Clone, Copy)]
+pub struct Semantic1Pass<'d> {
+    detector: &'d SemanticDetector,
+}
+
+impl<'d> Semantic1Pass<'d> {
+    /// Wraps a configured detector.
+    pub fn new(detector: &'d SemanticDetector) -> Self {
+        Semantic1Pass { detector }
+    }
+}
+
+impl AnalysisPass for Semantic1Pass<'_> {
+    type Partial = Vec<SemanticFinding>;
+    type Output = Vec<SemanticFinding>;
+
+    fn name(&self) -> &'static str {
+        "semantic.scan_type1"
+    }
+
+    fn counters(&self) -> &'static [&'static str] {
+        &SEMANTIC_COUNTERS
+    }
+
+    fn empty(&self) -> Self::Partial {
+        Vec::new()
+    }
+
+    fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, recorder: &dyn Recorder) {
+        if rec.population != Population::Idn {
+            return;
+        }
+        recorder.incr("semantic.candidates");
+        let finding = self.detector.detect_type1(&rec.reg.domain);
+        recorder.incr(match &finding {
+            Some(_) => "semantic.findings",
+            None => "semantic.skip.no_brand_match",
+        });
+        if let Some(finding) = finding {
+            partial.push(finding);
+        }
+    }
+
+    fn finish(&self, partial: Self::Partial) -> Self::Output {
+        partial
+    }
+}
+
+/// Type-2 (translated-brand) semantic detection as a streaming pass (IDN
+/// population only; findings in corpus order). Only the embedded
+/// translation dictionary is consulted, so any [`SemanticDetector`] —
+/// whatever its brand list — produces identical Type-2 findings.
+#[derive(Debug, Clone, Copy)]
+pub struct Semantic2Pass<'d> {
+    detector: &'d SemanticDetector,
+}
+
+impl<'d> Semantic2Pass<'d> {
+    /// Wraps a configured detector.
+    pub fn new(detector: &'d SemanticDetector) -> Self {
+        Semantic2Pass { detector }
+    }
+}
+
+impl AnalysisPass for Semantic2Pass<'_> {
+    type Partial = Vec<SemanticFinding>;
+    type Output = Vec<SemanticFinding>;
+
+    fn name(&self) -> &'static str {
+        "semantic.scan_type2"
+    }
+
+    fn empty(&self) -> Self::Partial {
+        Vec::new()
+    }
+
+    fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, _: &dyn Recorder) {
+        if rec.population != Population::Idn {
+            return;
+        }
+        if let Some(finding) = self.detector.detect_type2(&rec.reg.domain) {
+            partial.push(finding);
+        }
+    }
+
+    fn finish(&self, partial: Self::Partial) -> Self::Output {
+        partial
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idnre_analyze::{ShardedScan, SliceSource};
+    use idnre_datagen::{Ecosystem, EcosystemConfig};
+    use idnre_telemetry::Registry;
+
+    fn corpus() -> (Ecosystem, Vec<String>) {
+        let config = EcosystemConfig {
+            scale: 1000,
+            attack_scale: 20,
+            brand_count: 50,
+            ..EcosystemConfig::default()
+        };
+        let eco = Ecosystem::generate(&config);
+        let brands: Vec<String> = eco.brands.iter().map(|b| b.domain()).collect();
+        (eco, brands)
+    }
+
+    #[test]
+    fn passes_match_legacy_batch_scans() {
+        let (eco, brands) = corpus();
+        let homograph = HomographDetector::new(&brands, 0.95);
+        let semantic = SemanticDetector::new(&brands);
+        let idn_domains: Vec<&str> = eco
+            .idn_registrations
+            .iter()
+            .map(|r| r.domain.as_str())
+            .collect();
+
+        let legacy_homographs = homograph.scan(idn_domains.iter().copied(), 4);
+        let legacy_sem1 = semantic.scan_type1(idn_domains.iter().copied());
+        let legacy_sem2 = semantic.scan_type2(idn_domains.iter().copied());
+        assert!(!legacy_homographs.is_empty());
+        assert!(!legacy_sem1.is_empty());
+
+        let source = SliceSource::new(&eco.idn_registrations, &eco.non_idn_registrations);
+        let mut scan = ShardedScan::new();
+        let h = scan.register(HomographPass::new(&homograph));
+        let s1 = scan.register(Semantic1Pass::new(&semantic));
+        let s2 = scan.register(Semantic2Pass::new(&semantic));
+        let registry = Registry::new();
+        let mut result = scan.run(&source, 64, 4, &registry);
+
+        assert_eq!(result.take(&h), legacy_homographs);
+        assert_eq!(result.take(&s1), legacy_sem1);
+        assert_eq!(result.take(&s2), legacy_sem2);
+    }
+
+    #[test]
+    fn pass_counters_match_legacy_batch_scans() {
+        let (eco, brands) = corpus();
+        let homograph = HomographDetector::new(&brands, 0.95);
+        let semantic = SemanticDetector::new(&brands);
+        let idn_domains: Vec<&str> = eco
+            .idn_registrations
+            .iter()
+            .map(|r| r.domain.as_str())
+            .collect();
+
+        let legacy = Registry::new();
+        let _ = homograph.scan_recorded(idn_domains.iter().copied(), 4, &legacy);
+        let _ = semantic.scan_type1_parallel(idn_domains.iter().copied(), 4, &legacy);
+        let legacy_counters = legacy.snapshot().counters;
+
+        let source = SliceSource::new(&eco.idn_registrations, &eco.non_idn_registrations);
+        let mut scan = ShardedScan::new();
+        let _ = scan.register(HomographPass::new(&homograph));
+        let _ = scan.register(Semantic1Pass::new(&semantic));
+        let streamed = Registry::new();
+        let _ = scan.run(&source, 128, 2, &streamed);
+
+        assert_eq!(streamed.snapshot().counters, legacy_counters);
+    }
+
+    #[test]
+    fn passes_are_associative() {
+        let (eco, brands) = corpus();
+        let homograph = HomographDetector::new(&brands, 0.95);
+        let semantic = SemanticDetector::new(&brands);
+        let source = SliceSource::new(&eco.idn_registrations, &eco.non_idn_registrations);
+        let mut scan = ShardedScan::new();
+        let _ = scan.register(HomographPass::new(&homograph));
+        let _ = scan.register(Semantic1Pass::new(&semantic));
+        let _ = scan.register(Semantic2Pass::new(&semantic));
+        assert_eq!(
+            scan.merge_is_associative(&source, 97, &idnre_telemetry::NoopRecorder),
+            Ok(())
+        );
+    }
+}

@@ -36,7 +36,17 @@ use rand::Rng;
 use std::collections::HashSet;
 
 /// How many label-grow retries a colliding ordinary registration gets.
-const ORDINARY_ATTEMPTS: u64 = 4;
+pub(crate) const ORDINARY_ATTEMPTS: u64 = 4;
+
+/// Attack-injection channels in injection order: the blacklisted share per
+/// mille for each attack class, shared by the batch and streaming builders.
+/// Homograph: paper 100/1516 ≈ 6.6%; Type-1 semantic: a few of 1,497
+/// observed malicious; Type-2: the Gree case was an active fraud.
+pub(crate) const ATTACK_CHANNELS: [(MaliciousKind, u32); 3] = [
+    (MaliciousKind::Homograph, 66),
+    (MaliciousKind::SemanticType1, 13),
+    (MaliciousKind::SemanticType2, 100),
+];
 
 /// A fully generated synthetic ecosystem.
 #[derive(Debug, Clone)]
@@ -171,13 +181,14 @@ impl Ecosystem {
         let inject_key = root.stage(StageId::AttackInjection);
         let mut existing: HashSet<String> =
             idn_registrations.iter().map(|r| r.domain.clone()).collect();
-        for (kind_word, attacks_list, kind, per_mille) in [
-            (0u64, &homograph_attacks, MaliciousKind::Homograph, 66), // ‰ blacklisted: paper 100/1516 ≈ 6.6%
-            (1, &semantic_attacks, MaliciousKind::SemanticType1, 13), // paper: a few of 1,497 observed malicious
-            (2, &semantic2_attacks, MaliciousKind::SemanticType2, 100), // the Gree case was an active fraud
-        ] {
+        for (kind_word, (attacks_list, (kind, per_mille))) in
+            [&homograph_attacks, &semantic_attacks, &semantic2_attacks]
+                .into_iter()
+                .zip(ATTACK_CHANNELS)
+                .enumerate()
+        {
             inject_attacks(
-                inject_key.derive(kind_word),
+                inject_key.derive(kind_word as u64),
                 config,
                 threads,
                 attacks_list,
@@ -406,6 +417,22 @@ fn build_idn<R: Rng + ?Sized>(
     tld: &str,
     email: Option<String>,
 ) -> Option<DomainRegistration> {
+    let (domain, unicode) = draw_idn_domain(rng, label, tld)?;
+    Some(finish_idn(
+        rng, config, domain, unicode, language, tld, email,
+    ))
+}
+
+/// The domain-construction prefix of [`build_idn`]: the decorative
+/// confusable pick (ASCII labels only) and the IDNA round trip. Split out
+/// so the streaming planner can decide record survival from exactly the
+/// stream positions the batch builder consumes — any draw-order divergence
+/// here breaks the `idnre-dataset/2` golden fingerprint.
+pub(crate) fn draw_idn_domain<R: Rng + ?Sized>(
+    rng: &mut R,
+    label: &str,
+    tld: &str,
+) -> Option<(String, String)> {
     // Labels that come out pure-ASCII (English vocabulary) get a decorative
     // diacritic so the domain is a genuine IDN — mirroring the squatting
     // registrations observed under Latin scripts.
@@ -416,10 +443,24 @@ fn build_idn<R: Rng + ?Sized>(
     let domain = idnre_idna::to_ascii(&format!("{unicode_sld}.{tld}")).ok()?;
     // Display form decodes every label, including an ACE TLD (iTLDs).
     let unicode = idnre_idna::to_unicode(&domain).ok()?;
+    Some((domain, unicode))
+}
+
+/// The record-body suffix of [`build_idn`], continuing on the same RNG
+/// stream after [`draw_idn_domain`].
+pub(crate) fn finish_idn<R: Rng + ?Sized>(
+    rng: &mut R,
+    config: &EcosystemConfig,
+    domain: String,
+    unicode: String,
+    language: Language,
+    tld: &str,
+    email: Option<String>,
+) -> DomainRegistration {
     let content = ContentCategory::sample_idn(rng);
     let hosting = HostingProfile::sample(rng, content);
     let privacy = email.is_none();
-    Some(DomainRegistration {
+    DomainRegistration {
         domain,
         unicode,
         tld: tld.to_string(),
@@ -433,7 +474,7 @@ fn build_idn<R: Rng + ?Sized>(
         // Paper: certificates retrieved from 4.55% of IDNs.
         https: hosting.is_some() && rng.gen_ratio(91, 1000),
         hosting,
-    })
+    }
 }
 
 /// Replaces one character of a pure-ASCII label with a High-fidelity
@@ -456,7 +497,7 @@ fn decorate_ascii<R: Rng + ?Sized>(rng: &mut R, label: &str) -> Option<String> {
     Some(out.into_iter().collect())
 }
 
-fn build_non_idn<R: Rng + ?Sized>(
+pub(crate) fn build_non_idn<R: Rng + ?Sized>(
     rng: &mut R,
     config: &EcosystemConfig,
     index: u64,
@@ -591,44 +632,8 @@ fn inject_attacks(
 ) {
     let indices: Vec<u64> = (0..attacks.len() as u64).collect();
     let prepared = idnre_par::par_map(&indices, threads, |&i| {
-        let attack = &attacks[i as usize];
         let mut rng = key.record(i).rng();
-        let tld = attack
-            .domain
-            .rsplit('.')
-            .next()
-            .unwrap_or("com")
-            .to_string();
-        let blacklisted = rng.gen_ratio(per_mille, 1000);
-        let qihoo_too = rng.gen_ratio(1, 3);
-        let (email, privacy) = if attack.protective {
-            let brand_sld = attack.target.split('.').next().unwrap_or("brand");
-            (Some(format!("legal@{brand_sld}.com")), false)
-        } else if rng.gen_ratio(1, 6) {
-            (
-                Some(format!("attacker{}@gmail.com", rng.gen_range(0..500u32))),
-                false,
-            )
-        } else {
-            (None, true)
-        };
-        let content = ContentCategory::sample_idn(&mut rng);
-        let hosting = HostingProfile::sample(&mut rng, content);
-        let reg = DomainRegistration {
-            domain: attack.domain.clone(),
-            unicode: attack.unicode.clone(),
-            tld,
-            language: Language::Unknown,
-            created: sample_malicious_creation_date(&mut rng, config.snapshot),
-            registrar: sample_registrar(&mut rng),
-            registrant_email: email,
-            privacy,
-            malicious: blacklisted.then_some(kind),
-            content,
-            https: hosting.is_some() && rng.gen_ratio(91, 1000),
-            hosting,
-        };
-        (reg, blacklisted, qihoo_too)
+        prepare_attack_registration(&mut rng, config, &attacks[i as usize], kind, per_mille)
     });
     for (reg, blacklisted, qihoo_too) in prepared {
         if !existing.insert(reg.domain.clone()) {
@@ -644,37 +649,92 @@ fn inject_attacks(
     }
 }
 
+/// The per-attack record preparation of [`inject_attacks`]: one keyed
+/// stream drives the blacklist roll, the Qihoo-overlap roll and the
+/// registration body, in that order. Shared by the streaming planner,
+/// which replays the same stream to regenerate attack records on demand.
+pub(crate) fn prepare_attack_registration<R: Rng + ?Sized>(
+    rng: &mut R,
+    config: &EcosystemConfig,
+    attack: &AttackDomain,
+    kind: MaliciousKind,
+    per_mille: u32,
+) -> (DomainRegistration, bool, bool) {
+    let tld = attack
+        .domain
+        .rsplit('.')
+        .next()
+        .unwrap_or("com")
+        .to_string();
+    let blacklisted = rng.gen_ratio(per_mille, 1000);
+    let qihoo_too = rng.gen_ratio(1, 3);
+    let (email, privacy) = if attack.protective {
+        let brand_sld = attack.target.split('.').next().unwrap_or("brand");
+        (Some(format!("legal@{brand_sld}.com")), false)
+    } else if rng.gen_ratio(1, 6) {
+        (
+            Some(format!("attacker{}@gmail.com", rng.gen_range(0..500u32))),
+            false,
+        )
+    } else {
+        (None, true)
+    };
+    let content = ContentCategory::sample_idn(rng);
+    let hosting = HostingProfile::sample(rng, content);
+    let reg = DomainRegistration {
+        domain: attack.domain.clone(),
+        unicode: attack.unicode.clone(),
+        tld,
+        language: Language::Unknown,
+        created: sample_malicious_creation_date(rng, config.snapshot),
+        registrar: sample_registrar(rng),
+        registrant_email: email,
+        privacy,
+        malicious: blacklisted.then_some(kind),
+        content,
+        https: hosting.is_some() && rng.gen_ratio(91, 1000),
+        hosting,
+    };
+    (reg, blacklisted, qihoo_too)
+}
+
 /// Emits WHOIS records honoring the per-TLD coverage of Table I (50.19%
 /// overall; 1.1% for iTLDs). Each registration's coverage roll and record
 /// body draw from a stream keyed by its position.
 fn emit_whois(key: Key, threads: usize, registrations: &[DomainRegistration]) -> Vec<WhoisRecord> {
     let indices: Vec<u64> = (0..registrations.len() as u64).collect();
     idnre_par::par_map(&indices, threads, |&i| {
-        let reg = &registrations[i as usize];
-        let coverage = TABLE_I
-            .iter()
-            .find(|spec| spec.tld == reg.tld)
-            .map(|spec| spec.declared_whois as f64 / spec.declared_idns as f64)
-            .unwrap_or(0.5);
-        let mut rng = key.record(i).rng();
-        if !rng.gen_bool(coverage.clamp(0.0, 1.0)) {
-            return None;
-        }
-        let mut record = WhoisRecord::new(&reg.domain, WhoisDialect::KeyValue);
-        record.registrar = Some(reg.registrar.clone());
-        record.registrant_email = reg.registrant_email.clone();
-        record.creation_date = Some(reg.created);
-        record.expiry_date = Some(reg.created.plus_days(365));
-        record.privacy_protected = reg.privacy;
-        record.name_servers = vec![format!("ns1.{}", reg.domain)];
-        Some(record)
+        whois_record_for(key, i, &registrations[i as usize])
     })
     .into_iter()
     .flatten()
     .collect()
 }
 
-fn sample_traffic<R: Rng + ?Sized>(
+/// One registration's WHOIS emission: the coverage roll and (when covered)
+/// the record body, on the stream keyed by corpus position `i`. Shared by
+/// the batch emitter and the streaming artifact pass.
+pub(crate) fn whois_record_for(key: Key, i: u64, reg: &DomainRegistration) -> Option<WhoisRecord> {
+    let coverage = TABLE_I
+        .iter()
+        .find(|spec| spec.tld == reg.tld)
+        .map(|spec| spec.declared_whois as f64 / spec.declared_idns as f64)
+        .unwrap_or(0.5);
+    let mut rng = key.record(i).rng();
+    if !rng.gen_bool(coverage.clamp(0.0, 1.0)) {
+        return None;
+    }
+    let mut record = WhoisRecord::new(&reg.domain, WhoisDialect::KeyValue);
+    record.registrar = Some(reg.registrar.clone());
+    record.registrant_email = reg.registrant_email.clone();
+    record.creation_date = Some(reg.created);
+    record.expiry_date = Some(reg.created.plus_days(365));
+    record.privacy_protected = reg.privacy;
+    record.name_servers = vec![format!("ns1.{}", reg.domain)];
+    Some(record)
+}
+
+pub(crate) fn sample_traffic<R: Rng + ?Sized>(
     rng: &mut R,
     reg: &DomainRegistration,
     class: PopulationClass,
@@ -716,15 +776,9 @@ fn emit_zones(
         let mut matched = 0u64;
         for reg in idns.iter().chain(non_idns).filter(|r| r.tld == tld) {
             matched += 1;
-            if let (Ok(owner), Ok(ns)) = (reg.domain.parse(), format!("ns1.{}", reg.domain).parse())
-            {
-                zone.records.push(ResourceRecord {
-                    owner,
-                    ttl: 86_400,
-                    rdata: RData::Ns(ns),
-                });
-            } else {
-                parse_skipped += 1;
+            match ns_record_for(reg) {
+                Some(record) => zone.records.push(record),
+                None => parse_skipped += 1,
             }
         }
         (zone, parse_skipped, matched)
@@ -734,6 +788,19 @@ fn emit_zones(
     let parse_skipped: u64 = sharded.iter().map(|(_, s, _)| s).sum();
     let zones = sharded.into_iter().map(|(zone, _, _)| zone).collect();
     (zones, parse_skipped + (total - matched))
+}
+
+/// One registration's delegation record (`None` when its name fails the
+/// zone grammar). Shared by the batch zone emitter and the streaming
+/// artifact pass.
+pub(crate) fn ns_record_for(reg: &DomainRegistration) -> Option<ResourceRecord> {
+    let owner = reg.domain.parse().ok()?;
+    let ns = format!("ns1.{}", reg.domain).parse().ok()?;
+    Some(ResourceRecord {
+        owner,
+        ttl: 86_400,
+        rdata: RData::Ns(ns),
+    })
 }
 
 #[cfg(test)]

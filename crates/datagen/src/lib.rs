@@ -46,6 +46,7 @@ mod ecosystem;
 mod hosting;
 mod labels;
 mod registration;
+pub mod stream;
 
 pub use brands::{Brand, BrandList};
 pub use config::{EcosystemConfig, TldSpec, TABLE_I};
@@ -54,3 +55,4 @@ pub use dataset::{dataset_fingerprint, render_dataset, DATASET_SCHEMA};
 pub use ecosystem::Ecosystem;
 pub use hosting::HostingProfile;
 pub use registration::{DomainRegistration, MaliciousKind};
+pub use stream::{generate_streamed, KeyedCorpus, ResidencyGauge, PEAK_RESIDENT_RECORDS};

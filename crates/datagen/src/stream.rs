@@ -1,0 +1,735 @@
+//! Streaming generation: plan once, regenerate any shard on demand.
+//!
+//! [`generate_streamed`] runs the same nine-stage pipeline as
+//! [`Ecosystem::generate_recorded`] but never materializes the registration
+//! corpus. The stages with cross-record state (dedup, blacklist, attack
+//! injection) already split into parallel-plan/sequential-apply phases for
+//! schedule independence; here the plan phase is kept — compacted into a
+//! [`Recipe`] table of a few bytes per record — and the apply phase is
+//! deferred to shard regeneration time. Because every record's randomness
+//! is a pure function of `(seed, stage, record index)` (PR 4's keyed RNG),
+//! shard `k` regenerates byte-identically to the batch vectors whenever it
+//! is asked for, in any order, from any thread.
+//!
+//! Peak registration residency is `shard_size × workers`, tracked by a
+//! [`ResidencyGauge`] and reported as `datagen.peak_resident_records`.
+
+use crate::attacks::{self, AttackDomain};
+use crate::brands::BrandList;
+use crate::config::{EcosystemConfig, TABLE_I};
+use crate::ecosystem::{
+    build_non_idn, draw_idn_domain, finish_idn, ns_record_for, prepare_attack_registration,
+    sample_traffic, whois_record_for, Ecosystem, ATTACK_CHANNELS, ORDINARY_ATTEMPTS,
+};
+use crate::labels;
+use crate::registration::{
+    sample_registrant, themed_label, DomainRegistration, MaliciousKind, BULK_REGISTRANTS,
+};
+use idnre_blacklist::{BlacklistSet, Source};
+use idnre_certs::Certificate;
+use idnre_langid::Language;
+use idnre_pdns::{DomainAggregate, PdnsStore, PopulationClass};
+use idnre_rng::{Key, StageId};
+use idnre_telemetry::Recorder;
+use idnre_whois::{Date, WhoisRecord};
+use idnre_zonefile::{ResourceRecord, Zone};
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counter name of the peak-residency gauge.
+pub const PEAK_RESIDENT_RECORDS: &str = "datagen.peak_resident_records";
+
+/// How one IDN record regenerates: which keyed stream to replay and (for
+/// ordinary registrations) which retry-ladder rung won the dedup race.
+/// Twelve bytes per record instead of a full [`DomainRegistration`].
+#[derive(Debug, Clone, Copy)]
+enum Recipe {
+    /// Bulk job `index` of `registrant`'s portfolio.
+    Bulk { registrant: u32, index: u32 },
+    /// Ordinary record `index` of TLD spec `spec`, surviving at `attempt`.
+    Ordinary { spec: u8, index: u32, attempt: u8 },
+    /// Attack `index` of channel `kind` (0 homograph, 1 type-1, 2 type-2).
+    Attack { kind: u8, index: u32 },
+}
+
+/// Tracks how many registration records are resident across all worker
+/// threads, keeping a high-water mark.
+#[derive(Debug, Default)]
+pub struct ResidencyGauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl ResidencyGauge {
+    fn acquire(&self, n: u64) {
+        let now = self.current.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn release(&self, n: u64) {
+        self.current.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The high-water mark of simultaneously resident records.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// The compact streaming plan: enough to regenerate any corpus shard
+/// byte-identically to the batch vectors, without holding any records.
+#[derive(Debug)]
+pub struct KeyedCorpus {
+    config: EcosystemConfig,
+    /// Attack ground-truth lists, indexed by [`Recipe::Attack`] recipes.
+    attacks: [Vec<AttackDomain>; 3],
+    idn_recipes: Vec<Recipe>,
+    /// Stage-3 blacklist mutations: IDN corpus index → (kind, created).
+    overrides: HashMap<u64, (MaliciousKind, Date)>,
+    /// Per-spec non-IDN population spans: `(global start, count)`.
+    non_idn_spans: Vec<(u64, u64)>,
+    gauge: Arc<ResidencyGauge>,
+}
+
+impl KeyedCorpus {
+    /// Records in the IDN population.
+    pub fn idn_len(&self) -> u64 {
+        self.idn_recipes.len() as u64
+    }
+
+    /// Records in the non-IDN population.
+    pub fn non_idn_len(&self) -> u64 {
+        self.non_idn_spans
+            .last()
+            .map_or(0, |&(start, count)| start + count)
+    }
+
+    /// The residency gauge shared by every shard this corpus materializes.
+    pub fn gauge(&self) -> &ResidencyGauge {
+        &self.gauge
+    }
+
+    /// Materializes IDN records `[start, start + len)` and calls `f` once
+    /// with the slice. Residency is gauge-tracked for the call's duration.
+    pub fn with_idn_shard(&self, start: u64, len: usize, f: &mut dyn FnMut(&[DomainRegistration])) {
+        self.gauge.acquire(len as u64);
+        let records: Vec<DomainRegistration> = (start..start + len as u64)
+            .map(|i| self.regen_idn(i))
+            .collect();
+        f(&records);
+        drop(records);
+        self.gauge.release(len as u64);
+    }
+
+    /// Non-IDN counterpart of [`KeyedCorpus::with_idn_shard`].
+    pub fn with_non_idn_shard(
+        &self,
+        start: u64,
+        len: usize,
+        f: &mut dyn FnMut(&[DomainRegistration]),
+    ) {
+        self.gauge.acquire(len as u64);
+        let records: Vec<DomainRegistration> = (start..start + len as u64)
+            .map(|i| self.regen_non_idn(i))
+            .collect();
+        f(&records);
+        drop(records);
+        self.gauge.release(len as u64);
+    }
+
+    /// Regenerates IDN record `index` from its keyed stream.
+    fn regen_idn(&self, index: u64) -> DomainRegistration {
+        let root = Key::root(self.config.seed);
+        let mut reg = match self.idn_recipes[index as usize] {
+            Recipe::Bulk {
+                registrant,
+                index: i,
+            } => {
+                let (email, _, theme) = BULK_REGISTRANTS[registrant as usize];
+                let mut rng = root
+                    .stage(StageId::BulkRegistrations)
+                    .derive(u64::from(registrant))
+                    .record(u64::from(i))
+                    .rng();
+                let label = themed_label(&mut rng, theme);
+                let label = format!("{label}{i}");
+                let (domain, unicode) =
+                    draw_idn_domain(&mut rng, &label, "com").expect("planned bulk record");
+                finish_idn(
+                    &mut rng,
+                    &self.config,
+                    domain,
+                    unicode,
+                    Language::Chinese,
+                    "com",
+                    Some(email.to_string()),
+                )
+            }
+            Recipe::Ordinary {
+                spec,
+                index: i,
+                attempt,
+            } => {
+                let tld = TABLE_I[spec as usize].tld;
+                let record_key = root
+                    .stage(StageId::OrdinaryRegistrations)
+                    .derive(u64::from(spec))
+                    .record(u64::from(i));
+                let mut meta = record_key.rng();
+                let language = labels::sample_language(&mut meta);
+                let mut label = labels::generate_label(&mut meta, language);
+                let (email, _) = sample_registrant(&mut meta, u64::from(i));
+                // Replay the suffix growth of every losing rung before the
+                // winning one: the label accumulates across the ladder.
+                for a in 1..u64::from(attempt) {
+                    let mut rung = record_key.derive(a + 1).rng();
+                    label.push_str(&rung.gen_range(2..1000u32).to_string());
+                }
+                let mut rng = record_key.derive(u64::from(attempt) + 1).rng();
+                if attempt > 0 {
+                    label.push_str(&rng.gen_range(2..1000u32).to_string());
+                }
+                let (domain, unicode) =
+                    draw_idn_domain(&mut rng, &label, tld).expect("planned ordinary record");
+                finish_idn(
+                    &mut rng,
+                    &self.config,
+                    domain,
+                    unicode,
+                    language,
+                    tld,
+                    email,
+                )
+            }
+            Recipe::Attack { kind, index: i } => {
+                let (malicious_kind, per_mille) = ATTACK_CHANNELS[kind as usize];
+                let mut rng = root
+                    .stage(StageId::AttackInjection)
+                    .derive(u64::from(kind))
+                    .record(u64::from(i))
+                    .rng();
+                let (reg, _, _) = prepare_attack_registration(
+                    &mut rng,
+                    &self.config,
+                    &self.attacks[kind as usize][i as usize],
+                    malicious_kind,
+                    per_mille,
+                );
+                reg
+            }
+        };
+        if let Some(&(kind, created)) = self.overrides.get(&index) {
+            reg.malicious = Some(kind);
+            reg.created = created;
+        }
+        reg
+    }
+
+    /// Regenerates non-IDN record `index` from its keyed stream.
+    fn regen_non_idn(&self, index: u64) -> DomainRegistration {
+        let (spec_idx, start) = self
+            .non_idn_spans
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|&(_, &(start, _))| start <= index)
+            .map(|(s, &(start, _))| (s, start))
+            .expect("non-IDN index in range");
+        let i = index - start;
+        let mut rng = Key::root(self.config.seed)
+            .stage(StageId::NonIdnSample)
+            .derive(spec_idx as u64)
+            .record(i)
+            .rng();
+        build_non_idn(&mut rng, &self.config, i, TABLE_I[spec_idx].tld)
+    }
+}
+
+/// Evenly sized `(start, len)` shard spans covering `total` records.
+fn shard_spans(total: u64, shard_size: usize) -> Vec<(u64, usize)> {
+    let shard_size = shard_size.max(1);
+    let mut spans = Vec::new();
+    let mut start = 0u64;
+    while start < total {
+        let len = (total - start).min(shard_size as u64) as usize;
+        spans.push((start, len));
+        start += len as u64;
+    }
+    spans
+}
+
+/// Streaming twin of [`Ecosystem::generate_recorded`]: produces an
+/// [`Ecosystem`] whose registration vectors are **empty** (artifacts —
+/// WHOIS, pDNS, certificates, blacklist, zones — are fully populated and
+/// byte-identical to the batch path) plus the [`KeyedCorpus`] that
+/// regenerates any registration shard on demand.
+pub fn generate_streamed(
+    config: &EcosystemConfig,
+    shard_size: usize,
+    recorder: &dyn Recorder,
+) -> (Ecosystem, KeyedCorpus) {
+    let root = Key::root(config.seed);
+    let threads = config.threads;
+    let brands = BrandList::with_size(config.brand_count);
+
+    // --- Plan phase: stages 1–5's randomness, domain-construction draws
+    //     only, compacted into recipes + overrides + the blacklist. ---
+    let mut span = recorder.span("datagen.stream.plan");
+
+    // Stage 1: bulk registrations (no cross-record dedup in the batch
+    // path, so every surviving job becomes a recipe).
+    let bulk_key = root.stage(StageId::BulkRegistrations);
+    let mut bulk_jobs: Vec<(u32, crate::registration::BulkTheme, u32)> = Vec::new();
+    for (registrant, &(_, declared, theme)) in BULK_REGISTRANTS.iter().enumerate() {
+        let n = (u64::from(declared) / config.scale).max(1);
+        for i in 0..n {
+            bulk_jobs.push((registrant as u32, theme, i as u32));
+        }
+    }
+    let bulk_domains = idnre_par::par_map(&bulk_jobs, threads, |&(registrant, theme, i)| {
+        let mut rng = bulk_key
+            .derive(u64::from(registrant))
+            .record(u64::from(i))
+            .rng();
+        let label = themed_label(&mut rng, theme);
+        draw_idn_domain(&mut rng, &format!("{label}{i}"), "com").map(|(domain, _)| domain)
+    });
+    let mut idn_recipes: Vec<Recipe> = Vec::new();
+    let mut domains: Vec<String> = Vec::new();
+    let mut tlds: Vec<&'static str> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    for (&(registrant, _, i), domain) in bulk_jobs.iter().zip(bulk_domains) {
+        if let Some(domain) = domain {
+            idn_recipes.push(Recipe::Bulk {
+                registrant,
+                index: i,
+            });
+            seen.insert(domain.clone());
+            domains.push(domain);
+            tlds.push("com");
+        }
+    }
+
+    // Stage 2: ordinary registrations — domain-only retry ladders, then
+    // the same sequential first-rung-that-clears-dedup pass.
+    let ordinary_key = root.stage(StageId::OrdinaryRegistrations);
+    for (spec_idx, spec) in TABLE_I.iter().enumerate() {
+        let n = config.scaled_idns(spec);
+        let spec_key = ordinary_key.derive(spec_idx as u64);
+        let indices: Vec<u64> = (0..n).collect();
+        let ladders = idnre_par::par_map(&indices, threads, |&i| {
+            let record_key = spec_key.record(i);
+            let mut meta = record_key.rng();
+            let language = labels::sample_language(&mut meta);
+            let mut label = labels::generate_label(&mut meta, language);
+            // The registrant draw follows the label on the meta stream, so
+            // the domain-only plan can stop here.
+            (0..ORDINARY_ATTEMPTS)
+                .map(|attempt| {
+                    let mut rng = record_key.derive(attempt + 1).rng();
+                    if attempt > 0 {
+                        label.push_str(&rng.gen_range(2..1000u32).to_string());
+                    }
+                    draw_idn_domain(&mut rng, &label, spec.tld).map(|(domain, _)| domain)
+                })
+                .collect::<Vec<Option<String>>>()
+        });
+        for (i, ladder) in ladders.into_iter().enumerate() {
+            for (attempt, domain) in ladder.into_iter().enumerate() {
+                let Some(domain) = domain else { continue };
+                if seen.insert(domain.clone()) {
+                    idn_recipes.push(Recipe::Ordinary {
+                        spec: spec_idx as u8,
+                        index: i as u32,
+                        attempt: attempt as u8,
+                    });
+                    domains.push(domain);
+                    tlds.push(spec.tld);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Stage 3: blacklist assignment — identical index arithmetic to the
+    // batch `assign_blacklist`, against (domain, tld) metadata instead of
+    // records; flag mutations become regeneration-time overrides.
+    let mut blacklist = BlacklistSet::new();
+    let mut overrides: HashMap<u64, (MaliciousKind, Date)> = HashMap::new();
+    {
+        let blacklist_key = root.stage(StageId::Blacklist);
+        let spec_indices: Vec<u64> = (0..TABLE_I.len() as u64).collect();
+        let plans = idnre_par::par_map(&spec_indices, threads, |&spec_idx| {
+            let spec = &TABLE_I[spec_idx as usize];
+            let mut rng = blacklist_key.record(spec_idx).rng();
+            let (vt, qihoo, baidu) = spec.declared_blacklisted;
+            let scaled =
+                |n: u64| -> usize { (n / config.scale.max(1)).max(u64::from(n > 0)) as usize };
+            // Bulk+ordinary records all carry `malicious: None` at this
+            // stage, so TLD equality is the whole candidate filter.
+            let mut candidates: Vec<usize> = tlds
+                .iter()
+                .enumerate()
+                .filter(|&(_, t)| *t == spec.tld)
+                .map(|(i, _)| i)
+                .collect();
+            let n_vt = scaled(vt);
+            let n_q = scaled(qihoo);
+            let n_q_unique = n_q / 3;
+            let n_b_unique = scaled(baidu).min(1) * u64::from(baidu > 0) as usize;
+            let union = n_vt + n_q_unique + n_b_unique;
+            let mut flags = Vec::new();
+            for _ in 0..union.min(candidates.len()) {
+                let idx = candidates.swap_remove(rng.gen_range(0..candidates.len()));
+                let kind = if rng.gen_ratio(7, 10) {
+                    MaliciousKind::UndergroundBusiness
+                } else {
+                    MaliciousKind::Other
+                };
+                let created =
+                    crate::registration::sample_malicious_creation_date(&mut rng, config.snapshot);
+                flags.push((idx, kind, created));
+            }
+            let q_overlap = n_q - n_q_unique;
+            let mut inserts = Vec::new();
+            for (k, &(idx, _, _)) in flags.iter().enumerate() {
+                if k < n_vt {
+                    inserts.push((Source::VirusTotal, idx));
+                    if k >= n_vt.saturating_sub(q_overlap) {
+                        inserts.push((Source::Qihoo360, idx));
+                    }
+                } else if k < n_vt + n_q_unique {
+                    inserts.push((Source::Qihoo360, idx));
+                } else {
+                    inserts.push((Source::Baidu, idx));
+                }
+            }
+            (flags, inserts)
+        });
+        for (flags, inserts) in plans {
+            for (idx, kind, created) in flags {
+                overrides.insert(idx as u64, (kind, created));
+            }
+            for (source, idx) in inserts {
+                blacklist.insert(source, &domains[idx]);
+            }
+        }
+    }
+
+    // Stage 4: attack populations + injection plan. The prepared records
+    // are discarded here (recipes replay them on demand); only domains,
+    // dedup survival and blacklist feed inserts matter now.
+    let homograph_attacks = attacks::generate_homographs(
+        root.stage(StageId::HomographAttacks),
+        &brands,
+        config.attack_scale,
+        threads,
+    );
+    let semantic_attacks = attacks::generate_semantic_type1(
+        root.stage(StageId::SemanticType1Attacks),
+        &brands,
+        config.attack_scale,
+        threads,
+    );
+    let semantic2_attacks = attacks::generate_semantic_type2(
+        root.stage(StageId::SemanticType2Attacks),
+        config.attack_scale,
+    );
+    let inject_key = root.stage(StageId::AttackInjection);
+    let attack_lists = [&homograph_attacks, &semantic_attacks, &semantic2_attacks];
+    for (kind_word, (list, (kind, per_mille))) in
+        attack_lists.into_iter().zip(ATTACK_CHANNELS).enumerate()
+    {
+        let key = inject_key.derive(kind_word as u64);
+        let indices: Vec<u64> = (0..list.len() as u64).collect();
+        let prepared = idnre_par::par_map(&indices, threads, |&i| {
+            let mut rng = key.record(i).rng();
+            let (reg, blacklisted, qihoo_too) =
+                prepare_attack_registration(&mut rng, config, &list[i as usize], kind, per_mille);
+            (reg.domain, blacklisted, qihoo_too)
+        });
+        for (i, (domain, blacklisted, qihoo_too)) in prepared.into_iter().enumerate() {
+            if !seen.insert(domain.clone()) {
+                continue;
+            }
+            if blacklisted {
+                blacklist.insert(Source::VirusTotal, &domain);
+                if qihoo_too {
+                    blacklist.insert(Source::Qihoo360, &domain);
+                }
+            }
+            idn_recipes.push(Recipe::Attack {
+                kind: kind_word as u8,
+                index: i as u32,
+            });
+        }
+    }
+    drop(domains);
+    drop(tlds);
+    drop(seen);
+
+    // Stage 5: the non-IDN sample needs no planning at all — per-spec
+    // counts are a pure function of the config.
+    let mut non_idn_spans = Vec::new();
+    let mut non_idn_start = 0u64;
+    for spec in TABLE_I {
+        let count = config.scaled_non_idn_sample(&spec);
+        non_idn_spans.push((non_idn_start, count));
+        non_idn_start += count;
+    }
+
+    let corpus = KeyedCorpus {
+        config: config.clone(),
+        attacks: [
+            homograph_attacks.clone(),
+            semantic_attacks.clone(),
+            semantic2_attacks.clone(),
+        ],
+        idn_recipes,
+        overrides,
+        non_idn_spans,
+        gauge: Arc::new(ResidencyGauge::default()),
+    };
+    span.add_records(corpus.idn_len() + corpus.non_idn_len());
+    drop(span);
+
+    // --- Artifact phase (stages 6–9): one fused traversal computing
+    //     WHOIS, pDNS, certificates and zone records per shard in
+    //     parallel, applied sequentially in shard order so every artifact
+    //     lands in exactly the batch path's order. ---
+    let mut span = recorder.span("datagen.stream.artifacts");
+    let snapshot_day = config.snapshot.day_number();
+    let whois_key = root.stage(StageId::Whois);
+    let pdns_key = root.stage(StageId::PdnsTraffic);
+    let cert_key = root.stage(StageId::Certificates);
+    let origins: Vec<_> = TABLE_I
+        .iter()
+        .filter_map(|spec| spec.tld.parse::<idnre_idna::DomainName>().ok())
+        .collect();
+    let origin_tlds: Vec<String> = origins.iter().map(|o| o.to_string()).collect();
+
+    struct ShardArtifacts {
+        whois: Vec<WhoisRecord>,
+        aggregates: Vec<DomainAggregate>,
+        certificates: Vec<(String, Certificate)>,
+        zone_records: Vec<Vec<ResourceRecord>>,
+        zone_matched: u64,
+        zone_parse_skipped: u64,
+    }
+
+    let idn_len = corpus.idn_len();
+    let shards: Vec<(bool, u64, usize)> = shard_spans(idn_len, shard_size)
+        .into_iter()
+        .map(|(start, len)| (true, start, len))
+        .chain(
+            shard_spans(corpus.non_idn_len(), shard_size)
+                .into_iter()
+                .map(|(start, len)| (false, start, len)),
+        )
+        .collect();
+    let artifact_shards = idnre_par::par_map(&shards, threads, |&(is_idn, start, len)| {
+        let mut out = ShardArtifacts {
+            whois: Vec::new(),
+            aggregates: Vec::new(),
+            certificates: Vec::new(),
+            zone_records: vec![Vec::new(); origin_tlds.len()],
+            zone_matched: 0,
+            zone_parse_skipped: 0,
+        };
+        let mut emit = |records: &[DomainRegistration]| {
+            for (offset, reg) in records.iter().enumerate() {
+                let index = start + offset as u64;
+                // The pDNS/certificate streams are keyed by the chained
+                // idn-then-non-idn enumeration, like the batch stages 7–8.
+                let chained = if is_idn { index } else { idn_len + index };
+                if is_idn {
+                    if let Some(record) = whois_record_for(whois_key, index, reg) {
+                        out.whois.push(record);
+                    }
+                }
+                let class = if is_idn {
+                    match reg.malicious {
+                        Some(MaliciousKind::Homograph) => PopulationClass::Homographic,
+                        Some(MaliciousKind::SemanticType1 | MaliciousKind::SemanticType2) => {
+                            PopulationClass::SemanticType1
+                        }
+                        Some(_) => PopulationClass::MaliciousIdn,
+                        None => PopulationClass::BenignIdn,
+                    }
+                } else {
+                    PopulationClass::NonIdn
+                };
+                let mut rng = pdns_key.record(chained).rng();
+                if let Some(aggregate) = sample_traffic(&mut rng, reg, class, snapshot_day) {
+                    out.aggregates.push(aggregate);
+                }
+                if reg.https {
+                    if let Some(hosting) = reg.hosting.as_ref() {
+                        let mut rng = cert_key.record(chained).rng();
+                        out.certificates.push((
+                            reg.domain.clone(),
+                            hosting.issue_certificate(&mut rng, &reg.domain, snapshot_day),
+                        ));
+                    }
+                }
+                if let Some(origin) = origin_tlds.iter().position(|tld| *tld == reg.tld) {
+                    out.zone_matched += 1;
+                    match ns_record_for(reg) {
+                        Some(record) => out.zone_records[origin].push(record),
+                        None => out.zone_parse_skipped += 1,
+                    }
+                }
+            }
+        };
+        if is_idn {
+            corpus.with_idn_shard(start, len, &mut emit);
+        } else {
+            corpus.with_non_idn_shard(start, len, &mut emit);
+        }
+        out
+    });
+
+    let mut whois = Vec::new();
+    let mut pdns = PdnsStore::new();
+    let mut certificates = Vec::new();
+    let mut zones: Vec<Zone> = origins.into_iter().map(Zone::new).collect();
+    let mut zone_matched = 0u64;
+    let mut zone_parse_skipped = 0u64;
+    for shard in artifact_shards {
+        whois.extend(shard.whois);
+        for aggregate in shard.aggregates {
+            pdns.insert_aggregate(aggregate);
+        }
+        certificates.extend(shard.certificates);
+        for (zone, records) in zones.iter_mut().zip(shard.zone_records) {
+            zone.records.extend(records);
+        }
+        zone_matched += shard.zone_matched;
+        zone_parse_skipped += shard.zone_parse_skipped;
+    }
+    let total = idn_len + corpus.non_idn_len();
+    let zones_skipped = zone_parse_skipped + (total - zone_matched);
+    span.add_records(
+        whois.len() as u64
+            + pdns.len() as u64
+            + certificates.len() as u64
+            + zones.iter().map(|z| z.records.len() as u64).sum::<u64>(),
+    );
+    drop(span);
+    recorder.add("datagen.zones.skipped", zones_skipped);
+
+    let eco = Ecosystem {
+        config: config.clone(),
+        brands,
+        idn_registrations: Vec::new(),
+        non_idn_registrations: Vec::new(),
+        homograph_attacks,
+        semantic_attacks,
+        semantic2_attacks,
+        whois,
+        pdns,
+        certificates,
+        blacklist,
+        zones,
+    };
+    (eco, corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idnre_telemetry::NoopRecorder;
+
+    fn config() -> EcosystemConfig {
+        EcosystemConfig {
+            scale: 500,
+            attack_scale: 10,
+            ..EcosystemConfig::default()
+        }
+    }
+
+    fn collect_idn(corpus: &KeyedCorpus, shard_size: usize) -> Vec<DomainRegistration> {
+        let mut out = Vec::new();
+        for (start, len) in shard_spans(corpus.idn_len(), shard_size) {
+            corpus.with_idn_shard(start, len, &mut |records| out.extend_from_slice(records));
+        }
+        out
+    }
+
+    fn collect_non_idn(corpus: &KeyedCorpus, shard_size: usize) -> Vec<DomainRegistration> {
+        let mut out = Vec::new();
+        for (start, len) in shard_spans(corpus.non_idn_len(), shard_size) {
+            corpus.with_non_idn_shard(start, len, &mut |records| out.extend_from_slice(records));
+        }
+        out
+    }
+
+    #[test]
+    fn streamed_shards_reproduce_batch_records() {
+        let config = config();
+        let batch = Ecosystem::generate(&config);
+        let (_, corpus) = generate_streamed(&config, 64, &NoopRecorder);
+        assert_eq!(corpus.idn_len(), batch.idn_registrations.len() as u64);
+        assert_eq!(
+            corpus.non_idn_len(),
+            batch.non_idn_registrations.len() as u64
+        );
+        assert_eq!(collect_idn(&corpus, 64), batch.idn_registrations);
+        assert_eq!(collect_non_idn(&corpus, 64), batch.non_idn_registrations);
+        // Shard size must not matter.
+        assert_eq!(collect_idn(&corpus, 7), batch.idn_registrations);
+    }
+
+    #[test]
+    fn streamed_artifacts_match_batch_artifacts() {
+        let config = config();
+        let batch = Ecosystem::generate(&config);
+        let (eco, _) = generate_streamed(&config, 128, &NoopRecorder);
+        assert_eq!(eco.whois, batch.whois);
+        assert_eq!(eco.blacklist, batch.blacklist);
+        assert_eq!(eco.certificates, batch.certificates);
+        assert_eq!(eco.zones, batch.zones);
+        assert_eq!(eco.pdns.len(), batch.pdns.len());
+        for aggregate in eco.pdns.iter() {
+            assert_eq!(
+                Some(aggregate),
+                batch.pdns.lookup(&aggregate.domain),
+                "{}",
+                aggregate.domain
+            );
+        }
+        assert_eq!(eco.homograph_attacks, batch.homograph_attacks);
+        assert_eq!(eco.semantic_attacks, batch.semantic_attacks);
+        assert_eq!(eco.semantic2_attacks, batch.semantic2_attacks);
+        assert!(eco.idn_registrations.is_empty());
+    }
+
+    #[test]
+    fn residency_stays_bounded_by_shards_not_corpus() {
+        let config = config();
+        let (_, corpus) = generate_streamed(&config, 32, &NoopRecorder);
+        // The artifact pass already ran with shard size 32.
+        let corpus_size = corpus.idn_len() + corpus.non_idn_len();
+        let bound = 32 * idnre_par::MAX_THREADS as u64;
+        assert!(corpus_size > bound / 4, "corpus too small for the probe");
+        assert!(
+            corpus.gauge().peak() <= bound,
+            "peak {} exceeds shard_size × workers {}",
+            corpus.gauge().peak(),
+            bound
+        );
+        assert!(corpus.gauge().peak() > 0);
+    }
+
+    #[test]
+    fn single_record_shards_work() {
+        let config = config();
+        let (_, corpus) = generate_streamed(&config, 1024, &NoopRecorder);
+        let full = collect_idn(&corpus, 1024);
+        corpus.with_idn_shard(3, 1, &mut |records| {
+            assert_eq!(records, &full[3..4]);
+        });
+    }
+}

@@ -7,7 +7,7 @@ use idnre_telemetry::Recorder;
 use std::collections::HashMap;
 
 /// ECDF-producing view over a set of domain aggregates.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ActivityAnalytics {
     active_days: Vec<f64>,
     query_counts: Vec<f64>,
@@ -64,6 +64,20 @@ impl ActivityAnalytics {
     /// Total distinct IPs observed.
     pub fn total_ips(&self) -> u64 {
         self.total_ips
+    }
+
+    /// Absorbs `later`, as if its aggregates had been [`ActivityAnalytics::add`]ed
+    /// after this accumulator's own. Associative, so sharded scans can fold
+    /// per-shard partials in shard order and land on the same state as one
+    /// sequential pass (sample order only affects the ECDFs' internal sort
+    /// input, which [`Ecdf::from_samples`] normalizes).
+    pub fn merge(&mut self, later: ActivityAnalytics) {
+        self.active_days.extend(later.active_days);
+        self.query_counts.extend(later.query_counts);
+        self.total_ips += later.total_ips;
+        for (segment, count) in later.segment_idns {
+            *self.segment_idns.entry(segment).or_insert(0) += count;
+        }
     }
 
     /// Figure 4's segment concentration: /24 segments sorted by hosted-IDN
@@ -194,6 +208,28 @@ mod tests {
         for window in series.windows(2) {
             assert!(window[0].1 <= window[1].1 + 1e-12);
         }
+    }
+
+    #[test]
+    fn merge_equals_sequential_fold() {
+        let aggregates = [
+            aggregate("a.com", 10, 5, [10, 0, 0, 1]),
+            aggregate("b.com", 100, 50, [10, 0, 0, 2]),
+            aggregate("c.com", 1000, 500, [10, 0, 1, 1]),
+            aggregate("d.com", 50, 5000, [10, 0, 0, 3]),
+        ];
+        let mut whole = ActivityAnalytics::new();
+        whole.extend(aggregates.iter());
+        let mut left = ActivityAnalytics::new();
+        left.extend(aggregates[..2].iter());
+        let mut right = ActivityAnalytics::new();
+        right.extend(aggregates[2..].iter());
+        left.merge(right);
+        assert_eq!(left, whole);
+        let mut padded = ActivityAnalytics::new();
+        padded.merge(whole.clone());
+        padded.merge(ActivityAnalytics::new());
+        assert_eq!(padded, whole);
     }
 
     #[test]

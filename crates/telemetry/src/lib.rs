@@ -89,6 +89,25 @@ pub trait Recorder: Send + Sync {
             self.add(name, 0);
         }
     }
+
+    /// [`Recorder::preregister`] over several counter groups at once, in
+    /// group order — one call covers a survey that touches e.g. outcome,
+    /// retry and fault counter families from its workers.
+    fn preregister_groups(&self, groups: &[&[&str]]) {
+        for group in groups {
+            self.preregister(group);
+        }
+    }
+
+    /// Pins `names` into the *stage* snapshot, in order, with zero calls
+    /// and zero records. Same first-use-order rationale as
+    /// [`Recorder::preregister`], for stages whose first span may open on
+    /// a racing worker thread.
+    fn preregister_stages(&self, names: &[&str]) {
+        for name in names {
+            self.add_records(name, 0);
+        }
+    }
 }
 
 /// The do-nothing recorder: telemetry off.

@@ -134,6 +134,18 @@ impl Registry {
         }
     }
 
+    /// Creates a registry with `counters` already pinned (at zero) in the
+    /// given order — the constructor form of [`Recorder::preregister`],
+    /// for callers that know their counter families up front and want
+    /// snapshot order fixed before any instrumented code runs.
+    pub fn with_preregistered(counters: &[&str]) -> Self {
+        let registry = Self::new();
+        for name in counters {
+            registry.counter(name);
+        }
+        registry
+    }
+
     /// The stats cell for `name`, creating it on first use.
     pub fn stage(&self, name: &str) -> Arc<StageStats> {
         if let Some(stats) = self.stages.read().get(name) {
