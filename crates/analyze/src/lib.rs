@@ -16,9 +16,10 @@
 //! regardless of corpus scale (see `datagen.peak_resident_records`).
 
 use idnre_datagen::{DomainRegistration, KeyedCorpus};
-use idnre_telemetry::Recorder;
+use idnre_telemetry::{Recorder, SpanCtx};
 use std::any::Any;
 use std::marker::PhantomData;
+use std::time::Instant;
 
 pub mod aggregate;
 
@@ -395,21 +396,61 @@ impl<'p> ShardedScan<'p> {
         threads: usize,
         recorder: &dyn Recorder,
     ) -> ScanResult {
-        let mut scan_span = recorder.span(SCAN_SPAN);
-        // First-use order determinism: pin every pass's span and counters
-        // in registration order before the nondeterministic fan-out.
-        for pass in &self.passes {
-            recorder.add_records(pass.name(), 0);
-            recorder.preregister(pass.counters());
-        }
-        let shards = shards_of(source, shard_size);
+        self.run_at(source, shard_size, threads, recorder, SpanCtx::NONE)
+    }
+
+    /// [`ShardedScan::run`], parented at `parent` in the span tree.
+    ///
+    /// Each registered pass is attributed its full cost in its own
+    /// `analyze.pass.<name>` stage: one timed span per shard (amortized
+    /// over the whole shard, so the per-record overhead is one batched
+    /// clock pair instead of a read per record), plus one pre-timed call
+    /// each for the sequential merge and the finish step. The per-pass
+    /// calls therefore total `shards + 2` regardless of thread count,
+    /// and their summed wall accounts for what `analyze.scan` spends.
+    ///
+    /// Under a tracing recorder the spans assemble into
+    /// `analyze.scan → analyze.pass.<name> (group) → shard spans`; the
+    /// groups are created in registration order before fan-out, so both
+    /// snapshot order and trace structure are deterministic across
+    /// thread counts.
+    pub fn run_at(
+        self,
+        source: &dyn RecordSource,
+        shard_size: usize,
+        threads: usize,
+        recorder: &dyn Recorder,
+        parent: SpanCtx,
+    ) -> ScanResult {
+        let mut scan_span = recorder.span_at(SCAN_SPAN, parent, 0);
+        let scan_ctx = scan_span.ctx();
+        // First-use order determinism: pin every pass's span, counters
+        // and trace group in registration order before the
+        // nondeterministic fan-out.
+        let groups: Vec<SpanCtx> = self
+            .passes
+            .iter()
+            .enumerate()
+            .map(|(pass_index, pass)| {
+                recorder.add_records(pass.name(), 0);
+                recorder.preregister(pass.counters());
+                recorder.trace_group(pass.name(), scan_ctx, pass_index as u64)
+            })
+            .collect();
+        let timing = recorder.enabled();
+        let shards: Vec<(u64, Shard)> = shards_of(source, shard_size)
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| (i as u64, shard))
+            .collect();
         let shard_partials: Vec<Vec<Box<dyn Any + Send>>> =
-            idnre_par::par_map(&shards, threads, |shard| {
+            idnre_par::par_map(&shards, threads, |(shard_index, shard)| {
                 let mut result = None;
                 source.with_shard(shard.population, shard.start, shard.len, &mut |records| {
                     let mut partials: Vec<Box<dyn Any + Send>> = Vec::new();
-                    for pass in &self.passes {
-                        let mut span = recorder.span(pass.name());
+                    for (pass_index, pass) in self.passes.iter().enumerate() {
+                        let mut span =
+                            recorder.span_at(pass.name(), groups[pass_index], *shard_index);
                         let mut partial = pass.empty_box();
                         for (offset, reg) in records.iter().enumerate() {
                             let rec = Observed {
@@ -428,10 +469,29 @@ impl<'p> ShardedScan<'p> {
             });
         let mut merged: Vec<Box<dyn Any + Send>> =
             self.passes.iter().map(|p| p.empty_box()).collect();
+        // Merge cost is attributed per pass, but batched: one clock pair
+        // per (shard, pass) merge accumulated locally, folded into the
+        // stage as a single pre-timed call below.
+        let mut merge_nanos = vec![0u64; self.passes.len()];
         for partials in shard_partials {
-            for ((pass, slot), partial) in self.passes.iter().zip(merged.iter_mut()).zip(partials) {
+            for (pass_index, ((pass, slot), partial)) in self
+                .passes
+                .iter()
+                .zip(merged.iter_mut())
+                .zip(partials)
+                .enumerate()
+            {
+                let started = timing.then(Instant::now);
                 let earlier = std::mem::replace(slot, pass.empty_box());
                 *slot = pass.merge_box(earlier, partial);
+                if let Some(started) = started {
+                    merge_nanos[pass_index] += started.elapsed().as_nanos() as u64;
+                }
+            }
+        }
+        if timing {
+            for (pass, nanos) in self.passes.iter().zip(&merge_nanos) {
+                recorder.record_nanos(pass.name(), *nanos);
             }
         }
         let idn_len = source.population_len(Population::Idn);
@@ -442,7 +502,14 @@ impl<'p> ShardedScan<'p> {
             .passes
             .iter()
             .zip(merged)
-            .map(|(pass, partial)| Some(pass.finish_box(partial)))
+            .map(|(pass, partial)| {
+                let started = timing.then(Instant::now);
+                let output = Some(pass.finish_box(partial));
+                if let Some(started) = started {
+                    recorder.record_nanos(pass.name(), started.elapsed().as_nanos() as u64);
+                }
+                output
+            })
             .collect();
         ScanResult {
             outputs,

@@ -15,6 +15,8 @@
 //! repro --bench all              # timed run, writes BENCH_pipeline.json
 //! repro --bench --thread-sweep 1,2,8 all   # one timed run per count
 //! repro --bench --dump-dataset D.txt all   # write the idnre-dataset/2 bytes
+//! repro --trace trace.json all   # hierarchical span tree, Chrome trace JSON
+//! repro --slo smoke all          # evaluate an SLO profile, gate the exit code
 //! ```
 //!
 //! With `--metrics`, every pipeline stage (generation, detector scans, the
@@ -42,13 +44,29 @@
 //! `--dump-dataset`.
 //!
 //! `--bench` runs the whole pipeline once under timing, prints the stage
-//! table to stderr, and writes `BENCH_pipeline.json`
-//! (`idnre-bench-pipeline/2`) next to the report. It cannot be combined
-//! with `--faults` or `--metrics`. `--thread-sweep 1,2,8` repeats the
-//! timed run at each worker count, asserts the report and the
-//! `idnre-dataset/2` bytes are identical across counts, and concatenates
-//! the entries. `--dump-dataset PATH` writes the canonical dataset bytes
-//! so CI can `cmp` runs at different thread counts.
+//! table and the per-pass cost ledger to stderr, and writes
+//! `BENCH_pipeline.json` (`idnre-bench-pipeline/3`) next to the report.
+//! It cannot be combined with `--faults` or `--metrics`.
+//! `--thread-sweep 1,2,8` repeats the timed run at each worker count,
+//! asserts the report and the `idnre-dataset/2` bytes are identical
+//! across counts, and concatenates the entries. `--dump-dataset PATH`
+//! writes the canonical dataset bytes so CI can `cmp` runs at different
+//! thread counts.
+//!
+//! `--trace PATH` runs the pipeline under a tracing registry and writes
+//! the assembled span tree (run → build/scan → pass → shard) as Chrome
+//! trace-event JSON (`idnre-trace/1`) to `PATH` — load it in
+//! `chrome://tracing` or Perfetto. The tree *structure* (span names,
+//! nesting, event counts) is identical across thread counts; only the
+//! timings differ. Not combinable with `--bench`, which runs under its
+//! own registries.
+//!
+//! `--slo PROFILE` evaluates a named SLO profile (`smoke` or `tight`)
+//! against the run's latency histograms after the report is produced,
+//! prints the verdict to stderr, and exits with the run-health contract's
+//! code: 0 clean, 3 degraded (a quantile bound or expected stage
+//! missing), 4 exceeded (a hard max bound). Not combinable with
+//! `--faults`, which owns the same exit codes.
 
 use idnre_bench::{reports, FaultSetup, ReproContext};
 use idnre_datagen::EcosystemConfig;
@@ -75,6 +93,8 @@ fn main() {
     let mut shard_size = idnre_bench::DEFAULT_SHARD_SIZE;
     let mut thread_sweep: Option<Vec<usize>> = None;
     let mut dump_dataset: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut slo: Option<idnre_telemetry::SloSpec> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     while let Some(arg) = args.next() {
@@ -149,6 +169,20 @@ fn main() {
                     _ => usage("--metrics needs `text` or `json`"),
                 });
             }
+            "--trace" => {
+                trace_path = Some(args.next().unwrap_or_else(|| usage("--trace needs a path")));
+            }
+            "--slo" => {
+                let name = args
+                    .next()
+                    .unwrap_or_else(|| usage("--slo needs a profile name"));
+                slo = Some(idnre_bench::slo_profile(&name).unwrap_or_else(|| {
+                    usage(&format!(
+                        "unknown SLO profile {name:?} (known: {})",
+                        idnre_bench::SLO_PROFILES.join(" ")
+                    ))
+                }));
+            }
             "--faults" => {
                 let spec = args
                     .next()
@@ -176,9 +210,15 @@ fn main() {
     if stream && (faults.is_some() || bench || dump_dataset.is_some()) {
         usage("--stream cannot be combined with --faults, --bench or --dump-dataset");
     }
+    if slo.is_some() && faults.is_some() {
+        usage("--slo cannot be combined with --faults (both own the exit code)");
+    }
     if bench {
         if faults.is_some() || metrics.is_some() {
             usage("--bench cannot be combined with --faults or --metrics");
+        }
+        if trace_path.is_some() || slo.is_some() {
+            usage("--bench cannot be combined with --trace or --slo");
         }
         run_bench(
             &config,
@@ -189,10 +229,17 @@ fn main() {
         return;
     }
 
-    let registry = metrics.map(|_| {
-        Arc::new(Registry::with_preregistered(
-            &idnre_crawler::OUTCOME_COUNTERS,
-        ))
+    let need_registry = metrics.is_some() || trace_path.is_some() || slo.is_some();
+    let registry = need_registry.then(|| {
+        let registry = if trace_path.is_some() {
+            Registry::with_trace()
+        } else {
+            Registry::new()
+        };
+        for name in idnre_crawler::OUTCOME_COUNTERS {
+            registry.counter(name);
+        }
+        Arc::new(registry)
     });
 
     eprintln!(
@@ -272,6 +319,28 @@ fn main() {
             });
             eprintln!("wrote {metrics_path}");
         }
+    }
+
+    if let (Some(path), Some(registry)) = (&trace_path, &registry) {
+        let snapshot = registry
+            .trace_snapshot()
+            .expect("--trace runs under a tracing registry");
+        let mut json = snapshot.render_chrome_json();
+        json.push('\n');
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "wrote {path} ({} trace events)",
+            snapshot.root.event_count()
+        );
+    }
+
+    if let (Some(spec), Some(registry)) = (&slo, &registry) {
+        let report = spec.evaluate(&registry.snapshot());
+        eprint!("{}", report.render_text());
+        std::process::exit(report.status.exit_code());
     }
 
     if let Some(health) = &ctx.health {
@@ -364,8 +433,9 @@ fn usage(error: &str) -> ! {
         "usage: repro [--scale N] [--attack-scale N] [--seed N] [--threads N] [--write PATH] \
          [--metrics text|json] [--stream] [--shard-size N] \
          [--faults none|smoke|flaky|storm|SEED|PROFILE:SEED] [--bench] \
-         [--thread-sweep N,N,...] [--dump-dataset PATH] <experiment...>\n\
-         exit codes with --faults: 0 clean, 3 degraded, 4 error budget exceeded\n\
+         [--thread-sweep N,N,...] [--dump-dataset PATH] [--trace PATH] \
+         [--slo smoke|tight] <experiment...>\n\
+         exit codes with --faults or --slo: 0 clean, 3 degraded, 4 budget/bound exceeded\n\
          experiments: all {}",
         reports::ALL
             .iter()

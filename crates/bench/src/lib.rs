@@ -27,18 +27,21 @@ pub mod passes;
 pub mod pipeline_bench;
 pub mod reports;
 pub mod robust;
+pub mod slo;
 
 pub use pipeline_bench::{
-    render_bench_json, render_bench_text, run_pipeline_bench, run_pipeline_sweep, PipelineBench,
+    render_bench_json, render_bench_text, run_pipeline_bench, run_pipeline_sweep, LedgerRow,
+    PipelineBench, RunLedger,
 };
 pub use robust::{FaultSetup, IngestStats, RunHealth, SurveyStats};
+pub use slo::{slo_profile, SLO_PROFILES};
 
 use idnre_analyze::{RecordSource, SliceSource, StreamSource};
 use idnre_core::{HomographDetector, HomographFinding, SemanticDetector, SemanticFinding};
 use idnre_crawler::{AuthBehavior, Crawler, Page, PageKind, OUTCOME_COUNTERS};
 use idnre_datagen::{ContentCategory, DomainRegistration, Ecosystem, EcosystemConfig, KeyedCorpus};
 use idnre_fault::ErrorBudget;
-use idnre_telemetry::{NoopRecorder, Recorder};
+use idnre_telemetry::{NoopRecorder, Recorder, SpanCtx};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -91,8 +94,8 @@ impl ReproContext {
     /// context — and therefore every report — is byte-identical regardless
     /// of the recorder.
     pub fn build_recorded(config: &EcosystemConfig, recorder: Arc<dyn Recorder>) -> Self {
-        let mut span = recorder.span("build.ecosystem");
-        let eco = Ecosystem::generate_recorded(config, &*recorder);
+        let mut span = recorder.span_at("build.ecosystem", SpanCtx::ROOT, 0);
+        let eco = Ecosystem::generate_traced(config, &*recorder, span.ctx());
         span.add_records((eco.idn_registrations.len() + eco.non_idn_registrations.len()) as u64);
         drop(span);
 
@@ -103,10 +106,11 @@ impl ReproContext {
             DEFAULT_SHARD_SIZE,
             config.threads,
             &*recorder,
+            SpanCtx::ROOT,
         );
         let view = CorpusView::Batch(&eco);
-        crawl_survey(&view, &eco, &*recorder);
-        robust::whois_survey_view(&view, &eco, None, None, &*recorder);
+        crawl_survey(&view, &eco, &*recorder, SpanCtx::ROOT);
+        robust::whois_survey_view(&view, &eco, None, None, &*recorder, SpanCtx::ROOT);
         ReproContext {
             eco,
             homographs,
@@ -129,22 +133,29 @@ impl ReproContext {
         shard_size: usize,
         recorder: Arc<dyn Recorder>,
     ) -> Self {
-        let mut span = recorder.span("build.ecosystem");
-        let (eco, corpus) = idnre_datagen::generate_streamed(config, shard_size, &*recorder);
+        let mut span = recorder.span_at("build.ecosystem", SpanCtx::ROOT, 0);
+        let (eco, corpus) =
+            idnre_datagen::generate_streamed_traced(config, shard_size, &*recorder, span.ctx());
         span.add_records(corpus.idn_len() + corpus.non_idn_len());
         drop(span);
 
         let source = StreamSource::new(&corpus);
-        let (homographs, semantic, outputs) =
-            run_scan(&eco, &source, shard_size, config.threads, &*recorder);
+        let (homographs, semantic, outputs) = run_scan(
+            &eco,
+            &source,
+            shard_size,
+            config.threads,
+            &*recorder,
+            SpanCtx::ROOT,
+        );
         let view = CorpusView::Streamed {
             corpus: &corpus,
             shard_size,
         };
-        crawl_survey(&view, &eco, &*recorder);
-        robust::whois_survey_view(&view, &eco, None, None, &*recorder);
+        crawl_survey(&view, &eco, &*recorder, SpanCtx::ROOT);
+        robust::whois_survey_view(&view, &eco, None, None, &*recorder, SpanCtx::ROOT);
         // Recorded last so the gauge covers the surveys' shard walks too.
-        recorder.add(idnre_datagen::PEAK_RESIDENT_RECORDS, corpus.gauge().peak());
+        recorder.gauge_max(idnre_datagen::PEAK_RESIDENT_RECORDS, corpus.gauge().peak());
         ReproContext {
             eco,
             homographs,
@@ -167,32 +178,52 @@ impl ReproContext {
         setup: &FaultSetup,
         recorder: Arc<dyn Recorder>,
     ) -> Self {
-        let mut span = recorder.span("build.ecosystem");
-        let eco = Ecosystem::generate_recorded(config, &*recorder);
+        let mut span = recorder.span_at("build.ecosystem", SpanCtx::ROOT, 0);
+        let eco = Ecosystem::generate_traced(config, &*recorder, span.ctx());
         span.add_records((eco.idn_registrations.len() + eco.non_idn_registrations.len()) as u64);
         drop(span);
 
         let threads = config.threads;
         let source = SliceSource::new(&eco.idn_registrations, &eco.non_idn_registrations);
-        let (homographs, semantic, outputs) =
-            run_scan(&eco, &source, DEFAULT_SHARD_SIZE, threads, &*recorder);
+        let (homographs, semantic, outputs) = run_scan(
+            &eco,
+            &source,
+            DEFAULT_SHARD_SIZE,
+            threads,
+            &*recorder,
+            SpanCtx::ROOT,
+        );
 
         let budget = ErrorBudget::new(setup.plan.profile().budget_per_mille);
-        let (zones, zone_stats) =
-            robust::ingest_zones_faulted(&eco.zones, &setup.plan, &budget, threads, &*recorder);
+        let (zones, zone_stats) = robust::ingest_zones_faulted_at(
+            &eco.zones,
+            &setup.plan,
+            &budget,
+            threads,
+            &*recorder,
+            SpanCtx::ROOT,
+        );
         let whois_stats = robust::whois_survey_view(
             &CorpusView::Batch(&eco),
             &eco,
             Some(&setup.plan),
             Some(&budget),
             &*recorder,
+            SpanCtx::ROOT,
         );
         let ctx = idnre_crawler::FaultContext {
             plan: setup.plan,
             policy: setup.policy,
         };
-        let survey =
-            robust::crawl_survey_faulted(&eco, &zones, &ctx, setup.threads, &budget, &*recorder);
+        let survey = robust::crawl_survey_faulted_at(
+            &eco,
+            &zones,
+            &ctx,
+            setup.threads,
+            &budget,
+            &*recorder,
+            SpanCtx::ROOT,
+        );
         let health = RunHealth::new(setup, zone_stats, whois_stats, survey, &budget);
         ReproContext {
             eco,
@@ -237,7 +268,8 @@ impl ReproContext {
             self.eco.config.threads,
             |(name, generator)| {
                 let mut span = if enabled {
-                    self.recorder.span(&format!("report.{name}"))
+                    self.recorder
+                        .span_at(&format!("report.{name}"), SpanCtx::ROOT, 0)
                 } else {
                     idnre_telemetry::Span::disabled()
                 };
@@ -334,6 +366,7 @@ fn run_scan(
     shard_size: usize,
     threads: usize,
     recorder: &dyn Recorder,
+    parent: SpanCtx,
 ) -> (
     Vec<HomographFinding>,
     Vec<SemanticFinding>,
@@ -350,7 +383,7 @@ fn run_scan(
         passes::table3_wanted(&eco.whois),
         passes::fig6_candidates(eco.brands.top(30)),
     );
-    plan.run(source, shard_size, threads, recorder)
+    plan.run_at(source, shard_size, threads, recorder, parent)
 }
 
 /// Replays the paper's Section IV-D measurement front-end over the whole
@@ -359,8 +392,8 @@ fn run_scan(
 /// domain, reporting per-outcome DNS counters, usage-category counters and
 /// resolve/crawl latency histograms to `recorder`. Purely observational —
 /// nothing feeds back into report data.
-fn crawl_survey(view: &CorpusView<'_>, eco: &Ecosystem, recorder: &dyn Recorder) {
-    let mut span = recorder.span("crawl.survey");
+fn crawl_survey(view: &CorpusView<'_>, eco: &Ecosystem, recorder: &dyn Recorder, parent: SpanCtx) {
+    let mut span = recorder.span_at("crawl.survey", parent, 0);
     let mut crawler = Crawler::new();
     for zone in &eco.zones {
         crawler.add_zone(zone);

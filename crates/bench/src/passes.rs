@@ -23,7 +23,7 @@ use idnre_core::{
 use idnre_datagen::{Brand, ContentCategory};
 use idnre_langid::{Classifier, Language};
 use idnre_pdns::{ActivityAnalytics, PdnsStore};
-use idnre_telemetry::Recorder;
+use idnre_telemetry::{Recorder, SpanCtx};
 use idnre_whois::analytics::RegistrationAnalytics;
 use idnre_whois::WhoisRecord;
 use std::collections::{HashMap, HashSet};
@@ -119,7 +119,7 @@ impl AnalysisPass for TldPass<'_> {
     type Output = TldBreakdown;
 
     fn name(&self) -> &'static str {
-        "analyze.tld"
+        "analyze.pass.tld"
     }
 
     fn empty(&self) -> Self::Partial {
@@ -218,7 +218,7 @@ impl AnalysisPass for LanguagePass {
     type Output = LanguageMix;
 
     fn name(&self) -> &'static str {
-        "analyze.language"
+        "analyze.pass.language"
     }
 
     fn empty(&self) -> Self::Partial {
@@ -285,7 +285,7 @@ impl AnalysisPass for ContentPass {
     type Output = ContentCounts;
 
     fn name(&self) -> &'static str {
-        "analyze.content"
+        "analyze.pass.content"
     }
 
     fn empty(&self) -> Self::Partial {
@@ -356,7 +356,7 @@ impl AnalysisPass for ActivityPass<'_> {
     type Output = PopulationActivity;
 
     fn name(&self) -> &'static str {
-        "pdns.aggregate"
+        "analyze.pass.activity"
     }
 
     fn counters(&self) -> &'static [&'static str] {
@@ -404,7 +404,7 @@ impl AnalysisPass for Table3UnicodePass {
     type Output = HashMap<String, String>;
 
     fn name(&self) -> &'static str {
-        "analyze.table3.portfolio"
+        "analyze.pass.table3"
     }
 
     fn empty(&self) -> Self::Partial {
@@ -441,7 +441,7 @@ impl AnalysisPass for Fig6Pass {
     type Output = HashSet<String>;
 
     fn name(&self) -> &'static str {
-        "analyze.fig6.registered"
+        "analyze.pass.fig6"
     }
 
     fn empty(&self) -> Self::Partial {
@@ -561,7 +561,22 @@ impl<'p> ScanPlan<'p> {
         threads: usize,
         recorder: &dyn Recorder,
     ) -> (Vec<HomographFinding>, Vec<SemanticFinding>, ScanOutputs) {
-        let mut result: ScanResult = self.scan.run(source, shard_size, threads, recorder);
+        self.run_at(source, shard_size, threads, recorder, SpanCtx::NONE)
+    }
+
+    /// [`ScanPlan::run`], parenting `analyze.scan` (and the per-pass
+    /// groups beneath it) at `parent` in the span tree.
+    pub fn run_at(
+        self,
+        source: &dyn RecordSource,
+        shard_size: usize,
+        threads: usize,
+        recorder: &dyn Recorder,
+        parent: SpanCtx,
+    ) -> (Vec<HomographFinding>, Vec<SemanticFinding>, ScanOutputs) {
+        let mut result: ScanResult = self
+            .scan
+            .run_at(source, shard_size, threads, recorder, parent);
         let outputs = ScanOutputs {
             tld: result.take(&self.tld),
             language: result.take(&self.language),

@@ -15,19 +15,27 @@
 //!    indexed-vs-exhaustive pair is the regression gate CI holds every
 //!    future change to.
 //!
-//! # Schema (`idnre-bench-pipeline/2`)
+//! # Schema (`idnre-bench-pipeline/3`)
 //!
 //! ```json
 //! {
-//!   "schema": "idnre-bench-pipeline/2",
+//!   "schema": "idnre-bench-pipeline/3",
 //!   "scale": 50, "attack_scale": 1, "threads": 8, "seed": 497885208,
 //!   "dataset_fingerprint": "0xffbab908278775d0",
 //!   "entries": [
-//!     {"stage": "build.ecosystem", "mode": "batch", "scale": 50,
+//!     {"stage": "build.ecosystem", "pass": "", "mode": "batch", "scale": 50,
 //!      "threads": 8, "wall_ns": 1234, "records": 29000, "ns_per_record": 42}
 //!   ]
 //! }
 //! ```
+//!
+//! Schema 3 adds a per-entry `pass` key: the short pass name for
+//! `analyze.pass.<name>` attribution stages (`"homograph"`, `"tld"`, …)
+//! and the empty string for every other stage. It also adds two
+//! externally timed probes, `analyze.scan.instrumented` and
+//! `analyze.scan.uninstrumented` — the same fused scan re-run under a
+//! live [`Registry`] and under the no-op recorder — so the attribution
+//! overhead is measurable straight from `BENCH_pipeline.json`.
 //!
 //! `mode` says which build produced the entry: `batch` (fully materialized
 //! corpus) or `streamed` (the bounded-memory shard-regenerating build; its
@@ -44,13 +52,22 @@
 //! identical across every count.
 
 use crate::ReproContext;
+use idnre_analyze::SliceSource;
 use idnre_datagen::EcosystemConfig;
-use idnre_telemetry::Registry;
+use idnre_telemetry::{NoopRecorder, Registry, SpanCtx};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema tag of the JSON this module writes.
-pub const BENCH_SCHEMA: &str = "idnre-bench-pipeline/2";
+pub const BENCH_SCHEMA: &str = "idnre-bench-pipeline/3";
+
+/// Prefix of the per-pass attribution stages the fused scan records.
+pub const PASS_STAGE_PREFIX: &str = "analyze.pass.";
+
+/// Rounds of the instrumented/uninstrumented probe pair; the entries keep
+/// the minimum wall of each, so transient scheduler noise on one round
+/// cannot masquerade as instrumentation overhead.
+pub const OVERHEAD_PROBE_ROUNDS: usize = 2;
 
 /// Corpus sizes the homograph indexed-vs-exhaustive comparison runs at
 /// (intersected with the generated corpus).
@@ -80,6 +97,12 @@ impl BenchEntry {
     /// Per-record wall time (0 when the stage processed nothing).
     pub fn ns_per_record(&self) -> u64 {
         self.wall_ns.checked_div(self.records).unwrap_or(0)
+    }
+
+    /// Short pass name for `analyze.pass.<name>` attribution stages, the
+    /// empty string for everything else — the schema-3 `pass` key.
+    pub fn pass(&self) -> &str {
+        self.stage.strip_prefix(PASS_STAGE_PREFIX).unwrap_or("")
     }
 }
 
@@ -133,6 +156,144 @@ impl PipelineBench {
             return None;
         }
         Some(exhaustive.wall_ns as f64 / indexed.wall_ns as f64)
+    }
+
+    /// Instrumented-over-uninstrumented wall ratio of the fused scan
+    /// (1.03 = 3% attribution overhead). `None` before both probes ran.
+    pub fn instrumentation_overhead(&self) -> Option<f64> {
+        let on = self.entry("analyze.scan.instrumented")?;
+        let off = self.entry("analyze.scan.uninstrumented")?;
+        if off.wall_ns == 0 {
+            return None;
+        }
+        Some(on.wall_ns as f64 / off.wall_ns as f64)
+    }
+}
+
+/// One `analyze.pass.<name>` row of a [`RunLedger`].
+#[derive(Debug, Clone)]
+pub struct LedgerRow {
+    /// Full stage name (`analyze.pass.homograph`).
+    pub stage: String,
+    /// Short pass name (`homograph`).
+    pub pass: String,
+    /// Summed wall across the pass's shard spans, merge and finish.
+    pub wall_ns: u64,
+    /// Records the pass observed.
+    pub records: u64,
+}
+
+impl LedgerRow {
+    /// Per-record attribution cost (0 when nothing was observed).
+    pub fn ns_per_record(&self) -> u64 {
+        self.wall_ns.checked_div(self.records).unwrap_or(0)
+    }
+}
+
+/// The per-pass cost ledger of one (mode, threads) pipeline run: every
+/// `analyze.pass.<name>` stage's wall and ns/record next to the
+/// `analyze.scan` wall they decompose. Rendered on stderr by
+/// `repro --bench` — never into the report, whose bytes stay identical
+/// with and without instrumentation.
+#[derive(Debug, Clone)]
+pub struct RunLedger {
+    /// Which build produced the rows: `batch` or `streamed`.
+    pub mode: &'static str,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Wall of the enclosing `analyze.scan` span.
+    pub scan_wall_ns: u64,
+    /// One row per registered pass, snapshot (registration) order.
+    pub rows: Vec<LedgerRow>,
+}
+
+impl RunLedger {
+    /// Builds one ledger per (mode, threads) group of `bench` that carries
+    /// an `analyze.scan` entry, in first-seen entry order.
+    pub fn collect(bench: &PipelineBench) -> Vec<RunLedger> {
+        let mut ledgers: Vec<RunLedger> = Vec::new();
+        for entry in &bench.entries {
+            if entry.stage != idnre_analyze::SCAN_SPAN {
+                continue;
+            }
+            if ledgers
+                .iter()
+                .any(|l| l.mode == entry.mode && l.threads == entry.threads)
+            {
+                continue;
+            }
+            let rows = bench
+                .entries
+                .iter()
+                .filter(|e| {
+                    e.mode == entry.mode
+                        && e.threads == entry.threads
+                        && e.stage.starts_with(PASS_STAGE_PREFIX)
+                })
+                .map(|e| LedgerRow {
+                    stage: e.stage.clone(),
+                    pass: e.pass().to_string(),
+                    wall_ns: e.wall_ns,
+                    records: e.records,
+                })
+                .collect();
+            ledgers.push(RunLedger {
+                mode: entry.mode,
+                threads: entry.threads,
+                scan_wall_ns: entry.wall_ns,
+                rows,
+            });
+        }
+        ledgers
+    }
+
+    /// Summed wall across every pass row.
+    pub fn pass_wall_ns(&self) -> u64 {
+        self.rows.iter().map(|r| r.wall_ns).sum()
+    }
+
+    /// Fraction of the `analyze.scan` wall the pass rows account for.
+    /// Can exceed 1.0: shard spans on different workers overlap in time.
+    pub fn coverage(&self) -> f64 {
+        if self.scan_wall_ns == 0 {
+            return 0.0;
+        }
+        self.pass_wall_ns() as f64 / self.scan_wall_ns as f64
+    }
+
+    /// Renders the ledger as the stderr table `repro --bench` prints.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "pass ledger — mode {}, {} threads, analyze.scan {:.3} ms\n",
+            self.mode,
+            self.threads,
+            self.scan_wall_ns as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "  {:<12} {:>12} {:>12} {:>10} {:>8}\n",
+            "pass", "wall_ms", "records", "ns/rec", "share"
+        ));
+        for row in &self.rows {
+            let share = if self.scan_wall_ns == 0 {
+                0.0
+            } else {
+                100.0 * row.wall_ns as f64 / self.scan_wall_ns as f64
+            };
+            out.push_str(&format!(
+                "  {:<12} {:>12.3} {:>12} {:>10} {:>7.1}%\n",
+                row.pass,
+                row.wall_ns as f64 / 1e6,
+                row.records,
+                row.ns_per_record(),
+                share,
+            ));
+        }
+        out.push_str(&format!(
+            "  attributed: {:.1}% of analyze.scan\n",
+            100.0 * self.coverage()
+        ));
+        out
     }
 }
 
@@ -252,6 +413,51 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
         records: dataset.len() as u64,
     });
 
+    // Attribution-overhead pair: the same fused scan re-run back to back
+    // under a live registry and under the no-op recorder, timed
+    // externally. Rounds alternate and each probe keeps its minimum wall,
+    // so `instrumented / uninstrumented` read from the JSON is the
+    // per-pass-attribution overhead the <5% budget gates.
+    let probe_source = SliceSource::new(&ctx.eco.idn_registrations, &ctx.eco.non_idn_registrations);
+    let corpus_len = (ctx.eco.idn_registrations.len() + ctx.eco.non_idn_registrations.len()) as u64;
+    let mut instrumented_ns = u64::MAX;
+    let mut uninstrumented_ns = u64::MAX;
+    for _ in 0..OVERHEAD_PROBE_ROUNDS {
+        let probe_registry = Registry::new();
+        let started = Instant::now();
+        let _ = crate::run_scan(
+            &ctx.eco,
+            &probe_source,
+            crate::DEFAULT_SHARD_SIZE,
+            threads,
+            &probe_registry,
+            SpanCtx::NONE,
+        );
+        instrumented_ns = instrumented_ns.min(elapsed_ns(started));
+        let started = Instant::now();
+        let _ = crate::run_scan(
+            &ctx.eco,
+            &probe_source,
+            crate::DEFAULT_SHARD_SIZE,
+            threads,
+            &NoopRecorder,
+            SpanCtx::NONE,
+        );
+        uninstrumented_ns = uninstrumented_ns.min(elapsed_ns(started));
+    }
+    for (stage, wall_ns) in [
+        ("analyze.scan.instrumented", instrumented_ns),
+        ("analyze.scan.uninstrumented", uninstrumented_ns),
+    ] {
+        entries.push(BenchEntry {
+            stage: stage.to_string(),
+            mode: "batch",
+            threads,
+            wall_ns,
+            records: corpus_len,
+        });
+    }
+
     // The streamed counterpart: the bounded-memory build timed under its
     // own registry. Its report is the cross-mode oracle — byte-identical
     // to the batch run or the bench aborts — and its stage spans land as
@@ -322,7 +528,7 @@ pub fn run_pipeline_sweep(config: &EcosystemConfig, thread_counts: &[usize]) -> 
     sweep.expect("at least one sweep run")
 }
 
-/// Renders a bench result as schema-stable JSON (`idnre-bench-pipeline/2`).
+/// Renders a bench result as schema-stable JSON (`idnre-bench-pipeline/3`).
 pub fn render_bench_json(bench: &PipelineBench) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -335,9 +541,10 @@ pub fn render_bench_json(bench: &PipelineBench) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"stage\":\"{}\",\"mode\":\"{}\",\"scale\":{},\"threads\":{},\"wall_ns\":{},\
-             \"records\":{},\"ns_per_record\":{}}}",
+            "{{\"stage\":\"{}\",\"pass\":\"{}\",\"mode\":\"{}\",\"scale\":{},\"threads\":{},\
+             \"wall_ns\":{},\"records\":{},\"ns_per_record\":{}}}",
             entry.stage,
+            entry.pass(),
             entry.mode,
             bench.scale,
             entry.threads,
@@ -376,6 +583,14 @@ pub fn render_bench_text(bench: &PipelineBench) -> String {
             "homograph index speedup over exhaustive oracle: {speedup:.1}x\n"
         ));
     }
+    if let Some(overhead) = bench.instrumentation_overhead() {
+        out.push_str(&format!(
+            "scan attribution overhead (instrumented/uninstrumented): {overhead:.3}x\n"
+        ));
+    }
+    for ledger in RunLedger::collect(bench) {
+        out.push_str(&ledger.render_text());
+    }
     out
 }
 
@@ -403,18 +618,23 @@ mod tests {
             "zone.ingest.lenient",
             "homograph.scan.indexed",
             "homograph.scan.exhaustive",
-            "semantic.scan_type1",
+            "analyze.pass.semantic1",
+            "analyze.scan.instrumented",
+            "analyze.scan.uninstrumented",
             "dataset.render",
         ] {
             assert!(bench.entry(stage).is_some(), "missing stage {stage}");
         }
         assert!(bench.entries.iter().any(|e| e.stage.starts_with("report.")));
         assert!(bench.homograph_speedup().is_some());
+        assert!(bench.instrumentation_overhead().is_some());
         assert!(bench.dataset.starts_with(idnre_datagen::DATASET_SCHEMA));
 
         let json = render_bench_json(&bench);
-        assert!(json.starts_with("{\"schema\":\"idnre-bench-pipeline/2\""));
+        assert!(json.starts_with("{\"schema\":\"idnre-bench-pipeline/3\""));
         assert!(json.contains("\"stage\":\"homograph.scan.exhaustive\""));
+        assert!(json.contains("\"stage\":\"analyze.pass.homograph\",\"pass\":\"homograph\""));
+        assert!(json.contains("\"stage\":\"build.ecosystem\",\"pass\":\"\""));
         assert!(json.contains("\"mode\":\"batch\""));
         assert!(json.contains("\"mode\":\"streamed\""));
         assert!(json.contains("\"dataset_fingerprint\":\"0x"));
@@ -427,6 +647,39 @@ mod tests {
         let text = render_bench_text(&bench);
         assert!(text.contains("pipeline bench"));
         assert!(text.contains("homograph index speedup"));
+        assert!(text.contains("scan attribution overhead"));
+        assert!(text.contains("pass ledger"));
+    }
+
+    #[test]
+    fn ledger_decomposes_the_scan_wall() {
+        let bench = run_pipeline_bench(&EcosystemConfig {
+            scale: 2000,
+            attack_scale: 25,
+            brand_count: 200,
+            ..EcosystemConfig::default()
+        });
+        let ledgers = RunLedger::collect(&bench);
+        // One batch group and one streamed group at this config.
+        assert_eq!(ledgers.len(), 2);
+        for ledger in &ledgers {
+            // Every registered pass shows up: 3 core detectors + 6 report
+            // aggregation passes.
+            assert_eq!(ledger.rows.len(), 9, "{} ledger rows", ledger.mode);
+            assert!(ledger.scan_wall_ns > 0);
+            for row in &ledger.rows {
+                assert_eq!(row.stage, format!("{PASS_STAGE_PREFIX}{}", row.pass));
+                assert!(row.records > 0, "{} observed nothing", row.stage);
+            }
+            // The pass rows account for the bulk of the scan wall even at
+            // this small scale (the CI gate holds >= 90% at scale 50).
+            assert!(
+                ledger.coverage() > 0.5,
+                "{} coverage {:.3}",
+                ledger.mode,
+                ledger.coverage()
+            );
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use idnre_crawler::{
 };
 use idnre_datagen::Ecosystem;
 use idnre_fault::{ErrorBudget, FaultPlan, RetryPolicy, RunStatus, SimClock};
-use idnre_telemetry::Recorder;
+use idnre_telemetry::{Recorder, SpanCtx};
 use idnre_whois::{CrawlStats, ServerPolicy, WhoisCrawler, CRAWL_COUNTERS};
 use idnre_zonefile::{parse_zone_lenient, write_zone, Zone};
 
@@ -278,7 +278,19 @@ pub fn ingest_zones_faulted(
     threads: usize,
     recorder: &dyn Recorder,
 ) -> (Vec<Zone>, IngestStats) {
-    let mut span = recorder.span("zone.ingest.lenient");
+    ingest_zones_faulted_at(zones, plan, budget, threads, recorder, SpanCtx::NONE)
+}
+
+/// [`ingest_zones_faulted`], parented at `parent` in the span tree.
+pub fn ingest_zones_faulted_at(
+    zones: &[Zone],
+    plan: &FaultPlan,
+    budget: &ErrorBudget,
+    threads: usize,
+    recorder: &dyn Recorder,
+    parent: SpanCtx,
+) -> (Vec<Zone>, IngestStats) {
+    let mut span = recorder.span_at("zone.ingest.lenient", parent, 0);
     let per_zone = idnre_par::par_map(zones, threads, |zone| {
         let origin = zone.origin.to_string();
         let text: String = write_zone(zone)
@@ -331,7 +343,14 @@ pub fn whois_survey(
     budget: Option<&ErrorBudget>,
     recorder: &dyn Recorder,
 ) -> CrawlStats {
-    whois_survey_view(&crate::CorpusView::Batch(eco), eco, plan, budget, recorder)
+    whois_survey_view(
+        &crate::CorpusView::Batch(eco),
+        eco,
+        plan,
+        budget,
+        recorder,
+        SpanCtx::NONE,
+    )
 }
 
 /// [`whois_survey`] over an arbitrary corpus view: the batch view crawls
@@ -345,8 +364,9 @@ pub(crate) fn whois_survey_view(
     plan: Option<&FaultPlan>,
     budget: Option<&ErrorBudget>,
     recorder: &dyn Recorder,
+    parent: SpanCtx,
 ) -> CrawlStats {
-    let mut span = recorder.span("whois.survey");
+    let mut span = recorder.span_at("whois.survey", parent, 0);
     recorder.preregister(&CRAWL_COUNTERS);
     let mut crawler = WhoisCrawler::new();
     crawler.add_server(
@@ -437,7 +457,25 @@ pub fn crawl_survey_faulted(
     budget: &ErrorBudget,
     recorder: &dyn Recorder,
 ) -> SurveyStats {
-    let mut span = recorder.span("crawl.survey.faulted");
+    crawl_survey_faulted_at(eco, zones, ctx, threads, budget, recorder, SpanCtx::NONE)
+}
+
+/// [`crawl_survey_faulted`], parented at `parent` in the span tree. The
+/// population is split into fixed-size slices
+/// ([`idnre_crawler::SURVEY_SLICE_RECORDS`] domains each) rather than
+/// thread-derived chunks, and every slice runs under its own
+/// [`idnre_crawler::survey_slice_span`] — so the survey's subtree has the
+/// same shape at any worker count.
+pub fn crawl_survey_faulted_at(
+    eco: &Ecosystem,
+    zones: &[Zone],
+    ctx: &FaultContext,
+    threads: usize,
+    budget: &ErrorBudget,
+    recorder: &dyn Recorder,
+    parent: SpanCtx,
+) -> SurveyStats {
+    let mut span = recorder.span_at("crawl.survey.faulted", parent, 0);
     let mut crawler = Crawler::new();
     for zone in zones {
         crawler.add_zone(zone);
@@ -461,14 +499,18 @@ pub fn crawl_survey_faulted(
         &FAULT_COUNTERS[..],
         &USAGE_COUNTERS[..],
     ]);
-    recorder.preregister_stages(&[ATTEMPTS_HISTOGRAM]);
+    recorder.preregister_stages(&[ATTEMPTS_HISTOGRAM, idnre_crawler::SURVEY_SLICE_SPAN]);
 
     let crawler = &crawler;
+    let survey_ctx = span.ctx();
     let per_chunk = idnre_par::par_chunks(
         &population,
         threads,
-        idnre_par::chunk_size(population.len(), threads),
-        |_, chunk| {
+        idnre_crawler::SURVEY_SLICE_RECORDS,
+        |slice_index, chunk| {
+            let mut slice_span =
+                idnre_crawler::survey_slice_span(recorder, survey_ctx, slice_index as u64);
+            slice_span.add_records(chunk.len() as u64);
             let mut local = SurveyStats::default();
             for reg in chunk {
                 let mut clock = SimClock::new();

@@ -93,8 +93,17 @@ fn streamed_peak_residency_is_bounded_by_shard_size() {
     let (threads, shard_size) = (4usize, 64usize);
     let registry = Arc::new(Registry::new());
     let ctx = ReproContext::build_streamed(&config(threads), shard_size, registry.clone());
-    let peak = registry.counter_value(PEAK_RESIDENT_RECORDS);
+    let peak = registry.gauge_peak(PEAK_RESIDENT_RECORDS);
     assert!(peak > 0, "gauge never recorded");
+    // The gauge is first-class in the snapshot: its own section, with the
+    // peak alongside the (possibly drained-to-zero) current value.
+    let snapshot = registry.snapshot();
+    let gauge = snapshot
+        .gauges
+        .iter()
+        .find(|g| g.name == PEAK_RESIDENT_RECORDS)
+        .expect("residency gauge missing from snapshot");
+    assert_eq!(gauge.peak, peak);
     assert!(
         peak <= (4 * shard_size * threads) as u64,
         "peak residency {peak} exceeds 4 × {shard_size} × {threads}"

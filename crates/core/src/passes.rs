@@ -36,7 +36,7 @@ impl AnalysisPass for HomographPass<'_> {
     type Output = Vec<HomographFinding>;
 
     fn name(&self) -> &'static str {
-        "homograph.scan"
+        "analyze.pass.homograph"
     }
 
     fn counters(&self) -> &'static [&'static str] {
@@ -84,7 +84,7 @@ impl AnalysisPass for Semantic1Pass<'_> {
     type Output = Vec<SemanticFinding>;
 
     fn name(&self) -> &'static str {
-        "semantic.scan_type1"
+        "analyze.pass.semantic1"
     }
 
     fn counters(&self) -> &'static [&'static str] {
@@ -136,7 +136,7 @@ impl AnalysisPass for Semantic2Pass<'_> {
     type Output = Vec<SemanticFinding>;
 
     fn name(&self) -> &'static str {
-        "semantic.scan_type2"
+        "analyze.pass.semantic2"
     }
 
     fn empty(&self) -> Self::Partial {

@@ -44,8 +44,8 @@ pub mod wire;
 pub use classify::{classify, UsageCategory};
 pub use dns::{AuthBehavior, ResolutionOutcome, Resolver};
 pub use faulted::{
-    FaultContext, FaultedCrawl, FaultedResolution, ATTEMPTS_HISTOGRAM, FAULT_COUNTERS,
-    RETRY_COUNTERS,
+    survey_slice_span, FaultContext, FaultedCrawl, FaultedResolution, ATTEMPTS_HISTOGRAM,
+    FAULT_COUNTERS, RETRY_COUNTERS, SURVEY_SLICE_RECORDS, SURVEY_SLICE_SPAN,
 };
 pub use http::{fetch, FetchOutcome, Page, PageKind};
 

@@ -29,7 +29,7 @@ use idnre_certs::Certificate;
 use idnre_langid::Language;
 use idnre_pdns::{DomainAggregate, PdnsStore, PopulationClass, TrafficModel};
 use idnre_rng::{Key, StageId};
-use idnre_telemetry::{NoopRecorder, Recorder};
+use idnre_telemetry::{NoopRecorder, Recorder, SpanCtx};
 use idnre_whois::{Date, WhoisDialect, WhoisRecord};
 use idnre_zonefile::{RData, ResourceRecord, Zone};
 use rand::Rng;
@@ -88,6 +88,17 @@ impl Ecosystem {
     /// counts to `recorder`. The generated ecosystem is identical for any
     /// recorder — telemetry never touches the RNG streams.
     pub fn generate_recorded(config: &EcosystemConfig, recorder: &dyn Recorder) -> Self {
+        Self::generate_traced(config, recorder, SpanCtx::NONE)
+    }
+
+    /// Like [`Ecosystem::generate_recorded`], parenting the nine
+    /// `datagen.*` stage spans under `parent` in the span tree (stage
+    /// position as the sibling index).
+    pub fn generate_traced(
+        config: &EcosystemConfig,
+        recorder: &dyn Recorder,
+        parent: SpanCtx,
+    ) -> Self {
         let root = Key::root(config.seed);
         let threads = config.threads;
         let brands = BrandList::with_size(config.brand_count);
@@ -95,7 +106,7 @@ impl Ecosystem {
 
         // --- 1. Bulk (opportunistic) registrations: Table III clusters,
         //        each with a single portfolio theme. ---
-        let mut span = recorder.span("datagen.bulk_registrations");
+        let mut span = recorder.span_at("datagen.bulk_registrations", parent, 0);
         let bulk_key = root.stage(StageId::BulkRegistrations);
         let mut bulk_jobs: Vec<(u64, &str, BulkTheme, u64)> = Vec::new();
         for (registrant, &(email, declared, theme)) in BULK_REGISTRANTS.iter().enumerate() {
@@ -128,7 +139,7 @@ impl Ecosystem {
         // record precomputes its full keyed retry ladder (label grown with
         // a numeric suffix per rung) in parallel, and a sequential pass
         // takes the first rung that clears the cross-record dedup set.
-        let mut span = recorder.span("datagen.ordinary_registrations");
+        let mut span = recorder.span_at("datagen.ordinary_registrations", parent, 1);
         let bulk_count = idn_registrations.len();
         let mut seen: HashSet<String> =
             idn_registrations.iter().map(|r| r.domain.clone()).collect();
@@ -148,7 +159,7 @@ impl Ecosystem {
         drop(span);
 
         // --- 3. Blacklist assignment over the bulk+ordinary population. ---
-        let mut span = recorder.span("datagen.blacklist");
+        let mut span = recorder.span_at("datagen.blacklist", parent, 2);
         let mut blacklist = BlacklistSet::new();
         assign_blacklist(
             root.stage(StageId::Blacklist),
@@ -161,7 +172,7 @@ impl Ecosystem {
         drop(span);
 
         // --- 4. Attack populations (full scale by default). ---
-        let mut span = recorder.span("datagen.attack_injection");
+        let mut span = recorder.span_at("datagen.attack_injection", parent, 3);
         let homograph_attacks = attacks::generate_homographs(
             root.stage(StageId::HomographAttacks),
             &brands,
@@ -205,7 +216,7 @@ impl Ecosystem {
         drop(span);
 
         // --- 5. Non-IDN comparison sample. ---
-        let mut span = recorder.span("datagen.non_idn_sample");
+        let mut span = recorder.span_at("datagen.non_idn_sample", parent, 4);
         let non_idn_key = root.stage(StageId::NonIdnSample);
         let mut non_idn_jobs: Vec<(u64, &str, u64)> = Vec::new();
         for (spec_idx, spec) in TABLE_I.iter().enumerate() {
@@ -222,14 +233,14 @@ impl Ecosystem {
         drop(span);
 
         // --- 6. WHOIS emission with per-TLD coverage. ---
-        let mut span = recorder.span("datagen.whois");
+        let mut span = recorder.span_at("datagen.whois", parent, 5);
         let whois = emit_whois(root.stage(StageId::Whois), threads, &idn_registrations);
         span.add_records(whois.len() as u64);
         drop(span);
 
         // --- 7. Passive DNS: sample aggregates in parallel, insert in
         //        registration order. ---
-        let mut span = recorder.span("datagen.pdns_traffic");
+        let mut span = recorder.span_at("datagen.pdns_traffic", parent, 6);
         let pdns_key = root.stage(StageId::PdnsTraffic);
         let traffic_jobs: Vec<(u64, &DomainRegistration, PopulationClass)> = idn_registrations
             .iter()
@@ -266,7 +277,7 @@ impl Ecosystem {
         // --- 8. Certificates: each HTTPS host draws from its own stream
         //        keyed by chain position, so issuance is independent of
         //        every other record's HTTPS flag. ---
-        let mut span = recorder.span("datagen.certificates");
+        let mut span = recorder.span_at("datagen.certificates", parent, 7);
         let cert_key = root.stage(StageId::Certificates);
         let cert_jobs: Vec<(u64, &DomainRegistration)> = idn_registrations
             .iter()
@@ -293,7 +304,7 @@ impl Ecosystem {
         drop(span);
 
         // --- 9. Zone files (RNG-free). ---
-        let mut span = recorder.span("datagen.zones");
+        let mut span = recorder.span_at("datagen.zones", parent, 8);
         let (zones, zones_skipped) =
             emit_zones(&idn_registrations, &non_idn_registrations, threads);
         span.add_records(zones.iter().map(|z| z.records.len() as u64).sum());

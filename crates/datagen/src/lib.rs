@@ -55,4 +55,4 @@ pub use dataset::{dataset_fingerprint, render_dataset, DATASET_SCHEMA};
 pub use ecosystem::Ecosystem;
 pub use hosting::HostingProfile;
 pub use registration::{DomainRegistration, MaliciousKind};
-pub use stream::{generate_streamed, KeyedCorpus, ResidencyGauge, PEAK_RESIDENT_RECORDS};
+pub use stream::{generate_streamed, generate_streamed_traced, KeyedCorpus, PEAK_RESIDENT_RECORDS};

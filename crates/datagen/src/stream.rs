@@ -12,7 +12,8 @@
 //! is asked for, in any order, from any thread.
 //!
 //! Peak registration residency is `shard_size × workers`, tracked by a
-//! [`ResidencyGauge`] and reported as `datagen.peak_resident_records`.
+//! shared [`Gauge`] and reported as the `datagen.peak_resident_records`
+//! gauge (level + peak) in the metrics snapshot.
 
 use crate::attacks::{self, AttackDomain};
 use crate::brands::BrandList;
@@ -30,15 +31,14 @@ use idnre_certs::Certificate;
 use idnre_langid::Language;
 use idnre_pdns::{DomainAggregate, PdnsStore, PopulationClass};
 use idnre_rng::{Key, StageId};
-use idnre_telemetry::Recorder;
+use idnre_telemetry::{Gauge, Recorder, SpanCtx};
 use idnre_whois::{Date, WhoisRecord};
 use idnre_zonefile::{ResourceRecord, Zone};
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Counter name of the peak-residency gauge.
+/// Gauge name of the peak-residency level.
 pub const PEAK_RESIDENT_RECORDS: &str = "datagen.peak_resident_records";
 
 /// How one IDN record regenerates: which keyed stream to replay and (for
@@ -54,30 +54,6 @@ enum Recipe {
     Attack { kind: u8, index: u32 },
 }
 
-/// Tracks how many registration records are resident across all worker
-/// threads, keeping a high-water mark.
-#[derive(Debug, Default)]
-pub struct ResidencyGauge {
-    current: AtomicU64,
-    peak: AtomicU64,
-}
-
-impl ResidencyGauge {
-    fn acquire(&self, n: u64) {
-        let now = self.current.fetch_add(n, Ordering::Relaxed) + n;
-        self.peak.fetch_max(now, Ordering::Relaxed);
-    }
-
-    fn release(&self, n: u64) {
-        self.current.fetch_sub(n, Ordering::Relaxed);
-    }
-
-    /// The high-water mark of simultaneously resident records.
-    pub fn peak(&self) -> u64 {
-        self.peak.load(Ordering::Relaxed)
-    }
-}
-
 /// The compact streaming plan: enough to regenerate any corpus shard
 /// byte-identically to the batch vectors, without holding any records.
 #[derive(Debug)]
@@ -90,7 +66,7 @@ pub struct KeyedCorpus {
     overrides: HashMap<u64, (MaliciousKind, Date)>,
     /// Per-spec non-IDN population spans: `(global start, count)`.
     non_idn_spans: Vec<(u64, u64)>,
-    gauge: Arc<ResidencyGauge>,
+    gauge: Arc<Gauge>,
 }
 
 impl KeyedCorpus {
@@ -106,21 +82,23 @@ impl KeyedCorpus {
             .map_or(0, |&(start, count)| start + count)
     }
 
-    /// The residency gauge shared by every shard this corpus materializes.
-    pub fn gauge(&self) -> &ResidencyGauge {
+    /// The residency gauge shared by every shard this corpus
+    /// materializes: how many registration records are resident across
+    /// all worker threads right now, with a high-water mark.
+    pub fn gauge(&self) -> &Gauge {
         &self.gauge
     }
 
     /// Materializes IDN records `[start, start + len)` and calls `f` once
     /// with the slice. Residency is gauge-tracked for the call's duration.
     pub fn with_idn_shard(&self, start: u64, len: usize, f: &mut dyn FnMut(&[DomainRegistration])) {
-        self.gauge.acquire(len as u64);
+        self.gauge.add(len as u64);
         let records: Vec<DomainRegistration> = (start..start + len as u64)
             .map(|i| self.regen_idn(i))
             .collect();
         f(&records);
         drop(records);
-        self.gauge.release(len as u64);
+        self.gauge.sub(len as u64);
     }
 
     /// Non-IDN counterpart of [`KeyedCorpus::with_idn_shard`].
@@ -130,13 +108,13 @@ impl KeyedCorpus {
         len: usize,
         f: &mut dyn FnMut(&[DomainRegistration]),
     ) {
-        self.gauge.acquire(len as u64);
+        self.gauge.add(len as u64);
         let records: Vec<DomainRegistration> = (start..start + len as u64)
             .map(|i| self.regen_non_idn(i))
             .collect();
         f(&records);
         drop(records);
-        self.gauge.release(len as u64);
+        self.gauge.sub(len as u64);
     }
 
     /// Regenerates IDN record `index` from its keyed stream.
@@ -270,13 +248,24 @@ pub fn generate_streamed(
     shard_size: usize,
     recorder: &dyn Recorder,
 ) -> (Ecosystem, KeyedCorpus) {
+    generate_streamed_traced(config, shard_size, recorder, SpanCtx::NONE)
+}
+
+/// Like [`generate_streamed`], parenting the plan/artifact stage spans
+/// under `parent` in the span tree.
+pub fn generate_streamed_traced(
+    config: &EcosystemConfig,
+    shard_size: usize,
+    recorder: &dyn Recorder,
+    parent: SpanCtx,
+) -> (Ecosystem, KeyedCorpus) {
     let root = Key::root(config.seed);
     let threads = config.threads;
     let brands = BrandList::with_size(config.brand_count);
 
     // --- Plan phase: stages 1–5's randomness, domain-construction draws
     //     only, compacted into recipes + overrides + the blacklist. ---
-    let mut span = recorder.span("datagen.stream.plan");
+    let mut span = recorder.span_at("datagen.stream.plan", parent, 0);
 
     // Stage 1: bulk registrations (no cross-record dedup in the batch
     // path, so every surviving job becomes a recipe).
@@ -490,7 +479,7 @@ pub fn generate_streamed(
         idn_recipes,
         overrides,
         non_idn_spans,
-        gauge: Arc::new(ResidencyGauge::default()),
+        gauge: Arc::new(Gauge::new()),
     };
     span.add_records(corpus.idn_len() + corpus.non_idn_len());
     drop(span);
@@ -499,7 +488,7 @@ pub fn generate_streamed(
     //     WHOIS, pDNS, certificates and zone records per shard in
     //     parallel, applied sequentially in shard order so every artifact
     //     lands in exactly the batch path's order. ---
-    let mut span = recorder.span("datagen.stream.artifacts");
+    let mut span = recorder.span_at("datagen.stream.artifacts", parent, 1);
     let snapshot_day = config.snapshot.day_number();
     let whois_key = root.stage(StageId::Whois);
     let pdns_key = root.stage(StageId::PdnsTraffic);

@@ -1,0 +1,133 @@
+//! A level gauge: a counter that can go down, with a high-water mark.
+//!
+//! Counters in the registry are monotone sums; a [`Gauge`] instead tracks
+//! a *level* (e.g. records currently resident in memory) together with
+//! the peak level ever observed. Both cells are plain relaxed atomics, so
+//! a gauge is safe to update from worker threads without coordination:
+//! `add`/`sub` move the level, and every upward movement folds into the
+//! peak with a `fetch_max`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A concurrent level gauge with set/fetch-max semantics.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at level zero.
+    pub fn new() -> Self {
+        Gauge {
+            current: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Raises the level by `n` and returns the new level. The peak is
+    /// updated to cover the new level.
+    pub fn add(&self, n: u64) -> u64 {
+        let level = self.current.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(level, Ordering::Relaxed);
+        level
+    }
+
+    /// Lowers the level by `n` (saturating at zero).
+    pub fn sub(&self, n: u64) {
+        // fetch_update loops only under contention; residency gauges see a
+        // handful of shard-sized updates, not per-record traffic.
+        let _ = self
+            .current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Sets the level outright, folding it into the peak.
+    pub fn set(&self, v: u64) {
+        self.current.store(v, Ordering::Relaxed);
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level (and peak) to at least `v`, without ever
+    /// lowering either — the merge operation for combining gauges
+    /// measured independently.
+    pub fn fetch_max(&self, v: u64) {
+        self.current.fetch_max(v, Ordering::Relaxed);
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn value(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever observed.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_track_level_and_peak() {
+        let g = Gauge::new();
+        assert_eq!(g.add(5), 5);
+        assert_eq!(g.add(3), 8);
+        g.sub(6);
+        assert_eq!(g.value(), 2);
+        assert_eq!(g.peak(), 8);
+    }
+
+    #[test]
+    fn sub_saturates_at_zero() {
+        let g = Gauge::new();
+        g.add(2);
+        g.sub(10);
+        assert_eq!(g.value(), 0);
+        assert_eq!(g.peak(), 2);
+    }
+
+    #[test]
+    fn set_folds_into_peak() {
+        let g = Gauge::new();
+        g.set(10);
+        g.set(4);
+        assert_eq!(g.value(), 4);
+        assert_eq!(g.peak(), 10);
+    }
+
+    #[test]
+    fn fetch_max_never_lowers() {
+        let g = Gauge::new();
+        g.set(7);
+        g.fetch_max(3);
+        assert_eq!(g.value(), 7);
+        g.fetch_max(12);
+        assert_eq!(g.value(), 12);
+        assert_eq!(g.peak(), 12);
+    }
+
+    #[test]
+    fn concurrent_updates_preserve_the_peak() {
+        let g = std::sync::Arc::new(Gauge::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let g = std::sync::Arc::clone(&g);
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        g.add(3);
+                        g.sub(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.value(), 0);
+        assert!(g.peak() >= 3, "{}", g.peak());
+        assert!(g.peak() <= 12, "{}", g.peak());
+    }
+}

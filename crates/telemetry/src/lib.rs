@@ -7,11 +7,21 @@
 //! in output and effectively free when telemetry is off. The enabled
 //! implementation, [`Registry`], keeps lock-free per-stage statistics
 //! ([`StageStats`]: calls, records, wall time, a log-linear
-//! [`LatencyHistogram`]) plus named counters, and snapshots into a text
-//! table or schema-stable JSON (`idnre-metrics/1`).
+//! [`LatencyHistogram`]) plus named counters and level [`Gauge`]s, and
+//! snapshots into a text table or schema-stable JSON
+//! (`idnre-metrics/2`).
 //!
 //! Stage names are dotted paths (`datagen.whois`, `crawler.resolve`,
 //! `report.table5`), which gives the flat registry a hierarchy for free.
+//! On top of the flat registry sit three optional layers:
+//!
+//! - **traces** ([`TraceLog`], [`SpanCtx`]): a registry built with
+//!   [`Registry::with_trace`] additionally logs explicitly-parented
+//!   spans ([`Recorder::span_at`]) into a tree exportable as Chrome
+//!   trace-event JSON (`idnre-trace/1`);
+//! - **gauges** ([`Gauge`]): levels with peaks, for resource residency;
+//! - **SLOs** ([`SloSpec`]): per-stage latency bounds evaluated from a
+//!   snapshot, with the 0/3/4 clean/degraded/exceeded exit contract.
 //!
 //! # Examples
 //!
@@ -33,13 +43,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod gauge;
 mod histogram;
 mod registry;
 mod render;
+mod slo;
+mod trace;
 
+pub use gauge::Gauge;
 pub use histogram::{bucket_bounds, bucket_index, LatencyHistogram, BUCKETS};
 pub use registry::{Registry, StageStats};
-pub use render::{CounterSnapshot, MetricsSnapshot, StageSnapshot, SCHEMA};
+pub use render::{CounterSnapshot, GaugeSnapshot, MetricsSnapshot, StageSnapshot, SCHEMA};
+pub use slo::{SloReport, SloRule, SloSpec, SloStatus, SloViolation};
+pub use trace::{SpanCtx, TraceEvent, TraceLog, TraceNode, TraceSnapshot, TRACE_SCHEMA};
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -60,6 +76,36 @@ pub trait Recorder: Send + Sync {
     fn span(&self, _name: &str) -> Span {
         Span::disabled()
     }
+
+    /// Opens a timed span for `name` positioned in the span tree: a child
+    /// of `parent` at sibling slot `index` (shard number, stage position
+    /// — whatever makes the slot deterministic across thread counts).
+    ///
+    /// Stage statistics accumulate exactly as with [`Recorder::span`];
+    /// the position only matters to recorders that keep a trace, and only
+    /// when `parent` is traced ([`SpanCtx::ROOT`] for top-level pipeline
+    /// spans). The default ignores the position.
+    fn span_at(&self, name: &str, _parent: SpanCtx, _index: u64) -> Span {
+        self.span(name)
+    }
+
+    /// Creates a purely structural trace node (no stage stats, timing
+    /// computed as the envelope of its children) under `parent`, and
+    /// returns its context for parenting children — e.g. one group per
+    /// analysis pass, created in registration order before fan-out so
+    /// the tree shape never depends on worker scheduling. The default
+    /// (and any recorder without a trace) returns [`SpanCtx::NONE`].
+    fn trace_group(&self, _name: &str, _parent: SpanCtx, _index: u64) -> SpanCtx {
+        SpanCtx::NONE
+    }
+
+    /// Sets gauge `name` to `v` (registering it at first touch).
+    fn gauge_set(&self, _name: &str, _v: u64) {}
+
+    /// Raises gauge `name` (level and peak) to at least `v` — the merge
+    /// operation for folding an externally-tracked [`Gauge`]'s peak into
+    /// the registry.
+    fn gauge_max(&self, _name: &str, _v: u64) {}
 
     /// Records one pre-timed call of `name` (for latencies measured
     /// externally, e.g. per-item inside a tight loop).
@@ -116,10 +162,21 @@ pub struct NoopRecorder;
 
 impl Recorder for NoopRecorder {}
 
+/// A span's reservation in a [`TraceLog`]: the id is allocated when the
+/// span opens (so children can parent to it immediately via
+/// [`Span::ctx`]); the event itself is pushed on drop.
+struct TraceTicket {
+    log: Arc<TraceLog>,
+    id: u64,
+    parent: u64,
+    index: u64,
+}
+
 struct ActiveSpan {
     stats: Arc<StageStats>,
     started: Instant,
     records: u64,
+    trace: Option<TraceTicket>,
 }
 
 /// An RAII stage timer: created by [`Recorder::span`], records one call
@@ -141,6 +198,29 @@ impl Span {
                 stats,
                 started: Instant::now(),
                 records: 0,
+                trace: None,
+            }),
+        }
+    }
+
+    pub(crate) fn active_traced(
+        stats: Arc<StageStats>,
+        log: Arc<TraceLog>,
+        parent: SpanCtx,
+        index: u64,
+    ) -> Self {
+        let id = log.alloc_id();
+        Span {
+            inner: Some(ActiveSpan {
+                stats,
+                started: Instant::now(),
+                records: 0,
+                trace: Some(TraceTicket {
+                    log,
+                    id,
+                    parent: parent.id(),
+                    index,
+                }),
             }),
         }
     }
@@ -148,6 +228,17 @@ impl Span {
     /// Whether the span will record on drop.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// This span's position in the trace tree, for parenting child
+    /// spans; [`SpanCtx::NONE`] when the span is untraced, so children
+    /// of an untraced span log no events either.
+    pub fn ctx(&self) -> SpanCtx {
+        self.inner
+            .as_ref()
+            .and_then(|a| a.trace.as_ref())
+            .map(|t| SpanCtx::from_id(t.id))
+            .unwrap_or(SpanCtx::NONE)
     }
 
     /// Attributes `n` records to the span's stage.
@@ -167,6 +258,22 @@ impl Drop for Span {
                 .as_nanos()
                 .min(u128::from(u64::MAX)) as u64;
             active.stats.record_call(nanos, active.records);
+            if let Some(ticket) = active.trace {
+                let start = active
+                    .started
+                    .saturating_duration_since(ticket.log.origin())
+                    .as_nanos()
+                    .min(u128::from(u64::MAX)) as u64;
+                ticket.log.push(TraceEvent {
+                    id: ticket.id,
+                    parent: ticket.parent,
+                    name: active.stats.name().to_string(),
+                    index: ticket.index,
+                    group: false,
+                    start_nanos: start,
+                    duration_nanos: nanos,
+                });
+            }
         }
     }
 }

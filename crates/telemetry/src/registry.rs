@@ -1,7 +1,9 @@
-//! The stage/counter registry behind an enabled [`Recorder`].
+//! The stage/counter/gauge registry behind an enabled [`Recorder`].
 
+use crate::gauge::Gauge;
 use crate::histogram::LatencyHistogram;
-use crate::render::{CounterSnapshot, MetricsSnapshot, StageSnapshot};
+use crate::render::{CounterSnapshot, GaugeSnapshot, MetricsSnapshot, StageSnapshot};
+use crate::trace::{SpanCtx, TraceLog, TraceSnapshot};
 use crate::{Recorder, Span};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -76,6 +78,7 @@ impl StageStats {
             p50_nanos: self.hist.quantile(0.50),
             p90_nanos: self.hist.quantile(0.90),
             p99_nanos: self.hist.quantile(0.99),
+            p999_nanos: self.hist.quantile(0.999),
             max_nanos: self.hist.max(),
         }
     }
@@ -112,11 +115,16 @@ impl<T> OrderedMap<T> {
     }
 }
 
-/// A thread-safe registry of stages and counters; the enabled [`Recorder`].
+/// A thread-safe registry of stages, counters and gauges; the enabled
+/// [`Recorder`]. Optionally carries a [`TraceLog`] (see
+/// [`Registry::with_trace`]) into which explicitly-parented spans log a
+/// hierarchical trace.
 #[derive(Debug)]
 pub struct Registry {
     stages: RwLock<OrderedMap<Arc<StageStats>>>,
     counters: RwLock<OrderedMap<(String, Arc<AtomicU64>)>>,
+    gauges: RwLock<OrderedMap<(String, Arc<Gauge>)>>,
+    trace: Option<Arc<TraceLog>>,
 }
 
 impl Default for Registry {
@@ -126,11 +134,23 @@ impl Default for Registry {
 }
 
 impl Registry {
-    /// Creates an empty registry.
+    /// Creates an empty registry (no trace).
     pub fn new() -> Self {
         Registry {
             stages: RwLock::new(OrderedMap::default()),
             counters: RwLock::new(OrderedMap::default()),
+            gauges: RwLock::new(OrderedMap::default()),
+            trace: None,
+        }
+    }
+
+    /// Creates a registry that additionally logs a span tree: spans
+    /// opened through [`Recorder::span_at`] with a traced parent write
+    /// one trace event each, assembled by [`Registry::trace_snapshot`].
+    pub fn with_trace() -> Self {
+        Registry {
+            trace: Some(Arc::new(TraceLog::new())),
+            ..Self::new()
         }
     }
 
@@ -181,6 +201,49 @@ impl Registry {
             .unwrap_or(0)
     }
 
+    /// The gauge cell for `name`, creating it (at zero) on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some((_, cell)) = self.gauges.read().get(name) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(
+            &self
+                .gauges
+                .write()
+                .get_or_insert_with(name, || (name.to_string(), Arc::new(Gauge::new())))
+                .1,
+        )
+    }
+
+    /// Current level of a gauge (0 when never touched).
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        self.gauges
+            .read()
+            .get(name)
+            .map(|(_, cell)| cell.value())
+            .unwrap_or(0)
+    }
+
+    /// Peak level of a gauge (0 when never touched).
+    pub fn gauge_peak(&self, name: &str) -> u64 {
+        self.gauges
+            .read()
+            .get(name)
+            .map(|(_, cell)| cell.peak())
+            .unwrap_or(0)
+    }
+
+    /// The trace log, when this registry was built with
+    /// [`Registry::with_trace`].
+    pub fn trace_log(&self) -> Option<&Arc<TraceLog>> {
+        self.trace.as_ref()
+    }
+
+    /// The assembled span tree, when tracing is on.
+    pub fn trace_snapshot(&self) -> Option<TraceSnapshot> {
+        self.trace.as_ref().map(|log| log.snapshot())
+    }
+
     /// A point-in-time copy of every stage and counter, in first-use order.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let stages = self
@@ -200,7 +263,22 @@ impl Registry {
                 value: cell.load(Ordering::Relaxed),
             })
             .collect();
-        MetricsSnapshot { stages, counters }
+        let gauges = self
+            .gauges
+            .read()
+            .entries
+            .iter()
+            .map(|(name, cell)| GaugeSnapshot {
+                name: name.clone(),
+                value: cell.value(),
+                peak: cell.peak(),
+            })
+            .collect();
+        MetricsSnapshot {
+            stages,
+            counters,
+            gauges,
+        }
     }
 }
 
@@ -223,6 +301,31 @@ impl Recorder for Registry {
 
     fn add(&self, name: &str, n: u64) {
         self.counter(name).fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn span_at(&self, name: &str, parent: SpanCtx, index: u64) -> Span {
+        let stats = self.stage(name);
+        match &self.trace {
+            Some(log) if parent.is_traced() => {
+                Span::active_traced(stats, Arc::clone(log), parent, index)
+            }
+            _ => Span::active(stats),
+        }
+    }
+
+    fn trace_group(&self, name: &str, parent: SpanCtx, index: u64) -> SpanCtx {
+        match &self.trace {
+            Some(log) => log.group(name, parent, index),
+            None => SpanCtx::NONE,
+        }
+    }
+
+    fn gauge_set(&self, name: &str, v: u64) {
+        self.gauge(name).set(v);
+    }
+
+    fn gauge_max(&self, name: &str, v: u64) {
+        self.gauge(name).fetch_max(v);
     }
 }
 
@@ -296,6 +399,54 @@ mod tests {
         span.add_records(5);
         noop.incr("anything");
         drop(span);
+    }
+
+    #[test]
+    fn gauges_snapshot_with_value_and_peak() {
+        let registry = Registry::new();
+        registry.gauge_set("mem.resident", 10);
+        registry.gauge_set("mem.resident", 4);
+        registry.gauge_max("mem.other", 7);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauges.len(), 2);
+        assert_eq!(snap.gauges[0].name, "mem.resident");
+        assert_eq!(snap.gauges[0].value, 4);
+        assert_eq!(snap.gauges[0].peak, 10);
+        assert_eq!(registry.gauge_value("mem.other"), 7);
+        assert_eq!(registry.gauge_peak("mem.never"), 0);
+    }
+
+    #[test]
+    fn plain_registry_traces_nothing() {
+        let registry = Registry::new();
+        assert!(registry.trace_snapshot().is_none());
+        let span = registry.span_at("a.stage", SpanCtx::ROOT, 0);
+        assert!(!span.ctx().is_traced());
+        assert_eq!(registry.trace_group("g", SpanCtx::ROOT, 0), SpanCtx::NONE);
+        drop(span);
+        // Stats still accumulate through span_at.
+        assert_eq!(registry.stage("a.stage").calls(), 1);
+    }
+
+    #[test]
+    fn traced_spans_form_a_tree() {
+        let registry = Registry::with_trace();
+        {
+            let parent = registry.span_at("build", SpanCtx::ROOT, 0);
+            assert!(parent.ctx().is_traced());
+            let group = registry.trace_group("build.steps", parent.ctx(), 0);
+            drop(registry.span_at("build.step", group, 1));
+            drop(registry.span_at("build.step", group, 0));
+        }
+        // Spans parented NONE stay out of the trace but keep stats.
+        drop(registry.span_at("hidden", SpanCtx::NONE, 0));
+        let snap = registry.trace_snapshot().unwrap();
+        let build = snap.root.child("build").expect("build under root");
+        let steps = build.child("build.steps").expect("group under build");
+        assert_eq!(steps.children.len(), 2);
+        assert_eq!(steps.children[0].index, 0);
+        assert!(snap.root.child("hidden").is_none());
+        assert_eq!(registry.stage("hidden").calls(), 1);
     }
 
     #[test]

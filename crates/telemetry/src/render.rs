@@ -1,8 +1,10 @@
 //! Rendering a metrics snapshot: an aligned text table for humans and a
-//! schema-stable JSON document (`idnre-metrics/1`) for tooling.
+//! schema-stable JSON document (`idnre-metrics/2`) for tooling.
 
 /// Schema identifier embedded in every JSON rendering.
-pub const SCHEMA: &str = "idnre-metrics/1";
+///
+/// `/2` added `p999_ns` to stages and the top-level `gauges` section.
+pub const SCHEMA: &str = "idnre-metrics/2";
 
 /// Point-in-time copy of one stage's statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +23,8 @@ pub struct StageSnapshot {
     pub p90_nanos: u64,
     /// 99th-percentile per-call latency (ns).
     pub p99_nanos: u64,
+    /// 99.9th-percentile per-call latency (ns).
+    pub p999_nanos: u64,
     /// Exact maximum per-call latency (ns).
     pub max_nanos: u64,
 }
@@ -34,6 +38,17 @@ pub struct CounterSnapshot {
     pub value: u64,
 }
 
+/// Point-in-time copy of one gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Dotted gauge name.
+    pub name: String,
+    /// Current level.
+    pub value: u64,
+    /// Highest level ever observed.
+    pub peak: u64,
+}
+
 /// Everything a registry held at snapshot time, in first-use order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
@@ -41,6 +56,8 @@ pub struct MetricsSnapshot {
     pub stages: Vec<StageSnapshot>,
     /// Counters.
     pub counters: Vec<CounterSnapshot>,
+    /// Gauges (levels with peaks).
+    pub gauges: Vec<GaugeSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -56,12 +73,12 @@ impl MetricsSnapshot {
             .unwrap_or(5);
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<name_width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
-            "stage", "calls", "records", "wall", "p50", "p90", "p99", "max"
+            "{:<name_width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+            "stage", "calls", "records", "wall", "p50", "p90", "p99", "p999", "max"
         ));
         for s in &self.stages {
             out.push_str(&format!(
-                "{:<name_width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
+                "{:<name_width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}\n",
                 s.name,
                 s.calls,
                 s.records,
@@ -69,6 +86,7 @@ impl MetricsSnapshot {
                 format_nanos(s.p50_nanos),
                 format_nanos(s.p90_nanos),
                 format_nanos(s.p99_nanos),
+                format_nanos(s.p999_nanos),
                 format_nanos(s.max_nanos),
             ));
         }
@@ -88,14 +106,35 @@ impl MetricsSnapshot {
                 out.push_str(&format!("{:<counter_width$}  {:>12}\n", c.name, c.value));
             }
         }
+        if !self.gauges.is_empty() {
+            let gauge_width = self
+                .gauges
+                .iter()
+                .map(|g| g.name.len())
+                .chain([5])
+                .max()
+                .unwrap_or(5);
+            out.push_str(&format!(
+                "\n{:<gauge_width$}  {:>12}  {:>12}\n",
+                "gauge", "value", "peak"
+            ));
+            for g in &self.gauges {
+                out.push_str(&format!(
+                    "{:<gauge_width$}  {:>12}  {:>12}\n",
+                    g.name, g.value, g.peak
+                ));
+            }
+        }
         out
     }
 
     /// Renders only the *deterministic* subset of the snapshot: counters,
     /// and each stage's `calls`/`records` (everything wall-clock-derived —
-    /// latencies, percentiles — is omitted). Two runs of a seeded pipeline
-    /// must produce byte-identical output here even though their timings
-    /// differ; replay/determinism tests compare this rendering.
+    /// latencies, percentiles including `p999_ns` — is omitted, as are
+    /// gauges, whose peaks depend on worker scheduling). Two runs of a
+    /// seeded pipeline must produce byte-identical output here even
+    /// though their timings differ; replay/determinism tests compare
+    /// this rendering.
     pub fn render_deterministic_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"schema\":");
@@ -127,13 +166,14 @@ impl MetricsSnapshot {
 
     /// Renders the machine-readable JSON document.
     ///
-    /// Layout (stable within `idnre-metrics/1`):
+    /// Layout (stable within `idnre-metrics/2`):
     ///
     /// ```json
-    /// {"schema":"idnre-metrics/1",
+    /// {"schema":"idnre-metrics/2",
     ///  "stages":[{"name":"...","calls":N,"records":N,"wall_ns":N,
-    ///             "p50_ns":N,"p90_ns":N,"p99_ns":N,"max_ns":N}],
-    ///  "counters":[{"name":"...","value":N}]}
+    ///             "p50_ns":N,"p90_ns":N,"p99_ns":N,"p999_ns":N,"max_ns":N}],
+    ///  "counters":[{"name":"...","value":N}],
+    ///  "gauges":[{"name":"...","value":N,"peak":N}]}
     /// ```
     pub fn render_json(&self) -> String {
         let mut out = String::new();
@@ -148,13 +188,14 @@ impl MetricsSnapshot {
             push_json_string(&mut out, &s.name);
             out.push_str(&format!(
                 ",\"calls\":{},\"records\":{},\"wall_ns\":{},\"p50_ns\":{},\
-                 \"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                 \"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
                 s.calls,
                 s.records,
                 s.wall_nanos,
                 s.p50_nanos,
                 s.p90_nanos,
                 s.p99_nanos,
+                s.p999_nanos,
                 s.max_nanos
             ));
         }
@@ -167,12 +208,21 @@ impl MetricsSnapshot {
             push_json_string(&mut out, &c.name);
             out.push_str(&format!(",\"value\":{}}}", c.value));
         }
+        out.push_str("],\"gauges\":[");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &g.name);
+            out.push_str(&format!(",\"value\":{},\"peak\":{}}}", g.value, g.peak));
+        }
         out.push_str("]}");
         out
     }
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -214,11 +264,17 @@ mod tests {
                 p50_nanos: 1_500_000,
                 p90_nanos: 1_500_000,
                 p99_nanos: 1_500_000,
+                p999_nanos: 1_500_000,
                 max_nanos: 1_500_000,
             }],
             counters: vec![CounterSnapshot {
                 name: "crawler.outcome.resolved".into(),
                 value: 7,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "datagen.peak_resident_records".into(),
+                value: 0,
+                peak: 4_096,
             }],
         }
     }
@@ -229,17 +285,34 @@ mod tests {
         assert!(text.contains("datagen.whois"));
         assert!(text.contains("1.5ms"));
         assert!(text.contains("crawler.outcome.resolved"));
+        assert!(text.contains("p999"));
+        assert!(text.contains("datagen.peak_resident_records"));
+        assert!(text.contains("4096"));
     }
 
     #[test]
     fn json_is_schema_stable() {
         let json = sample().render_json();
-        assert!(json.starts_with("{\"schema\":\"idnre-metrics/1\""));
+        assert!(json.starts_with("{\"schema\":\"idnre-metrics/2\""));
         assert!(json.contains("\"name\":\"datagen.whois\""));
         assert!(json.contains("\"wall_ns\":1500000"));
         assert!(json.contains("\"p99_ns\":1500000"));
+        assert!(json.contains("\"p999_ns\":1500000"));
         assert!(json.contains("{\"name\":\"crawler.outcome.resolved\",\"value\":7}"));
+        assert!(
+            json.contains("{\"name\":\"datagen.peak_resident_records\",\"value\":0,\"peak\":4096}")
+        );
         assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn deterministic_json_omits_wall_derived_values_and_gauges() {
+        let json = sample().render_deterministic_json();
+        assert!(json.starts_with("{\"schema\":\"idnre-metrics/2\""));
+        assert!(json.contains("\"calls\":1"));
+        assert!(!json.contains("p999"));
+        assert!(!json.contains("wall_ns"));
+        assert!(!json.contains("gauges"));
     }
 
     #[test]
@@ -250,6 +323,7 @@ mod tests {
                 name: "weird\"name\\with\nbreaks".into(),
                 value: 1,
             }],
+            gauges: vec![],
         };
         let json = snap.render_json();
         assert!(json.contains("weird\\\"name\\\\with\\nbreaks"));
@@ -260,7 +334,7 @@ mod tests {
         let snap = MetricsSnapshot::default();
         assert_eq!(
             snap.render_json(),
-            "{\"schema\":\"idnre-metrics/1\",\"stages\":[],\"counters\":[]}"
+            "{\"schema\":\"idnre-metrics/2\",\"stages\":[],\"counters\":[],\"gauges\":[]}"
         );
         assert!(snap.render_text().contains("stage"));
     }

@@ -1,0 +1,388 @@
+//! Service-level objectives evaluated from a metrics snapshot.
+//!
+//! An [`SloSpec`] is a named profile of per-stage latency bounds
+//! (p50/p99/p999 quantiles plus a hard per-call maximum), built with a
+//! fluent API and evaluated against a [`MetricsSnapshot`] — i.e. against
+//! the same [`crate::LatencyHistogram`]s the registry already keeps; no
+//! extra instrumentation is needed to gate on latency.
+//!
+//! The verdict follows the pipeline's established run-health contract
+//! (see `idnre-fault`): quantile-bound violations and missing stages
+//! degrade the run ([`SloStatus::Degraded`], exit code 3); a hard
+//! `max`-bound violation exceeds it ([`SloStatus::Exceeded`], exit
+//! code 4); otherwise the run is clean (exit code 0).
+//!
+//! # Examples
+//!
+//! ```
+//! use idnre_telemetry::{Recorder, Registry, SloRule, SloSpec, SloStatus};
+//!
+//! let registry = Registry::new();
+//! registry.record_nanos("analyze.scan", 1_000);
+//! let spec = SloSpec::new("demo")
+//!     .rule(SloRule::stage("analyze.scan").p99_max_nanos(1_000_000));
+//! let report = spec.evaluate(&registry.snapshot());
+//! assert_eq!(report.status, SloStatus::Clean);
+//! assert_eq!(report.status.exit_code(), 0);
+//! ```
+
+use crate::render::{MetricsSnapshot, StageSnapshot};
+
+/// Latency bounds for one stage (or a `prefix.*` family of stages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloRule {
+    stage: String,
+    p50_max_nanos: Option<u64>,
+    p99_max_nanos: Option<u64>,
+    p999_max_nanos: Option<u64>,
+    max_nanos: Option<u64>,
+}
+
+impl SloRule {
+    /// A rule for `stage`. A trailing `*` makes the rule a prefix match
+    /// (`analyze.pass.*` bounds every pass stage); prefix rules bind to
+    /// whatever matches and are not required to match anything. An exact
+    /// rule whose stage never appears in the snapshot is itself a
+    /// violation (the stage was expected to run).
+    pub fn stage(stage: &str) -> Self {
+        SloRule {
+            stage: stage.to_string(),
+            p50_max_nanos: None,
+            p99_max_nanos: None,
+            p999_max_nanos: None,
+            max_nanos: None,
+        }
+    }
+
+    /// Bounds the median per-call latency.
+    pub fn p50_max_nanos(mut self, nanos: u64) -> Self {
+        self.p50_max_nanos = Some(nanos);
+        self
+    }
+
+    /// Bounds the 99th-percentile per-call latency.
+    pub fn p99_max_nanos(mut self, nanos: u64) -> Self {
+        self.p99_max_nanos = Some(nanos);
+        self
+    }
+
+    /// Bounds the 99.9th-percentile per-call latency.
+    pub fn p999_max_nanos(mut self, nanos: u64) -> Self {
+        self.p999_max_nanos = Some(nanos);
+        self
+    }
+
+    /// Hard bound on the worst per-call latency; breaching it exceeds
+    /// the budget outright ([`SloStatus::Exceeded`]) rather than merely
+    /// degrading the run.
+    pub fn max_nanos(mut self, nanos: u64) -> Self {
+        self.max_nanos = Some(nanos);
+        self
+    }
+
+    fn is_prefix(&self) -> bool {
+        self.stage.ends_with('*')
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        if self.is_prefix() {
+            name.starts_with(&self.stage[..self.stage.len() - 1])
+        } else {
+            name == self.stage
+        }
+    }
+
+    fn check(&self, stage: &StageSnapshot, violations: &mut Vec<SloViolation>) {
+        let quantiles = [
+            ("p50", self.p50_max_nanos, stage.p50_nanos),
+            ("p99", self.p99_max_nanos, stage.p99_nanos),
+            ("p999", self.p999_max_nanos, stage.p999_nanos),
+        ];
+        for (metric, bound, observed) in quantiles {
+            if let Some(bound) = bound {
+                if observed > bound {
+                    violations.push(SloViolation {
+                        stage: stage.name.clone(),
+                        metric,
+                        observed,
+                        bound,
+                        hard: false,
+                    });
+                }
+            }
+        }
+        if let Some(bound) = self.max_nanos {
+            if stage.max_nanos > bound {
+                violations.push(SloViolation {
+                    stage: stage.name.clone(),
+                    metric: "max",
+                    observed: stage.max_nanos,
+                    bound,
+                    hard: true,
+                });
+            }
+        }
+    }
+}
+
+/// A named profile of [`SloRule`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SloSpec {
+    profile: String,
+    rules: Vec<SloRule>,
+}
+
+impl SloSpec {
+    /// Creates an empty spec named `profile`.
+    pub fn new(profile: &str) -> Self {
+        SloSpec {
+            profile: profile.to_string(),
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule.
+    pub fn rule(mut self, rule: SloRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Profile name.
+    pub fn profile(&self) -> &str {
+        &self.profile
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the spec holds no rules (it evaluates clean).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Checks every rule against the snapshot and aggregates a verdict.
+    pub fn evaluate(&self, snapshot: &MetricsSnapshot) -> SloReport {
+        let mut violations = Vec::new();
+        let mut stages_checked = 0usize;
+        for rule in &self.rules {
+            let mut matched = false;
+            for stage in &snapshot.stages {
+                if rule.matches(&stage.name) {
+                    matched = true;
+                    stages_checked += 1;
+                    rule.check(stage, &mut violations);
+                }
+            }
+            if !matched && !rule.is_prefix() {
+                violations.push(SloViolation {
+                    stage: rule.stage.clone(),
+                    metric: "missing",
+                    observed: 0,
+                    bound: 0,
+                    hard: false,
+                });
+            }
+        }
+        let status = if violations.iter().any(|v| v.hard) {
+            SloStatus::Exceeded
+        } else if violations.is_empty() {
+            SloStatus::Clean
+        } else {
+            SloStatus::Degraded
+        };
+        SloReport {
+            profile: self.profile.clone(),
+            status,
+            stages_checked,
+            violations,
+        }
+    }
+}
+
+/// Aggregate verdict of an SLO evaluation; mirrors the run-health
+/// states (and exit codes) of `idnre-fault`'s budget contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloStatus {
+    /// Every bound held.
+    Clean,
+    /// A quantile bound was breached or an expected stage never ran.
+    Degraded,
+    /// A hard `max` bound was breached.
+    Exceeded,
+}
+
+impl SloStatus {
+    /// Process exit code for this verdict: 0 clean, 3 degraded,
+    /// 4 exceeded — the same contract `idnre-fault` uses for run health.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            SloStatus::Clean => 0,
+            SloStatus::Degraded => 3,
+            SloStatus::Exceeded => 4,
+        }
+    }
+
+    /// Lowercase label (`clean`/`degraded`/`exceeded`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SloStatus::Clean => "clean",
+            SloStatus::Degraded => "degraded",
+            SloStatus::Exceeded => "exceeded",
+        }
+    }
+}
+
+/// One bound breach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloViolation {
+    /// Stage the breach occurred in (or the missing stage's name).
+    pub stage: String,
+    /// Which bound: `p50`, `p99`, `p999`, `max`, or `missing`.
+    pub metric: &'static str,
+    /// Observed value (ns); 0 for `missing`.
+    pub observed: u64,
+    /// The configured bound (ns); 0 for `missing`.
+    pub bound: u64,
+    /// Whether this breach alone exceeds the budget (a `max` bound).
+    pub hard: bool,
+}
+
+/// The result of [`SloSpec::evaluate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloReport {
+    /// Profile name the spec was built with.
+    pub profile: String,
+    /// Aggregate verdict.
+    pub status: SloStatus,
+    /// How many (rule, stage) pairs were checked.
+    pub stages_checked: usize,
+    /// Every breach found, in rule order.
+    pub violations: Vec<SloViolation>,
+}
+
+impl SloReport {
+    /// Renders the human-readable verdict meant for stderr.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "SLO profile '{}': {} ({} stage checks, {} violations)\n",
+            self.profile,
+            self.status.label(),
+            self.stages_checked,
+            self.violations.len()
+        );
+        for v in &self.violations {
+            if v.metric == "missing" {
+                out.push_str(&format!("  {}: expected stage never ran\n", v.stage));
+            } else {
+                out.push_str(&format!(
+                    "  {}: {} = {}ns > bound {}ns{}\n",
+                    v.stage,
+                    v.metric,
+                    v.observed,
+                    v.bound,
+                    if v.hard { " [hard]" } else { "" }
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(name: &str, p50: u64, p99: u64, p999: u64, max: u64) -> StageSnapshot {
+        StageSnapshot {
+            name: name.into(),
+            calls: 10,
+            records: 100,
+            wall_nanos: p50 * 10,
+            p50_nanos: p50,
+            p90_nanos: p99,
+            p99_nanos: p99,
+            p999_nanos: p999,
+            max_nanos: max,
+        }
+    }
+
+    fn snapshot(stages: Vec<StageSnapshot>) -> MetricsSnapshot {
+        MetricsSnapshot {
+            stages,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn clean_when_all_bounds_hold() {
+        let spec = SloSpec::new("p").rule(
+            SloRule::stage("a")
+                .p50_max_nanos(100)
+                .p99_max_nanos(200)
+                .p999_max_nanos(300)
+                .max_nanos(400),
+        );
+        let report = spec.evaluate(&snapshot(vec![stage("a", 50, 150, 250, 350)]));
+        assert_eq!(report.status, SloStatus::Clean);
+        assert_eq!(report.status.exit_code(), 0);
+        assert_eq!(report.stages_checked, 1);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn quantile_breach_degrades() {
+        let spec = SloSpec::new("p").rule(SloRule::stage("a").p999_max_nanos(100));
+        let report = spec.evaluate(&snapshot(vec![stage("a", 50, 90, 500, 600)]));
+        assert_eq!(report.status, SloStatus::Degraded);
+        assert_eq!(report.status.exit_code(), 3);
+        assert_eq!(report.violations[0].metric, "p999");
+        assert!(!report.violations[0].hard);
+    }
+
+    #[test]
+    fn hard_max_breach_exceeds() {
+        let spec = SloSpec::new("p").rule(SloRule::stage("a").max_nanos(100));
+        let report = spec.evaluate(&snapshot(vec![stage("a", 50, 90, 99, 5_000)]));
+        assert_eq!(report.status, SloStatus::Exceeded);
+        assert_eq!(report.status.exit_code(), 4);
+        assert!(report.violations[0].hard);
+    }
+
+    #[test]
+    fn missing_exact_stage_degrades() {
+        let spec = SloSpec::new("p").rule(SloRule::stage("never.ran").p50_max_nanos(1));
+        let report = spec.evaluate(&snapshot(vec![]));
+        assert_eq!(report.status, SloStatus::Degraded);
+        assert_eq!(report.violations[0].metric, "missing");
+        assert!(report.render_text().contains("expected stage never ran"));
+    }
+
+    #[test]
+    fn prefix_rules_bind_to_families_and_tolerate_absence() {
+        let spec = SloSpec::new("p").rule(SloRule::stage("analyze.pass.*").p99_max_nanos(100));
+        let snap = snapshot(vec![
+            stage("analyze.pass.homograph", 10, 50, 60, 70),
+            stage("analyze.pass.tld", 10, 500, 600, 700),
+            stage("analyze.scan", 10, 999_999, 999_999, 999_999),
+        ]);
+        let report = spec.evaluate(&snap);
+        assert_eq!(report.stages_checked, 2);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].stage, "analyze.pass.tld");
+        // A prefix rule matching nothing is not a violation.
+        let empty = spec.evaluate(&snapshot(vec![]));
+        assert_eq!(empty.status, SloStatus::Clean);
+    }
+
+    #[test]
+    fn render_text_lists_violations() {
+        let spec = SloSpec::new("tight").rule(SloRule::stage("a").p50_max_nanos(1).max_nanos(2));
+        let report = spec.evaluate(&snapshot(vec![stage("a", 100, 200, 300, 400)]));
+        let text = report.render_text();
+        assert!(text.contains("SLO profile 'tight': exceeded"));
+        assert!(text.contains("p50 = 100ns > bound 1ns"));
+        assert!(text.contains("max = 400ns > bound 2ns [hard]"));
+    }
+}
