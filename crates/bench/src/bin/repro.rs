@@ -17,6 +17,9 @@
 //! repro --bench --dump-dataset D.txt all   # write the idnre-dataset/2 bytes
 //! repro --trace trace.json all   # hierarchical span tree, Chrome trace JSON
 //! repro --slo smoke all          # evaluate an SLO profile, gate the exit code
+//! repro --faults storm --crawl-sched all   # event-driven crawl scheduler
+//! repro --faults storm --crawl-sched --inflight 128 --rate 8 all
+//! repro --metrics det all        # thread-invariant idnre-metrics/2 JSON
 //! ```
 //!
 //! With `--metrics`, every pipeline stage (generation, detector scans, the
@@ -67,10 +70,32 @@
 //! code: 0 clean, 3 degraded (a quantile bound or expected stage
 //! missing), 4 exceeded (a hard max bound). Not combinable with
 //! `--faults`, which owns the same exit codes.
+//!
+//! `--crawl-sched` (requires `--faults`) routes the crawl survey through
+//! the event-driven scheduler in `idnre-sched`: a bounded in-flight
+//! window fed from a priority queue (retries before fresh arrivals), a
+//! hierarchical timeout wheel for deadlines and backoff timers,
+//! per-nameserver token-bucket rate limits and circuit breakers, and
+//! graceful load shedding when the queue or breakers say no. Shed
+//! queries count against the error budget's denominator, so an overload
+//! run degrades (exit 3) instead of silently dropping work. `--inflight
+//! N` and `--rate R` tune the window size and per-nameserver
+//! queries-per-second. The scheduler runs on virtual time: reports and
+//! counters replay byte-identically across `--threads` settings.
+//!
+//! Flag compatibility is validated against one table
+//! ([`idnre_bench::FLAG_CONFLICTS`] / [`idnre_bench::FLAG_REQUIRES`]);
+//! any violation is a usage error (exit 2).
+//!
+//! `--metrics det` renders the deterministic `idnre-metrics/2` snapshot
+//! slice (counters and stage call/record totals, no timings), which is
+//! byte-identical across runs and thread counts; with `--write PATH` it
+//! also lands in `PATH.metrics.det.json` so CI can `cmp` two runs.
 
-use idnre_bench::{reports, FaultSetup, ReproContext};
+use idnre_bench::{reports, validate_flags, CliFlags, FaultSetup, ReproContext};
 use idnre_datagen::EcosystemConfig;
 use idnre_fault::FaultPlan;
+use idnre_sched::{RateConfig, SchedConfig};
 use idnre_telemetry::Registry;
 use std::io::Write as _;
 use std::sync::Arc;
@@ -79,6 +104,8 @@ use std::sync::Arc;
 enum MetricsFormat {
     Text,
     Json,
+    /// The thread-invariant `idnre-metrics/2` slice.
+    Det,
 }
 
 fn main() {
@@ -95,6 +122,9 @@ fn main() {
     let mut dump_dataset: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut slo: Option<idnre_telemetry::SloSpec> = None;
+    let mut crawl_sched = false;
+    let mut inflight: Option<usize> = None;
+    let mut rate: Option<u32> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     while let Some(arg) = args.next() {
@@ -166,8 +196,26 @@ fn main() {
                 metrics = Some(match args.next().as_deref() {
                     Some("text") => MetricsFormat::Text,
                     Some("json") => MetricsFormat::Json,
-                    _ => usage("--metrics needs `text` or `json`"),
+                    Some("det") => MetricsFormat::Det,
+                    _ => usage("--metrics needs `text`, `json` or `det`"),
                 });
+            }
+            "--crawl-sched" => crawl_sched = true,
+            "--inflight" => {
+                inflight = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|n| *n >= 1)
+                        .unwrap_or_else(|| usage("--inflight needs a number >= 1")),
+                );
+            }
+            "--rate" => {
+                rate = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|n| *n >= 1)
+                        .unwrap_or_else(|| usage("--rate needs a number >= 1")),
+                );
             }
             "--trace" => {
                 trace_path = Some(args.next().unwrap_or_else(|| usage("--trace needs a path")));
@@ -204,22 +252,35 @@ fn main() {
         }
     }
 
-    if thread_sweep.is_some() && !bench {
-        usage("--thread-sweep requires --bench");
+    let flags = CliFlags {
+        bench,
+        stream,
+        faults: faults.is_some(),
+        metrics: metrics.is_some(),
+        trace: trace_path.is_some(),
+        slo: slo.is_some(),
+        thread_sweep: thread_sweep.is_some(),
+        dump_dataset: dump_dataset.is_some(),
+        crawl_sched,
+    };
+    if let Err(message) = validate_flags(&flags) {
+        usage(&message);
     }
-    if stream && (faults.is_some() || bench || dump_dataset.is_some()) {
-        usage("--stream cannot be combined with --faults, --bench or --dump-dataset");
-    }
-    if slo.is_some() && faults.is_some() {
-        usage("--slo cannot be combined with --faults (both own the exit code)");
+    if crawl_sched {
+        let base = SchedConfig::default();
+        let sched = SchedConfig {
+            max_inflight: inflight.unwrap_or(base.max_inflight),
+            rate: RateConfig {
+                tokens_per_sec: rate.unwrap_or(base.rate.tokens_per_sec),
+                ..base.rate
+            },
+            ..base
+        };
+        faults = faults.map(|setup| setup.with_sched(sched));
+    } else if inflight.is_some() || rate.is_some() {
+        usage("--inflight/--rate only apply with --crawl-sched");
     }
     if bench {
-        if faults.is_some() || metrics.is_some() {
-            usage("--bench cannot be combined with --faults or --metrics");
-        }
-        if trace_path.is_some() || slo.is_some() {
-            usage("--bench cannot be combined with --trace or --slo");
-        }
         run_bench(
             &config,
             write_path.as_deref(),
@@ -309,11 +370,17 @@ fn main() {
         let rendered = match format {
             MetricsFormat::Text => snapshot.render_text(),
             MetricsFormat::Json => snapshot.render_json(),
+            MetricsFormat::Det => snapshot.render_deterministic_json(),
         };
         eprintln!("{rendered}");
-        if let (MetricsFormat::Json, Some(path)) = (format, &write_path) {
-            let metrics_path = format!("{path}.metrics.json");
-            std::fs::write(&metrics_path, snapshot.render_json()).unwrap_or_else(|e| {
+        let sidecar = match format {
+            MetricsFormat::Json => Some(("metrics.json", snapshot.render_json())),
+            MetricsFormat::Det => Some(("metrics.det.json", snapshot.render_deterministic_json())),
+            MetricsFormat::Text => None,
+        };
+        if let (Some((suffix, body)), Some(path)) = (sidecar, &write_path) {
+            let metrics_path = format!("{path}.{suffix}");
+            std::fs::write(&metrics_path, body).unwrap_or_else(|e| {
                 eprintln!("cannot write {metrics_path}: {e}");
                 std::process::exit(1);
             });
@@ -345,13 +412,28 @@ fn main() {
 
     if let Some(health) = &ctx.health {
         eprintln!(
-            "run health: {} — {} ok / {} errors ({}‰ observed, {}‰ allowed)",
+            "run health: {} — {} ok / {} errors / {} shed ({}‰ observed, {}‰ allowed)",
             health.status.label(),
             health.ok,
             health.errors,
+            health.shed,
             health.error_per_mille,
             health.allowed_per_mille,
         );
+        if let Some(sched) = &health.sched {
+            eprintln!(
+                "crawl scheduler: {} arrivals, {} attempts, {} shed ({} admission / {} breaker / {} starved), {} deferred, breakers {} opened / {} reclosed",
+                sched.arrivals,
+                sched.attempts,
+                sched.shed_total(),
+                sched.shed_admission,
+                sched.shed_breaker,
+                sched.shed_starved,
+                sched.deferred,
+                sched.breaker_opened,
+                sched.breaker_reclosed,
+            );
+        }
         std::process::exit(health.status.exit_code());
     }
 }
@@ -431,8 +513,9 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--scale N] [--attack-scale N] [--seed N] [--threads N] [--write PATH] \
-         [--metrics text|json] [--stream] [--shard-size N] \
-         [--faults none|smoke|flaky|storm|SEED|PROFILE:SEED] [--bench] \
+         [--metrics text|json|det] [--stream] [--shard-size N] \
+         [--faults none|smoke|flaky|storm|SEED|PROFILE:SEED] \
+         [--crawl-sched] [--inflight N] [--rate R] [--bench] \
          [--thread-sweep N,N,...] [--dump-dataset PATH] [--trace PATH] \
          [--slo smoke|tight] <experiment...>\n\
          exit codes with --faults or --slo: 0 clean, 3 degraded, 4 budget/bound exceeded\n\

@@ -23,12 +23,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod passes;
 pub mod pipeline_bench;
 pub mod reports;
 pub mod robust;
 pub mod slo;
 
+pub use cli::{validate_flags, CliFlags, FLAG_CONFLICTS, FLAG_REQUIRES};
 pub use pipeline_bench::{
     render_bench_json, render_bench_text, run_pipeline_bench, run_pipeline_sweep, LedgerRow,
     PipelineBench, RunLedger,
@@ -215,16 +217,34 @@ impl ReproContext {
             plan: setup.plan,
             policy: setup.policy,
         };
-        let survey = robust::crawl_survey_faulted_at(
-            &eco,
-            &zones,
-            &ctx,
-            setup.threads,
-            &budget,
-            &*recorder,
-            SpanCtx::ROOT,
-        );
-        let health = RunHealth::new(setup, zone_stats, whois_stats, survey, &budget);
+        let (survey, sched) = match &setup.sched {
+            Some(sched_config) => {
+                let (survey, sched_stats) = robust::crawl_survey_scheduled_at(
+                    &eco,
+                    &zones,
+                    &setup.plan,
+                    sched_config,
+                    setup.threads,
+                    &budget,
+                    &*recorder,
+                    SpanCtx::ROOT,
+                );
+                (survey, Some(sched_stats))
+            }
+            None => (
+                robust::crawl_survey_faulted_at(
+                    &eco,
+                    &zones,
+                    &ctx,
+                    setup.threads,
+                    &budget,
+                    &*recorder,
+                    SpanCtx::ROOT,
+                ),
+                None,
+            ),
+        };
+        let health = RunHealth::with_sched(setup, zone_stats, whois_stats, survey, &budget, sched);
         ReproContext {
             eco,
             homographs,

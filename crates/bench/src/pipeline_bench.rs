@@ -458,6 +458,51 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
         });
     }
 
+    // Crawl-survey throughput pair: the same fault-free population walked
+    // by the synchronous per-domain path and by the event-driven scheduler
+    // (wheel, rate limits, breakers). `crawl.survey.sched` vs
+    // `crawl.survey.sync` read from the JSON is the scheduler's overhead
+    // on a clean run — the throughput floor CI's storm-smoke job gates.
+    let clean_plan = idnre_fault::FaultPlan::new(config.seed, idnre_fault::FaultProfile::none());
+    let fault_ctx = idnre_crawler::FaultContext {
+        plan: clean_plan,
+        policy: idnre_fault::RetryPolicy::default(),
+    };
+    let survey_domains = corpus_len;
+    let started = Instant::now();
+    let _ = crate::robust::crawl_survey_faulted(
+        &ctx.eco,
+        &ctx.eco.zones,
+        &fault_ctx,
+        threads,
+        &idnre_fault::ErrorBudget::new(0),
+        &NoopRecorder,
+    );
+    entries.push(BenchEntry {
+        stage: "crawl.survey.sync".to_string(),
+        mode: "batch",
+        threads,
+        wall_ns: elapsed_ns(started),
+        records: survey_domains,
+    });
+    let started = Instant::now();
+    let _ = crate::robust::crawl_survey_scheduled(
+        &ctx.eco,
+        &ctx.eco.zones,
+        &clean_plan,
+        &idnre_sched::SchedConfig::default(),
+        threads,
+        &idnre_fault::ErrorBudget::new(0),
+        &NoopRecorder,
+    );
+    entries.push(BenchEntry {
+        stage: "crawl.survey.sched".to_string(),
+        mode: "batch",
+        threads,
+        wall_ns: elapsed_ns(started),
+        records: survey_domains,
+    });
+
     // The streamed counterpart: the bounded-memory build timed under its
     // own registry. Its report is the cross-mode oracle — byte-identical
     // to the batch run or the bench aborts — and its stage spans land as

@@ -13,10 +13,11 @@
 
 use idnre_crawler::{
     Crawler, FaultContext, ResolutionOutcome, UsageCategory, ATTEMPTS_HISTOGRAM, FAULT_COUNTERS,
-    OUTCOME_COUNTERS, RETRY_COUNTERS, USAGE_COUNTERS,
+    OUTCOME_COUNTERS, RETRY_COUNTERS, SCHED_COUNTERS, SCHED_LATENCY_HISTOGRAM, USAGE_COUNTERS,
 };
 use idnre_datagen::Ecosystem;
 use idnre_fault::{ErrorBudget, FaultPlan, RetryPolicy, RunStatus, SimClock};
+use idnre_sched::{SchedConfig, SchedStats};
 use idnre_telemetry::{Recorder, SpanCtx};
 use idnre_whois::{CrawlStats, ServerPolicy, WhoisCrawler, CRAWL_COUNTERS};
 use idnre_zonefile::{parse_zone_lenient, write_zone, Zone};
@@ -32,6 +33,10 @@ pub struct FaultSetup {
     pub policy: RetryPolicy,
     /// Survey worker threads (clamped to 1..=64).
     pub threads: usize,
+    /// When set, the crawl survey runs through the event-driven
+    /// scheduler (bounded window, rate limits, breakers, load shedding)
+    /// instead of the per-domain synchronous schedules.
+    pub sched: Option<SchedConfig>,
 }
 
 impl FaultSetup {
@@ -42,6 +47,19 @@ impl FaultSetup {
             plan,
             policy: RetryPolicy::default(),
             threads: idnre_par::default_threads(),
+            sched: None,
+        }
+    }
+
+    /// Enables the scheduled crawl survey, carrying this setup's retry
+    /// policy into the scheduler configuration.
+    pub fn with_sched(self, sched: SchedConfig) -> Self {
+        FaultSetup {
+            sched: Some(SchedConfig {
+                policy: self.policy,
+                ..sched
+            }),
+            ..self
         }
     }
 }
@@ -150,10 +168,16 @@ pub struct RunHealth {
     pub ok: u64,
     /// Records the budget saw fail (fault-layer damage only).
     pub errors: u64,
+    /// Records the scheduler deliberately shed (counted as lost coverage,
+    /// not as errors).
+    pub shed: u64,
     /// The budget's allowance, per mille.
     pub allowed_per_mille: u32,
     /// Observed error rate, per mille.
     pub error_per_mille: u64,
+    /// Scheduler accounting, when the survey ran through the event-driven
+    /// scheduler.
+    pub sched: Option<SchedStats>,
     /// The verdict that becomes the process exit code.
     pub status: RunStatus,
 }
@@ -168,6 +192,19 @@ impl RunHealth {
         survey: SurveyStats,
         budget: &ErrorBudget,
     ) -> Self {
+        Self::with_sched(setup, zones, whois, survey, budget, None)
+    }
+
+    /// [`RunHealth::new`] with the scheduler's accounting attached (the
+    /// scheduled-survey path).
+    pub fn with_sched(
+        setup: &FaultSetup,
+        zones: IngestStats,
+        whois: CrawlStats,
+        survey: SurveyStats,
+        budget: &ErrorBudget,
+        sched: Option<SchedStats>,
+    ) -> Self {
         RunHealth {
             profile: setup.plan.profile().name,
             seed: setup.plan.seed(),
@@ -177,8 +214,10 @@ impl RunHealth {
             survey,
             ok: budget.ok(),
             errors: budget.errors(),
+            shed: budget.shed(),
             allowed_per_mille: budget.allowed_per_mille(),
             error_per_mille: budget.error_per_mille(),
+            sched,
             status: budget.status(),
         }
     }
@@ -244,11 +283,35 @@ impl RunHealth {
             self.survey.faults_injected,
             self.survey.backoff_nanos / 1_000_000,
         ));
+        if let Some(sched) = &self.sched {
+            out.push_str(&format!(
+                "Crawl scheduler: {} arrivals, {} attempts, {} executed / \
+                 {} shed ({} admission, {} breaker-open, {} starved), \
+                 {} rate-deferred; breakers opened {} / half-open {} / \
+                 reclosed {}; peak queue {} / peak in-flight {}; max query \
+                 latency {} ms.\n\n",
+                sched.arrivals,
+                sched.attempts,
+                sched.arrivals - sched.shed_total(),
+                sched.shed_total(),
+                sched.shed_admission,
+                sched.shed_breaker,
+                sched.shed_starved,
+                sched.deferred,
+                sched.breaker_opened,
+                sched.breaker_half_open,
+                sched.breaker_reclosed,
+                sched.peak_queue_depth,
+                sched.peak_inflight,
+                sched.max_latency_nanos / 1_000_000,
+            ));
+        }
         out.push_str(&format!(
-            "Error budget: {} ok / {} errors — {}‰ observed against {}‰ \
-             allowed → **{}** (exit code {}).\n",
+            "Error budget: {} ok / {} errors / {} shed — {}‰ observed \
+             against {}‰ allowed → **{}** (exit code {}).\n",
             self.ok,
             self.errors,
+            self.shed,
             self.error_per_mille,
             self.allowed_per_mille,
             self.status.label(),
@@ -542,4 +605,128 @@ pub fn crawl_survey_faulted_at(
     }
     span.add_records(stats.domains);
     stats
+}
+
+/// The event-driven counterpart of [`crawl_survey_faulted`]: the same
+/// population, fault plan and host model, but each fixed-size slice runs
+/// one deterministic scheduler instance (`idnre-sched`) — shared virtual
+/// timeline, bounded in-flight window, per-nameserver rate limits and
+/// circuit breakers, and priority-classed load shedding.
+///
+/// Accounting splits three ways on the error budget: executed domains
+/// whose terminal verdict was fault-made are errors, other executed
+/// domains are ok, and shed domains are recorded as shed (lost coverage
+/// that never counts as error). Slices are fixed-size and each scheduler
+/// is single-threaded, so the survey replays byte-identically across
+/// worker-thread counts.
+pub fn crawl_survey_scheduled(
+    eco: &Ecosystem,
+    zones: &[Zone],
+    plan: &FaultPlan,
+    config: &SchedConfig,
+    threads: usize,
+    budget: &ErrorBudget,
+    recorder: &dyn Recorder,
+) -> (SurveyStats, SchedStats) {
+    crawl_survey_scheduled_at(
+        eco,
+        zones,
+        plan,
+        config,
+        threads,
+        budget,
+        recorder,
+        SpanCtx::NONE,
+    )
+}
+
+/// [`crawl_survey_scheduled`], parented at `parent` in the span tree.
+#[allow(clippy::too_many_arguments)]
+pub fn crawl_survey_scheduled_at(
+    eco: &Ecosystem,
+    zones: &[Zone],
+    plan: &FaultPlan,
+    config: &SchedConfig,
+    threads: usize,
+    budget: &ErrorBudget,
+    recorder: &dyn Recorder,
+    parent: SpanCtx,
+) -> (SurveyStats, SchedStats) {
+    let mut span = recorder.span_at("crawl.survey.sched", parent, 0);
+    let mut crawler = Crawler::new();
+    for zone in zones {
+        crawler.add_zone(zone);
+    }
+    let population: Vec<&idnre_datagen::DomainRegistration> = eco
+        .idn_registrations
+        .iter()
+        .chain(&eco.non_idn_registrations)
+        .collect();
+    for reg in &population {
+        let (behavior, page) = crate::host_model(reg);
+        if let Some(behavior) = behavior {
+            crawler.set_host(&reg.domain, behavior, page);
+        }
+    }
+    recorder.preregister_groups(&[
+        &OUTCOME_COUNTERS[..],
+        &RETRY_COUNTERS[..],
+        &FAULT_COUNTERS[..],
+        &USAGE_COUNTERS[..],
+        &SCHED_COUNTERS[..],
+    ]);
+    recorder.preregister_stages(&[
+        ATTEMPTS_HISTOGRAM,
+        SCHED_LATENCY_HISTOGRAM,
+        idnre_crawler::SCHED_SLICE_SPAN,
+    ]);
+
+    let crawler = &crawler;
+    let survey_ctx = span.ctx();
+    let per_chunk = idnre_par::par_chunks(
+        &population,
+        threads,
+        idnre_crawler::SURVEY_SLICE_RECORDS,
+        |slice_index, chunk| {
+            let mut slice_span =
+                idnre_crawler::sched_slice_span(recorder, survey_ctx, slice_index as u64);
+            slice_span.add_records(chunk.len() as u64);
+            let domains: Vec<&str> = chunk.iter().map(|reg| reg.domain.as_str()).collect();
+            let out = crawler.crawl_slice_scheduled(&domains, plan, config, recorder);
+            let mut local = SurveyStats::default();
+            for crawl in &out.crawls {
+                local.domains += 1;
+                local.attempts += u64::from(crawl.attempts);
+                local.retries += u64::from(crawl.retries);
+                local.exhausted += u64::from(crawl.exhausted);
+                local.deadline_hit += u64::from(crawl.deadline_hit);
+                local.faults_injected += u64::from(crawl.faults_injected);
+                local.terminal_faulted += u64::from(crawl.terminal_faulted);
+                local.backoff_nanos += crawl.backoff_nanos;
+                local.elapsed_nanos += crawl.latency_nanos;
+                if let Some(outcome) = crawl.dns_outcome {
+                    local.outcomes[outcome_index(outcome)] += 1;
+                }
+                if let Some(category) = crawl.category {
+                    local.usage[usage_index(category)] += 1;
+                }
+                if crawl.shed.is_some() {
+                    budget.record_shed(1);
+                } else if crawl.terminal_faulted {
+                    budget.record_error(1);
+                } else {
+                    budget.record_ok(1);
+                }
+            }
+            (local, out.stats)
+        },
+    );
+    let mut stats = SurveyStats::default();
+    let mut sched = SchedStats::default();
+    for (local, slice_sched) in &per_chunk {
+        stats.merge(local);
+        sched.merge(slice_sched);
+    }
+    span.add_records(stats.domains);
+    (stats, sched)
 }

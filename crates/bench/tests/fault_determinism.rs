@@ -44,6 +44,7 @@ fn faulted_run(seed: u64, profile_index: u8, threads: usize) -> (RunHealth, Stri
         plan: FaultPlan::new(seed, profile(profile_index)),
         policy: RetryPolicy::default(),
         threads,
+        sched: None,
     };
     let registry = Registry::new();
     let budget = ErrorBudget::new(setup.plan.profile().budget_per_mille);

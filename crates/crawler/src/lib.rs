@@ -39,6 +39,7 @@ mod classify;
 mod dns;
 mod faulted;
 mod http;
+mod sched;
 pub mod wire;
 
 pub use classify::{classify, UsageCategory};
@@ -48,6 +49,10 @@ pub use faulted::{
     FAULT_COUNTERS, RETRY_COUNTERS, SURVEY_SLICE_RECORDS, SURVEY_SLICE_SPAN,
 };
 pub use http::{fetch, FetchOutcome, Page, PageKind};
+pub use sched::{
+    sched_slice_span, ScheduledCrawl, SliceSchedule, SCHED_COUNTERS, SCHED_INFLIGHT_GAUGE,
+    SCHED_LATENCY_HISTOGRAM, SCHED_QUEUE_DEPTH_GAUGE, SCHED_SLICE_SPAN,
+};
 
 use idnre_telemetry::Recorder;
 use idnre_zonefile::Zone;

@@ -35,15 +35,23 @@ impl RunStatus {
     }
 }
 
-/// Thread-safe ok/error accounting with a per-mille allowance.
+/// Thread-safe ok/error/shed accounting with a per-mille allowance.
 ///
 /// Stages record successes and failures as they go; at the end of the run
 /// the aggregate folds into a [`RunStatus`]. Counting is atomic and
 /// order-independent, so worker threads can share one budget.
+///
+/// *Shed* records are deliberate load-shedding decisions (queue overflow,
+/// open circuit breakers, rate starvation): they count toward coverage —
+/// a shed record was not measured — so any shedding keeps a run from
+/// being [`RunStatus::Clean`], but they are not *errors*. A scheduler
+/// degrading gracefully under overload exits degraded (3), not
+/// budget-exceeded (4): only genuine failures spend the error budget.
 #[derive(Debug, Default)]
 pub struct ErrorBudget {
     ok: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
     allowed_per_mille: u32,
 }
 
@@ -54,6 +62,7 @@ impl ErrorBudget {
         ErrorBudget {
             ok: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             allowed_per_mille,
         }
     }
@@ -68,6 +77,11 @@ impl ErrorBudget {
         self.errors.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` records deliberately shed by overload control.
+    pub fn record_shed(&self, n: u64) {
+        self.shed.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Successful records so far.
     pub fn ok(&self) -> u64 {
         self.ok.load(Ordering::Relaxed)
@@ -78,23 +92,36 @@ impl ErrorBudget {
         self.errors.load(Ordering::Relaxed)
     }
 
+    /// Shed records so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
     /// The allowance, per mille.
     pub fn allowed_per_mille(&self) -> u32 {
         self.allowed_per_mille
     }
 
-    /// Observed error rate, per mille (0 when nothing was recorded).
+    /// Observed error rate, per mille (0 when nothing was recorded). Shed
+    /// records sit in the denominator — they were offered load — but not
+    /// in the numerator: shedding does not spend the error budget.
     pub fn error_per_mille(&self) -> u64 {
         let errors = self.errors();
-        (errors * 1000).checked_div(self.ok() + errors).unwrap_or(0)
+        (errors * 1000)
+            .checked_div(self.ok() + errors + self.shed())
+            .unwrap_or(0)
     }
 
-    /// Folds the accounting into the run verdict.
+    /// Folds the accounting into the run verdict. Any shedding rules out
+    /// `Clean` (coverage is partial) but never `BudgetExceeded` on its
+    /// own: a run that sheds with its errors in budget is `Degraded`.
     pub fn status(&self) -> RunStatus {
         let errors = self.errors();
-        if errors == 0 {
+        if errors == 0 && self.shed() == 0 {
             RunStatus::Clean
-        } else if errors * 1000 <= (self.ok() + errors) * u64::from(self.allowed_per_mille) {
+        } else if errors * 1000
+            <= (self.ok() + errors + self.shed()) * u64::from(self.allowed_per_mille)
+        {
             RunStatus::Degraded
         } else {
             RunStatus::BudgetExceeded
@@ -142,6 +169,31 @@ mod tests {
         budget.record_ok(999_999);
         budget.record_error(1);
         assert_eq!(budget.status(), RunStatus::BudgetExceeded);
+    }
+
+    #[test]
+    fn shedding_alone_degrades_but_never_exceeds() {
+        let budget = ErrorBudget::new(0); // zero error allowance
+        budget.record_ok(100);
+        budget.record_shed(900); // heavy shedding, zero errors
+        assert_eq!(budget.status(), RunStatus::Degraded);
+        assert_eq!(budget.error_per_mille(), 0);
+        assert_eq!(budget.shed(), 900);
+    }
+
+    #[test]
+    fn shed_load_dilutes_the_error_rate() {
+        let budget = ErrorBudget::new(100);
+        budget.record_ok(700);
+        budget.record_error(101); // 101/801 > 100‰ without shed...
+        assert_eq!(
+            ErrorBudget::new(100).status(),
+            RunStatus::Clean,
+            "sanity: fresh budget is clean"
+        );
+        budget.record_shed(210); // ...but 101/1011 ≤ 100‰ of offered load
+        assert_eq!(budget.error_per_mille(), 99);
+        assert_eq!(budget.status(), RunStatus::Degraded);
     }
 
     #[test]

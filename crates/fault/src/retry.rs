@@ -148,7 +148,10 @@ impl RetryPolicy {
                 break;
             }
             let backoff = self.backoff_nanos(jitter_seed, attempts - 1);
-            if clock.now().saturating_add(backoff) > deadline {
+            // `>=`, not `>`: a backoff landing exactly on the deadline
+            // leaves zero budget for the next attempt — sleeping and then
+            // launching it would start an attempt at the deadline itself.
+            if clock.now().saturating_add(backoff) >= deadline {
                 deadline_hit = true;
                 break;
             }
@@ -246,6 +249,61 @@ mod tests {
         assert!(report.exhausted);
         assert!(report.attempts < 10, "attempts {}", report.attempts);
         assert!(report.elapsed_nanos <= policy.deadline_nanos + policy.attempt_timeout_nanos);
+    }
+
+    #[test]
+    fn deadline_exactly_on_backoff_boundary_ends_the_schedule() {
+        // With jitter off: attempt costs 1 ms, backoff is 9 ms, deadline
+        // is exactly 1 ms + 9 ms. After the first attempt the next
+        // backoff lands *exactly* on the deadline — the schedule must end
+        // there, not sleep a full backoff and launch an attempt starting
+        // at the deadline (the off-by-one a timeout wheel's tick rounding
+        // would then amplify).
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff_nanos: 9_000_000,
+            backoff_multiplier: 1,
+            jitter_per_mille: 0,
+            attempt_timeout_nanos: 1_000_000,
+            attempt_cost_nanos: 1_000_000,
+            deadline_nanos: 10_000_000,
+        };
+        let mut clock = SimClock::new();
+        let report = policy.execute(0, &mut clock, |_| {
+            (Attempt::Retry(()), policy.attempt_timeout_nanos)
+        });
+        assert_eq!(report.attempts, 1, "no attempt may start at the deadline");
+        assert!(report.deadline_hit);
+        assert!(report.exhausted);
+        assert_eq!(
+            report.backoff_nanos, 0,
+            "the boundary backoff is never slept"
+        );
+        assert_eq!(clock.now(), policy.attempt_timeout_nanos);
+    }
+
+    #[test]
+    fn zero_backoff_policy_still_respects_the_deadline() {
+        // A degenerate zero-backoff policy used to be able to schedule a
+        // zero-duration sleep at exactly the deadline; `>=` forbids it.
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            base_backoff_nanos: 0,
+            backoff_multiplier: 1,
+            jitter_per_mille: 0,
+            attempt_timeout_nanos: 2_000_000,
+            attempt_cost_nanos: 2_000_000,
+            deadline_nanos: 10_000_000,
+        };
+        let mut clock = SimClock::new();
+        let report = policy.execute(0, &mut clock, |_| {
+            (Attempt::Retry(()), policy.attempt_timeout_nanos)
+        });
+        // Attempts at 0, 2, 4, 6, 8 ms; the one that would start at 10 ms
+        // (== deadline) must not run.
+        assert_eq!(report.attempts, 5);
+        assert!(report.deadline_hit);
+        assert_eq!(clock.now(), policy.deadline_nanos);
     }
 
     #[test]

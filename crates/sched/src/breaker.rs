@@ -1,0 +1,321 @@
+//! Per-nameserver circuit breakers: closed → open → half-open.
+//!
+//! A nameserver drowning in garbage registrations (the DNS-abuse storms
+//! the paper's measurement had to survive) answers a burst of timeouts
+//! and SERVFAILs; hammering it with retries makes both sides worse. The
+//! breaker watches a sliding window of recent attempt results per
+//! nameserver and, once failures dominate the window, *opens*: queries
+//! fail fast instead of queueing behind a dead authority. After a
+//! cool-down the breaker goes *half-open* and admits a few probe queries;
+//! if they succeed it closes, if any fails it re-opens.
+//!
+//! The window is sized so the storm profile's ~40% per-attempt failure
+//! rate trips breakers reliably while the flaky profile's ~16% almost
+//! never does — overload is a state, not a bad dice roll. All state
+//! transitions are driven by virtual time and the deterministic result
+//! stream, so they replay byte-identically.
+
+/// Breaker tuning shared by every nameserver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Sliding window of most recent completions considered (≤ 64).
+    pub window: u32,
+    /// Failures within the window that trip the breaker.
+    pub trip_failures: u32,
+    /// Virtual nanoseconds the breaker stays open before probing.
+    pub open_nanos: u64,
+    /// Consecutive half-open probe successes required to close.
+    pub close_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    /// Trip at ≥ 8 failures in the last 16 completions (50%), cool down
+    /// 5 virtual seconds, close after 2 successful probes.
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            trip_failures: 8,
+            open_nanos: 5_000_000_000,
+            close_probes: 2,
+        }
+    }
+}
+
+/// Breaker state, in the classic three-state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: everything is admitted, results feed the window.
+    Closed,
+    /// Tripped: reject everything until the cool-down elapses.
+    Open,
+    /// Cooling down: admit a bounded number of probes.
+    HalfOpen,
+}
+
+/// The admission verdict for one dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Dispatch normally.
+    Allow,
+    /// Rejected: the breaker is open (or half-open with its probe quota
+    /// already in flight). Fail fast / shed.
+    Reject,
+}
+
+/// One nameserver's circuit breaker.
+#[derive(Debug, Clone, Copy)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Ring of the last `window` completions, 1 bit per failure.
+    history: u64,
+    filled: u32,
+    failures: u32,
+    open_until_nanos: u64,
+    probes_in_flight: u32,
+    probe_successes: u32,
+    /// Transitions into open (the `crawler.breaker.open` counter's feed).
+    opened: u64,
+    /// Transitions into half-open.
+    half_opened: u64,
+    /// Recoveries back to closed.
+    reclosed: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with an empty history window.
+    pub fn new(config: &BreakerConfig) -> Self {
+        CircuitBreaker {
+            config: BreakerConfig {
+                window: config.window.clamp(1, 64),
+                trip_failures: config.trip_failures.max(1),
+                ..*config
+            },
+            state: BreakerState::Closed,
+            history: 0,
+            filled: 0,
+            failures: 0,
+            open_until_nanos: 0,
+            probes_in_flight: 0,
+            probe_successes: 0,
+            opened: 0,
+            half_opened: 0,
+            reclosed: 0,
+        }
+    }
+
+    /// Current state after observing `now_nanos` (an open breaker whose
+    /// cool-down elapsed reports — and becomes — half-open).
+    pub fn state(&mut self, now_nanos: u64) -> BreakerState {
+        if self.state == BreakerState::Open && now_nanos >= self.open_until_nanos {
+            self.state = BreakerState::HalfOpen;
+            self.half_opened += 1;
+            self.probes_in_flight = 0;
+            self.probe_successes = 0;
+        }
+        self.state
+    }
+
+    /// Asks to dispatch one query at `now_nanos`. An `Allow` from a
+    /// half-open breaker reserves one probe slot; the caller must report
+    /// the probe's result via [`CircuitBreaker::record`].
+    pub fn admit(&mut self, now_nanos: u64) -> BreakerDecision {
+        match self.state(now_nanos) {
+            BreakerState::Closed => BreakerDecision::Allow,
+            BreakerState::Open => BreakerDecision::Reject,
+            BreakerState::HalfOpen => {
+                if self.probes_in_flight < self.config.close_probes {
+                    self.probes_in_flight += 1;
+                    BreakerDecision::Allow
+                } else {
+                    BreakerDecision::Reject
+                }
+            }
+        }
+    }
+
+    /// Whether [`CircuitBreaker::admit`] would currently allow a
+    /// dispatch, without reserving a half-open probe slot. Lets a caller
+    /// check the breaker before spending other admission resources (rate
+    /// tokens), then reserve with `admit` once the dispatch is certain.
+    pub fn would_admit(&mut self, now_nanos: u64) -> bool {
+        match self.state(now_nanos) {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => self.probes_in_flight < self.config.close_probes,
+        }
+    }
+
+    /// Feeds one completed attempt's result into the breaker.
+    pub fn record(&mut self, now_nanos: u64, success: bool) {
+        match self.state(now_nanos) {
+            BreakerState::Closed => {
+                self.push_history(success);
+                if self.failures >= self.config.trip_failures {
+                    self.trip(now_nanos);
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                if success {
+                    self.probe_successes += 1;
+                    if self.probe_successes >= self.config.close_probes {
+                        self.state = BreakerState::Closed;
+                        self.reclosed += 1;
+                        self.history = 0;
+                        self.filled = 0;
+                        self.failures = 0;
+                    }
+                } else {
+                    // One failed probe re-opens for a fresh cool-down.
+                    self.trip(now_nanos);
+                }
+            }
+            // A completion can land after the breaker opened (it was in
+            // flight when the window tripped); it carries no new signal.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Notes a completed attempt that carries no infrastructure signal
+    /// (the target's own pathology — a lame delegation, a configured
+    /// SERVFAIL): frees a half-open probe slot without counting as a
+    /// probe verdict or touching the failure window.
+    pub fn record_neutral(&mut self, now_nanos: u64) {
+        if self.state(now_nanos) == BreakerState::HalfOpen {
+            self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+        }
+    }
+
+    fn push_history(&mut self, success: bool) {
+        let window = self.config.window;
+        if self.filled == window {
+            let evicted = (self.history >> (window - 1)) & 1;
+            self.failures -= evicted as u32;
+        } else {
+            self.filled += 1;
+        }
+        self.history = (self.history << 1) | u64::from(!success);
+        if window < 64 {
+            self.history &= (1u64 << window) - 1;
+        }
+        self.failures += u32::from(!success);
+    }
+
+    fn trip(&mut self, now_nanos: u64) {
+        self.state = BreakerState::Open;
+        self.opened += 1;
+        self.open_until_nanos = now_nanos.saturating_add(self.config.open_nanos);
+        self.probes_in_flight = 0;
+        self.probe_successes = 0;
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn opened(&self) -> u64 {
+        self.opened
+    }
+
+    /// Times the breaker has entered half-open.
+    pub fn half_opened(&self) -> u64 {
+        self.half_opened
+    }
+
+    /// Times the breaker has recovered to closed.
+    pub fn reclosed(&self) -> u64 {
+        self.reclosed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(&BreakerConfig::default())
+    }
+
+    #[test]
+    fn healthy_stream_stays_closed() {
+        let mut b = breaker();
+        for i in 0..1_000u64 {
+            assert_eq!(b.admit(i), BreakerDecision::Allow);
+            b.record(i, i % 7 != 0); // ~14% failures: below trip rate
+        }
+        assert_eq!(b.state(1_000), BreakerState::Closed);
+        assert_eq!(b.opened(), 0);
+    }
+
+    #[test]
+    fn failure_storm_trips_open_then_rejects() {
+        let mut b = breaker();
+        for i in 0..8u64 {
+            b.record(i, false);
+        }
+        assert_eq!(b.opened(), 1);
+        assert_eq!(b.admit(10), BreakerDecision::Reject);
+    }
+
+    #[test]
+    fn cooldown_probes_then_recloses() {
+        let mut b = breaker();
+        for i in 0..8u64 {
+            b.record(i, false);
+        }
+        let after = 8 + BreakerConfig::default().open_nanos;
+        assert_eq!(b.admit(after), BreakerDecision::Allow, "first probe");
+        assert_eq!(b.admit(after), BreakerDecision::Allow, "second probe");
+        assert_eq!(b.admit(after), BreakerDecision::Reject, "probe quota");
+        b.record(after + 1, true);
+        assert_eq!(
+            b.admit(after + 1),
+            BreakerDecision::Allow,
+            "freed probe slot"
+        );
+        b.record(after + 2, true);
+        assert_eq!(b.state(after + 2), BreakerState::Closed);
+        assert_eq!(b.reclosed(), 1);
+        assert_eq!(b.half_opened(), 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = breaker();
+        for i in 0..8u64 {
+            b.record(i, false);
+        }
+        let after = 8 + BreakerConfig::default().open_nanos;
+        assert_eq!(b.admit(after), BreakerDecision::Allow);
+        b.record(after + 1, false);
+        assert_eq!(b.admit(after + 2), BreakerDecision::Reject, "re-opened");
+        assert_eq!(b.opened(), 2);
+    }
+
+    #[test]
+    fn window_slides_old_failures_out() {
+        let mut b = breaker();
+        for i in 0..7u64 {
+            b.record(i, false); // 7 failures: one short of tripping
+        }
+        for i in 7..23u64 {
+            b.record(i, true); // 16 successes push them all out
+        }
+        assert_eq!(b.state(23), BreakerState::Closed);
+        for i in 23..30u64 {
+            b.record(i, false); // 7 fresh failures still don't trip
+        }
+        assert_eq!(b.state(30), BreakerState::Closed);
+        assert_eq!(b.opened(), 0);
+    }
+
+    #[test]
+    fn in_flight_completion_after_trip_is_ignored() {
+        let mut b = breaker();
+        for i in 0..8u64 {
+            b.record(i, false);
+        }
+        let opened = b.opened();
+        b.record(9, false); // landed while open
+        assert_eq!(b.opened(), opened, "no double trip");
+        assert_eq!(b.admit(10), BreakerDecision::Reject);
+    }
+}

@@ -1,0 +1,837 @@
+//! The event loop: per-query state machines over the timeout wheel.
+//!
+//! `run_schedule` turns a population of queries into events on a
+//! [`TimerWheel`](crate::TimerWheel): arrivals pace in on a fixed virtual
+//! interval, dispatches flow through admission control (bounded pending
+//! queue), per-nameserver [`CircuitBreaker`](crate::CircuitBreaker)s and
+//! [`TokenBucket`](crate::TokenBucket)s, attempts complete after their
+//! virtual cost, and transient failures re-enter through the
+//! [`RetryPolicy`](idnre_fault::RetryPolicy)'s backoff timers. The caller
+//! supplies a [`QueryDriver`] that evaluates one attempt at a time —
+//! typically against an [`idnre_fault::FaultPlan`] — and gets back one
+//! [`QueryReport`] per query plus the run's [`SchedStats`].
+//!
+//! # Degradation contract
+//!
+//! Overload is shed by priority class — retries and phase transitions
+//! outrank fresh arrivals, and fresh arrivals are dropped first:
+//!
+//! * a fresh arrival finding the pending queue full is shed
+//!   ([`ShedCause::Admission`]);
+//! * a dispatch against an open breaker fails fast
+//!   ([`ShedCause::BreakerOpen`]);
+//! * a query rate-deferred past its deadline before its first attempt is
+//!   shed ([`ShedCause::Starved`]).
+//!
+//! # Determinism
+//!
+//! The loop is strictly single-threaded and every timestamp is virtual:
+//! wheel pops are totally ordered by `(tick, schedule-seq)`, so a fixed
+//! `(driver, config)` replays the identical event sequence — and
+//! therefore identical reports, stats and counter totals — on every run
+//! and at every worker-thread count (parallel harnesses run one
+//! independent loop per fixed-size slice).
+//!
+//! # Deadline bound
+//!
+//! Every query's terminal event lands at most **one wheel tick** past its
+//! deadline: retry and deferral timers are only scheduled strictly before
+//! the deadline, and an attempt whose completion would overshoot is
+//! cancelled *at* the deadline (both rounded up by at most one tick).
+
+use crate::{BreakerConfig, BreakerDecision, CircuitBreaker, RateConfig, TimerWheel, TokenBucket};
+use idnre_fault::RetryPolicy;
+
+/// Maximum phases a query can pass through (DNS then HTTP today).
+pub const MAX_PHASES: usize = 2;
+
+/// How the scheduler is tuned. `Copy` so harness setups can embed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Attempts, backoff, per-attempt costs and the per-query deadline.
+    pub policy: RetryPolicy,
+    /// Bounded in-flight window: attempts executing concurrently.
+    pub max_inflight: usize,
+    /// Bounded pending queue; fresh arrivals beyond it are shed.
+    pub queue_capacity: usize,
+    /// Virtual nanoseconds between query arrivals (the offered load).
+    pub arrival_interval_nanos: u64,
+    /// Timeout-wheel granularity in virtual nanoseconds.
+    pub wheel_tick_nanos: u64,
+    /// Synthetic nameservers per scheduler instance; queries hash onto
+    /// them for rate limiting and breaking.
+    pub nameserver_pool: u32,
+    /// Per-nameserver token-bucket tuning.
+    pub rate: RateConfig,
+    /// Per-nameserver circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for SchedConfig {
+    /// A 256-query window over a 512-deep queue, 400 arrivals per
+    /// virtual second, a 1 ms wheel tick and 32 nameservers: sized so
+    /// the healthy and `flaky` profiles flow freely while `storm`
+    /// saturates the window and sheds.
+    fn default() -> Self {
+        SchedConfig {
+            policy: RetryPolicy::default(),
+            max_inflight: 256,
+            queue_capacity: 512,
+            arrival_interval_nanos: 2_500_000,
+            wheel_tick_nanos: 1_000_000,
+            nameserver_pool: 32,
+            rate: RateConfig::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// What one evaluated attempt means for the query's state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepVerdict<T> {
+    /// The query is finished with this value.
+    Terminal(T),
+    /// A transient failure that indicts the shared infrastructure (an
+    /// injected storm fault): retried if the schedule allows, and the
+    /// nameserver's breaker hears it.
+    Transient(T),
+    /// A transient failure that is the *target's own* pathology (a lame
+    /// delegation's timeout, a host's configured SERVFAIL): retried
+    /// exactly like [`StepVerdict::Transient`], but breaker-neutral — a
+    /// nameserver is not indicted for one domain's broken delegation.
+    TransientLocal(T),
+    /// This phase succeeded; advance to the next phase (e.g. DNS
+    /// resolved, proceed to HTTP).
+    NextPhase(T),
+}
+
+/// Evaluates attempts for the scheduler. Implementations are called in a
+/// deterministic single-threaded order and may carry per-query state
+/// (cached base resolutions, fault bookkeeping).
+pub trait QueryDriver {
+    /// The verdict type attempts produce.
+    type Step;
+
+    /// Evaluates attempt `attempt` (0-based) of `phase` for query
+    /// `query`, returning the verdict and the attempt's virtual cost in
+    /// nanoseconds. Called once per attempt actually launched.
+    fn attempt(&mut self, query: usize, phase: u8, attempt: u32) -> (StepVerdict<Self::Step>, u64);
+
+    /// The value standing in for an attempt cancelled at the deadline
+    /// (launched, but cut off before its completion landed).
+    fn cancelled(&mut self, query: usize, phase: u8) -> Self::Step;
+
+    /// Which nameserver (within the pool) phase 0 of `query` targets.
+    fn nameserver(&self, query: usize) -> u32;
+
+    /// The backoff-jitter seed for `query`'s `phase`.
+    fn jitter_seed(&self, query: usize, phase: u8) -> u64;
+}
+
+/// Why a query was shed instead of executed to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedCause {
+    /// Fresh arrival dropped: the pending queue was full.
+    Admission,
+    /// Dispatch refused: the target nameserver's breaker was open.
+    BreakerOpen,
+    /// Rate-deferred past the deadline before any attempt ran.
+    Starved,
+}
+
+/// One query's terminal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReport<T> {
+    /// The last value the driver produced (`None` only when the query
+    /// was shed before any attempt ran).
+    pub verdict: Option<T>,
+    /// Set when the scheduler shed the query instead of finishing its
+    /// schedule.
+    pub shed: Option<ShedCause>,
+    /// The phase the query reached (0-based).
+    pub phase: u8,
+    /// Attempts launched across all phases.
+    pub attempts: u32,
+    /// Attempts per phase.
+    pub phase_attempts: [u32; MAX_PHASES],
+    /// Retries performed (per-phase attempts beyond the first).
+    pub retries: u32,
+    /// Virtual backoff slept between attempts.
+    pub backoff_nanos: u64,
+    /// First-dispatch → terminal-event virtual latency (0 when the query
+    /// never dispatched).
+    pub latency_nanos: u64,
+    /// Whether the per-query deadline ended the schedule.
+    pub deadline_hit: bool,
+    /// Whether the schedule ended without a terminal success.
+    pub exhausted: bool,
+}
+
+/// Aggregate accounting of one scheduler run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Queries that arrived (always the population size).
+    pub arrivals: u64,
+    /// Attempts launched.
+    pub attempts: u64,
+    /// Fresh arrivals shed at admission.
+    pub shed_admission: u64,
+    /// Dispatches shed against open breakers.
+    pub shed_breaker: u64,
+    /// Queries starved out by rate deferral before any attempt.
+    pub shed_starved: u64,
+    /// Dispatches deferred by a dry token bucket.
+    pub deferred: u64,
+    /// Deepest the pending queue ever got.
+    pub peak_queue_depth: u64,
+    /// Widest the in-flight window ever got.
+    pub peak_inflight: u64,
+    /// Breaker transitions into open.
+    pub breaker_opened: u64,
+    /// Breaker transitions into half-open.
+    pub breaker_half_open: u64,
+    /// Breaker recoveries back to closed.
+    pub breaker_reclosed: u64,
+    /// Largest per-query latency observed.
+    pub max_latency_nanos: u64,
+}
+
+impl SchedStats {
+    /// Queries shed for any cause.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_admission + self.shed_breaker + self.shed_starved
+    }
+
+    /// Folds another run's stats in (peaks take the max).
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.arrivals += other.arrivals;
+        self.attempts += other.attempts;
+        self.shed_admission += other.shed_admission;
+        self.shed_breaker += other.shed_breaker;
+        self.shed_starved += other.shed_starved;
+        self.deferred += other.deferred;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.peak_inflight = self.peak_inflight.max(other.peak_inflight);
+        self.breaker_opened += other.breaker_opened;
+        self.breaker_half_open += other.breaker_half_open;
+        self.breaker_reclosed += other.breaker_reclosed;
+        self.max_latency_nanos = self.max_latency_nanos.max(other.max_latency_nanos);
+    }
+}
+
+/// Everything one scheduler run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleRun<T> {
+    /// One report per query, in query order.
+    pub reports: Vec<QueryReport<T>>,
+    /// The run's aggregate accounting.
+    pub stats: SchedStats,
+}
+
+// Event tokens: kind in the top bits, query index below.
+const EV_ARRIVAL: u64 = 0 << 62;
+const EV_COMPLETE: u64 = 1 << 62;
+const EV_RETRY: u64 = 2 << 62;
+const EV_DEFER: u64 = 3 << 62;
+const EV_MASK: u64 = 3 << 62;
+
+enum Pending<T> {
+    Result(StepVerdict<T>),
+    CancelledAtDeadline,
+}
+
+struct Query<T> {
+    phase: u8,
+    phase_attempts: [u32; MAX_PHASES],
+    attempts: u32,
+    backoff_nanos: u64,
+    dispatched_at: Option<u64>,
+    deadline: u64,
+    last: Option<T>,
+    pending: Option<Pending<T>>,
+    done: Option<QueryReport<T>>,
+}
+
+impl<T> Query<T> {
+    fn new() -> Self {
+        Query {
+            phase: 0,
+            phase_attempts: [0; MAX_PHASES],
+            attempts: 0,
+            backoff_nanos: 0,
+            dispatched_at: None,
+            deadline: u64::MAX,
+            last: None,
+            pending: None,
+            done: None,
+        }
+    }
+
+    fn retries(&self) -> u32 {
+        self.phase_attempts
+            .iter()
+            .map(|&a| a.saturating_sub(1))
+            .sum()
+    }
+}
+
+struct Loop<'a, D: QueryDriver> {
+    driver: &'a mut D,
+    config: SchedConfig,
+    wheel: TimerWheel,
+    queries: Vec<Query<D::Step>>,
+    pending_retry: std::collections::VecDeque<usize>,
+    pending_fresh: std::collections::VecDeque<usize>,
+    inflight: usize,
+    buckets: Vec<TokenBucket>,
+    breakers: Vec<CircuitBreaker>,
+    stats: SchedStats,
+}
+
+/// Runs `queries` query state machines to completion under `config`,
+/// evaluating attempts through `driver`. See the module docs for the
+/// shedding, determinism and deadline contracts.
+pub fn run_schedule<D: QueryDriver>(
+    driver: &mut D,
+    queries: usize,
+    config: &SchedConfig,
+) -> ScheduleRun<D::Step> {
+    let pool = config.nameserver_pool.max(1) as usize;
+    let mut lp = Loop {
+        driver,
+        config: *config,
+        wheel: TimerWheel::new(config.wheel_tick_nanos),
+        queries: (0..queries).map(|_| Query::new()).collect(),
+        pending_retry: std::collections::VecDeque::new(),
+        pending_fresh: std::collections::VecDeque::new(),
+        inflight: 0,
+        buckets: vec![TokenBucket::new(&config.rate); pool],
+        breakers: vec![CircuitBreaker::new(&config.breaker); pool],
+        stats: SchedStats::default(),
+    };
+    for q in 0..queries {
+        lp.wheel.schedule(
+            q as u64 * config.arrival_interval_nanos,
+            EV_ARRIVAL | q as u64,
+        );
+    }
+    lp.run();
+
+    let mut stats = lp.stats;
+    for breaker in &lp.breakers {
+        stats.breaker_opened += breaker.opened();
+        stats.breaker_half_open += breaker.half_opened();
+        stats.breaker_reclosed += breaker.reclosed();
+    }
+    let reports: Vec<QueryReport<D::Step>> = lp
+        .queries
+        .into_iter()
+        .map(|q| q.done.expect("every query terminates"))
+        .collect();
+    for report in &reports {
+        stats.max_latency_nanos = stats.max_latency_nanos.max(report.latency_nanos);
+    }
+    ScheduleRun { reports, stats }
+}
+
+impl<D: QueryDriver> Loop<'_, D> {
+    fn run(&mut self) {
+        while let Some((now, token)) = self.wheel.pop_next() {
+            let q = (token & !EV_MASK) as usize;
+            match token & EV_MASK {
+                EV_ARRIVAL => self.arrive(q, now),
+                EV_COMPLETE => self.complete(q, now),
+                // Retry backoff and rate deferral both re-enter through
+                // the priority (retry) class: the query already owns a
+                // schedule slot, fresh arrivals queue behind it.
+                EV_RETRY | EV_DEFER => {
+                    self.pending_retry.push_back(q);
+                    self.note_queue_depth();
+                }
+                _ => unreachable!("unknown event kind"),
+            }
+            self.dispatch(now);
+        }
+        debug_assert!(self.pending_retry.is_empty());
+        debug_assert!(self.pending_fresh.is_empty());
+        debug_assert_eq!(self.inflight, 0);
+    }
+
+    fn ns(&self, q: usize) -> usize {
+        (self.driver.nameserver(q) % self.config.nameserver_pool.max(1)) as usize
+    }
+
+    fn note_queue_depth(&mut self) {
+        let depth = (self.pending_retry.len() + self.pending_fresh.len()) as u64;
+        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(depth);
+    }
+
+    fn arrive(&mut self, q: usize, _now: u64) {
+        self.stats.arrivals += 1;
+        if self.pending_retry.len() + self.pending_fresh.len() >= self.config.queue_capacity {
+            self.stats.shed_admission += 1;
+            self.finish(q, _now, None, Some(ShedCause::Admission), false, false);
+            return;
+        }
+        self.pending_fresh.push_back(q);
+        self.note_queue_depth();
+    }
+
+    fn dispatch(&mut self, now: u64) {
+        while self.inflight < self.config.max_inflight {
+            let Some(q) = self
+                .pending_retry
+                .pop_front()
+                .or_else(|| self.pending_fresh.pop_front())
+            else {
+                return;
+            };
+            self.try_dispatch(q, now);
+        }
+    }
+
+    fn try_dispatch(&mut self, q: usize, now: u64) {
+        if self.queries[q].dispatched_at.is_none() {
+            self.queries[q].dispatched_at = Some(now);
+            self.queries[q].deadline = now.saturating_add(self.config.policy.deadline_nanos);
+        }
+        let deadline = self.queries[q].deadline;
+        if now >= deadline {
+            // A retry/deferral timer can land up to one tick past the
+            // deadline; the schedule ends here.
+            let verdict = self.queries[q].last.take();
+            let shed = verdict.is_none().then_some(ShedCause::Starved);
+            if shed.is_some() {
+                self.stats.shed_starved += 1;
+            }
+            self.finish(q, now, verdict, shed, true, true);
+            return;
+        }
+
+        // Phase 0 is the nameserver-facing phase: it is the one gated by
+        // breakers and token buckets. Later phases (HTTP) share the
+        // window and the wheel but target the resolved host, not the
+        // nameserver.
+        if self.queries[q].phase == 0 {
+            let ns = self.ns(q);
+            if !self.breakers[ns].would_admit(now) {
+                self.stats.shed_breaker += 1;
+                let exhausted = self.queries[q].attempts > 0;
+                let verdict = self.queries[q].last.take();
+                self.finish(
+                    q,
+                    now,
+                    verdict,
+                    Some(ShedCause::BreakerOpen),
+                    false,
+                    exhausted,
+                );
+                return;
+            }
+            match self.buckets[ns].try_acquire(now) {
+                Ok(()) => {}
+                Err(ready) => {
+                    self.stats.deferred += 1;
+                    if ready >= deadline {
+                        if self.queries[q].attempts == 0 {
+                            self.stats.shed_starved += 1;
+                            self.finish(q, now, None, Some(ShedCause::Starved), true, false);
+                        } else {
+                            let verdict = self.queries[q].last.take();
+                            self.finish(q, now, verdict, None, true, true);
+                        }
+                        return;
+                    }
+                    self.wheel.schedule(ready, EV_DEFER | q as u64);
+                    return;
+                }
+            }
+            // Reserve the half-open probe slot only once the dispatch is
+            // definitely happening.
+            let decision = self.breakers[ns].admit(now);
+            debug_assert_eq!(decision, BreakerDecision::Allow);
+        }
+        self.execute(q, now);
+    }
+
+    fn execute(&mut self, q: usize, now: u64) {
+        let phase = self.queries[q].phase;
+        let attempt = self.queries[q].phase_attempts[phase as usize];
+        let (verdict, cost) = self.driver.attempt(q, phase, attempt);
+        self.queries[q].phase_attempts[phase as usize] += 1;
+        self.queries[q].attempts += 1;
+        self.stats.attempts += 1;
+        self.inflight += 1;
+        self.stats.peak_inflight = self.stats.peak_inflight.max(self.inflight as u64);
+        let deadline = self.queries[q].deadline;
+        let completes = now.saturating_add(cost);
+        if completes > deadline {
+            // The attempt launched, but the deadline cancels it before
+            // its completion lands.
+            self.queries[q].pending = Some(Pending::CancelledAtDeadline);
+            self.wheel.schedule(deadline, EV_COMPLETE | q as u64);
+        } else {
+            self.queries[q].pending = Some(Pending::Result(verdict));
+            self.wheel.schedule(completes, EV_COMPLETE | q as u64);
+        }
+    }
+
+    fn complete(&mut self, q: usize, now: u64) {
+        self.inflight -= 1;
+        let phase = self.queries[q].phase;
+        let pending = self.queries[q]
+            .pending
+            .take()
+            .expect("completion without dispatch");
+        match pending {
+            Pending::CancelledAtDeadline => {
+                // The deadline is the scheduler's own budget, so a
+                // cancellation says nothing about the nameserver:
+                // breaker-neutral (the half-open probe slot is released).
+                if phase == 0 {
+                    let ns = self.ns(q);
+                    self.breakers[ns].record_neutral(now);
+                }
+                let value = self.driver.cancelled(q, phase);
+                self.finish(q, now, Some(value), None, true, true);
+            }
+            Pending::Result(StepVerdict::Terminal(value)) => {
+                if phase == 0 {
+                    let ns = self.ns(q);
+                    self.breakers[ns].record(now, true);
+                }
+                self.finish(q, now, Some(value), None, false, false);
+            }
+            Pending::Result(StepVerdict::NextPhase(value)) => {
+                if phase == 0 {
+                    let ns = self.ns(q);
+                    self.breakers[ns].record(now, true);
+                }
+                self.queries[q].last = Some(value);
+                self.queries[q].phase = phase + 1;
+                debug_assert!((self.queries[q].phase as usize) < MAX_PHASES);
+                self.pending_retry.push_back(q);
+                self.note_queue_depth();
+            }
+            Pending::Result(StepVerdict::Transient(value)) => {
+                if phase == 0 {
+                    let ns = self.ns(q);
+                    self.breakers[ns].record(now, false);
+                }
+                self.retry_or_finish(q, now, phase, value);
+            }
+            Pending::Result(StepVerdict::TransientLocal(value)) => {
+                // The target's own pathology: retried the same, but the
+                // nameserver's breaker is not indicted (a half-open probe
+                // slot is still released).
+                if phase == 0 {
+                    let ns = self.ns(q);
+                    self.breakers[ns].record_neutral(now);
+                }
+                self.retry_or_finish(q, now, phase, value);
+            }
+        }
+    }
+
+    /// Books a transient result: schedule the next backoff, or finish the
+    /// query when attempts or the deadline run out.
+    fn retry_or_finish(&mut self, q: usize, now: u64, phase: u8, value: D::Step) {
+        self.queries[q].last = Some(value);
+        let attempts = self.queries[q].phase_attempts[phase as usize];
+        if attempts >= self.config.policy.max_attempts.max(1) {
+            let verdict = self.queries[q].last.take();
+            self.finish(q, now, verdict, None, false, true);
+            return;
+        }
+        let seed = self.driver.jitter_seed(q, phase);
+        let backoff = self.config.policy.backoff_nanos(seed, attempts - 1);
+        if now.saturating_add(backoff) >= self.queries[q].deadline {
+            // Same boundary rule as `RetryPolicy::execute`: a backoff
+            // landing exactly on the deadline never schedules the sleep
+            // or another attempt.
+            let verdict = self.queries[q].last.take();
+            self.finish(q, now, verdict, None, true, true);
+            return;
+        }
+        self.queries[q].backoff_nanos += backoff;
+        self.wheel.schedule(now + backoff, EV_RETRY | q as u64);
+    }
+
+    fn finish(
+        &mut self,
+        q: usize,
+        now: u64,
+        verdict: Option<D::Step>,
+        shed: Option<ShedCause>,
+        deadline_hit: bool,
+        exhausted: bool,
+    ) {
+        let query = &mut self.queries[q];
+        debug_assert!(query.done.is_none(), "query finished twice");
+        let latency = query.dispatched_at.map_or(0, |at| now.saturating_sub(at));
+        query.done = Some(QueryReport {
+            verdict,
+            shed,
+            phase: query.phase,
+            attempts: query.attempts,
+            phase_attempts: query.phase_attempts,
+            retries: query.retries(),
+            backoff_nanos: query.backoff_nanos,
+            latency_nanos: latency,
+            deadline_hit,
+            exhausted,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic toy driver: per-query behaviour is a pure function
+    /// of the query index.
+    struct ToyDriver {
+        /// Queries whose phase-0 attempts always fail transiently.
+        fail_all: fn(usize) -> bool,
+        cost: u64,
+        fail_cost: u64,
+        two_phase: bool,
+        pool: u32,
+    }
+
+    impl QueryDriver for ToyDriver {
+        type Step = (u8, bool);
+
+        fn attempt(
+            &mut self,
+            query: usize,
+            phase: u8,
+            _attempt: u32,
+        ) -> (StepVerdict<(u8, bool)>, u64) {
+            if (self.fail_all)(query) {
+                (StepVerdict::Transient((phase, false)), self.fail_cost)
+            } else if phase == 0 && self.two_phase {
+                (StepVerdict::NextPhase((phase, true)), self.cost)
+            } else {
+                (StepVerdict::Terminal((phase, true)), self.cost)
+            }
+        }
+
+        fn cancelled(&mut self, _query: usize, phase: u8) -> (u8, bool) {
+            (phase, false)
+        }
+
+        fn nameserver(&self, query: usize) -> u32 {
+            query as u32 % self.pool
+        }
+
+        fn jitter_seed(&self, query: usize, phase: u8) -> u64 {
+            query as u64 * 31 + u64::from(phase)
+        }
+    }
+
+    fn healthy(pool: u32) -> ToyDriver {
+        ToyDriver {
+            fail_all: |_| false,
+            cost: 50_000_000,
+            fail_cost: 2_000_000_000,
+            two_phase: false,
+            pool,
+        }
+    }
+
+    #[test]
+    fn healthy_population_completes_without_shedding() {
+        let config = SchedConfig::default();
+        let mut driver = healthy(32);
+        let run = run_schedule(&mut driver, 500, &config);
+        assert_eq!(run.reports.len(), 500);
+        assert_eq!(run.stats.arrivals, 500);
+        assert_eq!(run.stats.shed_total(), 0, "{:?}", run.stats);
+        assert_eq!(run.stats.breaker_opened, 0);
+        for report in &run.reports {
+            assert_eq!(report.attempts, 1);
+            assert!(!report.exhausted);
+            assert!(report.verdict.is_some());
+        }
+    }
+
+    #[test]
+    fn two_phase_queries_traverse_both_phases() {
+        let config = SchedConfig::default();
+        let mut driver = ToyDriver {
+            two_phase: true,
+            ..healthy(8)
+        };
+        let run = run_schedule(&mut driver, 100, &config);
+        for report in &run.reports {
+            assert_eq!(report.phase, 1);
+            assert_eq!(report.phase_attempts, [1, 1]);
+            assert_eq!(report.verdict, Some((1, true)));
+        }
+    }
+
+    #[test]
+    fn uniform_failure_storm_trips_breakers_and_sheds() {
+        let config = SchedConfig {
+            queue_capacity: 64,
+            max_inflight: 32,
+            ..SchedConfig::default()
+        };
+        let mut driver = ToyDriver {
+            fail_all: |_| true,
+            ..healthy(4)
+        };
+        let run = run_schedule(&mut driver, 2_000, &config);
+        assert!(run.stats.breaker_opened > 0, "{:?}", run.stats);
+        assert!(run.stats.shed_breaker > 0, "{:?}", run.stats);
+        assert!(run.stats.shed_admission > 0, "{:?}", run.stats);
+        assert!(run.stats.peak_queue_depth > 0);
+        // Every query terminates exactly once, one way or another.
+        assert_eq!(run.reports.len(), 2_000);
+        let shed = run.reports.iter().filter(|r| r.shed.is_some()).count() as u64;
+        assert_eq!(shed, run.stats.shed_total());
+    }
+
+    #[test]
+    fn one_bad_nameserver_only_trips_its_own_breaker() {
+        let config = SchedConfig::default();
+        let mut driver = ToyDriver {
+            // Nameserver 0's queries all fail; everyone else is healthy.
+            fail_all: |q| q % 8 == 0,
+            fail_cost: 100_000_000,
+            ..healthy(8)
+        };
+        let run = run_schedule(&mut driver, 1_000, &config);
+        assert!(run.stats.breaker_opened >= 1);
+        let healthy_shed = run
+            .reports
+            .iter()
+            .enumerate()
+            .filter(|(q, r)| q % 8 != 0 && r.shed == Some(ShedCause::BreakerOpen))
+            .count();
+        assert_eq!(healthy_shed, 0, "healthy nameservers shed by a breaker");
+    }
+
+    #[test]
+    fn no_query_exceeds_deadline_by_more_than_one_tick() {
+        let config = SchedConfig {
+            max_inflight: 16,
+            queue_capacity: 2_048,
+            ..SchedConfig::default()
+        };
+        let mut driver = ToyDriver {
+            fail_all: |q| q % 3 != 0,
+            ..healthy(8)
+        };
+        let run = run_schedule(&mut driver, 600, &config);
+        let bound = config.policy.deadline_nanos + config.wheel_tick_nanos;
+        for (q, report) in run.reports.iter().enumerate() {
+            assert!(
+                report.latency_nanos <= bound,
+                "query {q} latency {} > deadline+tick {bound}",
+                report.latency_nanos
+            );
+        }
+        assert_eq!(
+            run.stats.max_latency_nanos,
+            run.reports.iter().map(|r| r.latency_nanos).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn deadline_on_backoff_boundary_adds_no_attempt() {
+        // Cost 1 ms, backoff exactly deadline - cost: after the first
+        // attempt the next backoff lands exactly on the deadline, which
+        // must end the schedule without a zero-duration sleep or a
+        // second attempt (the wheel-granularity off-by-one).
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff_nanos: 9_000_000,
+            backoff_multiplier: 1,
+            jitter_per_mille: 0,
+            attempt_timeout_nanos: 1_000_000,
+            attempt_cost_nanos: 1_000_000,
+            deadline_nanos: 10_000_000,
+        };
+        let config = SchedConfig {
+            policy,
+            arrival_interval_nanos: 0,
+            ..SchedConfig::default()
+        };
+        let mut driver = ToyDriver {
+            fail_all: |_| true,
+            fail_cost: 1_000_000,
+            ..healthy(1)
+        };
+        let run = run_schedule(&mut driver, 1, &config);
+        let report = &run.reports[0];
+        assert_eq!(report.attempts, 1, "backoff == deadline must not retry");
+        assert!(report.deadline_hit);
+        assert!(report.exhausted);
+        assert_eq!(report.backoff_nanos, 0);
+    }
+
+    /// A driver whose failures are all the targets' own pathology.
+    struct LocalFailDriver;
+
+    impl QueryDriver for LocalFailDriver {
+        type Step = ();
+
+        fn attempt(&mut self, _query: usize, _phase: u8, _attempt: u32) -> (StepVerdict<()>, u64) {
+            (StepVerdict::TransientLocal(()), 100_000_000)
+        }
+
+        fn cancelled(&mut self, _query: usize, _phase: u8) {}
+
+        fn nameserver(&self, query: usize) -> u32 {
+            query as u32 % 4
+        }
+
+        fn jitter_seed(&self, query: usize, _phase: u8) -> u64 {
+            query as u64
+        }
+    }
+
+    #[test]
+    fn local_pathology_never_trips_breakers() {
+        let config = SchedConfig::default();
+        let run = run_schedule(&mut LocalFailDriver, 1_000, &config);
+        assert_eq!(run.stats.breaker_opened, 0, "{:?}", run.stats);
+        assert_eq!(run.stats.shed_breaker, 0);
+        for report in &run.reports {
+            // Heavy rate deferral starves some schedules short of their
+            // full attempt budget, but none may succeed and none may be
+            // blamed on a breaker.
+            assert!(report.exhausted || report.shed == Some(ShedCause::Starved));
+            assert!(report.attempts <= config.policy.max_attempts);
+            assert_ne!(report.shed, Some(ShedCause::BreakerOpen));
+        }
+    }
+
+    #[test]
+    fn runs_replay_identically() {
+        let config = SchedConfig {
+            max_inflight: 24,
+            queue_capacity: 48,
+            ..SchedConfig::default()
+        };
+        let run = || {
+            let mut driver = ToyDriver {
+                fail_all: |q| q % 5 < 2,
+                ..healthy(8)
+            };
+            run_schedule(&mut driver, 800, &config)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_population_is_a_no_op() {
+        let config = SchedConfig::default();
+        let mut driver = healthy(4);
+        let run = run_schedule(&mut driver, 0, &config);
+        assert!(run.reports.is_empty());
+        assert_eq!(run.stats, SchedStats::default());
+    }
+}

@@ -1,0 +1,50 @@
+//! `idnre-sched`: a deterministic event-driven query scheduler.
+//!
+//! The paper's crawl pushed millions of DNS and HTTP queries through a
+//! fixed measurement window against infrastructure that was sometimes
+//! simply drowning — lame delegations, rate-limiting registrars,
+//! authorities knocked over by the very abuse being measured. The
+//! synchronous fault pipeline (`idnre-fault` + the crawler's retry
+//! executors) models per-query behaviour; this crate models the *fleet*:
+//! how thousands of in-flight schedules share a bounded window, pace
+//! themselves per nameserver, fail fast against dead authorities, and
+//! shed load gracefully instead of collapsing when the storm profile
+//! saturates capacity.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`TimerWheel`] — a hierarchical timeout wheel over virtual
+//!   nanoseconds with a deterministic pop order (ties break on schedule
+//!   sequence). Timers never fire early and at most one tick late.
+//! * [`TokenBucket`] / [`RateConfig`] — per-nameserver pacing in integer
+//!   virtual nanoseconds.
+//! * [`CircuitBreaker`] / [`BreakerConfig`] — per-nameserver
+//!   closed → open → half-open breakers over a sliding result window.
+//! * [`run_schedule`] / [`QueryDriver`] — the event loop composing all
+//!   of the above with `idnre-fault`'s [`RetryPolicy`] backoff schedule,
+//!   a bounded in-flight window and priority-classed load shedding
+//!   (retries outrank fresh arrivals; fresh load is shed first).
+//!
+//! Everything runs on virtual time, single-threaded per scheduler
+//! instance: a fixed `(driver, config)` pair replays byte-identically on
+//! every run and at every worker-thread count. The crawler wires these
+//! into its survey harness (`idnre-crawler`'s scheduled crawl surveys),
+//! mapping [`QueryReport`]s and [`SchedStats`] onto telemetry counters
+//! and the run's error budget.
+
+mod breaker;
+mod exec;
+mod rate;
+mod wheel;
+
+pub use breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker};
+pub use exec::{
+    run_schedule, QueryDriver, QueryReport, SchedConfig, SchedStats, ScheduleRun, ShedCause,
+    StepVerdict, MAX_PHASES,
+};
+pub use rate::{RateConfig, TokenBucket};
+pub use wheel::TimerWheel;
+
+// Re-exported so driver implementations can name the policy type without
+// also depending on idnre-fault directly.
+pub use idnre_fault::RetryPolicy;

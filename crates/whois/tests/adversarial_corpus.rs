@@ -1,0 +1,119 @@
+//! Adversarial corpora for the lenient WHOIS path: truncated records and
+//! interleaved garbage, asserted down to *exact* counts — the corpus
+//! error vector on the parser side, and the `whois.parse.failed` /
+//! sibling counters on the crawler side. "Nonzero" is not a contract;
+//! these numbers are.
+
+use idnre_telemetry::{Recorder, Registry};
+use idnre_whois::{
+    parse_whois_corpus, CrawlStats, ParseWhoisError, ServerPolicy, WhoisCrawler, CRAWL_COUNTERS,
+};
+
+const VALID_KEY_VALUE: &str = "\
+Domain Name: alpha.com
+Registrar: Good Registrar
+Creation Date: 2015-05-05
+";
+
+/// A feed cut off mid-record: the registrar line survived, the domain
+/// line lost its value. The dialect still detects, so this fails as
+/// `MissingDomain`, not `Unrecognized`.
+const TRUNCATED: &str = "\
+Registrar: Truncated Feed Inc.
+Domain Name:
+";
+
+/// Interleaved garbage: no key/value separators anywhere, plus a torn
+/// `====` delimiter (four equals signs — one short of the real bulk
+/// separator, so it stays inside the chunk).
+const GARBAGE: &str = "\
+<<<< 0xDE 0xAD corrupted blob with no separators >>>>
+==== torn delimiter
+";
+
+const VALID_BRACKETED: &str = "\
+[Domain Name] beta.example.jp
+[Registrant] Beta KK
+";
+
+const REFUSAL: &str = "Quota exceeded - try again tomorrow\n";
+
+/// Bulk-dump parsing skips each damaged response for exactly one unit of
+/// coverage: three of six responses survive, and the error vector names
+/// each casualty by index and cause.
+#[test]
+fn corpus_accounts_for_every_truncated_and_garbage_response() {
+    let dump = format!(
+        "{VALID_KEY_VALUE}=====\n{TRUNCATED}=====\n{GARBAGE}=====\n\
+         {VALID_BRACKETED}=====\n{REFUSAL}=====\nDomain Name: gamma.net\n"
+    );
+    let corpus = parse_whois_corpus(&dump);
+
+    assert_eq!(corpus.attempted, 6);
+    assert_eq!(corpus.records.len(), 3);
+    assert_eq!(corpus.records[0].domain, "alpha.com");
+    assert_eq!(corpus.records[1].domain, "beta.example.jp");
+    assert_eq!(corpus.records[2].domain, "gamma.net");
+    assert_eq!(
+        corpus.errors,
+        vec![
+            (1, ParseWhoisError::MissingDomain),
+            (2, ParseWhoisError::Unrecognized),
+            (4, ParseWhoisError::Refused),
+        ]
+    );
+    assert_eq!(corpus.coverage_per_mille(), 500);
+    assert!(!corpus.is_clean());
+}
+
+/// The crawler's recorded batch over the same adversarial mix: with the
+/// parse lottery disabled (`unparseable_per_mille: 0`), every failure is
+/// a deterministic parse outcome, and each counter lands on an exact
+/// value — 6 attempted = 2 parsed + 1 blocked + 2 parse-failed + 1
+/// no-server.
+#[test]
+fn crawl_counters_match_exact_expected_values() {
+    let registry = Registry::new();
+    for name in CRAWL_COUNTERS {
+        registry.add(name, 0);
+    }
+
+    let mut crawler = WhoisCrawler::new();
+    crawler.add_server(
+        "Lenient Registry",
+        ServerPolicy {
+            rate_limit: u32::MAX,
+            blocks_crawlers: false,
+            unparseable_per_mille: 0,
+        },
+    );
+
+    let batch: Vec<(&str, &str)> = vec![
+        ("Lenient Registry", VALID_KEY_VALUE),
+        ("Lenient Registry", TRUNCATED),
+        ("Lenient Registry", GARBAGE),
+        ("Lenient Registry", "Query rate exceeded. Retry later.\n"),
+        ("Ghost Registrar", VALID_KEY_VALUE),
+        ("Lenient Registry", VALID_BRACKETED),
+    ];
+    let (records, stats) = crawler.crawl_batch_recorded(batch, &registry);
+
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].domain, "alpha.com");
+    assert_eq!(records[1].domain, "beta.example.jp");
+    assert_eq!(
+        stats,
+        CrawlStats {
+            parsed: 2,
+            blocked: 1,
+            parse_failures: 2,
+            no_server: 1,
+        }
+    );
+
+    assert_eq!(registry.counter_value("whois.crawl.attempted"), 6);
+    assert_eq!(registry.counter_value("whois.crawl.parsed"), 2);
+    assert_eq!(registry.counter_value("whois.crawl.blocked"), 1);
+    assert_eq!(registry.counter_value("whois.parse.failed"), 2);
+    assert_eq!(registry.counter_value("whois.crawl.no_server"), 1);
+}

@@ -1,0 +1,111 @@
+//! Adversarial corpora for the lenient zone parser: truncated records and
+//! interleaved garbage. Every assertion pins an *exact* skip count — the
+//! error vector, the attempted/parsed tallies, and the per-mille coverage
+//! are part of the degrade-and-continue contract, not just "nonzero".
+
+use idnre_zonefile::{parse_zone_lenient, ParseZoneError, RData};
+
+/// Records cut off mid-line: missing rdata fields, a missing type, a SOA
+/// with only five of its seven fields. Each truncation costs exactly its
+/// own line and nothing else.
+#[test]
+fn truncated_records_cost_exactly_their_own_lines() {
+    let text = "\
+$ORIGIN com.
+good1 IN NS ns1.example.net.
+trunc-mx IN MX 10
+trunc-type IN
+trunc-soa IN SOA ns1.example.net. admin.example.net. 1 7200 900
+good2 300 IN A 192.0.2.1
+trunc-a IN A
+";
+    let lenient = parse_zone_lenient("com", text);
+
+    // 1 directive + 6 record lines attempted; 4 truncations skipped.
+    assert_eq!(lenient.attempted, 7);
+    assert_eq!(
+        lenient.errors,
+        vec![
+            ParseZoneError::BadRecord(3, "MX needs 2 field(s), got 1".into()),
+            ParseZoneError::BadRecord(4, "missing record type".into()),
+            ParseZoneError::BadRecord(5, "SOA needs 7 field(s), got 5".into()),
+            ParseZoneError::BadRecord(7, "A needs 1 field(s), got 0".into()),
+        ]
+    );
+    assert_eq!(lenient.parsed(), 3);
+    assert_eq!(lenient.coverage_per_mille(), 428); // 3 of 7 lines
+
+    // The salvage is every record that *did* parse, in order, intact.
+    assert_eq!(lenient.zone.records.len(), 2);
+    assert_eq!(lenient.zone.records[0].owner.to_string(), "good1.com");
+    assert!(matches!(lenient.zone.records[0].rdata, RData::Ns(_)));
+    assert_eq!(lenient.zone.records[1].owner.to_string(), "good2.com");
+    assert_eq!(lenient.zone.records[1].ttl, 300);
+}
+
+/// Garbage interleaved between valid records: binary-looking noise, a
+/// stray `)`, an unknown directive, and a paren group the file truncates
+/// before closing. Paren damage is accounted first (one error per stray
+/// `)` line, one for the unclosed trailing group), then the per-line
+/// failures in file order.
+#[test]
+fn interleaved_garbage_is_skipped_with_exact_accounting() {
+    let text = "\
+$TTL 600
+alpha IN NS ns1.alpha.net.
+<<<<garbage 0xDEADBEEF>>>>
+beta IN A 192.0.2.7
+) ; stray close poisons only this line
+gamma 600 IN AAAA 2001:db8::1
+$BOGUS directive
+delta IN MX 10 mail.delta.net.
+( trailing group cut off by end-of-input
+";
+    let lenient = parse_zone_lenient("net", text);
+
+    // 2 paren casualties + 7 surviving logical lines attempted.
+    assert_eq!(lenient.attempted, 9);
+    assert_eq!(
+        lenient.errors,
+        vec![
+            ParseZoneError::UnbalancedParens,
+            ParseZoneError::UnbalancedParens,
+            ParseZoneError::BadRecord(3, "unsupported record type 0XDEADBEEF>>>>".into()),
+            ParseZoneError::BadDirective(7, "unknown directive $BOGUS".into()),
+        ]
+    );
+    assert_eq!(lenient.parsed(), 5); // $TTL + alpha/beta/gamma/delta
+    assert_eq!(lenient.coverage_per_mille(), 555); // 5 of 9 lines
+
+    let owners: Vec<String> = lenient
+        .zone
+        .records
+        .iter()
+        .map(|r| r.owner.to_string())
+        .collect();
+    assert_eq!(
+        owners,
+        vec!["alpha.net", "beta.net", "gamma.net", "delta.net"]
+    );
+    // The $TTL directive parsed before the garbage started: gamma carries
+    // its explicit 600, alpha inherits the directive's 600.
+    assert_eq!(lenient.zone.records[0].ttl, 600);
+}
+
+/// Even the caller-supplied default origin can be garbage. The lenient
+/// parser charges it as one accounted error (line 0), falls back to the
+/// RFC 2606 `invalid` zone, and still salvages every record.
+#[test]
+fn garbage_default_origin_is_one_accounted_error() {
+    let lenient = parse_zone_lenient("", "a IN NS ns1.b.net.\n");
+
+    assert_eq!(lenient.attempted, 2); // the origin + one record line
+    assert_eq!(lenient.errors.len(), 1);
+    assert!(matches!(
+        lenient.errors[0],
+        ParseZoneError::BadDirective(0, _)
+    ));
+    assert_eq!(lenient.parsed(), 1);
+    assert_eq!(lenient.coverage_per_mille(), 500);
+    assert_eq!(lenient.zone.records[0].owner.to_string(), "a.invalid");
+}
