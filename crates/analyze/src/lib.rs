@@ -122,6 +122,14 @@ pub trait AnalysisPass: Sync {
     /// Folds one record into a partial.
     fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, recorder: &dyn Recorder);
 
+    /// Called once after each shard's record loop (inside the pass's
+    /// shard span). Passes that tally counters accumulate them in the
+    /// partial during [`AnalysisPass::observe`] and flush here in one
+    /// batched [`Recorder::add`] per shard — per-record recorder calls
+    /// from `observe` would put a synchronized counter touch in the hot
+    /// loop and break the scan's instrumentation budget. Default: no-op.
+    fn shard_end(&self, _partial: &mut Self::Partial, _recorder: &dyn Recorder) {}
+
     /// Converts the fully merged partial into the pass output.
     fn finish(&self, partial: Self::Partial) -> Self::Output;
 }
@@ -138,6 +146,7 @@ trait DynPass: Sync {
         rec: &Observed<'_>,
         recorder: &dyn Recorder,
     );
+    fn shard_end_box(&self, partial: &mut (dyn Any + Send), recorder: &dyn Recorder);
     fn merge_box(&self, a: Box<dyn Any + Send>, b: Box<dyn Any + Send>) -> Box<dyn Any + Send>;
     fn clone_box(&self, partial: &(dyn Any + Send)) -> Box<dyn Any + Send>;
     fn eq_box(&self, a: &(dyn Any + Send), b: &(dyn Any + Send)) -> bool;
@@ -173,6 +182,13 @@ impl<P: AnalysisPass> DynPass for P {
             .downcast_mut::<P::Partial>()
             .expect("pass partial type mismatch");
         self.observe(partial, rec, recorder);
+    }
+
+    fn shard_end_box(&self, partial: &mut (dyn Any + Send), recorder: &dyn Recorder) {
+        let partial = partial
+            .downcast_mut::<P::Partial>()
+            .expect("pass partial type mismatch");
+        self.shard_end(partial, recorder);
     }
 
     fn merge_box(&self, a: Box<dyn Any + Send>, b: Box<dyn Any + Send>) -> Box<dyn Any + Send> {
@@ -460,6 +476,7 @@ impl<'p> ShardedScan<'p> {
                             };
                             pass.observe_box(partial.as_mut(), &rec, recorder);
                         }
+                        pass.shard_end_box(partial.as_mut(), recorder);
                         span.add_records(records.len() as u64);
                         partials.push(partial);
                     }

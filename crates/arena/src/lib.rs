@@ -1,0 +1,551 @@
+//! Deterministic string interning and the struct-of-arrays corpus layout.
+//!
+//! The analysis passes and the datagen dedup ladders used to fault whole
+//! `DomainRegistration` structs (a dozen `String`s each) through cache to
+//! read one field, and cloned every candidate domain just to probe a
+//! `HashSet<String>`. This crate provides the two representation
+//! primitives that remove that churn:
+//!
+//! - [`Interner`]: an append-only string arena with an FNV-keyed
+//!   open-addressing index. Interning a string copies its bytes at most
+//!   once; every later probe is a hash + byte-compare against the arena,
+//!   no allocation. Symbols are assigned in **insertion order**, so any
+//!   two walks that feed the same strings in the same order produce the
+//!   same [`Symbol`] ids — interning is as deterministic as the corpus
+//!   order itself, regardless of thread count (the builder walks shards
+//!   in corpus order; workers never intern).
+//! - [`CorpusColumns`]: a struct-of-arrays projection of the registered
+//!   IDN corpus — label symbols, TLD ids, classifier language ids and
+//!   the per-source blacklist bits — so each analysis pass touches only
+//!   the columns it reads. A record costs a few bytes per pass instead
+//!   of a struct walk.
+//!
+//! Neither structure owns any randomness or ordering decisions: both are
+//! pure functions of the record stream they are fed, which is why report
+//! bytes and dataset fingerprints survive the representation change
+//! (DESIGN.md §12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Handle to an interned string: the string's insertion index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The insertion index this symbol denotes.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a symbol from an index returned by [`Symbol::index`].
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Symbol(index as u32)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Append-only string arena with an FNV-keyed open-addressing index.
+///
+/// # Examples
+///
+/// ```
+/// use idnre_arena::Interner;
+/// let mut interner = Interner::new();
+/// let (a, fresh) = interner.intern_full("xn--fiq228c.com");
+/// assert!(fresh);
+/// let (b, fresh) = interner.intern_full("xn--fiq228c.com");
+/// assert!(!fresh);
+/// assert_eq!(a, b);
+/// assert_eq!(interner.resolve(a), "xn--fiq228c.com");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    /// Concatenated bytes of every interned string.
+    arena: String,
+    /// Per-symbol `(start, end)` byte offsets into the arena.
+    spans: Vec<(u32, u32)>,
+    /// Open-addressing buckets holding `symbol index + 1` (0 = empty).
+    buckets: Vec<u32>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// An empty interner sized for roughly `n` distinct strings.
+    pub fn with_capacity(n: usize) -> Self {
+        Interner {
+            arena: String::new(),
+            spans: Vec::with_capacity(n),
+            buckets: vec![0; (n * 2).next_power_of_two().max(16)],
+        }
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total arena bytes (the memory the strings themselves occupy).
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The string behind `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` did not come from this interner.
+    #[inline]
+    pub fn resolve(&self, symbol: Symbol) -> &str {
+        let (start, end) = self.spans[symbol.index()];
+        &self.arena[start as usize..end as usize]
+    }
+
+    /// Looks up `s` without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let mask = self.buckets.len() - 1;
+        let mut slot = (fnv1a(s.as_bytes()) as usize) & mask;
+        loop {
+            match self.buckets[slot] {
+                0 => return None,
+                entry => {
+                    let sym = Symbol(entry - 1);
+                    if self.resolve(sym) == s {
+                        return Some(sym);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Interns `s`, copying its bytes only if it is new.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.intern_full(s).0
+    }
+
+    /// Interns `s`; the flag is `true` iff the string was not present.
+    ///
+    /// This is the dedup-ladder probe: a duplicate candidate costs one
+    /// hash and one byte-compare, never a clone.
+    pub fn intern_full(&mut self, s: &str) -> (Symbol, bool) {
+        if self.buckets.len() < (self.spans.len() + 1) * 2 {
+            self.grow();
+        }
+        let mask = self.buckets.len() - 1;
+        let mut slot = (fnv1a(s.as_bytes()) as usize) & mask;
+        loop {
+            match self.buckets[slot] {
+                0 => break,
+                entry => {
+                    let sym = Symbol(entry - 1);
+                    if self.resolve(sym) == s {
+                        return (sym, false);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+        let start = self.arena.len() as u32;
+        self.arena.push_str(s);
+        let end = self.arena.len() as u32;
+        let sym = Symbol(self.spans.len() as u32);
+        self.spans.push((start, end));
+        self.buckets[slot] = sym.0 + 1;
+        (sym, true)
+    }
+
+    /// Iterates the interned strings in insertion (symbol) order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.spans
+            .iter()
+            .map(|&(start, end)| &self.arena[start as usize..end as usize])
+    }
+
+    fn grow(&mut self) {
+        let new_len = (self.buckets.len() * 2).max(16);
+        let mut buckets = vec![0u32; new_len];
+        let mask = new_len - 1;
+        for (i, &(start, end)) in self.spans.iter().enumerate() {
+            let s = &self.arena[start as usize..end as usize];
+            let mut slot = (fnv1a(s.as_bytes()) as usize) & mask;
+            while buckets[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            buckets[slot] = i as u32 + 1;
+        }
+        self.buckets = buckets;
+    }
+}
+
+/// A growable bit vector (one bit per corpus record).
+#[derive(Debug, Clone, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty bit set.
+    pub fn new() -> Self {
+        BitSet::default()
+    }
+
+    /// Appends one bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// The bit at `index` (`false` past the end).
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        index < self.len && (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Number of bits pushed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bits were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Struct-of-arrays projection of the registered IDN corpus.
+///
+/// One row per IDN registration, in corpus order. The label and TLD
+/// strings live once in their interners; per-record columns hold only
+/// fixed-width ids and bits, so a pass touching one aspect of the corpus
+/// streams through a dense array instead of pointer-chasing records.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusColumns {
+    /// Distinct Unicode SLD labels, interned in first-occurrence order.
+    labels: Interner,
+    /// Distinct TLD names, interned in first-occurrence order.
+    tlds: Interner,
+    /// Per-record SLD label symbol.
+    sld: Vec<Symbol>,
+    /// Per-record TLD id (index into `tlds`).
+    tld: Vec<u16>,
+    /// Per-record classifier language id (one classification per
+    /// *distinct* label, broadcast here).
+    lang: Vec<u8>,
+    /// Per-record "registration carries a malicious flag" bit.
+    malicious: BitSet,
+    /// Per-record "ground-truth language is known" bit (the organic,
+    /// non-injected population).
+    organic: BitSet,
+    /// Per-record VirusTotal blacklist bit.
+    vt: BitSet,
+    /// Per-record Qihoo-360 blacklist bit.
+    q: BitSet,
+    /// Per-record Baidu blacklist bit.
+    b: BitSet,
+}
+
+impl CorpusColumns {
+    /// Number of rows (IDN registrations).
+    pub fn len(&self) -> usize {
+        self.sld.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sld.is_empty()
+    }
+
+    /// The interned distinct SLD labels.
+    pub fn labels(&self) -> &Interner {
+        &self.labels
+    }
+
+    /// The interned distinct TLD names.
+    pub fn tlds(&self) -> &Interner {
+        &self.tlds
+    }
+
+    /// Record `i`'s SLD label symbol.
+    #[inline]
+    pub fn sld_symbol(&self, i: usize) -> Symbol {
+        self.sld[i]
+    }
+
+    /// Record `i`'s TLD id.
+    #[inline]
+    pub fn tld_id(&self, i: usize) -> u16 {
+        self.tld[i]
+    }
+
+    /// The TLD name behind an id from [`CorpusColumns::tld_id`].
+    #[inline]
+    pub fn tld_name(&self, id: u16) -> &str {
+        self.tlds.resolve(Symbol(u32::from(id)))
+    }
+
+    /// Record `i`'s classifier language id.
+    #[inline]
+    pub fn lang_id(&self, i: usize) -> u8 {
+        self.lang[i]
+    }
+
+    /// Whether record `i` carries a malicious flag.
+    #[inline]
+    pub fn is_malicious(&self, i: usize) -> bool {
+        self.malicious.get(i)
+    }
+
+    /// Whether record `i` is organic (ground-truth language known).
+    #[inline]
+    pub fn is_organic(&self, i: usize) -> bool {
+        self.organic.get(i)
+    }
+
+    /// Record `i`'s (VirusTotal, Qihoo-360, Baidu) blacklist bits.
+    #[inline]
+    pub fn blacklist_bits(&self, i: usize) -> (bool, bool, bool) {
+        (self.vt.get(i), self.q.get(i), self.b.get(i))
+    }
+}
+
+/// Row-at-a-time builder for [`CorpusColumns`].
+///
+/// Rows must be pushed in corpus order (the caller walks shards
+/// sequentially); symbol ids then depend only on the corpus, never on
+/// scheduling. The language column is filled by [`ColumnsBuilder::finish`]
+/// from one classification per distinct label — the caller supplies the
+/// classifier (and may parallelize it), keeping this crate dependency-free.
+#[derive(Debug, Default)]
+pub struct ColumnsBuilder {
+    cols: CorpusColumns,
+}
+
+impl ColumnsBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ColumnsBuilder::default()
+    }
+
+    /// Appends one record's row.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        sld: &str,
+        tld: &str,
+        malicious: bool,
+        organic: bool,
+        vt: bool,
+        q: bool,
+        b: bool,
+    ) {
+        let cols = &mut self.cols;
+        cols.sld.push(cols.labels.intern(sld));
+        let tld_sym = cols.tlds.intern(tld);
+        cols.tld.push(tld_sym.index() as u16);
+        cols.malicious.push(malicious);
+        cols.organic.push(organic);
+        cols.vt.push(vt);
+        cols.q.push(q);
+        cols.b.push(b);
+    }
+
+    /// Finalizes the columns. `classify` receives the distinct labels (in
+    /// symbol order) and returns one language id per label; the per-record
+    /// language column broadcasts those ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classify` returns the wrong number of ids.
+    pub fn finish(mut self, classify: impl FnOnce(&Interner) -> Vec<u8>) -> CorpusColumns {
+        let per_label = classify(&self.cols.labels);
+        assert_eq!(
+            per_label.len(),
+            self.cols.labels.len(),
+            "one language id per distinct label"
+        );
+        self.cols.lang = self
+            .cols
+            .sld
+            .iter()
+            .map(|sym| per_label[sym.index()])
+            .collect();
+        self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_insertion_ordered_and_stable() {
+        let mut interner = Interner::new();
+        let a = interner.intern("alpha");
+        let b = interner.intern("beta");
+        let a2 = interner.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(interner.resolve(a), "alpha");
+        assert_eq!(interner.resolve(b), "beta");
+        assert_eq!(interner.len(), 2);
+        let collected: Vec<&str> = interner.iter().collect();
+        assert_eq!(collected, vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn get_never_interns() {
+        let mut interner = Interner::new();
+        assert_eq!(interner.get("missing"), None);
+        let sym = interner.intern("present");
+        assert_eq!(interner.get("present"), Some(sym));
+        assert_eq!(interner.get("missing"), None);
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn intern_full_reports_freshness() {
+        let mut interner = Interner::new();
+        assert!(interner.intern_full("x").1);
+        assert!(!interner.intern_full("x").1);
+    }
+
+    #[test]
+    fn survives_growth_past_initial_buckets() {
+        let mut interner = Interner::new();
+        let syms: Vec<Symbol> = (0..10_000)
+            .map(|i| interner.intern(&format!("s{i}")))
+            .collect();
+        for (i, sym) in syms.iter().enumerate() {
+            assert_eq!(interner.resolve(*sym), format!("s{i}"));
+            assert_eq!(interner.get(&format!("s{i}")), Some(*sym));
+        }
+        assert_eq!(interner.len(), 10_000);
+    }
+
+    #[test]
+    fn empty_string_and_unicode_intern() {
+        let mut interner = Interner::new();
+        let empty = interner.intern("");
+        let han = interner.intern("彩票");
+        assert_eq!(interner.resolve(empty), "");
+        assert_eq!(interner.resolve(han), "彩票");
+        assert_eq!(interner.get(""), Some(empty));
+    }
+
+    #[test]
+    fn bitset_round_trips() {
+        let mut bits = BitSet::new();
+        for i in 0..200 {
+            bits.push(i % 3 == 0);
+        }
+        assert_eq!(bits.len(), 200);
+        for i in 0..200 {
+            assert_eq!(bits.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert!(!bits.get(5000));
+        assert_eq!(bits.count_ones(), (0..200).filter(|i| i % 3 == 0).count());
+    }
+
+    #[test]
+    fn columns_builder_broadcasts_label_classes() {
+        let mut builder = ColumnsBuilder::new();
+        builder.push("彩票", "com", false, true, false, false, false);
+        builder.push("news", "net", true, true, true, true, false);
+        builder.push("彩票", "com", false, false, false, false, true);
+        let cols = builder.finish(|labels| {
+            labels
+                .iter()
+                .map(|label| if label == "彩票" { 7 } else { 1 })
+                .collect()
+        });
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols.labels().len(), 2, "labels deduplicate");
+        assert_eq!(cols.tlds().len(), 2);
+        assert_eq!(cols.lang_id(0), 7);
+        assert_eq!(cols.lang_id(1), 1);
+        assert_eq!(cols.lang_id(2), 7);
+        assert_eq!(cols.sld_symbol(0), cols.sld_symbol(2));
+        assert_eq!(cols.tld_name(cols.tld_id(1)), "net");
+        assert!(cols.is_malicious(1) && !cols.is_malicious(0));
+        assert!(cols.is_organic(0) && !cols.is_organic(2));
+        assert_eq!(cols.blacklist_bits(1), (true, true, false));
+        assert_eq!(cols.blacklist_bits(2), (false, false, true));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Interning agrees with a reference `HashMap` implementation
+            /// on any string sequence: same ids, same resolution.
+            #[test]
+            fn interner_matches_reference_map(strings in proptest::collection::vec(".{0,12}", 0..200)) {
+                let mut interner = Interner::new();
+                let mut reference: std::collections::HashMap<String, u32> =
+                    std::collections::HashMap::new();
+                for s in &strings {
+                    let next = reference.len() as u32;
+                    let expected = *reference.entry(s.clone()).or_insert(next);
+                    let sym = interner.intern(s);
+                    prop_assert_eq!(sym.index() as u32, expected);
+                    prop_assert_eq!(interner.resolve(sym), s.as_str());
+                }
+                prop_assert_eq!(interner.len(), reference.len());
+            }
+
+            /// Two interners fed the same sequence assign identical symbols
+            /// (the determinism the column builder relies on).
+            #[test]
+            fn interning_is_deterministic(strings in proptest::collection::vec(".{0,8}", 0..100)) {
+                let mut a = Interner::new();
+                let mut b = Interner::with_capacity(4);
+                for s in &strings {
+                    prop_assert_eq!(a.intern(s), b.intern(s));
+                }
+            }
+        }
+    }
+}

@@ -1,7 +1,10 @@
 //! Homograph-scan benchmarks (Table XIII's detector) including the
-//! skeleton-prefilter vs exhaustive ablation and the parallel fan-out.
+//! skeleton-prefilter vs exhaustive ablation, the parallel fan-out, and
+//! the interned-layout rung that re-measures the indexed-scan speedup
+//! claim on the arena representation.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use idnre_arena::{Interner, Symbol};
 use idnre_core::HomographDetector;
 use idnre_datagen::{Ecosystem, EcosystemConfig};
 
@@ -109,6 +112,40 @@ fn bench_index_scaling(c: &mut Criterion) {
     }
 }
 
+/// The interned-layout rung: 100k records held as `Symbol(u32)` handles
+/// into one append-only arena (the paper-scale corpus representation)
+/// instead of 100k heap `String`s. The indexed scan resolves each symbol
+/// to its arena slice on the fly, so this measures the PR 3 speedup claim
+/// on the layout the streamed pipeline actually uses — symbol resolution
+/// is a bounds-checked slice lookup, not a hash probe, and must not eat
+/// the prefilter's win.
+fn bench_interned_layout(c: &mut Criterion) {
+    const SIZE: usize = 100_000;
+    let f = fixture();
+    let mut arena = Interner::with_capacity(f.corpus.len());
+    for domain in &f.corpus {
+        arena.intern(domain);
+    }
+    // Cycle the distinct-domain arena up to 100k records of symbol
+    // handles — the dense-corpus shape `CorpusColumns` stores.
+    let symbols: Vec<Symbol> = (0..SIZE)
+        .map(|i| Symbol::from_index(i % arena.len()))
+        .collect();
+    let mut group = c.benchmark_group(format!("homograph_interned_{SIZE}"));
+    group.throughput(Throughput::Elements(SIZE as u64));
+    group.sample_size(10);
+    for threads in [1usize, 8] {
+        group.bench_function(&format!("indexed_{threads}threads"), |b| {
+            b.iter(|| {
+                f.detector
+                    .scan(symbols.iter().map(|&s| arena.resolve(s)), threads)
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Fast Criterion profile: the full suite spans ~80 benchmarks, so each one
 /// uses short warmup/measurement windows to keep a whole-workspace
 /// `cargo bench` run in the minutes range.
@@ -121,6 +158,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_detect_single, bench_scan_corpus, bench_prefilter_ablation, bench_index_scaling
+    targets = bench_detect_single, bench_scan_corpus, bench_prefilter_ablation, bench_index_scaling, bench_interned_layout
 }
 criterion_main!(benches);

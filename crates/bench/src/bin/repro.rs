@@ -13,6 +13,7 @@
 //! repro --faults smoke all       # inject the `smoke` fault schedule
 //! repro --faults storm:7 all     # `storm` profile, replay seed 7
 //! repro --bench all              # timed run, writes BENCH_pipeline.json
+//! repro --bench --stream --shard-size 64 all  # streamed leg at shard 64
 //! repro --bench --thread-sweep 1,2,8 all   # one timed run per count
 //! repro --bench --dump-dataset D.txt all   # write the idnre-dataset/2 bytes
 //! repro --trace trace.json all   # hierarchical span tree, Chrome trace JSON
@@ -43,13 +44,17 @@
 //! so peak resident records stay ≈ `shard_size × threads` at any scale
 //! (reported as the `datagen.peak_resident_records` counter under
 //! `--metrics`). The report bytes are identical to the batch build.
-//! `--stream` cannot be combined with `--faults`, `--bench` or
-//! `--dump-dataset`.
+//! `--stream` cannot be combined with `--faults` or `--dump-dataset`;
+//! with `--bench` it selects the streamed bench leg's shard size.
 //!
 //! `--bench` runs the whole pipeline once under timing, prints the stage
 //! table and the per-pass cost ledger to stderr, and writes
-//! `BENCH_pipeline.json` (`idnre-bench-pipeline/3`) next to the report.
-//! It cannot be combined with `--faults` or `--metrics`.
+//! `BENCH_pipeline.json` (`idnre-bench-pipeline/4`) next to the report.
+//! It cannot be combined with `--faults` or `--metrics`. Combined with
+//! `--stream`, the bench's streamed leg regenerates `--shard-size N`
+//! records at a time and the JSON's top-level `peak_resident_records`
+//! reports the residency-gauge peak — the paper-scale memory contract
+//! (`≤ 4 × shard_size × threads`) read straight from the artifact.
 //! `--thread-sweep 1,2,8` repeats the timed run at each worker count,
 //! asserts the report and the `idnre-dataset/2` bytes are identical
 //! across counts, and concatenates the entries. `--dump-dataset PATH`
@@ -281,8 +286,17 @@ fn main() {
         usage("--inflight/--rate only apply with --crawl-sched");
     }
     if bench {
+        // `--stream` in bench mode selects the shard size the streamed leg
+        // regenerates at (the batch leg always runs for the cross-mode
+        // report oracle); without it the default shard applies.
+        let bench_shard = if stream {
+            shard_size
+        } else {
+            idnre_bench::DEFAULT_SHARD_SIZE
+        };
         run_bench(
             &config,
+            bench_shard,
             write_path.as_deref(),
             thread_sweep.as_deref(),
             dump_dataset.as_deref(),
@@ -443,6 +457,7 @@ fn main() {
 /// report where a plain run would have put it.
 fn run_bench(
     config: &EcosystemConfig,
+    shard_size: usize,
     write_path: Option<&str>,
     thread_sweep: Option<&[usize]>,
     dump_dataset: Option<&str>,
@@ -450,17 +465,17 @@ fn run_bench(
     let bench = match thread_sweep {
         Some(counts) => {
             eprintln!(
-                "benchmarking pipeline (scale 1:{}, attacks 1:{}, seed {:#x}, thread sweep {:?})...",
+                "benchmarking pipeline (scale 1:{}, attacks 1:{}, seed {:#x}, thread sweep {:?}, shard {shard_size})...",
                 config.scale, config.attack_scale, config.seed, counts
             );
-            idnre_bench::run_pipeline_sweep(config, counts)
+            idnre_bench::run_pipeline_sweep_sharded(config, counts, shard_size)
         }
         None => {
             eprintln!(
-                "benchmarking pipeline (scale 1:{}, attacks 1:{}, seed {:#x}, {} threads)...",
+                "benchmarking pipeline (scale 1:{}, attacks 1:{}, seed {:#x}, {} threads, shard {shard_size})...",
                 config.scale, config.attack_scale, config.seed, config.threads
             );
-            idnre_bench::run_pipeline_bench(config)
+            idnre_bench::run_pipeline_bench_sharded(config, shard_size)
         }
     };
     eprint!("{}", idnre_bench::render_bench_text(&bench));

@@ -57,7 +57,6 @@ impl CliFlags {
 /// likely to have just added goes first.
 pub const FLAG_CONFLICTS: &[(&str, &str)] = &[
     ("--stream", "--faults"),
-    ("--stream", "--bench"),
     ("--stream", "--dump-dataset"),
     ("--bench", "--faults"),
     ("--bench", "--metrics"),
@@ -138,6 +137,13 @@ mod tests {
             validate_flags(&with(&["--crawl-sched", "--faults"])),
             Ok(())
         );
+        // The streamed bench is a supported mode: `--bench --stream` times
+        // the bounded-memory build and records its residency peak.
+        assert_eq!(validate_flags(&with(&["--stream", "--bench"])), Ok(()));
+        assert_eq!(
+            validate_flags(&with(&["--stream", "--bench", "--thread-sweep"])),
+            Ok(())
+        );
     }
 
     /// One test body per conflict pair, driven off the table itself so a
@@ -145,11 +151,6 @@ mod tests {
     #[test]
     fn stream_conflicts_with_faults() {
         assert_conflict("--stream", "--faults");
-    }
-
-    #[test]
-    fn stream_conflicts_with_bench() {
-        assert_conflict("--stream", "--bench");
     }
 
     #[test]

@@ -32,8 +32,8 @@ pub mod slo;
 
 pub use cli::{validate_flags, CliFlags, FLAG_CONFLICTS, FLAG_REQUIRES};
 pub use pipeline_bench::{
-    render_bench_json, render_bench_text, run_pipeline_bench, run_pipeline_sweep, LedgerRow,
-    PipelineBench, RunLedger,
+    render_bench_json, render_bench_text, run_pipeline_bench, run_pipeline_bench_sharded,
+    run_pipeline_sweep, run_pipeline_sweep_sharded, LedgerRow, PipelineBench, RunLedger,
 };
 pub use robust::{FaultSetup, IngestStats, RunHealth, SurveyStats};
 pub use slo::{slo_profile, SLO_PROFILES};
@@ -274,7 +274,13 @@ impl ReproContext {
              {:#x}. \"Paper\" numbers are the published values; \"measured\" numbers \
              come from the synthetic ecosystem, so absolute counts scale down by \
              the denominator while *shapes* (rates, rankings, crossovers) are the \
-             reproduction target.\n\n",
+             reproduction target.\n\n\
+             Paper-scale invocation: `repro --stream --shard-size 1024 --scale 2750 \
+             all` (the denominator the paper's 154M-SLD census maps to) runs in \
+             bounded memory — peak resident records stay ≤ 4 × shard_size × \
+             threads at any scale, including the full 1:1 corpus. \
+             `repro --bench --stream` records the measured peak as \
+             `peak_resident_records` in `BENCH_pipeline.json`.\n\n",
             self.eco.config.seed
         ));
         let enabled = self.recorder.enabled();
@@ -395,10 +401,18 @@ fn run_scan(
     let brand_domains: Vec<String> = eco.brands.iter().map(|b| b.domain()).collect();
     let detector = HomographDetector::new(&brand_domains, 0.95);
     let semantic_detector = SemanticDetector::new(&brand_domains);
+    let columns = passes::build_columns(
+        source,
+        &eco.blacklist,
+        shard_size,
+        threads,
+        recorder,
+        parent,
+    );
     let plan = passes::ScanPlan::new(
         &detector,
         &semantic_detector,
-        &eco.blacklist,
+        &columns,
         &eco.pdns,
         passes::table3_wanted(&eco.whois),
         passes::fig6_candidates(eco.brands.top(30)),

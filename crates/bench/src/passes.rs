@@ -15,6 +15,7 @@ use idnre_analyze::{
     AnalysisPass, KeyedTally, Merge, Observed, PassHandle, Population, RecordSource, ScanResult,
     ShardedScan,
 };
+use idnre_arena::{ColumnsBuilder, CorpusColumns, Symbol};
 use idnre_blacklist::{BlacklistSet, Source};
 use idnre_core::{
     AvailabilityEnumerator, HomographDetector, HomographFinding, HomographPass, Semantic1Pass,
@@ -76,18 +77,6 @@ pub struct TldBreakdown {
     pub union: KeyedTally<String>,
 }
 
-impl TldBreakdown {
-    fn empty() -> Self {
-        TldBreakdown {
-            idns: KeyedTally::new(),
-            vt: KeyedTally::new(),
-            q: KeyedTally::new(),
-            b: KeyedTally::new(),
-            union: KeyedTally::new(),
-        }
-    }
-}
-
 impl Merge for TldBreakdown {
     fn merge(self, later: Self) -> Self {
         TldBreakdown {
@@ -100,22 +89,56 @@ impl Merge for TldBreakdown {
     }
 }
 
-/// Folds the Table I aggregates: one blacklist verdict per IDN
-/// registration, tallied by TLD.
+/// [`TldBreakdown`] while the scan is in flight: tallies keyed by the
+/// columnar TLD id (a `u16` array index) instead of an owned `String` per
+/// increment. [`TldPass::finish`] resolves the ids back to names, so the
+/// output — including first-occurrence order, which TLD interning assigns
+/// in corpus order — is unchanged.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TldPartial {
+    idns: KeyedTally<u16>,
+    vt: KeyedTally<u16>,
+    q: KeyedTally<u16>,
+    b: KeyedTally<u16>,
+    union: KeyedTally<u16>,
+}
+
+impl Merge for TldPartial {
+    fn merge(self, later: Self) -> Self {
+        TldPartial {
+            idns: self.idns.merge(later.idns),
+            vt: self.vt.merge(later.vt),
+            q: self.q.merge(later.q),
+            b: self.b.merge(later.b),
+            union: self.union.merge(later.union),
+        }
+    }
+}
+
+/// Folds the Table I aggregates: one precomputed blacklist-bit row per IDN
+/// registration, tallied by columnar TLD id.
 #[derive(Debug, Clone, Copy)]
 pub struct TldPass<'a> {
-    blacklist: &'a BlacklistSet,
+    columns: &'a CorpusColumns,
 }
 
 impl<'a> TldPass<'a> {
-    /// Tallies against `blacklist`.
-    pub fn new(blacklist: &'a BlacklistSet) -> Self {
-        TldPass { blacklist }
+    /// Tallies the blacklist-bit columns of `columns`.
+    pub fn new(columns: &'a CorpusColumns) -> Self {
+        TldPass { columns }
+    }
+
+    fn resolve(&self, tally: KeyedTally<u16>) -> KeyedTally<String> {
+        let mut out = KeyedTally::new();
+        for (&id, n) in tally.iter() {
+            out.add(self.columns.tld_name(id).to_string(), n);
+        }
+        out
     }
 }
 
 impl AnalysisPass for TldPass<'_> {
-    type Partial = TldBreakdown;
+    type Partial = TldPartial;
     type Output = TldBreakdown;
 
     fn name(&self) -> &'static str {
@@ -123,32 +146,39 @@ impl AnalysisPass for TldPass<'_> {
     }
 
     fn empty(&self) -> Self::Partial {
-        TldBreakdown::empty()
+        TldPartial::default()
     }
 
     fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, _: &dyn Recorder) {
         if rec.population != Population::Idn {
             return;
         }
-        let tld = rec.reg.tld.as_str();
-        partial.idns.incr(tld.to_string());
-        let verdict = self.blacklist.verdict(&rec.reg.domain);
-        if verdict.contains(&Source::VirusTotal) {
-            partial.vt.incr(tld.to_string());
+        let i = rec.index as usize;
+        let tld = self.columns.tld_id(i);
+        partial.idns.incr(tld);
+        let (vt, q, b) = self.columns.blacklist_bits(i);
+        if vt {
+            partial.vt.incr(tld);
         }
-        if verdict.contains(&Source::Qihoo360) {
-            partial.q.incr(tld.to_string());
+        if q {
+            partial.q.incr(tld);
         }
-        if verdict.contains(&Source::Baidu) {
-            partial.b.incr(tld.to_string());
+        if b {
+            partial.b.incr(tld);
         }
-        if !verdict.is_empty() {
-            partial.union.incr(tld.to_string());
+        if vt || q || b {
+            partial.union.incr(tld);
         }
     }
 
     fn finish(&self, partial: Self::Partial) -> Self::Output {
-        partial
+        TldBreakdown {
+            idns: self.resolve(partial.idns),
+            vt: self.resolve(partial.vt),
+            q: self.resolve(partial.q),
+            b: self.resolve(partial.b),
+            union: self.resolve(partial.union),
+        }
     }
 }
 
@@ -192,28 +222,23 @@ impl Merge for LanguageMix {
     }
 }
 
-/// Classifies each IDN label once and tallies the Table II populations.
+/// Tallies the Table II populations from the precomputed language-id
+/// column. Classification ran once per **distinct** SLD label when the
+/// columns were built ([`build_columns`]); the per-record observe is a
+/// column read plus three bit probes, touching no registration fields.
 #[derive(Debug, Clone, Copy)]
-pub struct LanguagePass {
-    clf: &'static Classifier,
+pub struct LanguagePass<'a> {
+    columns: &'a CorpusColumns,
 }
 
-impl LanguagePass {
-    /// Uses the process-wide classifier.
-    pub fn new() -> Self {
-        LanguagePass {
-            clf: Classifier::global(),
-        }
+impl<'a> LanguagePass<'a> {
+    /// Reads the language-id and population-bit columns of `columns`.
+    pub fn new(columns: &'a CorpusColumns) -> Self {
+        LanguagePass { columns }
     }
 }
 
-impl Default for LanguagePass {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl AnalysisPass for LanguagePass {
+impl AnalysisPass for LanguagePass<'_> {
     type Partial = LanguageMix;
     type Output = LanguageMix;
 
@@ -229,15 +254,15 @@ impl AnalysisPass for LanguagePass {
         if rec.population != Population::Idn {
             return;
         }
-        let sld = rec.reg.unicode.split('.').next().unwrap_or("");
-        let lang = self.clf.classify(sld);
+        let i = rec.index as usize;
+        let lang = Language::from_id(self.columns.lang_id(i));
         partial.all.incr(lang);
-        if rec.reg.malicious.is_some() {
+        if self.columns.is_malicious(i) {
             partial.bad.incr(lang);
         }
         // The injected attack populations carry no ground-truth language;
         // the organic mix excludes them (Table II's second paragraph).
-        if rec.reg.language != Language::Unknown {
+        if self.columns.is_organic(i) {
             partial.organic_total += 1;
             if lang.is_east_asian() {
                 partial.organic_ea += 1;
@@ -325,6 +350,12 @@ pub struct PopulationActivity {
     pub malicious: ActivityAnalytics,
     /// The non-IDN comparison population.
     pub non_idn: ActivityAnalytics,
+    /// pDNS lookup hits tallied since the last per-shard flush — counter
+    /// traffic is batched into one `Recorder::add` per shard so the hot
+    /// loop never takes the registry lock per record.
+    pub unflushed_hits: u64,
+    /// pDNS lookup misses since the last per-shard flush.
+    pub unflushed_misses: u64,
 }
 
 impl Merge for PopulationActivity {
@@ -332,6 +363,8 @@ impl Merge for PopulationActivity {
         self.benign.merge(later.benign);
         self.malicious.merge(later.malicious);
         self.non_idn.merge(later.non_idn);
+        self.unflushed_hits += later.unflushed_hits;
+        self.unflushed_misses += later.unflushed_misses;
         self
     }
 }
@@ -367,16 +400,27 @@ impl AnalysisPass for ActivityPass<'_> {
         PopulationActivity::default()
     }
 
-    fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, recorder: &dyn Recorder) {
-        if let Some(aggregate) = self.pdns.lookup_recorded(&rec.reg.domain, recorder) {
-            match rec.population {
-                Population::NonIdn => partial.non_idn.add(aggregate),
-                Population::Idn if rec.reg.malicious.is_some() => {
-                    partial.malicious.add(aggregate);
+    fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, _: &dyn Recorder) {
+        match self.pdns.lookup(&rec.reg.domain) {
+            Some(aggregate) => {
+                partial.unflushed_hits += 1;
+                match rec.population {
+                    Population::NonIdn => partial.non_idn.add(aggregate),
+                    Population::Idn if rec.reg.malicious.is_some() => {
+                        partial.malicious.add(aggregate);
+                    }
+                    Population::Idn => partial.benign.add(aggregate),
                 }
-                Population::Idn => partial.benign.add(aggregate),
             }
+            None => partial.unflushed_misses += 1,
         }
+    }
+
+    fn shard_end(&self, partial: &mut Self::Partial, recorder: &dyn Recorder) {
+        recorder.add("pdns.lookup.hit", partial.unflushed_hits);
+        recorder.add("pdns.lookup.miss", partial.unflushed_misses);
+        partial.unflushed_hits = 0;
+        partial.unflushed_misses = 0;
     }
 
     fn finish(&self, partial: Self::Partial) -> Self::Output {
@@ -482,6 +526,62 @@ pub fn fig6_candidates(brands: &[Brand]) -> HashSet<String> {
         .collect()
 }
 
+/// Builds the struct-of-arrays corpus columns the report passes read:
+/// interned SLD labels, TLD ids, language ids, and the per-record
+/// malicious/organic/blacklist bits.
+///
+/// The IDN population is walked sequentially in corpus order (shard by
+/// shard, so a streaming source materializes at most `shard_size` records
+/// at a time), which makes every symbol and column deterministic by
+/// construction — independent of thread count. Language classification
+/// runs once per **distinct** label, parallelized over the interner, and
+/// is broadcast to the per-record column; since the classifier is a pure
+/// function of the label string, the broadcast ids equal a per-record
+/// classification exactly.
+pub fn build_columns(
+    source: &dyn RecordSource,
+    blacklist: &BlacklistSet,
+    shard_size: usize,
+    threads: usize,
+    recorder: &dyn Recorder,
+    parent: SpanCtx,
+) -> CorpusColumns {
+    let mut span = recorder.span_at("analyze.columns", parent, 0);
+    let total = source.population_len(Population::Idn);
+    let shard_size = shard_size.max(1);
+    let mut builder = ColumnsBuilder::new();
+    let mut start = 0u64;
+    while start < total {
+        let len = (total - start).min(shard_size as u64) as usize;
+        source.with_shard(Population::Idn, start, len, &mut |records| {
+            for reg in records {
+                let sld = reg.unicode.split('.').next().unwrap_or("");
+                let verdict = blacklist.verdict(&reg.domain);
+                builder.push(
+                    sld,
+                    &reg.tld,
+                    reg.malicious.is_some(),
+                    reg.language != Language::Unknown,
+                    verdict.contains(&Source::VirusTotal),
+                    verdict.contains(&Source::Qihoo360),
+                    verdict.contains(&Source::Baidu),
+                );
+            }
+        });
+        start += len as u64;
+    }
+    let columns = builder.finish(|labels| {
+        let clf = Classifier::global();
+        let indices: Vec<u32> = (0..labels.len() as u32).collect();
+        idnre_par::par_map(&indices, threads, |&i| {
+            clf.classify(labels.resolve(Symbol::from_index(i as usize)))
+                .id()
+        })
+    });
+    span.add_records(total);
+    columns
+}
+
 /// The full pass roster for one [`crate::ReproContext`] build: both
 /// detectors plus every report aggregator, registered on one
 /// [`ShardedScan`].
@@ -504,7 +604,7 @@ impl<'p> ScanPlan<'p> {
     pub fn new(
         homograph: &'p HomographDetector,
         semantic: &'p SemanticDetector,
-        blacklist: &'p BlacklistSet,
+        columns: &'p CorpusColumns,
         pdns: &'p PdnsStore,
         table3_wanted: HashSet<String>,
         fig6_candidates: HashSet<String>,
@@ -513,8 +613,8 @@ impl<'p> ScanPlan<'p> {
         let homograph = scan.register(HomographPass::new(homograph));
         let semantic1 = scan.register(Semantic1Pass::new(semantic));
         let semantic2 = scan.register(Semantic2Pass::new(semantic));
-        let tld = scan.register(TldPass::new(blacklist));
-        let language = scan.register(LanguagePass::new());
+        let tld = scan.register(TldPass::new(columns));
+        let language = scan.register(LanguagePass::new(columns));
         let content = scan.register(ContentPass);
         let activity = scan.register(ActivityPass::new(pdns));
         let table3 = scan.register(Table3UnicodePass::new(table3_wanted));

@@ -15,19 +15,28 @@
 //!    indexed-vs-exhaustive pair is the regression gate CI holds every
 //!    future change to.
 //!
-//! # Schema (`idnre-bench-pipeline/3`)
+//! # Schema (`idnre-bench-pipeline/4`)
 //!
 //! ```json
 //! {
-//!   "schema": "idnre-bench-pipeline/3",
+//!   "schema": "idnre-bench-pipeline/4",
 //!   "scale": 50, "attack_scale": 1, "threads": 8, "seed": 497885208,
 //!   "dataset_fingerprint": "0xffbab908278775d0",
+//!   "shard_size": 1024, "peak_resident_records": 12288,
 //!   "entries": [
 //!     {"stage": "build.ecosystem", "pass": "", "mode": "batch", "scale": 50,
 //!      "threads": 8, "wall_ns": 1234, "records": 29000, "ns_per_record": 42}
 //!   ]
 //! }
 //! ```
+//!
+//! Schema 4 adds the two top-level memory-budget keys: `shard_size` (the
+//! shard the streamed leg regenerated at, settable via
+//! `repro --bench --stream --shard-size N`) and `peak_resident_records`
+//! (the streamed build's `datagen.peak_resident_records` gauge peak). The
+//! paper-scale contract `peak_resident_records ≤ 4 × shard_size × threads`
+//! is readable straight from the JSON, which is how CI's streamed bench
+//! proxy gates it.
 //!
 //! Schema 3 adds a per-entry `pass` key: the short pass name for
 //! `analyze.pass.<name>` attribution stages (`"homograph"`, `"tld"`, …)
@@ -59,7 +68,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema tag of the JSON this module writes.
-pub const BENCH_SCHEMA: &str = "idnre-bench-pipeline/3";
+pub const BENCH_SCHEMA: &str = "idnre-bench-pipeline/4";
 
 /// Prefix of the per-pass attribution stages the fused scan records.
 pub const PASS_STAGE_PREFIX: &str = "analyze.pass.";
@@ -121,6 +130,13 @@ pub struct PipelineBench {
     /// FNV-1a fingerprint of the rendered `idnre-dataset/2` artifact — the
     /// schedule-independence oracle a sweep asserts across thread counts.
     pub dataset_fingerprint: u64,
+    /// Shard size the streamed leg regenerated the corpus at.
+    pub shard_size: usize,
+    /// Peak of the streamed build's `datagen.peak_resident_records` gauge —
+    /// the memory-budget number the paper-scale contract
+    /// (`≤ 4 × shard_size × threads`) is checked against. A sweep keeps
+    /// the maximum across its per-count runs.
+    pub peak_resident_records: u64,
     /// Timed stages, in pipeline order.
     pub entries: Vec<BenchEntry>,
     /// The regenerated report (so `--bench` still honours `--write`).
@@ -302,6 +318,14 @@ impl RunLedger {
 /// report inside is byte-identical to a plain `repro all` at the same
 /// config.
 pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
+    run_pipeline_bench_sharded(config, crate::DEFAULT_SHARD_SIZE)
+}
+
+/// [`run_pipeline_bench`] with the streamed leg regenerating `shard_size`
+/// records at a time — the `repro --bench --stream --shard-size N` path.
+/// A smaller shard tightens the `peak_resident_records` budget the result
+/// reports; the report and dataset bytes do not depend on it.
+pub fn run_pipeline_bench_sharded(config: &EcosystemConfig, shard_size: usize) -> PipelineBench {
     let registry = Arc::new(Registry::new());
     let ctx = ReproContext::build_recorded(config, registry.clone());
     let report = ctx.full_report();
@@ -509,13 +533,13 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
     // `streamed` entries (including `datagen.peak_resident_records`-backed
     // shard regeneration inside `build.ecosystem`).
     let streamed_registry = Arc::new(Registry::new());
-    let streamed_ctx =
-        ReproContext::build_streamed(config, crate::DEFAULT_SHARD_SIZE, streamed_registry.clone());
+    let streamed_ctx = ReproContext::build_streamed(config, shard_size, streamed_registry.clone());
     let streamed_report = streamed_ctx.full_report();
     assert_eq!(
         report, streamed_report,
         "streamed report diverged from batch"
     );
+    let peak_resident_records = streamed_registry.gauge_peak(idnre_datagen::PEAK_RESIDENT_RECORDS);
     entries.extend(
         streamed_registry
             .snapshot()
@@ -536,6 +560,8 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
         threads,
         seed: config.seed,
         dataset_fingerprint: idnre_datagen::dataset_fingerprint(&dataset),
+        shard_size,
+        peak_resident_records,
         entries,
         report,
         dataset,
@@ -548,13 +574,27 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
 /// fingerprint are identical across every count — the sweep is the
 /// schedule-independence oracle, not just a timing table.
 pub fn run_pipeline_sweep(config: &EcosystemConfig, thread_counts: &[usize]) -> PipelineBench {
+    run_pipeline_sweep_sharded(config, thread_counts, crate::DEFAULT_SHARD_SIZE)
+}
+
+/// [`run_pipeline_sweep`] at an explicit streamed shard size. The result's
+/// `peak_resident_records` is the maximum across the per-count runs, so
+/// the budget bound must be read against the largest swept worker count.
+pub fn run_pipeline_sweep_sharded(
+    config: &EcosystemConfig,
+    thread_counts: &[usize],
+    shard_size: usize,
+) -> PipelineBench {
     assert!(!thread_counts.is_empty(), "sweep needs at least one count");
     let mut sweep: Option<PipelineBench> = None;
     for &threads in thread_counts {
-        let run = run_pipeline_bench(&EcosystemConfig {
-            threads,
-            ..config.clone()
-        });
+        let run = run_pipeline_bench_sharded(
+            &EcosystemConfig {
+                threads,
+                ..config.clone()
+            },
+            shard_size,
+        );
         match &mut sweep {
             None => sweep = Some(run),
             Some(first) => {
@@ -566,6 +606,8 @@ pub fn run_pipeline_sweep(config: &EcosystemConfig, thread_counts: &[usize]) -> 
                     first.report, run.report,
                     "report bytes diverged at {threads} threads"
                 );
+                first.peak_resident_records =
+                    first.peak_resident_records.max(run.peak_resident_records);
                 first.entries.extend(run.entries);
             }
         }
@@ -573,13 +615,20 @@ pub fn run_pipeline_sweep(config: &EcosystemConfig, thread_counts: &[usize]) -> 
     sweep.expect("at least one sweep run")
 }
 
-/// Renders a bench result as schema-stable JSON (`idnre-bench-pipeline/3`).
+/// Renders a bench result as schema-stable JSON (`idnre-bench-pipeline/4`).
 pub fn render_bench_json(bench: &PipelineBench) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{{\"schema\":\"{BENCH_SCHEMA}\",\"scale\":{},\"attack_scale\":{},\
-         \"threads\":{},\"seed\":{},\"dataset_fingerprint\":\"{:#018x}\",\"entries\":[",
-        bench.scale, bench.attack_scale, bench.threads, bench.seed, bench.dataset_fingerprint
+         \"threads\":{},\"seed\":{},\"dataset_fingerprint\":\"{:#018x}\",\
+         \"shard_size\":{},\"peak_resident_records\":{},\"entries\":[",
+        bench.scale,
+        bench.attack_scale,
+        bench.threads,
+        bench.seed,
+        bench.dataset_fingerprint,
+        bench.shard_size,
+        bench.peak_resident_records
     ));
     for (i, entry) in bench.entries.iter().enumerate() {
         if i > 0 {
@@ -623,6 +672,10 @@ pub fn render_bench_text(bench: &PipelineBench) -> String {
             entry.ns_per_record(),
         ));
     }
+    out.push_str(&format!(
+        "streamed peak residency: {} records (shard size {})\n",
+        bench.peak_resident_records, bench.shard_size
+    ));
     if let Some(speedup) = bench.homograph_speedup() {
         out.push_str(&format!(
             "homograph index speedup over exhaustive oracle: {speedup:.1}x\n"
@@ -675,8 +728,25 @@ mod tests {
         assert!(bench.instrumentation_overhead().is_some());
         assert!(bench.dataset.starts_with(idnre_datagen::DATASET_SCHEMA));
 
+        // The streamed leg's residency gauge lands as the schema-4
+        // memory-budget pair, within the paper-scale bound.
+        assert!(bench.peak_resident_records > 0);
+        assert_eq!(bench.shard_size, crate::DEFAULT_SHARD_SIZE);
+        assert!(
+            bench.peak_resident_records <= (4 * bench.shard_size * bench.threads) as u64,
+            "peak {} exceeds 4 × {} × {}",
+            bench.peak_resident_records,
+            bench.shard_size,
+            bench.threads
+        );
+
         let json = render_bench_json(&bench);
-        assert!(json.starts_with("{\"schema\":\"idnre-bench-pipeline/3\""));
+        assert!(json.starts_with("{\"schema\":\"idnre-bench-pipeline/4\""));
+        assert!(json.contains("\"shard_size\":1024"));
+        assert!(json.contains(&format!(
+            "\"peak_resident_records\":{}",
+            bench.peak_resident_records
+        )));
         assert!(json.contains("\"stage\":\"homograph.scan.exhaustive\""));
         assert!(json.contains("\"stage\":\"analyze.pass.homograph\",\"pass\":\"homograph\""));
         assert!(json.contains("\"stage\":\"build.ecosystem\",\"pass\":\"\""));
@@ -691,9 +761,36 @@ mod tests {
 
         let text = render_bench_text(&bench);
         assert!(text.contains("pipeline bench"));
+        assert!(text.contains("streamed peak residency"));
         assert!(text.contains("homograph index speedup"));
         assert!(text.contains("scan attribution overhead"));
         assert!(text.contains("pass ledger"));
+    }
+
+    /// The `--bench --stream --shard-size N` path: a smaller shard
+    /// tightens the reported residency budget without touching the report
+    /// or dataset bytes.
+    #[test]
+    fn sharded_bench_tightens_the_residency_budget() {
+        let config = EcosystemConfig {
+            scale: 2000,
+            attack_scale: 25,
+            brand_count: 200,
+            threads: 2,
+            ..EcosystemConfig::default()
+        };
+        let small = run_pipeline_bench_sharded(&config, 64);
+        assert_eq!(small.shard_size, 64);
+        assert!(small.peak_resident_records > 0);
+        assert!(
+            small.peak_resident_records <= (4 * 64 * config.threads) as u64,
+            "peak {} exceeds 4 × 64 × {}",
+            small.peak_resident_records,
+            config.threads
+        );
+        let default = run_pipeline_bench(&config);
+        assert_eq!(small.report, default.report);
+        assert_eq!(small.dataset_fingerprint, default.dataset_fingerprint);
     }
 
     #[test]

@@ -30,11 +30,19 @@ fn instrumented_scan_stays_within_five_percent_of_uninstrumented() {
     let brand_domains: Vec<String> = eco.brands.iter().map(|b| b.domain()).collect();
     let detector = HomographDetector::new(&brand_domains, 0.95);
     let semantic_detector = SemanticDetector::new(&brand_domains);
+    let columns = passes::build_columns(
+        &source,
+        &eco.blacklist,
+        1024,
+        config.threads,
+        &NoopRecorder,
+        idnre_telemetry::SpanCtx::NONE,
+    );
     let scan_once = |recorder: &dyn Recorder| {
         let plan = passes::ScanPlan::new(
             &detector,
             &semantic_detector,
-            &eco.blacklist,
+            &columns,
             &eco.pdns,
             passes::table3_wanted(&eco.whois),
             passes::fig6_candidates(eco.brands.top(30)),

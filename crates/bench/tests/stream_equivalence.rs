@@ -52,15 +52,23 @@ fn every_pass_merge_is_associative() {
     let brand_domains: Vec<String> = eco.brands.iter().map(|b| b.domain()).collect();
     let detector = HomographDetector::new(&brand_domains, 0.95);
     let semantic_detector = SemanticDetector::new(&brand_domains);
+    let source = SliceSource::new(&eco.idn_registrations, &eco.non_idn_registrations);
+    let columns = passes::build_columns(
+        &source,
+        &eco.blacklist,
+        1024,
+        4,
+        &NoopRecorder,
+        idnre_telemetry::SpanCtx::NONE,
+    );
     let plan = passes::ScanPlan::new(
         &detector,
         &semantic_detector,
-        &eco.blacklist,
+        &columns,
         &eco.pdns,
         passes::table3_wanted(&eco.whois),
         passes::fig6_candidates(eco.brands.top(30)),
     );
-    let source = SliceSource::new(&eco.idn_registrations, &eco.non_idn_registrations);
     plan.check_associative(&source, 97, &NoopRecorder)
         .unwrap_or_else(|pass| panic!("pass {pass} has a non-associative merge"));
 }

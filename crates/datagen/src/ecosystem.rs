@@ -24,16 +24,16 @@ use crate::registration::{
     sample_creation_date, sample_malicious_creation_date, sample_registrant, sample_registrar,
     themed_label, BulkTheme, DomainRegistration, MaliciousKind, BULK_REGISTRANTS,
 };
+use idnre_arena::Interner;
 use idnre_blacklist::{BlacklistSet, Source};
 use idnre_certs::Certificate;
 use idnre_langid::Language;
 use idnre_pdns::{DomainAggregate, PdnsStore, PopulationClass, TrafficModel};
-use idnre_rng::{Key, StageId};
+use idnre_rng::{Key, KeyedRng, StageId};
 use idnre_telemetry::{NoopRecorder, Recorder, SpanCtx};
 use idnre_whois::{Date, WhoisDialect, WhoisRecord};
 use idnre_zonefile::{RData, ResourceRecord, Zone};
 use rand::Rng;
-use std::collections::HashSet;
 
 /// How many label-grow retries a colliding ordinary registration gets.
 pub(crate) const ORDINARY_ATTEMPTS: u64 = 4;
@@ -135,25 +135,98 @@ impl Ecosystem {
         drop(span);
 
         // --- 2. Ordinary IDN registrations per TLD (Table I volumes). ---
-        // The seed vocabulary is finite, so plain sampling collides; each
-        // record precomputes its full keyed retry ladder (label grown with
-        // a numeric suffix per rung) in parallel, and a sequential pass
-        // takes the first rung that clears the cross-record dedup set.
+        // The seed vocabulary is finite, so plain sampling collides. Three
+        // phases per TLD: a parallel plan draws each record's meta stream
+        // and first-rung domain only; a sequential pass probes the interned
+        // dedup set (growing the label through the lazy retry rungs only
+        // for records that actually collide); a parallel finish resumes
+        // each winner's captured RNG stream for the record body. Every
+        // draw lands on the same keyed stream position as the eager-ladder
+        // formulation, so the `idnre-dataset/2` bytes are unchanged.
         let mut span = recorder.span_at("datagen.ordinary_registrations", parent, 1);
         let bulk_count = idn_registrations.len();
-        let mut seen: HashSet<String> =
-            idn_registrations.iter().map(|r| r.domain.clone()).collect();
+        let mut seen = Interner::with_capacity(idn_registrations.len() * 2);
+        for reg in &idn_registrations {
+            seen.intern(&reg.domain);
+        }
         for (spec_idx, spec) in TABLE_I.iter().enumerate() {
             let n = config.scaled_idns(spec);
-            let ladders = ordinary_candidates(root, config, spec_idx as u64, spec.tld, n, threads);
-            for ladder in ladders {
-                for reg in ladder.into_iter().flatten() {
-                    if seen.insert(reg.domain.clone()) {
-                        idn_registrations.push(reg);
-                        break;
+            let spec_key = root
+                .stage(StageId::OrdinaryRegistrations)
+                .derive(spec_idx as u64);
+            let indices: Vec<u64> = (0..n).collect();
+            let plans = idnre_par::par_map(&indices, threads, |&i| {
+                let record_key = spec_key.record(i);
+                let mut meta = record_key.rng();
+                let language = labels::sample_language(&mut meta);
+                let label = labels::generate_label(&mut meta, language);
+                let (email, _) = sample_registrant(&mut meta, i);
+                let mut rng = record_key.derive(1).rng();
+                let rung0 = draw_idn_domain(&mut rng, &label, spec.tld)
+                    .map(|(domain, unicode)| (domain, unicode, rng));
+                OrdinaryPlan {
+                    language,
+                    label,
+                    email,
+                    rung0,
+                }
+            });
+            let mut winners: Vec<OrdinaryWinner> = Vec::with_capacity(plans.len());
+            for (i, plan) in plans.into_iter().enumerate() {
+                let OrdinaryPlan {
+                    language,
+                    mut label,
+                    email,
+                    rung0,
+                } = plan;
+                let mut won = match rung0 {
+                    Some((domain, unicode, rng)) if seen.intern_full(&domain).1 => {
+                        Some((domain, unicode, rng))
+                    }
+                    _ => None,
+                };
+                if won.is_none() {
+                    // Collision (or failed first rung): walk the remaining
+                    // rungs in order. Rung `k` draws from the record key's
+                    // child `derive(k + 1)`, its suffix growing the label
+                    // the previous rungs left behind — identical streams
+                    // and label accumulation to the precomputed ladder.
+                    let record_key = spec_key.record(i as u64);
+                    for attempt in 1..ORDINARY_ATTEMPTS {
+                        let mut rng = record_key.derive(attempt + 1).rng();
+                        label.push_str(&rng.gen_range(2..1000u32).to_string());
+                        let Some((domain, unicode)) = draw_idn_domain(&mut rng, &label, spec.tld)
+                        else {
+                            continue;
+                        };
+                        if seen.intern_full(&domain).1 {
+                            won = Some((domain, unicode, rng));
+                            break;
+                        }
                     }
                 }
+                if let Some((domain, unicode, rng)) = won {
+                    winners.push(OrdinaryWinner {
+                        language,
+                        email,
+                        domain,
+                        unicode,
+                        rng,
+                    });
+                }
             }
+            idn_registrations.extend(idnre_par::par_map(&winners, threads, |winner| {
+                let mut rng = winner.rng.clone();
+                finish_idn(
+                    &mut rng,
+                    config,
+                    winner.domain.clone(),
+                    winner.unicode.clone(),
+                    winner.language,
+                    spec.tld,
+                    winner.email.clone(),
+                )
+            }));
         }
         span.add_records((idn_registrations.len() - bulk_count) as u64);
         drop(span);
@@ -190,8 +263,11 @@ impl Ecosystem {
             config.attack_scale,
         );
         let inject_key = root.stage(StageId::AttackInjection);
-        let mut existing: HashSet<String> =
-            idn_registrations.iter().map(|r| r.domain.clone()).collect();
+        // The ordinary stage's dedup set already holds every bulk and
+        // ordinary domain (the blacklist stage between mutates flags, not
+        // domains), so injection threads the same set through instead of
+        // rebuilding an identical one from scratch.
+        let mut existing = seen;
         for (kind_word, (attacks_list, (kind, per_mille))) in
             [&homograph_attacks, &semantic_attacks, &semantic2_attacks]
                 .into_iter()
@@ -382,6 +458,27 @@ impl Ecosystem {
             build_non_idn(&mut rng, config, i, spec.tld)
         })
     }
+}
+
+/// One ordinary record's parallel plan: the meta stream's products plus
+/// the first rung's domain and mid-stream RNG. The RNG is carried so the
+/// finish phase resumes exactly where the domain draw stopped — no
+/// replay, no second meta derivation.
+struct OrdinaryPlan {
+    language: Language,
+    label: String,
+    email: Option<String>,
+    rung0: Option<(String, String, KeyedRng)>,
+}
+
+/// A record that cleared dedup: everything [`finish_idn`] needs, with the
+/// winning rung's RNG positioned right after its domain draw.
+struct OrdinaryWinner {
+    language: Language,
+    email: Option<String>,
+    domain: String,
+    unicode: String,
+    rng: KeyedRng,
 }
 
 /// Precomputes the keyed retry ladders for one TLD's ordinary
@@ -637,7 +734,7 @@ fn inject_attacks(
     attacks: &[AttackDomain],
     kind: MaliciousKind,
     per_mille: u32,
-    existing: &mut HashSet<String>,
+    existing: &mut Interner,
     registrations: &mut Vec<DomainRegistration>,
     blacklist: &mut BlacklistSet,
 ) {
@@ -647,7 +744,7 @@ fn inject_attacks(
         prepare_attack_registration(&mut rng, config, &attacks[i as usize], kind, per_mille)
     });
     for (reg, blacklisted, qihoo_too) in prepared {
-        if !existing.insert(reg.domain.clone()) {
+        if !existing.intern_full(&reg.domain).1 {
             continue;
         }
         if blacklisted {

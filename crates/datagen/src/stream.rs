@@ -26,6 +26,7 @@ use crate::labels;
 use crate::registration::{
     sample_registrant, themed_label, DomainRegistration, MaliciousKind, BULK_REGISTRANTS,
 };
+use idnre_arena::{Interner, Symbol};
 use idnre_blacklist::{BlacklistSet, Source};
 use idnre_certs::Certificate;
 use idnre_langid::Language;
@@ -35,7 +36,7 @@ use idnre_telemetry::{Gauge, Recorder, SpanCtx};
 use idnre_whois::{Date, WhoisRecord};
 use idnre_zonefile::{ResourceRecord, Zone};
 use rand::Rng;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Gauge name of the peak-residency level.
@@ -286,23 +287,29 @@ pub fn generate_streamed_traced(
         draw_idn_domain(&mut rng, &format!("{label}{i}"), "com").map(|(domain, _)| domain)
     });
     let mut idn_recipes: Vec<Recipe> = Vec::new();
-    let mut domains: Vec<String> = Vec::new();
+    // One interner doubles as the dedup set and the domain table; the
+    // per-record `symbols` column maps recipe index → arena slot so stage 3
+    // can resolve a candidate's domain without a second Vec<String> copy of
+    // the corpus. (Bulk keeps duplicate domains as distinct records — the
+    // batch path has no bulk dedup — so arena slots are NOT 1:1 with
+    // recipes and `Symbol::from_index(recipe_idx)` would misresolve.)
+    let mut seen = Interner::with_capacity(bulk_jobs.len() * 2);
+    let mut symbols: Vec<Symbol> = Vec::new();
     let mut tlds: Vec<&'static str> = Vec::new();
-    let mut seen: HashSet<String> = HashSet::new();
     for (&(registrant, _, i), domain) in bulk_jobs.iter().zip(bulk_domains) {
         if let Some(domain) = domain {
             idn_recipes.push(Recipe::Bulk {
                 registrant,
                 index: i,
             });
-            seen.insert(domain.clone());
-            domains.push(domain);
+            symbols.push(seen.intern(&domain));
             tlds.push("com");
         }
     }
 
-    // Stage 2: ordinary registrations — domain-only retry ladders, then
-    // the same sequential first-rung-that-clears-dedup pass.
+    // Stage 2: ordinary registrations — rung-0 domains planned in
+    // parallel, later rungs derived lazily only when the sequential dedup
+    // probe collides (the common case never re-rolls).
     let ordinary_key = root.stage(StageId::OrdinaryRegistrations);
     for (spec_idx, spec) in TABLE_I.iter().enumerate() {
         let n = config.scaled_idns(spec);
@@ -312,32 +319,44 @@ pub fn generate_streamed_traced(
             let record_key = spec_key.record(i);
             let mut meta = record_key.rng();
             let language = labels::sample_language(&mut meta);
-            let mut label = labels::generate_label(&mut meta, language);
+            let label = labels::generate_label(&mut meta, language);
             // The registrant draw follows the label on the meta stream, so
             // the domain-only plan can stop here.
-            (0..ORDINARY_ATTEMPTS)
-                .map(|attempt| {
-                    let mut rng = record_key.derive(attempt + 1).rng();
-                    if attempt > 0 {
-                        label.push_str(&rng.gen_range(2..1000u32).to_string());
-                    }
-                    draw_idn_domain(&mut rng, &label, spec.tld).map(|(domain, _)| domain)
-                })
-                .collect::<Vec<Option<String>>>()
+            let mut rng = record_key.derive(1).rng();
+            let rung0 = draw_idn_domain(&mut rng, &label, spec.tld).map(|(domain, _)| domain);
+            (label, rung0)
         });
-        for (i, ladder) in ladders.into_iter().enumerate() {
-            for (attempt, domain) in ladder.into_iter().enumerate() {
-                let Some(domain) = domain else { continue };
-                if seen.insert(domain.clone()) {
-                    idn_recipes.push(Recipe::Ordinary {
-                        spec: spec_idx as u8,
-                        index: i as u32,
-                        attempt: attempt as u8,
-                    });
-                    domains.push(domain);
-                    tlds.push(spec.tld);
-                    break;
+        for (i, (mut label, rung0)) in ladders.into_iter().enumerate() {
+            let mut won = None;
+            if let Some(domain) = rung0 {
+                let (sym, fresh) = seen.intern_full(&domain);
+                if fresh {
+                    won = Some((0u8, sym));
                 }
+            }
+            if won.is_none() {
+                let record_key = spec_key.record(i as u64);
+                for attempt in 1..ORDINARY_ATTEMPTS {
+                    let mut rng = record_key.derive(attempt + 1).rng();
+                    label.push_str(&rng.gen_range(2..1000u32).to_string());
+                    let Some((domain, _)) = draw_idn_domain(&mut rng, &label, spec.tld) else {
+                        continue;
+                    };
+                    let (sym, fresh) = seen.intern_full(&domain);
+                    if fresh {
+                        won = Some((attempt as u8, sym));
+                        break;
+                    }
+                }
+            }
+            if let Some((attempt, sym)) = won {
+                idn_recipes.push(Recipe::Ordinary {
+                    spec: spec_idx as u8,
+                    index: i as u32,
+                    attempt,
+                });
+                symbols.push(sym);
+                tlds.push(spec.tld);
             }
         }
     }
@@ -402,7 +421,7 @@ pub fn generate_streamed_traced(
                 overrides.insert(idx as u64, (kind, created));
             }
             for (source, idx) in inserts {
-                blacklist.insert(source, &domains[idx]);
+                blacklist.insert(source, seen.resolve(symbols[idx]));
             }
         }
     }
@@ -440,7 +459,7 @@ pub fn generate_streamed_traced(
             (reg.domain, blacklisted, qihoo_too)
         });
         for (i, (domain, blacklisted, qihoo_too)) in prepared.into_iter().enumerate() {
-            if !seen.insert(domain.clone()) {
+            if !seen.intern_full(&domain).1 {
                 continue;
             }
             if blacklisted {
@@ -455,8 +474,8 @@ pub fn generate_streamed_traced(
             });
         }
     }
-    drop(domains);
     drop(tlds);
+    drop(symbols);
     drop(seen);
 
     // Stage 5: the non-IDN sample needs no planning at all — per-spec

@@ -1,0 +1,44 @@
+//! Regression grid at the paper's reference denominator (scale 50): this
+//! corpus volume is where bulk registrants first draw duplicate domains,
+//! which desynchronizes any code that assumes one arena slot per record.
+//! The scale-500 unit tests never hit that case, so this test pins the
+//! streamed planner's record/artifact equivalence at the exact config the
+//! committed EXPERIMENTS.md and BENCH_pipeline.json are generated from.
+
+use idnre_datagen::{generate_streamed, Ecosystem, EcosystemConfig};
+use idnre_telemetry::NoopRecorder;
+
+#[test]
+fn streamed_matches_batch_at_reference_scale() {
+    for threads in [1usize, idnre_par::default_threads()] {
+        check(threads);
+    }
+}
+
+fn check(threads: usize) {
+    let config = EcosystemConfig {
+        scale: 50,
+        threads,
+        ..EcosystemConfig::default()
+    };
+    let batch = Ecosystem::generate(&config);
+    let (eco, corpus) = generate_streamed(&config, 1024, &NoopRecorder);
+
+    assert_eq!(corpus.idn_len(), batch.idn_registrations.len() as u64);
+    let mut streamed = Vec::new();
+    let mut start = 0u64;
+    while start < corpus.idn_len() {
+        let len = 1024.min(corpus.idn_len() - start) as usize;
+        corpus.with_idn_shard(start, len, &mut |records| {
+            streamed.extend_from_slice(records)
+        });
+        start += len as u64;
+    }
+    for (i, (s, b)) in streamed.iter().zip(&batch.idn_registrations).enumerate() {
+        assert_eq!(s, b, "IDN record {i} diverged");
+    }
+
+    assert_eq!(eco.blacklist, batch.blacklist);
+    assert_eq!(eco.whois, batch.whois);
+    assert_eq!(eco.zones, batch.zones);
+}

@@ -51,6 +51,11 @@ enum MappedChar {
 /// assert_eq!(map_compat("goo\u{200B}gle.com"), "google.com");
 /// ```
 pub fn map_compat(domain: &str) -> String {
+    // Every mapped/removed source character is ≥ U+00AD, so ASCII input is
+    // always a fixed point — copy it in one shot.
+    if domain.is_ascii() {
+        return domain.to_string();
+    }
     let mut out = String::with_capacity(domain.len());
     for c in domain.chars() {
         match map_char(c) {
@@ -64,6 +69,9 @@ pub fn map_compat(domain: &str) -> String {
 /// Whether the string contains characters the mapping would change —
 /// the cheap pre-test scanners use.
 pub fn needs_mapping(domain: &str) -> bool {
+    if domain.is_ascii() {
+        return false;
+    }
     domain.chars().any(|c| match map_char(c) {
         Some(MappedChar::One(mapped)) => mapped != c,
         None => true,

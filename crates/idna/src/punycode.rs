@@ -45,16 +45,37 @@ fn encode_digit(d: u32) -> char {
     }
 }
 
+/// Digit value for each ASCII byte (`0xFF` = not a Punycode digit). The
+/// decoder consults this once per extended-section character, replacing the
+/// three-arm range match on the hot path.
+const DIGIT_VALUE: [u8; 128] = {
+    let mut table = [0xFFu8; 128];
+    let mut b = 0usize;
+    while b < 128 {
+        let c = b as u8;
+        table[b] = match c {
+            b'a'..=b'z' => c - b'a',
+            b'A'..=b'Z' => c - b'A',
+            b'0'..=b'9' => c - b'0' + 26,
+            _ => 0xFF,
+        };
+        b += 1;
+    }
+    table
+};
+
 /// Maps a basic code point to its digit value, or `None` if it is not a digit.
 ///
 /// Both upper- and lower-case letters are accepted, per RFC 3492 §5.
 fn decode_digit(c: char) -> Option<u32> {
-    match c {
-        'a'..='z' => Some(c as u32 - 'a' as u32),
-        'A'..='Z' => Some(c as u32 - 'A' as u32),
-        '0'..='9' => Some(c as u32 - '0' as u32 + 26),
-        _ => None,
+    let cp = c as u32;
+    if cp < 128 {
+        let v = DIGIT_VALUE[cp as usize];
+        if v != 0xFF {
+            return Some(u32::from(v));
+        }
     }
+    None
 }
 
 /// Encodes a Unicode string into its Punycode form (without the `xn--` prefix).

@@ -104,6 +104,27 @@ impl Language {
         Language::English,
     ];
 
+    /// Dense `u8` id for columnar storage: the index in [`Language::ALL`],
+    /// with [`Language::Unknown`] mapped to `ALL.len()`.
+    pub fn id(self) -> u8 {
+        match self {
+            Language::Unknown => Language::ALL.len() as u8,
+            lang => Language::ALL
+                .iter()
+                .position(|&l| l == lang)
+                .expect("every concrete language is in ALL") as u8,
+        }
+    }
+
+    /// Inverse of [`Language::id`]; out-of-range ids decode to
+    /// [`Language::Unknown`].
+    pub fn from_id(id: u8) -> Language {
+        Language::ALL
+            .get(usize::from(id))
+            .copied()
+            .unwrap_or(Language::Unknown)
+    }
+
     /// Whether the language is spoken primarily in east Asia — the grouping
     /// behind the paper's Finding 1 (">75% of IDNs are in east-Asian
     /// languages": Chinese, Japanese, Korean, Thai).
@@ -159,6 +180,15 @@ mod tests {
     fn all_excludes_unknown() {
         assert!(!Language::ALL.contains(&Language::Unknown));
         assert_eq!(Language::ALL.len(), 19);
+    }
+
+    #[test]
+    fn id_round_trips() {
+        for lang in Language::ALL {
+            assert_eq!(Language::from_id(lang.id()), lang);
+        }
+        assert_eq!(Language::from_id(Language::Unknown.id()), Language::Unknown);
+        assert_eq!(Language::from_id(255), Language::Unknown);
     }
 
     #[test]

@@ -17,9 +17,15 @@ pub struct Classifier {
 }
 
 /// One language's n-gram statistics.
+///
+/// N-grams are keyed by their [packed](pack_gram) `u64` form rather than a
+/// `String`: a 1–3 char gram fits three 21-bit codepoint slots (each stored
+/// as `cp + 1` so zero means "no char"), which is bijective with the gram
+/// text — probabilities are identical to the string-keyed model, but lookups
+/// hash 8 bytes and classification allocates no gram strings.
 #[derive(Debug, Default)]
 struct NgramModel {
-    log_probs: HashMap<String, f64>,
+    log_probs: HashMap<u64, f64>,
     /// Log-probability assigned to unseen n-grams (add-one smoothing mass).
     unseen: f64,
 }
@@ -38,7 +44,7 @@ impl Classifier {
     pub fn train() -> Self {
         let mut models = HashMap::new();
         for lang in Language::ALL {
-            let mut counts: HashMap<String, u64> = HashMap::new();
+            let mut counts: HashMap<u64, u64> = HashMap::new();
             let mut total: u64 = 0;
             for word in corpus::vocabulary(lang) {
                 for gram in ngrams(word) {
@@ -103,7 +109,7 @@ impl Classifier {
                 confidence: 1.0,
             };
         }
-        let grams: Vec<String> = ngrams(&cleaned).collect();
+        let grams: Vec<u64> = ngrams(&cleaned).collect();
         let mut scores: Vec<(Language, f64)> = candidates
             .iter()
             .map(|&lang| {
@@ -126,23 +132,68 @@ impl Classifier {
     }
 }
 
+/// Byte classes for the ASCII fast path of [`clean`], indexed by byte value.
+/// `0` = keep (lowercase unchanged), `1` = drop, `2` = keep after
+/// `to_ascii_lowercase`. Bytes ≥ 0x80 never consult the table.
+const CLEAN_CLASS: [u8; 128] = {
+    let mut table = [0u8; 128];
+    let mut b = 0usize;
+    while b < 128 {
+        table[b] = match b as u8 {
+            b'0'..=b'9' | b'-' | b'.' | b'_' | b' ' => 1,
+            b'A'..=b'Z' => 2,
+            _ => 0,
+        };
+        b += 1;
+    }
+    table
+};
+
 /// Strips digits, punctuation and whitespace; lowercases.
 fn clean(text: &str) -> String {
+    if text.is_ascii() {
+        // Byte-table fast path: ASCII lowercasing is 1:1, so the generic
+        // `char::to_lowercase` expansion can't differ here.
+        return text
+            .bytes()
+            .filter(|&b| CLEAN_CLASS[b as usize] != 1)
+            .map(|b| {
+                if CLEAN_CLASS[b as usize] == 2 {
+                    b.to_ascii_lowercase()
+                } else {
+                    b
+                }
+            })
+            .map(char::from)
+            .collect();
+    }
     text.chars()
         .filter(|c| !c.is_ascii_digit() && !matches!(c, '-' | '.' | '_' | ' '))
         .flat_map(char::to_lowercase)
         .collect()
 }
 
-/// Character uni-, bi- and tri-grams with boundary markers.
-fn ngrams(word: &str) -> impl Iterator<Item = String> + '_ {
+/// Packs a 1–3 char n-gram into a `u64`: three 21-bit slots holding
+/// `codepoint + 1` (0 = empty slot). Unicode scalar values fit 21 bits, and
+/// `+ 1` keeps a leading NUL distinct from an absent char, so the packing is
+/// injective over all grams up to length 3.
+fn pack_gram(gram: &[char]) -> u64 {
+    let mut packed = 0u64;
+    for &c in gram {
+        packed = (packed << 21) | (c as u64 + 1);
+    }
+    packed
+}
+
+/// Character uni-, bi- and tri-grams with boundary markers, in packed form.
+fn ngrams(word: &str) -> impl Iterator<Item = u64> + '_ {
     let chars: Vec<char> = std::iter::once('^')
         .chain(word.chars())
         .chain(std::iter::once('$'))
         .collect();
-    let unigrams: Vec<String> = chars.iter().map(|c| c.to_string()).collect();
-    let bigrams: Vec<String> = chars.windows(2).map(|w| w.iter().collect()).collect();
-    let trigrams: Vec<String> = chars.windows(3).map(|w| w.iter().collect()).collect();
+    let unigrams: Vec<u64> = chars.iter().map(|&c| pack_gram(&[c])).collect();
+    let bigrams: Vec<u64> = chars.windows(2).map(pack_gram).collect();
+    let trigrams: Vec<u64> = chars.windows(3).map(pack_gram).collect();
     unigrams.into_iter().chain(bigrams).chain(trigrams)
 }
 
@@ -246,6 +297,35 @@ mod tests {
         assert!(p.confidence > 0.0 && p.confidence <= 1.0);
         let single = clf().classify_detailed("뉴스");
         assert_eq!(single.confidence, 1.0);
+    }
+
+    #[test]
+    fn clean_ascii_fast_path_matches_generic() {
+        for text in [
+            "",
+            "abc",
+            "ABC-123.def_GHI jkl",
+            "x9y",
+            "---",
+            "Mixed Case 42",
+        ] {
+            let generic: String = text
+                .chars()
+                .filter(|c| !c.is_ascii_digit() && !matches!(c, '-' | '.' | '_' | ' '))
+                .flat_map(char::to_lowercase)
+                .collect();
+            assert_eq!(clean(text), generic, "fast path diverged on {text:?}");
+        }
+    }
+
+    #[test]
+    fn packed_grams_are_injective() {
+        // Distinct grams that would collide under naive concatenation.
+        assert_ne!(pack_gram(&['a', 'b']), pack_gram(&['b', 'a']));
+        assert_ne!(pack_gram(&['a']), pack_gram(&['a', '\0']));
+        assert_ne!(pack_gram(&['^', 'a', '$']), pack_gram(&['a', '$']));
+        // The '+1' offset keeps NUL distinct from absence.
+        assert_ne!(pack_gram(&['\0', 'a']), pack_gram(&['a']));
     }
 
     #[test]

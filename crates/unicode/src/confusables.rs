@@ -457,6 +457,11 @@ pub fn homoglyphs_of(target: char) -> Vec<&'static Confusable> {
 /// Folds a single character back to the ASCII character it imitates, or
 /// returns it unchanged if it is not a known confusable.
 pub fn skeleton_char(ch: char) -> char {
+    // Every table source is non-ASCII (`table_is_well_formed` pins this),
+    // so ASCII characters skip the hash lookup entirely.
+    if ch.is_ascii() {
+        return ch;
+    }
     lookup(ch).map(|c| c.target).unwrap_or(ch)
 }
 
@@ -470,6 +475,9 @@ pub fn skeleton_char(ch: char) -> char {
 /// assert_eq!(idnre_unicode::skeleton("gõõgle"), "google");
 /// ```
 pub fn skeleton(text: &str) -> String {
+    if text.is_ascii() {
+        return text.to_string();
+    }
     text.chars().map(skeleton_char).collect()
 }
 

@@ -93,6 +93,29 @@ impl fmt::Display for Script {
 /// ```
 pub fn script_of(c: char) -> Script {
     let cp = c as u32;
+    if cp < 0x100 {
+        return LOW_SCRIPT[cp as usize];
+    }
+    script_of_slow(cp)
+}
+
+/// Precomputed script classes for code points below U+0100 — the hot range
+/// (every punycoded label and most SLD bytes are ASCII). Built at compile
+/// time from [`script_of_slow`] so it can never drift from the range match;
+/// `low_table_matches_range_match` re-checks the same at test time.
+const LOW_SCRIPT: [Script; 0x100] = {
+    let mut table = [Script::Unknown; 0x100];
+    let mut cp = 0u32;
+    while cp < 0x100 {
+        table[cp as usize] = script_of_slow(cp);
+        cp += 1;
+    }
+    table
+};
+
+/// The full range match, shared by the byte table's builder and the
+/// non-Latin-1 fallback path.
+const fn script_of_slow(cp: u32) -> Script {
     match cp {
         // ASCII
         0x0030..=0x0039 | 0x002D | 0x005F => Script::Common,
@@ -233,6 +256,15 @@ pub fn unique_script(text: &str) -> Option<Script> {
 ///
 /// Used by the language identifier as a prior feature.
 pub fn dominant_script(text: &str) -> Script {
+    if text.is_ascii() {
+        // ASCII characters are only ever Latin (letters) or Common, so the
+        // counting pass reduces to "any letter at all?".
+        return if text.bytes().any(|b| b.is_ascii_alphabetic()) {
+            Script::Latin
+        } else {
+            Script::Common
+        };
+    }
     let mut counts: Vec<(Script, usize)> = Vec::new();
     for c in text.chars() {
         let s = script_of(c);
@@ -284,6 +316,18 @@ mod tests {
         ];
         for (c, expected) in cases {
             assert_eq!(script_of(c), expected, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn low_table_matches_range_match() {
+        for cp in 0u32..0x100 {
+            let c = char::from_u32(cp).unwrap();
+            assert_eq!(
+                script_of(c),
+                script_of_slow(cp),
+                "byte table diverges at U+{cp:04X}"
+            );
         }
     }
 
