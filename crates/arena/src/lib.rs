@@ -49,8 +49,11 @@ impl Symbol {
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 
+/// FNV-1a hash of `bytes` — the same function keying the interner's
+/// open-addressing index, exported so bucket keys derived from interned
+/// strings use one hash family everywhere.
 #[inline]
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = FNV_OFFSET;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -249,6 +252,111 @@ impl BitSet {
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// One corpus label occurrence, packed for bucket storage: the interned
+/// SLD symbol plus the TLD id. Six bytes instead of a domain string.
+///
+/// Ordering is `(sld, tld)` — symbol insertion order, then TLD id — which
+/// is the deterministic "symbol order" the portfolio union-find keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelRef {
+    /// The SLD label symbol (from the corpus label interner).
+    pub sld: Symbol,
+    /// The TLD id (index into the corpus TLD interner).
+    pub tld: u16,
+}
+
+/// Insertion-ordered multimap from a `u64` bucket key (a skeleton hash)
+/// to the [`LabelRef`]s that hashed there.
+///
+/// The LSH pass folds one of these per shard and merges them pairwise in
+/// shard order. Merge semantics — keys keep the order of their first
+/// occurrence across the concatenated shard walk, and each key's entry
+/// vector is the concatenation of the partials' vectors — make the merge
+/// associative (though not commutative), so the fold satisfies the
+/// `check_associative` contract and the merged index is byte-for-byte the
+/// one a sequential walk would build, regardless of shard boundaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BucketIndex {
+    /// Bucket keys in first-occurrence order.
+    keys: Vec<u64>,
+    /// Parallel to `keys`: the entries that hashed to each key.
+    entries: Vec<Vec<LabelRef>>,
+    /// Key → position in `keys`.
+    index: std::collections::HashMap<u64, usize>,
+}
+
+impl BucketIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        BucketIndex::default()
+    }
+
+    /// Number of distinct bucket keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the index holds no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Total entries across all buckets.
+    pub fn entry_count(&self) -> usize {
+        self.entries.iter().map(Vec::len).sum()
+    }
+
+    /// Number of buckets holding more than one entry (the only buckets
+    /// the pair-mining pass re-scans).
+    pub fn non_singleton_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.len() > 1).count()
+    }
+
+    /// Appends `entry` under `key`, creating the bucket on first use.
+    #[inline]
+    pub fn insert(&mut self, key: u64, entry: LabelRef) {
+        match self.index.get(&key) {
+            Some(&pos) => self.entries[pos].push(entry),
+            None => {
+                self.index.insert(key, self.keys.len());
+                self.keys.push(key);
+                self.entries.push(vec![entry]);
+            }
+        }
+    }
+
+    /// The entries under `key`, if any.
+    pub fn get(&self, key: u64) -> Option<&[LabelRef]> {
+        self.index
+            .get(&key)
+            .map(|&pos| self.entries[pos].as_slice())
+    }
+
+    /// Iterates `(key, entries)` in key first-occurrence order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[LabelRef])> {
+        self.keys
+            .iter()
+            .zip(self.entries.iter())
+            .map(|(&k, e)| (k, e.as_slice()))
+    }
+
+    /// Folds `later` into `self`: `later`'s keys arrive after `self`'s
+    /// (new keys in `later`'s order), and shared keys concatenate their
+    /// entry vectors. This is the associative shard-merge.
+    pub fn merge(&mut self, later: BucketIndex) {
+        for (key, mut entries) in later.keys.into_iter().zip(later.entries) {
+            match self.index.get(&key) {
+                Some(&pos) => self.entries[pos].append(&mut entries),
+                None => {
+                    self.index.insert(key, self.keys.len());
+                    self.keys.push(key);
+                    self.entries.push(entries);
+                }
+            }
+        }
     }
 }
 
@@ -472,6 +580,80 @@ mod tests {
         assert_eq!(interner.resolve(empty), "");
         assert_eq!(interner.resolve(han), "彩票");
         assert_eq!(interner.get(""), Some(empty));
+    }
+
+    fn lref(sld: u32, tld: u16) -> LabelRef {
+        LabelRef {
+            sld: Symbol::from_index(sld as usize),
+            tld,
+        }
+    }
+
+    #[test]
+    fn bucket_index_keeps_first_occurrence_order() {
+        let mut index = BucketIndex::new();
+        index.insert(7, lref(0, 0));
+        index.insert(3, lref(1, 0));
+        index.insert(7, lref(2, 1));
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.entry_count(), 3);
+        assert_eq!(index.non_singleton_count(), 1);
+        assert_eq!(index.get(7), Some(&[lref(0, 0), lref(2, 1)][..]));
+        assert_eq!(index.get(3), Some(&[lref(1, 0)][..]));
+        assert_eq!(index.get(99), None);
+        let keys: Vec<u64> = index.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![7, 3]);
+    }
+
+    #[test]
+    fn bucket_index_merge_is_associative_not_commutative() {
+        let build = |rows: &[(u64, LabelRef)]| {
+            let mut index = BucketIndex::new();
+            for &(k, e) in rows {
+                index.insert(k, e);
+            }
+            index
+        };
+        let a = build(&[(1, lref(0, 0)), (2, lref(1, 0))]);
+        let b = build(&[(2, lref(2, 0)), (3, lref(3, 0))]);
+        let c = build(&[(1, lref(4, 1)), (4, lref(5, 0))]);
+
+        let mut left = a.clone();
+        left.merge(b.clone());
+        left.merge(c.clone());
+        let mut bc = b.clone();
+        bc.merge(c.clone());
+        let mut right = a.clone();
+        right.merge(bc);
+        assert_eq!(left, right, "merge must be associative");
+
+        let mut ab = a.clone();
+        ab.merge(b.clone());
+        let mut ba = b;
+        ba.merge(a);
+        assert_ne!(ab, ba, "merge is order-sensitive by design");
+    }
+
+    #[test]
+    fn bucket_index_merge_matches_sequential_insertion() {
+        let rows: Vec<(u64, LabelRef)> = (0..100)
+            .map(|i| ((i % 7) as u64, lref(i, (i % 3) as u16)))
+            .collect();
+        let mut sequential = BucketIndex::new();
+        for &(k, e) in &rows {
+            sequential.insert(k, e);
+        }
+        for chunk_size in [1, 3, 32, 97] {
+            let mut merged = BucketIndex::new();
+            for chunk in rows.chunks(chunk_size) {
+                let mut partial = BucketIndex::new();
+                for &(k, e) in chunk {
+                    partial.insert(k, e);
+                }
+                merged.merge(partial);
+            }
+            assert_eq!(merged, sequential, "chunk size {chunk_size}");
+        }
     }
 
     #[test]

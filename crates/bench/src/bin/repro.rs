@@ -21,6 +21,8 @@
 //! repro --faults storm --crawl-sched all   # event-driven crawl scheduler
 //! repro --faults storm --crawl-sched --inflight 128 --rate 8 all
 //! repro --metrics det all        # thread-invariant idnre-metrics/2 JSON
+//! repro --mine-portfolios all    # zone-wide confusable portfolio mining
+//! repro --mine-portfolios --stream --scale 2750 all  # mining in bounded memory
 //! ```
 //!
 //! With `--metrics`, every pipeline stage (generation, detector scans, the
@@ -88,6 +90,18 @@
 //! queries-per-second. The scheduler runs on virtual time: reports and
 //! counters replay byte-identically across `--threads` settings.
 //!
+//! `--mine-portfolios` runs the two-pass skeleton-LSH portfolio miner:
+//! pass A folds a confusable-skeleton bucket index on the same fused
+//! corpus traversal (`analyze.pass.bucket_index`), pass B SSIM-verifies
+//! every pair inside the non-singleton buckets and clusters the verified
+//! pairs into registrant/activity-joined squatter portfolios
+//! (`analyze.pass.pair_mine`). The report gains a "Portfolio mining"
+//! section; every other section's bytes are unchanged, and the mined
+//! output is byte-identical across `--threads` and `--shard-size`
+//! settings. Not combinable with `--faults`. Combined with `--stream`,
+//! the index folds over regenerated shards — packed symbol handles only —
+//! so mining stays inside the streamed memory budget at any scale.
+//!
 //! Flag compatibility is validated against one table
 //! ([`idnre_bench::FLAG_CONFLICTS`] / [`idnre_bench::FLAG_REQUIRES`]);
 //! any violation is a usage error (exit 2).
@@ -128,6 +142,7 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut slo: Option<idnre_telemetry::SloSpec> = None;
     let mut crawl_sched = false;
+    let mut mine_portfolios = false;
     let mut inflight: Option<usize> = None;
     let mut rate: Option<u32> = None;
     let mut wanted: Vec<String> = Vec::new();
@@ -206,6 +221,7 @@ fn main() {
                 });
             }
             "--crawl-sched" => crawl_sched = true,
+            "--mine-portfolios" => mine_portfolios = true,
             "--inflight" => {
                 inflight = Some(
                     args.next()
@@ -267,6 +283,7 @@ fn main() {
         thread_sweep: thread_sweep.is_some(),
         dump_dataset: dump_dataset.is_some(),
         crawl_sched,
+        mine_portfolios,
     };
     if let Err(message) = validate_flags(&flags) {
         usage(&message);
@@ -334,7 +351,11 @@ fn main() {
             );
             ReproContext::build_faulted(&config, setup, recorder)
         }
+        None if stream && mine_portfolios => {
+            ReproContext::build_streamed_mined(&config, shard_size, recorder)
+        }
         None if stream => ReproContext::build_streamed(&config, shard_size, recorder),
+        None if mine_portfolios => ReproContext::build_mined(&config, recorder),
         None => ReproContext::build_recorded(&config, recorder),
     };
     eprintln!(
@@ -344,6 +365,16 @@ fn main() {
         ctx.homographs.len(),
         ctx.semantic.len()
     );
+    if let Some(mining) = &ctx.mining {
+        eprintln!(
+            "portfolio mining: {} buckets ({} non-singleton), {} candidate pairs, {} verified, {} portfolios",
+            mining.buckets,
+            mining.non_singleton_buckets,
+            mining.candidate_pairs,
+            mining.verified.len(),
+            mining.portfolios.len()
+        );
+    }
 
     if let Some(path) = &dump_dataset {
         write_dataset(path, &idnre_datagen::render_dataset(&ctx.eco));
@@ -532,7 +563,7 @@ fn usage(error: &str) -> ! {
          [--faults none|smoke|flaky|storm|SEED|PROFILE:SEED] \
          [--crawl-sched] [--inflight N] [--rate R] [--bench] \
          [--thread-sweep N,N,...] [--dump-dataset PATH] [--trace PATH] \
-         [--slo smoke|tight] <experiment...>\n\
+         [--slo smoke|tight] [--mine-portfolios] <experiment...>\n\
          exit codes with --faults or --slo: 0 clean, 3 degraded, 4 budget/bound exceeded\n\
          experiments: all {}",
         reports::ALL

@@ -33,6 +33,9 @@ pub struct CliFlags {
     /// `--crawl-sched`: route the crawl survey through the event-driven
     /// scheduler (timeout wheel, rate limits, breakers, shedding).
     pub crawl_sched: bool,
+    /// `--mine-portfolios`: two-pass skeleton-LSH confusable-portfolio
+    /// mining appended to the report.
+    pub mine_portfolios: bool,
 }
 
 impl CliFlags {
@@ -47,6 +50,7 @@ impl CliFlags {
             "--thread-sweep" => self.thread_sweep,
             "--dump-dataset" => self.dump_dataset,
             "--crawl-sched" => self.crawl_sched,
+            "--mine-portfolios" => self.mine_portfolios,
             other => unreachable!("flag {other:?} missing from CliFlags::is_set"),
         }
     }
@@ -65,6 +69,10 @@ pub const FLAG_CONFLICTS: &[(&str, &str)] = &[
     ("--slo", "--faults"),
     ("--crawl-sched", "--stream"),
     ("--crawl-sched", "--bench"),
+    // Mining follows --stream's rule: a faulted run's exit code belongs to
+    // its error budget, and its report to the health section — no report
+    // extensions on top.
+    ("--mine-portfolios", "--faults"),
 ];
 
 /// Pairs where the first flag only makes sense alongside the second
@@ -105,6 +113,7 @@ mod tests {
                 "--thread-sweep" => flags.thread_sweep = true,
                 "--dump-dataset" => flags.dump_dataset = true,
                 "--crawl-sched" => flags.crawl_sched = true,
+                "--mine-portfolios" => flags.mine_portfolios = true,
                 other => panic!("unknown flag {other:?}"),
             }
         }
@@ -126,9 +135,20 @@ mod tests {
             "--trace",
             "--slo",
             "--dump-dataset",
+            "--mine-portfolios",
         ] {
             assert_eq!(validate_flags(&with(&[name])), Ok(()), "{name} alone");
         }
+        // Mining composes with the streamed build (bounded-memory mining)
+        // and with --bench (which mines both legs anyway).
+        assert_eq!(
+            validate_flags(&with(&["--mine-portfolios", "--stream"])),
+            Ok(())
+        );
+        assert_eq!(
+            validate_flags(&with(&["--mine-portfolios", "--bench"])),
+            Ok(())
+        );
         assert_eq!(
             validate_flags(&with(&["--thread-sweep", "--bench"])),
             Ok(())
@@ -199,6 +219,18 @@ mod tests {
     #[test]
     fn crawl_sched_conflicts_with_bench() {
         assert_conflict("--crawl-sched", "--bench");
+    }
+
+    #[test]
+    fn mine_portfolios_conflicts_with_faults() {
+        assert_conflict("--mine-portfolios", "--faults");
+        // Conflict-table order: the stream×faults row predates the
+        // mine-portfolios×faults row, so with all three set the older
+        // message wins.
+        assert_eq!(
+            validate_flags(&with(&["--mine-portfolios", "--faults", "--stream"])),
+            Err("--stream cannot be combined with --faults".into())
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod mine;
 pub mod passes;
 pub mod pipeline_bench;
 pub mod reports;
@@ -31,6 +32,7 @@ pub mod robust;
 pub mod slo;
 
 pub use cli::{validate_flags, CliFlags, FLAG_CONFLICTS, FLAG_REQUIRES};
+pub use mine::{MiningOutputs, Portfolio, PortfolioMember};
 pub use pipeline_bench::{
     render_bench_json, render_bench_text, run_pipeline_bench, run_pipeline_bench_sharded,
     run_pipeline_sweep, run_pipeline_sweep_sharded, LedgerRow, PipelineBench, RunLedger,
@@ -72,6 +74,11 @@ pub struct ReproContext {
     /// [`ReproContext::build_faulted`]. Its verdict becomes the process
     /// exit code, and [`ReproContext::full_report`] appends its section.
     pub health: Option<RunHealth>,
+    /// Zone-wide confusable portfolios, present only when built with
+    /// [`ReproContext::build_mined`] / [`ReproContext::build_streamed_mined`]
+    /// (`--mine-portfolios`). [`ReproContext::full_report`] appends its
+    /// section.
+    pub mining: Option<MiningOutputs>,
 }
 
 impl std::fmt::Debug for ReproContext {
@@ -96,17 +103,31 @@ impl ReproContext {
     /// context — and therefore every report — is byte-identical regardless
     /// of the recorder.
     pub fn build_recorded(config: &EcosystemConfig, recorder: Arc<dyn Recorder>) -> Self {
+        Self::build_batch(config, recorder, false)
+    }
+
+    /// [`ReproContext::build_recorded`] with the two-pass skeleton-LSH
+    /// portfolio miner enabled (`--mine-portfolios`): pass A folds the
+    /// bucket index on the fused scan, pass B verifies and clusters the
+    /// non-singleton buckets, and the context carries [`MiningOutputs`].
+    /// The default report sections are byte-identical to an unmined build.
+    pub fn build_mined(config: &EcosystemConfig, recorder: Arc<dyn Recorder>) -> Self {
+        Self::build_batch(config, recorder, true)
+    }
+
+    fn build_batch(config: &EcosystemConfig, recorder: Arc<dyn Recorder>, mine: bool) -> Self {
         let mut span = recorder.span_at("build.ecosystem", SpanCtx::ROOT, 0);
         let eco = Ecosystem::generate_traced(config, &*recorder, span.ctx());
         span.add_records((eco.idn_registrations.len() + eco.non_idn_registrations.len()) as u64);
         drop(span);
 
         let source = SliceSource::new(&eco.idn_registrations, &eco.non_idn_registrations);
-        let (homographs, semantic, outputs) = run_scan(
+        let (homographs, semantic, outputs, mining) = run_scan(
             &eco,
             &source,
             DEFAULT_SHARD_SIZE,
             config.threads,
+            mine,
             &*recorder,
             SpanCtx::ROOT,
         );
@@ -120,6 +141,7 @@ impl ReproContext {
             outputs,
             recorder,
             health: None,
+            mining,
         }
     }
 
@@ -135,6 +157,27 @@ impl ReproContext {
         shard_size: usize,
         recorder: Arc<dyn Recorder>,
     ) -> Self {
+        Self::build_stream(config, shard_size, recorder, false)
+    }
+
+    /// [`ReproContext::build_streamed`] with the portfolio miner enabled:
+    /// the bucket index folds over the regenerated shards (packed symbol
+    /// handles only — never a second copy of the corpus), so mining
+    /// composes with bounded-memory streaming at any scale.
+    pub fn build_streamed_mined(
+        config: &EcosystemConfig,
+        shard_size: usize,
+        recorder: Arc<dyn Recorder>,
+    ) -> Self {
+        Self::build_stream(config, shard_size, recorder, true)
+    }
+
+    fn build_stream(
+        config: &EcosystemConfig,
+        shard_size: usize,
+        recorder: Arc<dyn Recorder>,
+        mine: bool,
+    ) -> Self {
         let mut span = recorder.span_at("build.ecosystem", SpanCtx::ROOT, 0);
         let (eco, corpus) =
             idnre_datagen::generate_streamed_traced(config, shard_size, &*recorder, span.ctx());
@@ -142,11 +185,12 @@ impl ReproContext {
         drop(span);
 
         let source = StreamSource::new(&corpus);
-        let (homographs, semantic, outputs) = run_scan(
+        let (homographs, semantic, outputs, mining) = run_scan(
             &eco,
             &source,
             shard_size,
             config.threads,
+            mine,
             &*recorder,
             SpanCtx::ROOT,
         );
@@ -165,6 +209,7 @@ impl ReproContext {
             outputs,
             recorder,
             health: None,
+            mining,
         }
     }
 
@@ -187,11 +232,12 @@ impl ReproContext {
 
         let threads = config.threads;
         let source = SliceSource::new(&eco.idn_registrations, &eco.non_idn_registrations);
-        let (homographs, semantic, outputs) = run_scan(
+        let (homographs, semantic, outputs, _) = run_scan(
             &eco,
             &source,
             DEFAULT_SHARD_SIZE,
             threads,
+            false,
             &*recorder,
             SpanCtx::ROOT,
         );
@@ -252,6 +298,7 @@ impl ReproContext {
             outputs,
             recorder,
             health: Some(health),
+            mining: None,
         }
     }
 
@@ -306,6 +353,10 @@ impl ReproContext {
         );
         for fragment in fragments {
             out.push_str(&fragment);
+            out.push('\n');
+        }
+        if let Some(mining) = &self.mining {
+            out.push_str(&mine::render_mining(mining));
             out.push('\n');
         }
         if let Some(health) = &self.health {
@@ -385,18 +436,23 @@ impl CorpusView<'_> {
 }
 
 /// Builds both detectors and the full report-aggregator roster, then runs
-/// the one fused traversal every corpus-derived number comes from.
+/// the one fused traversal every corpus-derived number comes from. With
+/// `mine` set, the skeleton-LSH bucket index folds on the same traversal
+/// (pass A) and the pair miner (pass B) runs over its non-singleton
+/// buckets afterwards, under the same parent span.
 fn run_scan(
     eco: &Ecosystem,
     source: &dyn RecordSource,
     shard_size: usize,
     threads: usize,
+    mine: bool,
     recorder: &dyn Recorder,
     parent: SpanCtx,
 ) -> (
     Vec<HomographFinding>,
     Vec<SemanticFinding>,
     passes::ScanOutputs,
+    Option<MiningOutputs>,
 ) {
     let brand_domains: Vec<String> = eco.brands.iter().map(|b| b.domain()).collect();
     let detector = HomographDetector::new(&brand_domains, 0.95);
@@ -409,15 +465,43 @@ fn run_scan(
         recorder,
         parent,
     );
-    let plan = passes::ScanPlan::new(
-        &detector,
-        &semantic_detector,
-        &columns,
-        &eco.pdns,
-        passes::table3_wanted(&eco.whois),
-        passes::fig6_candidates(eco.brands.top(30)),
-    );
-    plan.run_at(source, shard_size, threads, recorder, parent)
+    let mining_plan = mine.then(|| mine::MiningPlan::new(&columns, threads));
+    let plan = match &mining_plan {
+        Some(mining_plan) => passes::ScanPlan::new_mined(
+            &detector,
+            &semantic_detector,
+            &columns,
+            &eco.pdns,
+            passes::table3_wanted(&eco.whois),
+            passes::fig6_candidates(eco.brands.top(30)),
+            threads,
+            mining_plan,
+        ),
+        None => passes::ScanPlan::new(
+            &detector,
+            &semantic_detector,
+            &columns,
+            &eco.pdns,
+            passes::table3_wanted(&eco.whois),
+            passes::fig6_candidates(eco.brands.top(30)),
+            threads,
+        ),
+    };
+    let (homographs, semantic, outputs, index) =
+        plan.run_at(source, shard_size, threads, recorder, parent);
+    let mining = match (index, &mining_plan) {
+        (Some(index), Some(mining_plan)) => Some(mine::mine_portfolios(
+            &index,
+            &columns,
+            mining_plan,
+            eco,
+            threads,
+            recorder,
+            parent,
+        )),
+        _ => None,
+    };
+    (homographs, semantic, outputs, mining)
 }
 
 /// Replays the paper's Section IV-D measurement front-end over the whole

@@ -11,15 +11,16 @@
 //! merged in shard order, so the outputs are byte-identical across thread
 //! counts and shard sizes.
 
+use crate::mine::{BucketIndexPass, MiningPlan};
 use idnre_analyze::{
     AnalysisPass, KeyedTally, Merge, Observed, PassHandle, Population, RecordSource, ScanResult,
     ShardedScan,
 };
-use idnre_arena::{ColumnsBuilder, CorpusColumns, Symbol};
+use idnre_arena::{BucketIndex, ColumnsBuilder, CorpusColumns, Symbol};
 use idnre_blacklist::{BlacklistSet, Source};
 use idnre_core::{
-    AvailabilityEnumerator, HomographDetector, HomographFinding, HomographPass, Semantic1Pass,
-    Semantic2Pass, SemanticDetector, SemanticFinding,
+    AvailabilityEnumerator, ColumnedHomographPass, HomographDetector, HomographFinding,
+    Semantic1Pass, Semantic2Pass, SemanticDetector, SemanticFinding,
 };
 use idnre_datagen::{Brand, ContentCategory};
 use idnre_langid::{Classifier, Language};
@@ -554,17 +555,30 @@ pub fn build_columns(
     while start < total {
         let len = (total - start).min(shard_size as u64) as usize;
         source.with_shard(Population::Idn, start, len, &mut |records| {
-            for reg in records {
-                let sld = reg.unicode.split('.').next().unwrap_or("");
+            // The per-record string work (label split, blacklist verdict)
+            // is precomputed on the worker pool; only the intern loop below
+            // stays sequential, so symbol assignment remains corpus-ordered
+            // and the columns stay byte-identical across thread counts.
+            let rows = idnre_par::par_map(records, threads, |reg| {
+                let sld_len = reg.unicode.find('.').unwrap_or(reg.unicode.len());
                 let verdict = blacklist.verdict(&reg.domain);
+                (
+                    sld_len,
+                    verdict.contains(&Source::VirusTotal),
+                    verdict.contains(&Source::Qihoo360),
+                    verdict.contains(&Source::Baidu),
+                )
+            });
+            for (reg, (sld_len, vt, q, b)) in records.iter().zip(rows) {
+                let sld = &reg.unicode[..sld_len];
                 builder.push(
                     sld,
                     &reg.tld,
                     reg.malicious.is_some(),
                     reg.language != Language::Unknown,
-                    verdict.contains(&Source::VirusTotal),
-                    verdict.contains(&Source::Qihoo360),
-                    verdict.contains(&Source::Baidu),
+                    vt,
+                    q,
+                    b,
                 );
             }
         });
@@ -596,11 +610,13 @@ pub struct ScanPlan<'p> {
     activity: PassHandle<PopulationActivity>,
     table3: PassHandle<HashMap<String, String>>,
     fig6: PassHandle<HashSet<String>>,
+    bucket: Option<PassHandle<BucketIndex>>,
 }
 
 impl<'p> ScanPlan<'p> {
     /// Registers every pass in a fixed order (the order telemetry spans and
-    /// counters are pinned in).
+    /// counters are pinned in). `threads` sizes the homograph pass's
+    /// skeleton precompute over the interned label columns.
     pub fn new(
         homograph: &'p HomographDetector,
         semantic: &'p SemanticDetector,
@@ -608,9 +624,60 @@ impl<'p> ScanPlan<'p> {
         pdns: &'p PdnsStore,
         table3_wanted: HashSet<String>,
         fig6_candidates: HashSet<String>,
+        threads: usize,
+    ) -> Self {
+        Self::build(
+            homograph,
+            semantic,
+            columns,
+            pdns,
+            table3_wanted,
+            fig6_candidates,
+            threads,
+            None,
+        )
+    }
+
+    /// [`ScanPlan::new`] plus the portfolio-mining pass A: the
+    /// skeleton-LSH [`BucketIndexPass`] is fused onto the same traversal,
+    /// registered last so the default nine passes keep their telemetry
+    /// positions. The folded index comes back from [`ScanPlan::run_at`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_mined(
+        homograph: &'p HomographDetector,
+        semantic: &'p SemanticDetector,
+        columns: &'p CorpusColumns,
+        pdns: &'p PdnsStore,
+        table3_wanted: HashSet<String>,
+        fig6_candidates: HashSet<String>,
+        threads: usize,
+        mining: &'p MiningPlan,
+    ) -> Self {
+        Self::build(
+            homograph,
+            semantic,
+            columns,
+            pdns,
+            table3_wanted,
+            fig6_candidates,
+            threads,
+            Some(mining),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        homograph: &'p HomographDetector,
+        semantic: &'p SemanticDetector,
+        columns: &'p CorpusColumns,
+        pdns: &'p PdnsStore,
+        table3_wanted: HashSet<String>,
+        fig6_candidates: HashSet<String>,
+        threads: usize,
+        mining: Option<&'p MiningPlan>,
     ) -> Self {
         let mut scan = ShardedScan::new();
-        let homograph = scan.register(HomographPass::new(homograph));
+        let homograph = scan.register(ColumnedHomographPass::new(homograph, columns, threads));
         let semantic1 = scan.register(Semantic1Pass::new(semantic));
         let semantic2 = scan.register(Semantic2Pass::new(semantic));
         let tld = scan.register(TldPass::new(columns));
@@ -619,6 +686,7 @@ impl<'p> ScanPlan<'p> {
         let activity = scan.register(ActivityPass::new(pdns));
         let table3 = scan.register(Table3UnicodePass::new(table3_wanted));
         let fig6 = scan.register(Fig6Pass::new(fig6_candidates));
+        let bucket = mining.map(|plan| scan.register(BucketIndexPass::new(columns, plan)));
         ScanPlan {
             scan,
             homograph,
@@ -630,6 +698,7 @@ impl<'p> ScanPlan<'p> {
             activity,
             table3,
             fig6,
+            bucket,
         }
     }
 
@@ -653,14 +722,21 @@ impl<'p> ScanPlan<'p> {
         self.scan.merge_is_associative(source, chunk_size, recorder)
     }
 
-    /// Runs the fused traversal and redeems every handle.
+    /// Runs the fused traversal and redeems every handle. The fourth
+    /// element is the folded skeleton-LSH bucket index — `Some` only on
+    /// plans built with [`ScanPlan::new_mined`].
     pub fn run(
         self,
         source: &dyn RecordSource,
         shard_size: usize,
         threads: usize,
         recorder: &dyn Recorder,
-    ) -> (Vec<HomographFinding>, Vec<SemanticFinding>, ScanOutputs) {
+    ) -> (
+        Vec<HomographFinding>,
+        Vec<SemanticFinding>,
+        ScanOutputs,
+        Option<BucketIndex>,
+    ) {
         self.run_at(source, shard_size, threads, recorder, SpanCtx::NONE)
     }
 
@@ -673,7 +749,12 @@ impl<'p> ScanPlan<'p> {
         threads: usize,
         recorder: &dyn Recorder,
         parent: SpanCtx,
-    ) -> (Vec<HomographFinding>, Vec<SemanticFinding>, ScanOutputs) {
+    ) -> (
+        Vec<HomographFinding>,
+        Vec<SemanticFinding>,
+        ScanOutputs,
+        Option<BucketIndex>,
+    ) {
         let mut result: ScanResult = self
             .scan
             .run_at(source, shard_size, threads, recorder, parent);
@@ -688,10 +769,12 @@ impl<'p> ScanPlan<'p> {
             idn_len: result.idn_len(),
             non_idn_len: result.non_idn_len(),
         };
+        let bucket = self.bucket.as_ref().map(|handle| result.take(handle));
         (
             result.take(&self.homograph),
             result.take(&self.semantic1),
             outputs,
+            bucket,
         )
     }
 }

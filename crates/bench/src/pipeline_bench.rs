@@ -15,20 +15,28 @@
 //!    indexed-vs-exhaustive pair is the regression gate CI holds every
 //!    future change to.
 //!
-//! # Schema (`idnre-bench-pipeline/4`)
+//! # Schema (`idnre-bench-pipeline/5`)
 //!
 //! ```json
 //! {
-//!   "schema": "idnre-bench-pipeline/4",
+//!   "schema": "idnre-bench-pipeline/5",
 //!   "scale": 50, "attack_scale": 1, "threads": 8, "seed": 497885208,
 //!   "dataset_fingerprint": "0xffbab908278775d0",
 //!   "shard_size": 1024, "peak_resident_records": 12288,
+//!   "mining": {"candidate_pairs": 420, "verified_pairs": 37, "portfolios": 9},
 //!   "entries": [
 //!     {"stage": "build.ecosystem", "pass": "", "mode": "batch", "scale": 50,
 //!      "threads": 8, "wall_ns": 1234, "records": 29000, "ns_per_record": 42}
 //!   ]
 //! }
 //! ```
+//!
+//! Schema 5 runs both legs with the portfolio miner enabled — the two
+//! mining stages (`analyze.pass.bucket_index`, `analyze.pass.pair_mine`)
+//! join the per-pass ledger, the top-level `mining` block summarizes the
+//! mined result, and an LSH-vs-exhaustive probe pair (`mine.pairs.lsh`,
+//! `mine.pairs.exhaustive`, equality-asserted on the capped corpus
+//! prefix) pins the measured speedup CI gates.
 //!
 //! Schema 4 adds the two top-level memory-budget keys: `shard_size` (the
 //! shard the streamed leg regenerated at, settable via
@@ -68,7 +76,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema tag of the JSON this module writes.
-pub const BENCH_SCHEMA: &str = "idnre-bench-pipeline/4";
+pub const BENCH_SCHEMA: &str = "idnre-bench-pipeline/5";
 
 /// Prefix of the per-pass attribution stages the fused scan records.
 pub const PASS_STAGE_PREFIX: &str = "analyze.pass.";
@@ -115,6 +123,19 @@ impl BenchEntry {
     }
 }
 
+/// The schema-5 top-level `mining` summary block: the mined result of the
+/// batch leg (byte-identical across legs and thread counts, which the
+/// sweep asserts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MiningSummary {
+    /// In-bucket candidate pairs pass B generated.
+    pub candidate_pairs: u64,
+    /// SSIM-verified confusable pairs.
+    pub verified_pairs: u64,
+    /// Clustered squatter portfolios.
+    pub portfolios: u64,
+}
+
 /// A full `repro --bench` result.
 #[derive(Debug, Clone)]
 pub struct PipelineBench {
@@ -137,6 +158,9 @@ pub struct PipelineBench {
     /// (`≤ 4 × shard_size × threads`) is checked against. A sweep keeps
     /// the maximum across its per-count runs.
     pub peak_resident_records: u64,
+    /// The mined-portfolio summary (a sweep asserts it identical across
+    /// counts and keeps the first).
+    pub mining: Option<MiningSummary>,
     /// Timed stages, in pipeline order.
     pub entries: Vec<BenchEntry>,
     /// The regenerated report (so `--bench` still honours `--write`).
@@ -172,6 +196,18 @@ impl PipelineBench {
             return None;
         }
         Some(exhaustive.wall_ns as f64 / indexed.wall_ns as f64)
+    }
+
+    /// LSH-over-exhaustive speedup of the portfolio pair miner on the
+    /// capped comparison prefix (>1 means the bucket index wins). `None`
+    /// before both probes ran.
+    pub fn mining_speedup(&self) -> Option<f64> {
+        let lsh = self.entry("mine.pairs.lsh")?;
+        let exhaustive = self.entry("mine.pairs.exhaustive")?;
+        if lsh.wall_ns == 0 {
+            return None;
+        }
+        Some(exhaustive.wall_ns as f64 / lsh.wall_ns as f64)
     }
 
     /// Instrumented-over-uninstrumented wall ratio of the fused scan
@@ -327,8 +363,13 @@ pub fn run_pipeline_bench(config: &EcosystemConfig) -> PipelineBench {
 /// reports; the report and dataset bytes do not depend on it.
 pub fn run_pipeline_bench_sharded(config: &EcosystemConfig, shard_size: usize) -> PipelineBench {
     let registry = Arc::new(Registry::new());
-    let ctx = ReproContext::build_recorded(config, registry.clone());
+    let ctx = ReproContext::build_mined(config, registry.clone());
     let report = ctx.full_report();
+    let mining = ctx.mining.as_ref().map(|m| MiningSummary {
+        candidate_pairs: m.candidate_pairs,
+        verified_pairs: m.verified.len() as u64,
+        portfolios: m.portfolios.len() as u64,
+    });
 
     let threads = config.threads;
     let mut entries: Vec<BenchEntry> = registry
@@ -437,12 +478,58 @@ pub fn run_pipeline_bench_sharded(config: &EcosystemConfig, shard_size: usize) -
         records: dataset.len() as u64,
     });
 
+    // The portfolio-mining pair: skeleton-LSH bucketed pair verification
+    // vs the all-pairs oracle over the same capped corpus prefix — the
+    // second indexed-vs-exhaustive regression gate CI holds. Containment
+    // is asserted, not equality: the oracle also surfaces pairs that clear
+    // the SSIM bar without sharing a confusable skeleton (visual
+    // near-misses outside the confusables table), which skeleton blocking
+    // deliberately does not chase. Equality is the contract on forged
+    // confusable corpora, pinned by the proptest oracle-equivalence test.
+    let probe_source = SliceSource::new(&ctx.eco.idn_registrations, &ctx.eco.non_idn_registrations);
+    let columns = crate::passes::build_columns(
+        &probe_source,
+        &ctx.eco.blacklist,
+        crate::DEFAULT_SHARD_SIZE,
+        threads,
+        &NoopRecorder,
+        SpanCtx::NONE,
+    );
+    let mining_plan = crate::mine::MiningPlan::new(&columns, threads);
+    let mine_cap = columns.len().min(EXHAUSTIVE_CAP);
+    let started = Instant::now();
+    let lsh_pairs = crate::mine::verified_pairs_lsh(&columns, &mining_plan, mine_cap, threads);
+    let lsh_ns = elapsed_ns(started);
+    let started = Instant::now();
+    let oracle_pairs =
+        crate::mine::verified_pairs_exhaustive(&columns, &mining_plan, mine_cap, threads);
+    let oracle_ns = elapsed_ns(started);
+    let oracle_set: std::collections::HashSet<_> =
+        oracle_pairs.iter().map(|p| (p.a, p.b)).collect();
+    for pair in &lsh_pairs {
+        assert!(
+            oracle_set.contains(&(pair.a, pair.b)),
+            "LSH mined a pair the exhaustive oracle rejects: {pair:?}"
+        );
+    }
+    for (stage, wall_ns) in [
+        ("mine.pairs.lsh", lsh_ns),
+        ("mine.pairs.exhaustive", oracle_ns),
+    ] {
+        entries.push(BenchEntry {
+            stage: stage.to_string(),
+            mode: "batch",
+            threads,
+            wall_ns,
+            records: mine_cap as u64,
+        });
+    }
+
     // Attribution-overhead pair: the same fused scan re-run back to back
     // under a live registry and under the no-op recorder, timed
     // externally. Rounds alternate and each probe keeps its minimum wall,
     // so `instrumented / uninstrumented` read from the JSON is the
     // per-pass-attribution overhead the <5% budget gates.
-    let probe_source = SliceSource::new(&ctx.eco.idn_registrations, &ctx.eco.non_idn_registrations);
     let corpus_len = (ctx.eco.idn_registrations.len() + ctx.eco.non_idn_registrations.len()) as u64;
     let mut instrumented_ns = u64::MAX;
     let mut uninstrumented_ns = u64::MAX;
@@ -454,6 +541,7 @@ pub fn run_pipeline_bench_sharded(config: &EcosystemConfig, shard_size: usize) -
             &probe_source,
             crate::DEFAULT_SHARD_SIZE,
             threads,
+            false,
             &probe_registry,
             SpanCtx::NONE,
         );
@@ -464,6 +552,7 @@ pub fn run_pipeline_bench_sharded(config: &EcosystemConfig, shard_size: usize) -
             &probe_source,
             crate::DEFAULT_SHARD_SIZE,
             threads,
+            false,
             &NoopRecorder,
             SpanCtx::NONE,
         );
@@ -533,7 +622,8 @@ pub fn run_pipeline_bench_sharded(config: &EcosystemConfig, shard_size: usize) -
     // `streamed` entries (including `datagen.peak_resident_records`-backed
     // shard regeneration inside `build.ecosystem`).
     let streamed_registry = Arc::new(Registry::new());
-    let streamed_ctx = ReproContext::build_streamed(config, shard_size, streamed_registry.clone());
+    let streamed_ctx =
+        ReproContext::build_streamed_mined(config, shard_size, streamed_registry.clone());
     let streamed_report = streamed_ctx.full_report();
     assert_eq!(
         report, streamed_report,
@@ -562,6 +652,7 @@ pub fn run_pipeline_bench_sharded(config: &EcosystemConfig, shard_size: usize) -
         dataset_fingerprint: idnre_datagen::dataset_fingerprint(&dataset),
         shard_size,
         peak_resident_records,
+        mining,
         entries,
         report,
         dataset,
@@ -606,6 +697,10 @@ pub fn run_pipeline_sweep_sharded(
                     first.report, run.report,
                     "report bytes diverged at {threads} threads"
                 );
+                assert_eq!(
+                    first.mining, run.mining,
+                    "mined summary diverged at {threads} threads"
+                );
                 first.peak_resident_records =
                     first.peak_resident_records.max(run.peak_resident_records);
                 first.entries.extend(run.entries);
@@ -615,13 +710,13 @@ pub fn run_pipeline_sweep_sharded(
     sweep.expect("at least one sweep run")
 }
 
-/// Renders a bench result as schema-stable JSON (`idnre-bench-pipeline/4`).
+/// Renders a bench result as schema-stable JSON (`idnre-bench-pipeline/5`).
 pub fn render_bench_json(bench: &PipelineBench) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{{\"schema\":\"{BENCH_SCHEMA}\",\"scale\":{},\"attack_scale\":{},\
          \"threads\":{},\"seed\":{},\"dataset_fingerprint\":\"{:#018x}\",\
-         \"shard_size\":{},\"peak_resident_records\":{},\"entries\":[",
+         \"shard_size\":{},\"peak_resident_records\":{},",
         bench.scale,
         bench.attack_scale,
         bench.threads,
@@ -630,6 +725,14 @@ pub fn render_bench_json(bench: &PipelineBench) -> String {
         bench.shard_size,
         bench.peak_resident_records
     ));
+    if let Some(mining) = &bench.mining {
+        out.push_str(&format!(
+            "\"mining\":{{\"candidate_pairs\":{},\"verified_pairs\":{},\
+             \"portfolios\":{}}},",
+            mining.candidate_pairs, mining.verified_pairs, mining.portfolios
+        ));
+    }
+    out.push_str("\"entries\":[");
     for (i, entry) in bench.entries.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -681,6 +784,17 @@ pub fn render_bench_text(bench: &PipelineBench) -> String {
             "homograph index speedup over exhaustive oracle: {speedup:.1}x\n"
         ));
     }
+    if let Some(mining) = &bench.mining {
+        out.push_str(&format!(
+            "portfolio mining: {} candidate pairs, {} verified, {} portfolios\n",
+            mining.candidate_pairs, mining.verified_pairs, mining.portfolios
+        ));
+    }
+    if let Some(speedup) = bench.mining_speedup() {
+        out.push_str(&format!(
+            "pair-mining LSH speedup over exhaustive oracle: {speedup:.1}x\n"
+        ));
+    }
     if let Some(overhead) = bench.instrumentation_overhead() {
         out.push_str(&format!(
             "scan attribution overhead (instrumented/uninstrumented): {overhead:.3}x\n"
@@ -717,6 +831,10 @@ mod tests {
             "homograph.scan.indexed",
             "homograph.scan.exhaustive",
             "analyze.pass.semantic1",
+            "analyze.pass.bucket_index",
+            "analyze.pass.pair_mine",
+            "mine.pairs.lsh",
+            "mine.pairs.exhaustive",
             "analyze.scan.instrumented",
             "analyze.scan.uninstrumented",
             "dataset.render",
@@ -725,8 +843,12 @@ mod tests {
         }
         assert!(bench.entries.iter().any(|e| e.stage.starts_with("report.")));
         assert!(bench.homograph_speedup().is_some());
+        assert!(bench.mining_speedup().is_some());
         assert!(bench.instrumentation_overhead().is_some());
         assert!(bench.dataset.starts_with(idnre_datagen::DATASET_SCHEMA));
+        let mining = bench.mining.expect("schema 5 always mines");
+        assert!(mining.candidate_pairs >= mining.verified_pairs);
+        assert!(mining.verified_pairs >= mining.portfolios);
 
         // The streamed leg's residency gauge lands as the schema-4
         // memory-budget pair, within the paper-scale bound.
@@ -741,8 +863,12 @@ mod tests {
         );
 
         let json = render_bench_json(&bench);
-        assert!(json.starts_with("{\"schema\":\"idnre-bench-pipeline/4\""));
+        assert!(json.starts_with("{\"schema\":\"idnre-bench-pipeline/5\""));
         assert!(json.contains("\"shard_size\":1024"));
+        assert!(json.contains("\"mining\":{\"candidate_pairs\":"));
+        assert!(json.contains("\"verified_pairs\":"));
+        assert!(json.contains("\"portfolios\":"));
+        assert!(json.contains("\"stage\":\"mine.pairs.lsh\""));
         assert!(json.contains(&format!(
             "\"peak_resident_records\":{}",
             bench.peak_resident_records
@@ -763,6 +889,8 @@ mod tests {
         assert!(text.contains("pipeline bench"));
         assert!(text.contains("streamed peak residency"));
         assert!(text.contains("homograph index speedup"));
+        assert!(text.contains("portfolio mining:"));
+        assert!(text.contains("pair-mining LSH speedup"));
         assert!(text.contains("scan attribution overhead"));
         assert!(text.contains("pass ledger"));
     }
@@ -806,8 +934,9 @@ mod tests {
         assert_eq!(ledgers.len(), 2);
         for ledger in &ledgers {
             // Every registered pass shows up: 3 core detectors + 6 report
-            // aggregation passes.
-            assert_eq!(ledger.rows.len(), 9, "{} ledger rows", ledger.mode);
+            // aggregation passes + the two mining stages (pass A fused on
+            // the scan, pass B's bucket fold).
+            assert_eq!(ledger.rows.len(), 11, "{} ledger rows", ledger.mode);
             assert!(ledger.scan_wall_ns > 0);
             for row in &ledger.rows {
                 assert_eq!(row.stage, format!("{PASS_STAGE_PREFIX}{}", row.pass));
@@ -833,8 +962,12 @@ mod tests {
             ..EcosystemConfig::default()
         };
         let bench = run_pipeline_bench(&config);
-        let plain = crate::ReproContext::build(&config).full_report();
+        let plain = crate::ReproContext::build_mined(&config, Arc::new(NoopRecorder)).full_report();
         assert_eq!(bench.report, plain, "--bench must not perturb the report");
+        // The unmined report is a byte-prefix of the mined one: mining
+        // only ever appends its section.
+        let unmined = crate::ReproContext::build(&config).full_report();
+        assert!(bench.report.starts_with(&unmined));
     }
 
     #[test]

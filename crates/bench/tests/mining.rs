@@ -1,0 +1,223 @@
+//! Determinism and oracle-equivalence guarantees of the two-pass
+//! skeleton-LSH portfolio miner.
+//!
+//! Mining rides the fused scan, so it inherits the same contracts the
+//! report does — and they are checked the same way: byte-identity of the
+//! mined report across a thread × shard grid, associativity of both new
+//! merges on real corpus partials (chunk size coprime to every shard
+//! size), equality against the all-pairs oracle on forged confusable
+//! corpora, and a pinned scale-50 regression for the mined counts.
+
+use idnre_analyze::{fold_is_associative, SliceSource};
+use idnre_arena::ColumnsBuilder;
+use idnre_bench::{mine, passes, ReproContext};
+use idnre_core::{HomographDetector, SemanticDetector};
+use idnre_datagen::{Ecosystem, EcosystemConfig};
+use idnre_telemetry::{NoopRecorder, SpanCtx};
+use idnre_unicode::homoglyphs_of;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn config(threads: usize) -> EcosystemConfig {
+    EcosystemConfig {
+        scale: 2000,
+        attack_scale: 25,
+        brand_count: 200,
+        threads,
+        ..EcosystemConfig::default()
+    }
+}
+
+/// The headline guarantee: the mined report — portfolio section included —
+/// is byte-identical across worker counts and streamed shard sizes. The
+/// batch build anchors the grid.
+#[test]
+fn mined_report_is_byte_identical_across_threads_and_shards() {
+    let batch = ReproContext::build_mined(&config(4), Arc::new(NoopRecorder)).full_report();
+    assert!(
+        batch.contains("## Portfolio mining"),
+        "mined build lost its report section"
+    );
+    for threads in [1usize, 2, 8] {
+        for shard_size in [64usize, 1024] {
+            let streamed = ReproContext::build_streamed_mined(
+                &config(threads),
+                shard_size,
+                Arc::new(NoopRecorder),
+            )
+            .full_report();
+            assert_eq!(
+                batch, streamed,
+                "mined report diverged at threads={threads} shard_size={shard_size}"
+            );
+        }
+    }
+}
+
+/// Both mining merges are associative over real corpus partials: the
+/// bucket-index fold on the scan (pass A, via the plan-wide probe) and
+/// the pair miner's chunk fold (pass B, via the item-fold probe), at a
+/// chunk size coprime to every shard size the grid uses.
+#[test]
+fn mining_merges_are_associative_at_chunk_97() {
+    let eco = Ecosystem::generate(&config(4));
+    let brand_domains: Vec<String> = eco.brands.iter().map(|b| b.domain()).collect();
+    let detector = HomographDetector::new(&brand_domains, 0.95);
+    let semantic_detector = SemanticDetector::new(&brand_domains);
+    let source = SliceSource::new(&eco.idn_registrations, &eco.non_idn_registrations);
+    let columns = passes::build_columns(
+        &source,
+        &eco.blacklist,
+        1024,
+        4,
+        &NoopRecorder,
+        SpanCtx::NONE,
+    );
+    let mining_plan = mine::MiningPlan::new(&columns, 4);
+    let plan = passes::ScanPlan::new_mined(
+        &detector,
+        &semantic_detector,
+        &columns,
+        &eco.pdns,
+        passes::table3_wanted(&eco.whois),
+        passes::fig6_candidates(eco.brands.top(30)),
+        4,
+        &mining_plan,
+    );
+    plan.check_associative(&source, 97, &NoopRecorder)
+        .unwrap_or_else(|pass| panic!("pass {pass} has a non-associative merge"));
+
+    // Pass B over the real non-singleton buckets of the same corpus.
+    let plan = passes::ScanPlan::new_mined(
+        &detector,
+        &semantic_detector,
+        &columns,
+        &eco.pdns,
+        passes::table3_wanted(&eco.whois),
+        passes::fig6_candidates(eco.brands.top(30)),
+        4,
+        &mining_plan,
+    );
+    let (_, _, _, index) = plan.run(&source, 1024, 4, &NoopRecorder);
+    let index = index.expect("mined plan returns the bucket index");
+    let buckets: Vec<mine::MineBucket> = index
+        .iter()
+        .filter(|(_, members)| members.len() > 1)
+        .map(|(_, members)| mine::MineBucket {
+            members: members.to_vec(),
+        })
+        .collect();
+    assert!(!buckets.is_empty(), "corpus produced no collision buckets");
+    let pass = mine::PairMinePass::new(&columns, &mining_plan, &eco);
+    fold_is_associative(&pass, &buckets, 97, &NoopRecorder)
+        .unwrap_or_else(|name| panic!("{name} has a non-associative merge"));
+}
+
+/// Mining is additive: the default report is a byte-prefix of the mined
+/// one, so `--mine-portfolios` can never perturb a published number.
+#[test]
+fn mining_only_appends_to_the_report() {
+    let plain = ReproContext::build(&config(4)).full_report();
+    let mined = ReproContext::build_mined(&config(4), Arc::new(NoopRecorder)).full_report();
+    assert!(
+        mined.starts_with(&plain),
+        "mining altered existing sections"
+    );
+    assert!(mined.len() > plain.len(), "mining appended nothing");
+}
+
+/// Scale-50 regression: the mined counts at CI's smoke scale are pinned
+/// exactly. A drift here means the bucket keys, the SSIM verification or
+/// the clustering changed behaviour — rerun `repro --mine-portfolios
+/// --scale 50 all` and re-pin deliberately if that was intended.
+#[test]
+fn scale_50_mined_counts_are_pinned() {
+    let ctx = ReproContext::build_mined(
+        &EcosystemConfig {
+            scale: 50,
+            threads: 4,
+            ..EcosystemConfig::default()
+        },
+        Arc::new(NoopRecorder),
+    );
+    let mining = ctx.mining.as_ref().expect("mined build carries outputs");
+    assert!(mining.buckets > 0);
+    assert!(mining.non_singleton_buckets > 0);
+    let pinned = (
+        mining.candidate_pairs,
+        mining.verified.len(),
+        mining.portfolios.len(),
+    );
+    assert_eq!(
+        pinned,
+        (18022, 13345, 771),
+        "scale-50 mined counts drifted (candidate_pairs, verified, portfolios)"
+    );
+    // Every portfolio is a genuine cluster with resolvable joins.
+    for portfolio in &mining.portfolios {
+        assert!(portfolio.members.len() >= 2);
+        for member in &portfolio.members {
+            assert!(member.domain.is_ascii());
+            assert!(!member.unicode.is_empty());
+        }
+    }
+}
+
+/// Builds mining columns from forged unicode SLDs under `.com`.
+fn forged_columns(slds: &[String]) -> idnre_arena::CorpusColumns {
+    let mut builder = ColumnsBuilder::new();
+    for sld in slds {
+        builder.push(sld, "com", false, false, false, false, false);
+    }
+    builder.finish(|labels| vec![0; labels.len()])
+}
+
+/// Applies a substitution recipe to a base label: confusable homoglyphs
+/// at the selected positions (mirrors the homograph proptest forge).
+fn forge(base: &str, recipe: &[(bool, usize)]) -> String {
+    base.chars()
+        .enumerate()
+        .map(|(i, ch)| {
+            let (substitute, pick) = recipe[i % recipe.len()];
+            if !substitute {
+                return ch;
+            }
+            let glyphs = homoglyphs_of(ch);
+            if glyphs.is_empty() {
+                ch
+            } else {
+                glyphs[pick % glyphs.len()].ch
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The LSH path returns exactly the pairs the all-pairs oracle
+    /// returns, on corpora engineered for skeleton collisions: confusable
+    /// substitutions of a small label pool, so many rows fold to one
+    /// bucket, plus the untouched ASCII bases as negatives.
+    #[test]
+    fn lsh_pairs_match_exhaustive_oracle(
+        bases in proptest::collection::vec("[a-z]{4,10}", 2..6),
+        recipes in proptest::collection::vec(
+            (0usize..1024, proptest::collection::vec((any::<bool>(), 0usize..1024), 10)),
+            1..16,
+        ),
+    ) {
+        let mut slds: Vec<String> = recipes
+            .iter()
+            .map(|(which, recipe)| forge(&bases[which % bases.len()], recipe))
+            .collect();
+        slds.extend(bases.iter().cloned());
+        slds.sort();
+        slds.dedup();
+        let columns = forged_columns(&slds);
+        let plan = mine::MiningPlan::new(&columns, 2);
+        let lsh = mine::verified_pairs_lsh(&columns, &plan, columns.len(), 2);
+        let oracle = mine::verified_pairs_exhaustive(&columns, &plan, columns.len(), 2);
+        prop_assert_eq!(lsh, oracle);
+    }
+}

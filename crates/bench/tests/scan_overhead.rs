@@ -46,6 +46,7 @@ fn instrumented_scan_stays_within_five_percent_of_uninstrumented() {
             &eco.pdns,
             passes::table3_wanted(&eco.whois),
             passes::fig6_candidates(eco.brands.top(30)),
+            config.threads,
         );
         plan.run(&source, 1024, config.threads, recorder)
     };

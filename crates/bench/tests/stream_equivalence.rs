@@ -68,6 +68,7 @@ fn every_pass_merge_is_associative() {
         &eco.pdns,
         passes::table3_wanted(&eco.whois),
         passes::fig6_candidates(eco.brands.top(30)),
+        4,
     );
     plan.check_associative(&source, 97, &NoopRecorder)
         .unwrap_or_else(|pass| panic!("pass {pass} has a non-associative merge"));

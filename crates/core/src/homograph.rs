@@ -65,6 +65,20 @@ pub const HOMOGRAPH_COUNTERS: [&str; 6] = [
     "homograph.findings",
 ];
 
+/// Scores one candidate pair of rendered domains: `Some(ssim)` when the
+/// renders are width-compatible and SSIM succeeds, `None` otherwise.
+///
+/// This is the single verification kernel shared by the brand detector
+/// (both the indexed and exhaustive paths) and the zone-wide pair miner —
+/// "visually confusable" means the same thing everywhere.
+#[inline]
+pub fn pair_score(a: &GrayImage, b: &GrayImage) -> Option<f64> {
+    if a.width() != b.width() {
+        return None;
+    }
+    ssim(a, b).ok()
+}
+
 impl HomographDetector {
     /// Builds a detector for `brands` (domains like `google.com`) with an
     /// SSIM `threshold` (the paper uses 0.95), indexing each brand under
@@ -139,38 +153,58 @@ impl HomographDetector {
             return None; // not an IDN label — nothing to spoof with
         }
         let folded = skeleton(&unicode);
-        let Some(candidates) = self.by_skeleton.get(&folded) else {
+        let Some(candidates) = self.bucket(&folded) else {
             recorder.incr("homograph.skip.no_skeleton_match");
             return None;
         };
-        let image = render_text(&unicode);
+        let best = self.verify_bucket(domain, &unicode, candidates);
+        if best.is_some() {
+            recorder.incr("homograph.findings");
+        } else {
+            recorder.incr("homograph.skip.below_threshold");
+        }
+        best
+    }
+
+    /// Probes the confusable-skeleton index with an **already folded** key
+    /// (the caller ran [`skeleton`] — or assembled the fold from
+    /// precomputed per-label pieces). Returns the brand bucket on a hit.
+    #[inline]
+    pub fn bucket(&self, folded: &str) -> Option<&[usize]> {
+        self.by_skeleton.get(folded).map(Vec::as_slice)
+    }
+
+    /// Renders `unicode` and SSIM-scores it against the brands in
+    /// `bucket` (indices from [`HomographDetector::bucket`]), returning
+    /// the best match at or above the threshold. Counter-free: this is
+    /// the verification tail shared by [`HomographDetector::detect_recorded`]
+    /// and the columned streaming pass.
+    pub fn verify_bucket(
+        &self,
+        domain: &str,
+        unicode: &str,
+        bucket: &[usize],
+    ) -> Option<HomographFinding> {
+        let image = render_text(unicode);
         let mut best: Option<HomographFinding> = None;
-        for &idx in candidates {
+        for &idx in bucket {
             let brand = &self.brands[idx];
             if brand.domain == unicode {
                 continue; // the brand itself
             }
-            if brand.image.width() != image.width() {
-                continue;
-            }
-            // Widths are pre-checked and all renders share one height, but
-            // degrade to a skip (not a panic) if that invariant ever moves.
-            let Ok(score) = ssim(&brand.image, &image) else {
+            // Widths are pre-checked by the shared kernel and all renders
+            // share one height; a mismatch degrades to a skip, not a panic.
+            let Some(score) = pair_score(&brand.image, &image) else {
                 continue;
             };
             if score >= self.threshold && best.as_ref().map(|b| score > b.ssim).unwrap_or(true) {
                 best = Some(HomographFinding {
                     domain: domain.to_string(),
-                    unicode: unicode.clone(),
+                    unicode: unicode.to_string(),
                     brand: brand.domain.clone(),
                     ssim: score,
                 });
             }
-        }
-        if best.is_some() {
-            recorder.incr("homograph.findings");
-        } else {
-            recorder.incr("homograph.skip.below_threshold");
         }
         best
     }
@@ -187,10 +221,10 @@ impl HomographDetector {
         let image = render_text(&unicode);
         let mut best: Option<HomographFinding> = None;
         for brand in &self.brands {
-            if brand.domain == unicode || brand.image.width() != image.width() {
+            if brand.domain == unicode {
                 continue;
             }
-            let Ok(score) = ssim(&brand.image, &image) else {
+            let Some(score) = pair_score(&brand.image, &image) else {
                 continue;
             };
             if score >= self.threshold && best.as_ref().map(|b| score > b.ssim).unwrap_or(true) {

@@ -40,8 +40,8 @@ pub mod squatting;
 pub mod topic;
 
 pub use availability::{AvailabilityEnumerator, AvailabilityReport, Candidate};
-pub use homograph::{HomographDetector, HomographFinding, HOMOGRAPH_COUNTERS};
-pub use passes::{HomographPass, Semantic1Pass, Semantic2Pass};
+pub use homograph::{pair_score, HomographDetector, HomographFinding, HOMOGRAPH_COUNTERS};
+pub use passes::{ColumnedHomographPass, HomographPass, Semantic1Pass, Semantic2Pass};
 pub use pipeline::{AbuseAnalysis, BrandAbuseRow};
 pub use registry::{SrsPolicy, SrsRejection};
 pub use semantic::{SemanticDetector, SemanticFinding, SemanticKind, SEMANTIC_COUNTERS};

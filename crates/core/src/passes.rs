@@ -11,8 +11,10 @@
 
 use crate::homograph::{HomographDetector, HomographFinding, HOMOGRAPH_COUNTERS};
 use crate::semantic::{SemanticDetector, SemanticFinding, SEMANTIC_COUNTERS};
-use idnre_analyze::{AnalysisPass, Observed, Population};
+use idnre_analyze::{AnalysisPass, Merge, Observed, Population};
+use idnre_arena::CorpusColumns;
 use idnre_telemetry::Recorder;
+use idnre_unicode::skeleton;
 
 /// SSIM homograph detection as a streaming pass (IDN population only).
 ///
@@ -59,6 +61,160 @@ impl AnalysisPass for HomographPass<'_> {
     fn finish(&self, mut partial: Self::Partial) -> Self::Output {
         partial.sort_by(|a, b| a.domain.cmp(&b.domain));
         partial
+    }
+}
+
+/// SSIM homograph detection fed from interned [`CorpusColumns`] instead of
+/// re-resolving label strings per record.
+///
+/// The per-record path ([`HomographPass`]) runs `to_unicode` + a full
+/// [`skeleton`] fold for every record. The corpus interns each distinct
+/// label once, so this pass hoists both out of the hot loop: one skeleton
+/// per *distinct* label (parallelized in the constructor), one decoded
+/// suffix skeleton per TLD, and per record only a scratch-buffer key
+/// assembly plus the index probe. Because [`skeleton`] maps characters
+/// independently (ASCII passes through untouched), `skeleton(unicode)` ==
+/// `skeleton(sld) + skeleton(".tld")` — the assembled key matches the
+/// per-record fold byte for byte, so findings *and* counters are identical
+/// to [`HomographPass`] (the equivalence tests below pin both).
+///
+/// Counters are tallied in the partial and flushed once per shard in
+/// `shard_end` (the batched-flush contract from
+/// [`AnalysisPass::shard_end`]). `homograph.skip.invalid_idna` is
+/// structurally zero here: column rows come from display forms the corpus
+/// builder already decoded, so there is nothing left to fail — the counter
+/// equivalence test below holds this path to the per-record one anyway.
+pub struct ColumnedHomographPass<'d> {
+    detector: &'d HomographDetector,
+    columns: &'d CorpusColumns,
+    /// Per distinct label: `None` when the label is pure ASCII (nothing
+    /// to spoof), else its confusable-folded skeleton.
+    label_skeletons: Vec<Option<String>>,
+    /// Per TLD id: `skeleton(".<decoded tld>")` — the decoded form because
+    /// record display forms decode iTLDs too.
+    tld_suffixes: Vec<String>,
+}
+
+impl<'d> ColumnedHomographPass<'d> {
+    /// Precomputes the per-label and per-TLD skeleton pieces on `threads`
+    /// workers.
+    pub fn new(
+        detector: &'d HomographDetector,
+        columns: &'d CorpusColumns,
+        threads: usize,
+    ) -> Self {
+        let labels: Vec<&str> = columns.labels().iter().collect();
+        let label_skeletons = idnre_par::par_map(&labels, threads, |label| {
+            if label.is_ascii() {
+                None
+            } else {
+                Some(skeleton(label))
+            }
+        });
+        let tld_suffixes = columns
+            .tlds()
+            .iter()
+            .map(|tld| {
+                let decoded = idnre_idna::to_unicode(tld).unwrap_or_else(|_| tld.to_string());
+                skeleton(&format!(".{decoded}"))
+            })
+            .collect();
+        ColumnedHomographPass {
+            detector,
+            columns,
+            label_skeletons,
+            tld_suffixes,
+        }
+    }
+}
+
+/// Shard partial of [`ColumnedHomographPass`]: concatenated findings plus
+/// counter tallies (indexed like [`HOMOGRAPH_COUNTERS`]) and a reusable
+/// key-assembly buffer. The buffer is scratch state — excluded from
+/// equality, untouched by merge.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnedHomographPartial {
+    findings: Vec<HomographFinding>,
+    tallies: [u64; HOMOGRAPH_COUNTERS.len()],
+    key_scratch: String,
+}
+
+impl PartialEq for ColumnedHomographPartial {
+    fn eq(&self, other: &Self) -> bool {
+        self.findings == other.findings && self.tallies == other.tallies
+    }
+}
+
+impl Merge for ColumnedHomographPartial {
+    fn merge(mut self, mut later: Self) -> Self {
+        self.findings.append(&mut later.findings);
+        for (mine, theirs) in self.tallies.iter_mut().zip(later.tallies) {
+            *mine += theirs;
+        }
+        self
+    }
+}
+
+impl AnalysisPass for ColumnedHomographPass<'_> {
+    type Partial = ColumnedHomographPartial;
+    type Output = Vec<HomographFinding>;
+
+    fn name(&self) -> &'static str {
+        "analyze.pass.homograph"
+    }
+
+    fn counters(&self) -> &'static [&'static str] {
+        &HOMOGRAPH_COUNTERS
+    }
+
+    fn empty(&self) -> Self::Partial {
+        ColumnedHomographPartial::default()
+    }
+
+    fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, _: &dyn Recorder) {
+        if rec.population != Population::Idn {
+            return;
+        }
+        let row = rec.index as usize;
+        partial.tallies[0] += 1; // homograph.candidates
+        let sym = self.columns.sld_symbol(row);
+        let Some(label_skeleton) = &self.label_skeletons[sym.index()] else {
+            partial.tallies[2] += 1; // homograph.skip.ascii_sld
+            return;
+        };
+        let key = &mut partial.key_scratch;
+        key.clear();
+        key.push_str(label_skeleton);
+        key.push_str(&self.tld_suffixes[usize::from(self.columns.tld_id(row))]);
+        let Some(bucket) = self.detector.bucket(key) else {
+            partial.tallies[3] += 1; // homograph.skip.no_skeleton_match
+            return;
+        };
+        match self
+            .detector
+            .verify_bucket(&rec.reg.domain, &rec.reg.unicode, bucket)
+        {
+            Some(finding) => {
+                partial.tallies[5] += 1; // homograph.findings
+                partial.findings.push(finding);
+            }
+            None => partial.tallies[4] += 1, // homograph.skip.below_threshold
+        }
+    }
+
+    fn shard_end(&self, partial: &mut Self::Partial, recorder: &dyn Recorder) {
+        for (name, tally) in HOMOGRAPH_COUNTERS.iter().zip(partial.tallies.iter_mut()) {
+            if *tally > 0 {
+                recorder.add(name, *tally);
+                *tally = 0;
+            }
+        }
+    }
+
+    fn finish(&self, partial: Self::Partial) -> Self::Output {
+        let mut findings = partial.findings;
+        findings.sort_by(|a, b| a.domain.cmp(&b.domain));
+        findings
     }
 }
 
@@ -230,6 +386,81 @@ mod tests {
         let _ = scan.run(&source, 128, 2, &streamed);
 
         assert_eq!(streamed.snapshot().counters, legacy_counters);
+    }
+
+    fn columns_of(eco: &Ecosystem) -> idnre_arena::CorpusColumns {
+        let mut builder = idnre_arena::ColumnsBuilder::new();
+        for reg in &eco.idn_registrations {
+            let sld = reg.unicode.split('.').next().unwrap_or("");
+            builder.push(
+                sld,
+                &reg.tld,
+                reg.malicious.is_some(),
+                false,
+                false,
+                false,
+                false,
+            );
+        }
+        builder.finish(|labels| vec![0; labels.len()])
+    }
+
+    #[test]
+    fn columned_homograph_matches_per_record_pass() {
+        let (eco, brands) = corpus();
+        let homograph = HomographDetector::new(&brands, 0.95);
+        let columns = columns_of(&eco);
+        let source = SliceSource::new(&eco.idn_registrations, &eco.non_idn_registrations);
+
+        let per_record_registry = Registry::new();
+        let per_record = {
+            let mut scan = ShardedScan::new();
+            let h = scan.register(HomographPass::new(&homograph));
+            let mut result = scan.run(&source, 64, 4, &per_record_registry);
+            result.take(&h)
+        };
+        assert!(!per_record.is_empty());
+
+        let columned_registry = Registry::new();
+        let columned = {
+            let mut scan = ShardedScan::new();
+            let h = scan.register(ColumnedHomographPass::new(&homograph, &columns, 4));
+            let mut result = scan.run(&source, 64, 4, &columned_registry);
+            result.take(&h)
+        };
+
+        assert_eq!(columned, per_record);
+        assert_eq!(
+            columned_registry.snapshot().counters,
+            per_record_registry.snapshot().counters
+        );
+    }
+
+    #[test]
+    fn columned_homograph_is_associative_and_shard_invariant() {
+        let (eco, brands) = corpus();
+        let homograph = HomographDetector::new(&brands, 0.95);
+        let columns = columns_of(&eco);
+        let source = SliceSource::new(&eco.idn_registrations, &eco.non_idn_registrations);
+        {
+            let mut scan = ShardedScan::new();
+            let _ = scan.register(ColumnedHomographPass::new(&homograph, &columns, 4));
+            assert_eq!(
+                scan.merge_is_associative(&source, 97, &idnre_telemetry::NoopRecorder),
+                Ok(())
+            );
+        }
+        let mut reference = None;
+        for (threads, shard_size) in [(1, 64), (2, 1024), (8, 97)] {
+            let mut scan = ShardedScan::new();
+            let h = scan.register(ColumnedHomographPass::new(&homograph, &columns, threads));
+            let mut result = scan.run(&source, shard_size, threads, &idnre_telemetry::NoopRecorder);
+            let findings = result.take(&h);
+            match &reference {
+                None => reference = Some(findings),
+                Some(expected) => assert_eq!(&findings, expected, "threads={threads}"),
+            }
+        }
     }
 
     #[test]
