@@ -1,0 +1,702 @@
+//! The epoch engine: resident shard partials, dirty tracking, and
+//! re-fold-only-dirty scans.
+//!
+//! A [`crate::ShardedScan`] folds every shard once, merges, and drops the
+//! per-shard partials. [`EpochState`] converts that into *fold, cache,
+//! invalidate, re-fold*: after an advance, every (shard, pass) partial
+//! stays resident, a [`DeltaStream`] of record-level events marks the
+//! shards it touches dirty, and the next advance re-folds **only** dirty
+//! shards (plus cache misses — e.g. a tail shard whose boundary moved as
+//! the index space grew), reusing every clean shard's partial verbatim.
+//! Partials then merge sequentially in shard order exactly as the
+//! one-shot scan would, so an epoch's outputs are **byte-identical to a
+//! from-scratch rebuild** over the same effective corpus, at the cost of
+//! re-folding only the shards a day's churn touched.
+//!
+//! Three contracts make this sound, and all are checked by
+//! [`crate::ShardedScan::merge_is_associative`]:
+//!
+//! - **Associativity** — partials merge in shard order regardless of
+//!   which subset was re-folded.
+//! - **Identity** — the empty partial is a two-sided merge identity, so
+//!   a shard emptied by removals merges as a no-op and clean partials
+//!   pass through unchanged.
+//! - **Removal is shard re-fold, not retraction.** `Merge` has no
+//!   inverse (finding lists, first-occurrence orders and saturating
+//!   tallies are not groups), so a removed record's contribution is
+//!   erased by re-folding its shard over the overlay corpus — which is
+//!   cheap precisely because shards are small and indices are stable.
+//!
+//! Stable indices are the load-bearing detail: [`crate::RecordSource::
+//! with_shard_indexed`] yields each surviving record at its original
+//! global index, holes and all, so index-addressed pass state (corpus
+//! column rows, head-sample cutoffs) written at epoch 0 stays valid in
+//! every later epoch, and side tables only ever grow append-only.
+
+use crate::{
+    shards_of, Observed, Population, RecordSource, ScanResult, Shard, ShardedScan,
+};
+use idnre_datagen::epoch::EpochCorpus;
+use idnre_datagen::DomainRegistration;
+use idnre_telemetry::{
+    Recorder, SpanCtx, EPOCH_RESIDENT_PARTIALS, EPOCH_SHARD_COUNTERS,
+};
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Span name of one epoch advance; its record count is the number of
+/// records actually re-folded (not corpus size — that asymmetry *is* the
+/// incremental win, and the scan-records metric exposes it).
+pub const EPOCH_SPAN: &str = "analyze.epoch";
+
+/// What a [`RecordDelta`] did to its record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// The record newly exists at this index.
+    Add,
+    /// The record at this index is gone (its shard re-folds without it).
+    Remove,
+    /// The record's fields changed in place.
+    Update,
+}
+
+/// One record-level change between two epochs of a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordDelta {
+    /// Which population the record belongs to.
+    pub population: Population,
+    /// Stable global index within that population.
+    pub index: u64,
+    /// What happened.
+    pub kind: DeltaKind,
+}
+
+/// An epoch's record-level events, in application order.
+///
+/// The engine only uses deltas for **dirty-shard mapping** — the corpus
+/// the [`RecordSource`] presents must already reflect them. Deltas whose
+/// index falls outside the source's index space map to no shard and are
+/// ignored, which is what makes remove-nonexistent inert.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaStream {
+    deltas: Vec<RecordDelta>,
+}
+
+impl DeltaStream {
+    /// An empty stream (a quiet epoch).
+    pub fn new() -> Self {
+        DeltaStream::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, delta: RecordDelta) {
+        self.deltas.push(delta);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Whether the stream has no events.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// The events, in application order.
+    pub fn iter(&self) -> std::slice::Iter<'_, RecordDelta> {
+        self.deltas.iter()
+    }
+
+    /// Maps a day simulator's IDN zone-diff events
+    /// ([`idnre_datagen::EpochDelta`]) onto engine deltas: adds stay
+    /// adds, removes stay removes, and every in-place mutation
+    /// (re-registration, registrar migration, lagged blacklist listing)
+    /// becomes [`DeltaKind::Update`].
+    pub fn from_epoch_deltas(deltas: &[idnre_datagen::EpochDelta]) -> Self {
+        use idnre_datagen::EpochDeltaKind;
+        DeltaStream {
+            deltas: deltas
+                .iter()
+                .map(|d| RecordDelta {
+                    population: Population::Idn,
+                    index: d.index,
+                    kind: match d.kind {
+                        EpochDeltaKind::Add => DeltaKind::Add,
+                        EpochDeltaKind::Remove => DeltaKind::Remove,
+                        EpochDeltaKind::Reregister
+                        | EpochDeltaKind::NsChange
+                        | EpochDeltaKind::Blacklist => DeltaKind::Update,
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+impl From<Vec<RecordDelta>> for DeltaStream {
+    fn from(deltas: Vec<RecordDelta>) -> Self {
+        DeltaStream { deltas }
+    }
+}
+
+/// Shard accounting for one [`EpochState::advance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Which advance this was (0-based).
+    pub epoch: u64,
+    /// Shards in the grid this epoch.
+    pub total_shards: u64,
+    /// Shards the delta stream marked dirty.
+    pub dirty: u64,
+    /// Shards whose resident partials were reused verbatim.
+    pub clean: u64,
+    /// Shards actually re-folded: dirty plus cache misses.
+    pub refolded: u64,
+    /// Records observed while re-folding (the epoch's actual fold work).
+    pub refolded_records: u64,
+    /// (shard, pass) partials resident in the cache after the advance.
+    pub resident_partials: u64,
+}
+
+/// A [`RecordSource`] over a datagen [`EpochCorpus`] delta overlay.
+///
+/// `population_len(Idn)` reports the **index space** (base plan + append
+/// tail, including removal holes) so the shard grid stays aligned across
+/// epochs; `with_shard_indexed` yields surviving records at their stable
+/// original indices. The non-IDN population passes through unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochSource<'a> {
+    corpus: &'a EpochCorpus<'a>,
+}
+
+impl<'a> EpochSource<'a> {
+    /// Wraps an overlay corpus.
+    pub fn new(corpus: &'a EpochCorpus<'a>) -> Self {
+        EpochSource { corpus }
+    }
+}
+
+impl RecordSource for EpochSource<'_> {
+    fn population_len(&self, population: Population) -> u64 {
+        match population {
+            Population::Idn => self.corpus.idn_index_space(),
+            Population::NonIdn => self.corpus.non_idn_len(),
+        }
+    }
+
+    fn with_shard(
+        &self,
+        population: Population,
+        start: u64,
+        len: usize,
+        f: &mut dyn FnMut(&[DomainRegistration]),
+    ) {
+        match population {
+            Population::Idn => self
+                .corpus
+                .with_idn_shard_indexed(start, len, &mut |records, _| f(records)),
+            Population::NonIdn => self.corpus.with_non_idn_shard(start, len, f),
+        }
+    }
+
+    fn with_shard_indexed(
+        &self,
+        population: Population,
+        start: u64,
+        len: usize,
+        f: &mut dyn FnMut(&[DomainRegistration], &[u64]),
+    ) {
+        match population {
+            Population::Idn => self.corpus.with_idn_shard_indexed(start, len, f),
+            Population::NonIdn => self.corpus.with_non_idn_shard(start, len, &mut |records| {
+                let indices: Vec<u64> = (start..start + records.len() as u64).collect();
+                f(records, &indices);
+            }),
+        }
+    }
+}
+
+type ShardKey = (Population, u64, u64);
+
+fn key_of(shard: &Shard) -> ShardKey {
+    (shard.population, shard.start, shard.len as u64)
+}
+
+/// The resident-partial cache and epoch driver.
+///
+/// One `EpochState` serves a sequence of advances over the *same*
+/// logical corpus at the *same* shard size. The registered passes must be
+/// reconstructed for every advance (they typically borrow per-epoch
+/// context such as grown corpus columns), but must be the **same pass
+/// types registered in the same order** — resident partials are merged
+/// against freshly re-folded ones by concrete type, and registration
+/// order is the cache's schema. Symbols and column rows referenced by
+/// resident partials stay valid because the arena layer grows
+/// append-only (the per-epoch high-water-mark rule; DESIGN.md §14).
+///
+/// Counter note: pass counters flush per *re-folded* shard, so counter
+/// totals under an incremental advance reflect only the work actually
+/// done — by design (they are instrumentation, not outputs). The
+/// finished pass outputs are what the byte-identity contract covers.
+#[derive(Default)]
+pub struct EpochState {
+    shard_size: usize,
+    epoch: u64,
+    cache: HashMap<ShardKey, Vec<Box<dyn Any + Send>>>,
+}
+
+impl EpochState {
+    /// A state with an empty cache: the first advance folds every shard.
+    pub fn new(shard_size: usize) -> Self {
+        EpochState {
+            shard_size: shard_size.max(1),
+            epoch: 0,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The shard size every advance folds at.
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// How many advances have completed.
+    pub fn epochs_advanced(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Resident (shard, pass) partials currently cached.
+    pub fn resident_partials(&self) -> usize {
+        self.cache.values().map(Vec::len).sum()
+    }
+
+    /// Advances one epoch: maps `deltas` to owning shards, re-folds only
+    /// dirty shards and cache misses over `source` (fanned out across
+    /// `threads` workers), refreshes the resident cache, merges all
+    /// partials sequentially in shard order, and finishes every pass.
+    ///
+    /// The returned [`ScanResult`] is byte-identical to
+    /// [`ShardedScan::run_at`] over the same source and shard size —
+    /// the proof-of-equivalence tests pin this across thread counts and
+    /// shard sizes. Telemetry: one `analyze.epoch` span per advance
+    /// (records = re-folded records), per-pass shard spans under
+    /// per-pass trace groups as in the one-shot scan, the
+    /// `epoch.shards.{dirty,clean,refolded}` counters, and the
+    /// `epoch.partials.resident` gauge.
+    pub fn advance(
+        &mut self,
+        scan: ShardedScan<'_>,
+        source: &dyn RecordSource,
+        threads: usize,
+        deltas: &DeltaStream,
+        recorder: &dyn Recorder,
+        parent: SpanCtx,
+    ) -> (ScanResult, EpochStats) {
+        let epoch = self.epoch;
+        self.epoch += 1;
+        let mut epoch_span = recorder.span_at(EPOCH_SPAN, parent, epoch);
+        let epoch_ctx = epoch_span.ctx();
+        // First-use order determinism, exactly as in `run_at`: pin the
+        // epoch counters and every pass's span, counters and trace group
+        // in registration order before the fan-out.
+        recorder.preregister(&EPOCH_SHARD_COUNTERS);
+        let groups: Vec<SpanCtx> = scan
+            .passes
+            .iter()
+            .enumerate()
+            .map(|(pass_index, pass)| {
+                recorder.add_records(pass.name(), 0);
+                recorder.preregister(pass.counters());
+                recorder.trace_group(pass.name(), epoch_ctx, pass_index as u64)
+            })
+            .collect();
+        let timing = recorder.enabled();
+        let pass_count = scan.passes.len();
+
+        // Sorted, deduplicated delta indices per population, for
+        // binary-searched shard ownership tests.
+        let mut touched: HashMap<Population, Vec<u64>> = HashMap::new();
+        for delta in deltas.iter() {
+            touched.entry(delta.population).or_default().push(delta.index);
+        }
+        for indices in touched.values_mut() {
+            indices.sort_unstable();
+            indices.dedup();
+        }
+        let shard_is_dirty = |shard: &Shard| {
+            touched.get(&shard.population).is_some_and(|indices| {
+                let at = indices.partition_point(|&i| i < shard.start);
+                indices
+                    .get(at)
+                    .is_some_and(|&i| i < shard.start + shard.len as u64)
+            })
+        };
+
+        let shards = shards_of(source, self.shard_size);
+        let mut dirty = 0u64;
+        let mut refold: Vec<(u64, Shard)> = Vec::new();
+        for (shard_index, shard) in shards.iter().enumerate() {
+            let is_dirty = shard_is_dirty(shard);
+            if is_dirty {
+                dirty += 1;
+            }
+            // A cache miss re-folds too: a tail shard whose boundary
+            // moved (the index space grew) keys differently now, and a
+            // pass-roster change invalidates the entry's schema.
+            let resident = self
+                .cache
+                .get(&key_of(shard))
+                .is_some_and(|partials| partials.len() == pass_count);
+            if is_dirty || !resident {
+                refold.push((shard_index as u64, *shard));
+            }
+        }
+
+        let refolded_partials: Vec<(Vec<Box<dyn Any + Send>>, u64)> =
+            idnre_par::par_map(&refold, threads, |(shard_index, shard)| {
+                let mut result = None;
+                source.with_shard_indexed(
+                    shard.population,
+                    shard.start,
+                    shard.len,
+                    &mut |records, indices| {
+                        let mut partials: Vec<Box<dyn Any + Send>> = Vec::new();
+                        for (pass_index, pass) in scan.passes.iter().enumerate() {
+                            let mut span =
+                                recorder.span_at(pass.name(), groups[pass_index], *shard_index);
+                            let mut partial = pass.empty_box();
+                            for (reg, &index) in records.iter().zip(indices) {
+                                let rec = Observed {
+                                    reg,
+                                    population: shard.population,
+                                    index,
+                                };
+                                pass.observe_box(partial.as_mut(), &rec, recorder);
+                            }
+                            pass.shard_end_box(partial.as_mut(), recorder);
+                            span.add_records(records.len() as u64);
+                            partials.push(partial);
+                        }
+                        result = Some((partials, records.len() as u64));
+                    },
+                );
+                result.expect("RecordSource::with_shard_indexed did not invoke its callback")
+            });
+
+        // Refresh the cache: evict keys no longer on the shard grid
+        // (stale tail boundaries), then install the re-folded partials.
+        let keep: HashSet<ShardKey> = shards.iter().map(key_of).collect();
+        self.cache.retain(|key, _| keep.contains(key));
+        let mut refolded_records = 0u64;
+        for ((_, shard), (partials, records)) in refold.iter().zip(refolded_partials) {
+            refolded_records += records;
+            self.cache.insert(key_of(shard), partials);
+        }
+
+        let total_shards = shards.len() as u64;
+        let refolded = refold.len() as u64;
+        let clean = total_shards - refolded;
+        let resident_partials = self.resident_partials() as u64;
+        recorder.add(EPOCH_SHARD_COUNTERS[0], dirty);
+        recorder.add(EPOCH_SHARD_COUNTERS[1], clean);
+        recorder.add(EPOCH_SHARD_COUNTERS[2], refolded);
+        recorder.gauge_set(EPOCH_RESIDENT_PARTIALS, resident_partials);
+
+        // Merge resident partials sequentially in shard order — clones,
+        // so the cache survives for the next epoch. Cost attribution
+        // mirrors `run_at`: batched per pass, one pre-timed call each
+        // for merge and finish.
+        let mut merged: Vec<Box<dyn Any + Send>> =
+            scan.passes.iter().map(|p| p.empty_box()).collect();
+        let mut merge_nanos = vec![0u64; pass_count];
+        for shard in &shards {
+            let partials = self
+                .cache
+                .get(&key_of(shard))
+                .expect("every grid shard is cached after refold");
+            for (pass_index, (pass, slot)) in
+                scan.passes.iter().zip(merged.iter_mut()).enumerate()
+            {
+                let started = timing.then(Instant::now);
+                let earlier = std::mem::replace(slot, pass.empty_box());
+                let later = pass.clone_box(partials[pass_index].as_ref());
+                *slot = pass.merge_box(earlier, later);
+                if let Some(started) = started {
+                    merge_nanos[pass_index] += started.elapsed().as_nanos() as u64;
+                }
+            }
+        }
+        if timing {
+            for (pass, nanos) in scan.passes.iter().zip(&merge_nanos) {
+                recorder.record_nanos(pass.name(), *nanos);
+            }
+        }
+        let idn_len = source.population_len(Population::Idn);
+        let non_idn_len = source.population_len(Population::NonIdn);
+        epoch_span.add_records(refolded_records);
+        drop(epoch_span);
+        let outputs = scan
+            .passes
+            .iter()
+            .zip(merged)
+            .map(|(pass, partial)| {
+                let started = timing.then(Instant::now);
+                let output = Some(pass.finish_box(partial));
+                if let Some(started) = started {
+                    recorder.record_nanos(pass.name(), started.elapsed().as_nanos() as u64);
+                }
+                output
+            })
+            .collect();
+        (
+            ScanResult {
+                outputs,
+                idn_len,
+                non_idn_len,
+            },
+            EpochStats {
+                epoch,
+                total_shards,
+                dirty,
+                clean,
+                refolded,
+                refolded_records,
+                resident_partials,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalysisPass, StreamSource};
+    use idnre_datagen::epoch::DaySimulator;
+    use idnre_datagen::{generate_streamed, EcosystemConfig, KeyedCorpus};
+    use idnre_telemetry::{NoopRecorder, Registry};
+
+    struct CountPass;
+
+    impl AnalysisPass for CountPass {
+        type Partial = (u64, u64);
+        type Output = (u64, u64);
+
+        fn name(&self) -> &'static str {
+            "analyze.test.count"
+        }
+
+        fn empty(&self) -> Self::Partial {
+            (0, 0)
+        }
+
+        fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, _: &dyn Recorder) {
+            match rec.population {
+                Population::Idn => partial.0 += 1,
+                Population::NonIdn => partial.1 += 1,
+            }
+        }
+
+        fn finish(&self, partial: Self::Partial) -> Self::Output {
+            partial
+        }
+    }
+
+    /// Order-sensitive and index-witnessing: domains concatenate in shard
+    /// order and every observation records its stable global index, so
+    /// any re-fold that shifted indices or reordered merges would show.
+    struct IndexedDomainsPass;
+
+    impl AnalysisPass for IndexedDomainsPass {
+        type Partial = Vec<(u64, String)>;
+        type Output = Vec<(u64, String)>;
+
+        fn name(&self) -> &'static str {
+            "analyze.test.indexed_domains"
+        }
+
+        fn empty(&self) -> Self::Partial {
+            Vec::new()
+        }
+
+        fn observe(&self, partial: &mut Self::Partial, rec: &Observed<'_>, _: &dyn Recorder) {
+            if rec.population == Population::Idn {
+                partial.push((rec.index, rec.reg.domain.clone()));
+            }
+        }
+
+        fn finish(&self, partial: Self::Partial) -> Self::Output {
+            partial
+        }
+    }
+
+    fn small_corpus() -> KeyedCorpus {
+        let config = EcosystemConfig {
+            scale: 200,
+            ..EcosystemConfig::default()
+        };
+        generate_streamed(&config, 64, &NoopRecorder).1
+    }
+
+    fn scan() -> (
+        ShardedScan<'static>,
+        crate::PassHandle<(u64, u64)>,
+        crate::PassHandle<Vec<(u64, String)>>,
+    ) {
+        let mut scan = ShardedScan::new();
+        let counts = scan.register(CountPass);
+        let domains = scan.register(IndexedDomainsPass);
+        (scan, counts, domains)
+    }
+
+    #[test]
+    fn default_with_shard_indexed_is_dense() {
+        let base = small_corpus();
+        let source = StreamSource::new(&base);
+        source.with_shard_indexed(Population::Idn, 5, 4, &mut |records, indices| {
+            assert_eq!(records.len(), 4);
+            assert_eq!(indices, [5, 6, 7, 8]);
+        });
+    }
+
+    #[test]
+    fn quiet_epoch_reuses_every_resident_partial() {
+        let base = small_corpus();
+        let overlay = EpochCorpus::new(&base);
+        let source = EpochSource::new(&overlay);
+        let quiet = DeltaStream::new();
+        let mut state = EpochState::new(64);
+
+        let (scan0, counts0, domains0) = scan();
+        let (mut first, stats0) = state.advance(
+            scan0,
+            &source,
+            2,
+            &quiet,
+            &NoopRecorder,
+            SpanCtx::NONE,
+        );
+        assert_eq!(stats0.refolded, stats0.total_shards, "cold cache folds all");
+        assert_eq!(stats0.clean, 0);
+
+        let (scan1, counts1, domains1) = scan();
+        let (mut second, stats1) = state.advance(
+            scan1,
+            &source,
+            2,
+            &quiet,
+            &NoopRecorder,
+            SpanCtx::NONE,
+        );
+        assert_eq!(stats1.refolded, 0, "quiet epoch re-folds nothing");
+        assert_eq!(stats1.refolded_records, 0);
+        assert_eq!(stats1.clean, stats1.total_shards);
+        assert_eq!(first.take(&counts0), second.take(&counts1));
+        assert_eq!(first.take(&domains0), second.take(&domains1));
+        assert_eq!(state.epochs_advanced(), 2);
+    }
+
+    #[test]
+    fn epochs_match_from_scratch_rebuilds() {
+        let base = small_corpus();
+        let mut overlay = EpochCorpus::new(&base);
+        let mut sim = DaySimulator::new(30);
+        let mut state = EpochState::new(64);
+        for epoch in 0..3u64 {
+            let deltas = DeltaStream::from_epoch_deltas(&sim.advance(&mut overlay, epoch));
+            let source = EpochSource::new(&overlay);
+
+            let (inc_scan, inc_counts, inc_domains) = scan();
+            let (mut incremental, stats) =
+                state.advance(inc_scan, &source, 2, &deltas, &NoopRecorder, SpanCtx::NONE);
+
+            let (re_scan, re_counts, re_domains) = scan();
+            let mut rebuild = re_scan.run(&source, 64, 2, &NoopRecorder);
+
+            assert_eq!(
+                incremental.take(&inc_counts),
+                rebuild.take(&re_counts),
+                "epoch {epoch} counts"
+            );
+            assert_eq!(
+                incremental.take(&inc_domains),
+                rebuild.take(&re_domains),
+                "epoch {epoch} indexed domains"
+            );
+            assert_eq!(incremental.idn_len(), rebuild.idn_len());
+            assert_eq!(incremental.non_idn_len(), rebuild.non_idn_len());
+            if epoch > 0 {
+                assert!(
+                    stats.refolded < stats.total_shards,
+                    "epoch {epoch} re-folded {}/{} shards — churn must stay \
+                     shard-local",
+                    stats.refolded,
+                    stats.total_shards
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_space_deltas_dirty_no_shard() {
+        let base = small_corpus();
+        let overlay = EpochCorpus::new(&base);
+        let source = EpochSource::new(&overlay);
+        let mut state = EpochState::new(64);
+        let (scan0, _, _) = scan();
+        state.advance(scan0, &source, 1, &DeltaStream::new(), &NoopRecorder, SpanCtx::NONE);
+
+        let ghost = DeltaStream::from(vec![RecordDelta {
+            population: Population::Idn,
+            index: u64::MAX,
+            kind: DeltaKind::Remove,
+        }]);
+        let (scan1, _, _) = scan();
+        let (_, stats) = state.advance(scan1, &source, 1, &ghost, &NoopRecorder, SpanCtx::NONE);
+        assert_eq!(stats.dirty, 0, "remove-nonexistent maps to no shard");
+        assert_eq!(stats.refolded, 0);
+    }
+
+    #[test]
+    fn counters_and_gauge_pin_shard_accounting() {
+        let base = small_corpus();
+        let overlay = EpochCorpus::new(&base);
+        let source = EpochSource::new(&overlay);
+        let registry = Registry::new();
+        let mut state = EpochState::new(64);
+        let (scan0, _, _) = scan();
+        let (_, stats) = state.advance(
+            scan0,
+            &source,
+            2,
+            &DeltaStream::new(),
+            &registry,
+            SpanCtx::NONE,
+        );
+        let snapshot = registry.snapshot();
+        let counter = |name: &str| {
+            snapshot
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("counter {name} registered"))
+                .value
+        };
+        assert_eq!(counter("epoch.shards.dirty"), 0);
+        assert_eq!(counter("epoch.shards.clean"), 0);
+        assert_eq!(counter("epoch.shards.refolded"), stats.total_shards);
+        let gauge = snapshot
+            .gauges
+            .iter()
+            .find(|g| g.name == EPOCH_RESIDENT_PARTIALS)
+            .expect("resident-partials gauge registered");
+        assert_eq!(gauge.value, stats.resident_partials);
+        let epoch_stage = snapshot
+            .stages
+            .iter()
+            .find(|s| s.name == EPOCH_SPAN)
+            .expect("analyze.epoch span recorded");
+        assert_eq!(epoch_stage.records, stats.refolded_records);
+    }
+}

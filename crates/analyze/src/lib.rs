@@ -30,8 +30,10 @@ use std::marker::PhantomData;
 use std::time::Instant;
 
 pub mod aggregate;
+pub mod epoch;
 
 pub use aggregate::KeyedTally;
+pub use epoch::{DeltaKind, DeltaStream, EpochSource, EpochState, EpochStats, RecordDelta};
 
 /// Span name of the fused traversal; its record count equals the corpus
 /// size, which is how "exactly one corpus traversal" is asserted.
@@ -227,11 +229,15 @@ impl<P: AnalysisPass> DynPass for P {
 /// never asks for the whole population at once, which is what keeps peak
 /// residency at `shard_size × workers`.
 pub trait RecordSource: Sync {
-    /// Number of records in `population`.
+    /// Size of `population`'s **index space**. For dense sources this is
+    /// the record count; an epoch overlay reports the full span including
+    /// removal holes, so indices (and the shard grid) stay stable as
+    /// records come and go.
     fn population_len(&self, population: Population) -> u64;
 
-    /// Calls `f` exactly once with records `[start, start + len)` of
-    /// `population`, in corpus order.
+    /// Calls `f` exactly once with the records of index range
+    /// `[start, start + len)` of `population`, in corpus order. Sources
+    /// with holes yield only the surviving records.
     fn with_shard(
         &self,
         population: Population,
@@ -239,6 +245,27 @@ pub trait RecordSource: Sync {
         len: usize,
         f: &mut dyn FnMut(&[DomainRegistration]),
     );
+
+    /// Like [`RecordSource::with_shard`], additionally yielding each
+    /// record's **stable global index** (parallel to the record slice).
+    /// The default supplies the dense enumeration `start..start + n` —
+    /// exactly what the scan used to compute inline — so existing sources
+    /// need no changes. Overlay sources with removal holes override this
+    /// to keep surviving records at their original indices, which is what
+    /// keeps index-addressed pass state (column rows, head-sample cutoffs)
+    /// valid across epochs.
+    fn with_shard_indexed(
+        &self,
+        population: Population,
+        start: u64,
+        len: usize,
+        f: &mut dyn FnMut(&[DomainRegistration], &[u64]),
+    ) {
+        self.with_shard(population, start, len, &mut |records| {
+            let indices: Vec<u64> = (start..start + records.len() as u64).collect();
+            f(records, &indices);
+        });
+    }
 }
 
 /// A [`RecordSource`] over fully materialized batch vectors.
@@ -470,26 +497,31 @@ impl<'p> ShardedScan<'p> {
         let shard_partials: Vec<Vec<Box<dyn Any + Send>>> =
             idnre_par::par_map(&shards, threads, |(shard_index, shard)| {
                 let mut result = None;
-                source.with_shard(shard.population, shard.start, shard.len, &mut |records| {
-                    let mut partials: Vec<Box<dyn Any + Send>> = Vec::new();
-                    for (pass_index, pass) in self.passes.iter().enumerate() {
-                        let mut span =
-                            recorder.span_at(pass.name(), groups[pass_index], *shard_index);
-                        let mut partial = pass.empty_box();
-                        for (offset, reg) in records.iter().enumerate() {
-                            let rec = Observed {
-                                reg,
-                                population: shard.population,
-                                index: shard.start + offset as u64,
-                            };
-                            pass.observe_box(partial.as_mut(), &rec, recorder);
+                source.with_shard_indexed(
+                    shard.population,
+                    shard.start,
+                    shard.len,
+                    &mut |records, indices| {
+                        let mut partials: Vec<Box<dyn Any + Send>> = Vec::new();
+                        for (pass_index, pass) in self.passes.iter().enumerate() {
+                            let mut span =
+                                recorder.span_at(pass.name(), groups[pass_index], *shard_index);
+                            let mut partial = pass.empty_box();
+                            for (reg, &index) in records.iter().zip(indices) {
+                                let rec = Observed {
+                                    reg,
+                                    population: shard.population,
+                                    index,
+                                };
+                                pass.observe_box(partial.as_mut(), &rec, recorder);
+                            }
+                            pass.shard_end_box(partial.as_mut(), recorder);
+                            span.add_records(records.len() as u64);
+                            partials.push(partial);
                         }
-                        pass.shard_end_box(partial.as_mut(), recorder);
-                        span.add_records(records.len() as u64);
-                        partials.push(partial);
-                    }
-                    result = Some(partials);
-                });
+                        result = Some(partials);
+                    },
+                );
                 result.expect("RecordSource::with_shard did not invoke its callback")
             });
         let mut merged: Vec<Box<dyn Any + Send>> =
@@ -543,16 +575,21 @@ impl<'p> ShardedScan<'p> {
         }
     }
 
-    /// Associativity probe for the test suite: builds per-chunk partials of
-    /// `chunk_size` records sequentially, then checks
-    /// `(a·b)·c == a·(b·c)` over every consecutive chunk triple (padding
-    /// with empty partials when fewer than three chunks exist) for every
-    /// registered pass. Returns the name of the first violating pass.
+    /// Associativity + identity probe for the test suite: builds per-chunk
+    /// partials of `chunk_size` records sequentially, checks that the
+    /// empty partial is a two-sided [`Merge`] identity against every chunk
+    /// (`e·p == p == p·e` — the property dirty-shard re-folds rely on:
+    /// a clean shard's resident partial must pass through merges with
+    /// freshly re-folded neighbours unchanged, and a shard emptied by
+    /// removals must merge as a no-op), then checks `(a·b)·c == a·(b·c)`
+    /// over every consecutive chunk triple (padding with empty partials
+    /// when fewer than three chunks exist) for every registered pass.
+    /// Returns the name of the first violating pass.
     ///
     /// # Errors
     ///
-    /// Returns `Err(pass_name)` if any pass's merge is not associative on
-    /// this corpus split.
+    /// Returns `Err(pass_name)` if any pass's merge is not associative, or
+    /// its empty partial is not a merge identity, on this corpus split.
     pub fn merge_is_associative(
         &self,
         source: &dyn RecordSource,
@@ -563,18 +600,32 @@ impl<'p> ShardedScan<'p> {
         for (pass_index, pass) in self.passes.iter().enumerate() {
             let mut chunks: Vec<Box<dyn Any + Send>> = Vec::new();
             for shard in &shards {
-                source.with_shard(shard.population, shard.start, shard.len, &mut |records| {
-                    let mut partial = pass.empty_box();
-                    for (offset, reg) in records.iter().enumerate() {
-                        let rec = Observed {
-                            reg,
-                            population: shard.population,
-                            index: shard.start + offset as u64,
-                        };
-                        pass.observe_box(partial.as_mut(), &rec, recorder);
-                    }
-                    chunks.push(partial);
-                });
+                source.with_shard_indexed(
+                    shard.population,
+                    shard.start,
+                    shard.len,
+                    &mut |records, indices| {
+                        let mut partial = pass.empty_box();
+                        for (reg, &index) in records.iter().zip(indices) {
+                            let rec = Observed {
+                                reg,
+                                population: shard.population,
+                                index,
+                            };
+                            pass.observe_box(partial.as_mut(), &rec, recorder);
+                        }
+                        chunks.push(partial);
+                    },
+                );
+            }
+            for chunk in &chunks {
+                let left = pass.merge_box(pass.empty_box(), pass.clone_box(chunk.as_ref()));
+                let right = pass.merge_box(pass.clone_box(chunk.as_ref()), pass.empty_box());
+                if !pass.eq_box(left.as_ref(), chunk.as_ref())
+                    || !pass.eq_box(right.as_ref(), chunk.as_ref())
+                {
+                    return Err(pass.name());
+                }
             }
             while chunks.len() < 3 {
                 chunks.push(pass.empty_box());

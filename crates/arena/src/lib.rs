@@ -239,6 +239,23 @@ impl BitSet {
         index < self.len && (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
 
+    /// Overwrites the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` was never pushed — epoch overlays may flip bits
+    /// of existing rows but never allocate rows implicitly.
+    #[inline]
+    pub fn set(&mut self, index: usize, bit: bool) {
+        assert!(index < self.len, "BitSet::set past the end ({index})");
+        let mask = 1u64 << (index % 64);
+        if bit {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
     /// Number of bits pushed.
     pub fn len(&self) -> usize {
         self.len
@@ -453,6 +470,82 @@ impl CorpusColumns {
     #[inline]
     pub fn blacklist_bits(&self, i: usize) -> (bool, bool, bool) {
         (self.vt.get(i), self.q.get(i), self.b.get(i))
+    }
+
+    /// Appends one row after [`ColumnsBuilder::finish`] — the epoch-growth
+    /// path. Interners grow append-only, so every symbol and TLD id handed
+    /// out before the append still resolves to the same string (the
+    /// high-water-mark rule; see [`CorpusColumns::mark`]). `lang_of`
+    /// supplies the classifier id for the row's label; it is a pure
+    /// function of the label string, so re-invoking it per appended row
+    /// broadcasts exactly the ids a batch [`ColumnsBuilder::finish`] would.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_row(
+        &mut self,
+        sld: &str,
+        tld: &str,
+        malicious: bool,
+        organic: bool,
+        vt: bool,
+        q: bool,
+        b: bool,
+        lang_of: impl FnOnce(&str) -> u8,
+    ) {
+        self.sld.push(self.labels.intern(sld));
+        let tld_sym = self.tlds.intern(tld);
+        self.tld.push(tld_sym.index() as u16);
+        self.lang.push(lang_of(sld));
+        self.malicious.push(malicious);
+        self.organic.push(organic);
+        self.vt.push(vt);
+        self.q.push(q);
+        self.b.push(b);
+    }
+
+    /// Overwrites row `i`'s malicious bit — how a blacklist listing that
+    /// arrives epochs after the registration (blacklist lag) lands in the
+    /// columns without disturbing any other row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not an existing row.
+    pub fn set_malicious(&mut self, i: usize, bit: bool) {
+        self.malicious.set(i, bit);
+    }
+
+    /// The current high-water mark: row and interner lengths at this
+    /// instant. Epoch growth is append-only, so for any two marks taken
+    /// before and after an epoch, everything below the earlier mark —
+    /// every row, symbol and TLD id — is unchanged; resident shard
+    /// partials built against the earlier state therefore stay valid.
+    pub fn mark(&self) -> ColumnsMark {
+        ColumnsMark {
+            rows: self.sld.len(),
+            labels: self.labels.len(),
+            tlds: self.tlds.len(),
+        }
+    }
+}
+
+/// A per-epoch high-water mark of [`CorpusColumns`]: how many rows,
+/// distinct labels and distinct TLDs existed when it was taken. Compare
+/// marks across epochs to assert append-only growth (`later` must
+/// dominate `earlier` component-wise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnsMark {
+    /// Rows (IDN registrations) at mark time.
+    pub rows: usize,
+    /// Distinct interned SLD labels at mark time.
+    pub labels: usize,
+    /// Distinct interned TLD names at mark time.
+    pub tlds: usize,
+}
+
+impl ColumnsMark {
+    /// Whether `self` (an earlier mark) is dominated by `later` — the
+    /// append-only invariant between two epochs.
+    pub fn grew_monotonically_to(&self, later: &ColumnsMark) -> bool {
+        self.rows <= later.rows && self.labels <= later.labels && self.tlds <= later.tlds
     }
 }
 
@@ -694,6 +787,70 @@ mod tests {
         assert!(cols.is_organic(0) && !cols.is_organic(2));
         assert_eq!(cols.blacklist_bits(1), (true, true, false));
         assert_eq!(cols.blacklist_bits(2), (false, false, true));
+    }
+
+    #[test]
+    fn bitset_set_overwrites_in_place() {
+        let mut bits = BitSet::new();
+        for _ in 0..70 {
+            bits.push(false);
+        }
+        bits.set(65, true);
+        assert!(bits.get(65));
+        bits.set(65, false);
+        assert!(!bits.get(65));
+        assert_eq!(bits.len(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the end")]
+    fn bitset_set_never_allocates_rows() {
+        let mut bits = BitSet::new();
+        bits.push(false);
+        bits.set(1, true);
+    }
+
+    #[test]
+    fn push_row_grows_append_only_and_keeps_symbols_stable() {
+        let mut builder = ColumnsBuilder::new();
+        builder.push("彩票", "com", false, true, false, false, false);
+        builder.push("news", "net", false, true, false, false, false);
+        let mut cols = builder.finish(|labels| vec![7; labels.len()]);
+        let before = cols.mark();
+        let sym0 = cols.sld_symbol(0);
+        // Appending a duplicate label re-uses its symbol; a fresh one
+        // extends the interner past the mark.
+        cols.push_row("彩票", "net", true, false, false, true, false, |_| 7);
+        cols.push_row("neu", "org", false, false, false, false, false, |_| 3);
+        let after = cols.mark();
+        assert!(before.grew_monotonically_to(&after));
+        assert_eq!(after.rows, 4);
+        assert_eq!(after.labels, 3, "one fresh label interned");
+        assert_eq!(after.tlds, 3);
+        assert_eq!(cols.sld_symbol(2), sym0, "duplicate label shares its symbol");
+        assert_eq!(cols.tld_name(cols.tld_id(2)), "net");
+        assert_eq!(cols.lang_id(3), 3);
+        assert!(cols.is_malicious(2) && !cols.is_malicious(0));
+        assert_eq!(cols.blacklist_bits(2), (false, true, false));
+        // Everything below the earlier mark is byte-identical.
+        assert_eq!(cols.sld_symbol(0), sym0);
+        assert_eq!(cols.tld_name(cols.tld_id(1)), "net");
+        assert_eq!(cols.lang_id(0), 7);
+    }
+
+    #[test]
+    fn set_malicious_flips_one_row_only() {
+        let mut builder = ColumnsBuilder::new();
+        for _ in 0..3 {
+            builder.push("标签", "com", false, true, false, false, false);
+        }
+        let mut cols = builder.finish(|labels| vec![0; labels.len()]);
+        cols.set_malicious(1, true);
+        assert!(!cols.is_malicious(0));
+        assert!(cols.is_malicious(1));
+        assert!(!cols.is_malicious(2));
+        cols.set_malicious(1, false);
+        assert!(!cols.is_malicious(1));
     }
 
     mod properties {

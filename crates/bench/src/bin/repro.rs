@@ -23,6 +23,8 @@
 //! repro --metrics det all        # thread-invariant idnre-metrics/2 JSON
 //! repro --mine-portfolios all    # zone-wide confusable portfolio mining
 //! repro --mine-portfolios --stream --scale 2750 all  # mining in bounded memory
+//! repro --stream --epochs 5 all  # 5 incremental zone-diff epochs
+//! repro --stream --epochs 5 --churn-per-mille 20 all  # ~2% churn per epoch
 //! ```
 //!
 //! With `--metrics`, every pipeline stage (generation, detector scans, the
@@ -51,7 +53,7 @@
 //!
 //! `--bench` runs the whole pipeline once under timing, prints the stage
 //! table and the per-pass cost ledger to stderr, and writes
-//! `BENCH_pipeline.json` (`idnre-bench-pipeline/4`) next to the report.
+//! `BENCH_pipeline.json` (`idnre-bench-pipeline/6`) next to the report.
 //! It cannot be combined with `--faults` or `--metrics`. Combined with
 //! `--stream`, the bench's streamed leg regenerates `--shard-size N`
 //! records at a time and the JSON's top-level `peak_resident_records`
@@ -102,6 +104,20 @@
 //! the index folds over regenerated shards — packed symbol handles only —
 //! so mining stays inside the streamed memory budget at any scale.
 //!
+//! `--epochs N` (requires `--stream`) runs the incremental zone-diff
+//! loop: the streamed build's fold leaves its per-(shard, pass) partials
+//! resident, then a deterministic day simulator applies `N` epochs of
+//! churn (new registrations, expiry cohorts, re-registrations, registrar
+//! migrations, lagged blacklist listings — `--churn-per-mille M` events
+//! per thousand base records per epoch, default 20) and each epoch
+//! re-folds **only the shards its deltas dirtied**. Every epoch is
+//! shadowed by a from-scratch rebuild over the same effective corpus and
+//! the two reports are asserted byte-identical; stdout carries the final
+//! epoch's report, stderr a per-epoch summary plus one machine-greppable
+//! `epochs=... speedup=...` line. Not combinable with `--faults`,
+//! `--mine-portfolios`, or `--bench` (whose JSON carries its own epoch
+//! probe pair).
+//!
 //! Flag compatibility is validated against one table
 //! ([`idnre_bench::FLAG_CONFLICTS`] / [`idnre_bench::FLAG_REQUIRES`]);
 //! any violation is a usage error (exit 2).
@@ -143,6 +159,8 @@ fn main() {
     let mut slo: Option<idnre_telemetry::SloSpec> = None;
     let mut crawl_sched = false;
     let mut mine_portfolios = false;
+    let mut epochs: Option<u64> = None;
+    let mut churn_per_mille: Option<u64> = None;
     let mut inflight: Option<usize> = None;
     let mut rate: Option<u32> = None;
     let mut wanted: Vec<String> = Vec::new();
@@ -222,6 +240,21 @@ fn main() {
             }
             "--crawl-sched" => crawl_sched = true,
             "--mine-portfolios" => mine_portfolios = true,
+            "--epochs" => {
+                epochs = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--epochs needs a number")),
+                );
+            }
+            "--churn-per-mille" => {
+                churn_per_mille = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|n| *n >= 1 && *n <= 1000)
+                        .unwrap_or_else(|| usage("--churn-per-mille needs a number in 1..=1000")),
+                );
+            }
             "--inflight" => {
                 inflight = Some(
                     args.next()
@@ -284,6 +317,8 @@ fn main() {
         dump_dataset: dump_dataset.is_some(),
         crawl_sched,
         mine_portfolios,
+        epochs: epochs.is_some(),
+        churn_per_mille: churn_per_mille.is_some(),
     };
     if let Err(message) = validate_flags(&flags) {
         usage(&message);
@@ -342,57 +377,95 @@ fn main() {
         Some(registry) => registry.clone(),
         None => Arc::new(idnre_telemetry::NoopRecorder),
     };
-    let ctx = match &faults {
-        Some(setup) => {
+    let mut ctx: Option<ReproContext> = None;
+    let output = if let Some(count) = epochs {
+        // Incremental zone-diff epochs: the one mode whose deliverable is
+        // the *final* epoch's report, so only `all` makes sense.
+        if !wanted.iter().any(|w| w == "all") {
+            usage("--epochs renders the final epoch's full report; name the `all` experiment");
+        }
+        let churn = churn_per_mille.unwrap_or(idnre_bench::DEFAULT_CHURN_PER_MILLE);
+        eprintln!("epoch mode: {count} epochs, churn {churn}\u{2030}, shard {shard_size}");
+        let run = idnre_bench::run_epochs(&config, shard_size, count, churn, recorder);
+        for (i, epoch) in run.epochs.iter().enumerate() {
             eprintln!(
-                "fault schedule: profile `{}`, seed {:#x}",
-                setup.plan.profile().name,
-                setup.plan.seed()
+                "epoch {}: {} deltas, {} live IDNs, {}/{} shards refolded ({} dirty), \
+                 incremental {:.2} ms vs rebuild {:.2} ms",
+                i + 1,
+                epoch.deltas,
+                epoch.live_idn,
+                epoch.stats.refolded,
+                epoch.stats.total_shards,
+                epoch.stats.dirty,
+                epoch.incremental_ns as f64 / 1e6,
+                epoch.rebuild_ns as f64 / 1e6,
             );
-            ReproContext::build_faulted(&config, setup, recorder)
         }
-        None if stream && mine_portfolios => {
-            ReproContext::build_streamed_mined(&config, shard_size, recorder)
-        }
-        None if stream => ReproContext::build_streamed(&config, shard_size, recorder),
-        None if mine_portfolios => ReproContext::build_mined(&config, recorder),
-        None => ReproContext::build_recorded(&config, recorder),
-    };
-    eprintln!(
-        "ecosystem ready: {} IDNs, {} non-IDNs, {} homograph findings, {} semantic findings",
-        ctx.outputs.idn_len,
-        ctx.outputs.non_idn_len,
-        ctx.homographs.len(),
-        ctx.semantic.len()
-    );
-    if let Some(mining) = &ctx.mining {
+        // One machine-greppable line: CI parses these key=value pairs.
         eprintln!(
-            "portfolio mining: {} buckets ({} non-singleton), {} candidate pairs, {} verified, {} portfolios",
-            mining.buckets,
-            mining.non_singleton_buckets,
-            mining.candidate_pairs,
-            mining.verified.len(),
-            mining.portfolios.len()
+            "epochs={count} shards={} refolded={} incremental_ns={} rebuild_ns={} speedup={:.2}",
+            run.total_shards(),
+            run.total_refolded(),
+            run.incremental_ns(),
+            run.rebuild_ns(),
+            run.speedup()
         );
-    }
-
-    if let Some(path) = &dump_dataset {
-        write_dataset(path, &idnre_datagen::render_dataset(&ctx.eco));
-    }
-
-    let output = if wanted.iter().any(|w| w == "all") {
-        ctx.full_report()
+        run.final_report
     } else {
-        let mut out = String::new();
-        for name in &wanted {
-            match reports::by_name(name) {
-                Some(generator) => {
-                    out.push_str(&generator(&ctx));
-                    out.push('\n');
-                }
-                None => usage(&format!("unknown experiment {name:?}")),
+        let built = match &faults {
+            Some(setup) => {
+                eprintln!(
+                    "fault schedule: profile `{}`, seed {:#x}",
+                    setup.plan.profile().name,
+                    setup.plan.seed()
+                );
+                ReproContext::build_faulted(&config, setup, recorder)
             }
+            None if stream && mine_portfolios => {
+                ReproContext::build_streamed_mined(&config, shard_size, recorder)
+            }
+            None if stream => ReproContext::build_streamed(&config, shard_size, recorder),
+            None if mine_portfolios => ReproContext::build_mined(&config, recorder),
+            None => ReproContext::build_recorded(&config, recorder),
+        };
+        eprintln!(
+            "ecosystem ready: {} IDNs, {} non-IDNs, {} homograph findings, {} semantic findings",
+            built.outputs.idn_len,
+            built.outputs.non_idn_len,
+            built.homographs.len(),
+            built.semantic.len()
+        );
+        if let Some(mining) = &built.mining {
+            eprintln!(
+                "portfolio mining: {} buckets ({} non-singleton), {} candidate pairs, {} verified, {} portfolios",
+                mining.buckets,
+                mining.non_singleton_buckets,
+                mining.candidate_pairs,
+                mining.verified.len(),
+                mining.portfolios.len()
+            );
         }
+
+        if let Some(path) = &dump_dataset {
+            write_dataset(path, &idnre_datagen::render_dataset(&built.eco));
+        }
+
+        let out = if wanted.iter().any(|w| w == "all") {
+            built.full_report()
+        } else {
+            let mut out = String::new();
+            for name in &wanted {
+                match reports::by_name(name) {
+                    Some(generator) => {
+                        out.push_str(&generator(&built));
+                        out.push('\n');
+                    }
+                    None => usage(&format!("unknown experiment {name:?}")),
+                }
+            }
+            out
+        };
+        ctx = Some(built);
         out
     };
 
@@ -455,7 +528,7 @@ fn main() {
         std::process::exit(report.status.exit_code());
     }
 
-    if let Some(health) = &ctx.health {
+    if let Some(health) = ctx.as_ref().and_then(|ctx| ctx.health.as_ref()) {
         eprintln!(
             "run health: {} — {} ok / {} errors / {} shed ({}‰ observed, {}‰ allowed)",
             health.status.label(),
@@ -563,7 +636,8 @@ fn usage(error: &str) -> ! {
          [--faults none|smoke|flaky|storm|SEED|PROFILE:SEED] \
          [--crawl-sched] [--inflight N] [--rate R] [--bench] \
          [--thread-sweep N,N,...] [--dump-dataset PATH] [--trace PATH] \
-         [--slo smoke|tight] [--mine-portfolios] <experiment...>\n\
+         [--slo smoke|tight] [--mine-portfolios] \
+         [--epochs N] [--churn-per-mille M] <experiment...>\n\
          exit codes with --faults or --slo: 0 clean, 3 degraded, 4 budget/bound exceeded\n\
          experiments: all {}",
         reports::ALL

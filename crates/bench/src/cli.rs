@@ -36,6 +36,10 @@ pub struct CliFlags {
     /// `--mine-portfolios`: two-pass skeleton-LSH confusable-portfolio
     /// mining appended to the report.
     pub mine_portfolios: bool,
+    /// `--epochs N`: incremental zone-diff epochs over the streamed build.
+    pub epochs: bool,
+    /// `--churn-per-mille M`: day-simulator event rate for `--epochs`.
+    pub churn_per_mille: bool,
 }
 
 impl CliFlags {
@@ -51,6 +55,8 @@ impl CliFlags {
             "--dump-dataset" => self.dump_dataset,
             "--crawl-sched" => self.crawl_sched,
             "--mine-portfolios" => self.mine_portfolios,
+            "--epochs" => self.epochs,
+            "--churn-per-mille" => self.churn_per_mille,
             other => unreachable!("flag {other:?} missing from CliFlags::is_set"),
         }
     }
@@ -73,12 +79,26 @@ pub const FLAG_CONFLICTS: &[(&str, &str)] = &[
     // its error budget, and its report to the health section — no report
     // extensions on top.
     ("--mine-portfolios", "--faults"),
+    // Epochs re-fold resident partials; a fault schedule corrupts the very
+    // corpus the partial cache assumes immutable-under-regeneration, and
+    // mining's bucket-index pass is one-shot by design (no Merge removal).
+    ("--epochs", "--faults"),
+    ("--epochs", "--mine-portfolios"),
+    // --bench runs under its own registries and carries its own epoch
+    // probe pair; an interactive epoch loop on top would be ignored.
+    ("--epochs", "--bench"),
 ];
 
 /// Pairs where the first flag only makes sense alongside the second
 /// ("A requires B").
-pub const FLAG_REQUIRES: &[(&str, &str)] =
-    &[("--thread-sweep", "--bench"), ("--crawl-sched", "--faults")];
+pub const FLAG_REQUIRES: &[(&str, &str)] = &[
+    ("--thread-sweep", "--bench"),
+    ("--crawl-sched", "--faults"),
+    // The epoch engine is built on the streamed KeyedCorpus (on-demand
+    // shard regeneration is what makes re-fold-only-dirty possible).
+    ("--epochs", "--stream"),
+    ("--churn-per-mille", "--epochs"),
+];
 
 /// Checks the flag set against both tables. The first violated rule (in
 /// table order) is returned as the full user-facing message.
@@ -114,6 +134,8 @@ mod tests {
                 "--dump-dataset" => flags.dump_dataset = true,
                 "--crawl-sched" => flags.crawl_sched = true,
                 "--mine-portfolios" => flags.mine_portfolios = true,
+                "--epochs" => flags.epochs = true,
+                "--churn-per-mille" => flags.churn_per_mille = true,
                 other => panic!("unknown flag {other:?}"),
             }
         }
@@ -155,6 +177,11 @@ mod tests {
         );
         assert_eq!(
             validate_flags(&with(&["--crawl-sched", "--faults"])),
+            Ok(())
+        );
+        assert_eq!(validate_flags(&with(&["--epochs", "--stream"])), Ok(()));
+        assert_eq!(
+            validate_flags(&with(&["--churn-per-mille", "--epochs", "--stream"])),
             Ok(())
         );
         // The streamed bench is a supported mode: `--bench --stream` times
@@ -234,6 +261,34 @@ mod tests {
     }
 
     #[test]
+    fn epochs_conflicts_with_faults() {
+        // --epochs needs --stream to be a valid set at all; pin --stream
+        // and observe that the older stream×faults row fires first, then
+        // check the bare pair.
+        assert_eq!(
+            validate_flags(&with(&["--epochs", "--stream", "--faults"])),
+            Err("--stream cannot be combined with --faults".into()),
+            "conflict table order: stream×faults is listed before epochs×faults"
+        );
+        assert_conflict("--epochs", "--faults");
+    }
+
+    #[test]
+    fn epochs_conflicts_with_bench() {
+        assert_conflict("--epochs", "--bench");
+    }
+
+    #[test]
+    fn epochs_conflicts_with_mine_portfolios() {
+        let flags = with(&["--epochs", "--mine-portfolios", "--stream"]);
+        assert_eq!(
+            validate_flags(&flags),
+            Err("--epochs cannot be combined with --mine-portfolios".into())
+        );
+        assert_conflict("--epochs", "--mine-portfolios");
+    }
+
+    #[test]
     fn thread_sweep_requires_bench() {
         assert_eq!(
             validate_flags(&with(&["--thread-sweep"])),
@@ -246,6 +301,22 @@ mod tests {
         assert_eq!(
             validate_flags(&with(&["--crawl-sched"])),
             Err("--crawl-sched requires --faults".into())
+        );
+    }
+
+    #[test]
+    fn epochs_requires_stream() {
+        assert_eq!(
+            validate_flags(&with(&["--epochs"])),
+            Err("--epochs requires --stream".into())
+        );
+    }
+
+    #[test]
+    fn churn_per_mille_requires_epochs() {
+        assert_eq!(
+            validate_flags(&with(&["--churn-per-mille", "--stream"])),
+            Err("--churn-per-mille requires --epochs".into())
         );
     }
 

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod epochs;
 pub mod mine;
 pub mod passes;
 pub mod pipeline_bench;
@@ -32,10 +33,12 @@ pub mod robust;
 pub mod slo;
 
 pub use cli::{validate_flags, CliFlags, FLAG_CONFLICTS, FLAG_REQUIRES};
+pub use epochs::{run_epochs, EpochBenchStats, EpochRun, DEFAULT_CHURN_PER_MILLE};
 pub use mine::{MiningOutputs, Portfolio, PortfolioMember};
 pub use pipeline_bench::{
     render_bench_json, render_bench_text, run_pipeline_bench, run_pipeline_bench_sharded,
-    run_pipeline_sweep, run_pipeline_sweep_sharded, LedgerRow, PipelineBench, RunLedger,
+    run_pipeline_sweep, run_pipeline_sweep_sharded, EpochSummary, LedgerRow, PipelineBench,
+    RunLedger,
 };
 pub use robust::{FaultSetup, IngestStats, RunHealth, SurveyStats};
 pub use slo::{slo_profile, SLO_PROFILES};

@@ -13,14 +13,14 @@
 
 use crate::mine::{BucketIndexPass, MiningPlan};
 use idnre_analyze::{
-    AnalysisPass, KeyedTally, Merge, Observed, PassHandle, Population, RecordSource, ScanResult,
-    ShardedScan,
+    AnalysisPass, DeltaStream, EpochState, EpochStats, KeyedTally, Merge, Observed, PassHandle,
+    Population, RecordSource, ScanResult, ShardedScan,
 };
 use idnre_arena::{BucketIndex, ColumnsBuilder, CorpusColumns, Symbol};
 use idnre_blacklist::{BlacklistSet, Source};
 use idnre_core::{
     AvailabilityEnumerator, ColumnedHomographPass, HomographDetector, HomographFinding,
-    Semantic1Pass, Semantic2Pass, SemanticDetector, SemanticFinding,
+    Semantic1Pass, Semantic2Pass, SemanticDetector, SemanticFinding, SkeletonCache,
 };
 use idnre_datagen::{Brand, ContentCategory};
 use idnre_langid::{Classifier, Language};
@@ -39,7 +39,7 @@ pub const CONTENT_SAMPLE: u64 = 500;
 
 /// Everything the report generators read that used to require rescanning
 /// the corpus, produced by one fused traversal.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScanOutputs {
     /// Per-TLD IDN and blacklist tallies (Table I).
     pub tld: TldBreakdown,
@@ -627,13 +627,36 @@ impl<'p> ScanPlan<'p> {
         threads: usize,
     ) -> Self {
         Self::build(
-            homograph,
+            ColumnedHomographPass::new(homograph, columns, threads),
             semantic,
             columns,
             pdns,
             table3_wanted,
             fig6_candidates,
-            threads,
+            None,
+        )
+    }
+
+    /// [`ScanPlan::new`], borrowing the homograph pass's skeleton
+    /// precompute from a resident [`SkeletonCache`] instead of
+    /// recomputing it — the epoch-engine constructor. The cache must
+    /// cover `columns` ([`SkeletonCache::extend_to`] after growth).
+    pub fn with_homograph_cache(
+        homograph: &'p HomographDetector,
+        semantic: &'p SemanticDetector,
+        columns: &'p CorpusColumns,
+        pdns: &'p PdnsStore,
+        table3_wanted: HashSet<String>,
+        fig6_candidates: HashSet<String>,
+        cache: &'p SkeletonCache,
+    ) -> Self {
+        Self::build(
+            ColumnedHomographPass::with_cache(homograph, columns, cache),
+            semantic,
+            columns,
+            pdns,
+            table3_wanted,
+            fig6_candidates,
             None,
         )
     }
@@ -654,30 +677,28 @@ impl<'p> ScanPlan<'p> {
         mining: &'p MiningPlan,
     ) -> Self {
         Self::build(
-            homograph,
+            ColumnedHomographPass::new(homograph, columns, threads),
             semantic,
             columns,
             pdns,
             table3_wanted,
             fig6_candidates,
-            threads,
             Some(mining),
         )
     }
 
     #[allow(clippy::too_many_arguments)]
     fn build(
-        homograph: &'p HomographDetector,
+        homograph_pass: ColumnedHomographPass<'p>,
         semantic: &'p SemanticDetector,
         columns: &'p CorpusColumns,
         pdns: &'p PdnsStore,
         table3_wanted: HashSet<String>,
         fig6_candidates: HashSet<String>,
-        threads: usize,
         mining: Option<&'p MiningPlan>,
     ) -> Self {
         let mut scan = ShardedScan::new();
-        let homograph = scan.register(ColumnedHomographPass::new(homograph, columns, threads));
+        let homograph = scan.register(homograph_pass);
         let semantic1 = scan.register(Semantic1Pass::new(semantic));
         let semantic2 = scan.register(Semantic2Pass::new(semantic));
         let tld = scan.register(TldPass::new(columns));
@@ -775,6 +796,50 @@ impl<'p> ScanPlan<'p> {
             result.take(&self.semantic1),
             outputs,
             bucket,
+        )
+    }
+
+    /// Advances one epoch through `state` instead of folding every shard:
+    /// only shards the delta stream dirtied (plus cache misses) re-fold;
+    /// clean shards reuse their resident partials. Outputs are
+    /// byte-identical to [`ScanPlan::run_at`] over the same source at
+    /// `state`'s shard size. Mining plans are one-shot by design and not
+    /// supported here ([`crate::CliFlags`] rejects the combination).
+    pub fn run_epoch(
+        self,
+        state: &mut EpochState,
+        source: &dyn RecordSource,
+        threads: usize,
+        deltas: &DeltaStream,
+        recorder: &dyn Recorder,
+        parent: SpanCtx,
+    ) -> (
+        Vec<HomographFinding>,
+        Vec<SemanticFinding>,
+        ScanOutputs,
+        EpochStats,
+    ) {
+        debug_assert!(
+            self.bucket.is_none(),
+            "mining pass A is one-shot; epochs exclude --mine-portfolios"
+        );
+        let (mut result, stats) = state.advance(self.scan, source, threads, deltas, recorder, parent);
+        let outputs = ScanOutputs {
+            tld: result.take(&self.tld),
+            language: result.take(&self.language),
+            content: result.take(&self.content),
+            activity: result.take(&self.activity),
+            semantic2: result.take(&self.semantic2),
+            table3_unicode: result.take(&self.table3),
+            fig6_registered: result.take(&self.fig6),
+            idn_len: result.idn_len(),
+            non_idn_len: result.non_idn_len(),
+        };
+        (
+            result.take(&self.homograph),
+            result.take(&self.semantic1),
+            outputs,
+            stats,
         )
     }
 }

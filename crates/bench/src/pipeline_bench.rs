@@ -15,21 +15,34 @@
 //!    indexed-vs-exhaustive pair is the regression gate CI holds every
 //!    future change to.
 //!
-//! # Schema (`idnre-bench-pipeline/5`)
+//! # Schema (`idnre-bench-pipeline/6`)
 //!
 //! ```json
 //! {
-//!   "schema": "idnre-bench-pipeline/5",
+//!   "schema": "idnre-bench-pipeline/6",
 //!   "scale": 50, "attack_scale": 1, "threads": 8, "seed": 497885208,
 //!   "dataset_fingerprint": "0xffbab908278775d0",
 //!   "shard_size": 1024, "peak_resident_records": 12288,
 //!   "mining": {"candidate_pairs": 420, "verified_pairs": 37, "portfolios": 9},
+//!   "epochs": {"count": 3, "churn_per_mille": 20, "shard_size": 64,
+//!              "total_shards": 890, "refolded": 21,
+//!              "incremental_wall_ns": 1234, "rebuild_wall_ns": 56789},
 //!   "entries": [
 //!     {"stage": "build.ecosystem", "pass": "", "mode": "batch", "scale": 50,
 //!      "threads": 8, "wall_ns": 1234, "records": 29000, "ns_per_record": 42}
 //!   ]
 //! }
 //! ```
+//!
+//! Schema 6 adds the incremental-epoch probe: [`crate::run_epochs`] plays
+//! [`EPOCH_PROBE_EPOCHS`] simulated zone-diff days at
+//! [`EPOCH_PROBE_CHURN_PER_MILLE`] churn over its own shard grid
+//! ([`EPOCH_PROBE_SHARD_SIZE`]), re-folding only dirty shards with a
+//! from-scratch shadow rebuild per epoch (byte-equality asserted inside
+//! the run). The summed walls land as the `analyze.epoch.incremental` /
+//! `analyze.epoch.rebuild` entry pair plus the top-level `epochs` block —
+//! the re-fold-only-dirty speedup CI gates, next to the other two
+//! indexed-vs-exhaustive pairs.
 //!
 //! Schema 5 runs both legs with the portfolio miner enabled — the two
 //! mining stages (`analyze.pass.bucket_index`, `analyze.pass.pair_mine`)
@@ -76,7 +89,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema tag of the JSON this module writes.
-pub const BENCH_SCHEMA: &str = "idnre-bench-pipeline/5";
+pub const BENCH_SCHEMA: &str = "idnre-bench-pipeline/6";
+
+/// Warm epochs the schema-6 incremental-epoch probe plays.
+pub const EPOCH_PROBE_EPOCHS: u64 = 3;
+
+/// Day-simulator churn (events per thousand base records per epoch) of
+/// the epoch probe.
+pub const EPOCH_PROBE_CHURN_PER_MILLE: u64 = 20;
+
+/// Shard size of the epoch probe's grid — small enough that a day's
+/// cohort-clustered deltas dirty a thin slice of the grid at bench scale.
+pub const EPOCH_PROBE_SHARD_SIZE: usize = 64;
 
 /// Prefix of the per-pass attribution stages the fused scan records.
 pub const PASS_STAGE_PREFIX: &str = "analyze.pass.";
@@ -136,6 +160,28 @@ pub struct MiningSummary {
     pub portfolios: u64,
 }
 
+/// The schema-6 top-level `epochs` summary block: the incremental-epoch
+/// probe's shard accounting and summed walls. The walls are measurements;
+/// the shard accounting is deterministic and asserted identical across a
+/// sweep's thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochSummary {
+    /// Warm epochs the probe played.
+    pub epochs: u64,
+    /// Day-simulator churn rate the probe ran at.
+    pub churn_per_mille: u64,
+    /// Shard size of the probe's grid.
+    pub shard_size: usize,
+    /// Shards in the final epoch's grid.
+    pub total_shards: u64,
+    /// Shards re-folded across all warm epochs.
+    pub refolded: u64,
+    /// Summed incremental fold wall across warm epochs.
+    pub incremental_wall_ns: u64,
+    /// Summed shadow-rebuild wall across warm epochs.
+    pub rebuild_wall_ns: u64,
+}
+
 /// A full `repro --bench` result.
 #[derive(Debug, Clone)]
 pub struct PipelineBench {
@@ -161,6 +207,9 @@ pub struct PipelineBench {
     /// The mined-portfolio summary (a sweep asserts it identical across
     /// counts and keeps the first).
     pub mining: Option<MiningSummary>,
+    /// The incremental-epoch probe summary (a sweep asserts the shard
+    /// accounting identical across counts and keeps the first).
+    pub epochs: Option<EpochSummary>,
     /// Timed stages, in pipeline order.
     pub entries: Vec<BenchEntry>,
     /// The regenerated report (so `--bench` still honours `--write`).
@@ -208,6 +257,17 @@ impl PipelineBench {
             return None;
         }
         Some(exhaustive.wall_ns as f64 / lsh.wall_ns as f64)
+    }
+
+    /// Rebuild-over-incremental speedup of the epoch probe (>1 means
+    /// re-folding only dirty shards wins). `None` before both probes ran.
+    pub fn epoch_speedup(&self) -> Option<f64> {
+        let incremental = self.entry("analyze.epoch.incremental")?;
+        let rebuild = self.entry("analyze.epoch.rebuild")?;
+        if incremental.wall_ns == 0 {
+            return None;
+        }
+        Some(rebuild.wall_ns as f64 / incremental.wall_ns as f64)
     }
 
     /// Instrumented-over-uninstrumented wall ratio of the fused scan
@@ -616,6 +676,42 @@ pub fn run_pipeline_bench_sharded(config: &EcosystemConfig, shard_size: usize) -
         records: survey_domains,
     });
 
+    // The incremental-epoch probe: a short zone-diff loop on its own
+    // shard grid. run_epochs shadow-rebuilds every epoch and asserts the
+    // reports byte-identical, so the entry pair below is measured over a
+    // proven-equivalent pair of folds — the third indexed-vs-exhaustive
+    // regression gate.
+    let epoch_run = crate::run_epochs(
+        config,
+        EPOCH_PROBE_SHARD_SIZE,
+        EPOCH_PROBE_EPOCHS,
+        EPOCH_PROBE_CHURN_PER_MILLE,
+        Arc::new(NoopRecorder),
+    );
+    entries.push(BenchEntry {
+        stage: "analyze.epoch.incremental".to_string(),
+        mode: "streamed",
+        threads,
+        wall_ns: epoch_run.incremental_ns(),
+        records: epoch_run.refolded_records(),
+    });
+    entries.push(BenchEntry {
+        stage: "analyze.epoch.rebuild".to_string(),
+        mode: "streamed",
+        threads,
+        wall_ns: epoch_run.rebuild_ns(),
+        records: epoch_run.rebuild_records(),
+    });
+    let epochs = Some(EpochSummary {
+        epochs: EPOCH_PROBE_EPOCHS,
+        churn_per_mille: EPOCH_PROBE_CHURN_PER_MILLE,
+        shard_size: EPOCH_PROBE_SHARD_SIZE,
+        total_shards: epoch_run.total_shards(),
+        refolded: epoch_run.total_refolded(),
+        incremental_wall_ns: epoch_run.incremental_ns(),
+        rebuild_wall_ns: epoch_run.rebuild_ns(),
+    });
+
     // The streamed counterpart: the bounded-memory build timed under its
     // own registry. Its report is the cross-mode oracle — byte-identical
     // to the batch run or the bench aborts — and its stage spans land as
@@ -653,6 +749,7 @@ pub fn run_pipeline_bench_sharded(config: &EcosystemConfig, shard_size: usize) -
         shard_size,
         peak_resident_records,
         mining,
+        epochs,
         entries,
         report,
         dataset,
@@ -701,6 +798,15 @@ pub fn run_pipeline_sweep_sharded(
                     first.mining, run.mining,
                     "mined summary diverged at {threads} threads"
                 );
+                // The epoch walls are measurements, but the shard
+                // accounting is a pure function of the corpus and deltas.
+                if let (Some(a), Some(b)) = (&first.epochs, &run.epochs) {
+                    assert_eq!(
+                        (a.total_shards, a.refolded),
+                        (b.total_shards, b.refolded),
+                        "epoch shard accounting diverged at {threads} threads"
+                    );
+                }
                 first.peak_resident_records =
                     first.peak_resident_records.max(run.peak_resident_records);
                 first.entries.extend(run.entries);
@@ -710,7 +816,7 @@ pub fn run_pipeline_sweep_sharded(
     sweep.expect("at least one sweep run")
 }
 
-/// Renders a bench result as schema-stable JSON (`idnre-bench-pipeline/5`).
+/// Renders a bench result as schema-stable JSON (`idnre-bench-pipeline/6`).
 pub fn render_bench_json(bench: &PipelineBench) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -730,6 +836,20 @@ pub fn render_bench_json(bench: &PipelineBench) -> String {
             "\"mining\":{{\"candidate_pairs\":{},\"verified_pairs\":{},\
              \"portfolios\":{}}},",
             mining.candidate_pairs, mining.verified_pairs, mining.portfolios
+        ));
+    }
+    if let Some(epochs) = &bench.epochs {
+        out.push_str(&format!(
+            "\"epochs\":{{\"count\":{},\"churn_per_mille\":{},\"shard_size\":{},\
+             \"total_shards\":{},\"refolded\":{},\"incremental_wall_ns\":{},\
+             \"rebuild_wall_ns\":{}}},",
+            epochs.epochs,
+            epochs.churn_per_mille,
+            epochs.shard_size,
+            epochs.total_shards,
+            epochs.refolded,
+            epochs.incremental_wall_ns,
+            epochs.rebuild_wall_ns
         ));
     }
     out.push_str("\"entries\":[");
@@ -795,6 +915,16 @@ pub fn render_bench_text(bench: &PipelineBench) -> String {
             "pair-mining LSH speedup over exhaustive oracle: {speedup:.1}x\n"
         ));
     }
+    if let (Some(epochs), Some(speedup)) = (&bench.epochs, bench.epoch_speedup()) {
+        out.push_str(&format!(
+            "incremental epoch speedup over per-epoch rebuild: {speedup:.1}x \
+             ({}/{} shards refolded across {} epochs at {}\u{2030} churn)\n",
+            epochs.refolded,
+            epochs.total_shards * epochs.epochs,
+            epochs.epochs,
+            epochs.churn_per_mille
+        ));
+    }
     if let Some(overhead) = bench.instrumentation_overhead() {
         out.push_str(&format!(
             "scan attribution overhead (instrumented/uninstrumented): {overhead:.3}x\n"
@@ -835,6 +965,8 @@ mod tests {
             "analyze.pass.pair_mine",
             "mine.pairs.lsh",
             "mine.pairs.exhaustive",
+            "analyze.epoch.incremental",
+            "analyze.epoch.rebuild",
             "analyze.scan.instrumented",
             "analyze.scan.uninstrumented",
             "dataset.render",
@@ -844,7 +976,15 @@ mod tests {
         assert!(bench.entries.iter().any(|e| e.stage.starts_with("report.")));
         assert!(bench.homograph_speedup().is_some());
         assert!(bench.mining_speedup().is_some());
+        assert!(bench.epoch_speedup().is_some());
         assert!(bench.instrumentation_overhead().is_some());
+
+        // The schema-6 epoch block: accounting is deterministic at a
+        // fixed config; the incremental leg must have skipped shards.
+        let epochs = bench.epochs.expect("schema 6 always probes epochs");
+        assert_eq!(epochs.epochs, EPOCH_PROBE_EPOCHS);
+        assert!(epochs.refolded < epochs.total_shards * epochs.epochs);
+        assert!(epochs.refolded >= epochs.epochs);
         assert!(bench.dataset.starts_with(idnre_datagen::DATASET_SCHEMA));
         let mining = bench.mining.expect("schema 5 always mines");
         assert!(mining.candidate_pairs >= mining.verified_pairs);
@@ -863,9 +1003,12 @@ mod tests {
         );
 
         let json = render_bench_json(&bench);
-        assert!(json.starts_with("{\"schema\":\"idnre-bench-pipeline/5\""));
+        assert!(json.starts_with("{\"schema\":\"idnre-bench-pipeline/6\""));
         assert!(json.contains("\"shard_size\":1024"));
         assert!(json.contains("\"mining\":{\"candidate_pairs\":"));
+        assert!(json.contains("\"epochs\":{\"count\":"));
+        assert!(json.contains("\"refolded\":"));
+        assert!(json.contains("\"stage\":\"analyze.epoch.incremental\""));
         assert!(json.contains("\"verified_pairs\":"));
         assert!(json.contains("\"portfolios\":"));
         assert!(json.contains("\"stage\":\"mine.pairs.lsh\""));
@@ -891,6 +1034,7 @@ mod tests {
         assert!(text.contains("homograph index speedup"));
         assert!(text.contains("portfolio mining:"));
         assert!(text.contains("pair-mining LSH speedup"));
+        assert!(text.contains("incremental epoch speedup"));
         assert!(text.contains("scan attribution overhead"));
         assert!(text.contains("pass ledger"));
     }

@@ -88,42 +88,123 @@ pub struct ColumnedHomographPass<'d> {
     detector: &'d HomographDetector,
     columns: &'d CorpusColumns,
     /// Per distinct label: `None` when the label is pure ASCII (nothing
-    /// to spoof), else its confusable-folded skeleton.
-    label_skeletons: Vec<Option<String>>,
+    /// to spoof), else its confusable-folded skeleton. Owned for one-shot
+    /// scans, borrowed from a [`SkeletonCache`] across epochs.
+    label_skeletons: std::borrow::Cow<'d, [Option<String>]>,
     /// Per TLD id: `skeleton(".<decoded tld>")` — the decoded form because
     /// record display forms decode iTLDs too.
-    tld_suffixes: Vec<String>,
+    tld_suffixes: std::borrow::Cow<'d, [String]>,
+}
+
+/// Precomputed skeleton pieces of [`ColumnedHomographPass`], held outside
+/// the pass so an epoch engine can keep them resident while passes are
+/// rebuilt every epoch.
+///
+/// Growth is **append-only**, mirroring the interner it indexes:
+/// [`SkeletonCache::extend_to`] computes skeletons only for symbols and
+/// TLD ids past the previous high-water mark, so an epoch pays skeleton
+/// cost proportional to *new distinct labels*, not corpus size — while a
+/// from-scratch constructor would recompute every label, every epoch.
+#[derive(Debug, Clone, Default)]
+pub struct SkeletonCache {
+    labels: Vec<Option<String>>,
+    tlds: Vec<String>,
+}
+
+fn label_skeletons_from(columns: &CorpusColumns, from: usize, threads: usize) -> Vec<Option<String>> {
+    let labels: Vec<&str> = columns.labels().iter().skip(from).collect();
+    idnre_par::par_map(&labels, threads, |label| {
+        if label.is_ascii() {
+            None
+        } else {
+            Some(skeleton(label))
+        }
+    })
+}
+
+fn tld_suffixes_from(columns: &CorpusColumns, from: usize) -> Vec<String> {
+    columns
+        .tlds()
+        .iter()
+        .skip(from)
+        .map(|tld| {
+            let decoded = idnre_idna::to_unicode(tld).unwrap_or_else(|_| tld.to_string());
+            skeleton(&format!(".{decoded}"))
+        })
+        .collect()
+}
+
+impl SkeletonCache {
+    /// Precomputes skeletons for every distinct label and TLD currently
+    /// interned in `columns`, on `threads` workers.
+    pub fn build(columns: &CorpusColumns, threads: usize) -> Self {
+        let mut cache = SkeletonCache::default();
+        cache.extend_to(columns, threads);
+        cache
+    }
+
+    /// Appends skeletons for labels and TLDs interned since the last
+    /// build/extend. Symbols below the high-water mark are never
+    /// recomputed — the interner is append-only, so their strings (and
+    /// hence skeletons) are immutable.
+    pub fn extend_to(&mut self, columns: &CorpusColumns, threads: usize) {
+        self.labels
+            .extend(label_skeletons_from(columns, self.labels.len(), threads));
+        self.tlds
+            .extend(tld_suffixes_from(columns, self.tlds.len()));
+    }
+
+    /// Distinct labels covered (the cache's high-water mark).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// TLD ids covered.
+    pub fn tld_count(&self) -> usize {
+        self.tlds.len()
+    }
 }
 
 impl<'d> ColumnedHomographPass<'d> {
     /// Precomputes the per-label and per-TLD skeleton pieces on `threads`
-    /// workers.
+    /// workers (owned; for one-shot scans).
     pub fn new(
         detector: &'d HomographDetector,
         columns: &'d CorpusColumns,
         threads: usize,
     ) -> Self {
-        let labels: Vec<&str> = columns.labels().iter().collect();
-        let label_skeletons = idnre_par::par_map(&labels, threads, |label| {
-            if label.is_ascii() {
-                None
-            } else {
-                Some(skeleton(label))
-            }
-        });
-        let tld_suffixes = columns
-            .tlds()
-            .iter()
-            .map(|tld| {
-                let decoded = idnre_idna::to_unicode(tld).unwrap_or_else(|_| tld.to_string());
-                skeleton(&format!(".{decoded}"))
-            })
-            .collect();
         ColumnedHomographPass {
             detector,
             columns,
-            label_skeletons,
-            tld_suffixes,
+            label_skeletons: std::borrow::Cow::Owned(label_skeletons_from(columns, 0, threads)),
+            tld_suffixes: std::borrow::Cow::Owned(tld_suffixes_from(columns, 0)),
+        }
+    }
+
+    /// Borrows precomputed skeletons from `cache` instead of recomputing
+    /// them — the epoch-engine constructor. The cache must cover
+    /// `columns` (`SkeletonCache::extend_to` after any column growth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache covers fewer labels or TLDs than `columns`
+    /// has interned.
+    pub fn with_cache(
+        detector: &'d HomographDetector,
+        columns: &'d CorpusColumns,
+        cache: &'d SkeletonCache,
+    ) -> Self {
+        assert!(
+            cache.label_count() >= columns.labels().len()
+                && cache.tld_count() >= columns.tlds().len(),
+            "SkeletonCache is behind the interner: extend_to was not called \
+             after column growth"
+        );
+        ColumnedHomographPass {
+            detector,
+            columns,
+            label_skeletons: std::borrow::Cow::Borrowed(&cache.labels),
+            tld_suffixes: std::borrow::Cow::Borrowed(&cache.tlds),
         }
     }
 }
@@ -461,6 +542,45 @@ mod tests {
                 Some(expected) => assert_eq!(&findings, expected, "threads={threads}"),
             }
         }
+    }
+
+    #[test]
+    fn cached_skeletons_match_owned_precompute() {
+        let (eco, brands) = corpus();
+        let homograph = HomographDetector::new(&brands, 0.95);
+        let columns = columns_of(&eco);
+        let source = SliceSource::new(&eco.idn_registrations, &eco.non_idn_registrations);
+        let cache = SkeletonCache::build(&columns, 4);
+        assert_eq!(cache.label_count(), columns.labels().len());
+        assert_eq!(cache.tld_count(), columns.tlds().len());
+        // Extending an up-to-date cache is a no-op, not a recompute.
+        let mut extended = cache.clone();
+        extended.extend_to(&columns, 4);
+        assert_eq!(extended.label_count(), cache.label_count());
+
+        let owned = {
+            let mut scan = ShardedScan::new();
+            let h = scan.register(ColumnedHomographPass::new(&homograph, &columns, 4));
+            let mut result = scan.run(&source, 64, 4, &idnre_telemetry::NoopRecorder);
+            result.take(&h)
+        };
+        let cached = {
+            let mut scan = ShardedScan::new();
+            let h = scan.register(ColumnedHomographPass::with_cache(&homograph, &columns, &cache));
+            let mut result = scan.run(&source, 64, 4, &idnre_telemetry::NoopRecorder);
+            result.take(&h)
+        };
+        assert_eq!(cached, owned);
+    }
+
+    #[test]
+    #[should_panic(expected = "behind the interner")]
+    fn stale_skeleton_cache_is_rejected() {
+        let (eco, brands) = corpus();
+        let homograph = HomographDetector::new(&brands, 0.95);
+        let columns = columns_of(&eco);
+        let stale = SkeletonCache::default();
+        let _ = ColumnedHomographPass::with_cache(&homograph, &columns, &stale);
     }
 
     #[test]

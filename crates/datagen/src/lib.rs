@@ -43,6 +43,7 @@ mod config;
 mod content;
 pub mod dataset;
 mod ecosystem;
+pub mod epoch;
 mod hosting;
 mod labels;
 mod registration;
@@ -53,6 +54,7 @@ pub use config::{EcosystemConfig, TldSpec, TABLE_I};
 pub use content::ContentCategory;
 pub use dataset::{dataset_fingerprint, render_dataset, DATASET_SCHEMA};
 pub use ecosystem::Ecosystem;
+pub use epoch::{DaySimulator, EpochCorpus, EpochDelta, EpochDeltaKind};
 pub use hosting::HostingProfile;
 pub use registration::{DomainRegistration, MaliciousKind};
 pub use stream::{generate_streamed, generate_streamed_traced, KeyedCorpus, PEAK_RESIDENT_RECORDS};

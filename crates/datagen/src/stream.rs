@@ -118,8 +118,14 @@ impl KeyedCorpus {
         self.gauge.sub(len as u64);
     }
 
+    /// The configuration this plan was generated under (the epoch overlay
+    /// derives day-simulator keys from its seed and snapshot date).
+    pub(crate) fn config(&self) -> &EcosystemConfig {
+        &self.config
+    }
+
     /// Regenerates IDN record `index` from its keyed stream.
-    fn regen_idn(&self, index: u64) -> DomainRegistration {
+    pub(crate) fn regen_idn(&self, index: u64) -> DomainRegistration {
         let root = Key::root(self.config.seed);
         let mut reg = match self.idn_recipes[index as usize] {
             Recipe::Bulk {

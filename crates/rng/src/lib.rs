@@ -92,6 +92,20 @@ pub enum StageId {
     PdnsTraffic = 10,
     /// Certificate issuance for HTTPS hosts.
     Certificates = 11,
+    // --- Day-simulator stages (epoch deltas). Appended after the frozen
+    // --- 1–11 block: the v2 dataset fingerprint never draws from these,
+    // --- so adding them is NOT a dataset-schema break — renumbering the
+    // --- block above still is.
+    /// Per-epoch churn: newly registered IDNs appended to the corpus tail.
+    EpochChurn = 12,
+    /// Per-epoch expiry: contiguous registration cohorts dropping out.
+    EpochExpiry = 13,
+    /// Re-registration of previously expired names (drop-catching).
+    EpochReRegistration = 14,
+    /// Nameserver/registrar migrations over contiguous cohorts.
+    EpochNsChange = 15,
+    /// Blacklist listings that lag the registration by one or more epochs.
+    EpochBlacklistLag = 16,
 }
 
 /// A derivation key: 64 bits of absorbed context selecting one stream.

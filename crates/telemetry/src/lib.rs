@@ -60,6 +60,22 @@ pub use trace::{SpanCtx, TraceEvent, TraceLog, TraceNode, TraceSnapshot, TRACE_S
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Counter names of the epoch engine's per-advance shard accounting, in
+/// snapshot order: how many shards an epoch's delta stream marked dirty,
+/// how many stayed clean (their resident partials were reused verbatim),
+/// and how many were actually re-folded (dirty shards plus cache misses,
+/// e.g. a tail shard whose boundary moved). Pre-registered by
+/// `advance_epoch` before its fan-out, like every scan counter family.
+pub const EPOCH_SHARD_COUNTERS: [&str; 3] = [
+    "epoch.shards.dirty",
+    "epoch.shards.clean",
+    "epoch.shards.refolded",
+];
+
+/// Gauge name for the number of per-(shard, pass) partials held resident
+/// by the epoch engine's cache after an advance (level + peak).
+pub const EPOCH_RESIDENT_PARTIALS: &str = "epoch.partials.resident";
+
 /// The instrumentation hook threaded through the pipeline.
 ///
 /// Every method has a no-op default, so implementations opt into exactly
